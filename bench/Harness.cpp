@@ -1,0 +1,185 @@
+//===- bench/Harness.cpp - Table-reproduction harness --------------------------===//
+
+#include "Harness.h"
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::bench;
+
+const char *RowResult::glyph() const {
+  switch (St) {
+  case Status::Proved:
+    return "yes";
+  case Status::Disproved:
+    return "no";
+  case Status::Unknown:
+    return "?";
+  case Status::Timeout:
+    return "time";
+  case Status::Crashed:
+    return "crash";
+  }
+  return "?";
+}
+
+bool RowResult::matches(bool ExpectHolds) const {
+  return (St == Status::Proved && ExpectHolds) ||
+         (St == Status::Disproved && !ExpectHolds);
+}
+
+namespace {
+
+/// Exit-code protocol between the forked child and the parent:
+/// 10 = proved, 11 = disproved, 12 = unknown, anything else = crash.
+int verdictExitCode(Verdict V) {
+  switch (V) {
+  case Verdict::Proved:
+    return 10;
+  case Verdict::Disproved:
+    return 11;
+  case Verdict::Unknown:
+    return 12;
+  }
+  return 13;
+}
+
+} // namespace
+
+RowResult chute::bench::runRow(const corpus::BenchRow &Row,
+                               unsigned TimeoutSec) {
+  RowResult Result;
+  Stopwatch Timer;
+
+  int Pipe[2] = {-1, -1};
+  if (pipe(Pipe) != 0)
+    return Result;
+
+  pid_t Child = fork();
+  if (Child < 0) {
+    close(Pipe[0]);
+    close(Pipe[1]);
+    return Result;
+  }
+
+  if (Child == 0) {
+    // Child: run the verification and report through the exit code
+    // plus a small stats record on the pipe.
+    close(Pipe[0]);
+    ExprContext Ctx;
+    std::string Err;
+    auto P = parseProgram(Ctx, Row.Program, Err);
+    if (!P)
+      _exit(13);
+    Verifier V(*P);
+    VerifyResult R = V.verify(Row.Property, Err);
+    unsigned Stats[2] = {R.Rounds, R.Refinements};
+    ssize_t Ignored = write(Pipe[1], Stats, sizeof(Stats));
+    (void)Ignored;
+    close(Pipe[1]);
+    _exit(verdictExitCode(R.V));
+  }
+
+  // Parent: poll with the deadline.
+  close(Pipe[1]);
+  int Status = 0;
+  bool Done = false;
+  for (unsigned ElapsedMs = 0; ElapsedMs < TimeoutSec * 1000;
+       ElapsedMs += 50) {
+    pid_t R = waitpid(Child, &Status, WNOHANG);
+    if (R == Child) {
+      Done = true;
+      break;
+    }
+    usleep(50 * 1000);
+  }
+  if (!Done) {
+    kill(Child, SIGKILL);
+    waitpid(Child, &Status, 0);
+    close(Pipe[0]);
+    Result.St = RowResult::Status::Timeout;
+    Result.Seconds = Timer.seconds();
+    return Result;
+  }
+
+  unsigned Stats[2] = {0, 0};
+  ssize_t N = read(Pipe[0], Stats, sizeof(Stats));
+  close(Pipe[0]);
+  if (N == sizeof(Stats)) {
+    Result.Rounds = Stats[0];
+    Result.Refinements = Stats[1];
+  }
+
+  Result.Seconds = Timer.seconds();
+  if (WIFEXITED(Status)) {
+    switch (WEXITSTATUS(Status)) {
+    case 10:
+      Result.St = RowResult::Status::Proved;
+      return Result;
+    case 11:
+      Result.St = RowResult::Status::Disproved;
+      return Result;
+    case 12:
+      Result.St = RowResult::Status::Unknown;
+      return Result;
+    default:
+      break;
+    }
+  }
+  Result.St = RowResult::Status::Crashed;
+  return Result;
+}
+
+unsigned chute::bench::runTable(const char *Title,
+                                const std::vector<corpus::BenchRow> &Rows,
+                                unsigned TimeoutSec) {
+  std::printf("== %s ==\n", Title);
+  std::printf("%4s  %-18s %4s  %-34s %-4s %-5s %8s %7s %5s  %s\n",
+              "#", "Example", "LOC", "Property", "Exp", "Act",
+              "Time(s)", "Rounds", "Refs", "Note");
+  unsigned Mismatches = 0;
+  for (const corpus::BenchRow &Row : Rows) {
+    RowResult R = runRow(Row, TimeoutSec);
+    bool Ok = R.matches(Row.ExpectHolds);
+    if (!Ok)
+      ++Mismatches;
+    std::printf("%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u  %s%s\n",
+                Row.Id, Row.Example.c_str(), Row.Loc,
+                Row.Property.substr(0, 34).c_str(),
+                Row.ExpectHolds ? "yes" : "no", R.glyph(), R.Seconds,
+                R.Rounds, R.Refinements,
+                Ok ? "" : "MISMATCH ", Row.PaperNote.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("-- %s: %zu rows, %u mismatches --\n\n", Title,
+              Rows.size(), Mismatches);
+  return Mismatches;
+}
+
+unsigned chute::bench::timeoutFromArgs(int Argc, char **Argv,
+                                       unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--timeout") == 0)
+      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+  return Default;
+}
+
+std::pair<unsigned, unsigned>
+chute::bench::rowRangeFromArgs(int Argc, char **Argv, unsigned Max) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--rows") == 0) {
+      unsigned A = 1, B = Max;
+      std::sscanf(Argv[I + 1], "%u-%u", &A, &B);
+      return {A, B};
+    }
+  return {1, Max};
+}

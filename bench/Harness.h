@@ -1,0 +1,55 @@
+//===- bench/Harness.h - Table-reproduction harness -----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs benchmark rows in forked child processes with a wall-clock
+/// timeout, reproducing the paper's result tables including their
+/// "time"/"mem" failure entries: a row that exceeds the budget is
+/// reported as "time" instead of wedging the whole table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_BENCH_HARNESS_H
+#define CHUTE_BENCH_HARNESS_H
+
+#include "corpus/Corpus.h"
+
+namespace chute::bench {
+
+/// Result of one row.
+struct RowResult {
+  enum class Status { Proved, Disproved, Unknown, Timeout, Crashed };
+  Status St = Status::Unknown;
+  double Seconds = 0.0;
+  unsigned Rounds = 0;
+  unsigned Refinements = 0;
+
+  /// The table glyph: check, cross, '?', 'time', 'crash'.
+  const char *glyph() const;
+  /// True when the verdict matches \p ExpectHolds.
+  bool matches(bool ExpectHolds) const;
+};
+
+/// Verifies one row in a forked child, bounded by \p TimeoutSec.
+RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec);
+
+/// Runs a whole table and prints it in the paper's layout. Returns
+/// the number of rows whose verdict disagrees with the expectation.
+unsigned runTable(const char *Title,
+                  const std::vector<corpus::BenchRow> &Rows,
+                  unsigned TimeoutSec);
+
+/// Reads the row timeout from argv ("--timeout N") or returns
+/// \p Default.
+unsigned timeoutFromArgs(int Argc, char **Argv, unsigned Default);
+
+/// Optional row filter from argv ("--rows A-B"); defaults to all.
+std::pair<unsigned, unsigned> rowRangeFromArgs(int Argc, char **Argv,
+                                               unsigned Max);
+
+} // namespace chute::bench
+
+#endif // CHUTE_BENCH_HARNESS_H

@@ -1,0 +1,97 @@
+//===- bench/bench_ablation_qe.cpp - QE engine ablation -------------------------===//
+//
+// Ablation B of DESIGN.md: compares our Fourier-Motzkin projection
+// against Z3's qe tactic on SYNTHcp-style workloads (SSA path
+// formulas with one rho-variable to keep), using google-benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "expr/ExprBuilder.h"
+#include "program/NondetLifting.h"
+#include "program/Parser.h"
+#include "qe/QeEngine.h"
+#include "support/StringExtras.h"
+#include "ts/PathEncoding.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace chute;
+
+namespace {
+
+/// A SYNTHcp-like projection workload: the SSA formula of a straight
+/// path through a model, projecting everything but the live copies
+/// at a chosen position.
+struct QeWorkload {
+  ExprContext Ctx;
+  ExprRef Body = nullptr;
+  std::vector<ExprRef> Eliminate;
+
+  explicit QeWorkload(unsigned Stages) {
+    std::string Src = "init(x == 0);\ny = *;\n";
+    for (unsigned I = 0; I < Stages; ++I)
+      Src += "x = x + y;\nassume(x <= 100);\n";
+    std::string Err;
+    auto P0 = parseProgram(Ctx, Src, Err);
+    assert(P0 && "workload parse");
+    auto LP = liftNondeterminism(*P0);
+    const Program &P = *LP.Prog;
+    // The straight-line edge sequence (skip the final self-loop).
+    std::vector<unsigned> Path;
+    for (const Edge &E : P.edges())
+      if (E.Src != E.Dst)
+        Path.push_back(E.Id);
+    PathFormula F = encodePath(Ctx, P, Path);
+    Body = F.Formula;
+    // Keep the rho copy at position 1 and position-0 variables.
+    for (ExprRef V : freeVars(Body)) {
+      const std::string &Name = V->varName();
+      if (Name.find("rho") == std::string::npos &&
+          !endsWith(Name, "@0"))
+        Eliminate.push_back(V);
+    }
+  }
+};
+
+void BM_FourierMotzkin(benchmark::State &State) {
+  QeWorkload W(static_cast<unsigned>(State.range(0)));
+  Smt Solver(W.Ctx);
+  QeEngine Qe(Solver, QeStrategy::FourierMotzkin);
+  for (auto _ : State) {
+    auto R = Qe.projectExists(W.Body, W.Eliminate);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["failures"] =
+      static_cast<double>(Qe.stats().Failures);
+}
+
+void BM_Z3QeTactic(benchmark::State &State) {
+  QeWorkload W(static_cast<unsigned>(State.range(0)));
+  Smt Solver(W.Ctx);
+  QeEngine Qe(Solver, QeStrategy::Z3Tactic);
+  for (auto _ : State) {
+    auto R = Qe.projectExists(W.Body, W.Eliminate);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["failures"] =
+      static_cast<double>(Qe.stats().Failures);
+}
+
+void BM_AutoStrategy(benchmark::State &State) {
+  QeWorkload W(static_cast<unsigned>(State.range(0)));
+  Smt Solver(W.Ctx);
+  QeEngine Qe(Solver, QeStrategy::Auto);
+  for (auto _ : State) {
+    auto R = Qe.projectExists(W.Body, W.Eliminate);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_FourierMotzkin)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Z3QeTactic)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_AutoStrategy)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+//===- bench/bench_fig6_small.cpp - Figure 6 reproduction ----------------------===//
+//
+// Regenerates the paper's Figure 6: the 54 small benchmarks covering
+// every combination of temporal operators (27 base properties plus
+// their negations). Usage:
+//
+//   bench_fig6_small [--timeout SECONDS] [--rows A-B]
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdlib>
+
+using namespace chute;
+
+int main(int Argc, char **Argv) {
+  unsigned Timeout = bench::timeoutFromArgs(Argc, Argv, 120);
+  const auto &All = corpus::fig6Rows();
+  auto [Lo, Hi] =
+      bench::rowRangeFromArgs(Argc, Argv, static_cast<unsigned>(All.size()));
+  std::vector<corpus::BenchRow> Rows;
+  for (const auto &R : All)
+    if (R.Id >= Lo && R.Id <= Hi)
+      Rows.push_back(R);
+  unsigned Mismatches = bench::runTable(
+      "Figure 6: small benchmarks (operator combinations)", Rows,
+      Timeout);
+  return Mismatches == 0 ? 0 : 1;
+}

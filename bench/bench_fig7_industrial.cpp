@@ -1,0 +1,29 @@
+//===- bench/bench_fig7_industrial.cpp - Figure 7 reproduction ------------------===//
+//
+// Regenerates the paper's Figure 7: CTL challenge problems on models
+// of industrial code (Windows I/O fragments, the PostgreSQL archiver,
+// the SoftUpdates patch system), 28 base rows plus negations. Usage:
+//
+//   bench_fig7_industrial [--timeout SECONDS] [--rows A-B]
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdlib>
+
+using namespace chute;
+
+int main(int Argc, char **Argv) {
+  unsigned Timeout = bench::timeoutFromArgs(Argc, Argv, 300);
+  const auto &All = corpus::fig7Rows();
+  auto [Lo, Hi] =
+      bench::rowRangeFromArgs(Argc, Argv, static_cast<unsigned>(All.size()));
+  std::vector<corpus::BenchRow> Rows;
+  for (const auto &R : All)
+    if (R.Id >= Lo && R.Id <= Hi)
+      Rows.push_back(R);
+  unsigned Mismatches = bench::runTable(
+      "Figure 7: industrial code models", Rows, Timeout);
+  return Mismatches == 0 ? 0 : 1;
+}

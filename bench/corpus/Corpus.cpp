@@ -1,0 +1,671 @@
+//===- bench/corpus/Corpus.cpp - The evaluation workload ----------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace chute::corpus;
+
+namespace {
+
+//===-- Figure 6 toy programs -------------------------------------------===//
+
+// All paths count to 5, set p, and idle.
+const char *CountAndSet =
+    "init(p == 0 && x == 0);\n"
+    "while (x < 5) { x = x + 1; }\n"
+    "p = 1;\n"
+    "while (true) { skip; }\n";
+
+// One branch sets p, the other does not.
+const char *MaybeSet =
+    "init(p == 0);\n"
+    "if (*) { p = 1; } else { skip; }\n"
+    "while (true) { skip; }\n";
+
+// p is constantly 1; a countdown keeps the program nontrivial.
+const char *Constant1 =
+    "init(p == 1 && n >= 0);\n"
+    "while (n > 0) { n = n - 1; }\n"
+    "while (true) { skip; }\n";
+
+// Some execution clears p.
+const char *SpoilableP =
+    "init(p == 1);\n"
+    "x = *;\n"
+    "if (x > 5) { p = 0; } else { skip; }\n"
+    "while (true) { skip; }\n";
+
+// p stays 0 forever.
+const char *NeverP =
+    "init(p == 0);\n"
+    "while (true) { p = 0; }\n";
+
+// Forever choose p = 1 or p = 0.
+const char *Oscillator =
+    "init(p == 1);\n"
+    "while (true) { if (*) { p = 1; } else { p = 0; } }\n";
+
+// Oscillator that starts at p = 0 (for EF-style rows).
+const char *Oscillator0 =
+    "init(p == 0);\n"
+    "while (true) { if (*) { p = 1; } else { p = 0; } }\n";
+
+// All paths eventually clear p for good.
+const char *ClearsP =
+    "init(p == 1 && n >= 1);\n"
+    "while (n > 0) { n = n - 1; }\n"
+    "p = 0;\n"
+    "while (true) { skip; }\n";
+
+// p pulses to 1 in every iteration of every path.
+const char *Pulse =
+    "init(p == 0);\n"
+    "while (true) { p = 1; p = 0; }\n";
+
+// One initial choice selects a stable p = 1 loop or a p = 0 loop.
+const char *TwoLoops =
+    "init(p == 1);\n"
+    "if (*) { while (true) { p = 1; } }\n"
+    "else { while (true) { p = 0; } }\n";
+
+// Terminating prologue, then p = 1 forever.
+const char *SettleToP =
+    "init(p == 0 && n >= 0);\n"
+    "while (n > 0) { n = n - 1; }\n"
+    "p = 1;\n"
+    "while (true) { skip; }\n";
+
+// q oscillates; p can always be set in the next iteration.
+const char *QoscPosc =
+    "init(p == 0 && q == 0);\n"
+    "while (true) {\n"
+    "  if (*) { q = 1; } else { q = 0; }\n"
+    "  if (*) { p = 1; } else { p = 0; }\n"
+    "}\n";
+
+// q arbitrary, p pulses on every path.
+const char *QPulse =
+    "init(p == 0 && q == 0);\n"
+    "while (true) { q = *; p = 1; p = 0; }\n";
+
+// q oscillates while p stays 1.
+const char *QoscPconst =
+    "init(p == 1 && q == 0);\n"
+    "while (true) { if (*) { q = 1; } else { q = 0; } }\n";
+
+struct Fig6Base {
+  const char *Shape;
+  const char *Program;
+  const char *Property;
+  bool Holds;
+  const char *Note;
+};
+
+const Fig6Base Fig6Bases[] = {
+    /* 1*/ {"AF p", CountAndSet, "AF(p == 1)", true, ""},
+    /* 2*/ {"AF p", MaybeSet, "AF(p == 1)", false, ""},
+    /* 3*/ {"AG p", Constant1, "AG(p == 1)", true, ""},
+    /* 4*/ {"AG p", SpoilableP, "AG(p == 1)", false, ""},
+    /* 5*/ {"EF p", MaybeSet, "EF(p == 1)", true, ""},
+    /* 6*/ {"EF p", NeverP, "EF(p == 1)", false, ""},
+    /* 7*/ {"EG p", Oscillator, "EG(p == 1)", true, ""},
+    /* 8*/ {"EG p", ClearsP, "EG(p == 1)", false, ""},
+    /* 9*/ {"AG AF p", Pulse, "AG(AF(p == 1))", true, ""},
+    /*10*/ {"AG AF p", Oscillator, "AG(AF(p == 1))", false, ""},
+    /*11*/ {"AG EF p", Oscillator0, "AG(EF(p == 1))", true, ""},
+    /*12*/ {"AG EG p", Constant1, "AG(EG(p == 1))", true, ""},
+    /*13*/ {"AF EG p", SettleToP, "AF(EG(p == 1))", true, ""},
+    /*14*/ {"AF EF p", SettleToP, "AF(EF(p == 1))", true, ""},
+    /*15*/ {"AF AG p", SettleToP, "AF(AG(p == 1))", true, ""},
+    /*16*/ {"AF AG p", Oscillator, "AF(AG(p == 1))", false, ""},
+    /*17*/ {"EF EG p", TwoLoops, "EF(EG(p == 1))", true, ""},
+    /*18*/ {"EF EG p", Pulse, "EF(EG(p == 1))", false, ""},
+    /*19*/ {"EF AG p", TwoLoops, "EF(AG(p == 1))", true, ""},
+    /*20*/
+    {"EF AF p", TwoLoops, "EF(AF(p == 1))", true,
+     "paper: out of memory during abstraction refinement"},
+    /*21*/ {"EG EF p", Oscillator0, "EG(EF(p == 1))", true, ""},
+    /*22*/ {"EG AG p", Constant1, "EG(AG(p == 1))", true, ""},
+    /*23*/ {"EG AF p", Pulse, "EG(AF(p == 1))", true, ""},
+    /*24*/
+    {"EG(q -> EF p)", QoscPosc, "EG(q == 1 -> EF(p == 1))", true,
+     "paper: wrong answer from an unlucky chute choice"},
+    /*25*/ {"EG(q -> AF p)", QPulse, "EG(q == 1 -> AF(p == 1))", true,
+            ""},
+    /*26*/ {"AG(q -> EG p)", QoscPconst, "AG(q == 1 -> EG(p == 1))",
+            true, ""},
+    /*27*/ {"AG(q -> EF p)", QoscPosc, "AG(q == 1 -> EF(p == 1))",
+            true, ""},
+};
+
+unsigned countLines(const std::string &S) {
+  unsigned N = 0;
+  for (char C : S)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+} // namespace
+
+const std::vector<BenchRow> &chute::corpus::fig6Rows() {
+  static const std::vector<BenchRow> Rows = [] {
+    std::vector<BenchRow> Out;
+    unsigned Id = 1;
+    for (const Fig6Base &B : Fig6Bases) {
+      BenchRow R;
+      R.Id = Id++;
+      R.Example = B.Shape;
+      R.Program = B.Program;
+      R.Property = B.Property;
+      R.ExpectHolds = B.Holds;
+      R.PaperNote = B.Note;
+      R.Loc = countLines(R.Program);
+      Out.push_back(R);
+    }
+    // Rows 28-54: the negated properties on the same programs.
+    for (const Fig6Base &B : Fig6Bases) {
+      BenchRow R;
+      R.Id = Id++;
+      R.Example = std::string("neg ") + B.Shape;
+      R.Program = B.Program;
+      R.Property = std::string("!(") + B.Property + ")";
+      R.ExpectHolds = !B.Holds;
+      R.Loc = countLines(R.Program);
+      Out.push_back(R);
+    }
+    return Out;
+  }();
+  return Rows;
+}
+
+//===-- Figure 7 industrial models ---------------------------------------===//
+
+std::string chute::corpus::osFrag1() {
+  // Windows I/O fragment 1 (~29 LOC): one request dispatch with a
+  // worklist loop whose length comes from the Magill-style numeric
+  // abstraction of a list traversal.
+  return "// Windows I/O fragment 1: single request dispatch\n"
+         "// (numeric heap abstraction of the sub-request list)\n"
+         "init(lock == 0 && done == 0 && status == 0);\n"
+         "// acquire the device lock\n"
+         "lock = 1;\n"
+         "// abstracted list length of queued sub-requests\n"
+         "pending = *;\n"
+         "if (pending < 0) {\n"
+         "  pending = 0;\n"
+         "} else {\n"
+         "  skip;\n"
+         "}\n"
+         "while (pending > 0) {\n"
+         "  // process one sub-request; outcome is data dependent\n"
+         "  if (*) {\n"
+         "    status = 1;\n"
+         "  } else {\n"
+         "    status = 0;\n"
+         "  }\n"
+         "  pending = pending - 1;\n"
+         "}\n"
+         "// release the lock and complete\n"
+         "lock = 0;\n"
+         "done = 1;\n"
+         "while (true) {\n"
+         "  skip;\n"
+         "}\n";
+}
+
+std::string chute::corpus::osFrag1Buggy() {
+  // A faulty variant: an error path returns without releasing.
+  return "init(lock == 0 && done == 0 && status == 0);\n"
+         "lock = 1;\n"
+         "pending = *;\n"
+         "if (pending < 0) {\n"
+         "  pending = 0;\n"
+         "} else {\n"
+         "  skip;\n"
+         "}\n"
+         "while (pending > 0) {\n"
+         "  if (*) {\n"
+         "    // error path: leak the lock and spin\n"
+         "    status = 0;\n"
+         "    while (true) { skip; }\n"
+         "  } else {\n"
+         "    status = 1;\n"
+         "  }\n"
+         "  pending = pending - 1;\n"
+         "}\n"
+         "lock = 0;\n"
+         "done = 1;\n"
+         "while (true) {\n"
+         "  skip;\n"
+         "}\n";
+}
+
+std::string chute::corpus::osFrag2() {
+  // Windows I/O fragment 2 (~58 LOC, after [8]): acquire/work/release
+  // with an error flag and a bounded retry loop.
+  return "init(acquired == 0 && err == 0 && completed == 0 && "
+         "stopped == 0);\n"
+         "retries = *;\n"
+         "if (retries < 0) {\n"
+         "  retries = 0;\n"
+         "} else {\n"
+         "  skip;\n"
+         "}\n"
+         "while (stopped == 0) {\n"
+         "  // acquire\n"
+         "  acquired = 1;\n"
+         "  err = 0;\n"
+         "  // abstracted work queue length\n"
+         "  work = *;\n"
+         "  if (work < 0) {\n"
+         "    work = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (work > 0) {\n"
+         "    if (*) {\n"
+         "      // transient failure on this element\n"
+         "      err = 1;\n"
+         "      work = 0;\n"
+         "    } else {\n"
+         "      work = work - 1;\n"
+         "    }\n"
+         "  }\n"
+         "  if (err > 0) {\n"
+         "    if (retries > 0) {\n"
+         "      // retry with the budget decremented\n"
+         "      retries = retries - 1;\n"
+         "      acquired = 0;\n"
+         "    } else {\n"
+         "      // give up: report and stop\n"
+         "      completed = 0;\n"
+         "      acquired = 0;\n"
+         "      stopped = 1;\n"
+         "    }\n"
+         "  } else {\n"
+         "    completed = 1;\n"
+         "    acquired = 0;\n"
+         "    if (*) {\n"
+         "      stopped = 1;\n"
+         "    } else {\n"
+         "      skip;\n"
+         "    }\n"
+         "  }\n"
+         "}\n"
+         "while (true) {\n"
+         "  skip;\n"
+         "}\n";
+}
+
+std::string chute::corpus::osFrag2Buggy() {
+  // Faulty variant: the retry path forgets to release the lock flag.
+  return "init(acquired == 0 && err == 0 && completed == 0 && "
+         "stopped == 0);\n"
+         "retries = *;\n"
+         "if (retries < 0) {\n"
+         "  retries = 0;\n"
+         "} else {\n"
+         "  skip;\n"
+         "}\n"
+         "while (stopped == 0) {\n"
+         "  acquired = 1;\n"
+         "  err = 0;\n"
+         "  work = *;\n"
+         "  if (work < 0) {\n"
+         "    work = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (work > 0) {\n"
+         "    if (*) {\n"
+         "      err = 1;\n"
+         "      work = 0;\n"
+         "    } else {\n"
+         "      work = work - 1;\n"
+         "    }\n"
+         "  }\n"
+         "  if (err > 0) {\n"
+         "    // BUG: spin holding the lock\n"
+         "    while (true) { skip; }\n"
+         "  } else {\n"
+         "    completed = 1;\n"
+         "    acquired = 0;\n"
+         "    if (*) {\n"
+         "      stopped = 1;\n"
+         "    } else {\n"
+         "      skip;\n"
+         "    }\n"
+         "  }\n"
+         "}\n"
+         "while (true) {\n"
+         "  skip;\n"
+         "}\n";
+}
+
+std::string chute::corpus::osFrag3() {
+  // Windows I/O fragment 3 (~370 LOC): a long dispatch routine — a
+  // cascade of stages, each with a data-dependent branch and a
+  // bounded sub-loop from the numeric heap abstraction.
+  std::string S =
+      "init(irp == 1 && status == 0 && completed == 0);\n";
+  for (int I = 0; I < 33; ++I) {
+    std::string N = std::to_string(I);
+    S += "// stage " + N + "\n";
+    S += "if (*) {\n";
+    S += "  status = " + N + ";\n";
+    S += "  len" + N + " = *;\n";
+    S += "  if (len" + N + " < 0) { len" + N + " = 0; } else { skip; }\n";
+    S += "  while (len" + N + " > 0) {\n";
+    S += "    len" + N + " = len" + N + " - 1;\n";
+    S += "  }\n";
+    S += "} else {\n";
+    S += "  skip;\n";
+    S += "}\n";
+  }
+  S += "completed = 1;\n";
+  S += "while (true) {\n  skip;\n}\n";
+  return S;
+}
+
+std::string chute::corpus::osFrag4() {
+  // Windows I/O fragment 4 (~370 LOC): request completion — every
+  // path eventually returns a code: success (ret == 1) or a failure
+  // code (ret == 2). Structured as a long cascade with early-failure
+  // branches.
+  std::string S = "init(ret == 0 && fail == 0 && success == 0);\n";
+  for (int I = 0; I < 28; ++I) {
+    std::string N = std::to_string(I);
+    S += "// phase " + N + "\n";
+    S += "if (*) {\n";
+    S += "  // early failure in phase " + N + "\n";
+    S += "  fail = 1;\n";
+    S += "  ret = 2;\n";
+    S += "  while (true) { skip; }\n";
+    S += "} else {\n";
+    S += "  buf" + N + " = *;\n";
+    S += "  if (buf" + N + " < 0) { buf" + N + " = 0; } else { skip; }\n";
+    S += "  while (buf" + N + " > 0) {\n";
+    S += "    buf" + N + " = buf" + N + " - 1;\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  S += "success = 1;\n";
+  S += "ret = 1;\n";
+  S += "while (true) {\n  skip;\n}\n";
+  return S;
+}
+
+std::string chute::corpus::osFrag5() {
+  // Windows I/O fragment 5 (~43 LOC): a polling loop that makes
+  // progress (tick) in every iteration after a bounded wait.
+  return "init(tick == 0 && round == 0 && drained == 0);\n"
+         "while (true) {\n"
+         "  // bounded backoff from the abstraction\n"
+         "  budget = *;\n"
+         "  if (budget < 0) {\n"
+         "    budget = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (budget > 0) {\n"
+         "    budget = budget - 1;\n"
+         "  }\n"
+         "  // drain the completion queue (abstracted length)\n"
+         "  queue = *;\n"
+         "  if (queue < 0) {\n"
+         "    queue = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  drained = 0;\n"
+         "  while (queue > 0) {\n"
+         "    queue = queue - 1;\n"
+         "    drained = drained + 1;\n"
+         "  }\n"
+         "  // arm the timer for the next round\n"
+         "  timer = *;\n"
+         "  if (timer < 0) {\n"
+         "    timer = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (timer > 0) {\n"
+         "    timer = timer - 1;\n"
+         "  }\n"
+         "  // progress pulse\n"
+         "  tick = 1;\n"
+         "  round = round + 1;\n"
+         "  tick = 0;\n"
+         "}\n";
+}
+
+std::string chute::corpus::osFrag5Buggy() {
+  // Faulty variant: a starvation branch stops ticking forever.
+  return "init(tick == 0 && round == 0);\n"
+         "while (true) {\n"
+         "  budget = *;\n"
+         "  if (budget < 0) {\n"
+         "    budget = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (budget > 0) {\n"
+         "    budget = budget - 1;\n"
+         "  }\n"
+         "  if (*) {\n"
+         "    // BUG: silent stall\n"
+         "    while (true) { skip; }\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  tick = 1;\n"
+         "  round = round + 1;\n"
+         "  tick = 0;\n"
+         "}\n";
+}
+
+std::string chute::corpus::pgArchiver() {
+  // PostgreSQL archiver back end (~90 LOC): wait for WAL segments,
+  // archive a batch, repeat until shutdown; progress = archived pulse.
+  std::string S =
+      "init(shutdown == 0 && archived == 0 && failed == 0);\n";
+  S += "while (shutdown == 0) {\n";
+  S += "  // number of completed WAL segments (heap abstraction)\n";
+  S += "  logs = *;\n";
+  S += "  if (logs < 0) { logs = 0; } else { skip; }\n";
+  // A few bookkeeping stages to reach the reported size.
+  for (int I = 0; I < 18; ++I) {
+    std::string N = std::to_string(I);
+    S += "  // housekeeping step " + N + "\n";
+    S += "  hk" + N + " = *;\n";
+    S += "  if (hk" + N + " < 0) { hk" + N + " = 0; } else { skip; }\n";
+    S += "  while (hk" + N + " > 0) { hk" + N + " = hk" + N +
+         " - 1; }\n";
+  }
+  S += "  while (logs > 0) {\n";
+  S += "    // archive one segment\n";
+  S += "    archived = 1;\n";
+  S += "    archived = 0;\n";
+  S += "    logs = logs - 1;\n";
+  S += "  }\n";
+  S += "  archived = 1;\n";
+  S += "  archived = 0;\n";
+  S += "  if (*) { shutdown = 1; } else { skip; }\n";
+  S += "}\n";
+  S += "while (true) {\n  skip;\n}\n";
+  return S;
+}
+
+std::string chute::corpus::pgArchiverBuggy() {
+  // Faulty variant: an archive failure wedges the loop with no
+  // further progress pulses.
+  std::string S =
+      "init(shutdown == 0 && archived == 0 && failed == 0);\n";
+  S += "while (shutdown == 0) {\n";
+  S += "  logs = *;\n";
+  S += "  if (logs < 0) { logs = 0; } else { skip; }\n";
+  S += "  while (logs > 0) {\n";
+  S += "    if (*) {\n";
+  S += "      // BUG: failure spins without archiving\n";
+  S += "      failed = 1;\n";
+  S += "      while (true) { skip; }\n";
+  S += "    } else {\n";
+  S += "      archived = 1;\n";
+  S += "      archived = 0;\n";
+  S += "    }\n";
+  S += "    logs = logs - 1;\n";
+  S += "  }\n";
+  S += "  archived = 1;\n";
+  S += "  archived = 0;\n";
+  S += "  if (*) { shutdown = 1; } else { skip; }\n";
+  S += "}\n";
+  S += "while (true) {\n  skip;\n}\n";
+  return S;
+}
+
+std::string chute::corpus::softwareUpdates() {
+  // SoftUpdates patch system (~36 LOC, after Hayden et al.): serve
+  // requests in the old version until an update point is taken.
+  return "init(version == 0 && updated == 0 && req == 0);\n"
+         "while (true) {\n"
+         "  // a request arrives\n"
+         "  req = 1;\n"
+         "  // abstracted request processing cost\n"
+         "  work = *;\n"
+         "  if (work < 0) {\n"
+         "    work = 0;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "  while (work > 0) {\n"
+         "    work = work - 1;\n"
+         "  }\n"
+         "  // request served\n"
+         "  req = 0;\n"
+         "  // bookkeeping: served-request counters per version\n"
+         "  if (version == 0) {\n"
+         "    served_old = served_old + 1;\n"
+         "  } else {\n"
+         "    served_new = served_new + 1;\n"
+         "  }\n"
+         "  total = total + 1;\n"
+         "  // quiescent point: the dynamic update may be applied\n"
+         "  if (*) {\n"
+         "    version = 1;\n"
+         "    updated = 1;\n"
+         "  } else {\n"
+         "    skip;\n"
+         "  }\n"
+         "}\n";
+}
+
+namespace {
+
+struct Fig7Base {
+  const char *Example;
+  std::string (*Model)();
+  const char *Property;
+  bool Holds;
+  const char *Note;
+};
+
+const Fig7Base Fig7Bases[] = {
+    // OS frag. 1: lock acquire/release liveness (rows 1-4).
+    {"OS frag. 1", osFrag1, "AG(lock == 1 -> AF(lock == 0))", true,
+     ""},
+    {"OS frag. 1", osFrag1Buggy, "AG(lock == 1 -> AF(lock == 0))",
+     false, ""},
+    {"OS frag. 1", osFrag1, "AG(lock == 1 -> EF(lock == 0))", true,
+     ""},
+    {"OS frag. 1", osFrag1Buggy, "AG(lock == 1 -> EF(done == 2))",
+     false, ""},
+    // OS frag. 2 (rows 5-8).
+    {"OS frag. 2", osFrag2, "AG(acquired == 1 -> AF(acquired == 0))",
+     true, ""},
+    {"OS frag. 2", osFrag2Buggy,
+     "AG(acquired == 1 -> AF(acquired == 0))", false, ""},
+    {"OS frag. 2", osFrag2, "AG(acquired == 1 -> EF(acquired == 0))",
+     true, ""},
+    {"OS frag. 2", osFrag2Buggy,
+     "AG(acquired == 1 -> EF(completed == 2))", false, ""},
+    // OS frag. 3 (rows 9-12).
+    {"OS frag. 3", osFrag3, "AG(irp == 1 -> AF(completed == 1))",
+     true, ""},
+    {"OS frag. 3", osFrag3, "AG(irp == 1 -> AF(completed == 2))",
+     false, ""},
+    {"OS frag. 3", osFrag3, "AG(irp == 1 -> EF(completed == 1))",
+     true, ""},
+    {"OS frag. 3", osFrag3, "AG(irp == 1 -> EF(completed == 2))",
+     false, ""},
+    // OS frag. 4: completion-or-failure-code (rows 13-16).
+    {"OS frag. 4", osFrag4, "AF(ret == 1) || AF(ret >= 1)", true,
+     ""},
+    {"OS frag. 4", osFrag4, "AF(ret == 1) || AF(ret == 2)", false,
+     ""},
+    {"OS frag. 4", osFrag4, "EF(ret == 1) || EF(ret == 3)", true,
+     ""},
+    {"OS frag. 4", osFrag4, "EF(ret == 3) || EF(ret == 4)", false,
+     "paper: out of memory"},
+    // OS frag. 5: recurrent progress (rows 17-20).
+    {"OS frag. 5", osFrag5, "AG(AF(tick == 1))", true, ""},
+    {"OS frag. 5", osFrag5Buggy, "AG(AF(tick == 1))", false, ""},
+    {"OS frag. 5", osFrag5, "AG(EF(tick == 1))", true,
+     "paper: timed out after 24 hours"},
+    {"OS frag. 5", osFrag5Buggy, "AG(EF(tick == 1))", false,
+     "paper: out of memory"},
+    // PgSQL archiver (rows 21-24). The progress property is
+    // conditional on the archiver still running (after shutdown the
+    // process idles without archiving, as in the real system).
+    {"PgSQL arch", pgArchiver,
+     "AG(shutdown == 0 -> AF(archived == 1))", true,
+     "paper: out of memory"},
+    {"PgSQL arch", pgArchiverBuggy,
+     "AG(shutdown == 0 -> AF(archived == 1))", false, ""},
+    {"PgSQL arch", pgArchiver,
+     "AG(shutdown == 0 -> EF(archived == 1))", true,
+     "paper: out of memory"},
+    {"PgSQL arch", pgArchiverBuggy,
+     "AG(shutdown == 0 -> EF(archived == 1))", false, ""},
+    // S/W Updates (rows 25-28).
+    {"S/W Updates", softwareUpdates, "req == 0 -> AF(req == 1)", true,
+     ""},
+    {"S/W Updates", softwareUpdates, "req == 0 -> AF(updated == 1)",
+     false, ""},
+    {"S/W Updates", softwareUpdates, "req == 0 -> EF(updated == 1)",
+     true, ""},
+    {"S/W Updates", softwareUpdates, "req == 0 -> EF(updated == 2)",
+     false, ""},
+};
+
+} // namespace
+
+const std::vector<BenchRow> &chute::corpus::fig7Rows() {
+  static const std::vector<BenchRow> Rows = [] {
+    std::vector<BenchRow> Out;
+    unsigned Id = 1;
+    for (const Fig7Base &B : Fig7Bases) {
+      BenchRow R;
+      R.Id = Id++;
+      R.Example = B.Example;
+      R.Program = B.Model();
+      R.Property = B.Property;
+      R.ExpectHolds = B.Holds;
+      R.PaperNote = B.Note;
+      R.Loc = countLines(R.Program);
+      Out.push_back(R);
+    }
+    // Rows 29-56: the negated properties.
+    for (const Fig7Base &B : Fig7Bases) {
+      BenchRow R;
+      R.Id = Id++;
+      R.Example = std::string(B.Example) + " (neg)";
+      R.Program = B.Model();
+      R.Property = std::string("!(") + B.Property + ")";
+      R.ExpectHolds = !B.Holds;
+      R.Loc = countLines(R.Program);
+      Out.push_back(R);
+    }
+    return Out;
+  }();
+  return Rows;
+}

@@ -1,0 +1,96 @@
+//===- examples/chuteverify.cpp - Command-line driver -----------------------------===//
+//
+// chuteverify: verify a CTL property of a program written in the toy
+// language.
+//
+//   chuteverify PROGRAM-FILE "CTL-PROPERTY" [--show-proof]
+//                                           [--show-program]
+//                                           [--no-negation]
+//
+// Exit codes: 0 proved, 1 disproved, 2 unknown, 3 usage/parse error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace chute;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: chuteverify PROGRAM-FILE \"CTL-PROPERTY\" "
+      "[--show-proof] [--show-program] [--no-negation]\n");
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3) {
+    usage();
+    return 3;
+  }
+  bool ShowProof = false, ShowProgram = false, TryNegation = true;
+  for (int I = 3; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--show-proof") == 0)
+      ShowProof = true;
+    else if (std::strcmp(Argv[I], "--show-program") == 0)
+      ShowProgram = true;
+    else if (std::strcmp(Argv[I], "--no-negation") == 0)
+      TryNegation = false;
+    else {
+      usage();
+      return 3;
+    }
+  }
+
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+    return 3;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ExprContext Ctx;
+  std::string Err;
+  auto Prog = parseProgram(Ctx, Buffer.str(), Err);
+  if (!Prog) {
+    std::fprintf(stderr, "error: program %s\n", Err.c_str());
+    return 3;
+  }
+
+  VerifierOptions Options;
+  Options.TryNegation = TryNegation;
+  Verifier V(*Prog, Options);
+  if (ShowProgram)
+    std::printf("%s\n", V.lifted().toString().c_str());
+
+  VerifyResult R = V.verify(Argv[2], Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "error: property %s\n", Err.c_str());
+    return 3;
+  }
+
+  std::printf("%s: %s  (%.2fs, %u attempts, %u refinements)\n",
+              Argv[2], toString(R.V), R.Seconds, R.Rounds,
+              R.Refinements);
+  if (ShowProof && R.Proof.valid()) {
+    if (R.ProofIsOfNegation)
+      std::printf("proof of the negated property:\n");
+    std::printf("%s", R.Proof.toString(V.lifted()).c_str());
+  }
+
+  switch (R.V) {
+  case Verdict::Proved:
+    return 0;
+  case Verdict::Disproved:
+    return 1;
+  case Verdict::Unknown:
+    return 2;
+  }
+  return 2;
+}

@@ -1,0 +1,75 @@
+//===- examples/quickstart.cpp - Library quickstart ------------------------------===//
+//
+// The Section 2 walkthrough of the paper, as library code: parse a
+// nondeterministic program, verify the mixed-quantifier property
+// EG(x = 1 -> AF(x = 0)), and inspect the chute the refiner found
+// (the paper synthesises rho1 > 0).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+
+#include <cstdio>
+
+using namespace chute;
+
+int main() {
+  ExprContext Ctx;
+
+  // The paper's Section 2 program: both `y` and `n` are chosen
+  // nondeterministically in every round of the outer loop.
+  const char *Source = R"(
+    x = 0;
+    while (true) {
+      y = *;
+      x = 1;
+      n = *;
+      while (n > 0) {
+        n = n - y;
+      }
+      x = 0;
+    }
+  )";
+
+  std::string Err;
+  auto Prog = parseProgram(Ctx, Source, Err);
+  if (!Prog) {
+    std::printf("parse error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  Verifier V(*Prog);
+  std::printf("program (after nondeterminism lifting):\n%s\n",
+              V.lifted().toString().c_str());
+
+  const char *Property = "EG(x == 1 -> AF(x == 0))";
+  std::printf("verifying:  %s\n\n", Property);
+
+  VerifyResult R = V.verify(Property, Err);
+  if (!Err.empty()) {
+    std::printf("property error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("verdict: %s  (%.2fs, %u proof attempts, %u chute "
+              "refinements)\n\n",
+              toString(R.V), R.Seconds, R.Rounds, R.Refinements);
+
+  if (R.proved() && R.Proof.valid()) {
+    std::printf("derivation:\n%s\n",
+                R.Proof.toString(V.lifted()).c_str());
+    std::printf("Existential obligations carry chutes; the refiner "
+                "synthesised restrictions on the rho-variables "
+                "(the paper's C = rho1 > 0) and the recurrent-set "
+                "side condition was checked for each:\n");
+    for (const DerivationNode *N : R.Proof.existentialNodes()) {
+      if (!N->Chute)
+        continue;
+      std::printf("  chute for %s:\n",
+                  N->Pi.toString().c_str());
+      std::printf("%s", N->Chute->toString(V.lifted()).c_str());
+    }
+  }
+  return R.proved() ? 0 : 1;
+}

@@ -1,0 +1,321 @@
+//===- analysis/DifferenceBounds.cpp - Zone (DBM) abstract domain ------------===//
+
+#include "analysis/DifferenceBounds.h"
+
+#include "expr/LinearForm.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <limits>
+#include <deque>
+#include <set>
+
+using namespace chute;
+
+namespace {
+
+/// The reserved zero variable.
+const std::string Zero;
+
+std::int64_t satAddDb(std::int64_t A, std::int64_t B) {
+  if (A > 0 && B > std::numeric_limits<std::int64_t>::max() - A)
+    return std::numeric_limits<std::int64_t>::max();
+  if (A < 0 && B < std::numeric_limits<std::int64_t>::min() - A)
+    return std::numeric_limits<std::int64_t>::min();
+  return A + B;
+}
+
+} // namespace
+
+std::optional<std::int64_t>
+DiffBoundsState::bound(const std::string &X, const std::string &Y) const {
+  auto It = B.find({X, Y});
+  if (It == B.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void DiffBoundsState::constrain(const std::string &X,
+                                const std::string &Y, std::int64_t C) {
+  if (Bottom || X == Y)
+    return;
+  auto Cur = bound(X, Y);
+  if (Cur && *Cur <= C)
+    return;
+  B[{X, Y}] = C;
+  close();
+}
+
+void DiffBoundsState::forget(const std::string &X) {
+  if (Bottom)
+    return;
+  for (auto It = B.begin(); It != B.end();) {
+    if (It->first.first == X || It->first.second == X)
+      It = B.erase(It);
+    else
+      ++It;
+  }
+}
+
+std::vector<std::string> DiffBoundsState::varsMentioned() const {
+  std::set<std::string> Set;
+  for (const auto &[Key, C] : B) {
+    (void)C;
+    Set.insert(Key.first);
+    Set.insert(Key.second);
+  }
+  return {Set.begin(), Set.end()};
+}
+
+void DiffBoundsState::close() {
+  // Floyd-Warshall over the constraint graph; a negative self-cycle
+  // means inconsistency (bottom).
+  std::vector<std::string> Vars = varsMentioned();
+  for (const std::string &K : Vars) {
+    for (const std::string &I : Vars) {
+      auto IK = bound(I, K);
+      if (!IK)
+        continue;
+      for (const std::string &J : Vars) {
+        // Self-entries are kept temporarily: a negative I -> I bound
+        // is exactly the inconsistency signal.
+        auto KJ = bound(K, J);
+        if (!KJ)
+          continue;
+        std::int64_t Via = satAddDb(*IK, *KJ);
+        auto Cur = bound(I, J);
+        if (!Cur || Via < *Cur)
+          B[{I, J}] = Via;
+      }
+    }
+  }
+  for (const std::string &I : Vars) {
+    auto IZ = bound(I, I);
+    if (IZ && *IZ < 0) {
+      Bottom = true;
+      B.clear();
+      return;
+    }
+  }
+  // Drop redundant self-edges.
+  for (auto It = B.begin(); It != B.end();)
+    if (It->first.first == It->first.second)
+      It = B.erase(It);
+    else
+      ++It;
+}
+
+DiffBoundsState DiffBoundsState::join(const DiffBoundsState &O) const {
+  if (Bottom)
+    return O;
+  if (O.Bottom)
+    return *this;
+  DiffBoundsState R;
+  // Keep only constraints present (possibly weaker) on both sides.
+  for (const auto &[Key, C] : B) {
+    auto OC = O.bound(Key.first, Key.second);
+    if (OC)
+      R.B[Key] = std::max(C, *OC);
+  }
+  return R;
+}
+
+DiffBoundsState DiffBoundsState::widen(const DiffBoundsState &O) const {
+  if (Bottom)
+    return O;
+  if (O.Bottom)
+    return *this;
+  DiffBoundsState R;
+  // Stable bounds survive; grown bounds are dropped.
+  for (const auto &[Key, C] : B) {
+    auto OC = O.bound(Key.first, Key.second);
+    if (OC && *OC <= C)
+      R.B[Key] = C;
+  }
+  return R;
+}
+
+bool DiffBoundsState::leq(const DiffBoundsState &O) const {
+  if (Bottom)
+    return true;
+  if (O.Bottom)
+    return false;
+  for (const auto &[Key, OC] : O.B) {
+    auto C = bound(Key.first, Key.second);
+    if (!C || *C > OC)
+      return false;
+  }
+  return true;
+}
+
+DiffBoundsState DiffBoundsState::apply(const Command &Cmd) const {
+  if (Bottom)
+    return *this;
+  switch (Cmd.kind()) {
+  case Command::Kind::Assume:
+    return refine(Cmd.cond());
+  case Command::Kind::Havoc: {
+    DiffBoundsState R = *this;
+    R.forget(Cmd.var()->varName());
+    return R;
+  }
+  case Command::Kind::Assign: {
+    const std::string &X = Cmd.var()->varName();
+    auto Lin = extractLinearTerm(Cmd.rhs());
+    DiffBoundsState R = *this;
+    if (!Lin) {
+      R.forget(X);
+      return R;
+    }
+    // x := k.
+    if (Lin->isConstant()) {
+      R.forget(X);
+      R.constrain(X, Zero, Lin->constant());
+      R.constrain(Zero, X, -Lin->constant());
+      return R;
+    }
+    // x := y + k (the only relational shape zones track exactly).
+    if (Lin->terms().size() == 1 && Lin->terms()[0].second == 1) {
+      const std::string Y = Lin->terms()[0].first->varName();
+      std::int64_t K = Lin->constant();
+      if (Y == X) {
+        // x := x + k: shift every bound that mentions x.
+        DiffBoundsState Shifted;
+        Shifted.Bottom = false;
+        for (const auto &[Key, C] : B) {
+          std::int64_t NewC = C;
+          if (Key.first == X)
+            NewC = satAddDb(NewC, K);
+          if (Key.second == X)
+            NewC = satAddDb(NewC, -K);
+          Shifted.B[Key] = NewC;
+        }
+        return Shifted;
+      }
+      // Fresh x related to y.
+      R.forget(X);
+      R.constrain(X, Y, K);
+      R.constrain(Y, X, -K);
+      return R;
+    }
+    R.forget(X);
+    return R;
+  }
+  }
+  return *this;
+}
+
+DiffBoundsState DiffBoundsState::refine(ExprRef Cond) const {
+  if (Bottom)
+    return *this;
+  if (Cond->isFalse())
+    return bottom();
+  DiffBoundsState R = *this;
+  for (ExprRef Atom : conjuncts(Cond)) {
+    auto Lin = extractLinearAtom(Atom);
+    if (!Lin)
+      continue;
+    if (Lin->Rel != ExprKind::Le && Lin->Rel != ExprKind::Eq)
+      continue;
+    auto addLe = [&](const LinearTerm &T) {
+      // Accept x - y + k <= 0, x + k <= 0 and -x + k <= 0 shapes.
+      const auto &Terms = T.terms();
+      if (Terms.size() == 1) {
+        if (Terms[0].second == 1)
+          R.constrain(Terms[0].first->varName(), Zero, -T.constant());
+        else if (Terms[0].second == -1)
+          R.constrain(Zero, Terms[0].first->varName(), -T.constant());
+      } else if (Terms.size() == 2 && Terms[0].second == 1 &&
+                 Terms[1].second == -1) {
+        R.constrain(Terms[0].first->varName(),
+                    Terms[1].first->varName(), -T.constant());
+      } else if (Terms.size() == 2 && Terms[0].second == -1 &&
+                 Terms[1].second == 1) {
+        R.constrain(Terms[1].first->varName(),
+                    Terms[0].first->varName(), -T.constant());
+      }
+    };
+    addLe(Lin->Term);
+    if (Lin->Rel == ExprKind::Eq)
+      addLe(Lin->Term.scaled(-1));
+    if (R.Bottom)
+      return R;
+  }
+  return R;
+}
+
+ExprRef DiffBoundsState::toExpr(ExprContext &Ctx) const {
+  if (Bottom)
+    return Ctx.mkFalse();
+  std::vector<ExprRef> Parts;
+  for (const auto &[Key, C] : B) {
+    ExprRef Lhs;
+    if (Key.first == Zero)
+      Lhs = Ctx.mkNeg(Ctx.mkVar(Key.second));
+    else if (Key.second == Zero)
+      Lhs = Ctx.mkVar(Key.first);
+    else
+      Lhs = Ctx.mkSub(Ctx.mkVar(Key.first), Ctx.mkVar(Key.second));
+    Parts.push_back(Ctx.mkLe(Lhs, Ctx.mkInt(C)));
+  }
+  return Ctx.mkAnd(std::move(Parts));
+}
+
+std::string DiffBoundsState::toString() const {
+  if (Bottom)
+    return "_|_";
+  std::vector<std::string> Parts;
+  for (const auto &[Key, C] : B) {
+    std::string L = Key.first.empty() ? "0" : Key.first;
+    std::string R2 = Key.second.empty() ? "0" : Key.second;
+    Parts.push_back(L + "-" + R2 + "<=" + std::to_string(C));
+  }
+  return Parts.empty() ? "T" : chute::join(Parts, " ");
+}
+
+Region chute::differenceInvariants(const Program &P, const Region &Start,
+                                   const Region *Chute) {
+  ExprContext &Ctx = P.exprContext();
+  std::vector<DiffBoundsState> State(P.numLocations(),
+                                     DiffBoundsState::bottom());
+  std::vector<unsigned> VisitCount(P.numLocations(), 0);
+  constexpr unsigned WidenThreshold = 3;
+
+  std::deque<Loc> Worklist;
+  for (Loc L = 0; L < P.numLocations(); ++L) {
+    if (Start.at(L)->isFalse())
+      continue;
+    // Seed with the join over disjunct refinements.
+    DiffBoundsState S = DiffBoundsState::bottom();
+    for (ExprRef D : disjuncts(Start.at(L)))
+      S = S.join(DiffBoundsState::top().refine(D));
+    if (S.isBottom())
+      continue;
+    State[L] = S;
+    Worklist.push_back(L);
+  }
+
+  while (!Worklist.empty()) {
+    Loc L = Worklist.front();
+    Worklist.pop_front();
+    for (unsigned Id : P.outgoing(L)) {
+      const Edge &E = P.edge(Id);
+      DiffBoundsState Next = State[L].apply(E.Cmd);
+      if (Chute != nullptr)
+        Next = Next.refine(Chute->at(E.Dst));
+      if (Next.isBottom() || Next.leq(State[E.Dst]))
+        continue;
+      ++VisitCount[E.Dst];
+      if (VisitCount[E.Dst] > WidenThreshold)
+        State[E.Dst] = State[E.Dst].widen(Next);
+      else
+        State[E.Dst] = State[E.Dst].join(Next);
+      Worklist.push_back(E.Dst);
+    }
+  }
+
+  Region Out = Region::bottom(P);
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    Out.set(L, State[L].toExpr(Ctx));
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- analysis/DifferenceBounds.h - Zone (DBM) abstract domain *- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A zone domain (difference-bound matrices): conjunctions of
+/// constraints `x - y <= c` and `x <= c` / `-x <= c`, closed under
+/// shortest paths. Strictly more precise than intervals on
+/// relational facts (`n <= x`, `lo <= hi`), which matter for ranking
+/// premises of loops whose bound is another variable.
+///
+/// This domain is an optional strengthener: the default pipeline uses
+/// intervals (see InvariantGen); zones can be requested for
+/// invariant generation wherever a Region is expected, and are
+/// exercised by their own tests and ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_DIFFERENCEBOUNDS_H
+#define CHUTE_ANALYSIS_DIFFERENCEBOUNDS_H
+
+#include "program/Cfg.h"
+#include "ts/Region.h"
+
+#include <map>
+
+namespace chute {
+
+/// One zone: bounds B[(x,y)] meaning x - y <= c, with the reserved
+/// name "" standing for the constant zero (so x <= c is x - "" <= c).
+/// States are kept shortest-path closed; an inconsistent closure is
+/// bottom.
+class DiffBoundsState {
+public:
+  static DiffBoundsState top() { return DiffBoundsState(); }
+  static DiffBoundsState bottom() {
+    DiffBoundsState S;
+    S.Bottom = true;
+    return S;
+  }
+
+  bool isBottom() const { return Bottom; }
+
+  /// The bound on X - Y (nullopt = unbounded). "" means zero.
+  std::optional<std::int64_t> bound(const std::string &X,
+                                    const std::string &Y) const;
+
+  /// Adds X - Y <= C and re-closes.
+  void constrain(const std::string &X, const std::string &Y,
+                 std::int64_t C);
+
+  /// Removes every constraint mentioning \p X.
+  void forget(const std::string &X);
+
+  DiffBoundsState join(const DiffBoundsState &O) const;
+  DiffBoundsState widen(const DiffBoundsState &O) const;
+  bool leq(const DiffBoundsState &O) const;
+
+  /// Abstract transformer for one command.
+  DiffBoundsState apply(const Command &Cmd) const;
+
+  /// Refinement by an assumed condition (difference-shaped linear
+  /// atoms are used; others are ignored conservatively).
+  DiffBoundsState refine(ExprRef Cond) const;
+
+  /// Concretisation as a conjunction of difference constraints.
+  ExprRef toExpr(ExprContext &Ctx) const;
+
+  std::string toString() const;
+
+private:
+  void close();
+
+  /// Variables mentioned (deterministic order).
+  std::vector<std::string> varsMentioned() const;
+
+  bool Bottom = false;
+  std::map<std::pair<std::string, std::string>, std::int64_t> B;
+};
+
+/// Whole-program zone invariants (worklist with widening + one
+/// narrowing sweep), mirroring intervalInvariants.
+Region differenceInvariants(const Program &P, const Region &Start,
+                            const Region *Chute = nullptr);
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_DIFFERENCEBOUNDS_H

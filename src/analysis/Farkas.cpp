@@ -1,0 +1,180 @@
+//===- analysis/Farkas.cpp - Farkas-lemma constraint generation -------------===//
+
+#include "analysis/Farkas.h"
+
+using namespace chute;
+
+LinearTemplate LinearTemplate::create(ExprContext &Ctx,
+                                      const std::vector<ExprRef> &Vars,
+                                      const std::string &Prefix) {
+  LinearTemplate T;
+  for (ExprRef V : Vars)
+    T.Coeffs.push_back({V, Ctx.freshVar(Prefix + "." + V->varName())});
+  T.ConstVar = Ctx.freshVar(Prefix + ".const");
+  return T;
+}
+
+ExprRef LinearTemplate::toExpr(ExprContext &Ctx) const {
+  std::vector<ExprRef> Parts;
+  for (const auto &[V, C] : Coeffs)
+    Parts.push_back(Ctx.mkMul(C, V));
+  Parts.push_back(ConstVar);
+  return Ctx.mkAdd(std::move(Parts));
+}
+
+LinearTerm LinearTemplate::instantiate(const Model &M) const {
+  LinearTerm T;
+  for (const auto &[V, C] : Coeffs)
+    T.addCoeff(V, M.get(C->varName()));
+  T.setConstant(M.get(ConstVar->varName()));
+  return T;
+}
+
+namespace {
+
+/// Normalises the premise: splits equalities into <= pairs and
+/// rejects disequalities. Returns false on rejection.
+bool normalisePremise(const std::vector<LinearAtom> &In,
+                      std::vector<LinearAtom> &Out) {
+  for (const LinearAtom &A : In) {
+    switch (A.Rel) {
+    case ExprKind::Le:
+      Out.push_back(A);
+      break;
+    case ExprKind::Eq:
+      Out.push_back({A.Term, ExprKind::Le});
+      Out.push_back({A.Term.scaled(-1), ExprKind::Le});
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Emits the core Farkas matching constraints for:
+///   -Target(x) == sum_i lambda_i * t_i(x) + d,  d <= 0
+/// where Target's coefficient of var v is \p CoeffOf(v) (an Expr in
+/// the unknowns) and its constant is \p ConstOf.
+ExprRef emitMatching(ExprContext &Ctx,
+                     const std::vector<LinearAtom> &Premise,
+                     const std::vector<ExprRef> &AllVars,
+                     const std::unordered_map<ExprRef, ExprRef> &CoeffOf,
+                     ExprRef ConstOf, const std::string &MultPrefix,
+                     bool DeriveContradiction) {
+  std::vector<ExprRef> Lambdas;
+  Lambdas.reserve(Premise.size());
+  std::vector<ExprRef> Constraints;
+  for (std::size_t I = 0; I < Premise.size(); ++I) {
+    ExprRef L = Ctx.freshVar(MultPrefix + ".l" + std::to_string(I));
+    Lambdas.push_back(L);
+    Constraints.push_back(Ctx.mkGe(L, Ctx.mkInt(0)));
+  }
+
+  // Per-variable coefficient matching: sum_i lambda_i a_iv + c_v == 0,
+  // or for contradiction derivation: sum_i lambda_i a_iv == 0.
+  for (ExprRef V : AllVars) {
+    std::vector<ExprRef> Sum;
+    for (std::size_t I = 0; I < Premise.size(); ++I) {
+      std::int64_t A = Premise[I].Term.coeff(V);
+      if (A != 0)
+        Sum.push_back(Ctx.mkMul(A, Lambdas[I]));
+    }
+    if (!DeriveContradiction) {
+      auto It = CoeffOf.find(V);
+      if (It != CoeffOf.end())
+        Sum.push_back(It->second);
+    }
+    Constraints.push_back(Ctx.mkEq(Ctx.mkAdd(std::move(Sum)),
+                                   Ctx.mkInt(0)));
+  }
+
+  // Constant matching: sum_i lambda_i b_i + c_0 >= 0, or for a
+  // contradiction: sum_i lambda_i b_i >= 1.
+  std::vector<ExprRef> ConstSum;
+  for (std::size_t I = 0; I < Premise.size(); ++I) {
+    std::int64_t B = Premise[I].Term.constant();
+    if (B != 0)
+      ConstSum.push_back(Ctx.mkMul(B, Lambdas[I]));
+  }
+  if (DeriveContradiction) {
+    Constraints.push_back(
+        Ctx.mkGe(Ctx.mkAdd(std::move(ConstSum)), Ctx.mkInt(1)));
+  } else {
+    ConstSum.push_back(ConstOf);
+    Constraints.push_back(
+        Ctx.mkGe(Ctx.mkAdd(std::move(ConstSum)), Ctx.mkInt(0)));
+  }
+  return Ctx.mkAnd(std::move(Constraints));
+}
+
+} // namespace
+
+std::optional<ExprRef>
+chute::farkasImplication(ExprContext &Ctx,
+                         const std::vector<LinearAtom> &PremiseIn,
+                         const TemplateSum &Sum,
+                         const std::string &MultPrefix) {
+  std::vector<LinearAtom> Premise;
+  if (!normalisePremise(PremiseIn, Premise))
+    return std::nullopt;
+
+  // Collect coefficient expressions per program variable.
+  std::unordered_map<ExprRef, ExprRef> CoeffOf;
+  std::vector<ExprRef> AllVars;
+  auto noteVar = [&](ExprRef V) {
+    if (CoeffOf.count(V) == 0) {
+      CoeffOf[V] = nullptr;
+      AllVars.push_back(V);
+    }
+  };
+  for (const LinearAtom &A : Premise)
+    for (const auto &[V, C] : A.Term.terms()) {
+      (void)C;
+      noteVar(V);
+    }
+  for (const TemplateSum::Term &T : Sum.Terms)
+    noteVar(T.ProgVar);
+
+  for (ExprRef V : AllVars) {
+    std::vector<ExprRef> Parts;
+    for (const TemplateSum::Term &T : Sum.Terms) {
+      if (T.ProgVar != V)
+        continue;
+      if (T.CoeffVar != nullptr)
+        Parts.push_back(Ctx.mkMul(T.Scale, T.CoeffVar));
+      else
+        Parts.push_back(Ctx.mkInt(T.Scale));
+    }
+    CoeffOf[V] = Parts.empty() ? Ctx.mkInt(0) : Ctx.mkAdd(Parts);
+  }
+
+  std::vector<ExprRef> ConstParts;
+  for (const auto &[U, S] : Sum.ConstParts)
+    ConstParts.push_back(Ctx.mkMul(S, U));
+  if (Sum.ConstLiteral != 0 || ConstParts.empty())
+    ConstParts.push_back(Ctx.mkInt(Sum.ConstLiteral));
+  ExprRef ConstOf = Ctx.mkAdd(std::move(ConstParts));
+
+  ExprRef Derive = emitMatching(Ctx, Premise, AllVars, CoeffOf, ConstOf,
+                                MultPrefix + ".d",
+                                /*DeriveContradiction=*/false);
+  ExprRef Contra = emitMatching(Ctx, Premise, AllVars, CoeffOf, ConstOf,
+                                MultPrefix + ".c",
+                                /*DeriveContradiction=*/true);
+  return Ctx.mkOr(Derive, Contra);
+}
+
+std::optional<ExprRef>
+chute::farkasImplication(ExprContext &Ctx,
+                         const std::vector<LinearAtom> &Premise,
+                         const LinearTemplate &Template,
+                         std::int64_t Offset,
+                         const std::string &MultPrefix) {
+  TemplateSum Sum;
+  for (const auto &[V, C] : Template.Coeffs)
+    Sum.Terms.push_back({C, +1, V});
+  Sum.ConstParts.push_back({Template.ConstVar, +1});
+  Sum.ConstLiteral = Offset;
+  return farkasImplication(Ctx, Premise, Sum, MultPrefix);
+}

@@ -1,0 +1,92 @@
+//===- analysis/Farkas.h - Farkas-lemma constraint generation -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Farkas' lemma turns "for all x: premises(x) imply target(x)" into
+/// an existential constraint over nonnegative multipliers, which is
+/// how we synthesise linear ranking functions with unknown
+/// coefficients: the unknowns appear linearly, so the whole synthesis
+/// query stays in linear arithmetic and Z3 discharges it directly.
+///
+/// Premises are conjunctions of linear atoms `t <= 0` / `t == 0`; the
+/// target is `sum(C_v * v) + C_0 >= 0` where each C_v is an unknown
+/// represented as an Expr variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_FARKAS_H
+#define CHUTE_ANALYSIS_FARKAS_H
+
+#include "expr/LinearForm.h"
+#include "smt/SmtQueries.h"
+
+namespace chute {
+
+/// A linear template: unknown coefficient variables per program
+/// variable plus an unknown constant.
+struct LinearTemplate {
+  /// (program variable, coefficient unknown) pairs.
+  std::vector<std::pair<ExprRef, ExprRef>> Coeffs;
+  ExprRef ConstVar = nullptr;
+
+  /// Creates a template over \p Vars with fresh unknowns named from
+  /// \p Prefix.
+  static LinearTemplate create(ExprContext &Ctx,
+                               const std::vector<ExprRef> &Vars,
+                               const std::string &Prefix);
+
+  /// The template as an expression: sum(C_v * v) + C_0.
+  ExprRef toExpr(ExprContext &Ctx) const;
+
+  /// Instantiates to a concrete LinearTerm using \p M's values for
+  /// the unknowns.
+  LinearTerm instantiate(const Model &M) const;
+};
+
+/// Builds the Farkas constraint (over the template unknowns and fresh
+/// multiplier variables) that is satisfiable exactly when
+///   for all x: /\ Premise  implies  Template(x) + Offset >= 0
+/// holds for some coefficient choice (completeness over the
+/// rationals). Equality premises get sign-free multipliers.
+///
+/// \p Premise atoms must use Rel in {Le, Eq}; Ne atoms are rejected
+/// with nullopt. The returned constraint should be conjoined with the
+/// caller's other requirements and handed to one solver query.
+std::optional<ExprRef> farkasImplication(ExprContext &Ctx,
+                                         const std::vector<LinearAtom> &Premise,
+                                         const LinearTemplate &Template,
+                                         std::int64_t Offset,
+                                         const std::string &MultPrefix);
+
+/// Variant where the implication target is an arbitrary linear
+/// expression in template unknowns: `TargetExpr >= 0`, with
+/// TargetExpr = sum over (unknown coefficient, program variable)
+/// pairs plus a constant part in unknowns. Used for the decrease
+/// condition f(x) - f(x') - delta >= 0 combining two templates.
+struct TemplateSum {
+  /// (coefficient unknown or nullptr for literal, scale, variable)
+  /// triples: each contributes scale * unknown * var (or scale * var
+  /// when unknown is null).
+  struct Term {
+    ExprRef CoeffVar;  ///< unknown (nullptr = literal coefficient 1)
+    std::int64_t Scale; ///< +1 / -1 multiplier
+    ExprRef ProgVar;   ///< program variable
+  };
+  std::vector<Term> Terms;
+  /// Constant contribution: sum of scale * unknown.
+  std::vector<std::pair<ExprRef, std::int64_t>> ConstParts;
+  std::int64_t ConstLiteral = 0;
+};
+
+/// Farkas constraint for: for all x: /\ Premise implies Sum(x) >= 0.
+std::optional<ExprRef> farkasImplication(ExprContext &Ctx,
+                                         const std::vector<LinearAtom> &Premise,
+                                         const TemplateSum &Sum,
+                                         const std::string &MultPrefix);
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_FARKAS_H

@@ -1,0 +1,463 @@
+//===- analysis/Intervals.cpp - Interval abstract domain --------------------===//
+
+#include "analysis/Intervals.h"
+
+#include "expr/LinearForm.h"
+#include "support/StringExtras.h"
+
+#include <deque>
+#include <limits>
+
+using namespace chute;
+
+//===-- Interval -------------------------------------------------------===//
+
+Interval Interval::join(const Interval &O) const {
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  Interval R;
+  if (Lo && O.Lo)
+    R.Lo = std::min(*Lo, *O.Lo);
+  if (Hi && O.Hi)
+    R.Hi = std::max(*Hi, *O.Hi);
+  return R;
+}
+
+Interval Interval::meet(const Interval &O) const {
+  Interval R;
+  if (Lo && O.Lo)
+    R.Lo = std::max(*Lo, *O.Lo);
+  else
+    R.Lo = Lo ? Lo : O.Lo;
+  if (Hi && O.Hi)
+    R.Hi = std::min(*Hi, *O.Hi);
+  else
+    R.Hi = Hi ? Hi : O.Hi;
+  return R;
+}
+
+Interval Interval::widen(const Interval &O) const {
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  Interval R;
+  if (Lo && O.Lo && *O.Lo >= *Lo)
+    R.Lo = Lo; // Stable lower bound.
+  if (Hi && O.Hi && *O.Hi <= *Hi)
+    R.Hi = Hi; // Stable upper bound.
+  return R;
+}
+
+namespace {
+
+/// Saturating addition on int64 (overflow clamps; bounds that large
+/// behave like infinity anyway in our programs).
+std::int64_t satAdd(std::int64_t A, std::int64_t B) {
+  if (A > 0 && B > std::numeric_limits<std::int64_t>::max() - A)
+    return std::numeric_limits<std::int64_t>::max();
+  if (A < 0 && B < std::numeric_limits<std::int64_t>::min() - A)
+    return std::numeric_limits<std::int64_t>::min();
+  return A + B;
+}
+
+std::int64_t satMul(std::int64_t A, std::int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  // Cheap overflow guard via long double magnitude estimate.
+  long double Est = static_cast<long double>(A) * B;
+  if (Est > static_cast<long double>(
+                std::numeric_limits<std::int64_t>::max()))
+    return std::numeric_limits<std::int64_t>::max();
+  if (Est < static_cast<long double>(
+                std::numeric_limits<std::int64_t>::min()))
+    return std::numeric_limits<std::int64_t>::min();
+  return A * B;
+}
+
+} // namespace
+
+Interval Interval::add(const Interval &O) const {
+  Interval R;
+  if (Lo && O.Lo)
+    R.Lo = satAdd(*Lo, *O.Lo);
+  if (Hi && O.Hi)
+    R.Hi = satAdd(*Hi, *O.Hi);
+  return R;
+}
+
+Interval Interval::scale(std::int64_t K) const {
+  Interval R;
+  if (K == 0)
+    return constant(0);
+  if (K > 0) {
+    if (Lo)
+      R.Lo = satMul(*Lo, K);
+    if (Hi)
+      R.Hi = satMul(*Hi, K);
+  } else {
+    if (Hi)
+      R.Lo = satMul(*Hi, K);
+    if (Lo)
+      R.Hi = satMul(*Lo, K);
+  }
+  return R;
+}
+
+std::string Interval::toString() const {
+  std::string L = Lo ? std::to_string(*Lo) : "-oo";
+  std::string H = Hi ? std::to_string(*Hi) : "+oo";
+  return "[" + L + ", " + H + "]";
+}
+
+//===-- IntervalState ----------------------------------------------------===//
+
+Interval IntervalState::get(const std::string &Var) const {
+  auto It = Vars.find(Var);
+  return It == Vars.end() ? Interval::top() : It->second;
+}
+
+void IntervalState::set(const std::string &Var, Interval I) {
+  if (I.isTop())
+    Vars.erase(Var);
+  else
+    Vars[Var] = I;
+}
+
+IntervalState IntervalState::join(const IntervalState &O) const {
+  if (Bottom)
+    return O;
+  if (O.Bottom)
+    return *this;
+  IntervalState R;
+  // Only variables bounded on both sides survive a join.
+  for (const auto &[Name, I] : Vars) {
+    auto It = O.Vars.find(Name);
+    if (It != O.Vars.end())
+      R.set(Name, I.join(It->second));
+  }
+  return R;
+}
+
+IntervalState IntervalState::widen(const IntervalState &O) const {
+  if (Bottom)
+    return O;
+  if (O.Bottom)
+    return *this;
+  IntervalState R;
+  for (const auto &[Name, I] : Vars) {
+    auto It = O.Vars.find(Name);
+    if (It != O.Vars.end())
+      R.set(Name, I.widen(It->second));
+  }
+  return R;
+}
+
+bool IntervalState::leq(const IntervalState &O) const {
+  if (Bottom)
+    return true;
+  if (O.Bottom)
+    return false;
+  for (const auto &[Name, OI] : O.Vars) {
+    Interval I = get(Name);
+    if (OI.Lo && (!I.Lo || *I.Lo < *OI.Lo))
+      return false;
+    if (OI.Hi && (!I.Hi || *I.Hi > *OI.Hi))
+      return false;
+  }
+  return true;
+}
+
+Interval IntervalState::eval(ExprRef Term) const {
+  auto Lin = extractLinearTerm(Term);
+  if (!Lin)
+    return Interval::top();
+  Interval Acc = Interval::constant(Lin->constant());
+  for (const auto &[Var, C] : Lin->terms())
+    Acc = Acc.add(get(Var->varName()).scale(C));
+  return Acc;
+}
+
+IntervalState IntervalState::refine(ExprRef Cond) const {
+  // Iterate to a local fixpoint: atoms like y == rho1 only become
+  // informative once rho1's own bounds (possibly from a later atom)
+  // are known.
+  IntervalState Cur = *this;
+  for (unsigned Pass = 0; Pass < 4; ++Pass) {
+    IntervalState Next = Cur.refineOnce(Cond);
+    if (Next.isBottom())
+      return Next;
+    bool Changed = !Cur.leq(Next) || !Next.leq(Cur);
+    Cur = std::move(Next);
+    if (!Changed)
+      break;
+  }
+  return Cur;
+}
+
+IntervalState IntervalState::refineOnce(ExprRef Cond) const {
+  if (Bottom)
+    return *this;
+  if (Cond->isFalse())
+    return bottom();
+  IntervalState R = *this;
+  for (ExprRef C : conjuncts(Cond)) {
+    auto Atom = extractLinearAtom(C);
+    if (!Atom)
+      continue; // Conservatively ignore (disjunctions etc).
+    // Atom: sum(c_i x_i) + k REL 0 with REL in {Le, Eq, Ne}.
+    if (Atom->Rel == ExprKind::Ne)
+      continue;
+    // For each variable, solve for it against the interval bounds of
+    // the remaining term: c*x <= -(rest)  etc.
+    for (const auto &[Var, C2] : Atom->Term.terms()) {
+      LinearTerm Rest = Atom->Term;
+      Rest.drop(Var);
+      Interval RestI = Interval::constant(Rest.constant());
+      for (const auto &[V2, K2] : Rest.terms())
+        RestI = RestI.add(R.get(V2->varName()).scale(K2));
+      Interval Cur = R.get(Var->varName());
+      // c*x + rest <= 0  =>  c*x <= -rest.
+      if (Atom->Rel == ExprKind::Le || Atom->Rel == ExprKind::Eq) {
+        if (C2 > 0 && RestI.Lo) {
+          // x <= floor((-restLo)/c)
+          std::int64_t B = -*RestI.Lo;
+          std::int64_t Q =
+              B >= 0 ? B / C2 : -((-B + C2 - 1) / C2);
+          Cur = Cur.meet(Interval{std::nullopt, Q});
+        } else if (C2 < 0 && RestI.Hi) {
+          // x >= ceil(restHi / -c) ... -|c|x <= -rest => x >= rest/|c|
+          std::int64_t A = -C2;
+          std::int64_t B = -*RestI.Hi; // c*x <= -rest => -A x <= B
+          // -A x <= B  =>  x >= -B/A (ceil)
+          std::int64_t Num = -B;
+          std::int64_t Q =
+              Num >= 0 ? (Num + A - 1) / A : -((-Num) / A);
+          Cur = Cur.meet(Interval{Q, std::nullopt});
+        }
+      }
+      if (Atom->Rel == ExprKind::Eq) {
+        // Also the reverse inequality: c*x + rest >= 0.
+        if (C2 > 0 && RestI.Hi) {
+          std::int64_t B = -*RestI.Hi; // c*x >= -rest
+          std::int64_t Q = B >= 0 ? (B + C2 - 1) / C2 : -((-B) / C2);
+          Cur = Cur.meet(Interval{Q, std::nullopt});
+        } else if (C2 < 0 && RestI.Lo) {
+          std::int64_t A = -C2; // -A*x >= -rest => x <= rest/A
+          std::int64_t B = *RestI.Lo;
+          std::int64_t Q = B >= 0 ? B / A : -((-B + A - 1) / A);
+          Cur = Cur.meet(Interval{std::nullopt, Q});
+        }
+      }
+      if (Cur.isEmpty())
+        return bottom();
+      R.set(Var->varName(), Cur);
+    }
+  }
+  return R;
+}
+
+IntervalState IntervalState::apply(const Command &Cmd) const {
+  if (Bottom)
+    return *this;
+  switch (Cmd.kind()) {
+  case Command::Kind::Assume:
+    return refine(Cmd.cond());
+  case Command::Kind::Assign: {
+    IntervalState R = *this;
+    R.set(Cmd.var()->varName(), eval(Cmd.rhs()));
+    return R;
+  }
+  case Command::Kind::Havoc: {
+    IntervalState R = *this;
+    R.set(Cmd.var()->varName(), Interval::top());
+    return R;
+  }
+  }
+  return *this;
+}
+
+ExprRef IntervalState::toExpr(ExprContext &Ctx) const {
+  if (Bottom)
+    return Ctx.mkFalse();
+  std::vector<ExprRef> Parts;
+  for (const auto &[Name, I] : Vars) {
+    ExprRef V = Ctx.mkVar(Name);
+    if (I.Lo && I.Hi && *I.Lo == *I.Hi) {
+      Parts.push_back(Ctx.mkEq(V, Ctx.mkInt(*I.Lo)));
+      continue;
+    }
+    if (I.Lo)
+      Parts.push_back(Ctx.mkGe(V, Ctx.mkInt(*I.Lo)));
+    if (I.Hi)
+      Parts.push_back(Ctx.mkLe(V, Ctx.mkInt(*I.Hi)));
+  }
+  return Ctx.mkAnd(std::move(Parts));
+}
+
+std::string IntervalState::toString() const {
+  if (Bottom)
+    return "_|_";
+  std::vector<std::string> Parts;
+  for (const auto &[Name, I] : Vars)
+    Parts.push_back(Name + ":" + I.toString());
+  return Parts.empty() ? "T" : chute::join(Parts, " ");
+}
+
+//===-- Whole-program analysis ------------------------------------------===//
+
+namespace {
+
+/// Seeds a location's abstract state from its start formula:
+/// refine(top, formula) per disjunct, joined.
+IntervalState seedFromFormula(ExprRef F) {
+  if (F->isFalse())
+    return IntervalState::bottom();
+  IntervalState Acc = IntervalState::bottom();
+  for (ExprRef D : disjuncts(F))
+    Acc = Acc.join(IntervalState::top().refine(D));
+  return Acc;
+}
+
+} // namespace
+
+ExprRef chute::intervalHull(ExprContext &Ctx, ExprRef F) {
+  if (F->isFalse())
+    return F;
+  IntervalState Acc = IntervalState::bottom();
+  for (ExprRef D : disjuncts(F))
+    Acc = Acc.join(IntervalState::top().refine(D));
+  return Acc.toExpr(Ctx);
+}
+
+Region chute::intervalInvariants(const Program &P, const Region &Start,
+                                 const Region *Chute,
+                                 const Region *StopAt, Smt *Solver) {
+  ExprContext &Ctx = P.exprContext();
+  std::vector<IntervalState> State(P.numLocations(),
+                                   IntervalState::bottom());
+  std::vector<unsigned> VisitCount(P.numLocations(), 0);
+  constexpr unsigned WidenThreshold = 3;
+
+  std::deque<Loc> Worklist;
+  for (Loc L = 0; L < P.numLocations(); ++L) {
+    // Seeds are not refined by the chute: start states are exempt
+    // (the chute constrains transition targets only).
+    IntervalState S = seedFromFormula(Start.at(L));
+    if (!S.isBottom()) {
+      State[L] = S;
+      Worklist.push_back(L);
+    }
+  }
+
+  while (!Worklist.empty()) {
+    Loc L = Worklist.front();
+    Worklist.pop_front();
+    // Frontier semantics: a location fully inside StopAt is final.
+    if (StopAt != nullptr && Solver != nullptr &&
+        !StopAt->at(L)->isFalse() &&
+        Solver->implies(State[L].toExpr(Ctx), StopAt->at(L)))
+      continue;
+    for (unsigned Id : P.outgoing(L)) {
+      const Edge &E = P.edge(Id);
+      IntervalState Next = State[L].apply(E.Cmd);
+      if (Chute != nullptr)
+        Next = Next.refine(Chute->at(E.Dst));
+      if (Next.isBottom() || Next.leq(State[E.Dst]))
+        continue;
+      ++VisitCount[E.Dst];
+      if (VisitCount[E.Dst] > WidenThreshold)
+        State[E.Dst] = State[E.Dst].widen(Next);
+      else
+        State[E.Dst] = State[E.Dst].join(Next);
+      Worklist.push_back(E.Dst);
+    }
+  }
+
+  // Narrowing: a couple of descending passes recover bounds the
+  // widening overshot (e.g. the stable n >= 0 of a guarded
+  // decrement). Each location is recomputed from its seed and the
+  // incoming posts; taking the recomputed state is sound because it
+  // is derived from over-approximate predecessor states.
+  auto seedOf = [&](Loc L) {
+    return seedFromFormula(Start.at(L));
+  };
+  for (unsigned Pass = 0; Pass < 2; ++Pass) {
+    for (Loc L = 0; L < P.numLocations(); ++L) {
+      if (State[L].isBottom())
+        continue;
+      // Recompute from non-self contributions first; self-loops would
+      // otherwise feed stale over-approximation straight back.
+      IntervalState New = seedOf(L);
+      for (unsigned Id : P.incoming(L)) {
+        const Edge &E = P.edge(Id);
+        if (E.Src == L || State[E.Src].isBottom())
+          continue;
+        // Respect the frontier: states fully inside StopAt were not
+        // expanded in the ascending phase either.
+        if (StopAt != nullptr && Solver != nullptr &&
+            !StopAt->at(E.Src)->isFalse() &&
+            Solver->implies(State[E.Src].toExpr(Ctx),
+                            StopAt->at(E.Src)))
+          continue;
+        IntervalState In = State[E.Src].apply(E.Cmd);
+        if (Chute != nullptr)
+          In = In.refine(Chute->at(L));
+        New = New.join(In);
+      }
+      // Close under the self-edges; dropping them is only sound when
+      // the recomputed state absorbs their contribution.
+      bool SelfClosed = true;
+      for (unsigned Id : P.incoming(L)) {
+        const Edge &E = P.edge(Id);
+        if (E.Src != L)
+          continue;
+        IntervalState In = New.apply(E.Cmd);
+        if (Chute != nullptr)
+          In = In.refine(Chute->at(L));
+        if (!In.leq(New))
+          SelfClosed = false;
+      }
+      if (SelfClosed && New.leq(State[L]))
+        State[L] = New;
+    }
+  }
+
+  // Narrowing may leave a non-post-fixpoint (a later location's
+  // shrink can invalidate an earlier recomputation). Re-run the
+  // ascending loop from the narrowed point: it re-stabilises quickly
+  // and restores inductiveness while staying an over-approximation
+  // of the reachable states.
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    if (!State[L].isBottom())
+      Worklist.push_back(L);
+  while (!Worklist.empty()) {
+    Loc L = Worklist.front();
+    Worklist.pop_front();
+    if (StopAt != nullptr && Solver != nullptr &&
+        !StopAt->at(L)->isFalse() &&
+        Solver->implies(State[L].toExpr(Ctx), StopAt->at(L)))
+      continue;
+    for (unsigned Id : P.outgoing(L)) {
+      const Edge &E = P.edge(Id);
+      IntervalState Next = State[L].apply(E.Cmd);
+      if (Chute != nullptr)
+        Next = Next.refine(Chute->at(E.Dst));
+      if (Next.isBottom() || Next.leq(State[E.Dst]))
+        continue;
+      ++VisitCount[E.Dst];
+      if (VisitCount[E.Dst] > WidenThreshold)
+        State[E.Dst] = State[E.Dst].widen(Next);
+      else
+        State[E.Dst] = State[E.Dst].join(Next);
+      Worklist.push_back(E.Dst);
+    }
+  }
+
+  Region Out = Region::bottom(P);
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    Out.set(L, State[L].toExpr(Ctx));
+  return Out;
+}

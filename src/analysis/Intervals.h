@@ -1,0 +1,118 @@
+//===- analysis/Intervals.h - Interval abstract domain --------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic interval abstract domain with widening, used as the
+/// guaranteed-terminating fallback of the invariant generator when
+/// exact symbolic iteration does not converge (the role predicate
+/// abstraction plays in the paper's underlying safety machinery).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_INTERVALS_H
+#define CHUTE_ANALYSIS_INTERVALS_H
+
+#include "program/Cfg.h"
+#include "ts/Region.h"
+
+#include <map>
+#include <optional>
+
+namespace chute {
+
+/// An integer interval with optional (absent = infinite) bounds.
+struct Interval {
+  std::optional<std::int64_t> Lo; ///< nullopt = -infinity
+  std::optional<std::int64_t> Hi; ///< nullopt = +infinity
+
+  static Interval top() { return {}; }
+  static Interval constant(std::int64_t V) { return {V, V}; }
+
+  bool isTop() const { return !Lo && !Hi; }
+  /// Empty when Lo > Hi.
+  bool isEmpty() const { return Lo && Hi && *Lo > *Hi; }
+  static Interval empty() { return {1, 0}; }
+
+  Interval join(const Interval &O) const;
+  Interval meet(const Interval &O) const;
+  /// Standard widening: unstable bounds jump to infinity.
+  Interval widen(const Interval &O) const;
+  Interval add(const Interval &O) const;
+  Interval scale(std::int64_t K) const;
+
+  bool operator==(const Interval &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+
+  std::string toString() const;
+};
+
+/// One abstract state: an interval per variable name (missing = top),
+/// or bottom (unreachable).
+class IntervalState {
+public:
+  static IntervalState bottom() {
+    IntervalState S;
+    S.Bottom = true;
+    return S;
+  }
+  static IntervalState top() { return IntervalState(); }
+
+  bool isBottom() const { return Bottom; }
+
+  Interval get(const std::string &Var) const;
+  void set(const std::string &Var, Interval I);
+
+  IntervalState join(const IntervalState &O) const;
+  IntervalState widen(const IntervalState &O) const;
+  bool leq(const IntervalState &O) const;
+
+  /// Abstract evaluation of a linear term.
+  Interval eval(ExprRef Term) const;
+
+  /// Refines by an assumed condition (conjunctions of linear atoms;
+  /// other formulas are ignored conservatively). Returns bottom when
+  /// the condition is detectably unsatisfiable. Iterates the atom
+  /// pass to a local fixpoint so ordering does not matter.
+  IntervalState refine(ExprRef Cond) const;
+
+  /// One refinement pass over the condition's atoms.
+  IntervalState refineOnce(ExprRef Cond) const;
+
+  /// Applies a command's abstract transformer.
+  IntervalState apply(const Command &Cmd) const;
+
+  /// Concretisation: the conjunction of variable bounds.
+  ExprRef toExpr(ExprContext &Ctx) const;
+
+  std::string toString() const;
+
+private:
+  bool Bottom = false;
+  std::map<std::string, Interval> Vars; ///< sorted: deterministic
+};
+
+/// Interval hull of a quantifier-free formula: the conjunction of
+/// per-variable bounds implied by each disjunct (joined). A sound
+/// over-approximation used to keep ranking premises small when exact
+/// disjunct products explode.
+ExprRef intervalHull(ExprContext &Ctx, ExprRef F);
+
+/// Runs the interval analysis from \p Start (a region seeding each
+/// location) and returns a per-location invariant region. When
+/// \p Chute is non-null each location's state is additionally refined
+/// by the chute formula. When \p StopAt and \p Solver are given, a
+/// location whose abstract state is entirely inside StopAt is not
+/// expanded (the frontier semantics of InvariantGen::reach); partial
+/// overlaps are still expanded, which only over-approximates.
+Region intervalInvariants(const Program &P, const Region &Start,
+                          const Region *Chute = nullptr,
+                          const Region *StopAt = nullptr,
+                          Smt *Solver = nullptr);
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_INTERVALS_H

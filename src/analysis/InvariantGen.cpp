@@ -1,0 +1,89 @@
+//===- analysis/InvariantGen.cpp - Reachability invariants ------------------===//
+
+#include "analysis/InvariantGen.h"
+
+#include "analysis/Intervals.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+Region InvariantGen::reach(const Region &X, const Region *Chute,
+                           const Region *StopAt, unsigned MaxExact) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  LastStats = Stats();
+
+  // The chute restricts transition *targets*; start states are
+  // exempt (they may carry a stale choice made before the operator's
+  // obligation began and step into the chute on their first move).
+  Region Acc = X.simplified(Ctx);
+
+  // Maintain each location's set as a list of disjuncts; new post
+  // images are added only when not subsumed, so the formulas stay
+  // small and convergence is detected as "no disjunct was new".
+  std::vector<std::vector<ExprRef>> Disjuncts(P.numLocations());
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    for (ExprRef D : disjuncts(Acc.at(L)))
+      if (!D->isFalse())
+        Disjuncts[L].push_back(D);
+
+  auto currentRegion = [&]() {
+    Region R = Region::bottom(P);
+    for (Loc L = 0; L < P.numLocations(); ++L) {
+      std::vector<ExprRef> Copy = Disjuncts[L];
+      R.set(L, Ctx.mkOr(std::move(Copy)));
+    }
+    return R;
+  };
+
+  // Worklist variant: only newly discovered disjuncts are expanded.
+  Region Frontier = currentRegion();
+  for (unsigned Iter = 0; Iter < MaxExact; ++Iter) {
+    Region Expand =
+        StopAt != nullptr ? Frontier.minusPruned(S, *StopAt) : Frontier;
+    Region Next = Ts.post(Expand, Chute);
+    Region Cur = currentRegion();
+
+    Region NewFrontier = Region::bottom(P);
+    bool New = false;
+    for (Loc L = 0; L < P.numLocations(); ++L) {
+      std::vector<ExprRef> Fresh;
+      for (ExprRef D : disjuncts(simplify(Ctx, Next.at(L)))) {
+        if (D->isFalse())
+          continue;
+        if (S.implies(D, Cur.at(L)))
+          continue;
+        // Drop existing disjuncts the new one subsumes.
+        auto &List = Disjuncts[L];
+        List.erase(std::remove_if(List.begin(), List.end(),
+                                  [&](ExprRef Old) {
+                                    return S.implies(Old, D);
+                                  }),
+                   List.end());
+        List.push_back(D);
+        Fresh.push_back(D);
+        New = true;
+      }
+      NewFrontier.set(L, Ctx.mkOr(std::move(Fresh)));
+    }
+    LastStats.ExactIterations = Iter + 1;
+    if (!New) {
+      LastStats.ExactConverged = true;
+      CHUTE_DEBUG(debugLine("reach: exact convergence after " +
+                            std::to_string(Iter + 1) + " iterations"));
+      return currentRegion().simplified(Ctx);
+    }
+    Frontier = NewFrontier;
+  }
+
+  // Fallback: interval widening (always terminates). Locations fully
+  // inside StopAt are treated as final; partial overlaps still expand
+  // (a sound over-approximation).
+  CHUTE_DEBUG(debugLine("reach: falling back to interval widening"));
+  Region Intervals = intervalInvariants(P, X, Chute, StopAt, &S);
+  if (Chute != nullptr)
+    Intervals = Intervals.intersect(Ctx, *Chute);
+  return Intervals.simplified(Ctx);
+}

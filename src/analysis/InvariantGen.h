@@ -1,0 +1,54 @@
+//===- analysis/InvariantGen.h - Reachability invariants ------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes per-location overapproximations of the states reachable
+/// from a start region, optionally inside a chute and stopping at a
+/// frontier. Strategy: exact symbolic post iteration with solver-
+/// checked convergence (precise for programs whose reachable regions
+/// stabilise), falling back to interval widening when it does not
+/// converge, with the exact prefix retained as a disjunct where it is
+/// already stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_INVARIANTGEN_H
+#define CHUTE_ANALYSIS_INVARIANTGEN_H
+
+#include "ts/TransitionSystem.h"
+
+namespace chute {
+
+/// Invariant generator over a transition system.
+class InvariantGen {
+public:
+  InvariantGen(TransitionSystem &Ts, Smt &S) : Ts(Ts), S(S) {}
+
+  /// Overapproximates the states reachable from \p X along
+  /// transitions that stay inside \p Chute (when non-null); states in
+  /// \p StopAt (when non-null) are included but not expanded — they
+  /// act as the frontier beyond which execution is not followed.
+  ///
+  /// \p MaxExact bounds the precise iteration before widening.
+  Region reach(const Region &X, const Region *Chute = nullptr,
+               const Region *StopAt = nullptr, unsigned MaxExact = 24);
+
+  /// Statistics of the last reach() call.
+  struct Stats {
+    bool ExactConverged = false;
+    unsigned ExactIterations = 0;
+  };
+  const Stats &stats() const { return LastStats; }
+
+private:
+  TransitionSystem &Ts;
+  Smt &S;
+  Stats LastStats;
+};
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_INVARIANTGEN_H

@@ -1,0 +1,220 @@
+//===- analysis/PathSearch.cpp - Bounded path and lasso search --------------===//
+
+#include "analysis/PathSearch.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+#include <deque>
+
+using namespace chute;
+
+bool PathSearch::feasible(const std::vector<unsigned> &Path,
+                          const Region &From, const Region *Within,
+                          const Region *Target) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  assert(!Path.empty() && "use direct region checks for empty paths");
+
+  PathFormula F = encodePath(Ctx, P, Path);
+  Loc Start = P.edge(Path.front()).Src;
+  std::vector<ExprRef> Parts = {F.Formula,
+                                F.stateAt(Ctx, From.at(Start), 0)};
+  if (Within != nullptr) {
+    // The start position is exempt: From constrains it, and start
+    // states may legitimately sit outside chute-derived regions
+    // (they enter on their first step).
+    for (std::size_t I = 1; I < Path.size(); ++I)
+      Parts.push_back(
+          F.stateAt(Ctx, Within->at(P.edge(Path[I]).Src), I));
+    Parts.push_back(F.stateAt(Ctx, Within->at(P.edge(Path.back()).Dst),
+                              Path.size()));
+  }
+  if (Target != nullptr)
+    Parts.push_back(F.stateAt(Ctx, Target->at(P.edge(Path.back()).Dst),
+                              Path.size()));
+  return S.isSat(Ctx.mkAnd(std::move(Parts)));
+}
+
+std::optional<std::vector<unsigned>>
+PathSearch::findPath(const Region &From, const Region &Target,
+                     const Region *Within, unsigned MaxLen) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+
+  // Zero-length solution? (The start position is exempt from
+  // Within, consistently with feasible().)
+  for (Loc L = 0; L < P.numLocations(); ++L) {
+    ExprRef Here = Ctx.mkAnd(From.at(L), Target.at(L));
+    if (Here->isFalse())
+      continue;
+    if (S.isSat(Here))
+      return std::vector<unsigned>{};
+  }
+
+  // Backward CFG distance to any location where Target can hold, for
+  // goal direction (large CFGs make blind BFS explode).
+  constexpr unsigned Inf = ~0u;
+  std::vector<unsigned> Dist(P.numLocations(), Inf);
+  {
+    std::deque<Loc> Queue;
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (!Target.at(L)->isFalse()) {
+        Dist[L] = 0;
+        Queue.push_back(L);
+      }
+    while (!Queue.empty()) {
+      Loc L = Queue.front();
+      Queue.pop_front();
+      for (unsigned Id : P.incoming(L)) {
+        Loc Src = P.edge(Id).Src;
+        if (Dist[Src] == Inf) {
+          Dist[Src] = Dist[L] + 1;
+          Queue.push_back(Src);
+        }
+      }
+    }
+  }
+
+  // Adaptive bound: deep programs need long paths.
+  unsigned Bound = std::max<unsigned>(
+      MaxLen, 2 * static_cast<unsigned>(P.numLocations()) + 8);
+
+  // Iterative deepening-free directed DFS: explore goal-closer edges
+  // first, prune infeasible prefixes, cap total SMT work.
+  struct Frame {
+    std::vector<unsigned> Order; ///< outgoing edges, best first
+    std::size_t Next = 0;
+  };
+
+  auto orderedOut = [&](Loc L) {
+    std::vector<unsigned> Order = P.outgoing(L);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](unsigned A, unsigned B) {
+                       return Dist[P.edge(A).Dst] < Dist[P.edge(B).Dst];
+                     });
+    return Order;
+  };
+
+  std::size_t Budget = 4000; // Feasibility checks allowed.
+  for (Loc Start = 0; Start < P.numLocations(); ++Start) {
+    if (Dist[Start] == Inf)
+      continue;
+    ExprRef Here = From.at(Start);
+    if (Here->isFalse() || !S.isSat(Here))
+      continue;
+
+    std::vector<unsigned> Path;
+    std::vector<Frame> Stack;
+    Stack.push_back({orderedOut(Start), 0});
+    while (!Stack.empty() && Budget > 0) {
+      Frame &Top = Stack.back();
+      if (Top.Next >= Top.Order.size()) {
+        Stack.pop_back();
+        if (!Path.empty())
+          Path.pop_back();
+        continue;
+      }
+      unsigned Id = Top.Order[Top.Next++];
+      Loc Dst = P.edge(Id).Dst;
+      if (Dist[Dst] == Inf || Path.size() + 1 > Bound)
+        continue;
+      Path.push_back(Id);
+      --Budget;
+      if (!feasible(Path, From, Within, /*Target=*/nullptr)) {
+        Path.pop_back();
+        continue;
+      }
+      if (!Target.at(Dst)->isFalse() && Budget > 0) {
+        --Budget;
+        if (feasible(Path, From, Within, &Target))
+          return Path;
+      }
+      Stack.push_back({orderedOut(Dst), 0});
+    }
+  }
+  return std::nullopt;
+}
+
+void PathSearch::cyclesFrom(Loc Head, unsigned MaxCycle,
+                            std::vector<std::vector<unsigned>> &Out,
+                            std::size_t MaxCount) {
+  const Program &P = Ts.program();
+  // DFS over edges; a cycle closes when we return to Head. Locations
+  // other than Head may not repeat (simple cycles).
+  std::vector<unsigned> Path;
+  std::vector<bool> Visited(P.numLocations(), false);
+
+  struct Frame {
+    Loc L;
+    std::size_t NextOut;
+  };
+  std::vector<Frame> Stack = {{Head, 0}};
+  Visited[Head] = true;
+
+  while (!Stack.empty() && Out.size() < MaxCount) {
+    Frame &Top = Stack.back();
+    const auto &Outgoing = P.outgoing(Top.L);
+    if (Top.NextOut >= Outgoing.size()) {
+      if (Top.L != Head || Stack.size() > 1)
+        Visited[Top.L] = false;
+      Stack.pop_back();
+      if (!Path.empty())
+        Path.pop_back();
+      continue;
+    }
+    unsigned Id = Outgoing[Top.NextOut++];
+    Loc Dst = Ts.program().edge(Id).Dst;
+    if (Dst == Head) {
+      Path.push_back(Id);
+      Out.push_back(Path);
+      Path.pop_back();
+      continue;
+    }
+    if (Visited[Dst] || Path.size() + 1 >= MaxCycle)
+      continue;
+    Visited[Dst] = true;
+    Path.push_back(Id);
+    Stack.push_back({Dst, 0});
+  }
+}
+
+std::optional<PathSearch::Lasso>
+PathSearch::findLasso(const Region &From, const Region *Within,
+                      unsigned MaxStem, unsigned MaxCycle) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+
+  // Collect candidate cycles across all heads, then try shortest
+  // first: short cycles (especially self-loops at final locations)
+  // have cheap, fast-converging recurrent-set computations.
+  std::vector<std::vector<unsigned>> Cycles;
+  for (Loc Head = 0; Head < P.numLocations(); ++Head) {
+    if (Within != nullptr && Within->at(Head)->isFalse())
+      continue;
+    cyclesFrom(Head, MaxCycle, Cycles, Cycles.size() + 64);
+  }
+  std::stable_sort(Cycles.begin(), Cycles.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.size() < B.size();
+                   });
+
+  for (const auto &Cycle : Cycles) {
+    auto G = Rcr.cycleRecurrentSet(Cycle, Ctx.mkTrue(), Within);
+    if (!G)
+      continue;
+    Loc Head = P.edge(Cycle.front()).Src;
+    // Find a stem from From into the recurrent set at Head.
+    Region TargetR = Region::atLocation(P, Head, *G);
+    auto Stem = findPath(From, TargetR, Within, MaxStem);
+    if (!Stem)
+      continue;
+    Lasso Result;
+    Result.Stem = *Stem;
+    Result.Cycle = Cycle;
+    Result.RecurrentSet = *G;
+    return Result;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,72 @@
+//===- analysis/PathSearch.h - Bounded path and lasso search --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counterexample search by bounded exploration of the CFG with SMT
+/// feasibility pruning: finite paths into a target region (refuting
+/// W-obligations) and lassos — a feasible stem plus a cycle certified
+/// infinitely repeatable by a recurrent set (refuting F-obligations,
+/// exactly the stem/cycle counterexample structure of Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_PATHSEARCH_H
+#define CHUTE_ANALYSIS_PATHSEARCH_H
+
+#include "analysis/RecurrentSet.h"
+
+namespace chute {
+
+/// Bounded searcher for concrete executions.
+class PathSearch {
+public:
+  PathSearch(TransitionSystem &Ts, Smt &S, QeEngine &Qe)
+      : Ts(Ts), S(S), Qe(Qe), Rcr(Ts, S, Qe) {}
+
+  /// A feasible finite path: edge ids, starting in \p From, every
+  /// state satisfying \p Within (when non-null, including endpoints),
+  /// ending in \p Target. Returns the shortest found up to
+  /// \p MaxLen edges (an empty path means From ∩ Target ∩ Within is
+  /// non-empty).
+  std::optional<std::vector<unsigned>>
+  findPath(const Region &From, const Region &Target,
+           const Region *Within = nullptr, unsigned MaxLen = 40);
+
+  /// A lasso: stem from \p From to the cycle head, then a cycle that
+  /// can repeat forever, all states satisfying \p Within.
+  struct Lasso {
+    std::vector<unsigned> Stem;
+    std::vector<unsigned> Cycle;
+    ExprRef RecurrentSet = nullptr; ///< head states that loop forever
+  };
+
+  std::optional<Lasso> findLasso(const Region &From,
+                                 const Region *Within = nullptr,
+                                 unsigned MaxStem = 24,
+                                 unsigned MaxCycle = 12);
+
+private:
+  /// Checks feasibility of \p Path started in \p From with \p Within
+  /// constraints; when \p Target is non-null the final state must be
+  /// in it.
+  bool feasible(const std::vector<unsigned> &Path, const Region &From,
+                const Region *Within, const Region *Target);
+
+  /// Enumerates simple cycles (by edge sequence) through the CFG, up
+  /// to \p MaxCycle edges, starting/ending at \p Head.
+  void cyclesFrom(Loc Head, unsigned MaxCycle,
+                  std::vector<std::vector<unsigned>> &Out,
+                  std::size_t MaxCount);
+
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  RecurrentSetChecker Rcr;
+};
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_PATHSEARCH_H

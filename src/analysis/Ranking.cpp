@@ -1,0 +1,134 @@
+//===- analysis/Ranking.cpp - Lexicographic ranking synthesis ---------------===//
+
+#include "analysis/Ranking.h"
+
+#include "expr/ExprBuilder.h"
+#include "support/Debug.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace chute;
+
+std::string LexRanking::toString(const Program &P) const {
+  std::string S;
+  for (std::size_t I = 0; I < Components.size(); ++I) {
+    S += formatStr("  component %zu:\n", I);
+    for (const auto &[L, F] : Components[I])
+      S += formatStr("    %s: %s\n", P.locationName(L).c_str(),
+                     F.toString().c_str());
+  }
+  return S;
+}
+
+namespace {
+
+/// Drops disequality atoms (sound premise weakening) and returns
+/// false if the premise is non-linear in a way we cannot express.
+std::vector<LinearAtom> usableAtoms(const std::vector<LinearAtom> &In) {
+  std::vector<LinearAtom> Out;
+  for (const LinearAtom &A : In)
+    if (A.Rel == ExprKind::Le || A.Rel == ExprKind::Eq)
+      Out.push_back(A);
+  return Out;
+}
+
+/// One round: find per-location templates bounded and non-increasing
+/// on all of \p Rels, strictly decreasing on at least one. On success
+/// records the component and erases the decreasing relations.
+bool rankingRound(Smt &S, std::vector<RankRelation> &Rels,
+                  const std::vector<ExprRef> &Vars, LexRanking &Out) {
+  ExprContext &Ctx = S.exprContext();
+
+  // Locations involved this round.
+  std::set<Loc> Locs;
+  for (const RankRelation &R : Rels) {
+    Locs.insert(R.Src);
+    Locs.insert(R.Dst);
+  }
+
+  std::map<Loc, LinearTemplate> Templates;
+  for (Loc L : Locs)
+    Templates.emplace(
+        L, LinearTemplate::create(Ctx, Vars, "rk" + std::to_string(L)));
+
+  std::vector<ExprRef> Constraints;
+  std::vector<ExprRef> Deltas;
+  unsigned Idx = 0;
+  for (const RankRelation &R : Rels) {
+    std::vector<LinearAtom> Premise = usableAtoms(R.Atoms);
+    const LinearTemplate &FSrc = Templates.at(R.Src);
+    const LinearTemplate &FDst = Templates.at(R.Dst);
+    std::string Tag = "r" + std::to_string(Idx);
+
+    // Bounded: premise => f_src(x) >= 0.
+    auto Bounded =
+        farkasImplication(Ctx, Premise, FSrc, 0, Tag + ".b");
+    if (!Bounded)
+      return false;
+    Constraints.push_back(*Bounded);
+
+    // Decrease: premise => f_src(x) - f_dst(x') - delta >= 0.
+    ExprRef Delta = Ctx.freshVar(Tag + ".delta");
+    Deltas.push_back(Delta);
+    Constraints.push_back(Ctx.mkGe(Delta, Ctx.mkInt(0)));
+    Constraints.push_back(Ctx.mkLe(Delta, Ctx.mkInt(1)));
+
+    TemplateSum Sum;
+    for (const auto &[V, C] : FSrc.Coeffs)
+      Sum.Terms.push_back({C, +1, V});
+    for (const auto &[V, C] : FDst.Coeffs)
+      Sum.Terms.push_back({C, -1, primed(Ctx, V)});
+    Sum.ConstParts.push_back({FSrc.ConstVar, +1});
+    Sum.ConstParts.push_back({FDst.ConstVar, -1});
+    Sum.ConstParts.push_back({Delta, -1});
+    auto Step = farkasImplication(Ctx, Premise, Sum, Tag + ".s");
+    if (!Step)
+      return false;
+    Constraints.push_back(*Step);
+    ++Idx;
+  }
+
+  // At least one relation strictly decreases.
+  std::vector<ExprRef> DeltaSum(Deltas.begin(), Deltas.end());
+  Constraints.push_back(
+      Ctx.mkGe(Ctx.mkAdd(std::move(DeltaSum)), Ctx.mkInt(1)));
+
+  auto M = S.getModel(Ctx.mkAnd(std::move(Constraints)));
+  if (!M)
+    return false;
+
+  std::map<Loc, LinearTerm> Component;
+  for (const auto &[L, T] : Templates)
+    Component[L] = T.instantiate(*M);
+  Out.Components.push_back(std::move(Component));
+
+  // Peel the strictly decreasing relations.
+  std::vector<RankRelation> Remaining;
+  for (std::size_t I = 0; I < Rels.size(); ++I)
+    if (M->get(Deltas[I]->varName()) == 0)
+      Remaining.push_back(std::move(Rels[I]));
+  bool Progress = Remaining.size() < Rels.size();
+  Rels = std::move(Remaining);
+  return Progress;
+}
+
+} // namespace
+
+std::optional<LexRanking>
+chute::synthesizeLexRanking(Smt &S, std::vector<RankRelation> Relations,
+                            const std::vector<ExprRef> &Vars) {
+  LexRanking Out;
+  // Infeasible relations rank trivially; rankingRound's Farkas
+  // contradiction disjunct removes them via delta = 1.
+  while (!Relations.empty()) {
+    if (!rankingRound(S, Relations, Vars, Out)) {
+      CHUTE_DEBUG(debugLine("ranking synthesis failed with " +
+                            std::to_string(Relations.size()) +
+                            " relations left"));
+      return std::nullopt;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- analysis/Ranking.h - Lexicographic ranking synthesis ---*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesis of lexicographic linear ranking functions for sets of
+/// step relations, via Farkas' lemma and Z3. This discharges the
+/// well-foundedness obligations of the paper's R_F rule: a finite set
+/// of ranking functions M witnesses disjunctive well-foundedness of
+/// the restricted relation (Podelski-Rybalchenko transition
+/// invariants, as cited in Section 3.1).
+///
+/// The algorithm is the classic iterative scheme (Alias-Darte-
+/// Feautrier-Gonnord): find per-location affine functions that are
+/// bounded and non-increasing on every relation and strictly
+/// decreasing on at least one; peel off the decreasing relations;
+/// repeat until none remain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_RANKING_H
+#define CHUTE_ANALYSIS_RANKING_H
+
+#include "analysis/Farkas.h"
+#include "program/Cfg.h"
+
+#include <map>
+
+namespace chute {
+
+/// One step relation to rank: a conjunction of linear atoms over
+/// program variables and their primed copies, between two locations.
+struct RankRelation {
+  unsigned Tag = 0; ///< caller's identifier (e.g. edge id)
+  Loc Src = 0;
+  Loc Dst = 0;
+  std::vector<LinearAtom> Atoms;
+};
+
+/// A lexicographic ranking certificate: components outermost first,
+/// each mapping locations to affine functions of the program state.
+struct LexRanking {
+  std::vector<std::map<Loc, LinearTerm>> Components;
+
+  std::string toString(const Program &P) const;
+};
+
+/// Synthesises a lexicographic ranking proving that no infinite
+/// execution takes steps from \p Relations forever. \p Vars is the
+/// full program variable list (templates range over it).
+/// Returns nullopt when no such (linear, per-location) ranking exists
+/// or the solver gives up.
+std::optional<LexRanking>
+synthesizeLexRanking(Smt &S, std::vector<RankRelation> Relations,
+                     const std::vector<ExprRef> &Vars);
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_RANKING_H

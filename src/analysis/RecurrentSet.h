@@ -1,0 +1,80 @@
+//===- analysis/RecurrentSet.h - Recurrent sets ----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recurrent sets in the paper's generalised sense (Definition 3.2):
+/// (X, C, F) is recurrent when X meets C and either X∩C is already in
+/// the frontier F, or every C-state (outside F) has a successor in
+/// C ∪ F. This is the non-emptiness side condition of the R_E rule —
+/// it guarantees the chute did not restrict the program into
+/// vacuity — and specialises to Gupta et al.'s recurrent sets for
+/// non-termination when F is empty.
+///
+/// Also provides recurrent-set synthesis for lasso cycles (closed
+/// recurrence by greatest-fixpoint iteration of the existential
+/// pre-image), which certifies that a counterexample cycle can
+/// genuinely be taken forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_RECURRENTSET_H
+#define CHUTE_ANALYSIS_RECURRENTSET_H
+
+#include "ts/PathEncoding.h"
+#include "ts/TransitionSystem.h"
+
+namespace chute {
+
+/// Checks and synthesises recurrent sets.
+class RecurrentSetChecker {
+public:
+  RecurrentSetChecker(TransitionSystem &Ts, Smt &S, QeEngine &Qe)
+      : Ts(Ts), S(S), Qe(Qe) {}
+
+  /// Definition 3.2: (X, C, F) is rcr. When \p Inv is non-null the
+  /// universal condition is checked relative to it (sound: only
+  /// states reachable from X∩C inside C matter for trace existence).
+  bool isRecurrent(const Region &X, const Region &C, const Region &F,
+                   const Region *Inv = nullptr);
+
+  /// Certifies that the cycle (a sequence of edges returning to its
+  /// first source location) can be taken forever starting from some
+  /// state satisfying \p HeadStates, with every visited state
+  /// additionally satisfying \p StateConstraint (when non-null).
+  /// Returns the recurrent set at the cycle head on success.
+  std::optional<ExprRef>
+  cycleRecurrentSet(const std::vector<unsigned> &Cycle, ExprRef HeadStates,
+                    const Region *StateConstraint = nullptr,
+                    unsigned MaxIter = 5);
+
+private:
+  /// The existential pre-image of head-state set \p G across one full
+  /// cycle execution (with per-position state constraints), as a
+  /// quantifier-free formula when projection succeeds.
+  std::optional<ExprRef> cyclePreExists(const std::vector<unsigned> &Cycle,
+                                        ExprRef G,
+                                        const Region *StateConstraint);
+
+  /// Exact check that every G-state can execute the full cycle back
+  /// into G (a single quantified LIA query).
+  bool verifyClosed(const std::vector<unsigned> &Cycle, ExprRef G,
+                    const Region *StateConstraint);
+
+  /// Widening: guesses extra atoms from the "shift" between
+  /// consecutive pre-image iterates (e.g. from n > 0 and n - y > 0
+  /// guess y <= 0), so limits of infinite descending chains like
+  /// {n > 0, n - y > 0, n - 2y > 0, ...} are found in finitely many
+  /// steps. Guesses are only used after verifyClosed succeeds.
+  std::vector<ExprRef> shiftDifferenceAtoms(ExprRef GOld, ExprRef GNew);
+
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+};
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_RECURRENTSET_H

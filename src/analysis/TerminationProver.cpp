@@ -1,0 +1,206 @@
+//===- analysis/TerminationProver.cpp - Reach-the-frontier proofs -----------===//
+
+#include "analysis/TerminationProver.h"
+
+#include "analysis/Intervals.h"
+#include "expr/ExprBuilder.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+namespace {
+
+/// Tarjan's strongly connected components over the sub-graph of
+/// locations marked active, following only the given edges.
+class SccFinder {
+public:
+  SccFinder(const Program &P, const std::vector<bool> &ActiveLoc,
+            const std::vector<bool> &ActiveEdge)
+      : P(P), ActiveLoc(ActiveLoc), ActiveEdge(ActiveEdge),
+        Index(P.numLocations(), -1), Low(P.numLocations(), 0),
+        OnStack(P.numLocations(), false),
+        Component(P.numLocations(), -1) {}
+
+  /// Returns the component id per location (-1 when inactive).
+  const std::vector<int> &run() {
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (ActiveLoc[L] && Index[L] < 0)
+        strongConnect(L);
+    return Component;
+  }
+
+  int numComponents() const { return NumComponents; }
+
+private:
+  void strongConnect(Loc V) {
+    Index[V] = Low[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (unsigned Id : P.outgoing(V)) {
+      if (!ActiveEdge[Id])
+        continue;
+      Loc W = P.edge(Id).Dst;
+      if (!ActiveLoc[W])
+        continue;
+      if (Index[W] < 0) {
+        strongConnect(W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      int C = NumComponents++;
+      for (;;) {
+        Loc W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Component[W] = C;
+        if (W == V)
+          break;
+      }
+    }
+  }
+
+  const Program &P;
+  const std::vector<bool> &ActiveLoc;
+  const std::vector<bool> &ActiveEdge;
+  std::vector<int> Index, Low;
+  std::vector<bool> OnStack;
+  std::vector<int> Component;
+  std::vector<Loc> Stack;
+  int NextIndex = 0;
+  int NumComponents = 0;
+};
+
+} // namespace
+
+std::optional<std::vector<RankRelation>>
+TerminationProver::buildRelations(const Region &Active,
+                                  const Region *Chute) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+
+  // Conservative activity checks: an Unknown solver answer keeps the
+  // location/edge active (dropping it could hide an obligation and
+  // make a proof unsound under solver timeouts).
+  std::vector<bool> ActiveLoc(P.numLocations(), false);
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    ActiveLoc[L] = !S.isUnsat(Active.at(L));
+
+  std::vector<bool> ActiveEdge(P.edges().size(), false);
+  for (const Edge &E : P.edges()) {
+    if (!ActiveLoc[E.Src] || !ActiveLoc[E.Dst])
+      continue;
+    ExprRef Step = Ctx.mkAnd(
+        {Active.at(E.Src), Ts.edgeRelation(E.Id),
+         primeAll(Ctx, Active.at(E.Dst)),
+         Chute != nullptr ? primeAll(Ctx, Chute->at(E.Dst))
+                          : Ctx.mkTrue()});
+    ActiveEdge[E.Id] = !S.isUnsat(Step);
+  }
+
+  SccFinder Finder(P, ActiveLoc, ActiveEdge);
+  const std::vector<int> &Comp = Finder.run();
+
+  // Relations are needed only for edges inside one SCC (cross-SCC
+  // edges are taken finitely often along any execution).
+  std::vector<RankRelation> Relations;
+  for (const Edge &E : P.edges()) {
+    if (!ActiveEdge[E.Id])
+      continue;
+    if (Comp[E.Src] != Comp[E.Dst])
+      continue;
+    // Premise: Active(src) && edgeRel && Active'(dst) [&& chute'].
+    auto SrcCubes = dnfAtomCubes(Ctx, Active.at(E.Src));
+    auto RelCubes = dnfAtomCubes(Ctx, Ts.edgeRelation(E.Id));
+    ExprRef DstCons = primeAll(Ctx, Active.at(E.Dst));
+    if (Chute != nullptr)
+      DstCons = Ctx.mkAnd(DstCons, primeAll(Ctx, Chute->at(E.Dst)));
+    auto DstCubes = dnfAtomCubes(Ctx, DstCons);
+    if (!SrcCubes || !RelCubes || !DstCubes)
+      return std::nullopt;
+    for (const auto &A : *SrcCubes)
+      for (const auto &B : *RelCubes)
+        for (const auto &C : *DstCubes) {
+          RankRelation R;
+          R.Tag = E.Id;
+          R.Src = E.Src;
+          R.Dst = E.Dst;
+          R.Atoms = A;
+          R.Atoms.insert(R.Atoms.end(), B.begin(), B.end());
+          R.Atoms.insert(R.Atoms.end(), C.begin(), C.end());
+          Relations.push_back(std::move(R));
+          if (Relations.size() > 512)
+            return std::nullopt; // Blow-up guard.
+        }
+  }
+  return Relations;
+}
+
+TerminationResult TerminationProver::proveReach(const Region &X,
+                                                const Region &F,
+                                                const Region *Chute,
+                                                const Region *CexFrom) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  TerminationResult Result;
+
+  Result.Invariant = Invariants.reach(X, Chute, &F);
+  Region Active = Result.Invariant.minusPruned(S, F);
+
+  // Everything reachable is already on the frontier: trivially done.
+  if (Active.isEmpty(S)) {
+    Result.St = TerminationResult::Status::Proved;
+    return Result;
+  }
+
+  auto Relations = buildRelations(Active, Chute);
+  if (Relations && Relations->size() > 64) {
+    // Exact disjunct products exploded; retry with interval hulls of
+    // the active regions (weaker premises, far fewer cubes).
+    Region Hulled = Active;
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      Hulled.set(L, intervalHull(Ctx, Active.at(L)));
+    auto Coarse = buildRelations(Hulled, Chute);
+    if (Coarse && Coarse->size() < Relations->size())
+      Relations = Coarse;
+  }
+  if (Relations) {
+    if (Relations->empty()) {
+      // No cyclic off-frontier steps at all: every execution leaves
+      // the active region in finitely many steps.
+      Result.St = TerminationResult::Status::Proved;
+      return Result;
+    }
+    auto Ranking = synthesizeLexRanking(S, *Relations, P.variables());
+    if (Ranking) {
+      Result.St = TerminationResult::Status::Proved;
+      Result.Ranking = std::move(*Ranking);
+      return Result;
+    }
+  }
+
+  // Proof failed: hunt for a genuine infinite execution avoiding F.
+  // Non-start states of the lasso must respect the chute (starts are
+  // exempt: PathSearch skips the Within constraint at position 0).
+  Region Within = Chute != nullptr
+                      ? Active.intersectPruned(S, *Chute)
+                      : Active;
+  Region Start = CexFrom != nullptr ? *CexFrom : X;
+  // Simple cycles have at most one edge per location; adapt the
+  // bounds so long loop bodies (industrial models) are reachable.
+  unsigned MaxCycle = static_cast<unsigned>(P.numLocations()) + 2;
+  unsigned MaxStem = 2 * static_cast<unsigned>(P.numLocations()) + 8;
+  auto Lasso = Search.findLasso(Start, &Within, MaxStem, MaxCycle);
+  if (Lasso) {
+    Result.St = TerminationResult::Status::Counterexample;
+    Result.Lasso = std::move(*Lasso);
+    return Result;
+  }
+
+  Result.St = TerminationResult::Status::Unknown;
+  return Result;
+}

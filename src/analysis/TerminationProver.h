@@ -1,0 +1,81 @@
+//===- analysis/TerminationProver.h - Reach-the-frontier proofs *- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges the paper's R_F obligation: the relation R^{F,C}_X must
+/// be well-founded, i.e. no execution from X stays inside the chute C
+/// and off the frontier F forever. Terminator-style:
+///
+///  1. overapproximate the reachable region (InvariantGen),
+///  2. synthesise a lexicographic linear ranking for the cyclic part
+///     of the off-frontier transition relation (Farkas/Z3),
+///  3. on failure, search for a genuine infinite counterexample — a
+///     feasible lasso whose cycle has a recurrent set.
+///
+/// Specialisations: F = [phi] gives AF phi; F = empty gives plain
+/// termination (AF false, the reduction the paper compares to
+/// Terminator in Section 6); the chute version is what the R_E rule
+/// uses after restriction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_ANALYSIS_TERMINATIONPROVER_H
+#define CHUTE_ANALYSIS_TERMINATIONPROVER_H
+
+#include "analysis/InvariantGen.h"
+#include "analysis/PathSearch.h"
+#include "analysis/Ranking.h"
+
+namespace chute {
+
+/// Outcome of a well-foundedness query.
+struct TerminationResult {
+  enum class Status {
+    Proved,         ///< ranking found: every execution reaches F
+    Counterexample, ///< feasible lasso avoiding F forever
+    Unknown,        ///< neither a proof nor a counterexample
+  };
+
+  Status St = Status::Unknown;
+  LexRanking Ranking;          ///< valid when Proved
+  Region Invariant;            ///< reachability context used
+  PathSearch::Lasso Lasso;     ///< valid when Counterexample
+
+  bool proved() const { return St == Status::Proved; }
+  bool refuted() const { return St == Status::Counterexample; }
+};
+
+/// Prover for "all executions from X inside C reach F".
+class TerminationProver {
+public:
+  TerminationProver(TransitionSystem &Ts, Smt &S, QeEngine &Qe)
+      : Ts(Ts), S(S), Qe(Qe), Invariants(Ts, S), Search(Ts, S, Qe) {}
+
+  /// Proves that no execution from \p X (within \p Chute when
+  /// non-null) avoids \p F forever. Counterexample lassos are
+  /// searched from \p CexFrom when non-null (a subset of X that is
+  /// known concretely reachable), otherwise from \p X.
+  TerminationResult proveReach(const Region &X, const Region &F,
+                               const Region *Chute = nullptr,
+                               const Region *CexFrom = nullptr);
+
+private:
+  /// Builds the rankable step relations of the off-frontier system.
+  /// Returns nullopt when a premise cannot be expressed as linear
+  /// cubes (we then skip straight to counterexample search).
+  std::optional<std::vector<RankRelation>>
+  buildRelations(const Region &Active, const Region *Chute);
+
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  InvariantGen Invariants;
+  PathSearch Search;
+};
+
+} // namespace chute
+
+#endif // CHUTE_ANALYSIS_TERMINATIONPROVER_H

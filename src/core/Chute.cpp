@@ -1,0 +1,59 @@
+//===- core/Chute.cpp - Indexed chute predicates ------------------------------===//
+
+#include "core/Chute.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+ChuteMap::ChuteMap(const Program &P, CtlRef F) : Prog(P) {
+  for (const Subformula &Sub : subformulas(F))
+    if (!Sub.Formula->isAtom() && isExistential(Sub.Formula->kind()))
+      Chutes.emplace(Sub.Path, Region::top(P));
+}
+
+const Region &ChuteMap::at(const SubformulaPath &Pi) const {
+  auto It = Chutes.find(Pi);
+  assert(It != Chutes.end() && "no chute for this subformula");
+  return It->second;
+}
+
+void ChuteMap::strengthen(const SubformulaPath &Pi, Loc L,
+                          ExprRef Predicate) {
+  auto It = Chutes.find(Pi);
+  assert(It != Chutes.end() && "no chute for this subformula");
+  ExprContext &Ctx = Prog.exprContext();
+  It->second.set(L, Ctx.mkAnd(It->second.at(L), Predicate));
+  ++NumRefinements;
+}
+
+std::vector<SubformulaPath> ChuteMap::paths() const {
+  std::vector<SubformulaPath> Out;
+  Out.reserve(Chutes.size());
+  for (const auto &[Pi, R] : Chutes) {
+    (void)R;
+    Out.push_back(Pi);
+  }
+  return Out;
+}
+
+std::string ChuteMap::toString(const Program &P) const {
+  std::string S;
+  for (const auto &[Pi, R] : Chutes) {
+    bool Trivial = true;
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (!R.at(L)->isTrue())
+        Trivial = false;
+    S += "C_" + Pi.toString() + ":";
+    if (Trivial) {
+      S += " true\n";
+      continue;
+    }
+    S += "\n";
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (!R.at(L)->isTrue())
+        S += formatStr("    at %s: %s\n", P.locationName(L).c_str(),
+                       R.at(L)->toString().c_str());
+  }
+  return S;
+}

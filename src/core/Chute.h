@@ -1,0 +1,60 @@
+//===- core/Chute.h - Indexed chute predicates -----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The indexed set of chute predicates C̄ of Section 4: one
+/// state-space restriction per existential subformula, addressed by
+/// its context path pi. Each chute is a Region (per-location
+/// formula); refinement conjoins a synthesised predicate at the
+/// location just after a `rho := *` command — the paper's
+/// `assume(C_pi)` instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_CHUTE_H
+#define CHUTE_CORE_CHUTE_H
+
+#include "core/ProveResult.h"
+
+#include <map>
+
+namespace chute {
+
+/// The indexed chute map C̄.
+class ChuteMap {
+public:
+  /// Initialises every existential subformula of \p F to the trivial
+  /// chute (the whole state space of \p P).
+  ChuteMap(const Program &P, CtlRef F);
+
+  /// The chute region for subformula \p Pi (asserts it exists).
+  const Region &at(const SubformulaPath &Pi) const;
+
+  /// True when \p Pi indexes an existential subformula.
+  bool has(const SubformulaPath &Pi) const {
+    return Chutes.count(Pi) != 0;
+  }
+
+  /// Conjoins \p Predicate at location \p L of chute \p Pi.
+  void strengthen(const SubformulaPath &Pi, Loc L, ExprRef Predicate);
+
+  /// Number of strengthening steps applied so far (refiner stats).
+  unsigned numRefinements() const { return NumRefinements; }
+
+  /// All indexed paths in deterministic order.
+  std::vector<SubformulaPath> paths() const;
+
+  std::string toString(const Program &P) const;
+
+private:
+  const Program &Prog;
+  std::map<SubformulaPath, Region> Chutes;
+  unsigned NumRefinements = 0;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_CHUTE_H

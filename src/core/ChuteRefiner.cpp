@@ -1,0 +1,148 @@
+//===- core/ChuteRefiner.cpp - The Figure 4 refinement loop -----------------===//
+
+#include "core/ChuteRefiner.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
+                            const ChuteMap &Chutes) {
+  const Program &P = Ts.program();
+  for (DerivationNode *Node : Proof.existentialNodes()) {
+    if (Node->RcrChecked)
+      continue; // Vacuous obligations are pre-marked.
+    Region F = Node->Frontier ? *Node->Frontier : Region::bottom(P);
+    const Region &C = Chutes.at(Node->Pi);
+    const Region *Inv =
+        Node->Invariant ? &*Node->Invariant : nullptr;
+    if (!Rcr.isRecurrent(Node->X, C, F, Inv)) {
+      CHUTE_DEBUG(debugLine("RCRCHECK failed for " +
+                            Node->Pi.toString()));
+      return false;
+    }
+    Node->RcrChecked = true;
+  }
+  return true;
+}
+
+RefineOutcome ChuteRefiner::prove(CtlRef F) {
+  RefineOutcome Out;
+
+  // Applied strengthenings, in order, and the banned set used for
+  // backtracking.
+  std::vector<ChuteCandidate> Applied;
+  std::vector<ChuteCandidate> Banned;
+  // Alternatives proposed alongside each applied candidate (next
+  // choices when backtracking).
+  std::vector<std::vector<ChuteCandidate>> Alternatives;
+
+  auto buildChutes = [&]() {
+    ChuteMap Chutes(Ts.program(), F);
+    for (const ChuteCandidate &C : Applied)
+      Chutes.strengthen(C.Pi, C.AtLoc, C.Predicate);
+    return Chutes;
+  };
+
+  auto isBannedOrApplied = [&](const ChuteCandidate &C) {
+    return std::find(Banned.begin(), Banned.end(), C) != Banned.end() ||
+           std::find(Applied.begin(), Applied.end(), C) !=
+               Applied.end();
+  };
+
+  // Undoes the most recent strengthening and installs the next
+  // alternative from its round, if any. Returns false when no
+  // backtracking is possible.
+  auto backtrack = [&]() {
+    while (!Applied.empty()) {
+      ChuteCandidate Last = Applied.back();
+      Applied.pop_back();
+      std::vector<ChuteCandidate> Alts = Alternatives.back();
+      Alternatives.pop_back();
+      Banned.push_back(Last);
+      ++Out.Backtracks;
+      for (const ChuteCandidate &Alt : Alts) {
+        if (isBannedOrApplied(Alt))
+          continue;
+        Applied.push_back(Alt);
+        // Remaining alternatives stay available for this slot.
+        std::vector<ChuteCandidate> Rest;
+        for (const ChuteCandidate &A : Alts)
+          if (!(A == Alt))
+            Rest.push_back(A);
+        Alternatives.push_back(Rest);
+        return true;
+      }
+      // No alternative for this slot: pop further.
+    }
+    return false;
+  };
+
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    ++Out.Rounds;
+    ChuteMap Chutes = buildChutes();
+    UniversalProver Prover(Ts, S, Qe, Chutes, Opts.Prover);
+    UniversalProver::Outcome Attempt = Prover.attempt(F);
+
+    if (Attempt.Proved) {
+      if (rcrCheck(Attempt.Proof, Chutes)) {
+        Out.St = RefineOutcome::Status::Proved;
+        Out.Proof = std::move(Attempt.Proof);
+        Out.Refinements = static_cast<unsigned>(Applied.size());
+        return Out;
+      }
+      // A chute restricted the system into vacuity: backtrack.
+      if (backtrack())
+        continue;
+      Out.St = RefineOutcome::Status::Unknown;
+      return Out;
+    }
+
+    if (Attempt.Kind != FailKind::Counterexample) {
+      // Incomplete failure: a different chute choice might unblock.
+      if (backtrack())
+        continue;
+      Out.St = RefineOutcome::Status::Unknown;
+      return Out;
+    }
+
+    Out.Trace = Attempt.Trace;
+    CHUTE_DEBUG(debugLine("refiner: primary trace\n" +
+                          Attempt.Trace.toString(Ts.program())));
+    CHUTE_DEBUG(debugLine("refiner: secondary trace\n" +
+                          Attempt.Secondary.toString(Ts.program())));
+    std::vector<ChuteCandidate> Candidates =
+        Synth.synthesize(Attempt.Trace, Chutes);
+    if (Attempt.Secondary.realizable()) {
+      // The inner subformula's failing trace can blame choices the
+      // primary lasso cannot (different scopes).
+      std::vector<ChuteCandidate> More =
+          Synth.synthesize(Attempt.Secondary, Chutes);
+      for (ChuteCandidate &C : More)
+        if (std::find(Candidates.begin(), Candidates.end(), C) ==
+            Candidates.end())
+          Candidates.push_back(std::move(C));
+    }
+    Candidates.erase(std::remove_if(Candidates.begin(),
+                                    Candidates.end(),
+                                    isBannedOrApplied),
+                     Candidates.end());
+    if (Candidates.empty()) {
+      // No nondeterministic choice to blame: under the current
+      // chutes this is a genuine counterexample to the property.
+      if (backtrack())
+        continue;
+      Out.St = RefineOutcome::Status::NotProved;
+      Out.Refinements = static_cast<unsigned>(Applied.size());
+      return Out;
+    }
+    Applied.push_back(Candidates.front());
+    Alternatives.push_back({Candidates.begin() + 1, Candidates.end()});
+  }
+
+  Out.St = RefineOutcome::Status::Unknown;
+  Out.Refinements = static_cast<unsigned>(Applied.size());
+  return Out;
+}

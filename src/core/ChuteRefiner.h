@@ -1,0 +1,81 @@
+//===- core/ChuteRefiner.h - The Figure 4 refinement loop -----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The prove(M, F) procedure of Figure 4: initialise every chute to
+/// true, attempt a universal proof, synthesise chute predicates from
+/// failed attempts, and on success discharge the recurrent-set
+/// obligations (RCRCHECK). Backtracking over chute candidates is
+/// implemented (the paper notes "a more mature version of our tool
+/// can simply backtrack"): when RCRCHECK rejects a proof or a
+/// candidate leads nowhere, the refiner bans it and retries with the
+/// next one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_CHUTEREFINER_H
+#define CHUTE_CORE_CHUTEREFINER_H
+
+#include "analysis/RecurrentSet.h"
+#include "core/SynthCp.h"
+#include "core/UniversalProver.h"
+
+namespace chute {
+
+/// Outcome of the refinement loop.
+struct RefineOutcome {
+  enum class Status {
+    Proved,    ///< derivation found, all rcr obligations discharged
+    NotProved, ///< genuine-looking counterexample, no chute to blame
+    Unknown,   ///< gave up (incompleteness or resource limits)
+  };
+
+  Status St = Status::Unknown;
+  DerivationTree Proof;  ///< when Proved
+  CexTrace Trace;        ///< best counterexample seen (NotProved)
+  unsigned Rounds = 0;   ///< attempt() invocations
+  unsigned Refinements = 0; ///< chute strengthenings applied
+  unsigned Backtracks = 0;  ///< candidates undone
+
+  bool proved() const { return St == Status::Proved; }
+};
+
+/// Limits for the refinement loop.
+struct RefinerOptions {
+  unsigned MaxRounds = 48;
+  ProverOptions Prover;
+};
+
+/// Drives chute refinement for one property over one lifted program.
+class ChuteRefiner {
+public:
+  ChuteRefiner(const LiftedProgram &LP, TransitionSystem &Ts, Smt &S,
+               QeEngine &Qe, RefinerOptions Options = RefinerOptions())
+      : LP(LP), Ts(Ts), S(S), Qe(Qe), Opts(Options), Synth(LP, S, Qe),
+        Rcr(Ts, S, Qe) {}
+
+  /// Runs the Figure 4 loop for property \p F.
+  RefineOutcome prove(CtlRef F);
+
+  const SynthCp::Stats &synthStats() const { return Synth.stats(); }
+
+private:
+  /// Discharges the recurrent-set obligations of a derivation,
+  /// marking nodes. Returns false when some obligation fails.
+  bool rcrCheck(DerivationTree &Proof, const ChuteMap &Chutes);
+
+  const LiftedProgram &LP;
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  RefinerOptions Opts;
+  SynthCp Synth;
+  RecurrentSetChecker Rcr;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_CHUTEREFINER_H

@@ -1,0 +1,135 @@
+//===- core/DerivationTree.cpp - Proof derivations ----------------------------===//
+
+#include "core/DerivationTree.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+std::string DerivationNode::ruleName() const {
+  switch (Formula->kind()) {
+  case CtlKind::Atom:
+    return "RAP";
+  case CtlKind::And:
+    return "RAND";
+  case CtlKind::Or:
+    return "ROR";
+  case CtlKind::AF:
+    return "RA+RF";
+  case CtlKind::EF:
+    return "RE+RF";
+  case CtlKind::AW:
+    return "RA+RW";
+  case CtlKind::EW:
+    return "RE+RW";
+  }
+  return "?";
+}
+
+namespace {
+
+void collectExistential(DerivationNode *N,
+                        std::vector<DerivationNode *> &Out) {
+  if (!N->Formula->isAtom() && isExistential(N->Formula->kind()))
+    Out.push_back(N);
+  for (auto &C : N->Children)
+    collectExistential(C.get(), Out);
+}
+
+void render(const DerivationNode *N, const Program &P, unsigned Depth,
+            std::string &Out) {
+  std::string Indent(Depth * 2, ' ');
+  Out += formatStr("%s[%s] %s |- %s, %s\n", Indent.c_str(),
+                   N->ruleName().c_str(), "X", N->Pi.toString().c_str(),
+                   N->Formula->toString().c_str());
+  Out += Indent + "  X:\n";
+  std::string XStr = N->X.toString(P);
+  // Re-indent the region rendering.
+  Out += Indent + "  " + XStr;
+  if (N->Chute) {
+    Out += Indent + "  chute C:\n" + Indent + "  " +
+           N->Chute->toString(P);
+  }
+  if (N->Frontier)
+    Out += Indent + "  frontier F:\n" + Indent + "  " +
+           N->Frontier->toString(P);
+  if (!N->Ranking.Components.empty())
+    Out += Indent + "  ranking:\n" + N->Ranking.toString(P);
+  if (!N->Formula->isAtom() && isExistential(N->Formula->kind()))
+    Out += Indent + formatStr("  rcr checked: %s\n",
+                              N->RcrChecked ? "yes" : "no");
+  for (const auto &C : N->Children)
+    render(C.get(), P, Depth + 1, Out);
+}
+
+} // namespace
+
+std::vector<const DerivationNode *>
+DerivationTree::existentialNodes() const {
+  std::vector<DerivationNode *> Nodes;
+  if (Root)
+    collectExistential(Root.get(), Nodes);
+  return {Nodes.begin(), Nodes.end()};
+}
+
+std::vector<DerivationNode *> DerivationTree::existentialNodes() {
+  std::vector<DerivationNode *> Nodes;
+  if (Root)
+    collectExistential(Root.get(), Nodes);
+  return Nodes;
+}
+
+std::string DerivationTree::toString(const Program &P) const {
+  if (!Root)
+    return "(no derivation)\n";
+  std::string Out;
+  render(Root.get(), P, 0, Out);
+  return Out;
+}
+
+namespace {
+
+std::string dotEscape(const std::string &In) {
+  std::string Out;
+  for (char C : In) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void renderDot(const DerivationNode *N, const Program &P, unsigned &Id,
+               std::string &Out) {
+  unsigned Self = Id++;
+  std::string Label = "[" + N->ruleName() + "] " + N->Pi.toString() +
+                      " : " + N->Formula->toString();
+  if (N->Chute)
+    Label += "\\nchute";
+  if (N->Frontier)
+    Label += "\\nfrontier";
+  if (!N->Ranking.Components.empty())
+    Label += "\\nranked(" +
+             std::to_string(N->Ranking.Components.size()) + ")";
+  if (!N->Formula->isAtom() && isExistential(N->Formula->kind()))
+    Label += N->RcrChecked ? "\\nrcr ok" : "\\nrcr unchecked";
+  Out += formatStr("  n%u [shape=box,label=\"%s\"];\n", Self,
+                   dotEscape(Label).c_str());
+  for (const auto &Child : N->Children) {
+    unsigned ChildId = Id;
+    renderDot(Child.get(), P, Id, Out);
+    Out += formatStr("  n%u -> n%u;\n", Self, ChildId);
+  }
+}
+
+} // namespace
+
+std::string DerivationTree::toDot(const Program &P) const {
+  std::string Out = "digraph derivation {\n  rankdir=TB;\n";
+  if (Root) {
+    unsigned Id = 0;
+    renderDot(Root.get(), P, Id, Out);
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- core/DerivationTree.h - Proof derivations ---------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proof objects mirroring the paper's derivations (Figure 3): one
+/// node per discharged (pi, formula) obligation carrying the start
+/// set X, the chute C and frontier F of its triple, and the ranking
+/// certificate for F-shaped obligations. The tree can be rendered for
+/// inspection and re-walked for the recurrent-set obligations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_DERIVATIONTREE_H
+#define CHUTE_CORE_DERIVATIONTREE_H
+
+#include "analysis/Ranking.h"
+#include "core/ProveResult.h"
+
+#include <memory>
+
+namespace chute {
+
+/// One discharged proof obligation.
+struct DerivationNode {
+  SubformulaPath Pi;
+  CtlRef Formula = nullptr;
+  Region X;                        ///< start set of the triple
+  std::optional<Region> Chute;     ///< restriction used (E-operators)
+  std::optional<Region> Frontier;  ///< frontier of temporal operators
+  std::optional<Region> Invariant; ///< reachability context computed
+  LexRanking Ranking;              ///< well-foundedness certificate
+  bool RcrChecked = false;         ///< recurrent-set obligation passed
+  std::vector<std::unique_ptr<DerivationNode>> Children;
+
+  /// The proof rule that discharged this node ("RAP", "RA+RF", ...).
+  std::string ruleName() const;
+};
+
+/// A completed derivation.
+class DerivationTree {
+public:
+  DerivationTree() = default;
+  explicit DerivationTree(std::unique_ptr<DerivationNode> Root)
+      : Root(std::move(Root)) {}
+
+  bool valid() const { return Root != nullptr; }
+  const DerivationNode *root() const { return Root.get(); }
+
+  /// Collects the existential nodes (whose (X, C, F) triples carry
+  /// recurrent-set obligations).
+  std::vector<const DerivationNode *> existentialNodes() const;
+  std::vector<DerivationNode *> existentialNodes();
+
+  /// Renders the derivation as an indented obligation listing.
+  std::string toString(const Program &P) const;
+
+  /// Renders the derivation as a Graphviz dot digraph (one node per
+  /// obligation, labelled with rule, formula and triple summary).
+  std::string toDot(const Program &P) const;
+
+private:
+  std::unique_ptr<DerivationNode> Root;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_DERIVATIONTREE_H

@@ -1,0 +1,297 @@
+//===- core/ProofChecker.cpp - Independent certificate checking -------------===//
+
+#include "core/ProofChecker.h"
+
+#include "expr/ExprBuilder.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+namespace {
+
+/// Intra-SCC edge detection over a subset of feasible edges: an edge
+/// can recur on an infinite path only if it lies inside a strongly
+/// connected component (or is a self-loop).
+class CycleEdges {
+public:
+  CycleEdges(const Program &P, const std::vector<bool> &Feasible)
+      : P(P), Feasible(Feasible), Index(P.numLocations(), -1),
+        Low(P.numLocations(), 0), OnStack(P.numLocations(), false),
+        Component(P.numLocations(), -1) {
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (Index[L] < 0)
+        strongConnect(L);
+  }
+
+  /// True when \p E can appear on a cycle of the feasible subgraph.
+  bool onCycle(const Edge &E) const {
+    if (!Feasible[E.Id])
+      return false;
+    if (E.Src == E.Dst)
+      return true;
+    return Component[E.Src] == Component[E.Dst] &&
+           ComponentSize[static_cast<std::size_t>(Component[E.Src])] > 1;
+  }
+
+private:
+  void strongConnect(Loc V) {
+    Index[V] = Low[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (unsigned Id : P.outgoing(V)) {
+      if (!Feasible[Id])
+        continue;
+      Loc W = P.edge(Id).Dst;
+      if (Index[W] < 0) {
+        strongConnect(W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      int C = static_cast<int>(ComponentSize.size());
+      ComponentSize.push_back(0);
+      for (;;) {
+        Loc W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Component[W] = C;
+        ++ComponentSize.back();
+        if (W == V)
+          break;
+      }
+    }
+  }
+
+  const Program &P;
+  const std::vector<bool> &Feasible;
+  std::vector<int> Index, Low;
+  std::vector<bool> OnStack;
+  std::vector<int> Component;
+  std::vector<unsigned> ComponentSize;
+  std::vector<Loc> Stack;
+  int NextIndex = 0;
+};
+
+} // namespace
+
+CheckReport ProofChecker::check(const DerivationTree &Proof,
+                                const Region &Init) {
+  CheckReport Report;
+  if (!Proof.valid()) {
+    Report.fail("no derivation to check");
+    return Report;
+  }
+  // The root's start set must cover the initial states.
+  ++Report.ObligationsChecked;
+  const DerivationNode *Root = Proof.root();
+  Region RootX = Root->X;
+  if (Root->Chute) {
+    // Existential roots restrict the start set to the chute; initial
+    // states must still be covered after intersection, which the
+    // prover guarantees by X = Init ∩ C and the rcr side condition.
+    if (!Init.intersectPruned(S, *Root->Chute).subsetOf(S, RootX))
+      Report.fail("initial states escape the root start set");
+  } else if (!Init.subsetOf(S, RootX)) {
+    Report.fail("initial states escape the root start set");
+  }
+  checkNode(Root, Report);
+  return Report;
+}
+
+void ProofChecker::checkInvariant(const DerivationNode *N,
+                                  const Region &F, CheckReport &Report) {
+  if (!N->Invariant)
+    return; // Trivial-proof nodes carry no context to check.
+  const Region &Inv = *N->Invariant;
+  const Region *C = N->Chute ? &*N->Chute : nullptr;
+  ++Report.ObligationsChecked;
+  if (!N->X.subsetOf(S, Inv)) {
+    Report.fail("start set not contained in context invariant at " +
+                N->Pi.toString());
+    return;
+  }
+  ++Report.ObligationsChecked;
+  Region Expand = Inv.minusPruned(S, F);
+  Region Next = Ts.post(Expand, C);
+  if (!Next.subsetOf(S, Inv))
+    Report.fail("context invariant not inductive at " +
+                N->Pi.toString());
+}
+
+void ProofChecker::checkRanking(const DerivationNode *N, const Region &F,
+                                CheckReport &Report) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  if (!N->Invariant)
+    return;
+  const Region *C = N->Chute ? &*N->Chute : nullptr;
+  Region Active = N->Invariant->minusPruned(S, F);
+
+  // Feasible off-frontier steps.
+  std::vector<bool> Feasible(P.edges().size(), false);
+  std::vector<ExprRef> Premise(P.edges().size(), nullptr);
+  for (const Edge &E : P.edges()) {
+    ExprRef Pr = Ctx.mkAnd(
+        {Active.at(E.Src), Ts.edgeRelation(E.Id),
+         primeAll(Ctx, Active.at(E.Dst)),
+         C != nullptr ? primeAll(Ctx, C->at(E.Dst)) : Ctx.mkTrue()});
+    Premise[E.Id] = Pr;
+    Feasible[E.Id] = !S.isUnsat(Pr);
+  }
+
+  CycleEdges Cycles(P, Feasible);
+
+  // Every step that can recur must be covered by the lexicographic
+  // certificate: some component decreases it (bounded below) while
+  // all earlier components are non-increasing on it.
+  for (const Edge &E : P.edges()) {
+    if (!Cycles.onCycle(E))
+      continue;
+    ++Report.ObligationsChecked;
+    const auto &Comps = N->Ranking.Components;
+    std::vector<ExprRef> Disjuncts;
+    for (std::size_t I = 0; I < Comps.size(); ++I) {
+      bool Defined = true;
+      std::vector<ExprRef> Conj;
+      for (std::size_t J = 0; J <= I; ++J) {
+        auto SrcIt = Comps[J].find(E.Src);
+        auto DstIt = Comps[J].find(E.Dst);
+        if (SrcIt == Comps[J].end() || DstIt == Comps[J].end()) {
+          Defined = false;
+          break;
+        }
+        ExprRef FSrc = SrcIt->second.toExpr(Ctx);
+        ExprRef FDst = primeAll(Ctx, DstIt->second.toExpr(Ctx));
+        if (J < I) {
+          Conj.push_back(Ctx.mkGe(FSrc, FDst));
+        } else {
+          Conj.push_back(
+              Ctx.mkGe(FSrc, Ctx.mkAdd(FDst, Ctx.mkInt(1))));
+          Conj.push_back(Ctx.mkGe(FSrc, Ctx.mkInt(0)));
+        }
+      }
+      if (Defined)
+        Disjuncts.push_back(Ctx.mkAnd(std::move(Conj)));
+    }
+    ExprRef Goal = Ctx.mkOr(std::move(Disjuncts));
+    if (!S.implies(Premise[E.Id], Goal)) {
+      Report.fail(formatStr(
+          "ranking certificate does not cover edge %u (%s) at %s",
+          E.Id, E.Cmd.toString().c_str(), N->Pi.toString().c_str()));
+    }
+  }
+}
+
+void ProofChecker::checkNode(const DerivationNode *N,
+                             CheckReport &Report) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+
+  switch (N->Formula->kind()) {
+  case CtlKind::Atom: {
+    ++Report.ObligationsChecked;
+    for (Loc L = 0; L < P.numLocations(); ++L)
+      if (!S.implies(N->X.at(L), N->Formula->atom()))
+        Report.fail("atom obligation fails at " + N->Pi.toString() +
+                    " location " + P.locationName(L));
+    break;
+  }
+  case CtlKind::And: {
+    if (N->Children.size() != 2) {
+      Report.fail("malformed conjunction node at " + N->Pi.toString());
+      break;
+    }
+    ++Report.ObligationsChecked;
+    if (!N->X.subsetOf(S, N->Children[0]->X) ||
+        !N->X.subsetOf(S, N->Children[1]->X))
+      Report.fail("conjunction children do not cover X at " +
+                  N->Pi.toString());
+    break;
+  }
+  case CtlKind::Or: {
+    if (N->Children.size() != 2) {
+      Report.fail("malformed disjunction node at " + N->Pi.toString());
+      break;
+    }
+    ++Report.ObligationsChecked;
+    for (Loc L = 0; L < P.numLocations(); ++L) {
+      ExprRef Union = Ctx.mkOr(N->Children[0]->X.at(L),
+                               N->Children[1]->X.at(L));
+      if (!S.implies(N->X.at(L), Union))
+        Report.fail("disjunction children do not cover X at " +
+                    N->Pi.toString());
+    }
+    break;
+  }
+  case CtlKind::AF:
+  case CtlKind::EF: {
+    if (N->Children.size() != 1) {
+      Report.fail("malformed eventuality node at " + N->Pi.toString());
+      break;
+    }
+    if (!N->Frontier) {
+      if (!N->X.isEmpty(S))
+        Report.fail("eventuality without frontier at " +
+                    N->Pi.toString());
+      break;
+    }
+    checkInvariant(N, *N->Frontier, Report);
+    checkRanking(N, *N->Frontier, Report);
+    ++Report.ObligationsChecked;
+    if (!N->Frontier->subsetOf(S, N->Children[0]->X))
+      Report.fail("frontier escapes the subformula start set at " +
+                  N->Pi.toString());
+    break;
+  }
+  case CtlKind::AW:
+  case CtlKind::EW: {
+    if (N->Children.size() != 2) {
+      Report.fail("malformed unless node at " + N->Pi.toString());
+      break;
+    }
+    if (!N->Invariant) {
+      if (!N->X.isEmpty(S))
+        Report.fail("unless node without invariant at " +
+                    N->Pi.toString());
+      break;
+    }
+    Region F = N->Frontier ? *N->Frontier : Region::bottom(P);
+    checkInvariant(N, F, Report);
+    ++Report.ObligationsChecked;
+    Region Active = N->Invariant->minusPruned(S, F);
+    if (!Active.subsetOf(S, N->Children[0]->X))
+      Report.fail("active region escapes the left start set at " +
+                  N->Pi.toString());
+    ++Report.ObligationsChecked;
+    Region Reached = N->Invariant->intersectPruned(S, F);
+    if (!Reached.subsetOf(S, N->Children[1]->X))
+      Report.fail("reached frontier escapes the right start set at " +
+                  N->Pi.toString());
+    break;
+  }
+  }
+
+  // Recurrent-set side condition for existential nodes.
+  if (!N->Formula->isAtom() && isExistential(N->Formula->kind()) &&
+      !N->X.isEmpty(S)) {
+    ++Report.ObligationsChecked;
+    if (!N->Chute) {
+      Report.fail("existential node without chute at " +
+                  N->Pi.toString());
+    } else {
+      Region F = N->Frontier ? *N->Frontier : Region::bottom(P);
+      const Region *Inv =
+          N->Invariant ? &*N->Invariant : nullptr;
+      if (!Rcr.isRecurrent(N->X, *N->Chute, F, Inv))
+        Report.fail("recurrent-set condition fails at " +
+                    N->Pi.toString());
+    }
+  }
+
+  for (const auto &Child : N->Children)
+    checkNode(Child.get(), Report);
+}

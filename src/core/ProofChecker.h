@@ -1,0 +1,84 @@
+//===- core/ProofChecker.h - Independent certificate checking -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-validates a derivation produced by the prover against the
+/// program's semantics, using only direct solver queries — no
+/// synthesis, no search, no shared state with the prover. Each
+/// DerivationNode carries its (X, C, F) triple, reachability context
+/// and ranking certificate; the checker discharges, per node:
+///
+///   RAP        X ⊆ [p]
+///   RAND       X covered by both children
+///   ROR        X covered by the union of the children
+///   R{A,E}+RF  the context invariant is inductive (stop-at-F,
+///              restricted to the chute), the frontier is contained
+///              in the child's start set, and the lexicographic
+///              ranking certificate proves the off-frontier relation
+///              well-founded
+///   R{A,E}+RW  invariant inductivity, Active ⊆ left child's set,
+///              reached frontier ⊆ right child's set
+///   R_E side   the recurrent-set condition (Definition 3.2)
+///
+/// A proof that passes this checker is sound even if the prover that
+/// produced it had bugs — the trust base shrinks to this file, the
+/// transition-relation construction and Z3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_PROOFCHECKER_H
+#define CHUTE_CORE_PROOFCHECKER_H
+
+#include "analysis/RecurrentSet.h"
+#include "core/DerivationTree.h"
+
+namespace chute {
+
+/// Result of checking one derivation.
+struct CheckReport {
+  bool Ok = true;
+  unsigned ObligationsChecked = 0;
+  std::vector<std::string> Failures;
+
+  void fail(const std::string &Msg) {
+    Ok = false;
+    Failures.push_back(Msg);
+  }
+};
+
+/// Re-validates derivations. One instance per (program, solver).
+class ProofChecker {
+public:
+  ProofChecker(TransitionSystem &Ts, Smt &S, QeEngine &Qe)
+      : Ts(Ts), S(S), Qe(Qe), Rcr(Ts, S, Qe) {}
+
+  /// Checks that \p Proof establishes: every state of \p Init
+  /// satisfies the root node's formula.
+  CheckReport check(const DerivationTree &Proof, const Region &Init);
+
+private:
+  void checkNode(const DerivationNode *N, CheckReport &Report);
+
+  /// Inductivity of N's invariant: X (inside the chute) is contained
+  /// and one chute-restricted step from any non-frontier invariant
+  /// state stays inside the invariant.
+  void checkInvariant(const DerivationNode *N, const Region &F,
+                      CheckReport &Report);
+
+  /// The stored lexicographic ranking proves every off-frontier step
+  /// of the (chute-restricted) relation decreases.
+  void checkRanking(const DerivationNode *N, const Region &F,
+                    CheckReport &Report);
+
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  RecurrentSetChecker Rcr;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_PROOFCHECKER_H

@@ -1,0 +1,51 @@
+//===- core/ProveResult.h - Prover result types ---------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result types shared by the universal prover and the chute
+/// refiner: annotated counterexample traces (paths through the
+/// S x sub(F) space, Section 4) and proof/failure outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_PROVERESULT_H
+#define CHUTE_CORE_PROVERESULT_H
+
+#include "ctl/Ctl.h"
+#include "ts/Region.h"
+
+namespace chute {
+
+/// One step of a counterexample: a program edge annotated with the
+/// subformula scope it was taken under (the paper's
+/// pi : list (S x sub(F)) represented by commands, Section 5.1).
+struct CexStep {
+  unsigned EdgeId = 0;
+  SubformulaPath Scope;
+};
+
+/// An annotated counterexample trace: a finite path, optionally
+/// followed by an infinitely-repeatable cycle (for F-obligations).
+/// The recurrent set documents why the cycle repeats — it is the
+/// "cyclic path strengthening" of Section 2 (there: y <= 0).
+struct CexTrace {
+  std::vector<CexStep> Steps;
+  std::vector<CexStep> Cycle;          ///< empty for safety failures
+  ExprRef CycleRecurrentSet = nullptr; ///< over state vars, at head
+  bool realizable() const { return !Steps.empty() || !Cycle.empty(); }
+
+  std::string toString(const Program &P) const;
+};
+
+/// Why a proof attempt gave up without a counterexample.
+enum class FailKind {
+  Counterexample, ///< realizable annotated trace attached
+  Incomplete,     ///< obligation failed but no realizable trace
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_PROVERESULT_H

@@ -1,0 +1,149 @@
+//===- core/SynthCp.cpp - Chute-predicate synthesis ---------------------------===//
+
+#include "core/SynthCp.h"
+
+#include "expr/ExprBuilder.h"
+#include "support/Debug.h"
+#include "support/StringExtras.h"
+#include "ts/PathEncoding.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace chute;
+
+std::string ChuteCandidate::toString(const Program &P) const {
+  return formatStr("C_%s at %s: %s", Pi.toString().c_str(),
+                   P.locationName(AtLoc).c_str(),
+                   Predicate->toString().c_str());
+}
+
+std::vector<ChuteCandidate>
+SynthCp::synthesize(const CexTrace &Trace, const ChuteMap &Chutes) {
+  const Program &P = *LP.Prog;
+  ExprContext &Ctx = P.exprContext();
+  ++S_.TracesSeen;
+  std::vector<ChuteCandidate> Out;
+
+  // Existential scopes touched by the trace, innermost first.
+  std::vector<SubformulaPath> Scopes = Chutes.paths();
+  std::sort(Scopes.begin(), Scopes.end(),
+            [](const SubformulaPath &A, const SubformulaPath &B) {
+              if (A.depth() != B.depth())
+                return A.depth() > B.depth();
+              return A < B;
+            });
+
+  for (const SubformulaPath &Pi : Scopes) {
+    // The scope's command subsequence (stem steps then one cycle
+    // unrolling), remembering where the cycle starts.
+    std::vector<unsigned> ScopeEdges;
+    std::optional<std::size_t> CycleStart;
+    for (const CexStep &Step : Trace.Steps)
+      if (Pi.isPrefixOf(Step.Scope))
+        ScopeEdges.push_back(Step.EdgeId);
+    for (const CexStep &Step : Trace.Cycle) {
+      if (!Pi.isPrefixOf(Step.Scope))
+        continue;
+      if (!CycleStart)
+        CycleStart = ScopeEdges.size();
+      ScopeEdges.push_back(Step.EdgeId);
+    }
+    if (ScopeEdges.empty())
+      continue;
+
+    PathFormula F = encodePath(Ctx, P, ScopeEdges);
+    std::vector<ExprRef> Parts = {F.Formula};
+    if (CycleStart && Trace.CycleRecurrentSet != nullptr)
+      Parts.push_back(
+          F.stateAt(Ctx, Trace.CycleRecurrentSet, *CycleStart));
+    ExprRef T = Ctx.mkAnd(std::move(Parts));
+
+    // Candidate rho positions, last first (paper heuristic).
+    for (std::size_t I = ScopeEdges.size(); I-- > 0;) {
+      const Edge &E = P.edge(ScopeEdges[I]);
+      if (!E.Cmd.isHavoc())
+        continue;
+      const RhoInfo *Rho = LP.rhoForEdge(ScopeEdges[I]);
+      if (Rho == nullptr)
+        continue;
+
+      // Variables in scope just after the command: the live SSA
+      // copies at position I+1.
+      const auto &Live = F.IndexAt[I + 1];
+      std::set<ExprRef> Keep;
+      std::unordered_map<ExprRef, ExprRef> BackToBase;
+      for (ExprRef V : P.variables()) {
+        auto It = Live.find(V->varName());
+        unsigned Idx = It == Live.end() ? 0 : It->second;
+        ExprRef Ssa = ssaVar(Ctx, V, Idx);
+        Keep.insert(Ssa);
+        BackToBase[Ssa] = V;
+      }
+      ExprRef RhoSsa = nullptr;
+      {
+        auto It = Live.find(Rho->Rho->varName());
+        unsigned Idx = It == Live.end() ? 0 : It->second;
+        RhoSsa = ssaVar(Ctx, Rho->Rho, Idx);
+      }
+
+      std::vector<ExprRef> Eliminate;
+      for (ExprRef V : freeVars(T))
+        if (Keep.count(V) == 0)
+          Eliminate.push_back(V);
+
+      auto Projected = Qe.projectExists(T, Eliminate);
+      if (!Projected)
+        continue;
+
+      // Keep the conjuncts that mention rho.
+      std::vector<ExprRef> RhoConjuncts;
+      for (ExprRef Conj : conjuncts(*Projected))
+        if (occursFree(Conj, RhoSsa))
+          RhoConjuncts.push_back(Conj);
+      if (RhoConjuncts.empty())
+        continue;
+
+      ExprRef Bad = Ctx.mkAnd(std::move(RhoConjuncts));
+      ExprRef Cp = simplify(
+          Ctx, Ctx.mkNot(substitute(Ctx, Bad, BackToBase)));
+      if (Cp->isFalse() || Cp->isTrue())
+        continue;
+
+      // Filter: the strengthened chute location must keep at least
+      // one choice available (the paper's light non-vacuity check;
+      // the full recurrent-set check happens in RCRCHECK).
+      ExprRef After =
+          Ctx.mkAnd(Chutes.at(Pi).at(Rho->AfterLoc), Cp);
+      if (S.isUnsat(After)) {
+        ++S_.CandidatesFiltered;
+        continue;
+      }
+
+      ChuteCandidate Cand;
+      Cand.Pi = Pi;
+      Cand.AtLoc = Rho->AfterLoc;
+      Cand.Predicate = Cp;
+      // Deduplicate.
+      if (std::find(Out.begin(), Out.end(), Cand) == Out.end()) {
+        Out.push_back(Cand);
+        ++S_.CandidatesProposed;
+        CHUTE_DEBUG(debugLine("SYNTHcp candidate: " +
+                              Cand.toString(P)));
+      }
+    }
+  }
+
+  // Rank: predicates that constrain only the rho variable itself
+  // (sign conditions like the paper's rho1 > 0) before predicates
+  // entangled with program state — the latter are typically
+  // per-unrolling slivers that never converge.
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const ChuteCandidate &A, const ChuteCandidate &B) {
+                     auto pure = [](const ChuteCandidate &C) {
+                       return freeVars(C.Predicate).size() <= 1;
+                     };
+                     return pure(A) && !pure(B);
+                   });
+  return Out;
+}

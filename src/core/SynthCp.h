@@ -1,0 +1,81 @@
+//===- core/SynthCp.h - Chute-predicate synthesis --------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SYNTHcp (Section 5.2): from a pi-annotated counterexample path,
+/// synthesise chute predicates that exclude the witnessed behaviour.
+///
+/// For each existential scope pi touched by the trace, and each
+/// `rho := *` command inside that scope (later commands preferred, as
+/// in the paper's "last assignment in the innermost scope" heuristic):
+///
+///   1. build the SSA formula T of the scope's commands, strengthened
+///      with the counterexample cycle's recurrent set (the paper's
+///      "because the cyclic path is executed forever we can infer
+///      that y <= 0 is invariant"),
+///   2. existentially eliminate every variable that is not in scope
+///      just after the rho assignment (Fourier-Motzkin),
+///   3. keep the conjuncts mentioning rho and negate them.
+///
+/// The result is a predicate over rho (and live program variables) to
+/// be conjoined to C_pi at the location just after the havoc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_SYNTHCP_H
+#define CHUTE_CORE_SYNTHCP_H
+
+#include "core/Chute.h"
+#include "program/NondetLifting.h"
+#include "qe/QeEngine.h"
+
+namespace chute {
+
+/// One proposed chute strengthening.
+struct ChuteCandidate {
+  SubformulaPath Pi;          ///< chute to strengthen
+  Loc AtLoc = 0;              ///< location just after `rho := *`
+  ExprRef Predicate = nullptr; ///< over rho and live variables
+
+  /// Stable identity for banning during backtracking.
+  bool operator==(const ChuteCandidate &O) const {
+    return Pi == O.Pi && AtLoc == O.AtLoc && Predicate == O.Predicate;
+  }
+
+  std::string toString(const Program &P) const;
+};
+
+/// The SYNTHcp procedure.
+class SynthCp {
+public:
+  SynthCp(const LiftedProgram &LP, Smt &S, QeEngine &Qe)
+      : LP(LP), S(S), Qe(Qe) {}
+
+  /// Proposes chute strengthenings from a failed proof's trace,
+  /// ordered best first (innermost scope, latest rho assignment).
+  /// \p Chutes is consulted so candidates that would empty a chute
+  /// location are filtered out.
+  std::vector<ChuteCandidate> synthesize(const CexTrace &Trace,
+                                         const ChuteMap &Chutes);
+
+  /// Statistics for the ablation bench.
+  struct Stats {
+    std::uint64_t TracesSeen = 0;
+    std::uint64_t CandidatesProposed = 0;
+    std::uint64_t CandidatesFiltered = 0;
+  };
+  const Stats &stats() const { return S_; }
+
+private:
+  const LiftedProgram &LP;
+  Smt &S;
+  QeEngine &Qe;
+  Stats S_;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_SYNTHCP_H

@@ -1,0 +1,805 @@
+//===- core/UniversalProver.cpp - The `attempt` proof engine ----------------===//
+
+#include "core/UniversalProver.h"
+
+#include "support/Debug.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+std::string CexTrace::toString(const Program &P) const {
+  std::string S;
+  for (const CexStep &Step : Steps) {
+    const Edge &E = P.edge(Step.EdgeId);
+    S += formatStr("  (%s, %s)  %s -> %s\n",
+                   E.Cmd.toString().c_str(),
+                   Step.Scope.toString().c_str(),
+                   P.locationName(E.Src).c_str(),
+                   P.locationName(E.Dst).c_str());
+  }
+  if (!Cycle.empty()) {
+    S += "  cycle:\n";
+    for (const CexStep &Step : Cycle) {
+      const Edge &E = P.edge(Step.EdgeId);
+      S += formatStr("    (%s, %s)  %s -> %s\n",
+                     E.Cmd.toString().c_str(),
+                     Step.Scope.toString().c_str(),
+                     P.locationName(E.Src).c_str(),
+                     P.locationName(E.Dst).c_str());
+    }
+    if (CycleRecurrentSet != nullptr)
+      S += "    recurrent set: " + CycleRecurrentSet->toString() + "\n";
+  }
+  return S;
+}
+
+UniversalProver::UniversalProver(TransitionSystem &Ts, Smt &S,
+                                 QeEngine &Qe, const ChuteMap &Chutes,
+                                 ProverOptions Options)
+    : Ts(Ts), S(S), Qe(Qe), Chutes(Chutes), Opts(Options),
+      TermProver(Ts, S, Qe), Search(Ts, S, Qe), Invariants(Ts, S) {}
+
+//===-- Helpers -------------------------------------------------------------===//
+
+ExprRef UniversalProver::skeleton(CtlRef F) {
+  ExprContext &Ctx = Ts.program().exprContext();
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return F->atom();
+  case CtlKind::And:
+    return Ctx.mkAnd(skeleton(F->left()), skeleton(F->right()));
+  case CtlKind::Or:
+    return Ctx.mkOr(skeleton(F->left()), skeleton(F->right()));
+  case CtlKind::AF:
+  case CtlKind::EF:
+    return Ctx.mkTrue(); // Eventually: no "now" requirement.
+  case CtlKind::AW:
+  case CtlKind::EW:
+    // Either the left side holds now, or the right side takes over.
+    return Ctx.mkOr(skeleton(F->left()), skeleton(F->right()));
+  }
+  return Ctx.mkTrue();
+}
+
+Region UniversalProver::exactPathPost(const Region &From,
+                                      const std::vector<unsigned> &Path) {
+  const Program &P = Ts.program();
+  Region Cur = From;
+  for (unsigned Id : Path) {
+    const Edge &E = P.edge(Id);
+    ExprRef Next = Ts.postEdge(Id, Cur.at(E.Src));
+    Cur = Region::atLocation(P, E.Dst, Next);
+  }
+  return Cur;
+}
+
+Region UniversalProver::pathPreExists(const std::vector<unsigned> &Path,
+                                      ExprRef EndStates) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  assert(!Path.empty() && "empty path has no pre-image to compute");
+  Loc Start = P.edge(Path.front()).Src;
+
+  PathFormula F = encodePath(Ctx, P, Path);
+  ExprRef Body =
+      Ctx.mkAnd(F.Formula, F.stateAt(Ctx, EndStates, Path.size()));
+  std::vector<ExprRef> Eliminate;
+  for (ExprRef V : freeVars(Body)) {
+    const std::string &Name = V->varName();
+    auto Pos = Name.rfind('@');
+    if (Pos != std::string::npos && Name.substr(Pos + 1) != "0")
+      Eliminate.push_back(V);
+  }
+  auto Projected = Qe.projectExists(Body, Eliminate);
+  if (!Projected)
+    return Region::bottom(P);
+  std::unordered_map<ExprRef, ExprRef> Back;
+  for (ExprRef V : freeVars(*Projected)) {
+    const std::string &Name = V->varName();
+    if (endsWith(Name, "@0"))
+      Back[V] = Ctx.mkVar(Name.substr(0, Name.size() - 2));
+  }
+  ExprRef Pre = simplify(Ctx, substitute(Ctx, *Projected, Back));
+  return Region::atLocation(P, Start, Pre);
+}
+
+Region UniversalProver::backwardReach(const Region &Bad,
+                                      const Region *Chute,
+                                      unsigned MaxIter) {
+  ExprContext &Ctx = Ts.program().exprContext();
+  Region K = Bad;
+  for (unsigned I = 0; I < MaxIter; ++I) {
+    Region Pre = Ts.preExists(K, Chute);
+    if (Pre.subsetOf(S, K))
+      return K;
+    K = K.unite(Ctx, Pre).simplified(Ctx);
+  }
+  return K;
+}
+
+bool UniversalProver::blamable(const CexTrace &Trace,
+                               const SubformulaPath &Under) const {
+  const Program &P = Ts.program();
+  auto stepBlamable = [&](const CexStep &Step) {
+    if (!P.edge(Step.EdgeId).Cmd.isHavoc())
+      return false;
+    for (const SubformulaPath &Pi : Chutes.paths())
+      if (Under.isPrefixOf(Pi) && Pi.isPrefixOf(Step.Scope))
+        return true;
+    return false;
+  };
+  for (const CexStep &Step : Trace.Steps)
+    if (stepBlamable(Step))
+      return true;
+  for (const CexStep &Step : Trace.Cycle)
+    if (stepBlamable(Step))
+      return true;
+  return false;
+}
+
+UniversalProver::Anchor
+UniversalProver::extendAnchor(const Anchor &A, const Region &Target,
+                              const SubformulaPath &Scope,
+                              const Region *Within) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+
+  Region Inter = A.End.intersect(Ctx, Target).simplified(Ctx);
+  if (!Inter.isEmpty(S))
+    return {A.Steps, Inter};
+
+  auto Path = Search.findPath(A.End, Target, Within);
+  if (!Path)
+    return {A.Steps, Region::bottom(P)};
+
+  Anchor Out;
+  Out.Steps = A.Steps;
+  for (unsigned Id : *Path)
+    Out.Steps.push_back({Id, Scope});
+  Out.End = exactPathPost(A.End, *Path)
+                .intersect(Ctx, Target)
+                .simplified(Ctx);
+  return Out;
+}
+
+//===-- Dispatch ------------------------------------------------------------===//
+
+UniversalProver::SubResult
+UniversalProver::prove(const SubformulaPath &Pi, CtlRef F,
+                       const Region &X, const Anchor &A,
+                       const SubformulaPath &Scope,
+                       const Region *CexWithin) {
+  CHUTE_DEBUG(debugLine("prove " + Pi.toString() + " : " +
+                        F->toString()));
+
+  // Vacuous obligation: nothing required of the empty set.
+  if (X.isEmpty(S)) {
+    SubResult R;
+    R.Proved = true;
+    R.Covered = X;
+    R.Node = std::make_unique<DerivationNode>();
+    R.Node->Pi = Pi;
+    R.Node->Formula = F;
+    R.Node->X = X;
+    R.Node->RcrChecked = true; // No recurrent-set obligation.
+    return R;
+  }
+
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return proveAtom(Pi, F, X, A, Scope, CexWithin);
+  case CtlKind::And:
+    return proveAnd(Pi, F, X, A, Scope, CexWithin);
+  case CtlKind::Or:
+    return proveOr(Pi, F, X, A, Scope, CexWithin);
+  case CtlKind::AF:
+  case CtlKind::EF:
+    return proveEventually(Pi, F, X, A);
+  case CtlKind::AW:
+  case CtlKind::EW:
+    return proveUnless(Pi, F, X, A);
+  }
+  SubResult R;
+  R.Kind = FailKind::Incomplete;
+  return R;
+}
+
+//===-- Atoms ----------------------------------------------------------------===//
+
+UniversalProver::SubResult
+UniversalProver::proveAtom(const SubformulaPath &Pi, CtlRef F,
+                           const Region &X, const Anchor &A,
+                           const SubformulaPath &Scope,
+                           const Region *CexWithin) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  ExprRef Pred = F->atom();
+
+  Region Bad = Region::bottom(P);
+  bool AnyBad = false;
+  for (Loc L = 0; L < P.numLocations(); ++L) {
+    ExprRef B = simplify(Ctx, Ctx.mkAnd(X.at(L), Ctx.mkNot(Pred)));
+    if (B->isFalse() || S.isUnsat(B))
+      continue;
+    Bad.set(L, B);
+    AnyBad = true;
+  }
+
+  SubResult R;
+  if (!AnyBad) {
+    R.Proved = true;
+    R.Covered = X;
+    R.Node = std::make_unique<DerivationNode>();
+    R.Node->Pi = Pi;
+    R.Node->Formula = F;
+    R.Node->X = X;
+    return R;
+  }
+
+  R.BadStart = Bad;
+  // Already standing on a bad state?
+  Region EndBad =
+      A.End.intersect(Ctx, Bad).simplified(Ctx);
+  if (!EndBad.isEmpty(S)) {
+    R.Trace.Steps = A.Steps;
+    R.Kind = FailKind::Counterexample;
+    return R;
+  }
+  // Otherwise reach one concretely.
+  auto Path = Search.findPath(A.End, Bad, CexWithin);
+  if (Path) {
+    R.Trace.Steps = A.Steps;
+    for (unsigned Id : *Path)
+      R.Trace.Steps.push_back({Id, Scope});
+    R.Kind = FailKind::Counterexample;
+    return R;
+  }
+  R.Kind = FailKind::Incomplete;
+  return R;
+}
+
+//===-- Boolean structure -----------------------------------------------------===//
+
+UniversalProver::SubResult
+UniversalProver::proveAnd(const SubformulaPath &Pi, CtlRef F,
+                          const Region &X, const Anchor &A,
+                          const SubformulaPath &Scope,
+                          const Region *CexWithin) {
+  SubResult L =
+      prove(Pi.leftChild(), F->left(), X, A, Scope, CexWithin);
+  if (!L.Proved)
+    return L;
+  SubResult R =
+      prove(Pi.rightChild(), F->right(), X, A, Scope, CexWithin);
+  if (!R.Proved)
+    return R;
+  SubResult Out;
+  Out.Proved = true;
+  Out.Covered = L.Covered.intersect(
+      Ts.program().exprContext(), R.Covered);
+  Out.Node = std::make_unique<DerivationNode>();
+  Out.Node->Pi = Pi;
+  Out.Node->Formula = F;
+  Out.Node->X = X;
+  Out.Node->Children.push_back(std::move(L.Node));
+  Out.Node->Children.push_back(std::move(R.Node));
+  return Out;
+}
+
+UniversalProver::SubResult
+UniversalProver::proveOr(const SubformulaPath &Pi, CtlRef F,
+                         const Region &X, const Anchor &A,
+                         const SubformulaPath &Scope,
+                         const Region *CexWithin) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  CtlRef F1 = F->left();
+  CtlRef F2 = F->right();
+
+  auto splitBy = [&](ExprRef Atom) -> SubResult {
+    // X1 = X ∧ Atom |- F1,  X2 = X ∧ !Atom |- F2.
+    Region X1 = X.constrain(Ctx, Atom).simplified(Ctx);
+    Region X2 = X.constrain(Ctx, Ctx.mkNot(Atom)).simplified(Ctx);
+    Anchor A1 = {A.Steps, A.End.constrain(Ctx, Atom).simplified(Ctx)};
+    Anchor A2 = {A.Steps,
+                 A.End.constrain(Ctx, Ctx.mkNot(Atom)).simplified(Ctx)};
+    SubResult L = prove(Pi.leftChild(), F1, X1, A1, Scope, CexWithin);
+    if (!L.Proved)
+      return L;
+    SubResult R = prove(Pi.rightChild(), F2, X2, A2, Scope, CexWithin);
+    if (!R.Proved)
+      return R;
+    SubResult Out;
+    Out.Proved = true;
+    Out.Covered = L.Covered.unite(Ts.program().exprContext(), R.Covered);
+    Out.Node = std::make_unique<DerivationNode>();
+    Out.Node->Pi = Pi;
+    Out.Node->Formula = F;
+    Out.Node->X = X;
+    Out.Node->Children.push_back(std::move(L.Node));
+    Out.Node->Children.push_back(std::move(R.Node));
+    return Out;
+  };
+
+  // Cheap, common case: one side is an atom — split on it directly.
+  if (F1->isAtom()) {
+    SubResult R = splitBy(F1->atom());
+    if (R.Proved)
+      return R;
+  }
+  if (F2->isAtom()) {
+    // Symmetric: X ∧ Atom2 |- F2, rest |- F1; express by swapping the
+    // roles through splitBy on the negated atom.
+    Region X2 = X.constrain(Ctx, F2->atom()).simplified(Ctx);
+    Region X1 =
+        X.constrain(Ctx, Ctx.mkNot(F2->atom())).simplified(Ctx);
+    Anchor A2 = {A.Steps,
+                 A.End.constrain(Ctx, F2->atom()).simplified(Ctx)};
+    Anchor A1 = {A.Steps,
+                 A.End.constrain(Ctx, Ctx.mkNot(F2->atom()))
+                     .simplified(Ctx)};
+    SubResult L = prove(Pi.leftChild(), F1, X1, A1, Scope, CexWithin);
+    SubResult R = prove(Pi.rightChild(), F2, X2, A2, Scope, CexWithin);
+    if (L.Proved && R.Proved) {
+      SubResult Out;
+      Out.Proved = true;
+      Out.Covered =
+          L.Covered.unite(Ts.program().exprContext(), R.Covered);
+      Out.Node = std::make_unique<DerivationNode>();
+      Out.Node->Pi = Pi;
+      Out.Node->Formula = F;
+      Out.Node->X = X;
+      Out.Node->Children.push_back(std::move(L.Node));
+      Out.Node->Children.push_back(std::move(R.Node));
+      return Out;
+    }
+  }
+
+  // Whole-region attempts: X |- F1 (with X2 empty), then X |- F2.
+  SubResult WholeLeft = prove(Pi.leftChild(), F1, X, A, Scope,
+                              CexWithin);
+  if (WholeLeft.Proved) {
+    SubResult Empty = prove(Pi.rightChild(), F2, Region::bottom(P),
+                            {A.Steps, Region::bottom(P)}, Scope,
+                            CexWithin);
+    SubResult Out;
+    Out.Proved = true;
+    Out.Covered = WholeLeft.Covered;
+    Out.Node = std::make_unique<DerivationNode>();
+    Out.Node->Pi = Pi;
+    Out.Node->Formula = F;
+    Out.Node->X = X;
+    Out.Node->Children.push_back(std::move(WholeLeft.Node));
+    Out.Node->Children.push_back(std::move(Empty.Node));
+    return Out;
+  }
+  SubResult WholeRight =
+      prove(Pi.rightChild(), F2, X, A, Scope, CexWithin);
+  if (WholeRight.Proved) {
+    SubResult Empty = prove(Pi.leftChild(), F1, Region::bottom(P),
+                            {A.Steps, Region::bottom(P)}, Scope,
+                            CexWithin);
+    SubResult Out;
+    Out.Proved = true;
+    Out.Covered = WholeRight.Covered;
+    Out.Node = std::make_unique<DerivationNode>();
+    Out.Node->Pi = Pi;
+    Out.Node->Formula = F;
+    Out.Node->X = X;
+    Out.Node->Children.push_back(std::move(Empty.Node));
+    Out.Node->Children.push_back(std::move(WholeRight.Node));
+    return Out;
+  }
+
+  // Split on skeleton atoms of the subformulas.
+  std::vector<ExprRef> Candidates;
+  auto collectAtoms = [&](CtlRef G, auto &&Self) -> void {
+    if (G->isAtom()) {
+      if (!G->atom()->isTrue() && !G->atom()->isFalse())
+        Candidates.push_back(G->atom());
+      return;
+    }
+    Self(G->left(), Self);
+    if (G->kind() == CtlKind::And || G->kind() == CtlKind::Or ||
+        isUnless(G->kind()))
+      Self(G->right(), Self);
+  };
+  collectAtoms(F1, collectAtoms);
+  collectAtoms(F2, collectAtoms);
+  if (Candidates.size() > Opts.MaxOrSplitAtoms)
+    Candidates.resize(Opts.MaxOrSplitAtoms);
+  for (ExprRef Atom : Candidates) {
+    SubResult R = splitBy(Atom);
+    if (R.Proved)
+      return R;
+    R = splitBy(Ctx.mkNot(Atom));
+    if (R.Proved)
+      return R;
+  }
+
+  // Report the most informative failure.
+  if (WholeRight.Kind == FailKind::Counterexample)
+    return WholeRight;
+  if (WholeLeft.Kind == FailKind::Counterexample)
+    return WholeLeft;
+  return WholeRight;
+}
+
+//===-- Eventually (AF / EF) ---------------------------------------------------===//
+
+UniversalProver::SubResult
+UniversalProver::proveEventually(const SubformulaPath &Pi, CtlRef F,
+                                 const Region &X, const Anchor &A) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  bool Exist = F->kind() == CtlKind::EF;
+  const Region *C = Exist ? &Chutes.at(Pi) : nullptr;
+
+  // Start states are covered when they are inside the chute or can
+  // enter it in one step (a stale pre-obligation choice is allowed;
+  // the generalised recurrent-set check covers these starts too).
+  Region XEff = X;
+  Anchor AEff = A;
+  if (Exist) {
+    Region Enter = C->unite(Ctx, Ts.preExists(*C));
+    XEff = X.intersectPruned(S, Enter);
+    AEff.End = A.End.intersectPruned(S, Enter);
+  }
+
+  SubResult Fail;
+  Fail.Kind = FailKind::Incomplete;
+  Fail.BadStart = X;
+  if (XEff.isEmpty(S))
+    return Fail; // Chute excludes every start state: cannot prove.
+
+  Region Inv = Invariants.reach(XEff, C, nullptr,
+                                Opts.MaxReachIterations);
+  Region Frontier =
+      Inv.intersectPruned(S, Region::uniform(P, skeleton(F->left())));
+
+  // No reachable state can even begin to satisfy the subformula:
+  // chutes only shrink reachability, so no refinement can help.
+  if (Frontier.isEmpty(S))
+    return Fail;
+
+  CexTrace LastChildTrace;
+  for (unsigned Round = 0; Round < Opts.MaxFrontierRounds; ++Round) {
+    TerminationResult TR = TermProver.proveReach(XEff, Frontier, C);
+    CHUTE_DEBUG(debugLine("eventually " + Pi.toString() + ": termination " +
+                          (TR.proved() ? "proved" : TR.refuted() ? "refuted" : "unknown")));
+    if (TR.refuted()) {
+      // Infinite execution avoiding every potential frontier state.
+      SubResult R;
+      R.Kind = FailKind::Counterexample;
+      // Precise bad region: states that can execute the stem into
+      // the recurrent cycle (falls back to X when empty).
+      Region BadAtStemStart;
+      if (!TR.Lasso.Stem.empty())
+        BadAtStemStart =
+            pathPreExists(TR.Lasso.Stem, TR.Lasso.RecurrentSet);
+      else if (!TR.Lasso.Cycle.empty())
+        BadAtStemStart = Region::atLocation(
+            P, Ts.program().edge(TR.Lasso.Cycle.front()).Src,
+            TR.Lasso.RecurrentSet);
+      R.BadStart = BadAtStemStart.empty()
+                       ? X
+                       : BadAtStemStart.intersect(Ctx, XEff)
+                             .simplified(Ctx);
+      if (R.BadStart.isEmpty(S))
+        R.BadStart = X;
+
+      // Realize the trace: the lasso starts at a specific state set
+      // (the stem's pre-image); connect the anchor to exactly that
+      // set so the concatenated steps form one coherent path. The
+      // connecting steps belong to this operator's scope as well.
+      Anchor ToBad;
+      ToBad.End = Region::bottom(P);
+      if (!BadAtStemStart.empty() && !BadAtStemStart.isEmpty(S))
+        ToBad = extendAnchor(AEff, BadAtStemStart, Pi, C);
+      if (!ToBad.End.empty() && !ToBad.End.isEmpty(S)) {
+        R.Trace.Steps = ToBad.Steps;
+        for (unsigned Id : TR.Lasso.Stem)
+          R.Trace.Steps.push_back({Id, Pi});
+        for (unsigned Id : TR.Lasso.Cycle)
+          R.Trace.Cycle.push_back({Id, Pi});
+        R.Trace.CycleRecurrentSet = TR.Lasso.RecurrentSet;
+      }
+      // When the refutation was induced by frontier shrinking, the
+      // inner subformula's own failing trace is often the one that
+      // blames a nondeterministic choice; hand it to the refiner as
+      // the secondary view.
+      if (LastChildTrace.realizable())
+        R.Secondary = LastChildTrace;
+      CHUTE_DEBUG(debugLine("eventually " + Pi.toString() + ": refuted, trace " +
+                            (R.Trace.realizable() ? "realizable" : "empty") +
+                            ", secondary " +
+                            (R.Secondary.realizable() ? "realizable" : "empty")));
+      return R;
+    }
+    if (!TR.proved()) {
+      if (LastChildTrace.realizable()) {
+        Fail.Kind = FailKind::Counterexample;
+        Fail.Trace = LastChildTrace;
+      }
+      CHUTE_DEBUG(debugLine("eventually " + Pi.toString() +
+                            ": unknown termination, child trace " +
+                            (LastChildTrace.realizable() ? "realizable"
+                                                         : "empty")));
+      return Fail;
+    }
+
+    // All executions reach the frontier; the subformula must hold
+    // there.
+    Anchor ChildAnchor = extendAnchor(AEff, Frontier, Pi, C);
+    SubResult Child = prove(Pi.leftChild(), F->left(), Frontier,
+                            ChildAnchor, Pi, nullptr);
+    if (Child.Proved) {
+      // Existential subformulas only establish themselves inside
+      // their chute: the frontier must lie within the covered set,
+      // otherwise shrink it and re-prove termination.
+      if (Child.Covered.empty() ||
+          !Frontier.subsetOf(S, Child.Covered)) {
+        if (Child.Covered.empty())
+          return Fail;
+        Region Shrunk = Frontier.intersectPruned(S, Child.Covered);
+        bool Progress = !Frontier.subsetOf(S, Shrunk);
+        if (!Progress)
+          return Fail;
+        Frontier = Shrunk;
+        continue;
+      }
+      SubResult R;
+      R.Proved = true;
+      R.Covered = XEff;
+      R.Node = std::make_unique<DerivationNode>();
+      R.Node->Pi = Pi;
+      R.Node->Formula = F;
+      R.Node->X = XEff;
+      if (Exist)
+        R.Node->Chute = *C;
+      R.Node->Frontier = Frontier;
+      R.Node->Invariant = TR.Invariant;
+      R.Node->Ranking = TR.Ranking;
+      R.Node->Children.push_back(std::move(Child.Node));
+      return R;
+    }
+    // The subformula fails on part of the frontier: those states
+    // cannot serve, so remove them and retry (always sound — a
+    // smaller frontier only makes the termination obligation
+    // harder). Traces that blame a nondeterministic choice in an
+    // existential scope are preserved (LastChildTrace / Secondary)
+    // so the refiner can synthesise chutes when the shrink cascade
+    // bottoms out.
+    Region Shrunk = Frontier.minusPruned(S, Child.BadStart);
+    bool Progress = !Frontier.subsetOf(S, Shrunk);
+    // Remember the child trace only when it can blame a choice in a
+    // chute at-or-below this operator — later unblamable failures
+    // must not evict a refinable one.
+    if (Child.Kind == FailKind::Counterexample &&
+        Child.Trace.realizable() && blamable(Child.Trace, Pi))
+      LastChildTrace = Child.Trace;
+    if (!Progress && Child.Trace.realizable() &&
+        blamable(Child.Trace, Pi.leftChild())) {
+      SubResult R;
+      R.Kind = FailKind::Counterexample;
+      R.Trace = Child.Trace;
+      R.Secondary = Child.Secondary;
+      R.BadStart = X;
+      return R;
+    }
+    if (!Progress) {
+      if (Child.Trace.realizable()) {
+        Fail.Kind = FailKind::Counterexample;
+        Fail.Trace = Child.Trace;
+      }
+      CHUTE_DEBUG(debugLine("eventually " + Pi.toString() +
+                            ": frontier stuck, child trace " +
+                            (Child.Trace.realizable() ? "realizable"
+                                                      : "empty")));
+      return Fail;
+    }
+    Frontier = Shrunk;
+  }
+  if (LastChildTrace.realizable()) {
+    Fail.Kind = FailKind::Counterexample;
+    Fail.Trace = LastChildTrace;
+  }
+  return Fail;
+}
+
+//===-- Unless (AW / EW) --------------------------------------------------------===//
+
+UniversalProver::SubResult
+UniversalProver::proveUnless(const SubformulaPath &Pi, CtlRef F,
+                             const Region &X, const Anchor &A) {
+  const Program &P = Ts.program();
+  ExprContext &Ctx = P.exprContext();
+  bool Exist = F->kind() == CtlKind::EW;
+  const Region *C = Exist ? &Chutes.at(Pi) : nullptr;
+
+  // As in proveEventually: starts may enter the chute on their first
+  // step (their own phi1 obligation is still checked via Active).
+  Region XEff = X;
+  Anchor AEff = A;
+  if (Exist) {
+    Region Enter = C->unite(Ctx, Ts.preExists(*C));
+    XEff = X.intersectPruned(S, Enter);
+    AEff.End = A.End.intersectPruned(S, Enter);
+  }
+
+  SubResult Fail;
+  Fail.Kind = FailKind::Incomplete;
+  Fail.BadStart = X;
+  if (XEff.isEmpty(S))
+    return Fail;
+
+  // AG/EG shape: the takeover formula is literally false, so a
+  // failure of the left side anywhere reachable is final — no
+  // frontier can absorb it.
+  bool GloballyShape = F->isGlobally();
+
+  // Lifts an inner failure region to this obligation's start states:
+  // the X-states that can reach the failure within the chute. Parents
+  // refine their frontiers with this (shrinking is always sound).
+  auto liftBad = [&](const Region &Bad) {
+    Region K = backwardReach(Bad, C);
+    Region Lifted = XEff.intersect(Ctx, K).simplified(Ctx);
+    return Lifted.isEmpty(S) ? X : Lifted;
+  };
+
+  // Precise variant: when the failure came with a concrete path from
+  // the anchor, the responsible start states are the pre-image of the
+  // bad set along exactly that path — far tighter than the full
+  // backward closure (which often covers the whole loop).
+  auto liftAlongTrace = [&](const SubResult &Inner) -> Region {
+    if (!Inner.Trace.realizable() || !Inner.Trace.Cycle.empty() ||
+        Inner.Trace.Steps.size() < AEff.Steps.size())
+      return liftBad(Inner.BadStart);
+    std::vector<unsigned> Suffix;
+    for (std::size_t I = AEff.Steps.size();
+         I < Inner.Trace.Steps.size(); ++I)
+      Suffix.push_back(Inner.Trace.Steps[I].EdgeId);
+    Region Precise;
+    if (Suffix.empty()) {
+      Precise = AEff.End.intersect(Ctx, Inner.BadStart).simplified(Ctx);
+    } else {
+      Loc EndLoc = Ts.program().edge(Suffix.back()).Dst;
+      Precise = pathPreExists(Suffix, Inner.BadStart.at(EndLoc))
+                    .intersect(Ctx, XEff)
+                    .simplified(Ctx);
+    }
+    return Precise.isEmpty(S) ? liftBad(Inner.BadStart) : Precise;
+  };
+
+  CexTrace LastLeftTrace;
+  Region Frontier = Region::bottom(P);
+  for (unsigned Round = 0; Round < Opts.MaxFrontierRounds; ++Round) {
+    Region Inv = Invariants.reach(XEff, C, &Frontier,
+                                  Opts.MaxReachIterations);
+    Region Active = Inv.minusPruned(S, Frontier);
+    Anchor A1 = {AEff.Steps, AEff.End.minusPruned(S, Frontier)};
+    SubResult Left = prove(Pi.leftChild(), F->left(), Active, A1, Pi,
+                           &Active);
+    if (!Left.Proved && GloballyShape) {
+      Left.BadStart = liftAlongTrace(Left);
+      return Left;
+    }
+    if (Left.Proved && (Left.Covered.empty() ||
+                        !Active.subsetOf(S, Left.Covered))) {
+      // Active states outside the child's covered set are unproven:
+      // move them to the frontier (they will owe phi2 instead).
+      if (GloballyShape)
+        return Fail; // No frontier can absorb them under W-false.
+      if (Left.Covered.empty())
+        return Fail;
+      Region Grown = Frontier.unite(
+          Ctx, Active.minusPruned(S, Left.Covered));
+      if (Grown.subsetOf(S, Frontier))
+        return Fail;
+      Frontier = Grown.simplified(Ctx);
+      continue;
+    }
+    if (Left.Proved) {
+      Region FrontReach = Inv.intersectPruned(S, Frontier);
+      SubResult Right;
+      if (FrontReach.isEmpty(S)) {
+        // The frontier is never reached: the right obligation is
+        // vacuous (paths satisfy the left side forever).
+        Right = prove(Pi.rightChild(), F->right(), Region::bottom(P),
+                      {AEff.Steps, Region::bottom(P)}, Pi, nullptr);
+      } else {
+        Anchor A2 = extendAnchor(AEff, FrontReach, Pi, C);
+        Right = prove(Pi.rightChild(), F->right(), FrontReach, A2, Pi,
+                      nullptr);
+      }
+      if (Right.Proved && (Right.Covered.empty() ||
+                           !FrontReach.subsetOf(S, Right.Covered))) {
+        // Reached frontier states outside the right child's covered
+        // set are unproven; no local repair exists for W-shapes.
+        Right.Proved = false;
+        Right.Kind = FailKind::Incomplete;
+        Right.BadStart = Right.Covered.empty()
+                             ? FrontReach
+                             : FrontReach.minusPruned(S, Right.Covered);
+      }
+      if (Right.Proved) {
+        SubResult R;
+        R.Proved = true;
+        R.Covered = XEff;
+        R.Node = std::make_unique<DerivationNode>();
+        R.Node->Pi = Pi;
+        R.Node->Formula = F;
+        R.Node->X = XEff;
+        if (Exist)
+          R.Node->Chute = *C;
+        R.Node->Frontier = Frontier;
+        R.Node->Invariant = Inv;
+        R.Node->Children.push_back(std::move(Left.Node));
+        R.Node->Children.push_back(std::move(Right.Node));
+        return R;
+      }
+      // Right side failed on frontier states where the left side had
+      // already failed: genuine violation (or incompleteness). When
+      // the right side's trace is not realizable (e.g. the failure
+      // sits at an initial state with no steps to blame), prefer the
+      // left side's realizable trace — it is the path that forced
+      // those states into the frontier.
+      if (!Right.Trace.realizable() && LastLeftTrace.realizable()) {
+        Right.Kind = FailKind::Counterexample;
+        Right.Trace = LastLeftTrace;
+      }
+      Right.BadStart = liftBad(Right.BadStart);
+      return Right;
+    }
+    if (Left.Trace.realizable() &&
+        blamable(Left.Trace, Pi.leftChild())) {
+      Left.BadStart = liftAlongTrace(Left);
+      return Left;
+    }
+    if (Left.Kind == FailKind::Counterexample &&
+        Left.Trace.realizable() && blamable(Left.Trace, Pi))
+      LastLeftTrace = Left.Trace;
+    // Move the left side's failure states to the frontier and demand
+    // the takeover subformula there. (Sound for any failure kind:
+    // frontier states only acquire the *extra* obligation phi2.)
+    Region Grown = Frontier.unite(Ctx, Left.BadStart).simplified(Ctx);
+    if (Grown.subsetOf(S, Frontier)) {
+      Left.BadStart = liftAlongTrace(Left);
+      return Left; // No progress.
+    }
+    Frontier = Grown;
+  }
+  return Fail;
+}
+
+//===-- Top level ------------------------------------------------------------===//
+
+UniversalProver::Outcome UniversalProver::attempt(CtlRef F) {
+  const Program &P = Ts.program();
+  Region Init = Region::initial(P);
+  Anchor A;
+  A.End = Init;
+
+  SubformulaPath Root;
+  SubResult R = prove(Root, F, Init, A, Root, nullptr);
+
+  Outcome Out;
+  if (R.Proved &&
+      (R.Covered.empty() || !Init.subsetOf(S, R.Covered))) {
+    // An existential root only covered Init ∩ C: some initial state
+    // fell outside the chute, so M |= F is not established.
+    R.Proved = false;
+    R.Kind = FailKind::Incomplete;
+  }
+  if (R.Proved) {
+    Out.Proved = true;
+    Out.Proof = DerivationTree(std::move(R.Node));
+    return Out;
+  }
+  Out.Trace = std::move(R.Trace);
+  Out.Secondary = std::move(R.Secondary);
+  Out.Kind = R.Kind;
+  return Out;
+}

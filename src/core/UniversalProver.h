@@ -1,0 +1,164 @@
+//===- core/UniversalProver.h - The `attempt` proof engine ----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `attempt (M |= o, F) using C̄` (Sections 4-5): a
+/// recursive proof search over (region, subformula) obligations that
+/// treats existential operators exactly like their universal
+/// counterparts except that the transition relation is restricted by
+/// the per-subformula chute. Obligations are discharged with the
+/// analysis engines:
+///
+///   F-shaped operators -> frontier synthesis + termination-to-
+///                         frontier (ranking functions),
+///   W-shaped operators -> reachability invariants with a growing
+///                         frontier for the takeover subformula,
+///   atoms              -> inclusion checks,
+///   And/Or             -> conjunction / region partitioning.
+///
+/// On failure it produces the pi-annotated counterexample path that
+/// SYNTHcp consumes. Successful attempts yield a derivation carrying
+/// the (X, C, F) triples so the recurrent-set obligations (RCRCHECK)
+/// can be discharged afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_UNIVERSALPROVER_H
+#define CHUTE_CORE_UNIVERSALPROVER_H
+
+#include "analysis/TerminationProver.h"
+#include "core/Chute.h"
+#include "core/DerivationTree.h"
+
+namespace chute {
+
+/// Tunable limits of the proof search.
+struct ProverOptions {
+  unsigned MaxFrontierRounds = 8; ///< frontier refinement per node
+  unsigned MaxOrSplitAtoms = 8;   ///< atom candidates tried per Or
+  unsigned MaxReachIterations = 16;
+};
+
+/// One full proof attempt under a fixed chute map.
+class UniversalProver {
+public:
+  UniversalProver(TransitionSystem &Ts, Smt &S, QeEngine &Qe,
+                  const ChuteMap &Chutes,
+                  ProverOptions Options = ProverOptions());
+
+  /// Result of attempt().
+  struct Outcome {
+    bool Proved = false;
+    DerivationTree Proof; ///< valid when Proved
+    CexTrace Trace;       ///< valid when !Proved && realizable
+    /// A second counterexample view when available (e.g. the inner
+    /// subformula's failing trace behind a frontier-shrink-induced
+    /// lasso); the refiner consults it when the primary trace yields
+    /// no chute candidates.
+    CexTrace Secondary;
+    FailKind Kind = FailKind::Incomplete;
+  };
+
+  /// Attempts to prove that every initial state satisfies \p F.
+  Outcome attempt(CtlRef F);
+
+private:
+  /// Concrete access to a region: a pi-annotated edge path from the
+  /// initial states whose exact post-image is End (every End state is
+  /// genuinely reachable by executing Steps).
+  struct Anchor {
+    std::vector<CexStep> Steps;
+    Region End;
+  };
+
+  /// Result of one (pi, formula, region) obligation.
+  struct SubResult {
+    bool Proved = false;
+    std::unique_ptr<DerivationNode> Node; ///< when proved
+    CexTrace Trace;                       ///< when failed, may be empty
+    CexTrace Secondary;                   ///< alternative view (see Outcome)
+    FailKind Kind = FailKind::Incomplete;
+    Region BadStart; ///< sub-region where the obligation failed
+    /// On success: the sub-region of X the proof actually covers.
+    /// Existential operators only establish their formula inside
+    /// their chute; parents must not assume more (their frontiers are
+    /// intersected with this set).
+    Region Covered;
+  };
+
+  SubResult prove(const SubformulaPath &Pi, CtlRef F, const Region &X,
+                  const Anchor &A, const SubformulaPath &Scope,
+                  const Region *CexWithin);
+
+  SubResult proveAtom(const SubformulaPath &Pi, CtlRef F,
+                      const Region &X, const Anchor &A,
+                      const SubformulaPath &Scope,
+                      const Region *CexWithin);
+  SubResult proveAnd(const SubformulaPath &Pi, CtlRef F, const Region &X,
+                     const Anchor &A, const SubformulaPath &Scope,
+                     const Region *CexWithin);
+  SubResult proveOr(const SubformulaPath &Pi, CtlRef F, const Region &X,
+                    const Anchor &A, const SubformulaPath &Scope,
+                    const Region *CexWithin);
+  SubResult proveEventually(const SubformulaPath &Pi, CtlRef F,
+                            const Region &X, const Anchor &A);
+  SubResult proveUnless(const SubformulaPath &Pi, CtlRef F,
+                        const Region &X, const Anchor &A);
+
+  /// The boolean "now" approximation of a formula: a necessary
+  /// condition for the formula to hold in a state.
+  ExprRef skeleton(CtlRef F);
+
+  /// Extends \p A by a feasible path into \p Target (all states
+  /// within \p Within when non-null), annotating new steps with
+  /// \p Scope. Returns an anchor whose End is the exact post-image
+  /// intersected with Target, or an anchor with an empty End when no
+  /// path was found.
+  Anchor extendAnchor(const Anchor &A, const Region &Target,
+                      const SubformulaPath &Scope, const Region *Within);
+
+  /// Exact post-image of a concrete edge path from \p From.
+  Region exactPathPost(const Region &From,
+                       const std::vector<unsigned> &Path);
+
+  /// Existential pre-image of \p EndStates (at the path's end
+  /// location) backwards across \p Path, as a region at the path's
+  /// start location. Used to report precise BadStart regions for
+  /// lasso counterexamples: exactly the states that can execute the
+  /// stem into the recurrent cycle.
+  Region pathPreExists(const std::vector<unsigned> &Path,
+                       ExprRef EndStates);
+
+  /// Over-approximate backward reachability: states that may reach
+  /// \p Bad within \p Chute in at most \p MaxIter steps of the
+  /// existential pre-image (converges early when a fixpoint is hit).
+  /// Used to lift a subformula's failure region to the enclosing
+  /// obligation's start region for frontier refinement.
+  Region backwardReach(const Region &Bad, const Region *Chute,
+                       unsigned MaxIter = 12);
+
+  /// True when \p Trace contains a nondeterministic choice blamable
+  /// on a chute at-or-below subformula \p Under — i.e. SYNTHcp could
+  /// repair the failure by restricting that subformula's own
+  /// nondeterminism. Such failures are propagated to the refiner;
+  /// others are handled locally by frontier refinement (the failing
+  /// states genuinely do not satisfy the subformula).
+  bool blamable(const CexTrace &Trace,
+                const SubformulaPath &Under) const;
+
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  const ChuteMap &Chutes;
+  ProverOptions Opts;
+  TerminationProver TermProver;
+  PathSearch Search;
+  InvariantGen Invariants;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_UNIVERSALPROVER_H

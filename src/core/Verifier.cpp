@@ -1,0 +1,125 @@
+//===- core/Verifier.cpp - Top-level CTL verification -------------------------===//
+
+#include "core/Verifier.h"
+
+#include "ctl/CtlParser.h"
+#include "support/Debug.h"
+#include "support/Stopwatch.h"
+
+using namespace chute;
+
+const char *chute::toString(Verdict V) {
+  switch (V) {
+  case Verdict::Proved:
+    return "proved";
+  case Verdict::Disproved:
+    return "disproved";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+Verifier::Verifier(const Program &Source, VerifierOptions Options)
+    : Opts(Options), LP(liftNondeterminism(Source)),
+      Solver(Source.exprContext(), Options.SmtTimeoutMs), Qe(Solver),
+      Ts(*LP.Prog, Solver, Qe), Ctl(Source.exprContext()) {}
+
+VerifyResult Verifier::verify(CtlRef F) {
+  Stopwatch Timer;
+  VerifyResult Result;
+
+  {
+    ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
+    RefineOutcome Out = Refiner.prove(F);
+    Result.Rounds += Out.Rounds;
+    Result.Refinements += Out.Refinements;
+    Result.Backtracks += Out.Backtracks;
+    if (Out.proved()) {
+      Result.V = Verdict::Proved;
+      Result.Proof = std::move(Out.Proof);
+      Result.Seconds = Timer.seconds();
+      return Result;
+    }
+  }
+
+  if (Opts.TryNegation) {
+    if (auto NegF = Ctl.negate(F)) {
+      ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
+      RefineOutcome Out = Refiner.prove(*NegF);
+      Result.Rounds += Out.Rounds;
+      Result.Refinements += Out.Refinements;
+      Result.Backtracks += Out.Backtracks;
+      if (Out.proved()) {
+        Result.V = Verdict::Disproved;
+        Result.Proof = std::move(Out.Proof);
+        Result.ProofIsOfNegation = true;
+        Result.Seconds = Timer.seconds();
+        return Result;
+      }
+    }
+  }
+
+  Result.V = Verdict::Unknown;
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+VerifyResult Verifier::verify(const std::string &Property,
+                              std::string &Err) {
+  CtlRef F = parseCtlString(Ctl, Property, Err);
+  if (F == nullptr)
+    return VerifyResult();
+  return verify(F);
+}
+
+CheckReport Verifier::checkProof(const VerifyResult &Result) {
+  ProofChecker Checker(Ts, Solver, Qe);
+  return Checker.check(Result.Proof, Region::initial(*LP.Prog));
+}
+
+std::optional<std::vector<unsigned>>
+Verifier::witness(const VerifyResult &Result, unsigned PrefixLen) {
+  if (!Result.Proof.valid())
+    return std::nullopt;
+  const DerivationNode *Root = Result.Proof.root();
+  if (Root->Formula->isAtom() ||
+      !isExistential(Root->Formula->kind()) || !Root->Chute)
+    return std::nullopt;
+
+  const Program &P = *LP.Prog;
+  PathSearch Search(Ts, Solver, Qe);
+  const Region &Chute = *Root->Chute;
+
+  if (Root->Formula->kind() == CtlKind::EF && Root->Frontier) {
+    // A chute path from the initial states into the frontier.
+    return Search.findPath(Root->X, *Root->Frontier, &Chute);
+  }
+
+  // EG/EW: demonstrate a feasible chute-respecting prefix of the
+  // infinite run by stepping the exact post image forward.
+  Region Cur = Root->X;
+  std::vector<unsigned> Path;
+  for (unsigned I = 0; I < PrefixLen; ++I) {
+    bool Stepped = false;
+    for (const Edge &E : P.edges()) {
+      ExprRef Pre = Cur.at(E.Src);
+      if (Pre->isFalse())
+        continue;
+      ExprRef Next = Solver.exprContext().mkAnd(
+          Ts.postEdge(E.Id, Pre), Chute.at(E.Dst));
+      if (Solver.isUnsat(Next))
+        continue;
+      Path.push_back(E.Id);
+      Cur = Region::atLocation(P, E.Dst,
+                               simplify(Solver.exprContext(), Next));
+      Stepped = true;
+      break;
+    }
+    if (!Stepped)
+      break;
+  }
+  if (Path.empty())
+    return std::nullopt;
+  return Path;
+}

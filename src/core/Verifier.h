@@ -1,0 +1,104 @@
+//===- core/Verifier.h - Top-level CTL verification ------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: verify a CTL property of a program. A
+/// property is *proved* when the chute-refinement loop finds a
+/// derivation, and *disproved* when the loop proves the property's
+/// CTL negation (exactly how the paper constructs benchmarks 28-54 of
+/// Figure 6). Everything else is Unknown — a failed proof attempt is
+/// never reported as a disproof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_VERIFIER_H
+#define CHUTE_CORE_VERIFIER_H
+
+#include "core/ChuteRefiner.h"
+#include "core/ProofChecker.h"
+#include "program/NondetLifting.h"
+
+namespace chute {
+
+/// Final verdicts.
+enum class Verdict { Proved, Disproved, Unknown };
+
+const char *toString(Verdict V);
+
+/// Options for the whole pipeline.
+struct VerifierOptions {
+  RefinerOptions Refiner;
+  unsigned SmtTimeoutMs = 3000;
+  bool TryNegation = true; ///< attempt to disprove via the dual
+};
+
+/// Result of one verification run.
+struct VerifyResult {
+  Verdict V = Verdict::Unknown;
+  double Seconds = 0.0;
+
+  /// Derivation for the property (Proved) or for its negation
+  /// (Disproved).
+  DerivationTree Proof;
+  /// True when Proof proves the negation.
+  bool ProofIsOfNegation = false;
+
+  unsigned Rounds = 0;      ///< attempt() calls across both directions
+  unsigned Refinements = 0; ///< chute strengthenings applied
+  unsigned Backtracks = 0;
+
+  bool proved() const { return V == Verdict::Proved; }
+  bool disproved() const { return V == Verdict::Disproved; }
+};
+
+/// Verifies CTL properties of programs. One instance owns the solver
+/// plumbing and can be reused across queries on the same program.
+class Verifier {
+public:
+  /// \p Source is the un-lifted program; the verifier applies
+  /// nondeterminism lifting internally.
+  Verifier(const Program &Source,
+           VerifierOptions Options = VerifierOptions());
+
+  /// The lifted program that verification actually runs on (for
+  /// inspection/reporting).
+  const Program &lifted() const { return *LP.Prog; }
+
+  /// Proves or disproves \p F from every initial state.
+  VerifyResult verify(CtlRef F);
+
+  /// Convenience: parse and verify a property written in the CTL
+  /// surface syntax. Returns Unknown with \p Err set on parse errors.
+  VerifyResult verify(const std::string &Property, std::string &Err);
+
+  /// Independently re-validates the derivation carried by \p Result
+  /// with the ProofChecker (fresh solver queries, no prover state).
+  CheckReport checkProof(const VerifyResult &Result);
+
+  /// For a proved property whose outermost operator is existential
+  /// (EF/EG/EW), extracts a concrete witness: a feasible edge path of
+  /// the lifted program from an initial state into the operator's
+  /// frontier (EF), or a feasible prefix of the guaranteed infinite
+  /// run (EG/EW), staying inside the synthesised chute throughout.
+  /// Returns nullopt when the proof has no existential root or no
+  /// path is found within the search bounds.
+  std::optional<std::vector<unsigned>>
+  witness(const VerifyResult &Result, unsigned PrefixLen = 12);
+
+  CtlManager &ctl() { return Ctl; }
+
+private:
+  VerifierOptions Opts;
+  LiftedProgram LP;
+  Smt Solver;
+  QeEngine Qe;
+  TransitionSystem Ts;
+  CtlManager Ctl;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_VERIFIER_H

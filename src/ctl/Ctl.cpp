@@ -1,0 +1,168 @@
+//===- ctl/Ctl.cpp - CTL formulas and subformula contexts -------------------===//
+
+#include "ctl/Ctl.h"
+
+using namespace chute;
+
+bool chute::isEventuality(CtlKind K) {
+  return K == CtlKind::AF || K == CtlKind::EF;
+}
+
+bool chute::isUnless(CtlKind K) {
+  return K == CtlKind::AW || K == CtlKind::EW;
+}
+
+bool chute::isExistential(CtlKind K) {
+  return K == CtlKind::EF || K == CtlKind::EW;
+}
+
+bool CtlFormula::isGlobally() const {
+  return (K == CtlKind::AW || K == CtlKind::EW) && R != nullptr &&
+         R->isAtom() && R->atom()->isFalse();
+}
+
+std::string CtlFormula::toString() const {
+  switch (K) {
+  case CtlKind::Atom:
+    return Pred->isComparison() || Pred->isTrue() || Pred->isFalse()
+               ? Pred->toString()
+               : "(" + Pred->toString() + ")";
+  case CtlKind::And:
+    return "(" + L->toString() + " && " + R->toString() + ")";
+  case CtlKind::Or:
+    return "(" + L->toString() + " || " + R->toString() + ")";
+  case CtlKind::AF:
+    return "AF(" + L->toString() + ")";
+  case CtlKind::EF:
+    return "EF(" + L->toString() + ")";
+  case CtlKind::AW:
+    if (isGlobally())
+      return "AG(" + L->toString() + ")";
+    return "A[" + L->toString() + " W " + R->toString() + "]";
+  case CtlKind::EW:
+    if (isGlobally())
+      return "EG(" + L->toString() + ")";
+    return "E[" + L->toString() + " W " + R->toString() + "]";
+  }
+  return "?";
+}
+
+CtlRef CtlManager::intern(CtlKind K, ExprRef Pred, CtlRef L, CtlRef R) {
+  for (const auto &N : Nodes)
+    if (N->K == K && N->Pred == Pred && N->L == L && N->R == R)
+      return N.get();
+  Nodes.push_back(
+      std::unique_ptr<CtlFormula>(new CtlFormula(K, Pred, L, R)));
+  return Nodes.back().get();
+}
+
+CtlRef CtlManager::atom(ExprRef Pred) {
+  assert(Pred->isBool() && "atoms are state predicates");
+  return intern(CtlKind::Atom, Pred, nullptr, nullptr);
+}
+
+CtlRef CtlManager::conj(CtlRef A, CtlRef B) {
+  return intern(CtlKind::And, nullptr, A, B);
+}
+
+CtlRef CtlManager::disj(CtlRef A, CtlRef B) {
+  return intern(CtlKind::Or, nullptr, A, B);
+}
+
+CtlRef CtlManager::af(CtlRef F) {
+  return intern(CtlKind::AF, nullptr, F, nullptr);
+}
+
+CtlRef CtlManager::ef(CtlRef F) {
+  return intern(CtlKind::EF, nullptr, F, nullptr);
+}
+
+CtlRef CtlManager::aw(CtlRef F1, CtlRef F2) {
+  return intern(CtlKind::AW, nullptr, F1, F2);
+}
+
+CtlRef CtlManager::ew(CtlRef F1, CtlRef F2) {
+  return intern(CtlKind::EW, nullptr, F1, F2);
+}
+
+CtlRef CtlManager::ag(CtlRef F) { return aw(F, atom(Ctx.mkFalse())); }
+
+CtlRef CtlManager::eg(CtlRef F) { return ew(F, atom(Ctx.mkFalse())); }
+
+std::optional<CtlRef> CtlManager::negate(CtlRef F) {
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return atom(Ctx.mkNot(F->atom()));
+  case CtlKind::And: {
+    auto A = negate(F->left());
+    auto B = negate(F->right());
+    if (!A || !B)
+      return std::nullopt;
+    return disj(*A, *B);
+  }
+  case CtlKind::Or: {
+    auto A = negate(F->left());
+    auto B = negate(F->right());
+    if (!A || !B)
+      return std::nullopt;
+    return conj(*A, *B);
+  }
+  case CtlKind::AF: {
+    auto A = negate(F->left());
+    if (!A)
+      return std::nullopt;
+    return eg(*A); // !AF phi == EG !phi
+  }
+  case CtlKind::EF: {
+    auto A = negate(F->left());
+    if (!A)
+      return std::nullopt;
+    return ag(*A); // !EF phi == AG !phi
+  }
+  case CtlKind::AW:
+    if (F->isGlobally()) {
+      auto A = negate(F->left());
+      if (!A)
+        return std::nullopt;
+      return ef(*A); // !AG phi == EF !phi
+    }
+    return std::nullopt; // Dual needs Until, outside the syntax.
+  case CtlKind::EW:
+    if (F->isGlobally()) {
+      auto A = negate(F->left());
+      if (!A)
+        return std::nullopt;
+      return af(*A); // !EG phi == AF !phi
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string SubformulaPath::toString() const { return Steps + "o"; }
+
+static void collectSubformulas(CtlRef F, const SubformulaPath &Path,
+                               std::vector<Subformula> &Out) {
+  Out.push_back({Path, F});
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return;
+  case CtlKind::AF:
+  case CtlKind::EF:
+    collectSubformulas(F->left(), Path.leftChild(), Out);
+    return;
+  case CtlKind::And:
+  case CtlKind::Or:
+  case CtlKind::AW:
+  case CtlKind::EW:
+    collectSubformulas(F->left(), Path.leftChild(), Out);
+    collectSubformulas(F->right(), Path.rightChild(), Out);
+    return;
+  }
+}
+
+std::vector<Subformula> chute::subformulas(CtlRef F) {
+  std::vector<Subformula> Out;
+  collectSubformulas(F, SubformulaPath(), Out);
+  return Out;
+}

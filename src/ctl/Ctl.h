@@ -1,0 +1,184 @@
+//===- ctl/Ctl.h - CTL formulas and subformula contexts -------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CTL formulas in the paper's base syntax (Section 3.1):
+///
+///   F ::= p | F && F | F || F | AF F | EF F | A[F W F] | E[F W F]
+///
+/// with the sugar AG p = A[p W false] and EG p = E[p W false].
+/// Formulas are kept in negation normal form: negation only occurs
+/// inside atoms (the atom domain is closed under negation).
+///
+/// Subformulas are addressed by context paths pi = o | L.pi | R.pi as
+/// in the paper, rendered "o", "Lo", "LRo", ... Chutes and frontiers
+/// are indexed by these paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CTL_CTL_H
+#define CHUTE_CTL_CTL_H
+
+#include "expr/Expr.h"
+
+#include <memory>
+#include <optional>
+
+namespace chute {
+
+class CtlFormula;
+
+/// Reference to an immutable, manager-owned CTL formula node.
+using CtlRef = const CtlFormula *;
+
+/// Kinds of CTL formula nodes.
+enum class CtlKind : std::uint8_t {
+  Atom, ///< a state predicate (boolean Expr)
+  And,
+  Or,
+  AF, ///< on all paths, eventually
+  EF, ///< on some path, eventually
+  AW, ///< on all paths, left holds unless right takes over
+  EW, ///< on some path, ...
+};
+
+/// True for AF/EF (the "F" temporal shape, proved by termination).
+bool isEventuality(CtlKind K);
+/// True for AW/EW (the "W" temporal shape, proved by invariance).
+bool isUnless(CtlKind K);
+/// True for EF/EW (existential path quantification).
+bool isExistential(CtlKind K);
+
+/// One immutable CTL formula node; create via CtlManager.
+class CtlFormula {
+public:
+  CtlKind kind() const { return K; }
+
+  /// The state predicate; only for Atom nodes.
+  ExprRef atom() const {
+    assert(K == CtlKind::Atom && "not an atom");
+    return Pred;
+  }
+
+  /// Left (or only) subformula.
+  CtlRef left() const {
+    assert(K != CtlKind::Atom && "atoms have no subformulas");
+    return L;
+  }
+
+  /// Right subformula; for AF/EF this is the implicit `false` of the
+  /// underlying W-decomposition and is null.
+  CtlRef right() const {
+    assert((K == CtlKind::And || K == CtlKind::Or || K == CtlKind::AW ||
+            K == CtlKind::EW) &&
+           "node has no right subformula");
+    return R;
+  }
+
+  bool isAtom() const { return K == CtlKind::Atom; }
+
+  /// True if this node is AG/EG sugar: A[phi W false] / E[phi W false].
+  bool isGlobally() const;
+
+  /// Renders with AG/EG sugar, e.g. "AG(p == 1 -> AF(q == 1))".
+  std::string toString() const;
+
+private:
+  friend class CtlManager;
+  CtlFormula(CtlKind K, ExprRef Pred, CtlRef L, CtlRef R)
+      : K(K), Pred(Pred), L(L), R(R) {}
+
+  CtlKind K;
+  ExprRef Pred = nullptr;
+  CtlRef L = nullptr;
+  CtlRef R = nullptr;
+};
+
+/// Owns CTL formula nodes (structural sharing, pointer equality).
+class CtlManager {
+public:
+  explicit CtlManager(ExprContext &Ctx) : Ctx(Ctx) {}
+
+  ExprContext &exprContext() { return Ctx; }
+
+  CtlRef atom(ExprRef Pred);
+  CtlRef conj(CtlRef A, CtlRef B);
+  CtlRef disj(CtlRef A, CtlRef B);
+  CtlRef af(CtlRef F);
+  CtlRef ef(CtlRef F);
+  CtlRef aw(CtlRef F1, CtlRef F2);
+  CtlRef ew(CtlRef F1, CtlRef F2);
+  /// AG F = A[F W false].
+  CtlRef ag(CtlRef F);
+  /// EG F = E[F W false].
+  CtlRef eg(CtlRef F);
+
+  /// The NNF negation (dual) of \p F. Defined for the full fragment
+  /// the paper's benchmarks use: atoms, &&, ||, AF/EF and the
+  /// G-shaped W forms. Returns nullopt for A[a W b] / E[a W b] with
+  /// b != false (their duals need the Until operator, outside the
+  /// paper's syntax).
+  std::optional<CtlRef> negate(CtlRef F);
+
+private:
+  CtlRef intern(CtlKind K, ExprRef Pred, CtlRef L, CtlRef R);
+
+  ExprContext &Ctx;
+  std::vector<std::unique_ptr<CtlFormula>> Nodes;
+};
+
+/// A subformula context path: the L/R decisions from the root "o".
+class SubformulaPath {
+public:
+  SubformulaPath() = default;
+
+  SubformulaPath child(char Step) const {
+    assert((Step == 'L' || Step == 'R') && "steps are L or R");
+    SubformulaPath P = *this;
+    P.Steps += Step;
+    return P;
+  }
+
+  SubformulaPath leftChild() const { return child('L'); }
+  SubformulaPath rightChild() const { return child('R'); }
+
+  /// Paper rendering: steps-from-root prefixed to "o", innermost
+  /// first (root is "o", its left child "Lo", that node's right
+  /// child "RLo"... matching the paper's L.pi / R.pi construction
+  /// where the path reads from the subformula up to the root).
+  std::string toString() const;
+
+  bool operator==(const SubformulaPath &O) const {
+    return Steps == O.Steps;
+  }
+  bool operator<(const SubformulaPath &O) const {
+    return Steps < O.Steps;
+  }
+
+  /// True when this path addresses an ancestor-or-self of \p O.
+  bool isPrefixOf(const SubformulaPath &O) const {
+    return O.Steps.compare(0, Steps.size(), Steps) == 0;
+  }
+
+  std::size_t depth() const { return Steps.size(); }
+
+private:
+  std::string Steps; ///< decisions from the root, in order
+};
+
+/// A (path, formula) pair, as produced by sub(F) in the paper.
+struct Subformula {
+  SubformulaPath Path;
+  CtlRef Formula = nullptr;
+};
+
+/// Computes sub(F): every subformula with its context path, root
+/// first, in pre-order.
+std::vector<Subformula> subformulas(CtlRef F);
+
+} // namespace chute
+
+#endif // CHUTE_CTL_CTL_H

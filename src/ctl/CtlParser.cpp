@@ -1,0 +1,188 @@
+//===- ctl/CtlParser.cpp - Textual CTL properties ----------------------------===//
+
+#include "ctl/CtlParser.h"
+
+#include "expr/ExprParser.h"
+
+using namespace chute;
+
+namespace {
+
+class CtlParserImpl {
+public:
+  CtlParserImpl(CtlManager &M, const std::string &Text)
+      : M(M), Lex(Text), Atoms(M.exprContext(), Lex) {}
+
+  CtlRef run(std::string &Err) {
+    CtlRef F = parseCtl(Err);
+    if (F == nullptr)
+      return nullptr;
+    if (Lex.peek().K != Token::Eof) {
+      fail(Err, "unexpected trailing input");
+      return nullptr;
+    }
+    return F;
+  }
+
+private:
+  void fail(std::string &Err, const std::string &Msg) {
+    if (Err.empty())
+      Err = "at " + Lex.describePos(Lex.peek().Pos) + ": " + Msg;
+  }
+
+  CtlRef parseCtl(std::string &Err) {
+    CtlRef Lhs = parseOr(Err);
+    if (Lhs == nullptr)
+      return nullptr;
+    if (Lex.peek().K != Token::Arrow)
+      return Lhs;
+    Lex.next();
+    CtlRef Rhs = parseCtl(Err); // Right-associative.
+    if (Rhs == nullptr)
+      return nullptr;
+    auto NotLhs = M.negate(Lhs);
+    if (!NotLhs) {
+      fail(Err, "cannot negate the left side of '->' within CTL "
+                "(the dual would need Until)");
+      return nullptr;
+    }
+    return M.disj(*NotLhs, Rhs);
+  }
+
+  CtlRef parseOr(std::string &Err) {
+    CtlRef Lhs = parseAnd(Err);
+    if (Lhs == nullptr)
+      return nullptr;
+    while (Lex.peek().K == Token::PipePipe) {
+      Lex.next();
+      CtlRef Rhs = parseAnd(Err);
+      if (Rhs == nullptr)
+        return nullptr;
+      Lhs = M.disj(Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  CtlRef parseAnd(std::string &Err) {
+    CtlRef Lhs = parseUnary(Err);
+    if (Lhs == nullptr)
+      return nullptr;
+    while (Lex.peek().K == Token::AmpAmp) {
+      Lex.next();
+      CtlRef Rhs = parseUnary(Err);
+      if (Rhs == nullptr)
+        return nullptr;
+      Lhs = M.conj(Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  CtlRef parseUnary(std::string &Err) {
+    const Token &T = Lex.peek();
+
+    if (T.K == Token::Bang) {
+      Lex.next();
+      CtlRef F = parseUnary(Err);
+      if (F == nullptr)
+        return nullptr;
+      auto Neg = M.negate(F);
+      if (!Neg) {
+        fail(Err, "cannot negate this formula within CTL "
+                  "(the dual would need Until)");
+        return nullptr;
+      }
+      return *Neg;
+    }
+
+    if (T.K == Token::Ident) {
+      // Copy: T references the lexer's mutable current token.
+      std::string Kw = T.Text;
+      if (Kw == "AF" || Kw == "EF" || Kw == "AG" || Kw == "EG") {
+        Lex.next();
+        CtlRef F = parseUnary(Err);
+        if (F == nullptr)
+          return nullptr;
+        if (Kw == "AF")
+          return M.af(F);
+        if (Kw == "EF")
+          return M.ef(F);
+        if (Kw == "AG")
+          return M.ag(F);
+        return M.eg(F);
+      }
+      if (Kw == "A" || Kw == "E")
+        return parseWeakUntil(Kw == "A", Err);
+    }
+
+    if (T.K == Token::LParen) {
+      // Ambiguous: "(x+1) <= y" is an atom, "(AF p && q)" is CTL.
+      Lexer::State Save = Lex.save();
+      std::string TryErr;
+      Lex.next();
+      CtlRef Inner = parseCtl(TryErr);
+      if (Inner != nullptr && Lex.peek().K == Token::RParen) {
+        // Check the atom does not continue: "(x + 1) <= y" parses
+        // its inside as term-ish and fails above, but "(x <= 1) &&"
+        // style CTL succeeds here. If a comparison operator follows
+        // the ')', the parenthesis belonged to an arithmetic atom.
+        Lexer::State AfterParen = Lex.save();
+        Lex.next();
+        Token::Kind After = Lex.peek().K;
+        bool LooksArithmetic =
+            After == Token::Le || After == Token::Lt ||
+            After == Token::Ge || After == Token::Gt ||
+            After == Token::EqEq || After == Token::Ne ||
+            After == Token::Assign || After == Token::Plus ||
+            After == Token::Minus || After == Token::Star;
+        if (!LooksArithmetic)
+          return Inner;
+        Lex.restore(AfterParen);
+      }
+      Lex.restore(Save);
+      // Fall through: parse the whole thing as an atom.
+    }
+
+    auto Atom = Atoms.parseAtomFormula(Err);
+    if (!Atom)
+      return nullptr;
+    return M.atom(*Atom);
+  }
+
+  CtlRef parseWeakUntil(bool Universal, std::string &Err) {
+    Lex.next(); // 'A' or 'E'
+    if (Lex.peek().K != Token::LBracket) {
+      fail(Err, "expected '[' after path quantifier");
+      return nullptr;
+    }
+    Lex.next();
+    CtlRef F1 = parseCtl(Err);
+    if (F1 == nullptr)
+      return nullptr;
+    if (!Lex.peekIs("W")) {
+      fail(Err, "expected 'W' in weak-until");
+      return nullptr;
+    }
+    Lex.next();
+    CtlRef F2 = parseCtl(Err);
+    if (F2 == nullptr)
+      return nullptr;
+    if (Lex.peek().K != Token::RBracket) {
+      fail(Err, "expected ']'");
+      return nullptr;
+    }
+    Lex.next();
+    return Universal ? M.aw(F1, F2) : M.ew(F1, F2);
+  }
+
+  CtlManager &M;
+  Lexer Lex;
+  ExprParser Atoms;
+};
+
+} // namespace
+
+CtlRef chute::parseCtlString(CtlManager &M, const std::string &Text,
+                             std::string &Err) {
+  CtlParserImpl P(M, Text);
+  return P.run(Err);
+}

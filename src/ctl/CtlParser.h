@@ -1,0 +1,38 @@
+//===- ctl/CtlParser.h - Textual CTL properties ---------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses CTL properties in the paper's notation:
+///
+///   ctl   := or ('->' ctl)?
+///   or    := and ('||' and)*
+///   and   := unary ('&&' unary)*
+///   unary := 'AF' unary | 'EF' unary | 'AG' unary | 'EG' unary
+///          | 'A' '[' ctl 'W' ctl ']' | 'E' '[' ctl 'W' ctl ']'
+///          | '!' unary | '(' ctl ')' | atom
+///
+/// Atoms are linear comparisons over program variables. '!' and '->'
+/// are desugared through the CTL dual, so the result is always in
+/// negation normal form; properties whose desugaring would need the
+/// Until operator are rejected, as in the paper's syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CTL_CTLPARSER_H
+#define CHUTE_CTL_CTLPARSER_H
+
+#include "ctl/Ctl.h"
+
+namespace chute {
+
+/// Parses \p Text as a CTL property. Returns nullptr and sets \p Err
+/// on failure.
+CtlRef parseCtlString(CtlManager &M, const std::string &Text,
+                      std::string &Err);
+
+} // namespace chute
+
+#endif // CHUTE_CTL_CTLPARSER_H

@@ -1,0 +1,143 @@
+//===- ctl/Nnf.cpp - CTL formula utilities -----------------------------------===//
+
+#include "ctl/Nnf.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace chute;
+
+std::vector<ExprRef> chute::ctlAtomVariables(CtlRef F) {
+  std::vector<ExprRef> Out;
+  std::vector<CtlRef> Stack = {F};
+  while (!Stack.empty()) {
+    CtlRef Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur->isAtom()) {
+      for (ExprRef V : freeVars(Cur->atom()))
+        if (std::find(Out.begin(), Out.end(), V) == Out.end())
+          Out.push_back(V);
+      continue;
+    }
+    Stack.push_back(Cur->left());
+    if (Cur->kind() == CtlKind::And || Cur->kind() == CtlKind::Or ||
+        isUnless(Cur->kind()))
+      Stack.push_back(Cur->right());
+  }
+  return Out;
+}
+
+unsigned chute::ctlSize(CtlRef F) {
+  if (F->isAtom())
+    return 1;
+  unsigned N = 1 + ctlSize(F->left());
+  if (F->kind() == CtlKind::And || F->kind() == CtlKind::Or ||
+      isUnless(F->kind()))
+    N += ctlSize(F->right());
+  return N;
+}
+
+unsigned chute::ctlTemporalDepth(CtlRef F) {
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return 0;
+  case CtlKind::And:
+  case CtlKind::Or:
+    return std::max(ctlTemporalDepth(F->left()),
+                    ctlTemporalDepth(F->right()));
+  case CtlKind::AF:
+  case CtlKind::EF:
+    return 1 + ctlTemporalDepth(F->left());
+  case CtlKind::AW:
+  case CtlKind::EW:
+    return 1 + std::max(ctlTemporalDepth(F->left()),
+                        ctlTemporalDepth(F->right()));
+  }
+  return 0;
+}
+
+bool chute::ctlHasExistential(CtlRef F) {
+  if (F->isAtom())
+    return false;
+  if (isExistential(F->kind()))
+    return true;
+  if (ctlHasExistential(F->left()))
+    return true;
+  if (F->kind() == CtlKind::And || F->kind() == CtlKind::Or ||
+      isUnless(F->kind()))
+    return ctlHasExistential(F->right());
+  return false;
+}
+
+namespace {
+
+/// Letter assignment for atoms: structurally equal atoms share a
+/// letter, and the negation of a seen atom renders as "!letter".
+struct ShapeNamer {
+  ExprContext *Ctx = nullptr;
+  std::map<ExprRef, std::string> Names;
+  char NextLetter = 'p';
+
+  std::string name(ExprRef Atom, ExprContext &C) {
+    auto It = Names.find(Atom);
+    if (It != Names.end())
+      return It->second;
+    ExprRef Neg = C.mkNot(Atom);
+    auto NegIt = Names.find(Neg);
+    if (NegIt != Names.end()) {
+      std::string N = "!" + NegIt->second;
+      Names[Atom] = N;
+      return N;
+    }
+    if (Atom->isTrue())
+      return "true";
+    if (Atom->isFalse())
+      return "false";
+    std::string N(1, NextLetter);
+    if (NextLetter < 'z')
+      ++NextLetter;
+    Names[Atom] = N;
+    return N;
+  }
+};
+
+std::string shapeImpl(CtlRef F, ShapeNamer &Namer, ExprContext &Ctx) {
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return Namer.name(F->atom(), Ctx);
+  case CtlKind::And:
+    return "(" + shapeImpl(F->left(), Namer, Ctx) + " && " +
+           shapeImpl(F->right(), Namer, Ctx) + ")";
+  case CtlKind::Or:
+    // NNF turned implications into (!p || F); render them back in the
+    // paper's "p -> F" style when the left side is an atom.
+    if (F->left()->isAtom() && !F->left()->atom()->isTrue() &&
+        !F->left()->atom()->isFalse())
+      return "(" + Namer.name(Ctx.mkNot(F->left()->atom()), Ctx) +
+             " -> " + shapeImpl(F->right(), Namer, Ctx) + ")";
+    return "(" + shapeImpl(F->left(), Namer, Ctx) + " || " +
+           shapeImpl(F->right(), Namer, Ctx) + ")";
+  case CtlKind::AF:
+    return "AF " + shapeImpl(F->left(), Namer, Ctx);
+  case CtlKind::EF:
+    return "EF " + shapeImpl(F->left(), Namer, Ctx);
+  case CtlKind::AW:
+    if (F->isGlobally())
+      return "AG " + shapeImpl(F->left(), Namer, Ctx);
+    return "A[" + shapeImpl(F->left(), Namer, Ctx) + " W " +
+           shapeImpl(F->right(), Namer, Ctx) + "]";
+  case CtlKind::EW:
+    if (F->isGlobally())
+      return "EG " + shapeImpl(F->left(), Namer, Ctx);
+    return "E[" + shapeImpl(F->left(), Namer, Ctx) + " W " +
+           shapeImpl(F->right(), Namer, Ctx) + "]";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string chute::ctlShape(ExprContext &Ctx, CtlRef F) {
+  ShapeNamer Namer;
+  return shapeImpl(F, Namer, Ctx);
+}

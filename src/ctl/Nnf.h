@@ -1,0 +1,43 @@
+//===- ctl/Nnf.h - CTL formula utilities ----------------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural utilities over (negation-normal-form) CTL formulas:
+/// variable collection, size/depth measures, and the "property
+/// shape" rendering the paper's result tables use (atoms abstracted
+/// to p, q, r, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CTL_NNF_H
+#define CHUTE_CTL_NNF_H
+
+#include "ctl/Ctl.h"
+
+namespace chute {
+
+/// All program variables mentioned in \p F's atoms (deduplicated, in
+/// first-occurrence order).
+std::vector<ExprRef> ctlAtomVariables(CtlRef F);
+
+/// Number of formula nodes.
+unsigned ctlSize(CtlRef F);
+
+/// Maximal nesting depth of temporal operators.
+unsigned ctlTemporalDepth(CtlRef F);
+
+/// True if \p F contains an existential operator (EF/EW).
+bool ctlHasExistential(CtlRef F);
+
+/// Renders the shape of \p F with atoms abstracted to letters, e.g.
+/// EF(EG p) for EF(EG(x > 0)). Negated atoms of an already-seen atom
+/// reuse its letter with a '!' prefix. \p Ctx must be the context the
+/// atoms were built in.
+std::string ctlShape(ExprContext &Ctx, CtlRef F);
+
+} // namespace chute
+
+#endif // CHUTE_CTL_NNF_H

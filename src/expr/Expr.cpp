@@ -1,0 +1,457 @@
+//===- expr/Expr.cpp - Hash-consed expression nodes -----------------------===//
+
+#include "expr/Expr.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+bool chute::isBoolKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::IntConst:
+  case ExprKind::Var:
+  case ExprKind::Add:
+  case ExprKind::Mul:
+    return false;
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+  case ExprKind::True:
+  case ExprKind::False:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Not:
+  case ExprKind::Implies:
+  case ExprKind::Exists:
+  case ExprKind::Forall:
+    return true;
+  }
+  assert(false && "unknown expression kind");
+  return false;
+}
+
+bool chute::isComparisonKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprContext::ExprContext() {
+  TrueNode = intern(ExprKind::True, 0, "", {}, {});
+  FalseNode = intern(ExprKind::False, 0, "", {}, {});
+}
+
+ExprContext::~ExprContext() = default;
+
+static std::size_t hashNode(ExprKind K, std::int64_t IV,
+                            const std::string &N,
+                            const std::vector<ExprRef> &Ops,
+                            const std::vector<ExprRef> &Bound) {
+  std::size_t H = static_cast<std::size_t>(K) * 0x9e3779b97f4a7c15ULL;
+  H = hashCombine(H, std::hash<std::int64_t>()(IV));
+  H = hashCombine(H, std::hash<std::string>()(N));
+  for (ExprRef Op : Ops)
+    H = hashCombine(H, std::hash<const void *>()(Op));
+  for (ExprRef B : Bound)
+    H = hashCombine(H, std::hash<const void *>()(B));
+  return H;
+}
+
+ExprRef ExprContext::intern(ExprKind K, std::int64_t IV, std::string N,
+                            std::vector<ExprRef> Ops,
+                            std::vector<ExprRef> Bound) {
+  std::size_t H = hashNode(K, IV, N, Ops, Bound);
+  auto &Bucket = Buckets[H];
+  for (ExprRef Existing : Bucket) {
+    if (Existing->Kind != K || Existing->IntValue != IV ||
+        Existing->Name != N || Existing->Ops != Ops ||
+        Existing->Bound != Bound)
+      continue;
+    return Existing;
+  }
+  auto Node = std::unique_ptr<ExprNode>(new ExprNode(
+      K, IV, std::move(N), std::move(Ops), std::move(Bound), H));
+  ExprRef Ref = Node.get();
+  Nodes.push_back(std::move(Node));
+  Bucket.push_back(Ref);
+  return Ref;
+}
+
+ExprRef ExprContext::mkInt(std::int64_t V) {
+  return intern(ExprKind::IntConst, V, "", {}, {});
+}
+
+ExprRef ExprContext::mkVar(const std::string &Name) {
+  assert(!Name.empty() && "variable names must be non-empty");
+  return intern(ExprKind::Var, 0, Name, {}, {});
+}
+
+ExprRef ExprContext::mkTrue() { return TrueNode; }
+ExprRef ExprContext::mkFalse() { return FalseNode; }
+
+ExprRef ExprContext::freshVar(const std::string &Prefix) {
+  std::uint64_t &Counter = FreshCounters[Prefix];
+  for (;;) {
+    std::string Name = Prefix + "!" + std::to_string(Counter++);
+    // A name collides only if the user literally created "prefix!n";
+    // interning is idempotent, so probe by structural lookup.
+    std::size_t H = hashNode(ExprKind::Var, 0, Name, {}, {});
+    auto It = Buckets.find(H);
+    bool Exists = false;
+    if (It != Buckets.end()) {
+      for (ExprRef E : It->second)
+        if (E->kind() == ExprKind::Var && E->varName() == Name)
+          Exists = true;
+    }
+    if (!Exists)
+      return mkVar(Name);
+  }
+}
+
+//===-- Arithmetic smart constructors ---------------------------------===//
+
+ExprRef ExprContext::mkAdd(std::vector<ExprRef> Ops) {
+  std::vector<ExprRef> Flat;
+  std::int64_t Const = 0;
+  for (ExprRef Op : Ops) {
+    assert(!Op->isBool() && "Add operand must be integer-sorted");
+    if (Op->kind() == ExprKind::Add) {
+      for (ExprRef Inner : Op->operands()) {
+        if (Inner->isIntConst())
+          Const += Inner->intValue();
+        else
+          Flat.push_back(Inner);
+      }
+      continue;
+    }
+    if (Op->isIntConst()) {
+      Const += Op->intValue();
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Const != 0 || Flat.empty())
+    Flat.push_back(mkInt(Const));
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(ExprKind::Add, 0, "", std::move(Flat), {});
+}
+
+ExprRef ExprContext::mkSub(ExprRef A, ExprRef B) {
+  return mkAdd(A, mkNeg(B));
+}
+
+ExprRef ExprContext::mkMul(ExprRef A, ExprRef B) {
+  assert(!A->isBool() && !B->isBool() && "Mul operands must be integers");
+  if (A->isIntConst() && B->isIntConst())
+    return mkInt(A->intValue() * B->intValue());
+  // Canonicalise the constant (if any) to the left.
+  if (B->isIntConst())
+    std::swap(A, B);
+  if (A->isIntConst()) {
+    if (A->intValue() == 0)
+      return mkInt(0);
+    if (A->intValue() == 1)
+      return B;
+    // Fold constant into a nested constant*term product.
+    if (B->kind() == ExprKind::Mul && B->operand(0)->isIntConst())
+      return mkMul(mkInt(A->intValue() * B->operand(0)->intValue()),
+                   B->operand(1));
+    // Distribute a constant over a sum to keep terms linear.
+    if (B->kind() == ExprKind::Add) {
+      std::vector<ExprRef> Terms;
+      Terms.reserve(B->numOperands());
+      for (ExprRef T : B->operands())
+        Terms.push_back(mkMul(A, T));
+      return mkAdd(std::move(Terms));
+    }
+  }
+  return intern(ExprKind::Mul, 0, "", {A, B}, {});
+}
+
+//===-- Comparisons ----------------------------------------------------===//
+
+ExprRef ExprContext::mkCmp(ExprKind K, ExprRef A, ExprRef B) {
+  assert(isComparisonKind(K) && "not a comparison kind");
+  assert(!A->isBool() && !B->isBool() && "comparisons take integer terms");
+  if (A->isIntConst() && B->isIntConst()) {
+    std::int64_t X = A->intValue(), Y = B->intValue();
+    switch (K) {
+    case ExprKind::Eq:
+      return mkBool(X == Y);
+    case ExprKind::Ne:
+      return mkBool(X != Y);
+    case ExprKind::Le:
+      return mkBool(X <= Y);
+    case ExprKind::Lt:
+      return mkBool(X < Y);
+    case ExprKind::Ge:
+      return mkBool(X >= Y);
+    case ExprKind::Gt:
+      return mkBool(X > Y);
+    default:
+      break;
+    }
+  }
+  if (A == B) {
+    switch (K) {
+    case ExprKind::Eq:
+    case ExprKind::Le:
+    case ExprKind::Ge:
+      return mkTrue();
+    case ExprKind::Ne:
+    case ExprKind::Lt:
+    case ExprKind::Gt:
+      return mkFalse();
+    default:
+      break;
+    }
+  }
+  return intern(K, 0, "", {A, B}, {});
+}
+
+//===-- Boolean smart constructors --------------------------------------===//
+
+ExprRef ExprContext::mkAnd(std::vector<ExprRef> Ops) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef Op : Ops) {
+    assert(Op->isBool() && "And operand must be boolean-sorted");
+    if (Op->isFalse())
+      return mkFalse();
+    if (Op->isTrue())
+      continue;
+    if (Op->kind() == ExprKind::And) {
+      for (ExprRef Inner : Op->operands())
+        Flat.push_back(Inner);
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  // Deduplicate while preserving order.
+  std::vector<ExprRef> Unique;
+  for (ExprRef E : Flat)
+    if (std::find(Unique.begin(), Unique.end(), E) == Unique.end())
+      Unique.push_back(E);
+  if (Unique.empty())
+    return mkTrue();
+  if (Unique.size() == 1)
+    return Unique[0];
+  return intern(ExprKind::And, 0, "", std::move(Unique), {});
+}
+
+ExprRef ExprContext::mkOr(std::vector<ExprRef> Ops) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef Op : Ops) {
+    assert(Op->isBool() && "Or operand must be boolean-sorted");
+    if (Op->isTrue())
+      return mkTrue();
+    if (Op->isFalse())
+      continue;
+    if (Op->kind() == ExprKind::Or) {
+      for (ExprRef Inner : Op->operands())
+        Flat.push_back(Inner);
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  std::vector<ExprRef> Unique;
+  for (ExprRef E : Flat)
+    if (std::find(Unique.begin(), Unique.end(), E) == Unique.end())
+      Unique.push_back(E);
+  if (Unique.empty())
+    return mkFalse();
+  if (Unique.size() == 1)
+    return Unique[0];
+  return intern(ExprKind::Or, 0, "", std::move(Unique), {});
+}
+
+/// Returns the comparison kind of the negated comparison.
+static ExprKind negateCmpKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::Eq:
+    return ExprKind::Ne;
+  case ExprKind::Ne:
+    return ExprKind::Eq;
+  case ExprKind::Le:
+    return ExprKind::Gt;
+  case ExprKind::Lt:
+    return ExprKind::Ge;
+  case ExprKind::Ge:
+    return ExprKind::Lt;
+  case ExprKind::Gt:
+    return ExprKind::Le;
+  default:
+    assert(false && "not a comparison");
+    return K;
+  }
+}
+
+ExprRef ExprContext::mkNot(ExprRef E) {
+  assert(E->isBool() && "Not takes a boolean");
+  if (E->isTrue())
+    return mkFalse();
+  if (E->isFalse())
+    return mkTrue();
+  if (E->kind() == ExprKind::Not)
+    return E->operand(0);
+  if (E->isComparison())
+    return mkCmp(negateCmpKind(E->kind()), E->operand(0), E->operand(1));
+  return intern(ExprKind::Not, 0, "", {E}, {});
+}
+
+ExprRef ExprContext::mkImplies(ExprRef A, ExprRef B) {
+  assert(A->isBool() && B->isBool() && "Implies takes booleans");
+  if (A->isTrue())
+    return B;
+  if (A->isFalse() || B->isTrue())
+    return mkTrue();
+  if (B->isFalse())
+    return mkNot(A);
+  return intern(ExprKind::Implies, 0, "", {A, B}, {});
+}
+
+ExprRef ExprContext::mkExists(std::vector<ExprRef> Bound, ExprRef Body) {
+  assert(Body->isBool() && "quantifier body must be boolean");
+  std::vector<ExprRef> Used;
+  for (ExprRef V : Bound) {
+    assert(V->isVar() && "bound entries must be variables");
+    if (occursFree(Body, V))
+      Used.push_back(V);
+  }
+  if (Used.empty())
+    return Body;
+  return intern(ExprKind::Exists, 0, "", {Body}, std::move(Used));
+}
+
+ExprRef ExprContext::mkForall(std::vector<ExprRef> Bound, ExprRef Body) {
+  assert(Body->isBool() && "quantifier body must be boolean");
+  std::vector<ExprRef> Used;
+  for (ExprRef V : Bound) {
+    assert(V->isVar() && "bound entries must be variables");
+    if (occursFree(Body, V))
+      Used.push_back(V);
+  }
+  if (Used.empty())
+    return Body;
+  return intern(ExprKind::Forall, 0, "", {Body}, std::move(Used));
+}
+
+//===-- Free helpers ------------------------------------------------------===//
+
+static void collectFreeVarsImpl(ExprRef E, std::vector<ExprRef> &Out,
+                                std::vector<ExprRef> &BoundStack) {
+  if (E->isVar()) {
+    if (std::find(BoundStack.begin(), BoundStack.end(), E) !=
+        BoundStack.end())
+      return;
+    if (std::find(Out.begin(), Out.end(), E) == Out.end())
+      Out.push_back(E);
+    return;
+  }
+  std::size_t Mark = BoundStack.size();
+  for (ExprRef B : E->boundVars())
+    BoundStack.push_back(B);
+  for (ExprRef Op : E->operands())
+    collectFreeVarsImpl(Op, Out, BoundStack);
+  BoundStack.resize(Mark);
+}
+
+void chute::collectFreeVars(ExprRef E, std::vector<ExprRef> &Out) {
+  std::vector<ExprRef> BoundStack;
+  collectFreeVarsImpl(E, Out, BoundStack);
+}
+
+std::vector<ExprRef> chute::freeVars(ExprRef E) {
+  std::vector<ExprRef> Out;
+  collectFreeVars(E, Out);
+  return Out;
+}
+
+bool chute::occursFree(ExprRef E, ExprRef V) {
+  std::vector<ExprRef> Vars = freeVars(E);
+  return std::find(Vars.begin(), Vars.end(), V) != Vars.end();
+}
+
+std::vector<ExprRef> chute::conjuncts(ExprRef E) {
+  if (E->kind() == ExprKind::And)
+    return E->operands();
+  return {E};
+}
+
+std::vector<ExprRef> chute::disjuncts(ExprRef E) {
+  if (E->kind() == ExprKind::Or)
+    return E->operands();
+  return {E};
+}
+
+std::int64_t chute::evaluate(
+    ExprRef E, const std::unordered_map<std::string, std::int64_t> &Env) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+    return E->intValue();
+  case ExprKind::Var: {
+    auto It = Env.find(E->varName());
+    assert(It != Env.end() && "unassigned variable in evaluate()");
+    return It->second;
+  }
+  case ExprKind::Add: {
+    std::int64_t Sum = 0;
+    for (ExprRef Op : E->operands())
+      Sum += evaluate(Op, Env);
+    return Sum;
+  }
+  case ExprKind::Mul:
+    return evaluate(E->operand(0), Env) * evaluate(E->operand(1), Env);
+  case ExprKind::Eq:
+    return evaluate(E->operand(0), Env) == evaluate(E->operand(1), Env);
+  case ExprKind::Ne:
+    return evaluate(E->operand(0), Env) != evaluate(E->operand(1), Env);
+  case ExprKind::Le:
+    return evaluate(E->operand(0), Env) <= evaluate(E->operand(1), Env);
+  case ExprKind::Lt:
+    return evaluate(E->operand(0), Env) < evaluate(E->operand(1), Env);
+  case ExprKind::Ge:
+    return evaluate(E->operand(0), Env) >= evaluate(E->operand(1), Env);
+  case ExprKind::Gt:
+    return evaluate(E->operand(0), Env) > evaluate(E->operand(1), Env);
+  case ExprKind::True:
+    return 1;
+  case ExprKind::False:
+    return 0;
+  case ExprKind::And: {
+    for (ExprRef Op : E->operands())
+      if (!evaluate(Op, Env))
+        return 0;
+    return 1;
+  }
+  case ExprKind::Or: {
+    for (ExprRef Op : E->operands())
+      if (evaluate(Op, Env))
+        return 1;
+    return 0;
+  }
+  case ExprKind::Not:
+    return !evaluate(E->operand(0), Env);
+  case ExprKind::Implies:
+    return !evaluate(E->operand(0), Env) || evaluate(E->operand(1), Env);
+  case ExprKind::Exists:
+  case ExprKind::Forall:
+    assert(false && "cannot evaluate quantified formulas");
+    return 0;
+  }
+  assert(false && "unknown expression kind");
+  return 0;
+}

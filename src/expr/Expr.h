@@ -1,0 +1,268 @@
+//===- expr/Expr.h - Hash-consed first-order expressions ------*- C++ -*-===//
+//
+// Part of the chute project, a reproduction of Cook & Koskinen,
+// "Reasoning about Nondeterminism in Programs" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, hash-consed expression trees over linear integer
+/// arithmetic with boolean structure and first-order quantifiers.
+///
+/// All expressions are created through an ExprContext, which owns the
+/// nodes and guarantees structural uniqueness, so ExprRef equality is
+/// pointer equality. Smart constructors perform light normalisation
+/// (constant folding, flattening of associative operators, boolean
+/// short-circuiting) so that downstream passes see a small canonical
+/// surface.
+///
+/// The term language matches the paper's domain: program variables
+/// range over (mathematical) integers, atomic propositions are linear
+/// comparisons, and state-space restrictions (chute predicates) are
+/// first-order formulas over states (Definition 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_EXPR_EXPR_H
+#define CHUTE_EXPR_EXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chute {
+
+class ExprNode;
+
+/// Reference to an immutable, context-owned expression node. Two
+/// structurally equal expressions built in the same ExprContext are
+/// the same pointer.
+using ExprRef = const ExprNode *;
+
+/// Kinds of expression nodes.
+enum class ExprKind : std::uint8_t {
+  // Integer-sorted terms.
+  IntConst, ///< 64-bit integer literal
+  Var,      ///< named integer variable
+  Add,      ///< n-ary sum
+  Mul,      ///< binary product (in practice constant * term)
+  // Atoms (boolean-sorted, integer operands).
+  Eq,
+  Ne,
+  Le,
+  Lt,
+  Ge,
+  Gt,
+  // Boolean structure.
+  True,
+  False,
+  And, ///< n-ary conjunction
+  Or,  ///< n-ary disjunction
+  Not,
+  Implies,
+  // Quantifiers (bound variables are Var nodes).
+  Exists,
+  Forall,
+};
+
+/// Returns true if expressions of kind \p K are boolean-sorted.
+bool isBoolKind(ExprKind K);
+
+/// Returns true if \p K is one of the six comparison kinds.
+bool isComparisonKind(ExprKind K);
+
+/// A single immutable expression node. Create via ExprContext only.
+class ExprNode {
+public:
+  ExprKind kind() const { return Kind; }
+
+  /// The literal value; only valid for IntConst nodes.
+  std::int64_t intValue() const {
+    assert(Kind == ExprKind::IntConst && "not an integer literal");
+    return IntValue;
+  }
+
+  /// The variable name; only valid for Var nodes.
+  const std::string &varName() const {
+    assert(Kind == ExprKind::Var && "not a variable");
+    return Name;
+  }
+
+  /// Operand list. For quantifiers this is the single body formula.
+  const std::vector<ExprRef> &operands() const { return Ops; }
+
+  std::size_t numOperands() const { return Ops.size(); }
+
+  ExprRef operand(std::size_t I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+
+  /// Bound variables; only non-empty for quantifier nodes.
+  const std::vector<ExprRef> &boundVars() const { return Bound; }
+
+  /// Quantifier body; only valid for Exists/Forall nodes.
+  ExprRef body() const {
+    assert((Kind == ExprKind::Exists || Kind == ExprKind::Forall) &&
+           "not a quantifier");
+    return Ops[0];
+  }
+
+  bool isBool() const { return isBoolKind(Kind); }
+  bool isComparison() const { return isComparisonKind(Kind); }
+  bool isTrue() const { return Kind == ExprKind::True; }
+  bool isFalse() const { return Kind == ExprKind::False; }
+  bool isVar() const { return Kind == ExprKind::Var; }
+  bool isIntConst() const { return Kind == ExprKind::IntConst; }
+
+  /// Structural hash, cached at construction.
+  std::size_t hash() const { return Hash; }
+
+  /// Renders this expression as human-readable infix text.
+  std::string toString() const;
+
+private:
+  friend class ExprContext;
+
+  ExprNode(ExprKind K, std::int64_t IV, std::string N,
+           std::vector<ExprRef> O, std::vector<ExprRef> B,
+           std::size_t H)
+      : Kind(K), IntValue(IV), Name(std::move(N)), Ops(std::move(O)),
+        Bound(std::move(B)), Hash(H) {}
+
+  ExprKind Kind;
+  std::int64_t IntValue = 0;
+  std::string Name;
+  std::vector<ExprRef> Ops;
+  std::vector<ExprRef> Bound;
+  std::size_t Hash = 0;
+};
+
+/// Owns and uniquifies expression nodes. All exprs that interact with
+/// each other (programs, CTL atoms, chutes) must come from the same
+/// context.
+class ExprContext {
+public:
+  ExprContext();
+  ~ExprContext();
+
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  //===-- Leaves ----------------------------------------------------===//
+
+  ExprRef mkInt(std::int64_t V);
+  ExprRef mkVar(const std::string &Name);
+  ExprRef mkTrue();
+  ExprRef mkFalse();
+  ExprRef mkBool(bool B) { return B ? mkTrue() : mkFalse(); }
+
+  //===-- Arithmetic (with folding/flattening) ----------------------===//
+
+  /// n-ary sum; flattens nested Adds and folds constants.
+  ExprRef mkAdd(std::vector<ExprRef> Ops);
+  ExprRef mkAdd(ExprRef A, ExprRef B) { return mkAdd({A, B}); }
+  /// A - B, encoded as A + (-1)*B.
+  ExprRef mkSub(ExprRef A, ExprRef B);
+  /// Binary product; folds constant * constant and 0/1 units.
+  ExprRef mkMul(ExprRef A, ExprRef B);
+  ExprRef mkMul(std::int64_t C, ExprRef E) { return mkMul(mkInt(C), E); }
+  ExprRef mkNeg(ExprRef E) { return mkMul(-1, E); }
+
+  //===-- Comparisons ------------------------------------------------===//
+
+  ExprRef mkCmp(ExprKind K, ExprRef A, ExprRef B);
+  ExprRef mkEq(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Eq, A, B); }
+  ExprRef mkNe(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Ne, A, B); }
+  ExprRef mkLe(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Le, A, B); }
+  ExprRef mkLt(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Lt, A, B); }
+  ExprRef mkGe(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Ge, A, B); }
+  ExprRef mkGt(ExprRef A, ExprRef B) { return mkCmp(ExprKind::Gt, A, B); }
+
+  //===-- Boolean structure ------------------------------------------===//
+
+  /// n-ary conjunction; flattens, drops True, collapses on False.
+  ExprRef mkAnd(std::vector<ExprRef> Ops);
+  ExprRef mkAnd(ExprRef A, ExprRef B) { return mkAnd({A, B}); }
+  /// n-ary disjunction; flattens, drops False, collapses on True.
+  ExprRef mkOr(std::vector<ExprRef> Ops);
+  ExprRef mkOr(ExprRef A, ExprRef B) { return mkOr({A, B}); }
+  /// Negation; eliminates double negation and negates comparisons in
+  /// place (e.g. not(a <= b) becomes a > b).
+  ExprRef mkNot(ExprRef E);
+  ExprRef mkImplies(ExprRef A, ExprRef B);
+
+  //===-- Quantifiers -------------------------------------------------===//
+
+  /// Existential quantification over \p Bound (all Var nodes).
+  ExprRef mkExists(std::vector<ExprRef> Bound, ExprRef Body);
+  /// Universal quantification over \p Bound (all Var nodes).
+  ExprRef mkForall(std::vector<ExprRef> Bound, ExprRef Body);
+
+  /// Number of distinct nodes created so far (for tests/stats).
+  std::size_t numNodes() const { return Nodes.size(); }
+
+  /// Creates a fresh variable whose name starts with \p Prefix and is
+  /// distinct from every variable created through this context so far.
+  ExprRef freshVar(const std::string &Prefix);
+
+private:
+  ExprRef intern(ExprKind K, std::int64_t IV, std::string N,
+                 std::vector<ExprRef> Ops, std::vector<ExprRef> Bound);
+
+  struct Key;
+  struct KeyHash;
+  struct KeyEq;
+
+  std::vector<std::unique_ptr<ExprNode>> Nodes;
+  std::unordered_map<std::size_t, std::vector<ExprRef>> Buckets;
+  std::unordered_map<std::string, std::uint64_t> FreshCounters;
+  ExprRef TrueNode = nullptr;
+  ExprRef FalseNode = nullptr;
+};
+
+//===-- Free helpers -------------------------------------------------===//
+
+/// Collects the free variables of \p E into \p Out (deduplicated, in
+/// first-occurrence order).
+void collectFreeVars(ExprRef E, std::vector<ExprRef> &Out);
+
+/// Returns the free variables of \p E.
+std::vector<ExprRef> freeVars(ExprRef E);
+
+/// Returns true if variable \p V occurs free in \p E.
+bool occursFree(ExprRef E, ExprRef V);
+
+/// Capture-avoiding parallel substitution of variables.
+ExprRef substitute(ExprContext &Ctx, ExprRef E,
+                   const std::unordered_map<ExprRef, ExprRef> &Map);
+
+/// Substitutes a single variable.
+ExprRef substitute(ExprContext &Ctx, ExprRef E, ExprRef Var, ExprRef To);
+
+/// Recursively simplifies \p E (constant folding, unit laws, trivial
+/// comparison evaluation). Sound for both sorts; idempotent.
+ExprRef simplify(ExprContext &Ctx, ExprRef E);
+
+/// Evaluates a closed (or fully assigned) expression under \p Env.
+/// Boolean results are 0/1. Asserts on unassigned variables.
+std::int64_t evaluate(ExprRef E,
+                      const std::unordered_map<std::string, std::int64_t> &Env);
+
+/// Pushes negations down to atoms (comparisons negate in place).
+/// Quantifier-free inputs only.
+ExprRef toNnf(ExprContext &Ctx, ExprRef E);
+
+/// Splits a conjunction into its conjuncts ("And" flattening view);
+/// a non-And formula yields a single-element vector.
+std::vector<ExprRef> conjuncts(ExprRef E);
+
+/// Splits a disjunction into its disjuncts.
+std::vector<ExprRef> disjuncts(ExprRef E);
+
+} // namespace chute
+
+#endif // CHUTE_EXPR_EXPR_H

@@ -1,0 +1,72 @@
+//===- expr/ExprBuilder.cpp - Renaming and priming helpers ----------------===//
+
+#include "expr/ExprBuilder.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+static const char PrimeSuffix[] = "'";
+static const char SsaSep = '@';
+
+ExprRef chute::primed(ExprContext &Ctx, ExprRef V) {
+  assert(V->isVar() && "can only prime variables");
+  return Ctx.mkVar(V->varName() + PrimeSuffix);
+}
+
+bool chute::isPrimed(ExprRef V) {
+  return V->isVar() && endsWith(V->varName(), PrimeSuffix);
+}
+
+ExprRef chute::unprimed(ExprContext &Ctx, ExprRef V) {
+  assert(isPrimed(V) && "variable is not primed");
+  const std::string &Name = V->varName();
+  return Ctx.mkVar(Name.substr(0, Name.size() - 1));
+}
+
+ExprRef chute::ssaVar(ExprContext &Ctx, ExprRef V, unsigned I) {
+  assert(V->isVar() && "can only index variables");
+  return Ctx.mkVar(V->varName() + SsaSep + std::to_string(I));
+}
+
+std::string chute::ssaBaseName(ExprRef V) {
+  assert(V->isVar() && "not a variable");
+  const std::string &Name = V->varName();
+  auto Pos = Name.rfind(SsaSep);
+  if (Pos == std::string::npos)
+    return Name;
+  return Name.substr(0, Pos);
+}
+
+ExprRef chute::primeAll(ExprContext &Ctx, ExprRef E) {
+  std::unordered_map<ExprRef, ExprRef> Map;
+  for (ExprRef V : freeVars(E))
+    Map[V] = primed(Ctx, V);
+  return substitute(Ctx, E, Map);
+}
+
+ExprRef chute::unprimeAll(ExprContext &Ctx, ExprRef E) {
+  std::unordered_map<ExprRef, ExprRef> Map;
+  for (ExprRef V : freeVars(E))
+    if (isPrimed(V))
+      Map[V] = unprimed(Ctx, V);
+  return substitute(Ctx, E, Map);
+}
+
+ExprRef chute::toSsa(ExprContext &Ctx, ExprRef E, unsigned I) {
+  std::unordered_map<ExprRef, ExprRef> Map;
+  for (ExprRef V : freeVars(E))
+    Map[V] = ssaVar(Ctx, V, I);
+  return substitute(Ctx, E, Map);
+}
+
+ExprRef chute::toSsa(ExprContext &Ctx, ExprRef E,
+                     const std::unordered_map<std::string, unsigned> &IndexOf) {
+  std::unordered_map<ExprRef, ExprRef> Map;
+  for (ExprRef V : freeVars(E)) {
+    auto It = IndexOf.find(V->varName());
+    unsigned I = It == IndexOf.end() ? 0 : It->second;
+    Map[V] = ssaVar(Ctx, V, I);
+  }
+  return substitute(Ctx, E, Map);
+}

@@ -1,0 +1,53 @@
+//===- expr/ExprBuilder.h - Renaming and priming helpers ------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the two renamings the verifier uses constantly:
+/// priming (current state x vs. next state x') and SSA indexing
+/// (x@0, x@1, ... along a path, as in the paper's Section 2 formula).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_EXPR_EXPRBUILDER_H
+#define CHUTE_EXPR_EXPRBUILDER_H
+
+#include "expr/Expr.h"
+
+namespace chute {
+
+/// Returns the primed (next-state) copy of variable \p V, e.g. x'.
+ExprRef primed(ExprContext &Ctx, ExprRef V);
+
+/// True if \p V is a primed variable.
+bool isPrimed(ExprRef V);
+
+/// Removes one prime from \p V; asserts isPrimed(V).
+ExprRef unprimed(ExprContext &Ctx, ExprRef V);
+
+/// Returns the SSA copy of variable \p V at index \p I, e.g. x@3.
+ExprRef ssaVar(ExprContext &Ctx, ExprRef V, unsigned I);
+
+/// If \p V is an SSA variable x@i, returns the base name "x";
+/// otherwise returns the variable's own name.
+std::string ssaBaseName(ExprRef V);
+
+/// Replaces every free variable of \p E by its primed copy.
+ExprRef primeAll(ExprContext &Ctx, ExprRef E);
+
+/// Replaces every free primed variable of \p E by its unprimed copy.
+ExprRef unprimeAll(ExprContext &Ctx, ExprRef E);
+
+/// Replaces every free variable x of \p E by x@I.
+ExprRef toSsa(ExprContext &Ctx, ExprRef E, unsigned I);
+
+/// Replaces every free variable of \p E according to \p IndexOf: each
+/// variable x maps to x@IndexOf(name). Missing names keep index 0.
+ExprRef toSsa(ExprContext &Ctx, ExprRef E,
+              const std::unordered_map<std::string, unsigned> &IndexOf);
+
+} // namespace chute
+
+#endif // CHUTE_EXPR_EXPRBUILDER_H

@@ -1,0 +1,452 @@
+//===- expr/ExprParser.cpp - Lexer and expression parser ------------------===//
+
+#include "expr/ExprParser.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+
+using namespace chute;
+
+//===-- Lexer -------------------------------------------------------------===//
+
+Lexer::Lexer(std::string Input) : Text(std::move(Input)) {
+  Current = lexOne();
+}
+
+Token Lexer::next() {
+  Token T = Current;
+  Current = lexOne();
+  return T;
+}
+
+std::string Lexer::describePos(std::size_t Pos) const {
+  std::size_t Line = 1, Col = 1;
+  for (std::size_t I = 0; I < Pos && I < Text.size(); ++I) {
+    if (Text[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+  }
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+Token Lexer::lexOne() {
+  // Skip whitespace and // comments.
+  for (;;) {
+    while (Cursor < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Cursor])))
+      ++Cursor;
+    if (Cursor + 1 < Text.size() && Text[Cursor] == '/' &&
+        Text[Cursor + 1] == '/') {
+      while (Cursor < Text.size() && Text[Cursor] != '\n')
+        ++Cursor;
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Pos = Cursor;
+  if (Cursor >= Text.size()) {
+    T.K = Token::Eof;
+    return T;
+  }
+
+  char C = Text[Cursor];
+  auto Single = [&](Token::Kind K) {
+    T.K = K;
+    ++Cursor;
+    return T;
+  };
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::int64_t V = 0;
+    while (Cursor < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Cursor]))) {
+      V = V * 10 + (Text[Cursor] - '0');
+      ++Cursor;
+    }
+    T.K = Token::Int;
+    T.Value = V;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::size_t Start = Cursor;
+    while (Cursor < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Cursor])) ||
+            Text[Cursor] == '_' || Text[Cursor] == '\'' ||
+            Text[Cursor] == '@' || Text[Cursor] == '!' ||
+            Text[Cursor] == '.')) {
+      // Allow primes, SSA indices, fresh-var bangs and dots inside
+      // identifiers, but '!' only when followed by an alnum (so that
+      // "x!=y" still lexes as x, !=, y and "!p" as !, p).
+      if (Text[Cursor] == '!' &&
+          (Cursor + 1 >= Text.size() ||
+           !std::isalnum(static_cast<unsigned char>(Text[Cursor + 1]))))
+        break;
+      if (Text[Cursor] == '!' && Cursor + 1 < Text.size() &&
+          Text[Cursor + 1] == '=')
+        break;
+      ++Cursor;
+    }
+    T.K = Token::Ident;
+    T.Text = Text.substr(Start, Cursor - Start);
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return Single(Token::LParen);
+  case ')':
+    return Single(Token::RParen);
+  case '{':
+    return Single(Token::LBrace);
+  case '}':
+    return Single(Token::RBrace);
+  case '[':
+    return Single(Token::LBracket);
+  case ']':
+    return Single(Token::RBracket);
+  case ';':
+    return Single(Token::Semi);
+  case ',':
+    return Single(Token::Comma);
+  case '+':
+    return Single(Token::Plus);
+  case '*':
+    return Single(Token::Star);
+  case '-':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '>') {
+      Cursor += 2;
+      T.K = Token::Arrow;
+      return T;
+    }
+    return Single(Token::Minus);
+  case '!':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '=') {
+      Cursor += 2;
+      T.K = Token::Ne;
+      return T;
+    }
+    return Single(Token::Bang);
+  case '&':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '&') {
+      Cursor += 2;
+      T.K = Token::AmpAmp;
+      return T;
+    }
+    break;
+  case '|':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '|') {
+      Cursor += 2;
+      T.K = Token::PipePipe;
+      return T;
+    }
+    break;
+  case '<':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '=') {
+      Cursor += 2;
+      T.K = Token::Le;
+      return T;
+    }
+    return Single(Token::Lt);
+  case '>':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '=') {
+      Cursor += 2;
+      T.K = Token::Ge;
+      return T;
+    }
+    return Single(Token::Gt);
+  case '=':
+    if (Cursor + 1 < Text.size() && Text[Cursor + 1] == '=') {
+      Cursor += 2;
+      T.K = Token::EqEq;
+      return T;
+    }
+    return Single(Token::Assign);
+  default:
+    break;
+  }
+
+  T.K = Token::Error;
+  T.Text = formatStr("unexpected character '%c'", C);
+  ++Cursor;
+  return T;
+}
+
+//===-- Parser -------------------------------------------------------------===//
+
+bool ExprParser::fail(std::string &Err, const std::string &Msg) {
+  if (Err.empty())
+    Err = "at " + Lex.describePos(Lex.peek().Pos) + ": " + Msg;
+  return false;
+}
+
+std::optional<ExprRef> ExprParser::parseFormula(std::string &Err) {
+  auto E = parseImplies(Err);
+  if (!E)
+    return std::nullopt;
+  if (!(*E)->isBool()) {
+    fail(Err, "expected a boolean expression, found an arithmetic term");
+    return std::nullopt;
+  }
+  return E;
+}
+
+std::optional<ExprRef> ExprParser::parseTerm(std::string &Err) {
+  auto E = parseSum(Err);
+  if (!E)
+    return std::nullopt;
+  if ((*E)->isBool()) {
+    fail(Err, "expected an arithmetic term, found a boolean expression");
+    return std::nullopt;
+  }
+  return E;
+}
+
+std::optional<ExprRef> ExprParser::parseLoose(std::string &Err) {
+  return parseImplies(Err);
+}
+
+std::optional<ExprRef> ExprParser::parseAtomFormula(std::string &Err) {
+  auto E = parseRel(Err);
+  if (!E)
+    return std::nullopt;
+  if (!(*E)->isBool()) {
+    fail(Err, "expected a comparison or true/false");
+    return std::nullopt;
+  }
+  return E;
+}
+
+std::optional<ExprRef> ExprParser::parseImplies(std::string &Err) {
+  auto Lhs = parseOr(Err);
+  if (!Lhs)
+    return std::nullopt;
+  if (Lex.peek().K != Token::Arrow)
+    return Lhs;
+  Lex.next();
+  auto Rhs = parseImplies(Err); // Right-associative.
+  if (!Rhs)
+    return std::nullopt;
+  if (!(*Lhs)->isBool() || !(*Rhs)->isBool()) {
+    fail(Err, "'->' requires boolean operands");
+    return std::nullopt;
+  }
+  return Ctx.mkImplies(*Lhs, *Rhs);
+}
+
+std::optional<ExprRef> ExprParser::parseOr(std::string &Err) {
+  auto Lhs = parseAnd(Err);
+  if (!Lhs)
+    return std::nullopt;
+  while (Lex.peek().K == Token::PipePipe) {
+    Lex.next();
+    auto Rhs = parseAnd(Err);
+    if (!Rhs)
+      return std::nullopt;
+    if (!(*Lhs)->isBool() || !(*Rhs)->isBool()) {
+      fail(Err, "'||' requires boolean operands");
+      return std::nullopt;
+    }
+    Lhs = Ctx.mkOr(*Lhs, *Rhs);
+  }
+  return Lhs;
+}
+
+std::optional<ExprRef> ExprParser::parseAnd(std::string &Err) {
+  auto Lhs = parseUnary(Err);
+  if (!Lhs)
+    return std::nullopt;
+  while (Lex.peek().K == Token::AmpAmp) {
+    Lex.next();
+    auto Rhs = parseUnary(Err);
+    if (!Rhs)
+      return std::nullopt;
+    if (!(*Lhs)->isBool() || !(*Rhs)->isBool()) {
+      fail(Err, "'&&' requires boolean operands");
+      return std::nullopt;
+    }
+    Lhs = Ctx.mkAnd(*Lhs, *Rhs);
+  }
+  return Lhs;
+}
+
+std::optional<ExprRef> ExprParser::parseUnary(std::string &Err) {
+  if (Lex.peek().K == Token::Bang) {
+    Lex.next();
+    auto E = parseUnary(Err);
+    if (!E)
+      return std::nullopt;
+    if (!(*E)->isBool()) {
+      fail(Err, "'!' requires a boolean operand");
+      return std::nullopt;
+    }
+    return Ctx.mkNot(*E);
+  }
+  return parseRel(Err);
+}
+
+std::optional<ExprRef> ExprParser::parseRel(std::string &Err) {
+  auto Lhs = parseSum(Err);
+  if (!Lhs)
+    return std::nullopt;
+  ExprKind Rel;
+  switch (Lex.peek().K) {
+  case Token::Le:
+    Rel = ExprKind::Le;
+    break;
+  case Token::Lt:
+    Rel = ExprKind::Lt;
+    break;
+  case Token::Ge:
+    Rel = ExprKind::Ge;
+    break;
+  case Token::Gt:
+    Rel = ExprKind::Gt;
+    break;
+  case Token::EqEq:
+  case Token::Assign: // Accept '=' as equality in formula position.
+    Rel = ExprKind::Eq;
+    break;
+  case Token::Ne:
+    Rel = ExprKind::Ne;
+    break;
+  default:
+    return Lhs;
+  }
+  Lex.next();
+  auto Rhs = parseSum(Err);
+  if (!Rhs)
+    return std::nullopt;
+  if ((*Lhs)->isBool() || (*Rhs)->isBool()) {
+    fail(Err, "comparison requires arithmetic operands");
+    return std::nullopt;
+  }
+  return Ctx.mkCmp(Rel, *Lhs, *Rhs);
+}
+
+std::optional<ExprRef> ExprParser::parseSum(std::string &Err) {
+  auto Lhs = parseProduct(Err);
+  if (!Lhs)
+    return std::nullopt;
+  for (;;) {
+    Token::Kind K = Lex.peek().K;
+    if (K != Token::Plus && K != Token::Minus)
+      return Lhs;
+    Lex.next();
+    auto Rhs = parseProduct(Err);
+    if (!Rhs)
+      return std::nullopt;
+    if ((*Lhs)->isBool() || (*Rhs)->isBool()) {
+      fail(Err, "'+'/'-' require arithmetic operands");
+      return std::nullopt;
+    }
+    Lhs = K == Token::Plus ? Ctx.mkAdd(*Lhs, *Rhs) : Ctx.mkSub(*Lhs, *Rhs);
+  }
+}
+
+std::optional<ExprRef> ExprParser::parseProduct(std::string &Err) {
+  auto Lhs = parseAtom(Err);
+  if (!Lhs)
+    return std::nullopt;
+  while (Lex.peek().K == Token::Star) {
+    Lex.next();
+    auto Rhs = parseAtom(Err);
+    if (!Rhs)
+      return std::nullopt;
+    if ((*Lhs)->isBool() || (*Rhs)->isBool()) {
+      fail(Err, "'*' requires arithmetic operands");
+      return std::nullopt;
+    }
+    Lhs = Ctx.mkMul(*Lhs, *Rhs);
+  }
+  return Lhs;
+}
+
+std::optional<ExprRef> ExprParser::parseAtom(std::string &Err) {
+  const Token &T = Lex.peek();
+  switch (T.K) {
+  case Token::Int: {
+    std::int64_t V = T.Value;
+    Lex.next();
+    return Ctx.mkInt(V);
+  }
+  case Token::Ident: {
+    std::string Name = T.Text;
+    Lex.next();
+    if (Name == "true")
+      return Ctx.mkTrue();
+    if (Name == "false")
+      return Ctx.mkFalse();
+    return Ctx.mkVar(Name);
+  }
+  case Token::Minus: {
+    Lex.next();
+    auto E = parseAtom(Err);
+    if (!E)
+      return std::nullopt;
+    if ((*E)->isBool()) {
+      fail(Err, "unary '-' requires an arithmetic operand");
+      return std::nullopt;
+    }
+    return Ctx.mkNeg(*E);
+  }
+  case Token::LParen: {
+    Lex.next();
+    auto E = parseImplies(Err);
+    if (!E)
+      return std::nullopt;
+    if (Lex.peek().K != Token::RParen) {
+      fail(Err, "expected ')'");
+      return std::nullopt;
+    }
+    Lex.next();
+    return E;
+  }
+  case Token::Error:
+    fail(Err, T.Text);
+    return std::nullopt;
+  default:
+    fail(Err, "expected an expression");
+    return std::nullopt;
+  }
+}
+
+//===-- Whole-string entry points ------------------------------------------===//
+
+std::optional<ExprRef> chute::parseFormulaString(ExprContext &Ctx,
+                                                 const std::string &Text,
+                                                 std::string &Err) {
+  Lexer Lex(Text);
+  ExprParser P(Ctx, Lex);
+  auto E = P.parseFormula(Err);
+  if (!E)
+    return std::nullopt;
+  if (Lex.peek().K != Token::Eof) {
+    Err = "at " + Lex.describePos(Lex.peek().Pos) +
+          ": unexpected trailing input";
+    return std::nullopt;
+  }
+  return E;
+}
+
+std::optional<ExprRef> chute::parseTermString(ExprContext &Ctx,
+                                              const std::string &Text,
+                                              std::string &Err) {
+  Lexer Lex(Text);
+  ExprParser P(Ctx, Lex);
+  auto E = P.parseTerm(Err);
+  if (!E)
+    return std::nullopt;
+  if (Lex.peek().K != Token::Eof) {
+    Err = "at " + Lex.describePos(Lex.peek().Pos) +
+          ": unexpected trailing input";
+    return std::nullopt;
+  }
+  return E;
+}

@@ -1,0 +1,167 @@
+//===- expr/ExprParser.h - Lexer and expression parser --------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small lexer shared by the expression parser, the CTL parser and
+/// the program parser, plus a precedence-climbing parser for
+/// arithmetic/boolean expressions.
+///
+/// Expression grammar (loosest to tightest):
+///   implies  :=  or ('->' implies)?
+///   or       :=  and ('||' and)*
+///   and      :=  unary ('&&' unary)*
+///   unary    :=  '!' unary | rel
+///   rel      :=  sum (('<='|'<'|'>='|'>'|'=='|'!=') sum)?
+///   sum      :=  product (('+'|'-') product)*
+///   product  :=  atom ('*' atom)*
+///   atom     :=  INT | IDENT | 'true' | 'false' | '-' atom
+///             |  '(' implies ')'
+///
+/// Sorts are checked during parsing; errors are reported as strings
+/// with source positions, never as exceptions or assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_EXPR_EXPRPARSER_H
+#define CHUTE_EXPR_EXPRPARSER_H
+
+#include "expr/Expr.h"
+
+#include <optional>
+
+namespace chute {
+
+/// One lexical token.
+struct Token {
+  enum Kind {
+    Ident,
+    Int,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Ne,
+    Assign, ///< single '='
+    Arrow,  ///< '->'
+    Eof,
+    Error,
+  };
+
+  Kind K = Eof;
+  std::string Text;       ///< identifier spelling or error message
+  std::int64_t Value = 0; ///< integer literals
+  std::size_t Pos = 0;    ///< byte offset in the input
+};
+
+/// Converts text into tokens. Comments run from "//" to end of line.
+class Lexer {
+public:
+  explicit Lexer(std::string Input);
+
+  /// The current token without consuming it.
+  const Token &peek() const { return Current; }
+
+  /// Consumes and returns the current token.
+  Token next();
+
+  /// True if the current token is an identifier spelling \p Kw.
+  bool peekIs(const std::string &Kw) const {
+    return Current.K == Token::Ident && Current.Text == Kw;
+  }
+
+  /// Computes "line:column" for a byte offset (for error messages).
+  std::string describePos(std::size_t Pos) const;
+
+  /// Opaque lexer checkpoint for backtracking parsers.
+  struct State {
+    std::size_t Cursor;
+    Token Current;
+  };
+
+  State save() const { return {Cursor, Current}; }
+  void restore(const State &S) {
+    Cursor = S.Cursor;
+    Current = S.Current;
+  }
+
+private:
+  Token lexOne();
+
+  std::string Text;
+  std::size_t Cursor = 0;
+  Token Current;
+};
+
+/// Parses expressions from a token stream. The same instance can be
+/// embedded inside a larger parser (the program and CTL parsers do
+/// this), consuming exactly the tokens of one expression.
+class ExprParser {
+public:
+  ExprParser(ExprContext &Ctx, Lexer &Lex) : Ctx(Ctx), Lex(Lex) {}
+
+  /// Parses a boolean-sorted expression; on failure returns nullopt
+  /// and sets \p Err.
+  std::optional<ExprRef> parseFormula(std::string &Err);
+
+  /// Parses an integer-sorted expression; on failure returns nullopt
+  /// and sets \p Err.
+  std::optional<ExprRef> parseTerm(std::string &Err);
+
+  /// Parses an expression of either sort (full precedence, no sort
+  /// requirement at the top). Used for C-like condition positions
+  /// where `while(1)` means `while(true)`.
+  std::optional<ExprRef> parseLoose(std::string &Err);
+
+  /// Parses a single relational atom (`sum RELOP sum`, or
+  /// true/false). Used by the CTL parser, which owns the boolean
+  /// connectives at the temporal level.
+  std::optional<ExprRef> parseAtomFormula(std::string &Err);
+
+private:
+  std::optional<ExprRef> parseImplies(std::string &Err);
+  std::optional<ExprRef> parseOr(std::string &Err);
+  std::optional<ExprRef> parseAnd(std::string &Err);
+  std::optional<ExprRef> parseUnary(std::string &Err);
+  std::optional<ExprRef> parseRel(std::string &Err);
+  std::optional<ExprRef> parseSum(std::string &Err);
+  std::optional<ExprRef> parseProduct(std::string &Err);
+  std::optional<ExprRef> parseAtom(std::string &Err);
+
+  bool fail(std::string &Err, const std::string &Msg);
+
+  ExprContext &Ctx;
+  Lexer &Lex;
+};
+
+/// Parses a complete string as a boolean expression. Returns nullopt
+/// and sets \p Err on failure (including trailing garbage).
+std::optional<ExprRef> parseFormulaString(ExprContext &Ctx,
+                                          const std::string &Text,
+                                          std::string &Err);
+
+/// Parses a complete string as an integer term.
+std::optional<ExprRef> parseTermString(ExprContext &Ctx,
+                                       const std::string &Text,
+                                       std::string &Err);
+
+} // namespace chute
+
+#endif // CHUTE_EXPR_EXPRPARSER_H

@@ -1,0 +1,150 @@
+//===- expr/ExprPrinter.cpp - Infix rendering of expressions --------------===//
+
+#include "expr/Expr.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+namespace {
+
+/// Binding strengths for parenthesisation, loosest to tightest.
+enum Precedence {
+  PrecQuant = 0,
+  PrecImplies = 1,
+  PrecOr = 2,
+  PrecAnd = 3,
+  PrecNot = 4,
+  PrecCmp = 5,
+  PrecAdd = 6,
+  PrecMul = 7,
+  PrecAtom = 8,
+};
+
+int precedenceOf(ExprKind K) {
+  switch (K) {
+  case ExprKind::Exists:
+  case ExprKind::Forall:
+    return PrecQuant;
+  case ExprKind::Implies:
+    return PrecImplies;
+  case ExprKind::Or:
+    return PrecOr;
+  case ExprKind::And:
+    return PrecAnd;
+  case ExprKind::Not:
+    return PrecNot;
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+    return PrecCmp;
+  case ExprKind::Add:
+    return PrecAdd;
+  case ExprKind::Mul:
+    return PrecMul;
+  case ExprKind::IntConst:
+  case ExprKind::Var:
+  case ExprKind::True:
+  case ExprKind::False:
+    return PrecAtom;
+  }
+  return PrecAtom;
+}
+
+const char *cmpSymbol(ExprKind K) {
+  switch (K) {
+  case ExprKind::Eq:
+    return " == ";
+  case ExprKind::Ne:
+    return " != ";
+  case ExprKind::Le:
+    return " <= ";
+  case ExprKind::Lt:
+    return " < ";
+  case ExprKind::Ge:
+    return " >= ";
+  case ExprKind::Gt:
+    return " > ";
+  default:
+    assert(false && "not a comparison");
+    return "?";
+  }
+}
+
+std::string render(ExprRef E, int ParentPrec) {
+  int MyPrec = precedenceOf(E->kind());
+  std::string S;
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+    S = std::to_string(E->intValue());
+    break;
+  case ExprKind::Var:
+    S = E->varName();
+    break;
+  case ExprKind::Add: {
+    std::vector<std::string> Parts;
+    for (ExprRef Op : E->operands())
+      Parts.push_back(render(Op, MyPrec));
+    S = join(Parts, " + ");
+    break;
+  }
+  case ExprKind::Mul:
+    S = render(E->operand(0), MyPrec) + "*" + render(E->operand(1), MyPrec);
+    break;
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+    S = render(E->operand(0), MyPrec + 1) + cmpSymbol(E->kind()) +
+        render(E->operand(1), MyPrec + 1);
+    break;
+  case ExprKind::True:
+    S = "true";
+    break;
+  case ExprKind::False:
+    S = "false";
+    break;
+  case ExprKind::And: {
+    std::vector<std::string> Parts;
+    for (ExprRef Op : E->operands())
+      Parts.push_back(render(Op, MyPrec));
+    S = join(Parts, " && ");
+    break;
+  }
+  case ExprKind::Or: {
+    std::vector<std::string> Parts;
+    for (ExprRef Op : E->operands())
+      Parts.push_back(render(Op, MyPrec));
+    S = join(Parts, " || ");
+    break;
+  }
+  case ExprKind::Not:
+    S = "!" + render(E->operand(0), MyPrec + 1);
+    break;
+  case ExprKind::Implies:
+    S = render(E->operand(0), MyPrec + 1) + " -> " +
+        render(E->operand(1), MyPrec);
+    break;
+  case ExprKind::Exists:
+  case ExprKind::Forall: {
+    std::vector<std::string> Names;
+    for (ExprRef B : E->boundVars())
+      Names.push_back(B->varName());
+    S = std::string(E->kind() == ExprKind::Exists ? "exists " : "forall ") +
+        join(Names, ", ") + ". " + render(E->body(), MyPrec);
+    break;
+  }
+  }
+  if (MyPrec < ParentPrec)
+    return "(" + S + ")";
+  return S;
+}
+
+} // namespace
+
+std::string ExprNode::toString() const { return render(this, PrecQuant); }

@@ -1,0 +1,167 @@
+//===- expr/ExprSimplify.cpp - Recursive expression simplification --------===//
+//
+// Rebuilds an expression through the smart constructors and, for
+// comparisons, through linear-form normalisation, so that trivially
+// true/false atoms (e.g. x + 1 <= x + 3) disappear and the remaining
+// atoms have gcd-reduced coefficients.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Expr.h"
+#include "expr/LinearForm.h"
+
+using namespace chute;
+
+namespace {
+
+/// Normalises a comparison through its linear form when possible.
+ExprRef simplifyCmp(ExprContext &Ctx, ExprKind K, ExprRef A, ExprRef B) {
+  ExprRef Raw = Ctx.mkCmp(K, A, B);
+  if (!Raw->isComparison())
+    return Raw; // Folded to a constant already.
+  auto Atom = extractLinearAtom(Raw);
+  if (!Atom)
+    return Raw;
+  LinearTerm &T = Atom->Term;
+  if (T.isConstant()) {
+    switch (Atom->Rel) {
+    case ExprKind::Le:
+      return Ctx.mkBool(T.constant() <= 0);
+    case ExprKind::Eq:
+      return Ctx.mkBool(T.constant() == 0);
+    case ExprKind::Ne:
+      return Ctx.mkBool(T.constant() != 0);
+    default:
+      return Raw;
+    }
+  }
+  std::int64_t G = T.coeffGcd();
+  if (G > 1) {
+    if (Atom->Rel == ExprKind::Le) {
+      // c*x + k <= 0  <=>  x + floor(k/c) <= 0 via integer tightening:
+      // divide coefficients by g and round the constant up.
+      std::int64_t K2 = T.constant();
+      LinearTerm Reduced;
+      for (const auto &[Var, C] : T.terms())
+        Reduced.addCoeff(Var, C / G);
+      // ceil(K2 / G) for the <= 0 normal form.
+      std::int64_t Q = K2 / G;
+      if (K2 % G != 0 && K2 > 0)
+        ++Q;
+      Reduced.setConstant(Q);
+      Atom->Term = Reduced;
+    } else if ((Atom->Rel == ExprKind::Eq || Atom->Rel == ExprKind::Ne) &&
+               T.constant() % G != 0) {
+      // g | lhs-coefficients but not the constant: equality impossible.
+      return Ctx.mkBool(Atom->Rel == ExprKind::Ne);
+    } else if (Atom->Rel == ExprKind::Eq || Atom->Rel == ExprKind::Ne) {
+      T.divideExact(G);
+    }
+  }
+  return Atom->toExpr(Ctx);
+}
+
+} // namespace
+
+ExprRef chute::toNnf(ExprContext &Ctx, ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::Not: {
+    ExprRef Inner = E->operand(0);
+    switch (Inner->kind()) {
+    case ExprKind::And: {
+      std::vector<ExprRef> Ops;
+      for (ExprRef Op : Inner->operands())
+        Ops.push_back(toNnf(Ctx, Ctx.mkNot(Op)));
+      return Ctx.mkOr(std::move(Ops));
+    }
+    case ExprKind::Or: {
+      std::vector<ExprRef> Ops;
+      for (ExprRef Op : Inner->operands())
+        Ops.push_back(toNnf(Ctx, Ctx.mkNot(Op)));
+      return Ctx.mkAnd(std::move(Ops));
+    }
+    case ExprKind::Implies:
+      return Ctx.mkAnd(toNnf(Ctx, Inner->operand(0)),
+                       toNnf(Ctx, Ctx.mkNot(Inner->operand(1))));
+    default:
+      // mkNot already folds constants, double negation and
+      // comparisons; anything else stays as a negated atom.
+      return Ctx.mkNot(toNnf(Ctx, Inner));
+    }
+  }
+  case ExprKind::And: {
+    std::vector<ExprRef> Ops;
+    for (ExprRef Op : E->operands())
+      Ops.push_back(toNnf(Ctx, Op));
+    return Ctx.mkAnd(std::move(Ops));
+  }
+  case ExprKind::Or: {
+    std::vector<ExprRef> Ops;
+    for (ExprRef Op : E->operands())
+      Ops.push_back(toNnf(Ctx, Op));
+    return Ctx.mkOr(std::move(Ops));
+  }
+  case ExprKind::Implies:
+    return Ctx.mkOr(toNnf(Ctx, Ctx.mkNot(E->operand(0))),
+                    toNnf(Ctx, E->operand(1)));
+  default:
+    return E;
+  }
+}
+
+ExprRef chute::simplify(ExprContext &Ctx, ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+  case ExprKind::Var:
+  case ExprKind::True:
+  case ExprKind::False:
+    return E;
+  case ExprKind::Add: {
+    std::vector<ExprRef> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(simplify(Ctx, Op));
+    return Ctx.mkAdd(std::move(Ops));
+  }
+  case ExprKind::Mul:
+    return Ctx.mkMul(simplify(Ctx, E->operand(0)),
+                     simplify(Ctx, E->operand(1)));
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+    return simplifyCmp(Ctx, E->kind(), simplify(Ctx, E->operand(0)),
+                       simplify(Ctx, E->operand(1)));
+  case ExprKind::And: {
+    std::vector<ExprRef> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(simplify(Ctx, Op));
+    return Ctx.mkAnd(std::move(Ops));
+  }
+  case ExprKind::Or: {
+    std::vector<ExprRef> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(simplify(Ctx, Op));
+    return Ctx.mkOr(std::move(Ops));
+  }
+  case ExprKind::Not:
+    return Ctx.mkNot(simplify(Ctx, E->operand(0)));
+  case ExprKind::Implies:
+    return Ctx.mkImplies(simplify(Ctx, E->operand(0)),
+                         simplify(Ctx, E->operand(1)));
+  case ExprKind::Exists: {
+    std::vector<ExprRef> Bound = E->boundVars();
+    return Ctx.mkExists(std::move(Bound), simplify(Ctx, E->body()));
+  }
+  case ExprKind::Forall: {
+    std::vector<ExprRef> Bound = E->boundVars();
+    return Ctx.mkForall(std::move(Bound), simplify(Ctx, E->body()));
+  }
+  }
+  assert(false && "unknown expression kind");
+  return E;
+}

@@ -1,0 +1,94 @@
+//===- expr/ExprSubst.cpp - Capture-avoiding substitution ------------------===//
+
+#include "expr/Expr.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+namespace {
+
+ExprRef substImpl(ExprContext &Ctx, ExprRef E,
+                  const std::unordered_map<ExprRef, ExprRef> &Map) {
+  if (E->isVar()) {
+    auto It = Map.find(E);
+    return It == Map.end() ? E : It->second;
+  }
+  if (E->numOperands() == 0)
+    return E;
+
+  // Quantifiers: bound variables shadow the substitution. Our fresh
+  // bound variables are never substitution targets nor appear in
+  // substitution ranges in this codebase, so shadowing (rather than
+  // alpha-renaming) is sufficient; assert the capture precondition.
+  if (E->kind() == ExprKind::Exists || E->kind() == ExprKind::Forall) {
+    std::unordered_map<ExprRef, ExprRef> Inner = Map;
+    for (ExprRef B : E->boundVars()) {
+      Inner.erase(B);
+#ifndef NDEBUG
+      for (const auto &[From, To] : Inner)
+        assert(!occursFree(To, B) && "substitution would capture");
+#endif
+    }
+    ExprRef NewBody = substImpl(Ctx, E->body(), Inner);
+    if (NewBody == E->body())
+      return E;
+    std::vector<ExprRef> Bound = E->boundVars();
+    if (E->kind() == ExprKind::Exists)
+      return Ctx.mkExists(std::move(Bound), NewBody);
+    return Ctx.mkForall(std::move(Bound), NewBody);
+  }
+
+  std::vector<ExprRef> NewOps;
+  NewOps.reserve(E->numOperands());
+  bool Changed = false;
+  for (ExprRef Op : E->operands()) {
+    ExprRef NewOp = substImpl(Ctx, Op, Map);
+    Changed |= NewOp != Op;
+    NewOps.push_back(NewOp);
+  }
+  if (!Changed)
+    return E;
+
+  switch (E->kind()) {
+  case ExprKind::Add:
+    return Ctx.mkAdd(std::move(NewOps));
+  case ExprKind::Mul:
+    return Ctx.mkMul(NewOps[0], NewOps[1]);
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Le:
+  case ExprKind::Lt:
+  case ExprKind::Ge:
+  case ExprKind::Gt:
+    return Ctx.mkCmp(E->kind(), NewOps[0], NewOps[1]);
+  case ExprKind::And:
+    return Ctx.mkAnd(std::move(NewOps));
+  case ExprKind::Or:
+    return Ctx.mkOr(std::move(NewOps));
+  case ExprKind::Not:
+    return Ctx.mkNot(NewOps[0]);
+  case ExprKind::Implies:
+    return Ctx.mkImplies(NewOps[0], NewOps[1]);
+  default:
+    assert(false && "unexpected kind in substitution");
+    return E;
+  }
+}
+
+} // namespace
+
+ExprRef chute::substitute(ExprContext &Ctx, ExprRef E,
+                          const std::unordered_map<ExprRef, ExprRef> &Map) {
+  if (Map.empty())
+    return E;
+  return substImpl(Ctx, E, Map);
+}
+
+ExprRef chute::substitute(ExprContext &Ctx, ExprRef E, ExprRef Var,
+                          ExprRef To) {
+  assert(Var->isVar() && "substitution source must be a variable");
+  std::unordered_map<ExprRef, ExprRef> Map;
+  Map[Var] = To;
+  return substImpl(Ctx, E, Map);
+}

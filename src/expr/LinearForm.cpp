@@ -1,0 +1,285 @@
+//===- expr/LinearForm.cpp - Linear views of terms and atoms --------------===//
+
+#include "expr/LinearForm.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace chute;
+
+std::int64_t LinearTerm::coeff(ExprRef V) const {
+  for (const auto &[Var, C] : Terms)
+    if (Var == V)
+      return C;
+  return 0;
+}
+
+void LinearTerm::addCoeff(ExprRef V, std::int64_t C) {
+  assert(V->isVar() && "coefficient keys must be variables");
+  if (C == 0)
+    return;
+  for (auto It = Terms.begin(); It != Terms.end(); ++It) {
+    if (It->first == V) {
+      It->second += C;
+      if (It->second == 0)
+        Terms.erase(It);
+      return;
+    }
+  }
+  auto Pos = std::lower_bound(
+      Terms.begin(), Terms.end(), V,
+      [](const std::pair<ExprRef, std::int64_t> &P, ExprRef Var) {
+        return P.first->varName() < Var->varName();
+      });
+  Terms.insert(Pos, {V, C});
+}
+
+LinearTerm LinearTerm::plus(const LinearTerm &Other) const {
+  LinearTerm Result = *this;
+  Result.Const += Other.Const;
+  for (const auto &[Var, C] : Other.Terms)
+    Result.addCoeff(Var, C);
+  return Result;
+}
+
+LinearTerm LinearTerm::minus(const LinearTerm &Other) const {
+  return plus(Other.scaled(-1));
+}
+
+LinearTerm LinearTerm::scaled(std::int64_t K) const {
+  LinearTerm Result;
+  if (K == 0)
+    return Result;
+  Result.Const = Const * K;
+  Result.Terms = Terms;
+  for (auto &[Var, C] : Result.Terms)
+    C *= K;
+  return Result;
+}
+
+std::int64_t LinearTerm::drop(ExprRef V) {
+  for (auto It = Terms.begin(); It != Terms.end(); ++It) {
+    if (It->first == V) {
+      std::int64_t C = It->second;
+      Terms.erase(It);
+      return C;
+    }
+  }
+  return 0;
+}
+
+std::int64_t LinearTerm::coeffGcd() const {
+  std::int64_t G = 0;
+  for (const auto &[Var, C] : Terms)
+    G = std::gcd(G, C < 0 ? -C : C);
+  return G;
+}
+
+void LinearTerm::divideExact(std::int64_t K) {
+  assert(K != 0 && "division by zero");
+  assert(Const % K == 0 && "constant not divisible");
+  Const /= K;
+  for (auto &[Var, C] : Terms) {
+    assert(C % K == 0 && "coefficient not divisible");
+    C /= K;
+  }
+}
+
+ExprRef LinearTerm::toExpr(ExprContext &Ctx) const {
+  std::vector<ExprRef> Parts;
+  for (const auto &[Var, C] : Terms)
+    Parts.push_back(Ctx.mkMul(C, Var));
+  if (Const != 0 || Parts.empty())
+    Parts.push_back(Ctx.mkInt(Const));
+  return Ctx.mkAdd(std::move(Parts));
+}
+
+std::string LinearTerm::toString() const {
+  std::vector<std::string> Parts;
+  for (const auto &[Var, C] : Terms) {
+    if (C == 1)
+      Parts.push_back(Var->varName());
+    else if (C == -1)
+      Parts.push_back("-" + Var->varName());
+    else
+      Parts.push_back(std::to_string(C) + "*" + Var->varName());
+  }
+  if (Const != 0 || Parts.empty())
+    Parts.push_back(std::to_string(Const));
+  return join(Parts, " + ");
+}
+
+ExprRef LinearAtom::toExpr(ExprContext &Ctx) const {
+  return Ctx.mkCmp(Rel, Term.toExpr(Ctx), Ctx.mkInt(0));
+}
+
+std::string LinearAtom::toString() const {
+  const char *Sym = "?";
+  switch (Rel) {
+  case ExprKind::Eq:
+    Sym = "==";
+    break;
+  case ExprKind::Ne:
+    Sym = "!=";
+    break;
+  case ExprKind::Le:
+    Sym = "<=";
+    break;
+  case ExprKind::Lt:
+    Sym = "<";
+    break;
+  default:
+    break;
+  }
+  return Term.toString() + " " + Sym + " 0";
+}
+
+std::optional<LinearTerm> chute::extractLinearTerm(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+    return LinearTerm(E->intValue());
+  case ExprKind::Var: {
+    LinearTerm T;
+    T.addCoeff(E, 1);
+    return T;
+  }
+  case ExprKind::Add: {
+    LinearTerm Sum;
+    for (ExprRef Op : E->operands()) {
+      auto T = extractLinearTerm(Op);
+      if (!T)
+        return std::nullopt;
+      Sum = Sum.plus(*T);
+    }
+    return Sum;
+  }
+  case ExprKind::Mul: {
+    auto A = extractLinearTerm(E->operand(0));
+    auto B = extractLinearTerm(E->operand(1));
+    if (!A || !B)
+      return std::nullopt;
+    if (A->isConstant())
+      return B->scaled(A->constant());
+    if (B->isConstant())
+      return A->scaled(B->constant());
+    return std::nullopt; // Nonlinear product.
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<LinearAtom> chute::extractLinearAtom(ExprRef E) {
+  if (!E->isComparison())
+    return std::nullopt;
+  auto Lhs = extractLinearTerm(E->operand(0));
+  auto Rhs = extractLinearTerm(E->operand(1));
+  if (!Lhs || !Rhs)
+    return std::nullopt;
+  LinearAtom Atom;
+  switch (E->kind()) {
+  case ExprKind::Eq:
+    Atom.Rel = ExprKind::Eq;
+    Atom.Term = Lhs->minus(*Rhs);
+    break;
+  case ExprKind::Ne:
+    Atom.Rel = ExprKind::Ne;
+    Atom.Term = Lhs->minus(*Rhs);
+    break;
+  case ExprKind::Le: // L <= R  ==>  L - R <= 0
+    Atom.Rel = ExprKind::Le;
+    Atom.Term = Lhs->minus(*Rhs);
+    break;
+  case ExprKind::Lt: // L < R  ==>  L - R + 1 <= 0 (integers)
+    Atom.Rel = ExprKind::Le;
+    Atom.Term = Lhs->minus(*Rhs);
+    Atom.Term.addConstant(1);
+    break;
+  case ExprKind::Ge: // L >= R  ==>  R - L <= 0
+    Atom.Rel = ExprKind::Le;
+    Atom.Term = Rhs->minus(*Lhs);
+    break;
+  case ExprKind::Gt: // L > R  ==>  R - L + 1 <= 0
+    Atom.Rel = ExprKind::Le;
+    Atom.Term = Rhs->minus(*Lhs);
+    Atom.Term.addConstant(1);
+    break;
+  default:
+    return std::nullopt;
+  }
+  return Atom;
+}
+
+namespace {
+
+/// DNF expansion over NNF input. Each result entry is a cube.
+std::optional<std::vector<std::vector<LinearAtom>>>
+dnfImpl(ExprRef E, std::size_t MaxCubes) {
+  if (E->isTrue())
+    return std::vector<std::vector<LinearAtom>>{{}};
+  if (E->isFalse())
+    return std::vector<std::vector<LinearAtom>>{};
+  if (E->isComparison()) {
+    auto A = extractLinearAtom(E);
+    if (!A)
+      return std::nullopt;
+    return std::vector<std::vector<LinearAtom>>{{*A}};
+  }
+  if (E->kind() == ExprKind::Or) {
+    std::vector<std::vector<LinearAtom>> Out;
+    for (ExprRef Op : E->operands()) {
+      auto Sub = dnfImpl(Op, MaxCubes);
+      if (!Sub)
+        return std::nullopt;
+      for (auto &Cube : *Sub) {
+        Out.push_back(std::move(Cube));
+        if (Out.size() > MaxCubes)
+          return std::nullopt;
+      }
+    }
+    return Out;
+  }
+  if (E->kind() == ExprKind::And) {
+    std::vector<std::vector<LinearAtom>> Out{{}};
+    for (ExprRef Op : E->operands()) {
+      auto Sub = dnfImpl(Op, MaxCubes);
+      if (!Sub)
+        return std::nullopt;
+      std::vector<std::vector<LinearAtom>> Next;
+      for (const auto &Left : Out) {
+        for (const auto &Right : *Sub) {
+          std::vector<LinearAtom> Cube = Left;
+          Cube.insert(Cube.end(), Right.begin(), Right.end());
+          Next.push_back(std::move(Cube));
+          if (Next.size() > MaxCubes)
+            return std::nullopt;
+        }
+      }
+      Out = std::move(Next);
+    }
+    return Out;
+  }
+  return std::nullopt; // Quantifier or residual negation.
+}
+
+} // namespace
+
+std::optional<std::vector<std::vector<LinearAtom>>>
+chute::dnfAtomCubes(ExprContext &Ctx, ExprRef E, std::size_t MaxCubes) {
+  return dnfImpl(toNnf(Ctx, E), MaxCubes);
+}
+
+std::optional<std::vector<LinearAtom>> chute::extractConjunction(ExprRef E) {
+  std::vector<LinearAtom> Atoms;
+  if (E->isTrue())
+    return Atoms;
+  for (ExprRef C : conjuncts(E)) {
+    auto Atom = extractLinearAtom(C);
+    if (!Atom)
+      return std::nullopt;
+    Atoms.push_back(*Atom);
+  }
+  return Atoms;
+}

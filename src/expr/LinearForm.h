@@ -1,0 +1,117 @@
+//===- expr/LinearForm.h - Linear views of terms and atoms ----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversion between expression trees and normalised linear forms
+/// `sum(c_i * v_i) + k`, used by Fourier-Motzkin elimination, Farkas
+/// ranking synthesis, and the interval domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_EXPR_LINEARFORM_H
+#define CHUTE_EXPR_LINEARFORM_H
+
+#include "expr/Expr.h"
+
+#include <optional>
+
+namespace chute {
+
+/// A linear integer term: sum of coefficient*variable products plus a
+/// constant. Terms are kept sorted by variable name for deterministic
+/// iteration; zero coefficients are never stored.
+class LinearTerm {
+public:
+  LinearTerm() = default;
+  explicit LinearTerm(std::int64_t Constant) : Const(Constant) {}
+
+  /// Coefficient of \p V (0 when absent).
+  std::int64_t coeff(ExprRef V) const;
+
+  /// Adds \p C to the coefficient of \p V.
+  void addCoeff(ExprRef V, std::int64_t C);
+
+  std::int64_t constant() const { return Const; }
+  void setConstant(std::int64_t C) { Const = C; }
+  void addConstant(std::int64_t C) { Const += C; }
+
+  /// Variable/coefficient pairs sorted by variable name.
+  const std::vector<std::pair<ExprRef, std::int64_t>> &terms() const {
+    return Terms;
+  }
+
+  bool isConstant() const { return Terms.empty(); }
+
+  /// this + Other.
+  LinearTerm plus(const LinearTerm &Other) const;
+  /// this - Other.
+  LinearTerm minus(const LinearTerm &Other) const;
+  /// this * K.
+  LinearTerm scaled(std::int64_t K) const;
+
+  /// Removes the variable \p V (returns its former coefficient).
+  std::int64_t drop(ExprRef V);
+
+  /// The gcd of all coefficients (not the constant); 0 for constants.
+  std::int64_t coeffGcd() const;
+
+  /// Divides every coefficient and the constant by \p K; asserts
+  /// exact divisibility.
+  void divideExact(std::int64_t K);
+
+  /// Rebuilds an expression tree equal to this term.
+  ExprRef toExpr(ExprContext &Ctx) const;
+
+  std::string toString() const;
+
+  bool operator==(const LinearTerm &Other) const {
+    return Const == Other.Const && Terms == Other.Terms;
+  }
+
+private:
+  // Sorted by variable name (not pointer) for deterministic output.
+  std::vector<std::pair<ExprRef, std::int64_t>> Terms;
+  std::int64_t Const = 0;
+};
+
+/// A linear atom in the normal form `Term REL 0`, where REL is one of
+/// Eq, Ne, Le, Lt (Ge/Gt are normalised away by scaling with -1).
+struct LinearAtom {
+  LinearTerm Term;
+  ExprKind Rel = ExprKind::Le;
+
+  /// Rebuilds `Term REL 0` as an expression.
+  ExprRef toExpr(ExprContext &Ctx) const;
+
+  std::string toString() const;
+};
+
+/// Extracts a linear view of an integer-sorted expression; returns
+/// nullopt for non-linear terms (e.g. products of two variables).
+std::optional<LinearTerm> extractLinearTerm(ExprRef E);
+
+/// Extracts a normalised linear atom from a comparison. Strict
+/// inequalities over integers are tightened (`t < 0` becomes
+/// `t + 1 <= 0`). Returns nullopt for non-linear operands or
+/// non-comparison inputs.
+std::optional<LinearAtom> extractLinearAtom(ExprRef E);
+
+/// Extracts every conjunct of \p E as a linear atom; returns nullopt
+/// if \p E is not a conjunction of linear comparisons (True yields an
+/// empty vector).
+std::optional<std::vector<LinearAtom>> extractConjunction(ExprRef E);
+
+/// Expands a quantifier-free formula into DNF cubes of linear atoms
+/// (negations are pushed to atoms first). Returns nullopt when the
+/// formula contains quantifiers or non-linear atoms, or when the
+/// expansion would exceed \p MaxCubes cubes. A True input yields one
+/// empty cube; a False input yields zero cubes.
+std::optional<std::vector<std::vector<LinearAtom>>>
+dnfAtomCubes(ExprContext &Ctx, ExprRef E, std::size_t MaxCubes = 64);
+
+} // namespace chute
+
+#endif // CHUTE_EXPR_LINEARFORM_H

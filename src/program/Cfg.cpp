@@ -1,0 +1,83 @@
+//===- program/Cfg.cpp - Control-flow-graph programs ------------------------===//
+
+#include "program/Cfg.h"
+
+#include "expr/ExprBuilder.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+Program::Program(ExprContext &Ctx) : Ctx(Ctx), Init(Ctx.mkTrue()) {}
+
+Loc Program::addLocation(const std::string &Name) {
+  Loc L = static_cast<Loc>(LocNames.size());
+  LocNames.push_back(Name.empty() ? "L" + std::to_string(L) : Name);
+  Out.emplace_back();
+  In.emplace_back();
+  return L;
+}
+
+unsigned Program::addEdge(Loc Src, Loc Dst, Command Cmd) {
+  assert(Src < LocNames.size() && Dst < LocNames.size() &&
+         "edge endpoints must be existing locations");
+  unsigned Id = static_cast<unsigned>(Edges.size());
+  // Register the variables this command mentions.
+  switch (Cmd.kind()) {
+  case Command::Kind::Assign:
+    addVariable(Cmd.var());
+    for (ExprRef V : freeVars(Cmd.rhs()))
+      addVariable(V);
+    break;
+  case Command::Kind::Assume:
+    for (ExprRef V : freeVars(Cmd.cond()))
+      addVariable(V);
+    break;
+  case Command::Kind::Havoc:
+    addVariable(Cmd.var());
+    break;
+  }
+  Edges.emplace_back(Id, Src, Dst, std::move(Cmd));
+  Out[Src].push_back(Id);
+  In[Dst].push_back(Id);
+  return Id;
+}
+
+void Program::addVariable(ExprRef V) {
+  assert(V->isVar() && "program variables must be Var nodes");
+  if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+    Vars.push_back(V);
+}
+
+void Program::ensureTotal() {
+  for (Loc L = 0; L < LocNames.size(); ++L)
+    if (Out[L].empty())
+      addEdge(L, L, Command::assume(Ctx.mkTrue()));
+}
+
+std::optional<ExprRef> Program::findVariable(const std::string &Name) const {
+  for (ExprRef V : Vars)
+    if (V->varName() == Name)
+      return V;
+  return std::nullopt;
+}
+
+unsigned Program::numHavocEdges() const {
+  unsigned N = 0;
+  for (const Edge &E : Edges)
+    if (E.Cmd.isHavoc())
+      ++N;
+  return N;
+}
+
+std::string Program::toString() const {
+  std::string S;
+  S += "entry: " + LocNames[Entry] + "\n";
+  S += "init:  " + Init->toString() + "\n";
+  for (const Edge &E : Edges)
+    S += formatStr("  [%u] %s -> %s : %s\n", E.Id,
+                   LocNames[E.Src].c_str(), LocNames[E.Dst].c_str(),
+                   E.Cmd.toString().c_str());
+  return S;
+}

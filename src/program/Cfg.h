@@ -1,0 +1,109 @@
+//===- program/Cfg.h - Control-flow-graph programs ------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A program is a control-flow graph whose edges carry primitive
+/// commands, together with a set of integer program variables, an
+/// entry location and an initial-state condition. This is the
+/// concrete syntax of the paper's transition systems M = (S, R, I):
+/// S = Loc x Z^Vars, R is the union of edge relations, and
+/// I = { (entry, v) | v |= Init }.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_PROGRAM_CFG_H
+#define CHUTE_PROGRAM_CFG_H
+
+#include "program/Command.h"
+
+#include <optional>
+
+namespace chute {
+
+/// Control location index.
+using Loc = unsigned;
+
+/// One control-flow edge.
+struct Edge {
+  unsigned Id; ///< dense, stable edge identifier
+  Loc Src;
+  Loc Dst;
+  Command Cmd;
+
+  Edge(unsigned Id, Loc Src, Loc Dst, Command Cmd)
+      : Id(Id), Src(Src), Dst(Dst), Cmd(std::move(Cmd)) {}
+};
+
+/// A control-flow graph program.
+class Program {
+public:
+  explicit Program(ExprContext &Ctx);
+
+  ExprContext &exprContext() const { return Ctx; }
+
+  //===-- Construction ------------------------------------------------===//
+
+  /// Adds a fresh location; \p Name is used in diagnostics (source
+  /// line numbers from the parser, or synthetic labels).
+  Loc addLocation(const std::string &Name = "");
+
+  /// Adds an edge carrying \p Cmd; registers variables it mentions.
+  unsigned addEdge(Loc Src, Loc Dst, Command Cmd);
+
+  /// Declares a program variable explicitly (parser feeds these).
+  void addVariable(ExprRef V);
+
+  void setEntry(Loc L) { Entry = L; }
+
+  /// Sets the initial-state condition (over program variables).
+  void setInit(ExprRef Cond) { Init = Cond; }
+
+  /// Adds `assume(true)` self-loops at locations with no successors
+  /// so the transition relation is total (final states loop back to
+  /// themselves, exactly the paper's convention in Section 3.1).
+  void ensureTotal();
+
+  //===-- Queries ------------------------------------------------------===//
+
+  Loc entry() const { return Entry; }
+  ExprRef init() const { return Init; }
+  std::size_t numLocations() const { return LocNames.size(); }
+  const std::string &locationName(Loc L) const { return LocNames[L]; }
+
+  const std::vector<Edge> &edges() const { return Edges; }
+  const Edge &edge(unsigned Id) const { return Edges[Id]; }
+
+  /// Outgoing edge ids of \p L.
+  const std::vector<unsigned> &outgoing(Loc L) const { return Out[L]; }
+  /// Incoming edge ids of \p L.
+  const std::vector<unsigned> &incoming(Loc L) const { return In[L]; }
+
+  /// All program variables, in registration order (deterministic).
+  const std::vector<ExprRef> &variables() const { return Vars; }
+
+  /// Looks up a variable by name.
+  std::optional<ExprRef> findVariable(const std::string &Name) const;
+
+  /// Renders the CFG as readable text (one edge per line).
+  std::string toString() const;
+
+  /// Counts edges whose command is a Havoc (nondeterministic points).
+  unsigned numHavocEdges() const;
+
+private:
+  ExprContext &Ctx;
+  Loc Entry = 0;
+  ExprRef Init;
+  std::vector<std::string> LocNames;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> Out;
+  std::vector<std::vector<unsigned>> In;
+  std::vector<ExprRef> Vars;
+};
+
+} // namespace chute
+
+#endif // CHUTE_PROGRAM_CFG_H

@@ -1,0 +1,121 @@
+//===- program/Command.cpp - Guarded commands -------------------------------===//
+
+#include "program/Command.h"
+
+#include "expr/ExprBuilder.h"
+
+using namespace chute;
+
+Command Command::assign(ExprRef Var, ExprRef Rhs) {
+  assert(Var->isVar() && "assignment target must be a variable");
+  assert(!Rhs->isBool() && "assignment rhs must be an integer term");
+  return Command(Kind::Assign, Var, Rhs);
+}
+
+Command Command::assume(ExprRef Cond) {
+  assert(Cond->isBool() && "assume condition must be boolean");
+  return Command(Kind::Assume, nullptr, Cond);
+}
+
+Command Command::havoc(ExprRef Var) {
+  assert(Var->isVar() && "havoc target must be a variable");
+  return Command(Kind::Havoc, Var, nullptr);
+}
+
+std::string Command::toString() const {
+  switch (K) {
+  case Kind::Assign:
+    return Var->varName() + " := " + Rhs->toString();
+  case Kind::Assume:
+    return "assume(" + Rhs->toString() + ")";
+  case Kind::Havoc:
+    return Var->varName() + " := *";
+  }
+  return "?";
+}
+
+ExprRef
+Command::transitionFormula(ExprContext &Ctx,
+                           const std::vector<ExprRef> &Vars) const {
+  std::vector<ExprRef> Parts;
+  Parts.reserve(Vars.size() + 1);
+  switch (K) {
+  case Kind::Assign:
+    for (ExprRef W : Vars) {
+      if (W == Var)
+        Parts.push_back(Ctx.mkEq(primed(Ctx, W), Rhs));
+      else
+        Parts.push_back(Ctx.mkEq(primed(Ctx, W), W));
+    }
+    break;
+  case Kind::Assume:
+    Parts.push_back(Rhs);
+    for (ExprRef W : Vars)
+      Parts.push_back(Ctx.mkEq(primed(Ctx, W), W));
+    break;
+  case Kind::Havoc:
+    for (ExprRef W : Vars) {
+      if (W == Var)
+        continue; // v' unconstrained.
+      Parts.push_back(Ctx.mkEq(primed(Ctx, W), W));
+    }
+    break;
+  }
+  return Ctx.mkAnd(std::move(Parts));
+}
+
+ExprRef Command::post(ExprContext &Ctx, ExprRef Pre,
+                      const std::vector<ExprRef> &Vars) const {
+  (void)Vars;
+  switch (K) {
+  case Kind::Assume:
+    return Ctx.mkAnd(Pre, Rhs);
+  case Kind::Assign: {
+    // sp(Pre, v := e) = exists v0. Pre[v/v0] && v == e[v/v0].
+    ExprRef V0 = Ctx.freshVar(Var->varName());
+    ExprRef PreOld = substitute(Ctx, Pre, Var, V0);
+    ExprRef RhsOld = substitute(Ctx, Rhs, Var, V0);
+    return Ctx.mkExists({V0},
+                        Ctx.mkAnd(PreOld, Ctx.mkEq(Var, RhsOld)));
+  }
+  case Kind::Havoc: {
+    // sp(Pre, v := *) = exists v0. Pre[v/v0].
+    ExprRef V0 = Ctx.freshVar(Var->varName());
+    return Ctx.mkExists({V0}, substitute(Ctx, Pre, Var, V0));
+  }
+  }
+  assert(false && "unknown command kind");
+  return Pre;
+}
+
+ExprRef Command::wp(ExprContext &Ctx, ExprRef Post) const {
+  switch (K) {
+  case Kind::Assume:
+    return Ctx.mkImplies(Rhs, Post);
+  case Kind::Assign:
+    return substitute(Ctx, Post, Var, Rhs);
+  case Kind::Havoc:
+    return Ctx.mkForall({Var}, Post);
+  }
+  assert(false && "unknown command kind");
+  return Post;
+}
+
+ExprRef Command::preExists(ExprContext &Ctx, ExprRef Post) const {
+  switch (K) {
+  case Kind::Assume:
+    return Ctx.mkAnd(Rhs, Post);
+  case Kind::Assign:
+    return substitute(Ctx, Post, Var, Rhs);
+  case Kind::Havoc:
+    return Ctx.mkExists({Var}, Post);
+  }
+  assert(false && "unknown command kind");
+  return Post;
+}
+
+ExprRef Command::guard(ExprContext &Ctx) const {
+  if (K == Kind::Assume)
+    return Rhs;
+  return Ctx.mkTrue();
+}

@@ -1,0 +1,104 @@
+//===- program/Command.h - Guarded commands -------------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three primitive commands labelling control-flow edges:
+///
+///   Assign v := e   (deterministic update)
+///   Assume phi      (Nelson-style restriction; blocks when phi fails)
+///   Havoc  v        (nondeterministic update, "v := *")
+///
+/// Nondeterminism lifting (Section 5.2) guarantees that after the
+/// lifting pass every Havoc targets a dedicated rho-variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_PROGRAM_COMMAND_H
+#define CHUTE_PROGRAM_COMMAND_H
+
+#include "expr/Expr.h"
+
+namespace chute {
+
+/// One primitive program command.
+class Command {
+public:
+  enum class Kind { Assign, Assume, Havoc };
+
+  /// Builds `v := e`.
+  static Command assign(ExprRef Var, ExprRef Rhs);
+  /// Builds `assume(cond)`.
+  static Command assume(ExprRef Cond);
+  /// Builds `v := *`.
+  static Command havoc(ExprRef Var);
+
+  Kind kind() const { return K; }
+
+  /// Target variable of an Assign or Havoc.
+  ExprRef var() const {
+    assert(K != Kind::Assume && "assume has no target variable");
+    return Var;
+  }
+
+  /// Right-hand side of an Assign.
+  ExprRef rhs() const {
+    assert(K == Kind::Assign && "only assignments have a rhs");
+    return Rhs;
+  }
+
+  /// Condition of an Assume.
+  ExprRef cond() const {
+    assert(K == Kind::Assume && "only assumes have a condition");
+    return Rhs;
+  }
+
+  bool isAssign() const { return K == Kind::Assign; }
+  bool isAssume() const { return K == Kind::Assume; }
+  bool isHavoc() const { return K == Kind::Havoc; }
+
+  /// Renders as "v := e", "assume(phi)" or "v := *".
+  std::string toString() const;
+
+  /// The symbolic transition relation of this command over
+  /// current-state variables \p Vars and their primed copies:
+  /// e.g. Assign v:=e yields  v' == e && (w' == w for other w).
+  ExprRef transitionFormula(ExprContext &Ctx,
+                            const std::vector<ExprRef> &Vars) const;
+
+  /// Strongest postcondition of this command on state formula \p Pre
+  /// over variables \p Vars (quantifier-free; havocs and assignments
+  /// are resolved by renaming the clobbered variable).
+  ExprRef post(ExprContext &Ctx, ExprRef Pre,
+               const std::vector<ExprRef> &Vars) const;
+
+  /// Weakest (liberal) precondition of \p Post across this command:
+  /// states whose every successor through the command satisfies
+  /// \p Post (blocked assumes satisfy it vacuously).
+  ExprRef wp(ExprContext &Ctx, ExprRef Post) const;
+
+  /// Existential precondition: states with at least one successor
+  /// through this command satisfying \p Post.
+  ExprRef preExists(ExprContext &Ctx, ExprRef Post) const;
+
+  /// The guard of this command: states from which the command can
+  /// fire at all (the assume condition; true for assign/havoc).
+  ExprRef guard(ExprContext &Ctx) const;
+
+  bool operator==(const Command &O) const {
+    return K == O.K && Var == O.Var && Rhs == O.Rhs;
+  }
+
+private:
+  Command(Kind K, ExprRef Var, ExprRef Rhs) : K(K), Var(Var), Rhs(Rhs) {}
+
+  Kind K;
+  ExprRef Var = nullptr;
+  ExprRef Rhs = nullptr; ///< rhs for Assign, condition for Assume
+};
+
+} // namespace chute
+
+#endif // CHUTE_PROGRAM_COMMAND_H

@@ -1,0 +1,91 @@
+//===- program/NondetLifting.cpp - Lift nondeterminism to rho vars ---------===//
+
+#include "program/NondetLifting.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+const RhoInfo *LiftedProgram::rhoForEdge(unsigned EdgeId) const {
+  for (const RhoInfo &R : Rhos)
+    if (R.HavocEdgeId == EdgeId)
+      return &R;
+  return nullptr;
+}
+
+LiftedProgram chute::liftNondeterminism(const Program &Input) {
+  ExprContext &Ctx = Input.exprContext();
+  LiftedProgram Result;
+  Result.Prog = std::make_unique<Program>(Ctx);
+  Program &Out = *Result.Prog;
+
+  // Mirror the location set.
+  for (Loc L = 0; L < Input.numLocations(); ++L)
+    Out.addLocation(Input.locationName(L));
+  Out.setEntry(Input.entry());
+  Out.setInit(Input.init());
+  for (ExprRef V : Input.variables())
+    if (!startsWith(V->varName(), "$nd."))
+      Out.addVariable(V);
+
+  unsigned NumRhos = 0;
+  // Parser-introduced branch temporaries ($nd.K) are renamed to rho
+  // variables in place; the rename map applies to the assume edges
+  // that consume them.
+  std::unordered_map<ExprRef, ExprRef> Rename;
+
+  // First pass: decide a rho name per havoc edge, in edge order so
+  // names match the paper's rho1, rho2, ... reading order.
+  for (const Edge &E : Input.edges()) {
+    if (!E.Cmd.isHavoc())
+      continue;
+    ExprRef Rho = Ctx.mkVar("rho" + std::to_string(++NumRhos));
+    if (startsWith(E.Cmd.var()->varName(), "$nd."))
+      Rename[E.Cmd.var()] = Rho;
+    else
+      Rename[E.Cmd.var()] = nullptr; // Split case; rho chosen below.
+    RhoInfo Info;
+    Info.Rho = Rho;
+    Result.Rhos.push_back(Info);
+  }
+
+  unsigned RhoCursor = 0;
+  for (const Edge &E : Input.edges()) {
+    switch (E.Cmd.kind()) {
+    case Command::Kind::Assume: {
+      ExprRef Cond = E.Cmd.cond();
+      // Apply renames of branch temporaries.
+      for (const auto &[From, To] : Rename)
+        if (To != nullptr)
+          Cond = substitute(Ctx, Cond, From, To);
+      Out.addEdge(E.Src, E.Dst, Command::assume(Cond));
+      break;
+    }
+    case Command::Kind::Assign:
+      Out.addEdge(E.Src, E.Dst, E.Cmd);
+      break;
+    case Command::Kind::Havoc: {
+      RhoInfo &Info = Result.Rhos[RhoCursor++];
+      ExprRef Target = E.Cmd.var();
+      if (startsWith(Target->varName(), "$nd.")) {
+        // Rename: the temp becomes the rho-variable itself.
+        unsigned Id = Out.addEdge(E.Src, E.Dst, Command::havoc(Info.Rho));
+        Info.HavocEdgeId = Id;
+        Info.AfterLoc = E.Dst;
+      } else {
+        // Split: rho := *; x := rho.
+        Loc Mid =
+            Out.addLocation(Input.locationName(E.Src) + ".rho");
+        unsigned Id = Out.addEdge(E.Src, Mid, Command::havoc(Info.Rho));
+        Out.addEdge(Mid, E.Dst, Command::assign(Target, Info.Rho));
+        Info.HavocEdgeId = Id;
+        Info.AfterLoc = Mid;
+      }
+      break;
+    }
+    }
+  }
+
+  assert(RhoCursor == Result.Rhos.size() && "rho directory mismatch");
+  return Result;
+}

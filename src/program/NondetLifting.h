@@ -1,0 +1,50 @@
+//===- program/NondetLifting.h - Lift nondeterminism to rho vars *- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standardisation pass of Section 5.2: every source of
+/// nondeterminism becomes an assignment to a dedicated rho-variable.
+///
+///   x := *                 ~~>  rho_i := *;  x := rho_i
+///   if (*) C1 else C2      ~~>  rho_i := *;  if (rho_i > 0) C1 else C2
+///
+/// Chute predicates are then constraints over rho-variables at the
+/// location "just after rho_i := *", which this pass records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_PROGRAM_NONDETLIFTING_H
+#define CHUTE_PROGRAM_NONDETLIFTING_H
+
+#include "program/Cfg.h"
+
+#include <memory>
+
+namespace chute {
+
+/// Where one nondeterministic choice lives in the lifted program.
+struct RhoInfo {
+  ExprRef Rho = nullptr;      ///< the rho-variable
+  unsigned HavocEdgeId = 0;   ///< edge performing `rho := *`
+  Loc AfterLoc = 0;           ///< location just after the havoc
+};
+
+/// A lifted program plus its choice-point directory.
+struct LiftedProgram {
+  std::unique_ptr<Program> Prog;
+  std::vector<RhoInfo> Rhos;
+
+  /// Looks up the rho choice point whose havoc edge is \p EdgeId.
+  const RhoInfo *rhoForEdge(unsigned EdgeId) const;
+};
+
+/// Applies the lifting pass to \p Input. The result is a fresh
+/// program; \p Input is left untouched.
+LiftedProgram liftNondeterminism(const Program &Input);
+
+} // namespace chute
+
+#endif // CHUTE_PROGRAM_NONDETLIFTING_H

@@ -1,0 +1,298 @@
+//===- program/Parser.cpp - Parser for the toy C-like language -------------===//
+
+#include "program/Parser.h"
+
+#include "expr/ExprParser.h"
+#include "support/StringExtras.h"
+
+#include <set>
+
+using namespace chute;
+
+namespace {
+
+/// Recursive-descent statement parser building the CFG directly.
+class ProgramParser {
+public:
+  ProgramParser(ExprContext &Ctx, const std::string &Text)
+      : Ctx(Ctx), Lex(Text), Exprs(Ctx, Lex) {}
+
+  std::unique_ptr<Program> run(std::string &Err) {
+    auto P = std::make_unique<Program>(Ctx);
+    Prog = P.get();
+    Loc Entry = freshLoc();
+    Prog->setEntry(Entry);
+
+    // Optional init(...) clause.
+    if (Lex.peekIs("init")) {
+      Lex.next();
+      if (!expect(Token::LParen, "'('", Err))
+        return nullptr;
+      auto Cond = Exprs.parseFormula(Err);
+      if (!Cond)
+        return nullptr;
+      if (!expect(Token::RParen, "')'", Err) ||
+          !expect(Token::Semi, "';'", Err))
+        return nullptr;
+      Prog->setInit(*Cond);
+    }
+
+    std::optional<Loc> End = parseStmtList(Entry, Err);
+    if (!End)
+      return nullptr;
+    if (Lex.peek().K != Token::Eof) {
+      fail(Err, "unexpected input after program");
+      return nullptr;
+    }
+    Prog->ensureTotal();
+    Prog = nullptr;
+    return P;
+  }
+
+private:
+  /// Current source line (derived lazily from the token position).
+  std::string hereLine() const {
+    std::string Pos = Lex.describePos(Lex.peek().Pos);
+    return Pos.substr(0, Pos.find(':'));
+  }
+
+  Loc freshLoc() {
+    std::string Line = hereLine();
+    std::string Name = Line;
+    unsigned Suffix = 0;
+    while (!UsedNames.insert(Name).second)
+      Name = Line + "." + std::to_string(++Suffix);
+    return Prog->addLocation(Name);
+  }
+
+  bool fail(std::string &Err, const std::string &Msg) {
+    if (Err.empty())
+      Err = "at " + Lex.describePos(Lex.peek().Pos) + ": " + Msg;
+    return false;
+  }
+
+  bool expect(Token::Kind K, const char *What, std::string &Err) {
+    if (Lex.peek().K != K)
+      return fail(Err, std::string("expected ") + What);
+    Lex.next();
+    return true;
+  }
+
+  bool peekIsKeyword(const char *Kw) const { return Lex.peekIs(Kw); }
+
+  /// Parses statements until '}' or EOF; returns the location after
+  /// the last statement.
+  std::optional<Loc> parseStmtList(Loc Cur, std::string &Err) {
+    for (;;) {
+      Token::Kind K = Lex.peek().K;
+      if (K == Token::Eof || K == Token::RBrace)
+        return Cur;
+      auto Next = parseStmt(Cur, Err);
+      if (!Next)
+        return std::nullopt;
+      Cur = *Next;
+    }
+  }
+
+  std::optional<Loc> parseBlock(Loc Cur, std::string &Err) {
+    if (!expect(Token::LBrace, "'{'", Err))
+      return std::nullopt;
+    auto End = parseStmtList(Cur, Err);
+    if (!End)
+      return std::nullopt;
+    if (!expect(Token::RBrace, "'}'", Err))
+      return std::nullopt;
+    return End;
+  }
+
+  /// A condition: '*', a formula, or an integer constant.
+  struct Cond {
+    bool Nondet = false;
+    ExprRef Formula = nullptr;
+  };
+
+  std::optional<Cond> parseCond(std::string &Err) {
+    Cond C;
+    if (Lex.peek().K == Token::Star) {
+      Lex.next();
+      C.Nondet = true;
+      return C;
+    }
+    auto E = Exprs.parseLoose(Err);
+    if (!E)
+      return std::nullopt;
+    if ((*E)->isBool()) {
+      C.Formula = *E;
+      return C;
+    }
+    if ((*E)->isIntConst()) {
+      C.Formula = Ctx.mkBool((*E)->intValue() != 0);
+      return C;
+    }
+    fail(Err, "condition must be boolean, '*' or a constant");
+    return std::nullopt;
+  }
+
+  std::optional<Loc> parseStmt(Loc Cur, std::string &Err) {
+    const Token &T = Lex.peek();
+
+    if (T.K == Token::LBrace)
+      return parseBlock(Cur, Err);
+
+    if (T.K != Token::Ident) {
+      fail(Err, "expected a statement");
+      return std::nullopt;
+    }
+
+    if (peekIsKeyword("skip")) {
+      Lex.next();
+      if (!expect(Token::Semi, "';'", Err))
+        return std::nullopt;
+      Loc Next = freshLoc();
+      Prog->addEdge(Cur, Next, Command::assume(Ctx.mkTrue()));
+      return Next;
+    }
+
+    if (peekIsKeyword("assume")) {
+      Lex.next();
+      if (!expect(Token::LParen, "'('", Err))
+        return std::nullopt;
+      auto Cond = Exprs.parseFormula(Err);
+      if (!Cond)
+        return std::nullopt;
+      if (!expect(Token::RParen, "')'", Err) ||
+          !expect(Token::Semi, "';'", Err))
+        return std::nullopt;
+      Loc Next = freshLoc();
+      Prog->addEdge(Cur, Next, Command::assume(*Cond));
+      return Next;
+    }
+
+    if (peekIsKeyword("if"))
+      return parseIf(Cur, Err);
+
+    if (peekIsKeyword("while"))
+      return parseWhile(Cur, Err);
+
+    // Assignment: IDENT '=' ('*' | term) ';'
+    std::string Name = T.Text;
+    Lex.next();
+    if (Lex.peek().K != Token::Assign) {
+      fail(Err, "expected '=' in assignment");
+      return std::nullopt;
+    }
+    Lex.next();
+    ExprRef Var = Ctx.mkVar(Name);
+    Command Cmd = Command::assume(Ctx.mkTrue());
+    if (Lex.peek().K == Token::Star) {
+      Lex.next();
+      Cmd = Command::havoc(Var);
+    } else {
+      auto Rhs = Exprs.parseTerm(Err);
+      if (!Rhs)
+        return std::nullopt;
+      Cmd = Command::assign(Var, *Rhs);
+    }
+    if (!expect(Token::Semi, "';'", Err))
+      return std::nullopt;
+    Loc Next = freshLoc();
+    Prog->addEdge(Cur, Next, std::move(Cmd));
+    return Next;
+  }
+
+  std::optional<Loc> parseIf(Loc Cur, std::string &Err) {
+    Lex.next(); // 'if'
+    if (!expect(Token::LParen, "'('", Err))
+      return std::nullopt;
+    auto C = parseCond(Err);
+    if (!C)
+      return std::nullopt;
+    if (!expect(Token::RParen, "')'", Err))
+      return std::nullopt;
+
+    Loc ThenStart = freshLoc();
+    Loc ElseStart = freshLoc();
+    if (C->Nondet) {
+      // Nondeterministic branch via a fresh choice variable; the
+      // lifting pass renames it into a rho-variable.
+      ExprRef Choice = Ctx.mkVar("$nd." + std::to_string(NumChoices++));
+      Loc Mid = freshLoc();
+      Prog->addEdge(Cur, Mid, Command::havoc(Choice));
+      Prog->addEdge(Mid, ThenStart,
+                    Command::assume(Ctx.mkGt(Choice, Ctx.mkInt(0))));
+      Prog->addEdge(Mid, ElseStart,
+                    Command::assume(Ctx.mkLe(Choice, Ctx.mkInt(0))));
+    } else {
+      Prog->addEdge(Cur, ThenStart, Command::assume(C->Formula));
+      Prog->addEdge(Cur, ElseStart,
+                    Command::assume(Ctx.mkNot(C->Formula)));
+    }
+
+    auto ThenEnd = parseBlock(ThenStart, Err);
+    if (!ThenEnd)
+      return std::nullopt;
+
+    Loc ElseEnd = ElseStart;
+    if (peekIsKeyword("else")) {
+      Lex.next();
+      auto E = parseBlock(ElseStart, Err);
+      if (!E)
+        return std::nullopt;
+      ElseEnd = *E;
+    }
+
+    Loc Join = freshLoc();
+    Prog->addEdge(*ThenEnd, Join, Command::assume(Ctx.mkTrue()));
+    Prog->addEdge(ElseEnd, Join, Command::assume(Ctx.mkTrue()));
+    return Join;
+  }
+
+  std::optional<Loc> parseWhile(Loc Cur, std::string &Err) {
+    Lex.next(); // 'while'
+    if (!expect(Token::LParen, "'('", Err))
+      return std::nullopt;
+    auto C = parseCond(Err);
+    if (!C)
+      return std::nullopt;
+    if (!expect(Token::RParen, "')'", Err))
+      return std::nullopt;
+
+    Loc Head = Cur;
+    Loc BodyStart = freshLoc();
+    Loc Exit = freshLoc();
+    if (C->Nondet) {
+      ExprRef Choice = Ctx.mkVar("$nd." + std::to_string(NumChoices++));
+      Loc Mid = freshLoc();
+      Prog->addEdge(Head, Mid, Command::havoc(Choice));
+      Prog->addEdge(Mid, BodyStart,
+                    Command::assume(Ctx.mkGt(Choice, Ctx.mkInt(0))));
+      Prog->addEdge(Mid, Exit,
+                    Command::assume(Ctx.mkLe(Choice, Ctx.mkInt(0))));
+    } else {
+      Prog->addEdge(Head, BodyStart, Command::assume(C->Formula));
+      Prog->addEdge(Head, Exit, Command::assume(Ctx.mkNot(C->Formula)));
+    }
+
+    auto BodyEnd = parseBlock(BodyStart, Err);
+    if (!BodyEnd)
+      return std::nullopt;
+    Prog->addEdge(*BodyEnd, Head, Command::assume(Ctx.mkTrue()));
+    return Exit;
+  }
+
+  ExprContext &Ctx;
+  Lexer Lex;
+  ExprParser Exprs;
+  Program *Prog = nullptr;
+  unsigned NumChoices = 0;
+  std::set<std::string> UsedNames;
+};
+
+} // namespace
+
+std::unique_ptr<Program> chute::parseProgram(ExprContext &Ctx,
+                                             const std::string &Text,
+                                             std::string &Err) {
+  ProgramParser P(Ctx, Text);
+  return P.run(Err);
+}

@@ -1,0 +1,46 @@
+//===- program/Parser.h - Parser for the toy C-like language --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the small imperative language the benchmarks are written in
+/// (the same shape as the paper's examples):
+///
+///   program := ('init' '(' formula ')' ';')? stmt*
+///   stmt    := IDENT '=' '*' ';'
+///            | IDENT '=' term ';'
+///            | 'assume' '(' formula ')' ';'
+///            | 'skip' ';'
+///            | 'if' '(' cond ')' block ('else' block)?
+///            | 'while' '(' cond ')' block
+///            | block
+///   cond    := '*' | formula | INT     (a nonzero INT means true)
+///   block   := '{' stmt* '}'
+///
+/// `init(...)` fixes the initial-state condition I. Locations are
+/// named by source line so counterexamples and derivations read like
+/// the paper's (e.g. frontier "pc = 12").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_PROGRAM_PARSER_H
+#define CHUTE_PROGRAM_PARSER_H
+
+#include "program/Cfg.h"
+
+#include <memory>
+
+namespace chute {
+
+/// Parses \p Text into a Program. On error returns nullptr and sets
+/// \p Err to a "line:col: message" description. The returned program
+/// has a total transition relation (ensureTotal has been applied).
+std::unique_ptr<Program> parseProgram(ExprContext &Ctx,
+                                      const std::string &Text,
+                                      std::string &Err);
+
+} // namespace chute
+
+#endif // CHUTE_PROGRAM_PARSER_H

@@ -1,0 +1,34 @@
+//===- program/PrettyPrint.cpp - Program export helpers --------------------===//
+
+#include "program/PrettyPrint.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+std::string chute::toDot(const Program &P) {
+  std::string S = "digraph program {\n";
+  S += "  rankdir=TB;\n";
+  S += formatStr("  entry [shape=point];\n");
+  S += formatStr("  entry -> n%u;\n", P.entry());
+  for (Loc L = 0; L < P.numLocations(); ++L)
+    S += formatStr("  n%u [shape=circle,label=\"%s\"];\n", L,
+                   P.locationName(L).c_str());
+  for (const Edge &E : P.edges())
+    S += formatStr("  n%u -> n%u [label=\"%s\"];\n", E.Src, E.Dst,
+                   E.Cmd.toString().c_str());
+  S += "}\n";
+  return S;
+}
+
+std::string chute::renderPath(const Program &P,
+                              const std::vector<unsigned> &Path) {
+  std::string S;
+  for (unsigned Id : Path) {
+    const Edge &E = P.edge(Id);
+    S += formatStr("  %s --[%s]--> %s\n", P.locationName(E.Src).c_str(),
+                   E.Cmd.toString().c_str(),
+                   P.locationName(E.Dst).c_str());
+  }
+  return S;
+}

@@ -1,0 +1,28 @@
+//===- program/PrettyPrint.h - Program export helpers ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz export and command-sequence rendering for programs,
+/// counterexample paths and derivations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_PROGRAM_PRETTYPRINT_H
+#define CHUTE_PROGRAM_PRETTYPRINT_H
+
+#include "program/Cfg.h"
+
+namespace chute {
+
+/// Renders \p P as a Graphviz dot digraph.
+std::string toDot(const Program &P);
+
+/// Renders a sequence of edge ids of \p P as "loc --cmd--> loc" lines.
+std::string renderPath(const Program &P, const std::vector<unsigned> &Path);
+
+} // namespace chute
+
+#endif // CHUTE_PROGRAM_PRETTYPRINT_H

@@ -1,0 +1,166 @@
+//===- qe/FourierMotzkin.cpp - Conjunctive QE by projection ----------------===//
+
+#include "qe/FourierMotzkin.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+namespace {
+
+/// Removes duplicates and trivially-true atoms; returns false when a
+/// contradictory constant atom was found.
+bool tidyAtoms(std::vector<LinearAtom> &Atoms) {
+  std::vector<LinearAtom> Out;
+  for (LinearAtom &A : Atoms) {
+    if (A.Term.isConstant()) {
+      std::int64_t K = A.Term.constant();
+      bool Holds = A.Rel == ExprKind::Le   ? K <= 0
+                   : A.Rel == ExprKind::Eq ? K == 0
+                                           : K != 0;
+      if (!Holds)
+        return false;
+      continue; // Trivially true: drop.
+    }
+    bool Dup = false;
+    for (const LinearAtom &B : Out)
+      if (B.Rel == A.Rel && B.Term == A.Term)
+        Dup = true;
+    if (!Dup)
+      Out.push_back(std::move(A));
+  }
+  Atoms = std::move(Out);
+  return true;
+}
+
+/// Substitutes v := Sol (a linear term) into \p T, where \p T has
+/// coefficient \p C for v already removed.
+LinearTerm substInto(const LinearTerm &TWithoutV, std::int64_t C,
+                     const LinearTerm &Sol) {
+  return TWithoutV.plus(Sol.scaled(C));
+}
+
+} // namespace
+
+FmResult chute::fourierMotzkinProject(ExprContext &Ctx,
+                                      std::vector<LinearAtom> Atoms,
+                                      const std::vector<ExprRef> &Vars) {
+  FmResult Result;
+  Result.Exact = true;
+
+  for (ExprRef V : Vars) {
+    assert(V->isVar() && "can only eliminate variables");
+
+    // Step 1: exact elimination through a unit-coefficient equality.
+    bool Substituted = false;
+    for (std::size_t I = 0; I < Atoms.size(); ++I) {
+      if (Atoms[I].Rel != ExprKind::Eq)
+        continue;
+      std::int64_t C = Atoms[I].Term.coeff(V);
+      if (C != 1 && C != -1)
+        continue;
+      // c*v + r = 0  =>  v = -r/c = (-c)*r  for unit c.
+      LinearTerm Rest = Atoms[I].Term;
+      Rest.drop(V);
+      LinearTerm Sol = Rest.scaled(-C); // c==1: -r; c==-1: r.
+      Atoms.erase(Atoms.begin() + static_cast<std::ptrdiff_t>(I));
+      for (LinearAtom &A : Atoms) {
+        std::int64_t CA = A.Term.drop(V);
+        if (CA != 0)
+          A.Term = substInto(A.Term, CA, Sol);
+      }
+      Substituted = true;
+      break;
+    }
+    if (Substituted) {
+      if (!tidyAtoms(Atoms)) {
+        Result.Formula = Ctx.mkFalse();
+        return Result;
+      }
+      continue;
+    }
+
+    // Step 2: split remaining equalities over v into <= pairs; drop
+    // disequalities over v (over-approximation).
+    std::vector<LinearAtom> Work;
+    for (LinearAtom &A : Atoms) {
+      std::int64_t C = A.Term.coeff(V);
+      if (C == 0) {
+        Work.push_back(std::move(A));
+        continue;
+      }
+      if (A.Rel == ExprKind::Eq) {
+        LinearAtom Le1{A.Term, ExprKind::Le};
+        LinearAtom Le2{A.Term.scaled(-1), ExprKind::Le};
+        Work.push_back(std::move(Le1));
+        Work.push_back(std::move(Le2));
+        continue;
+      }
+      if (A.Rel == ExprKind::Ne) {
+        Result.Exact = false; // Dropped constraint.
+        continue;
+      }
+      Work.push_back(std::move(A));
+    }
+
+    // Step 3: Fourier-Motzkin combination of lower and upper bounds.
+    std::vector<LinearAtom> Lowers, Uppers, Rest;
+    for (LinearAtom &A : Work) {
+      std::int64_t C = A.Term.coeff(V);
+      if (C == 0)
+        Rest.push_back(std::move(A));
+      else if (C < 0)
+        Lowers.push_back(std::move(A));
+      else
+        Uppers.push_back(std::move(A));
+    }
+    std::vector<LinearAtom> Combined = std::move(Rest);
+    for (const LinearAtom &L : Lowers) {
+      for (const LinearAtom &U : Uppers) {
+        std::int64_t CL = L.Term.coeff(V); // < 0
+        std::int64_t CU = U.Term.coeff(V); // > 0
+        LinearTerm RL = L.Term;
+        RL.drop(V);
+        LinearTerm RU = U.Term;
+        RU.drop(V);
+        LinearAtom New;
+        New.Rel = ExprKind::Le;
+        New.Term = RL.scaled(CU).plus(RU.scaled(-CL));
+        // The combination is integer-exact when either coefficient is
+        // a unit (standard Omega-test real/dark shadow coincidence).
+        if (CL != -1 && CU != 1)
+          Result.Exact = false;
+        ++Result.Combinations;
+        Combined.push_back(std::move(New));
+      }
+    }
+    Atoms = std::move(Combined);
+    if (!tidyAtoms(Atoms)) {
+      Result.Formula = Ctx.mkFalse();
+      return Result;
+    }
+  }
+
+  std::vector<ExprRef> Parts;
+  Parts.reserve(Atoms.size());
+  for (const LinearAtom &A : Atoms)
+    Parts.push_back(A.toExpr(Ctx));
+  Result.Formula = Ctx.mkAnd(std::move(Parts));
+  return Result;
+}
+
+std::optional<FmResult>
+chute::fourierMotzkinProject(ExprContext &Ctx, ExprRef Conj,
+                             const std::vector<ExprRef> &Vars) {
+  auto Atoms = extractConjunction(Conj);
+  if (!Atoms)
+    return std::nullopt;
+  if (!tidyAtoms(*Atoms)) {
+    FmResult R;
+    R.Formula = Ctx.mkFalse();
+    return R;
+  }
+  return fourierMotzkinProject(Ctx, std::move(*Atoms), Vars);
+}

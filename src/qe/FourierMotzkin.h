@@ -1,0 +1,63 @@
+//===- qe/FourierMotzkin.h - Conjunctive QE by projection -----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fourier-Motzkin existential projection for conjunctions of linear
+/// integer atoms. This is the workhorse of chute-predicate synthesis
+/// (Section 5.2 of the paper): the SSA path formula is a conjunction,
+/// and we eliminate every variable that is not in scope just after
+/// the chosen `rho := *` command.
+///
+/// Equalities with a unit coefficient are eliminated by exact
+/// substitution. Inequalities are combined lower x upper; when all
+/// combined coefficients are units the projection is exact over the
+/// integers, otherwise the result is the real shadow, an
+/// over-approximation of the integer projection (flagged in the
+/// result). Disequalities mentioning an eliminated variable are
+/// dropped, which also over-approximates.
+///
+/// Over-approximation is sound here: SYNTHcp negates the projection
+/// to restrict the program, an over-approximate projection yields a
+/// stronger restriction, and the recurrent-set check (RCRCHECK)
+/// guards against over-restriction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_QE_FOURIERMOTZKIN_H
+#define CHUTE_QE_FOURIERMOTZKIN_H
+
+#include "expr/Expr.h"
+#include "expr/LinearForm.h"
+
+#include <optional>
+
+namespace chute {
+
+/// Result of a Fourier-Motzkin projection.
+struct FmResult {
+  /// Quantifier-free formula implied by (and when Exact, equivalent
+  /// to) `exists Vars. Input`.
+  ExprRef Formula = nullptr;
+  /// True when the projection is exact over the integers.
+  bool Exact = true;
+  /// Number of atom pairs combined (for stats/benchmarks).
+  std::uint64_t Combinations = 0;
+};
+
+/// Projects the variables \p Vars out of the conjunction \p Conj.
+/// Returns nullopt if \p Conj is not a conjunction of linear atoms.
+std::optional<FmResult>
+fourierMotzkinProject(ExprContext &Ctx, ExprRef Conj,
+                      const std::vector<ExprRef> &Vars);
+
+/// Same, operating directly on a parsed atom list.
+FmResult fourierMotzkinProject(ExprContext &Ctx,
+                               std::vector<LinearAtom> Atoms,
+                               const std::vector<ExprRef> &Vars);
+
+} // namespace chute
+
+#endif // CHUTE_QE_FOURIERMOTZKIN_H

@@ -1,0 +1,36 @@
+//===- qe/QeEngine.cpp - Quantifier-elimination facade ---------------------===//
+
+#include "qe/QeEngine.h"
+
+using namespace chute;
+
+std::optional<ExprRef>
+QeEngine::projectExists(ExprRef Body, const std::vector<ExprRef> &Vars) {
+  ExprContext &Ctx = Solver.exprContext();
+  if (Vars.empty())
+    return Body;
+
+  if (Strategy != QeStrategy::Z3Tactic) {
+    auto Fm = fourierMotzkinProject(Ctx, Body, Vars);
+    if (Fm) {
+      ++S.FmCalls;
+      if (!Fm->Exact)
+        ++S.FmInexact;
+      return Fm->Formula;
+    }
+    if (Strategy == QeStrategy::FourierMotzkin) {
+      ++S.Failures;
+      return std::nullopt;
+    }
+  }
+
+  ++S.Z3Calls;
+  std::vector<ExprRef> Bound = Vars;
+  ExprRef Quantified = Ctx.mkExists(std::move(Bound), Body);
+  auto R = Solver.eliminateQuantifiers(Quantified);
+  if (!R) {
+    ++S.Failures;
+    return std::nullopt;
+  }
+  return R;
+}

@@ -1,0 +1,60 @@
+//===- qe/QeEngine.h - Quantifier-elimination facade ----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chooses between our Fourier-Motzkin projection (conjunctive
+/// inputs, the common case in SYNTHcp) and Z3's qe tactic (general
+/// formulas). Tracks per-strategy statistics so the ablation bench
+/// can compare them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_QE_QEENGINE_H
+#define CHUTE_QE_QEENGINE_H
+
+#include "qe/FourierMotzkin.h"
+#include "smt/SmtQueries.h"
+
+namespace chute {
+
+/// Strategy selection for projection queries.
+enum class QeStrategy {
+  Auto,           ///< Fourier-Motzkin when conjunctive, else Z3.
+  FourierMotzkin, ///< Our projection only (fails on non-conjunctions).
+  Z3Tactic,       ///< Z3's qe tactic only.
+};
+
+/// Facade for existential projection of state formulas.
+class QeEngine {
+public:
+  explicit QeEngine(Smt &Solver, QeStrategy Strategy = QeStrategy::Auto)
+      : Solver(Solver), Strategy(Strategy) {}
+
+  /// Computes a quantifier-free formula implied by
+  /// `exists Vars. Body` (equal to it unless \p Body needed
+  /// approximate FM steps). Returns nullopt when no engine applies.
+  std::optional<ExprRef> projectExists(ExprRef Body,
+                                       const std::vector<ExprRef> &Vars);
+
+  /// Statistics for the ablation benchmark.
+  struct Stats {
+    std::uint64_t FmCalls = 0;
+    std::uint64_t FmInexact = 0;
+    std::uint64_t Z3Calls = 0;
+    std::uint64_t Failures = 0;
+  };
+
+  const Stats &stats() const { return S; }
+
+private:
+  Smt &Solver;
+  QeStrategy Strategy;
+  Stats S;
+};
+
+} // namespace chute
+
+#endif // CHUTE_QE_QEENGINE_H

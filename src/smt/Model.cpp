@@ -1,0 +1,29 @@
+//===- smt/Model.cpp - Satisfying assignments ------------------------------===//
+
+#include "smt/Model.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+std::int64_t Model::eval(ExprRef E) const {
+  // Complete the assignment for any free variable missing from the
+  // model (Z3 omits don't-care variables).
+  std::unordered_map<std::string, std::int64_t> Env = Values;
+  for (ExprRef V : freeVars(E))
+    Env.emplace(V->varName(), 0);
+  return evaluate(E, Env);
+}
+
+std::string Model::toString() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Values.size());
+  std::vector<std::pair<std::string, std::int64_t>> Sorted(Values.begin(),
+                                                           Values.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  for (const auto &[Name, V] : Sorted)
+    Parts.push_back(Name + "=" + std::to_string(V));
+  return join(Parts, ", ");
+}

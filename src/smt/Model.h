@@ -1,0 +1,55 @@
+//===- smt/Model.h - Satisfying assignments -------------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model is an assignment of integer values to named variables,
+/// extracted from a Z3 model for the variables the caller asked about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_MODEL_H
+#define CHUTE_SMT_MODEL_H
+
+#include "expr/Expr.h"
+
+#include <unordered_map>
+
+namespace chute {
+
+/// Integer assignment to variables, by name.
+class Model {
+public:
+  /// Sets the value of variable \p Name.
+  void set(const std::string &Name, std::int64_t V) { Values[Name] = V; }
+
+  /// True if the model assigns \p Name.
+  bool has(const std::string &Name) const { return Values.count(Name) != 0; }
+
+  /// The value of \p Name; variables Z3 left unconstrained default
+  /// to 0 (any value satisfies, so 0 is a valid completion).
+  std::int64_t get(const std::string &Name) const {
+    auto It = Values.find(Name);
+    return It == Values.end() ? 0 : It->second;
+  }
+
+  /// Evaluates a quantifier-free expression under this model, with
+  /// unassigned variables defaulting to 0.
+  std::int64_t eval(ExprRef E) const;
+
+  const std::unordered_map<std::string, std::int64_t> &values() const {
+    return Values;
+  }
+
+  /// Renders as "x=1, y=2" sorted by name.
+  std::string toString() const;
+
+private:
+  std::unordered_map<std::string, std::int64_t> Values;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_MODEL_H

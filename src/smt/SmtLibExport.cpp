@@ -1,0 +1,108 @@
+//===- smt/SmtLibExport.cpp - SMT-LIB2 rendering -----------------------------===//
+
+#include "smt/SmtLibExport.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+
+using namespace chute;
+
+namespace {
+
+/// Quotes a symbol when it contains characters outside the SMT-LIB
+/// simple-symbol alphabet.
+std::string symbol(const std::string &Name) {
+  bool Simple = !Name.empty() && !std::isdigit(static_cast<unsigned char>(Name[0]));
+  for (char C : Name)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '-'))
+      Simple = false;
+  if (Simple)
+    return Name;
+  return "|" + Name + "|";
+}
+
+std::string intLit(std::int64_t V) {
+  if (V < 0)
+    return "(- " + std::to_string(-V) + ")";
+  return std::to_string(V);
+}
+
+std::string render(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+    return intLit(E->intValue());
+  case ExprKind::Var:
+    return symbol(E->varName());
+  case ExprKind::Add: {
+    std::string S = "(+";
+    for (ExprRef Op : E->operands())
+      S += " " + render(Op);
+    return S + ")";
+  }
+  case ExprKind::Mul:
+    return "(* " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Eq:
+    return "(= " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Ne:
+    return "(distinct " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Le:
+    return "(<= " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Lt:
+    return "(< " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Ge:
+    return "(>= " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Gt:
+    return "(> " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::True:
+    return "true";
+  case ExprKind::False:
+    return "false";
+  case ExprKind::And: {
+    std::string S = "(and";
+    for (ExprRef Op : E->operands())
+      S += " " + render(Op);
+    return S + ")";
+  }
+  case ExprKind::Or: {
+    std::string S = "(or";
+    for (ExprRef Op : E->operands())
+      S += " " + render(Op);
+    return S + ")";
+  }
+  case ExprKind::Not:
+    return "(not " + render(E->operand(0)) + ")";
+  case ExprKind::Implies:
+    return "(=> " + render(E->operand(0)) + " " +
+           render(E->operand(1)) + ")";
+  case ExprKind::Exists:
+  case ExprKind::Forall: {
+    std::string S = E->kind() == ExprKind::Exists ? "(exists (" : "(forall (";
+    for (ExprRef B : E->boundVars())
+      S += "(" + symbol(B->varName()) + " Int)";
+    return S + ") " + render(E->body()) + ")";
+  }
+  }
+  return "true";
+}
+
+} // namespace
+
+std::string chute::toSmtLib(ExprRef E) { return render(E); }
+
+std::string chute::toSmtLibQuery(ExprRef E) {
+  std::string S = "(set-logic ALL)\n";
+  for (ExprRef V : freeVars(E))
+    S += "(declare-const " + symbol(V->varName()) + " Int)\n";
+  S += "(assert " + render(E) + ")\n";
+  S += "(check-sat)\n";
+  return S;
+}

@@ -1,0 +1,32 @@
+//===- smt/SmtLibExport.h - SMT-LIB2 rendering ----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions and whole queries in SMT-LIB2 concrete syntax,
+/// for debugging, external cross-checking (any SMT-LIB solver can
+/// replay a query), and interop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_SMTLIBEXPORT_H
+#define CHUTE_SMT_SMTLIBEXPORT_H
+
+#include "expr/Expr.h"
+
+namespace chute {
+
+/// Renders \p E as an SMT-LIB2 s-expression (sorts: Int/Bool).
+/// Variable names with characters outside the simple-symbol alphabet
+/// (primes, '@', '!', '.') are emitted as |quoted symbols|.
+std::string toSmtLib(ExprRef E);
+
+/// Renders a complete benchmark: declarations for every free
+/// variable, one assert, and (check-sat).
+std::string toSmtLibQuery(ExprRef E);
+
+} // namespace chute
+
+#endif // CHUTE_SMT_SMTLIBEXPORT_H

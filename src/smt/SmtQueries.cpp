@@ -1,0 +1,94 @@
+//===- smt/SmtQueries.cpp - High-level SMT facade ---------------------------===//
+
+#include "smt/SmtQueries.h"
+
+#include "smt/Z3Translate.h"
+#include "support/Debug.h"
+
+using namespace chute;
+
+Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs)
+    : Ctx(Ctx), TimeoutMs(TimeoutMs) {}
+
+SatResult Smt::checkSat(ExprRef E) {
+  ++NumQueries;
+  Z3Solver Solver(Z3, TimeoutMs);
+  Solver.add(E);
+  SatResult R = Solver.check();
+  CHUTE_DEBUG(debugLine("checkSat(" + E->toString() +
+                        ") = " + toString(R)));
+  return R;
+}
+
+bool Smt::isSat(ExprRef E) { return checkSat(E) == SatResult::Sat; }
+
+bool Smt::isUnsat(ExprRef E) { return checkSat(E) == SatResult::Unsat; }
+
+bool Smt::isValid(ExprRef E) { return isUnsat(Ctx.mkNot(E)); }
+
+bool Smt::implies(ExprRef A, ExprRef B) {
+  return isUnsat(Ctx.mkAnd(A, Ctx.mkNot(B)));
+}
+
+bool Smt::equivalent(ExprRef A, ExprRef B) {
+  return implies(A, B) && implies(B, A);
+}
+
+std::optional<Model> Smt::getModel(ExprRef E) {
+  ++NumQueries;
+  Z3Solver Solver(Z3, TimeoutMs);
+  Solver.add(E);
+  if (Solver.check() != SatResult::Sat)
+    return std::nullopt;
+  return Solver.getModel(freeVars(E));
+}
+
+std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
+  ++NumQueries;
+  Z3_context C = Z3.raw();
+  Z3.clearError();
+
+  Z3_tactic Qe = Z3_mk_tactic(C, "qe");
+  Z3_tactic_inc_ref(C, Qe);
+  Z3_tactic Simp = Z3_mk_tactic(C, "ctx-simplify");
+  Z3_tactic_inc_ref(C, Simp);
+  Z3_tactic Pipeline = Z3_tactic_and_then(C, Qe, Simp);
+  Z3_tactic_inc_ref(C, Pipeline);
+
+  Z3_goal Goal = Z3_mk_goal(C, /*models=*/false, /*unsat_cores=*/false,
+                            /*proofs=*/false);
+  Z3_goal_inc_ref(C, Goal);
+  Z3_goal_assert(C, Goal, toZ3(Z3, E));
+
+  std::optional<ExprRef> Result;
+  Z3_apply_result Applied = Z3_tactic_apply(C, Pipeline, Goal);
+  if (Applied != nullptr && !Z3.hasError()) {
+    Z3_apply_result_inc_ref(C, Applied);
+    // Conjoin all formulas across all subgoals.
+    std::vector<ExprRef> Parts;
+    bool Ok = true;
+    unsigned NumGoals = Z3_apply_result_get_num_subgoals(C, Applied);
+    for (unsigned G = 0; G < NumGoals && Ok; ++G) {
+      Z3_goal Sub = Z3_apply_result_get_subgoal(C, Applied, G);
+      unsigned Size = Z3_goal_size(C, Sub);
+      for (unsigned I = 0; I < Size && Ok; ++I) {
+        auto Back = fromZ3(Z3, Ctx, Z3_goal_formula(C, Sub, I));
+        if (!Back) {
+          Ok = false;
+          break;
+        }
+        Parts.push_back(*Back);
+      }
+    }
+    if (Ok)
+      Result = Ctx.mkAnd(std::move(Parts));
+    Z3_apply_result_dec_ref(C, Applied);
+  }
+  Z3.clearError();
+
+  Z3_goal_dec_ref(C, Goal);
+  Z3_tactic_dec_ref(C, Pipeline);
+  Z3_tactic_dec_ref(C, Simp);
+  Z3_tactic_dec_ref(C, Qe);
+  return Result;
+}

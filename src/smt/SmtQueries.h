@@ -1,0 +1,78 @@
+//===- smt/SmtQueries.h - High-level SMT facade ---------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Smt facade every analysis talks to: satisfiability, validity,
+/// implication/equivalence between state formulas, model extraction,
+/// and quantifier elimination via Z3's qe tactic. One instance wraps
+/// one Z3 context and one ExprContext; queries are stateless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_SMTQUERIES_H
+#define CHUTE_SMT_SMTQUERIES_H
+
+#include "expr/Expr.h"
+#include "smt/Model.h"
+#include "smt/Z3Context.h"
+#include "smt/Z3Solver.h"
+
+#include <optional>
+
+namespace chute {
+
+/// High-level SMT query interface used throughout the verifier.
+///
+/// Unknown answers (timeouts) are conservatively mapped: isValid and
+/// implies answer false (a proof is not established), isSat answers
+/// true only for genuine Sat.
+class Smt {
+public:
+  explicit Smt(ExprContext &Ctx, unsigned TimeoutMs = 10000);
+
+  ExprContext &exprContext() { return Ctx; }
+  Z3Context &z3Context() { return Z3; }
+
+  /// Raw three-valued satisfiability.
+  SatResult checkSat(ExprRef E);
+
+  /// True iff \p E is satisfiable (Unknown maps to false).
+  bool isSat(ExprRef E);
+
+  /// True iff \p E is unsatisfiable (Unknown maps to false).
+  bool isUnsat(ExprRef E);
+
+  /// True iff \p E is valid (Unknown maps to false).
+  bool isValid(ExprRef E);
+
+  /// True iff \p A implies \p B for all assignments.
+  bool implies(ExprRef A, ExprRef B);
+
+  /// True iff \p A and \p B are logically equivalent.
+  bool equivalent(ExprRef A, ExprRef B);
+
+  /// A model of \p E, or nullopt when unsat/unknown. The model covers
+  /// the free variables of \p E.
+  std::optional<Model> getModel(ExprRef E);
+
+  /// Eliminates the quantifiers of \p E with Z3's qe tactic and
+  /// translates back; nullopt when the result leaves the supported
+  /// fragment or the tactic fails.
+  std::optional<ExprRef> eliminateQuantifiers(ExprRef E);
+
+  /// Number of solver queries issued so far (for stats/ablations).
+  std::uint64_t numQueries() const { return NumQueries; }
+
+private:
+  ExprContext &Ctx;
+  Z3Context Z3;
+  unsigned TimeoutMs;
+  std::uint64_t NumQueries = 0;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_SMTQUERIES_H

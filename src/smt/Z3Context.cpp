@@ -1,0 +1,45 @@
+//===- smt/Z3Context.cpp - RAII wrapper over the Z3 C context -------------===//
+
+#include "smt/Z3Context.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace chute;
+
+namespace {
+
+/// Z3 hands the raw context to the error handler; map it back to the
+/// owning wrapper so the handler can record the message. Access is
+/// single-threaded throughout this project.
+std::unordered_map<Z3_context, Z3Context *> &registry() {
+  static std::unordered_map<Z3_context, Z3Context *> Map;
+  return Map;
+}
+
+void errorHandler(Z3_context C, Z3_error_code Code) {
+  auto It = registry().find(C);
+  if (It == registry().end())
+    return;
+  const char *Msg = Z3_get_error_msg(C, Code);
+  It->second->noteError(Msg != nullptr ? Msg : "unknown Z3 error");
+}
+
+} // namespace
+
+Z3Context::Z3Context() {
+  Z3_config Cfg = Z3_mk_config();
+  Z3_set_param_value(Cfg, "model", "true");
+  Ctx = Z3_mk_context(Cfg);
+  Z3_del_config(Cfg);
+  assert(Ctx && "failed to create Z3 context");
+  registry()[Ctx] = this;
+  Z3_set_error_handler(Ctx, errorHandler);
+}
+
+Z3Context::~Z3Context() {
+  if (Ctx != nullptr) {
+    registry().erase(Ctx);
+    Z3_del_context(Ctx);
+  }
+}

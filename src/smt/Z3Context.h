@@ -1,0 +1,53 @@
+//===- smt/Z3Context.h - RAII wrapper over the Z3 C context ----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free RAII ownership of a Z3_context. Z3 errors are
+/// captured by an error handler into a flag that callers inspect; we
+/// never enable Z3's exception machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_Z3CONTEXT_H
+#define CHUTE_SMT_Z3CONTEXT_H
+
+#include <string>
+
+#include <z3.h>
+
+namespace chute {
+
+/// Owns a Z3_context configured for quantified linear integer
+/// arithmetic with a model-producing default solver.
+class Z3Context {
+public:
+  Z3Context();
+  ~Z3Context();
+
+  Z3Context(const Z3Context &) = delete;
+  Z3Context &operator=(const Z3Context &) = delete;
+
+  Z3_context raw() const { return Ctx; }
+
+  /// True if a Z3 error has been recorded since the last clearError().
+  bool hasError() const { return !LastError.empty(); }
+
+  /// The last recorded Z3 error message (empty when none).
+  const std::string &lastError() const { return LastError; }
+
+  void clearError() { LastError.clear(); }
+
+  /// Records an error message; called from the Z3 error handler.
+  void noteError(const std::string &Msg) { LastError = Msg; }
+
+private:
+  Z3_context Ctx = nullptr;
+  std::string LastError;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_Z3CONTEXT_H

@@ -1,0 +1,85 @@
+//===- smt/Z3Solver.cpp - Incremental Z3 solver wrapper --------------------===//
+
+#include "smt/Z3Solver.h"
+
+#include "smt/Z3Translate.h"
+
+using namespace chute;
+
+const char *chute::toString(SatResult R) {
+  switch (R) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+Z3Solver::Z3Solver(Z3Context &Z3, unsigned TimeoutMs) : Z3(Z3) {
+  Z3_context C = Z3.raw();
+  Solver = Z3_mk_solver(C);
+  Z3_solver_inc_ref(C, Solver);
+  if (TimeoutMs != 0) {
+    Z3_params Params = Z3_mk_params(C);
+    Z3_params_inc_ref(C, Params);
+    Z3_symbol Timeout = Z3_mk_string_symbol(C, "timeout");
+    Z3_params_set_uint(C, Params, Timeout, TimeoutMs);
+    Z3_solver_set_params(C, Solver, Params);
+    Z3_params_dec_ref(C, Params);
+  }
+}
+
+Z3Solver::~Z3Solver() {
+  if (Solver != nullptr)
+    Z3_solver_dec_ref(Z3.raw(), Solver);
+}
+
+void Z3Solver::add(ExprRef E) { addRaw(toZ3(Z3, E)); }
+
+void Z3Solver::addRaw(Z3_ast A) {
+  Z3_solver_assert(Z3.raw(), Solver, A);
+}
+
+void Z3Solver::push() { Z3_solver_push(Z3.raw(), Solver); }
+
+void Z3Solver::pop() { Z3_solver_pop(Z3.raw(), Solver, 1); }
+
+SatResult Z3Solver::check() {
+  Z3.clearError();
+  switch (Z3_solver_check(Z3.raw(), Solver)) {
+  case Z3_L_TRUE:
+    return SatResult::Sat;
+  case Z3_L_FALSE:
+    return SatResult::Unsat;
+  default:
+    return SatResult::Unknown;
+  }
+}
+
+std::optional<Model> Z3Solver::getModel(const std::vector<ExprRef> &Vars) {
+  Z3_context C = Z3.raw();
+  Z3_model M = Z3_solver_get_model(C, Solver);
+  if (M == nullptr || Z3.hasError()) {
+    Z3.clearError();
+    return std::nullopt;
+  }
+  Z3_model_inc_ref(C, M);
+  Model Result;
+  for (ExprRef V : Vars) {
+    assert(V->isVar() && "model extraction needs variables");
+    Z3_ast Const = toZ3(Z3, V);
+    Z3_ast Value = nullptr;
+    if (!Z3_model_eval(C, M, Const, /*model_completion=*/true, &Value) ||
+        Value == nullptr)
+      continue;
+    std::int64_t IV = 0;
+    if (Z3_get_ast_kind(C, Value) == Z3_NUMERAL_AST &&
+        Z3_get_numeral_int64(C, Value, &IV))
+      Result.set(V->varName(), IV);
+  }
+  Z3_model_dec_ref(C, M);
+  return Result;
+}

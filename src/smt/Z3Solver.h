@@ -1,0 +1,62 @@
+//===- smt/Z3Solver.h - Incremental Z3 solver wrapper ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An incremental solver over a Z3Context with push/pop scoping,
+/// a per-query timeout, and model extraction into chute Models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_Z3SOLVER_H
+#define CHUTE_SMT_Z3SOLVER_H
+
+#include "expr/Expr.h"
+#include "smt/Model.h"
+#include "smt/Z3Context.h"
+
+#include <optional>
+
+namespace chute {
+
+/// Three-valued satisfiability answer.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Renders a SatResult for diagnostics.
+const char *toString(SatResult R);
+
+/// Incremental solver. Not copyable; tied to one Z3Context.
+class Z3Solver {
+public:
+  /// \p TimeoutMs bounds each check() call (0 = no limit).
+  explicit Z3Solver(Z3Context &Z3, unsigned TimeoutMs = 10000);
+  ~Z3Solver();
+
+  Z3Solver(const Z3Solver &) = delete;
+  Z3Solver &operator=(const Z3Solver &) = delete;
+
+  /// Asserts \p E in the current scope.
+  void add(ExprRef E);
+
+  /// Asserts a raw Z3 ast in the current scope.
+  void addRaw(Z3_ast A);
+
+  void push();
+  void pop();
+
+  /// Checks satisfiability of the asserted formulas.
+  SatResult check();
+
+  /// After a Sat answer, extracts values for \p Vars (Var exprs).
+  std::optional<Model> getModel(const std::vector<ExprRef> &Vars);
+
+private:
+  Z3Context &Z3;
+  Z3_solver Solver = nullptr;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_Z3SOLVER_H

@@ -1,0 +1,288 @@
+//===- smt/Z3Translate.cpp - Expr <-> Z3 AST conversion --------------------===//
+
+#include "smt/Z3Translate.h"
+
+#include <vector>
+
+using namespace chute;
+
+//===-- Forward direction ---------------------------------------------------===//
+
+Z3_ast chute::toZ3(Z3Context &Z3, ExprRef E) {
+  Z3_context C = Z3.raw();
+  Z3_sort IntSort = Z3_mk_int_sort(C);
+
+  switch (E->kind()) {
+  case ExprKind::IntConst:
+    return Z3_mk_int64(C, E->intValue(), IntSort);
+  case ExprKind::Var: {
+    Z3_symbol Sym = Z3_mk_string_symbol(C, E->varName().c_str());
+    return Z3_mk_const(C, Sym, IntSort);
+  }
+  case ExprKind::Add: {
+    std::vector<Z3_ast> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(toZ3(Z3, Op));
+    return Z3_mk_add(C, static_cast<unsigned>(Ops.size()), Ops.data());
+  }
+  case ExprKind::Mul: {
+    Z3_ast Ops[2] = {toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1))};
+    return Z3_mk_mul(C, 2, Ops);
+  }
+  case ExprKind::Eq:
+    return Z3_mk_eq(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+  case ExprKind::Ne: {
+    Z3_ast Eq =
+        Z3_mk_eq(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+    return Z3_mk_not(C, Eq);
+  }
+  case ExprKind::Le:
+    return Z3_mk_le(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+  case ExprKind::Lt:
+    return Z3_mk_lt(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+  case ExprKind::Ge:
+    return Z3_mk_ge(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+  case ExprKind::Gt:
+    return Z3_mk_gt(C, toZ3(Z3, E->operand(0)), toZ3(Z3, E->operand(1)));
+  case ExprKind::True:
+    return Z3_mk_true(C);
+  case ExprKind::False:
+    return Z3_mk_false(C);
+  case ExprKind::And: {
+    std::vector<Z3_ast> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(toZ3(Z3, Op));
+    return Z3_mk_and(C, static_cast<unsigned>(Ops.size()), Ops.data());
+  }
+  case ExprKind::Or: {
+    std::vector<Z3_ast> Ops;
+    Ops.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Ops.push_back(toZ3(Z3, Op));
+    return Z3_mk_or(C, static_cast<unsigned>(Ops.size()), Ops.data());
+  }
+  case ExprKind::Not:
+    return Z3_mk_not(C, toZ3(Z3, E->operand(0)));
+  case ExprKind::Implies:
+    return Z3_mk_implies(C, toZ3(Z3, E->operand(0)),
+                         toZ3(Z3, E->operand(1)));
+  case ExprKind::Exists:
+  case ExprKind::Forall: {
+    std::vector<Z3_app> Bound;
+    Bound.reserve(E->boundVars().size());
+    for (ExprRef B : E->boundVars())
+      Bound.push_back(Z3_to_app(C, toZ3(Z3, B)));
+    Z3_ast Body = toZ3(Z3, E->body());
+    if (E->kind() == ExprKind::Exists)
+      return Z3_mk_exists_const(C, 0, static_cast<unsigned>(Bound.size()),
+                                Bound.data(), 0, nullptr, Body);
+    return Z3_mk_forall_const(C, 0, static_cast<unsigned>(Bound.size()),
+                              Bound.data(), 0, nullptr, Body);
+  }
+  }
+  assert(false && "unknown expression kind");
+  return Z3_mk_false(Z3.raw());
+}
+
+//===-- Backward direction --------------------------------------------------===//
+
+namespace {
+
+std::optional<ExprRef> fromZ3App(Z3Context &Z3, ExprContext &Ctx,
+                                 Z3_app App);
+
+std::optional<ExprRef> fromZ3Impl(Z3Context &Z3, ExprContext &Ctx,
+                                  Z3_ast A) {
+  Z3_context C = Z3.raw();
+  switch (Z3_get_ast_kind(C, A)) {
+  case Z3_NUMERAL_AST: {
+    std::int64_t V = 0;
+    if (!Z3_get_numeral_int64(C, A, &V))
+      return std::nullopt; // Out of 64-bit range.
+    return Ctx.mkInt(V);
+  }
+  case Z3_APP_AST:
+    return fromZ3App(Z3, Ctx, Z3_to_app(C, A));
+  case Z3_QUANTIFIER_AST: {
+    // Z3 quantifiers use de Bruijn indices; rebuild named bound vars.
+    unsigned N = Z3_get_quantifier_num_bound(C, A);
+    std::vector<ExprRef> Bound(N, nullptr);
+    for (unsigned I = 0; I < N; ++I) {
+      Z3_symbol Sym = Z3_get_quantifier_bound_name(C, A, I);
+      std::string Name;
+      if (Z3_get_symbol_kind(C, Sym) == Z3_STRING_SYMBOL)
+        Name = Z3_get_symbol_string(C, Sym);
+      else
+        Name = "qv!" + std::to_string(Z3_get_symbol_int(C, Sym));
+      Bound[I] = Ctx.mkVar(Name);
+    }
+    // Substitute bound de Bruijn variables by the named constants and
+    // recurse on the body.
+    Z3_ast Body = Z3_get_quantifier_body(C, A);
+    std::vector<Z3_ast> Consts(N);
+    for (unsigned I = 0; I < N; ++I) {
+      Z3_symbol Sym =
+          Z3_mk_string_symbol(C, Bound[I]->varName().c_str());
+      Consts[I] = Z3_mk_const(C, Sym, Z3_mk_int_sort(C));
+    }
+    // De Bruijn index 0 refers to the innermost (last) bound variable.
+    std::vector<Z3_ast> FromVars(N);
+    for (unsigned I = 0; I < N; ++I)
+      FromVars[I] =
+          Z3_mk_bound(C, N - 1 - I, Z3_mk_int_sort(C));
+    Z3_ast Subst =
+        Z3_substitute(C, Body, N, FromVars.data(), Consts.data());
+    auto BodyExpr = fromZ3Impl(Z3, Ctx, Subst);
+    if (!BodyExpr)
+      return std::nullopt;
+    if (Z3_is_quantifier_forall(C, A))
+      return Ctx.mkForall(std::move(Bound), *BodyExpr);
+    return Ctx.mkExists(std::move(Bound), *BodyExpr);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<ExprRef> fromZ3App(Z3Context &Z3, ExprContext &Ctx,
+                                 Z3_app App) {
+  Z3_context C = Z3.raw();
+  Z3_func_decl Decl = Z3_get_app_decl(C, App);
+  Z3_decl_kind Kind = Z3_get_decl_kind(C, Decl);
+  unsigned N = Z3_get_app_num_args(C, App);
+
+  auto arg = [&](unsigned I) -> std::optional<ExprRef> {
+    return fromZ3Impl(Z3, Ctx, Z3_get_app_arg(C, App, I));
+  };
+  auto allArgs = [&]() -> std::optional<std::vector<ExprRef>> {
+    std::vector<ExprRef> Out;
+    Out.reserve(N);
+    for (unsigned I = 0; I < N; ++I) {
+      auto E = arg(I);
+      if (!E)
+        return std::nullopt;
+      Out.push_back(*E);
+    }
+    return Out;
+  };
+
+  switch (Kind) {
+  case Z3_OP_TRUE:
+    return Ctx.mkTrue();
+  case Z3_OP_FALSE:
+    return Ctx.mkFalse();
+  case Z3_OP_AND: {
+    auto Args = allArgs();
+    if (!Args)
+      return std::nullopt;
+    return Ctx.mkAnd(std::move(*Args));
+  }
+  case Z3_OP_OR: {
+    auto Args = allArgs();
+    if (!Args)
+      return std::nullopt;
+    return Ctx.mkOr(std::move(*Args));
+  }
+  case Z3_OP_NOT: {
+    auto A0 = arg(0);
+    if (!A0)
+      return std::nullopt;
+    return Ctx.mkNot(*A0);
+  }
+  case Z3_OP_IMPLIES: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkImplies(*A0, *A1);
+  }
+  case Z3_OP_EQ: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    if ((*A0)->isBool() || (*A1)->isBool())
+      return std::nullopt; // Boolean equality: out of fragment.
+    return Ctx.mkEq(*A0, *A1);
+  }
+  case Z3_OP_DISTINCT: {
+    if (N != 2)
+      return std::nullopt;
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkNe(*A0, *A1);
+  }
+  case Z3_OP_LE: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkLe(*A0, *A1);
+  }
+  case Z3_OP_LT: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkLt(*A0, *A1);
+  }
+  case Z3_OP_GE: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkGe(*A0, *A1);
+  }
+  case Z3_OP_GT: {
+    auto A0 = arg(0), A1 = arg(1);
+    if (!A0 || !A1)
+      return std::nullopt;
+    return Ctx.mkGt(*A0, *A1);
+  }
+  case Z3_OP_ADD: {
+    auto Args = allArgs();
+    if (!Args)
+      return std::nullopt;
+    return Ctx.mkAdd(std::move(*Args));
+  }
+  case Z3_OP_SUB: {
+    auto Args = allArgs();
+    if (!Args || Args->empty())
+      return std::nullopt;
+    ExprRef Acc = (*Args)[0];
+    for (std::size_t I = 1; I < Args->size(); ++I)
+      Acc = Ctx.mkSub(Acc, (*Args)[I]);
+    return Acc;
+  }
+  case Z3_OP_UMINUS: {
+    auto A0 = arg(0);
+    if (!A0)
+      return std::nullopt;
+    return Ctx.mkNeg(*A0);
+  }
+  case Z3_OP_MUL: {
+    auto Args = allArgs();
+    if (!Args || Args->empty())
+      return std::nullopt;
+    ExprRef Acc = (*Args)[0];
+    for (std::size_t I = 1; I < Args->size(); ++I)
+      Acc = Ctx.mkMul(Acc, (*Args)[I]);
+    return Acc;
+  }
+  case Z3_OP_UNINTERPRETED: {
+    if (N != 0)
+      return std::nullopt; // Function application: out of fragment.
+    Z3_symbol Sym = Z3_get_decl_name(C, Decl);
+    if (Z3_get_symbol_kind(C, Sym) != Z3_STRING_SYMBOL)
+      return std::nullopt;
+    return Ctx.mkVar(Z3_get_symbol_string(C, Sym));
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+std::optional<ExprRef> chute::fromZ3(Z3Context &Z3, ExprContext &Ctx,
+                                     Z3_ast A) {
+  return fromZ3Impl(Z3, Ctx, A);
+}

@@ -1,0 +1,35 @@
+//===- smt/Z3Translate.h - Expr <-> Z3 AST conversion ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bidirectional translation between chute expressions and Z3 ASTs.
+/// The backward direction handles the fragment Z3's tactics produce
+/// for linear integer arithmetic goals and returns nullopt elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_Z3TRANSLATE_H
+#define CHUTE_SMT_Z3TRANSLATE_H
+
+#include "expr/Expr.h"
+#include "smt/Z3Context.h"
+
+#include <optional>
+
+namespace chute {
+
+/// Translates \p E into a Z3 AST over the integer sort. Variables
+/// become uninterpreted integer constants with matching names.
+Z3_ast toZ3(Z3Context &Z3, ExprRef E);
+
+/// Translates a Z3 AST back into a chute expression; returns nullopt
+/// for constructs outside the supported LIA fragment (division,
+/// if-then-else, arrays, ...).
+std::optional<ExprRef> fromZ3(Z3Context &Z3, ExprContext &Ctx, Z3_ast A);
+
+} // namespace chute
+
+#endif // CHUTE_SMT_Z3TRANSLATE_H

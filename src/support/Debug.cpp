@@ -1,0 +1,20 @@
+//===- support/Debug.cpp - Opt-in debug logging ---------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace chute;
+
+bool chute::debugEnabled() {
+  static const bool Enabled = [] {
+    const char *Env = std::getenv("CHUTE_DEBUG");
+    return Env != nullptr && Env[0] != '\0';
+  }();
+  return Enabled;
+}
+
+void chute::debugLine(const std::string &Msg) {
+  std::fprintf(stderr, "[chute] %s\n", Msg.c_str());
+}

@@ -1,0 +1,37 @@
+//===- support/Debug.h - Opt-in debug logging -----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight debug logging controlled by the CHUTE_DEBUG environment
+/// variable (set it to any non-empty value to enable). Modeled after
+/// LLVM_DEBUG but without global registration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_DEBUG_H
+#define CHUTE_SUPPORT_DEBUG_H
+
+#include <string>
+
+namespace chute {
+
+/// Returns true when debug logging is enabled via CHUTE_DEBUG.
+bool debugEnabled();
+
+/// Writes one line of debug output (with trailing newline) to stderr.
+void debugLine(const std::string &Msg);
+
+} // namespace chute
+
+/// Executes \p X only when debug logging is enabled.
+#define CHUTE_DEBUG(X)                                                         \
+  do {                                                                         \
+    if (::chute::debugEnabled()) {                                             \
+      X;                                                                       \
+    }                                                                          \
+  } while (false)
+
+#endif // CHUTE_SUPPORT_DEBUG_H

@@ -1,0 +1,42 @@
+//===- support/Stopwatch.h - Wall-clock timing -----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trivial wall-clock stopwatch for benchmark reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_STOPWATCH_H
+#define CHUTE_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace chute {
+
+/// Measures elapsed wall-clock time from construction (or last reset).
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds since construction or the last reset.
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_STOPWATCH_H

@@ -1,0 +1,43 @@
+//===- support/StringExtras.h - Small string helpers ----------*- C++ -*-===//
+//
+// Part of the chute project, a reproduction of Cook & Koskinen,
+// "Reasoning about Nondeterminism in Programs" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting and joining helpers used across the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_STRINGEXTRAS_H
+#define CHUTE_SUPPORT_STRINGEXTRAS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chute {
+
+/// Joins the elements of \p Parts with \p Sep between them.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// printf-style formatting into a std::string.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Combines a hash value into a running seed (boost::hash_combine).
+inline std::size_t hashCombine(std::size_t Seed, std::size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_STRINGEXTRAS_H

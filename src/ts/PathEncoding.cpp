@@ -1,0 +1,75 @@
+//===- ts/PathEncoding.cpp - SSA encodings of command paths -----------------===//
+
+#include "ts/PathEncoding.h"
+
+#include "expr/ExprBuilder.h"
+
+using namespace chute;
+
+std::vector<ExprRef>
+PathFormula::varsAt(ExprContext &Ctx, std::size_t Pos,
+                    const std::vector<ExprRef> &Vars) const {
+  assert(Pos < IndexAt.size() && "position out of range");
+  std::vector<ExprRef> Out;
+  Out.reserve(Vars.size());
+  for (ExprRef V : Vars) {
+    auto It = IndexAt[Pos].find(V->varName());
+    unsigned I = It == IndexAt[Pos].end() ? 0 : It->second;
+    Out.push_back(ssaVar(Ctx, V, I));
+  }
+  return Out;
+}
+
+std::vector<ExprRef> PathFormula::allSsaVars() const {
+  return freeVars(Formula);
+}
+
+ExprRef PathFormula::stateAt(ExprContext &Ctx, ExprRef State,
+                             std::size_t Pos) const {
+  assert(Pos < IndexAt.size() && "position out of range");
+  return toSsa(Ctx, State, IndexAt[Pos]);
+}
+
+PathFormula chute::encodePath(ExprContext &Ctx, const Program &P,
+                              const std::vector<unsigned> &Path) {
+  PathFormula Result;
+  std::unordered_map<std::string, unsigned> Index;
+  Result.IndexAt.push_back(Index);
+
+  std::vector<ExprRef> Constraints;
+  for (unsigned Id : Path) {
+    const Command &Cmd = P.edge(Id).Cmd;
+    switch (Cmd.kind()) {
+    case Command::Kind::Assume:
+      Constraints.push_back(toSsa(Ctx, Cmd.cond(), Index));
+      break;
+    case Command::Kind::Assign: {
+      ExprRef RhsSsa = toSsa(Ctx, Cmd.rhs(), Index);
+      unsigned &I = Index[Cmd.var()->varName()];
+      ++I;
+      Constraints.push_back(
+          Ctx.mkEq(ssaVar(Ctx, Cmd.var(), I), RhsSsa));
+      break;
+    }
+    case Command::Kind::Havoc: {
+      unsigned &I = Index[Cmd.var()->varName()];
+      ++I; // Fresh, unconstrained index.
+      break;
+    }
+    }
+    Result.IndexAt.push_back(Index);
+  }
+  Result.Formula = Ctx.mkAnd(std::move(Constraints));
+  return Result;
+}
+
+bool chute::pathFeasibleFromInit(Smt &S, const Program &P,
+                                 const std::vector<unsigned> &Path) {
+  ExprContext &Ctx = S.exprContext();
+  if (!Path.empty())
+    assert(P.edge(Path.front()).Src == P.entry() &&
+           "path must start at the entry");
+  PathFormula F = encodePath(Ctx, P, Path);
+  ExprRef InitSsa = F.stateAt(Ctx, P.init(), 0);
+  return S.isSat(Ctx.mkAnd(InitSsa, F.Formula));
+}

@@ -1,0 +1,59 @@
+//===- ts/PathEncoding.h - SSA encodings of command paths -----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes a finite CFG path as a conjunction of static-single-
+/// assignment constraints, exactly the representation the paper uses
+/// for counterexample paths in Section 2 and in SYNTHcp (Section 5.2):
+/// each assignment bumps the SSA index of its target, assumes
+/// constrain the current indices, and havocs bump the index without
+/// constraining it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_TS_PATHENCODING_H
+#define CHUTE_TS_PATHENCODING_H
+
+#include "program/Cfg.h"
+#include "smt/SmtQueries.h"
+
+namespace chute {
+
+/// SSA encoding of a finite path.
+struct PathFormula {
+  /// Conjunction of the SSA constraints of every step.
+  ExprRef Formula = nullptr;
+
+  /// IndexAt[i] maps each variable name to its live SSA index at path
+  /// position i (position 0 is before the first command; position
+  /// Edges.size() is after the last).
+  std::vector<std::unordered_map<std::string, unsigned>> IndexAt;
+
+  /// The SSA variables live at position \p Pos for \p Vars.
+  std::vector<ExprRef> varsAt(ExprContext &Ctx, std::size_t Pos,
+                              const std::vector<ExprRef> &Vars) const;
+
+  /// All SSA variables mentioned anywhere in the formula.
+  std::vector<ExprRef> allSsaVars() const;
+
+  /// Rewrites a state formula over program variables into its SSA
+  /// copy at position \p Pos.
+  ExprRef stateAt(ExprContext &Ctx, ExprRef State, std::size_t Pos) const;
+};
+
+/// Encodes the edge sequence \p Path of \p P. The sequence need not
+/// start at the entry; the state at position 0 is unconstrained.
+PathFormula encodePath(ExprContext &Ctx, const Program &P,
+                       const std::vector<unsigned> &Path);
+
+/// True when \p Path can be executed from an initial state of \p P
+/// (the path must start at the entry location).
+bool pathFeasibleFromInit(Smt &S, const Program &P,
+                          const std::vector<unsigned> &Path);
+
+} // namespace chute
+
+#endif // CHUTE_TS_PATHENCODING_H

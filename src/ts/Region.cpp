@@ -1,0 +1,147 @@
+//===- ts/Region.cpp - Symbolic sets of program states ----------------------===//
+
+#include "ts/Region.h"
+
+#include "support/StringExtras.h"
+
+using namespace chute;
+
+Region Region::top(const Program &P) {
+  return Region(P.numLocations(), P.exprContext().mkTrue());
+}
+
+Region Region::bottom(const Program &P) {
+  return Region(P.numLocations(), P.exprContext().mkFalse());
+}
+
+Region Region::uniform(const Program &P, ExprRef E) {
+  return Region(P.numLocations(), E);
+}
+
+Region Region::atLocation(const Program &P, Loc L, ExprRef E) {
+  Region R = bottom(P);
+  R.set(L, E);
+  return R;
+}
+
+Region Region::initial(const Program &P) {
+  return atLocation(P, P.entry(), P.init());
+}
+
+Region Region::intersect(ExprContext &Ctx, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    R.Formulas[L] = Ctx.mkAnd(Formulas[L], Other.Formulas[L]);
+  return R;
+}
+
+Region Region::unite(ExprContext &Ctx, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    R.Formulas[L] = Ctx.mkOr(Formulas[L], Other.Formulas[L]);
+  return R;
+}
+
+Region Region::minus(ExprContext &Ctx, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    R.Formulas[L] =
+        Ctx.mkAnd(Formulas[L], Ctx.mkNot(Other.Formulas[L]));
+  return R;
+}
+
+Region Region::constrain(ExprContext &Ctx, ExprRef E) const {
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    R.Formulas[L] = Ctx.mkAnd(Formulas[L], E);
+  return R;
+}
+
+Region Region::simplified(ExprContext &Ctx) const {
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    R.Formulas[L] = simplify(Ctx, Formulas[L]);
+  return R;
+}
+
+bool Region::isEmpty(Smt &S) const {
+  for (ExprRef F : Formulas)
+    if (!S.isUnsat(F))
+      return false;
+  return true;
+}
+
+bool Region::subsetOf(Smt &S, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  for (std::size_t L = 0; L < Formulas.size(); ++L)
+    if (!S.implies(Formulas[L], Other.Formulas[L]))
+      return false;
+  return true;
+}
+
+bool Region::equals(Smt &S, const Region &Other) const {
+  return subsetOf(S, Other) && Other.subsetOf(S, *this);
+}
+
+Region Region::intersectPruned(Smt &S, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  ExprContext &Ctx = S.exprContext();
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L) {
+    std::vector<ExprRef> Kept;
+    for (ExprRef D : disjuncts(Formulas[L])) {
+      if (S.implies(D, Other.Formulas[L])) {
+        Kept.push_back(D);
+        continue;
+      }
+      ExprRef C = simplify(Ctx, Ctx.mkAnd(D, Other.Formulas[L]));
+      // Keep on Unknown: dropping a possibly-nonempty part could
+      // erase an obligation downstream.
+      if (!C->isFalse() && !S.isUnsat(C))
+        Kept.push_back(C);
+    }
+    R.Formulas[L] = Ctx.mkOr(std::move(Kept));
+  }
+  return R;
+}
+
+Region Region::minusPruned(Smt &S, const Region &Other) const {
+  assert(size() == Other.size() && "region size mismatch");
+  ExprContext &Ctx = S.exprContext();
+  Region R = *this;
+  for (std::size_t L = 0; L < Formulas.size(); ++L) {
+    ExprRef O = Other.Formulas[L];
+    if (O->isFalse())
+      continue;
+    std::vector<ExprRef> Kept;
+    for (ExprRef D : disjuncts(Formulas[L])) {
+      if (S.isUnsat(Ctx.mkAnd(D, O))) {
+        Kept.push_back(D); // Disjoint: keep as-is.
+        continue;
+      }
+      if (S.implies(D, O))
+        continue; // Fully covered: drop.
+      ExprRef C = simplify(Ctx, Ctx.mkAnd(D, Ctx.mkNot(O)));
+      if (!C->isFalse())
+        Kept.push_back(C);
+    }
+    R.Formulas[L] = Ctx.mkOr(std::move(Kept));
+  }
+  return R;
+}
+
+std::string Region::toString(const Program &P) const {
+  std::string S;
+  for (std::size_t L = 0; L < Formulas.size(); ++L) {
+    if (Formulas[L]->isFalse())
+      continue;
+    S += formatStr("  %s: %s\n", P.locationName(static_cast<Loc>(L)).c_str(),
+                   Formulas[L]->toString().c_str());
+  }
+  if (S.empty())
+    S = "  (empty)\n";
+  return S;
+}

@@ -1,0 +1,99 @@
+//===- ts/Region.h - Symbolic sets of program states ----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Region is a symbolic set of states of a CFG program: one state
+/// formula per control location. The paper's proof system (Figure 2)
+/// manipulates exactly such sets — start sets X, chutes C and
+/// frontiers F are all regions here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_TS_REGION_H
+#define CHUTE_TS_REGION_H
+
+#include "program/Cfg.h"
+#include "smt/SmtQueries.h"
+
+namespace chute {
+
+/// One formula per location; the denoted state set is
+/// { (l, v) | v |= at(l) }.
+class Region {
+public:
+  Region() = default;
+
+  /// A region assigning \p Default at every one of \p NumLocs
+  /// locations.
+  Region(std::size_t NumLocs, ExprRef Default)
+      : Formulas(NumLocs, Default) {}
+
+  /// The full state space of \p P.
+  static Region top(const Program &P);
+  /// The empty set over \p P's locations.
+  static Region bottom(const Program &P);
+  /// The same formula \p E at every location of \p P.
+  static Region uniform(const Program &P, ExprRef E);
+  /// \p E at location \p L, empty elsewhere.
+  static Region atLocation(const Program &P, Loc L, ExprRef E);
+  /// The initial states of \p P (init formula at the entry).
+  static Region initial(const Program &P);
+
+  std::size_t size() const { return Formulas.size(); }
+  bool empty() const { return Formulas.empty(); }
+
+  ExprRef at(Loc L) const {
+    assert(L < Formulas.size() && "location out of range");
+    return Formulas[L];
+  }
+
+  void set(Loc L, ExprRef E) {
+    assert(L < Formulas.size() && "location out of range");
+    Formulas[L] = E;
+  }
+
+  /// Pointwise intersection with another region.
+  Region intersect(ExprContext &Ctx, const Region &Other) const;
+  /// Pointwise union with another region.
+  Region unite(ExprContext &Ctx, const Region &Other) const;
+  /// Pointwise set difference (conjoin the negation).
+  Region minus(ExprContext &Ctx, const Region &Other) const;
+  /// Conjoins \p E at every location.
+  Region constrain(ExprContext &Ctx, ExprRef E) const;
+  /// Simplifies every formula.
+  Region simplified(ExprContext &Ctx) const;
+
+  /// True when every location's formula is unsatisfiable.
+  bool isEmpty(Smt &S) const;
+
+  /// True when this region is contained in \p Other (per-location
+  /// implication). Unknown solver answers count as "not contained".
+  bool subsetOf(Smt &S, const Region &Other) const;
+
+  /// True when both containments hold.
+  bool equals(Smt &S, const Region &Other) const;
+
+  /// Solver-assisted intersection that keeps formulas in clean
+  /// disjunct form: per location, each disjunct of this region is
+  /// combined with \p Other's formula, unsatisfiable combinations are
+  /// dropped, and implied constraints are not duplicated.
+  Region intersectPruned(Smt &S, const Region &Other) const;
+
+  /// Solver-assisted set difference: disjuncts disjoint from
+  /// \p Other are kept verbatim, subsumed ones are dropped, and only
+  /// genuinely overlapping disjuncts get the negation conjoined.
+  Region minusPruned(Smt &S, const Region &Other) const;
+
+  /// Renders as "loc: formula" lines, omitting empty locations.
+  std::string toString(const Program &P) const;
+
+private:
+  std::vector<ExprRef> Formulas;
+};
+
+} // namespace chute
+
+#endif // CHUTE_TS_REGION_H

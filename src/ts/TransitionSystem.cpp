@@ -1,0 +1,122 @@
+//===- ts/TransitionSystem.cpp - Symbolic transition systems ----------------===//
+
+#include "ts/TransitionSystem.h"
+
+#include "support/Debug.h"
+
+using namespace chute;
+
+TransitionSystem::TransitionSystem(const Program &P, Smt &Solver,
+                                   QeEngine &Qe)
+    : Prog(P), Solver(Solver), Qe(Qe) {}
+
+ExprRef TransitionSystem::edgeRelation(unsigned Id) const {
+  if (EdgeRelCache.size() != Prog.edges().size())
+    EdgeRelCache.assign(Prog.edges().size(), nullptr);
+  if (EdgeRelCache[Id] == nullptr)
+    EdgeRelCache[Id] = Prog.edge(Id).Cmd.transitionFormula(
+        Prog.exprContext(), Prog.variables());
+  return EdgeRelCache[Id];
+}
+
+ExprRef TransitionSystem::projectOrKeep(ExprRef E) {
+  ExprContext &Ctx = Prog.exprContext();
+  if (E->kind() == ExprKind::Or) {
+    std::vector<ExprRef> Parts;
+    Parts.reserve(E->numOperands());
+    for (ExprRef Op : E->operands())
+      Parts.push_back(projectOrKeep(Op));
+    return Ctx.mkOr(std::move(Parts));
+  }
+  if (E->kind() == ExprKind::Exists) {
+    // Keep the projection exact and disjunct-structured: expand the
+    // body to cubes and project each with Fourier-Motzkin.
+    auto Cubes = dnfAtomCubes(Ctx, E->body());
+    if (Cubes) {
+      std::vector<ExprRef> Parts;
+      for (auto &Cube : *Cubes) {
+        FmResult R =
+            fourierMotzkinProject(Ctx, std::move(Cube), E->boundVars());
+        Parts.push_back(simplify(Ctx, R.Formula));
+      }
+      return Ctx.mkOr(std::move(Parts));
+    }
+    auto R = Qe.projectExists(E->body(), E->boundVars());
+    if (R)
+      return *R;
+  }
+  return E;
+}
+
+Region TransitionSystem::post(const Region &R, const Region *Chute) {
+  ExprContext &Ctx = Prog.exprContext();
+  Region Out = Region::bottom(Prog);
+  for (const Edge &E : Prog.edges()) {
+    ExprRef Pre = R.at(E.Src);
+    if (Pre->isFalse())
+      continue;
+    // Distribute over disjuncts to keep the QE inputs conjunctive.
+    std::vector<ExprRef> Results;
+    for (ExprRef D : disjuncts(Pre)) {
+      ExprRef Sp = E.Cmd.post(Ctx, D, Prog.variables());
+      Results.push_back(projectOrKeep(Sp));
+    }
+    ExprRef PostF = Ctx.mkOr(std::move(Results));
+    if (Chute != nullptr)
+      PostF = Ctx.mkAnd(PostF, Chute->at(E.Dst));
+    Out.set(E.Dst, Ctx.mkOr(Out.at(E.Dst), PostF));
+  }
+  return Out.simplified(Ctx);
+}
+
+ExprRef TransitionSystem::postEdge(unsigned Id, ExprRef Pre) {
+  ExprContext &Ctx = Prog.exprContext();
+  const Edge &E = Prog.edge(Id);
+  std::vector<ExprRef> Results;
+  for (ExprRef D : disjuncts(Pre)) {
+    ExprRef Sp = E.Cmd.post(Ctx, D, Prog.variables());
+    Results.push_back(projectOrKeep(Sp));
+  }
+  return simplify(Ctx, Ctx.mkOr(std::move(Results)));
+}
+
+Region TransitionSystem::preAll(const Region &R, const Region *Chute) const {
+  ExprContext &Ctx = Prog.exprContext();
+  Region Out = Region::top(Prog);
+  for (const Edge &E : Prog.edges()) {
+    ExprRef Target = R.at(E.Dst);
+    if (Chute != nullptr)
+      Target = Ctx.mkImplies(Chute->at(E.Dst), Target);
+    ExprRef Wp = E.Cmd.wp(Ctx, Target);
+    Out.set(E.Src, Ctx.mkAnd(Out.at(E.Src), Wp));
+  }
+  return Out.simplified(Ctx);
+}
+
+Region TransitionSystem::preExists(const Region &R,
+                                   const Region *Chute) const {
+  ExprContext &Ctx = Prog.exprContext();
+  Region Out = Region::bottom(Prog);
+  for (const Edge &E : Prog.edges()) {
+    ExprRef Target = R.at(E.Dst);
+    if (Chute != nullptr)
+      Target = Ctx.mkAnd(Target, Chute->at(E.Dst));
+    if (Target->isFalse())
+      continue;
+    ExprRef Pre = E.Cmd.preExists(Ctx, Target);
+    Out.set(E.Src, Ctx.mkOr(Out.at(E.Src), Pre));
+  }
+  return Out.simplified(Ctx);
+}
+
+Region TransitionSystem::hasSuccessor(const Region *Chute) const {
+  Region Top = Region::top(Prog);
+  return preExists(Top, Chute);
+}
+
+Region TransitionSystem::eliminate(const Region &R) {
+  Region Out = R;
+  for (Loc L = 0; L < Prog.numLocations(); ++L)
+    Out.set(L, projectOrKeep(Out.at(L)));
+  return Out.simplified(Prog.exprContext());
+}

@@ -1,0 +1,75 @@
+//===- ts/TransitionSystem.h - Symbolic transition systems ----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic view of a CFG program as a transition system
+/// M = (S, R, I) with S = Loc x Z^Vars: per-edge transition-relation
+/// formulas over current/primed variables, and symbolic pre/post
+/// operators over Regions.
+///
+/// Chute restriction is supported uniformly: every operator takes an
+/// optional chute Region C and restricts transitions to land inside
+/// C (the semantics of the paper's `assume(C_pi)` instrumentation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_TS_TRANSITIONSYSTEM_H
+#define CHUTE_TS_TRANSITIONSYSTEM_H
+
+#include "qe/QeEngine.h"
+#include "ts/Region.h"
+
+namespace chute {
+
+/// Symbolic transition-system operators over a Program.
+class TransitionSystem {
+public:
+  /// \p Qe is used to keep post() results quantifier-free.
+  TransitionSystem(const Program &P, Smt &Solver, QeEngine &Qe);
+
+  const Program &program() const { return Prog; }
+
+  /// Transition relation formula of edge \p Id over Vars/Vars'.
+  ExprRef edgeRelation(unsigned Id) const;
+
+  /// One-step strongest postcondition of \p R across all edges; the
+  /// result is quantifier-free (projection via the QE engine).
+  /// When \p Chute is non-null, transitions must land inside it.
+  Region post(const Region &R, const Region *Chute = nullptr);
+
+  /// Strongest postcondition of \p Pre across the single edge \p Id
+  /// (quantifier-free; \p Pre is a formula at the edge's source).
+  ExprRef postEdge(unsigned Id, ExprRef Pre);
+
+  /// States whose every outgoing transition (restricted to \p Chute
+  /// targets when non-null) lands in \p R. Deadlocked states qualify
+  /// vacuously; intersect with hasSuccessor() to exclude them.
+  Region preAll(const Region &R, const Region *Chute = nullptr) const;
+
+  /// States with at least one transition into \p R (and into \p Chute
+  /// when non-null).
+  Region preExists(const Region &R, const Region *Chute = nullptr) const;
+
+  /// States with at least one successor at all (inside \p Chute when
+  /// non-null). With a total relation and no chute this is top.
+  Region hasSuccessor(const Region *Chute = nullptr) const;
+
+  /// Eliminates quantifiers from every location formula of \p R
+  /// (post() already does this; exposed for reuse).
+  Region eliminate(const Region &R);
+
+private:
+  ExprRef projectOrKeep(ExprRef E);
+
+  const Program &Prog;
+  Smt &Solver;
+  QeEngine &Qe;
+  mutable std::vector<ExprRef> EdgeRelCache;
+};
+
+} // namespace chute
+
+#endif // CHUTE_TS_TRANSITIONSYSTEM_H

@@ -1,0 +1,108 @@
+//===- tests/ChuteTest.cpp - ChuteMap and derivation tests ---------------------===//
+
+#include "core/Chute.h"
+#include "core/DerivationTree.h"
+#include "ctl/CtlParser.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class ChuteTest : public ::testing::Test {
+protected:
+  ChuteTest() : M(Ctx) {
+    std::string Err;
+    Prog = parseProgram(Ctx, "x = *; while (true) { skip; }", Err);
+    EXPECT_TRUE(Prog) << Err;
+  }
+
+  CtlRef parse(const std::string &T) {
+    std::string Err;
+    CtlRef F = parseCtlString(M, T, Err);
+    EXPECT_NE(F, nullptr) << Err;
+    return F;
+  }
+
+  ExprContext Ctx;
+  CtlManager M;
+  std::unique_ptr<Program> Prog;
+};
+
+TEST_F(ChuteTest, OneChutePerExistentialSubformula) {
+  CtlRef F = parse("EF(EG(x > 0))");
+  ChuteMap Map(*Prog, F);
+  auto Paths = Map.paths();
+  ASSERT_EQ(Paths.size(), 2u); // EF at "o", EG at "Lo".
+  EXPECT_EQ(Paths[0].toString(), "o");
+  EXPECT_EQ(Paths[1].toString(), "Lo");
+}
+
+TEST_F(ChuteTest, UniversalFormulasHaveNoChutes) {
+  CtlRef F = parse("AG(AF(x == 0))");
+  ChuteMap Map(*Prog, F);
+  EXPECT_TRUE(Map.paths().empty());
+}
+
+TEST_F(ChuteTest, ChutesStartAtTop) {
+  CtlRef F = parse("EF(x == 0)");
+  ChuteMap Map(*Prog, F);
+  SubformulaPath Root;
+  ASSERT_TRUE(Map.has(Root));
+  for (Loc L = 0; L < Prog->numLocations(); ++L)
+    EXPECT_TRUE(Map.at(Root).at(L)->isTrue());
+}
+
+TEST_F(ChuteTest, StrengthenConjoinsAtLocation) {
+  CtlRef F = parse("EF(x == 0)");
+  ChuteMap Map(*Prog, F);
+  SubformulaPath Root;
+  std::string Err;
+  ExprRef Pred = *parseFormulaString(Ctx, "rho1 > 0", Err);
+  Map.strengthen(Root, 1, Pred);
+  EXPECT_EQ(Map.at(Root).at(1), Pred);
+  EXPECT_TRUE(Map.at(Root).at(0)->isTrue());
+  EXPECT_EQ(Map.numRefinements(), 1u);
+  // Second strengthening conjoins.
+  ExprRef Pred2 = *parseFormulaString(Ctx, "rho1 < 9", Err);
+  Map.strengthen(Root, 1, Pred2);
+  EXPECT_EQ(Map.at(Root).at(1), Ctx.mkAnd(Pred, Pred2));
+}
+
+TEST_F(ChuteTest, MixedFormulaIndexesOnlyExistentials) {
+  CtlRef F = parse("AG(x == 1 -> EF(x == 0))");
+  ChuteMap Map(*Prog, F);
+  auto Paths = Map.paths();
+  ASSERT_EQ(Paths.size(), 1u);
+  // The EF sits under AW -> Or -> right: path LRo.
+  EXPECT_EQ(Paths[0].toString(), "LRo");
+}
+
+TEST_F(ChuteTest, DerivationRuleNames) {
+  DerivationNode N;
+  N.Formula = parse("EF(x == 0)");
+  EXPECT_EQ(N.ruleName(), "RE+RF");
+  N.Formula = parse("AG(x == 0)");
+  EXPECT_EQ(N.ruleName(), "RA+RW");
+  N.Formula = parse("x == 0");
+  EXPECT_EQ(N.ruleName(), "RAP");
+}
+
+TEST_F(ChuteTest, DerivationCollectsExistentialNodes) {
+  auto Root = std::make_unique<DerivationNode>();
+  Root->Formula = parse("EF(EG(x > 0))");
+  Root->X = Region::top(*Prog);
+  auto Child = std::make_unique<DerivationNode>();
+  Child->Formula = parse("EG(x > 0)");
+  Child->Pi = SubformulaPath().leftChild();
+  Child->X = Region::top(*Prog);
+  Root->Children.push_back(std::move(Child));
+  DerivationTree Tree(std::move(Root));
+  EXPECT_EQ(Tree.existentialNodes().size(), 2u);
+  EXPECT_FALSE(Tree.toString(*Prog).empty());
+}
+
+} // namespace

@@ -1,0 +1,383 @@
+//===- tests/CtlOracleTest.cpp - Explicit-state cross-validation ----------------===//
+//
+// A property-style soundness check: for small programs whose variables
+// provably stay inside a tiny finite range, an explicit-state CTL
+// model checker (textbook fixpoint algorithms over the enumerated
+// state graph) gives ground truth, and the symbolic verifier must
+// agree whenever it returns a verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "ctl/CtlParser.h"
+#include "program/NondetLifting.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace chute;
+
+namespace {
+
+/// An explicit state: location plus variable valuation.
+struct ExpState {
+  Loc L = 0;
+  std::vector<std::int64_t> Vals;
+  bool operator<(const ExpState &O) const {
+    if (L != O.L)
+      return L < O.L;
+    return Vals < O.Vals;
+  }
+};
+
+/// Explicit-state CTL checker over a bounded-domain enumeration of a
+/// program. Domain: every variable in [Lo, Hi]; havocs range over the
+/// domain (the programs used in the tests constrain their havocs so
+/// the bounded semantics coincides with the integer semantics).
+class ExplicitChecker {
+public:
+  ExplicitChecker(const Program &P, std::int64_t Lo, std::int64_t Hi)
+      : P(P), Lo(Lo), Hi(Hi) {
+    enumerate();
+  }
+
+  /// States satisfying F (by index into the state list).
+  std::set<std::size_t> sat(CtlRef F) {
+    switch (F->kind()) {
+    case CtlKind::Atom: {
+      std::set<std::size_t> Out;
+      for (std::size_t I = 0; I < States.size(); ++I)
+        if (holdsAtom(States[I], F->atom()))
+          Out.insert(I);
+      return Out;
+    }
+    case CtlKind::And: {
+      auto A = sat(F->left()), B = sat(F->right());
+      std::set<std::size_t> Out;
+      for (std::size_t I : A)
+        if (B.count(I))
+          Out.insert(I);
+      return Out;
+    }
+    case CtlKind::Or: {
+      auto Out = sat(F->left());
+      auto B = sat(F->right());
+      Out.insert(B.begin(), B.end());
+      return Out;
+    }
+    case CtlKind::AF:
+      return afSet(sat(F->left()));
+    case CtlKind::EF:
+      return efSet(sat(F->left()));
+    case CtlKind::AW:
+      return awSet(sat(F->left()), sat(F->right()));
+    case CtlKind::EW:
+      return ewSet(sat(F->left()), sat(F->right()));
+    }
+    return {};
+  }
+
+  /// True when every initial state satisfies F.
+  bool models(CtlRef F) {
+    auto S = sat(F);
+    for (std::size_t I : Initial)
+      if (!S.count(I))
+        return false;
+    return true;
+  }
+
+  std::size_t numStates() const { return States.size(); }
+
+private:
+  bool holdsAtom(const ExpState &S, ExprRef Atom) {
+    std::unordered_map<std::string, std::int64_t> Env;
+    for (std::size_t I = 0; I < P.variables().size(); ++I)
+      Env[P.variables()[I]->varName()] = S.Vals[I];
+    return evaluate(Atom, Env) != 0;
+  }
+
+  void enumerate() {
+    // BFS from all initial valuations at the entry.
+    std::map<ExpState, std::size_t> Index;
+    std::vector<ExpState> Queue;
+    std::vector<std::int64_t> Vals(P.variables().size(), Lo);
+    // All valuations at the entry satisfying init().
+    for (;;) {
+      ExpState S{P.entry(), Vals};
+      if (holdsAtom(S, P.init())) {
+        Index[S] = States.size();
+        Initial.insert(States.size());
+        States.push_back(S);
+        Queue.push_back(S);
+      }
+      // Next valuation.
+      std::size_t K = 0;
+      while (K < Vals.size() && ++Vals[K] > Hi) {
+        Vals[K] = Lo;
+        ++K;
+      }
+      if (K == Vals.size())
+        break;
+    }
+    // Frontier expansion.
+    for (std::size_t Head = 0; Head < Queue.size(); ++Head) {
+      ExpState S = Queue[Head];
+      std::size_t From = Index[S];
+      for (unsigned Id : P.outgoing(S.L)) {
+        const Edge &E = P.edge(Id);
+        for (const ExpState &T : successors(S, E)) {
+          auto It = Index.find(T);
+          std::size_t To;
+          if (It == Index.end()) {
+            To = States.size();
+            Index[T] = To;
+            States.push_back(T);
+            Queue.push_back(T);
+          } else {
+            To = It->second;
+          }
+          Succs.resize(States.size());
+          Succs[From].insert(To);
+        }
+      }
+      Succs.resize(std::max(Succs.size(), States.size()));
+    }
+    Succs.resize(States.size());
+  }
+
+  std::vector<ExpState> successors(const ExpState &S, const Edge &E) {
+    std::unordered_map<std::string, std::int64_t> Env;
+    for (std::size_t I = 0; I < P.variables().size(); ++I)
+      Env[P.variables()[I]->varName()] = S.Vals[I];
+    std::vector<ExpState> Out;
+    switch (E.Cmd.kind()) {
+    case Command::Kind::Assume:
+      if (evaluate(E.Cmd.cond(), Env))
+        Out.push_back({E.Dst, S.Vals});
+      break;
+    case Command::Kind::Assign: {
+      std::int64_t V = evaluate(E.Cmd.rhs(), Env);
+      if (V < Lo || V > Hi)
+        break; // Out of the modelled domain: prune (tests avoid it).
+      ExpState T{E.Dst, S.Vals};
+      T.Vals[varIndex(E.Cmd.var())] = V;
+      Out.push_back(T);
+      break;
+    }
+    case Command::Kind::Havoc:
+      for (std::int64_t V = Lo; V <= Hi; ++V) {
+        ExpState T{E.Dst, S.Vals};
+        T.Vals[varIndex(E.Cmd.var())] = V;
+        Out.push_back(T);
+      }
+      break;
+    }
+    return Out;
+  }
+
+  std::size_t varIndex(ExprRef V) {
+    for (std::size_t I = 0; I < P.variables().size(); ++I)
+      if (P.variables()[I] == V)
+        return I;
+    return 0;
+  }
+
+  /// mu Z. T ∪ (states whose every successor is in Z).
+  std::set<std::size_t> afSet(const std::set<std::size_t> &T) {
+    std::set<std::size_t> Z = T;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::size_t I = 0; I < States.size(); ++I) {
+        if (Z.count(I) || Succs[I].empty())
+          continue;
+        bool All = true;
+        for (std::size_t Nxt : Succs[I])
+          if (!Z.count(Nxt))
+            All = false;
+        if (All) {
+          Z.insert(I);
+          Changed = true;
+        }
+      }
+    }
+    return Z;
+  }
+
+  /// mu Z. T ∪ pre∃(Z).
+  std::set<std::size_t> efSet(const std::set<std::size_t> &T) {
+    std::set<std::size_t> Z = T;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::size_t I = 0; I < States.size(); ++I) {
+        if (Z.count(I))
+          continue;
+        for (std::size_t Nxt : Succs[I])
+          if (Z.count(Nxt)) {
+            Z.insert(I);
+            Changed = true;
+            break;
+          }
+      }
+    }
+    return Z;
+  }
+
+  /// nu Z. T2 ∪ (T1 ∩ pre∀(Z)).
+  std::set<std::size_t> awSet(const std::set<std::size_t> &T1,
+                              const std::set<std::size_t> &T2) {
+    std::set<std::size_t> Z;
+    for (std::size_t I = 0; I < States.size(); ++I)
+      Z.insert(I);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = Z.begin(); It != Z.end();) {
+        std::size_t I = *It;
+        bool Keep = false;
+        if (T2.count(I))
+          Keep = true;
+        else if (T1.count(I)) {
+          Keep = true;
+          for (std::size_t Nxt : Succs[I])
+            if (!Z.count(Nxt))
+              Keep = false;
+        }
+        if (!Keep) {
+          It = Z.erase(It);
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    return Z;
+  }
+
+  /// nu Z. T2 ∪ (T1 ∩ pre∃(Z)).
+  std::set<std::size_t> ewSet(const std::set<std::size_t> &T1,
+                              const std::set<std::size_t> &T2) {
+    std::set<std::size_t> Z;
+    for (std::size_t I = 0; I < States.size(); ++I)
+      Z.insert(I);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = Z.begin(); It != Z.end();) {
+        std::size_t I = *It;
+        bool Keep = false;
+        if (T2.count(I))
+          Keep = true;
+        else if (T1.count(I)) {
+          for (std::size_t Nxt : Succs[I])
+            if (Z.count(Nxt))
+              Keep = true;
+          if (Succs[I].empty())
+            Keep = false;
+        }
+        if (!Keep) {
+          It = Z.erase(It);
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    return Z;
+  }
+
+  const Program &P;
+  std::int64_t Lo, Hi;
+  std::vector<ExpState> States;
+  std::vector<std::set<std::size_t>> Succs;
+  std::set<std::size_t> Initial;
+};
+
+//===-- The cross-validation sweep ---------------------------------------===//
+
+struct OracleCase {
+  const char *Name;
+  const char *Program; ///< all values stay within [0, 3]
+  const char *Property;
+};
+
+class CtlOracle : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(CtlOracle, SymbolicAgreesWithExplicit) {
+  const OracleCase &C = GetParam();
+  ExprContext Ctx;
+  std::string Err;
+  auto P0 = parseProgram(Ctx, C.Program, Err);
+  ASSERT_TRUE(P0) << Err;
+
+  // Ground truth on the lifted program (rho variables included, so
+  // the state spaces match what the verifier sees).
+  auto LP = liftNondeterminism(*P0);
+  CtlManager M(Ctx);
+  CtlRef F = parseCtlString(M, C.Property, Err);
+  ASSERT_NE(F, nullptr) << Err;
+  ExplicitChecker Oracle(*LP.Prog, 0, 3);
+  ASSERT_GT(Oracle.numStates(), 0u);
+  bool Truth = Oracle.models(F);
+
+  Verifier V(*P0);
+  VerifyResult R = V.verify(C.Property, Err);
+  // Soundness: a definite verdict must match the ground truth.
+  if (R.V == Verdict::Proved)
+    EXPECT_TRUE(Truth) << C.Name << ": prover claims " << C.Property
+                       << " but the oracle refutes it";
+  if (R.V == Verdict::Disproved)
+    EXPECT_FALSE(Truth) << C.Name << ": prover refutes " << C.Property
+                        << " but the oracle confirms it";
+  // For this curated suite we also expect definiteness.
+  EXPECT_NE(R.V, Verdict::Unknown) << C.Name;
+}
+
+// Programs below keep every variable in [0, 3]: havocs are bounded
+// by immediate clamping and arithmetic never exceeds the range.
+const char *BoundedToggle =
+    "init(p == 0);"
+    "while (true) { if (*) { p = 1; } else { p = 0; } }";
+
+const char *BoundedCounter =
+    "init(x == 0);"
+    "while (x < 3) { x = x + 1; }";
+
+const char *BoundedChoice =
+    "init(x == 0); "
+    "x = *; "
+    "if (x < 0) { x = 0; } else { skip; } "
+    "if (x > 3) { x = 3; } else { skip; } "
+    "while (true) { skip; }";
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CtlOracle,
+    ::testing::Values(
+        OracleCase{"toggle_eg1", BoundedToggle, "EG(p == 0)"},
+        OracleCase{"toggle_eg2", BoundedToggle, "EG(p == 1)"},
+        OracleCase{"toggle_agef", BoundedToggle, "AG(EF(p == 1))"},
+        OracleCase{"toggle_agaf", BoundedToggle, "AG(AF(p == 1))"},
+        OracleCase{"toggle_afeg", BoundedToggle, "AF(EG(p == 0))"},
+        OracleCase{"counter_af", BoundedCounter, "AF(x == 3)"},
+        OracleCase{"counter_af_miss", BoundedCounter, "AF(x == 4)"},
+        OracleCase{"counter_ag", BoundedCounter, "AG(x <= 3)"},
+        OracleCase{"counter_efeg", BoundedCounter, "EF(EG(x == 3))"},
+        OracleCase{"toggle_aw", BoundedToggle,
+                   "A[p <= 1 W p == 2]"},
+        OracleCase{"toggle_ew", BoundedToggle,
+                   "E[p == 0 W p == 1]"},
+        OracleCase{"toggle_egaf", BoundedToggle,
+                   "EG(AF(p == 1))"},
+        OracleCase{"counter_agef", BoundedCounter, "AG(EF(x == 3))"},
+        OracleCase{"choice_ef", BoundedChoice, "EF(x == 2)"},
+        OracleCase{"choice_ef3", BoundedChoice, "EF(x == 3)"},
+        OracleCase{"choice_afge", BoundedChoice, "AF(x >= 0)"}),
+    [](const ::testing::TestParamInfo<OracleCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

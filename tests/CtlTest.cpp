@@ -1,0 +1,166 @@
+//===- tests/CtlTest.cpp - CTL formula/parser unit tests ----------------------===//
+
+#include "ctl/CtlParser.h"
+#include "ctl/Nnf.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class CtlTest : public ::testing::Test {
+protected:
+  CtlTest() : M(Ctx) {}
+
+  CtlRef parse(const std::string &T) {
+    std::string Err;
+    CtlRef F = parseCtlString(M, T, Err);
+    EXPECT_NE(F, nullptr) << "parse failed: " << Err;
+    return F;
+  }
+
+  ExprContext Ctx;
+  CtlManager M;
+};
+
+TEST_F(CtlTest, ParsesTemporalOperators) {
+  EXPECT_EQ(parse("AF(x == 1)")->kind(), CtlKind::AF);
+  EXPECT_EQ(parse("EF(x == 1)")->kind(), CtlKind::EF);
+  EXPECT_EQ(parse("AG(x == 1)")->kind(), CtlKind::AW);
+  EXPECT_EQ(parse("EG(x == 1)")->kind(), CtlKind::EW);
+  EXPECT_TRUE(parse("AG(x == 1)")->isGlobally());
+  EXPECT_TRUE(parse("EG(x == 1)")->isGlobally());
+}
+
+TEST_F(CtlTest, ParsesWeakUntil) {
+  CtlRef F = parse("A[x >= 0 W y == 1]");
+  ASSERT_EQ(F->kind(), CtlKind::AW);
+  EXPECT_FALSE(F->isGlobally());
+  EXPECT_EQ(parse("E[x >= 0 W y == 1]")->kind(), CtlKind::EW);
+}
+
+TEST_F(CtlTest, HashConsing) {
+  EXPECT_EQ(parse("AF(x == 1)"), parse("AF(x == 1)"));
+  EXPECT_NE(parse("AF(x == 1)"), parse("EF(x == 1)"));
+}
+
+TEST_F(CtlTest, NestedOperators) {
+  CtlRef F = parse("EF(EG(p > 0))");
+  ASSERT_EQ(F->kind(), CtlKind::EF);
+  EXPECT_EQ(F->left()->kind(), CtlKind::EW);
+  EXPECT_TRUE(F->left()->isGlobally());
+}
+
+TEST_F(CtlTest, ImplicationDesugarsToNnf) {
+  CtlRef F = parse("AG(x == 1 -> AF(x == 0))");
+  ASSERT_EQ(F->kind(), CtlKind::AW);
+  CtlRef Body = F->left();
+  ASSERT_EQ(Body->kind(), CtlKind::Or);
+  // Left disjunct: the negated atom x != 1.
+  ASSERT_TRUE(Body->left()->isAtom());
+  EXPECT_EQ(Body->left()->atom(), Ctx.mkNe(Ctx.mkVar("x"), Ctx.mkInt(1)));
+}
+
+TEST_F(CtlTest, NegationDualities) {
+  auto neg = [&](const char *T) {
+    auto N = M.negate(parse(T));
+    EXPECT_TRUE(N);
+    return *N;
+  };
+  EXPECT_EQ(neg("AF(x == 0)"), parse("EG(x != 0)"));
+  EXPECT_EQ(neg("EF(x == 0)"), parse("AG(x != 0)"));
+  EXPECT_EQ(neg("AG(x == 0)"), parse("EF(x != 0)"));
+  EXPECT_EQ(neg("EG(x == 0)"), parse("AF(x != 0)"));
+  EXPECT_EQ(neg("AF(x==0) && EF(y==0)"),
+            parse("EG(x!=0) || AG(y!=0)"));
+}
+
+TEST_F(CtlTest, NegationIsInvolutive) {
+  const char *Props[] = {"AF(x == 0)", "EF(EG(p > 0))",
+                         "AG(q == 1 -> AF(p == 1))",
+                         "EG(x == 1) || AF(y < 0)"};
+  for (const char *P : Props) {
+    CtlRef F = parse(P);
+    auto N = M.negate(F);
+    ASSERT_TRUE(N);
+    auto NN = M.negate(*N);
+    ASSERT_TRUE(NN);
+    EXPECT_EQ(*NN, F) << P;
+  }
+}
+
+TEST_F(CtlTest, GeneralWeakUntilHasNoDual) {
+  CtlRef F = parse("A[x >= 0 W y == 1]");
+  EXPECT_FALSE(M.negate(F));
+}
+
+TEST_F(CtlTest, BangUsesNegation) {
+  EXPECT_EQ(parse("!(AF(x == 0))"), parse("EG(x != 0)"));
+}
+
+TEST_F(CtlTest, SubformulaPaths) {
+  CtlRef F = parse("EF(EG(p > 0))");
+  auto Subs = subformulas(F);
+  // EF, EG, p > 0, false (the EG's implicit W-right).
+  ASSERT_EQ(Subs.size(), 4u);
+  EXPECT_EQ(Subs[0].Path.toString(), "o");
+  EXPECT_EQ(Subs[1].Path.toString(), "Lo");
+  EXPECT_EQ(Subs[2].Path.toString(), "LLo");
+  EXPECT_EQ(Subs[3].Path.toString(), "LRo");
+}
+
+TEST_F(CtlTest, PathPrefixes) {
+  SubformulaPath Root;
+  SubformulaPath L = Root.leftChild();
+  SubformulaPath LR = L.rightChild();
+  EXPECT_TRUE(Root.isPrefixOf(L));
+  EXPECT_TRUE(Root.isPrefixOf(LR));
+  EXPECT_TRUE(L.isPrefixOf(LR));
+  EXPECT_FALSE(LR.isPrefixOf(L));
+  EXPECT_FALSE(L.isPrefixOf(Root.rightChild()));
+}
+
+TEST_F(CtlTest, MeasuresAndShape) {
+  CtlRef F = parse("AG(q == 1 -> EF(p == 1))");
+  EXPECT_EQ(ctlTemporalDepth(F), 2u);
+  EXPECT_TRUE(ctlHasExistential(F));
+  EXPECT_FALSE(ctlHasExistential(parse("AG(AF(p == 1))")));
+  std::string Shape = ctlShape(Ctx, F);
+  EXPECT_EQ(Shape, "AG (q -> EF p)");
+}
+
+TEST_F(CtlTest, ShapeReusesLettersForNegatedAtoms) {
+  CtlRef F = parse("EF(p == 1 && AG(p != 1))");
+  std::string Shape = ctlShape(Ctx, F);
+  // Same atom positive and negated: p and !p.
+  EXPECT_NE(Shape.find("p"), std::string::npos);
+  EXPECT_NE(Shape.find("!p"), std::string::npos);
+}
+
+TEST_F(CtlTest, AtomVariables) {
+  CtlRef F = parse("AF(x == 1 && y > z)");
+  auto Vars = ctlAtomVariables(F);
+  EXPECT_EQ(Vars.size(), 3u);
+}
+
+TEST_F(CtlTest, ParseErrors) {
+  std::string Err;
+  EXPECT_EQ(parseCtlString(M, "AF(", Err), nullptr);
+  Err.clear();
+  EXPECT_EQ(parseCtlString(M, "A[x == 0 U y == 0]", Err), nullptr);
+  Err.clear();
+  EXPECT_EQ(parseCtlString(M, "AF(x == 0) garbage", Err), nullptr);
+  Err.clear();
+  EXPECT_EQ(parseCtlString(M, "!A[x == 0 W y == 0]", Err), nullptr);
+  EXPECT_NE(Err.find("Until"), std::string::npos);
+}
+
+TEST_F(CtlTest, ParenthesisedAtomVsCtl) {
+  // "(x + 1) <= y" must parse as one arithmetic atom.
+  CtlRef F = parse("AF((x + 1) <= y)");
+  ASSERT_EQ(F->kind(), CtlKind::AF);
+  EXPECT_TRUE(F->left()->isAtom());
+}
+
+} // namespace

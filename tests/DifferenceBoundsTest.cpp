@@ -1,0 +1,140 @@
+//===- tests/DifferenceBoundsTest.cpp - Zone domain unit tests -----------------===//
+
+#include "analysis/DifferenceBounds.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class DifferenceBoundsTest : public ::testing::Test {
+protected:
+  DifferenceBoundsTest() : Solver(Ctx) {}
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+};
+
+TEST_F(DifferenceBoundsTest, RefineTracksDifferences) {
+  DiffBoundsState S = DiffBoundsState::top().refine(f("x - y <= 3"));
+  auto B = S.bound("x", "y");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(*B, 3);
+}
+
+TEST_F(DifferenceBoundsTest, ClosurePropagatesThroughChains) {
+  DiffBoundsState S =
+      DiffBoundsState::top().refine(f("x - y <= 1 && y - z <= 2"));
+  auto B = S.bound("x", "z");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(*B, 3);
+}
+
+TEST_F(DifferenceBoundsTest, DetectsContradictionViaNegativeCycle) {
+  DiffBoundsState S =
+      DiffBoundsState::top().refine(f("x - y <= -1 && y - x <= -1"));
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST_F(DifferenceBoundsTest, EqualityGivesBothDirections) {
+  DiffBoundsState S = DiffBoundsState::top().refine(f("x == y"));
+  EXPECT_EQ(S.bound("x", "y"), std::optional<std::int64_t>(0));
+  EXPECT_EQ(S.bound("y", "x"), std::optional<std::int64_t>(0));
+}
+
+TEST_F(DifferenceBoundsTest, AssignShiftsInPlace) {
+  DiffBoundsState S = DiffBoundsState::top().refine(f("x <= 5"));
+  ExprRef X = Ctx.mkVar("x");
+  DiffBoundsState A =
+      S.apply(Command::assign(X, Ctx.mkAdd(X, Ctx.mkInt(2))));
+  EXPECT_EQ(A.bound("x", ""), std::optional<std::int64_t>(7));
+}
+
+TEST_F(DifferenceBoundsTest, AssignTracksCopyRelation) {
+  DiffBoundsState S = DiffBoundsState::top();
+  ExprRef X = Ctx.mkVar("x");
+  DiffBoundsState A = S.apply(Command::assign(
+      X, Ctx.mkAdd(Ctx.mkVar("y"), Ctx.mkInt(1))));
+  EXPECT_EQ(A.bound("x", "y"), std::optional<std::int64_t>(1));
+  EXPECT_EQ(A.bound("y", "x"), std::optional<std::int64_t>(-1));
+}
+
+TEST_F(DifferenceBoundsTest, HavocForgets) {
+  DiffBoundsState S = DiffBoundsState::top().refine(f("x - y <= 0"));
+  DiffBoundsState H = S.apply(Command::havoc(Ctx.mkVar("x")));
+  EXPECT_FALSE(H.bound("x", "y"));
+}
+
+TEST_F(DifferenceBoundsTest, JoinKeepsCommonWeakerBounds) {
+  DiffBoundsState A = DiffBoundsState::top().refine(f("x - y <= 1"));
+  DiffBoundsState B = DiffBoundsState::top().refine(f("x - y <= 4"));
+  DiffBoundsState J = A.join(B);
+  EXPECT_EQ(J.bound("x", "y"), std::optional<std::int64_t>(4));
+}
+
+TEST_F(DifferenceBoundsTest, WideningDropsUnstableBounds) {
+  DiffBoundsState A = DiffBoundsState::top().refine(f("x - y <= 1"));
+  DiffBoundsState B = DiffBoundsState::top().refine(f("x - y <= 4"));
+  EXPECT_FALSE(A.widen(B).bound("x", "y"));
+  EXPECT_TRUE(B.widen(A).bound("x", "y")); // Stable (shrinking) side.
+}
+
+TEST_F(DifferenceBoundsTest, ConcretisationIsSound) {
+  DiffBoundsState S = DiffBoundsState::top().refine(
+      f("x - y <= 1 && y <= 3 && -1 * z <= -2"));
+  ExprRef E = S.toExpr(Ctx);
+  // Everything the zone claims is implied by the original condition.
+  EXPECT_TRUE(Solver.implies(
+      f("x - y <= 1 && y <= 3 && -1 * z <= -2"), E));
+}
+
+TEST_F(DifferenceBoundsTest, RelationalLoopInvariant) {
+  // lo counts up to hi: zones retain lo <= hi, which intervals lose.
+  std::string Err;
+  auto P = parseProgram(
+      Ctx,
+      "init(lo == 0 && hi >= 0);"
+      "while (lo < hi) { lo = lo + 1; }",
+      Err);
+  ASSERT_TRUE(P) << Err;
+  Region Inv = differenceInvariants(*P, Region::initial(*P));
+  // At the loop head the relational fact lo <= hi holds.
+  Loc Head = P->entry();
+  EXPECT_TRUE(Solver.implies(Inv.at(Head), f("lo - hi <= 0")))
+      << Inv.at(Head)->toString();
+  // And soundness: the real reachable states satisfy the invariant.
+  EXPECT_TRUE(Solver.implies(f("lo == 0 && hi >= 0"), Inv.at(Head)));
+}
+
+TEST_F(DifferenceBoundsTest, WholeProgramSoundnessOnBranches) {
+  std::string Err;
+  auto P = parseProgram(Ctx,
+                        "init(x == 0 && y == 10);"
+                        "if (*) { x = y; } else { x = x + 1; }"
+                        "skip;",
+                        Err);
+  ASSERT_TRUE(P) << Err;
+  Region Inv = differenceInvariants(*P, Region::initial(*P));
+  // Final location: x is 1 or 10, y stays 10; the zone must at least
+  // admit both outcomes.
+  Loc Final = 0;
+  for (const Edge &E : P->edges())
+    if (E.Src == E.Dst)
+      Final = E.Src;
+  EXPECT_TRUE(
+      Solver.isSat(Ctx.mkAnd(Inv.at(Final), f("x == 10 && y == 10"))));
+  EXPECT_TRUE(
+      Solver.isSat(Ctx.mkAnd(Inv.at(Final), f("x == 1 && y == 10"))));
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/ExprParserTest.cpp - Lexer and parser unit tests ----------------===//
+
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class ExprParserTest : public ::testing::Test {
+protected:
+  ExprRef formula(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << "parse failed: " << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  ExprContext Ctx;
+};
+
+TEST_F(ExprParserTest, LexesOperators) {
+  Lexer L("<= < >= > == != && || ! -> ( ) [ ] ; , + - * =");
+  std::vector<Token::Kind> Expected = {
+      Token::Le,       Token::Lt,     Token::Ge,     Token::Gt,
+      Token::EqEq,     Token::Ne,     Token::AmpAmp, Token::PipePipe,
+      Token::Bang,     Token::Arrow,  Token::LParen, Token::RParen,
+      Token::LBracket, Token::RBracket, Token::Semi, Token::Comma,
+      Token::Plus,     Token::Minus,  Token::Star,   Token::Assign};
+  for (Token::Kind K : Expected)
+    EXPECT_EQ(L.next().K, K);
+  EXPECT_EQ(L.next().K, Token::Eof);
+}
+
+TEST_F(ExprParserTest, LexesCommentsAndWhitespace) {
+  Lexer L("x // comment to end of line\n  y");
+  EXPECT_EQ(L.next().Text, "x");
+  EXPECT_EQ(L.next().Text, "y");
+  EXPECT_EQ(L.next().K, Token::Eof);
+}
+
+TEST_F(ExprParserTest, BangEqualsVsNegation) {
+  Lexer L("x!=y !p");
+  EXPECT_EQ(L.next().K, Token::Ident);
+  EXPECT_EQ(L.next().K, Token::Ne);
+  EXPECT_EQ(L.next().K, Token::Ident);
+  EXPECT_EQ(L.next().K, Token::Bang);
+  EXPECT_EQ(L.next().Text, "p");
+}
+
+TEST_F(ExprParserTest, PositionsForErrors) {
+  Lexer L("x\n  #");
+  L.next();
+  EXPECT_EQ(L.describePos(L.peek().Pos), "2:3");
+}
+
+TEST_F(ExprParserTest, ParsesComparison) {
+  ExprRef E = formula("x + 1 <= 2*y");
+  EXPECT_EQ(E->kind(), ExprKind::Le);
+}
+
+TEST_F(ExprParserTest, SingleEqualsMeansEquality) {
+  EXPECT_EQ(formula("x = 1"), formula("x == 1"));
+}
+
+TEST_F(ExprParserTest, PrecedenceAndBeforeOr) {
+  ExprRef E = formula("x == 1 && y == 2 || z == 3");
+  EXPECT_EQ(E->kind(), ExprKind::Or);
+}
+
+TEST_F(ExprParserTest, ImpliesIsRightAssociative) {
+  ExprRef E = formula("x == 1 -> y == 2 -> z == 3");
+  ASSERT_EQ(E->kind(), ExprKind::Implies);
+  EXPECT_EQ(E->operand(1)->kind(), ExprKind::Implies);
+}
+
+TEST_F(ExprParserTest, ParenthesisedArithmetic) {
+  EXPECT_EQ(formula("(x + 1) <= y"),
+            formula("x + 1 <= y"));
+}
+
+TEST_F(ExprParserTest, UnaryMinus) {
+  std::string Err;
+  auto E = parseTermString(Ctx, "-x + 3", Err);
+  ASSERT_TRUE(E);
+  auto L = parseTermString(Ctx, "3 - x", Err);
+  EXPECT_EQ(*E, *L);
+}
+
+TEST_F(ExprParserTest, MultiplicationBindsTighter) {
+  std::string Err;
+  auto E = parseTermString(Ctx, "2*x + 1", Err);
+  ASSERT_TRUE(E);
+  EXPECT_EQ((*E)->kind(), ExprKind::Add);
+}
+
+TEST_F(ExprParserTest, TrueFalseKeywords) {
+  EXPECT_TRUE(formula("true")->isTrue());
+  EXPECT_TRUE(formula("false")->isFalse());
+}
+
+TEST_F(ExprParserTest, RejectsSortErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseFormulaString(Ctx, "x + 1", Err));
+  EXPECT_FALSE(Err.empty());
+  Err.clear();
+  EXPECT_FALSE(parseTermString(Ctx, "x <= 1", Err));
+  Err.clear();
+  EXPECT_FALSE(parseFormulaString(Ctx, "(x <= 1) + 2", Err));
+}
+
+TEST_F(ExprParserTest, RejectsTrailingGarbage) {
+  std::string Err;
+  EXPECT_FALSE(parseFormulaString(Ctx, "x <= 1 )", Err));
+  EXPECT_NE(Err.find("trailing"), std::string::npos);
+}
+
+TEST_F(ExprParserTest, RejectsUnknownCharacters) {
+  std::string Err;
+  EXPECT_FALSE(parseFormulaString(Ctx, "x # 1", Err));
+}
+
+TEST_F(ExprParserTest, NegationOfComparisonFolds) {
+  EXPECT_EQ(formula("!(x <= 1)"), formula("x > 1"));
+}
+
+TEST_F(ExprParserTest, DeeplyNestedParens) {
+  EXPECT_EQ(formula("((((x <= 1))))"), formula("x <= 1"));
+}
+
+} // namespace

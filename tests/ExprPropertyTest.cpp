@@ -1,0 +1,202 @@
+//===- tests/ExprPropertyTest.cpp - Randomised expression properties -----------===//
+//
+// Property-based tests with a deterministic PRNG: random expressions
+// are generated and key invariants are cross-checked against Z3 —
+// simplify() preserves equivalence, toNnf() preserves equivalence,
+// dnfAtomCubes() is an exact expansion, Fourier-Motzkin projection is
+// sound, and the SMT-LIB export round-trips satisfiability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/LinearForm.h"
+#include "qe/FourierMotzkin.h"
+#include "smt/SmtLibExport.h"
+#include "smt/SmtQueries.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+/// Small deterministic linear congruential generator (no std::rand:
+/// reproducibility across platforms matters more than quality here).
+class Prng {
+public:
+  explicit Prng(std::uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+
+  std::uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 17;
+  }
+
+  /// Uniform in [0, N).
+  std::uint64_t below(std::uint64_t N) { return next() % N; }
+
+  std::int64_t smallInt() {
+    return static_cast<std::int64_t>(below(11)) - 5;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// Random linear term over up to three variables.
+ExprRef randomTerm(ExprContext &Ctx, Prng &R, unsigned Depth) {
+  static const char *Names[] = {"x", "y", "z"};
+  switch (Depth == 0 ? R.below(2) : R.below(4)) {
+  case 0:
+    return Ctx.mkInt(R.smallInt());
+  case 1:
+    return Ctx.mkVar(Names[R.below(3)]);
+  case 2:
+    return Ctx.mkAdd(randomTerm(Ctx, R, Depth - 1),
+                     randomTerm(Ctx, R, Depth - 1));
+  default:
+    return Ctx.mkMul(R.smallInt(), randomTerm(Ctx, R, Depth - 1));
+  }
+}
+
+/// Random quantifier-free formula.
+ExprRef randomFormula(ExprContext &Ctx, Prng &R, unsigned Depth) {
+  if (Depth == 0 || R.below(3) == 0) {
+    ExprRef A = randomTerm(Ctx, R, 2);
+    ExprRef B = randomTerm(Ctx, R, 2);
+    switch (R.below(6)) {
+    case 0:
+      return Ctx.mkEq(A, B);
+    case 1:
+      return Ctx.mkNe(A, B);
+    case 2:
+      return Ctx.mkLe(A, B);
+    case 3:
+      return Ctx.mkLt(A, B);
+    case 4:
+      return Ctx.mkGe(A, B);
+    default:
+      return Ctx.mkGt(A, B);
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return Ctx.mkAnd(randomFormula(Ctx, R, Depth - 1),
+                     randomFormula(Ctx, R, Depth - 1));
+  case 1:
+    return Ctx.mkOr(randomFormula(Ctx, R, Depth - 1),
+                    randomFormula(Ctx, R, Depth - 1));
+  case 2:
+    return Ctx.mkNot(randomFormula(Ctx, R, Depth - 1));
+  default:
+    return Ctx.mkImplies(randomFormula(Ctx, R, Depth - 1),
+                         randomFormula(Ctx, R, Depth - 1));
+  }
+}
+
+class ExprProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExprProperty, SimplifyPreservesEquivalence) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  Prng R(GetParam());
+  for (int I = 0; I < 8; ++I) {
+    ExprRef F = randomFormula(Ctx, R, 3);
+    ExprRef S = simplify(Ctx, F);
+    EXPECT_TRUE(Solver.equivalent(F, S))
+        << F->toString() << "  vs  " << S->toString();
+  }
+}
+
+TEST_P(ExprProperty, NnfPreservesEquivalence) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  Prng R(GetParam() + 1000);
+  for (int I = 0; I < 8; ++I) {
+    ExprRef F = randomFormula(Ctx, R, 3);
+    ExprRef N = toNnf(Ctx, F);
+    EXPECT_TRUE(Solver.equivalent(F, N))
+        << F->toString() << "  vs  " << N->toString();
+  }
+}
+
+TEST_P(ExprProperty, DnfCubesAreExact) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  Prng R(GetParam() + 2000);
+  for (int I = 0; I < 6; ++I) {
+    ExprRef F = randomFormula(Ctx, R, 3);
+    auto Cubes = dnfAtomCubes(Ctx, F, 256);
+    if (!Cubes)
+      continue; // Over the cap or nonlinear: nothing to check.
+    std::vector<ExprRef> Parts;
+    for (const auto &Cube : *Cubes) {
+      std::vector<ExprRef> Conj;
+      for (const LinearAtom &A : Cube)
+        Conj.push_back(A.toExpr(Ctx));
+      Parts.push_back(Ctx.mkAnd(std::move(Conj)));
+    }
+    ExprRef Dnf = Ctx.mkOr(std::move(Parts));
+    EXPECT_TRUE(Solver.equivalent(F, Dnf))
+        << F->toString() << "  vs  " << Dnf->toString();
+  }
+}
+
+TEST_P(ExprProperty, FourierMotzkinIsSoundOnRandomConjunctions) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  Prng R(GetParam() + 3000);
+  for (int I = 0; I < 6; ++I) {
+    // Build a random conjunction of comparisons.
+    std::vector<ExprRef> Conj;
+    for (unsigned J = 0; J < 2 + R.below(3); ++J) {
+      ExprRef A = randomTerm(Ctx, R, 2);
+      ExprRef B = randomTerm(Ctx, R, 2);
+      Conj.push_back(R.below(2) == 0 ? Ctx.mkLe(A, B) : Ctx.mkEq(A, B));
+    }
+    ExprRef F = Ctx.mkAnd(std::move(Conj));
+    ExprRef V = Ctx.mkVar("x");
+    auto P = fourierMotzkinProject(Ctx, F, {V});
+    if (!P)
+      continue;
+    // Soundness: F implies the projection.
+    EXPECT_TRUE(Solver.implies(F, P->Formula))
+        << F->toString() << " vs " << P->Formula->toString();
+    if (P->Exact) {
+      ExprRef Ex = Ctx.mkExists({V}, F);
+      EXPECT_TRUE(Solver.implies(P->Formula, Ex))
+          << F->toString() << " vs " << P->Formula->toString();
+    }
+  }
+}
+
+TEST_P(ExprProperty, SmtLibExportPreservesSatisfiability) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  Prng R(GetParam() + 4000);
+  for (int I = 0; I < 6; ++I) {
+    ExprRef F = randomFormula(Ctx, R, 3);
+    std::string Query = toSmtLibQuery(F);
+    // Replay through Z3's SMT-LIB2 front end and compare.
+    Z3Context Z3;
+    Z3_ast_vector Parsed = Z3_parse_smtlib2_string(
+        Z3.raw(), Query.c_str(), 0, nullptr, nullptr, 0, nullptr,
+        nullptr);
+    ASSERT_FALSE(Z3.hasError()) << Query;
+    Z3_ast_vector_inc_ref(Z3.raw(), Parsed);
+    Z3_solver S2 = Z3_mk_solver(Z3.raw());
+    Z3_solver_inc_ref(Z3.raw(), S2);
+    for (unsigned J = 0; J < Z3_ast_vector_size(Z3.raw(), Parsed); ++J)
+      Z3_solver_assert(Z3.raw(), S2,
+                       Z3_ast_vector_get(Z3.raw(), Parsed, J));
+    Z3_lbool Replay = Z3_solver_check(Z3.raw(), S2);
+    bool Expect = Solver.isSat(F);
+    EXPECT_EQ(Replay == Z3_L_TRUE, Expect) << Query;
+    Z3_solver_dec_ref(Z3.raw(), S2);
+    Z3_ast_vector_dec_ref(Z3.raw(), Parsed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace

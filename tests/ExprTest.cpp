@@ -1,0 +1,214 @@
+//===- tests/ExprTest.cpp - Expression library unit tests -------------------===//
+
+#include "expr/Expr.h"
+#include "expr/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class ExprTest : public ::testing::Test {
+protected:
+  ExprContext Ctx;
+};
+
+TEST_F(ExprTest, HashConsingGivesPointerEquality) {
+  ExprRef A = Ctx.mkAdd(Ctx.mkVar("x"), Ctx.mkInt(1));
+  ExprRef B = Ctx.mkAdd(Ctx.mkVar("x"), Ctx.mkInt(1));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(ExprTest, DistinctExpressionsDiffer) {
+  EXPECT_NE(Ctx.mkVar("x"), Ctx.mkVar("y"));
+  EXPECT_NE(Ctx.mkInt(1), Ctx.mkInt(2));
+}
+
+TEST_F(ExprTest, AddFoldsConstants) {
+  ExprRef E = Ctx.mkAdd({Ctx.mkInt(2), Ctx.mkInt(3)});
+  ASSERT_TRUE(E->isIntConst());
+  EXPECT_EQ(E->intValue(), 5);
+}
+
+TEST_F(ExprTest, AddFlattensNestedSums) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  ExprRef E = Ctx.mkAdd(Ctx.mkAdd(X, Y), Ctx.mkInt(0));
+  EXPECT_EQ(E->kind(), ExprKind::Add);
+  EXPECT_EQ(E->numOperands(), 2u);
+}
+
+TEST_F(ExprTest, MulByZeroAndOne) {
+  ExprRef X = Ctx.mkVar("x");
+  EXPECT_EQ(Ctx.mkMul(std::int64_t{0}, X), Ctx.mkInt(0));
+  EXPECT_EQ(Ctx.mkMul(1, X), X);
+}
+
+TEST_F(ExprTest, MulDistributesConstantOverSum) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef E = Ctx.mkMul(2, Ctx.mkAdd(X, Ctx.mkInt(3)));
+  // 2*(x+3) = 2*x + 6.
+  EXPECT_EQ(E, Ctx.mkAdd(Ctx.mkMul(2, X), Ctx.mkInt(6)));
+}
+
+TEST_F(ExprTest, ComparisonFoldsConstants) {
+  EXPECT_TRUE(Ctx.mkLt(Ctx.mkInt(1), Ctx.mkInt(2))->isTrue());
+  EXPECT_TRUE(Ctx.mkGe(Ctx.mkInt(1), Ctx.mkInt(2))->isFalse());
+  EXPECT_TRUE(Ctx.mkEq(Ctx.mkInt(7), Ctx.mkInt(7))->isTrue());
+}
+
+TEST_F(ExprTest, ReflexiveComparisons) {
+  ExprRef X = Ctx.mkVar("x");
+  EXPECT_TRUE(Ctx.mkLe(X, X)->isTrue());
+  EXPECT_TRUE(Ctx.mkLt(X, X)->isFalse());
+  EXPECT_TRUE(Ctx.mkEq(X, X)->isTrue());
+}
+
+TEST_F(ExprTest, AndShortCircuits) {
+  ExprRef P = Ctx.mkGt(Ctx.mkVar("x"), Ctx.mkInt(0));
+  EXPECT_TRUE(Ctx.mkAnd(P, Ctx.mkFalse())->isFalse());
+  EXPECT_EQ(Ctx.mkAnd(P, Ctx.mkTrue()), P);
+  EXPECT_EQ(Ctx.mkAnd(P, P), P);
+}
+
+TEST_F(ExprTest, OrShortCircuits) {
+  ExprRef P = Ctx.mkGt(Ctx.mkVar("x"), Ctx.mkInt(0));
+  EXPECT_TRUE(Ctx.mkOr(P, Ctx.mkTrue())->isTrue());
+  EXPECT_EQ(Ctx.mkOr(P, Ctx.mkFalse()), P);
+}
+
+TEST_F(ExprTest, NotNegatesComparisonsInPlace) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkLe(X, Y)), Ctx.mkGt(X, Y));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkEq(X, Y)), Ctx.mkNe(X, Y));
+}
+
+TEST_F(ExprTest, DoubleNegationCancels) {
+  ExprRef P = Ctx.mkAnd(Ctx.mkGt(Ctx.mkVar("x"), Ctx.mkInt(0)),
+                        Ctx.mkLt(Ctx.mkVar("y"), Ctx.mkInt(0)));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkNot(P)), P);
+}
+
+TEST_F(ExprTest, QuantifierDropsUnusedBinders) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  ExprRef Body = Ctx.mkGt(X, Ctx.mkInt(0));
+  // y does not occur: the quantifier disappears entirely.
+  EXPECT_EQ(Ctx.mkExists({Y}, Body), Body);
+  ExprRef Q = Ctx.mkExists({X}, Body);
+  EXPECT_EQ(Q->kind(), ExprKind::Exists);
+  EXPECT_EQ(Q->boundVars().size(), 1u);
+}
+
+TEST_F(ExprTest, FreeVarsSkipBoundOnes) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  ExprRef Q = Ctx.mkExists({X}, Ctx.mkLt(X, Y));
+  std::vector<ExprRef> Vars = freeVars(Q);
+  ASSERT_EQ(Vars.size(), 1u);
+  EXPECT_EQ(Vars[0], Y);
+}
+
+TEST_F(ExprTest, SubstitutionReplacesVariables) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef E = Ctx.mkAdd(X, Ctx.mkInt(1));
+  ExprRef R = substitute(Ctx, E, X, Ctx.mkInt(4));
+  ASSERT_TRUE(R->isIntConst());
+  EXPECT_EQ(R->intValue(), 5);
+}
+
+TEST_F(ExprTest, SubstitutionRespectsBinders) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  ExprRef Q = Ctx.mkForall({X}, Ctx.mkLe(X, Y));
+  // Substituting the bound variable has no effect.
+  EXPECT_EQ(substitute(Ctx, Q, X, Ctx.mkInt(0)), Q);
+  // Substituting the free variable works under the binder.
+  ExprRef R = substitute(Ctx, Q, Y, Ctx.mkInt(3));
+  EXPECT_EQ(R, Ctx.mkForall({X}, Ctx.mkLe(X, Ctx.mkInt(3))));
+}
+
+TEST_F(ExprTest, EvaluateClosedFormulas) {
+  std::unordered_map<std::string, std::int64_t> Env{{"x", 3},
+                                                    {"y", -1}};
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  EXPECT_EQ(evaluate(Ctx.mkAdd(X, Y), Env), 2);
+  EXPECT_EQ(evaluate(Ctx.mkGt(X, Y), Env), 1);
+  EXPECT_EQ(evaluate(Ctx.mkAnd(Ctx.mkGt(X, Ctx.mkInt(0)),
+                               Ctx.mkGt(Y, Ctx.mkInt(0))),
+                     Env),
+            0);
+}
+
+TEST_F(ExprTest, FreshVarsAreDistinct) {
+  ExprRef A = Ctx.freshVar("tmp");
+  ExprRef B = Ctx.freshVar("tmp");
+  EXPECT_NE(A, B);
+}
+
+TEST_F(ExprTest, PrimingRoundTrips) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef XP = primed(Ctx, X);
+  EXPECT_TRUE(isPrimed(XP));
+  EXPECT_FALSE(isPrimed(X));
+  EXPECT_EQ(unprimed(Ctx, XP), X);
+}
+
+TEST_F(ExprTest, SsaIndexing) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef X3 = ssaVar(Ctx, X, 3);
+  EXPECT_EQ(X3->varName(), "x@3");
+  EXPECT_EQ(ssaBaseName(X3), "x");
+}
+
+TEST_F(ExprTest, ToNnfPushesNegations) {
+  ExprRef P = Ctx.mkGt(Ctx.mkVar("x"), Ctx.mkInt(0));
+  ExprRef Q = Ctx.mkLt(Ctx.mkVar("y"), Ctx.mkInt(0));
+  // !(P && Q) --> !P || !Q with comparisons flipped in place.
+  ExprRef E = toNnf(Ctx, Ctx.mkNot(Ctx.mkAnd(P, Q)));
+  EXPECT_EQ(E, Ctx.mkOr(Ctx.mkNot(P), Ctx.mkNot(Q)));
+}
+
+TEST_F(ExprTest, SimplifyFoldsTrivialComparisons) {
+  ExprRef X = Ctx.mkVar("x");
+  // x + 1 <= x + 3 is always true.
+  ExprRef E = Ctx.mkLe(Ctx.mkAdd(X, Ctx.mkInt(1)),
+                       Ctx.mkAdd(X, Ctx.mkInt(3)));
+  EXPECT_TRUE(simplify(Ctx, E)->isTrue());
+  // x + 3 <= x + 1 is always false.
+  ExprRef E2 = Ctx.mkLe(Ctx.mkAdd(X, Ctx.mkInt(3)),
+                        Ctx.mkAdd(X, Ctx.mkInt(1)));
+  EXPECT_TRUE(simplify(Ctx, E2)->isFalse());
+}
+
+TEST_F(ExprTest, SimplifyDetectsParityContradiction) {
+  ExprRef X = Ctx.mkVar("x");
+  // 2x == 1 has no integer solution.
+  ExprRef E = Ctx.mkEq(Ctx.mkMul(2, X), Ctx.mkInt(1));
+  EXPECT_TRUE(simplify(Ctx, E)->isFalse());
+}
+
+TEST_F(ExprTest, PrinterRoundTripShapes) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  ExprRef E = Ctx.mkAnd(Ctx.mkLe(X, Y),
+                        Ctx.mkOr(Ctx.mkGt(X, Ctx.mkInt(0)),
+                                 Ctx.mkEq(Y, Ctx.mkInt(2))));
+  std::string Str = E->toString();
+  EXPECT_NE(Str.find("x <= y"), std::string::npos);
+  EXPECT_NE(Str.find("||"), std::string::npos);
+}
+
+TEST_F(ExprTest, ConjunctsViewFlattens) {
+  ExprRef P = Ctx.mkGt(Ctx.mkVar("x"), Ctx.mkInt(0));
+  ExprRef Q = Ctx.mkGt(Ctx.mkVar("y"), Ctx.mkInt(0));
+  ExprRef R = Ctx.mkGt(Ctx.mkVar("z"), Ctx.mkInt(0));
+  EXPECT_EQ(conjuncts(Ctx.mkAnd({P, Q, R})).size(), 3u);
+  EXPECT_EQ(conjuncts(P).size(), 1u);
+  EXPECT_EQ(disjuncts(Ctx.mkOr(P, Q)).size(), 2u);
+}
+
+} // namespace

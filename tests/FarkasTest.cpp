@@ -1,0 +1,126 @@
+//===- tests/FarkasTest.cpp - Farkas constraint generation tests ---------------===//
+
+#include "analysis/Farkas.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class FarkasTest : public ::testing::Test {
+protected:
+  FarkasTest() : Solver(Ctx) {}
+
+  std::vector<LinearAtom> premise(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    auto Atoms = extractConjunction(*E);
+    EXPECT_TRUE(Atoms);
+    return *Atoms;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+};
+
+TEST_F(FarkasTest, FindsCoefficientsForValidImplication) {
+  // x <= 5 implies  C_x * x + C_0 >= 0: e.g. -x + 5 >= 0.
+  LinearTemplate T =
+      LinearTemplate::create(Ctx, {Ctx.mkVar("x")}, "c");
+  auto Constraint = farkasImplication(Ctx, premise("x <= 5"), T, 0, "m");
+  ASSERT_TRUE(Constraint);
+  // Force a nontrivial coefficient.
+  ExprRef NonTrivial = Ctx.mkNe(T.Coeffs[0].second, Ctx.mkInt(0));
+  auto M = Solver.getModel(Ctx.mkAnd(*Constraint, NonTrivial));
+  ASSERT_TRUE(M);
+  LinearTerm F = T.instantiate(*M);
+  // Check the certificate really is implied: x <= 5 -> F(x) >= 0.
+  ExprRef Check = Ctx.mkImplies(
+      Ctx.mkLe(Ctx.mkVar("x"), Ctx.mkInt(5)),
+      Ctx.mkGe(F.toExpr(Ctx), Ctx.mkInt(0)));
+  EXPECT_TRUE(Solver.isValid(Check)) << F.toString();
+}
+
+TEST_F(FarkasTest, RejectsInvalidImplication) {
+  // From x >= 0 alone, x <= 5 - style certificates must not exist
+  // for target -x + 5 >= 0 with REQUIRED coefficient -1 for x.
+  LinearTemplate T =
+      LinearTemplate::create(Ctx, {Ctx.mkVar("x")}, "c");
+  auto Constraint = farkasImplication(Ctx, premise("x >= 0"), T, 0, "m");
+  ASSERT_TRUE(Constraint);
+  ExprRef Pin = Ctx.mkAnd(
+      Ctx.mkEq(T.Coeffs[0].second, Ctx.mkInt(-1)),
+      Ctx.mkEq(T.ConstVar, Ctx.mkInt(5)));
+  EXPECT_FALSE(Solver.isSat(Ctx.mkAnd(*Constraint, Pin)));
+}
+
+TEST_F(FarkasTest, ContradictoryPremiseDerivesAnything) {
+  LinearTemplate T =
+      LinearTemplate::create(Ctx, {Ctx.mkVar("x")}, "c");
+  auto Constraint =
+      farkasImplication(Ctx, premise("x <= 0 && x >= 1"), T, 0, "m");
+  ASSERT_TRUE(Constraint);
+  // Even the absurd target x - 100 >= 0 has a certificate.
+  ExprRef Pin = Ctx.mkAnd(
+      Ctx.mkEq(T.Coeffs[0].second, Ctx.mkInt(1)),
+      Ctx.mkEq(T.ConstVar, Ctx.mkInt(-100)));
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(*Constraint, Pin)));
+}
+
+TEST_F(FarkasTest, EqualityPremisesWork) {
+  // y == x && x >= 3 implies y - 3 >= 0.
+  LinearTemplate T = LinearTemplate::create(
+      Ctx, {Ctx.mkVar("x"), Ctx.mkVar("y")}, "c");
+  auto Constraint = farkasImplication(
+      Ctx, premise("y == x && x >= 3"), T, 0, "m");
+  ASSERT_TRUE(Constraint);
+  ExprRef Pin = Ctx.mkAnd(
+      {Ctx.mkEq(T.Coeffs[0].second, Ctx.mkInt(0)),
+       Ctx.mkEq(T.Coeffs[1].second, Ctx.mkInt(1)),
+       Ctx.mkEq(T.ConstVar, Ctx.mkInt(-3))});
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(*Constraint, Pin)));
+}
+
+TEST_F(FarkasTest, RejectsDisequalityPremise) {
+  LinearTemplate T =
+      LinearTemplate::create(Ctx, {Ctx.mkVar("x")}, "c");
+  EXPECT_FALSE(farkasImplication(Ctx, premise("x != 0"), T, 0, "m"));
+}
+
+TEST_F(FarkasTest, OffsetShiftsTheTarget) {
+  // The offset is added to the target: x <= 5 implies
+  // (-x + 5) + 0 >= 0, but (-x + 5) + (-1) >= 0 fails at x = 5.
+  LinearTemplate T =
+      LinearTemplate::create(Ctx, {Ctx.mkVar("x")}, "c");
+  ExprRef Pin = Ctx.mkAnd(
+      Ctx.mkEq(T.Coeffs[0].second, Ctx.mkInt(-1)),
+      Ctx.mkEq(T.ConstVar, Ctx.mkInt(5)));
+  auto C0 = farkasImplication(Ctx, premise("x <= 5"), T, 0, "m0");
+  auto C1 = farkasImplication(Ctx, premise("x <= 5"), T, -1, "m1");
+  ASSERT_TRUE(C0 && C1);
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(*C0, Pin)));
+  EXPECT_FALSE(Solver.isSat(Ctx.mkAnd(*C1, Pin)));
+}
+
+TEST_F(FarkasTest, TemplateSumForDecrease) {
+  // Premise: x' == x - 1 && x >= 1. Target f(x) - f(x') - 1 >= 0 with
+  // f = C*x: C*(x - x') - 1 >= 0, i.e. C >= 1 works.
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef XP = Ctx.mkVar("x'");
+  ExprRef C = Ctx.freshVar("C");
+  TemplateSum Sum;
+  Sum.Terms.push_back({C, +1, X});
+  Sum.Terms.push_back({C, -1, XP});
+  Sum.ConstLiteral = -1;
+  auto Constraint = farkasImplication(
+      Ctx, premise("x' == x - 1 && x >= 1"), Sum, "m");
+  ASSERT_TRUE(Constraint);
+  auto M = Solver.getModel(*Constraint);
+  ASSERT_TRUE(M);
+  EXPECT_GE(M->get(C->varName()), 1);
+}
+
+} // namespace

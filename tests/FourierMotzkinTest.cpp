@@ -1,0 +1,172 @@
+//===- tests/FourierMotzkinTest.cpp - QE unit and property tests --------------===//
+
+#include "qe/FourierMotzkin.h"
+#include "qe/QeEngine.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class FourierMotzkinTest : public ::testing::Test {
+protected:
+  FourierMotzkinTest() : Solver(Ctx) {}
+
+  ExprRef formula(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+};
+
+TEST_F(FourierMotzkinTest, ProjectBoundedVariable) {
+  // exists y: x < y && y < z  ==>  x + 2 <= z.
+  auto R = fourierMotzkinProject(Ctx, formula("x < y && y < z"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Exact);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x + 2 <= z")));
+}
+
+TEST_F(FourierMotzkinTest, EqualitySubstitution) {
+  // exists y: y == x + 1 && y <= 10  ==>  x <= 9.
+  auto R = fourierMotzkinProject(Ctx, formula("y == x + 1 && y <= 10"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Exact);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x <= 9")));
+}
+
+TEST_F(FourierMotzkinTest, UnconstrainedVariableVanishes) {
+  auto R = fourierMotzkinProject(Ctx, formula("x >= 0"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x >= 0")));
+}
+
+TEST_F(FourierMotzkinTest, OnlyLowerBounds) {
+  // exists y: y >= x  ==>  true.
+  auto R = fourierMotzkinProject(Ctx, formula("y >= x"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Formula->isTrue());
+}
+
+TEST_F(FourierMotzkinTest, DetectsContradiction) {
+  auto R = fourierMotzkinProject(Ctx, formula("y >= 5 && y <= 3"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Formula->isFalse());
+}
+
+TEST_F(FourierMotzkinTest, MultipleVariables) {
+  // exists a b: x <= a && a <= b && b <= y  ==>  x <= y.
+  auto R = fourierMotzkinProject(
+      Ctx, formula("x <= a && a <= b && b <= y"),
+      {Ctx.mkVar("a"), Ctx.mkVar("b")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x <= y")));
+}
+
+TEST_F(FourierMotzkinTest, DisequalityDroppedMarksInexact) {
+  auto R = fourierMotzkinProject(Ctx, formula("y != 3 && y >= x"),
+                                 {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_FALSE(R->Exact);
+}
+
+TEST_F(FourierMotzkinTest, RejectsDisjunction) {
+  EXPECT_FALSE(fourierMotzkinProject(Ctx, formula("y >= 5 || y <= 3"),
+                                     {Ctx.mkVar("y")}));
+}
+
+TEST_F(FourierMotzkinTest, PaperSectionTwoElimination) {
+  // The quantifier elimination of Section 2: from the SSA formula of
+  // the failed path, eliminating everything but rho1 should leave
+  // rho1 == 0 (the formula below mirrors the paper's, with y1 = rho1).
+  ExprRef T = formula("x1 == 0 && y1 == rho1 && x2 == 1 && n1 == rho2 "
+                      "&& y1 <= 0 && n1 > 0 && n2 == n1 - y1");
+  std::vector<ExprRef> Elim = {Ctx.mkVar("x1"), Ctx.mkVar("y1"),
+                               Ctx.mkVar("x2"), Ctx.mkVar("n1"),
+                               Ctx.mkVar("n2"), Ctx.mkVar("rho2")};
+  auto R = fourierMotzkinProject(Ctx, T, Elim);
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("rho1 <= 0")));
+}
+
+// Property-style sweep: projection over-approximates the existential
+// (and is exact when flagged): any model of the input, restricted to
+// the kept variables, satisfies the projection.
+struct FmCase {
+  const char *Input;
+  const char *Var;
+};
+
+class FmSoundness : public ::testing::TestWithParam<FmCase> {};
+
+TEST_P(FmSoundness, ProjectionIsImpliedByInput) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  std::string Err;
+  ExprRef In = *parseFormulaString(Ctx, GetParam().Input, Err);
+  ExprRef V = Ctx.mkVar(GetParam().Var);
+  auto R = fourierMotzkinProject(Ctx, In, {V});
+  ASSERT_TRUE(R);
+  // In -> Projection must be valid (soundness of projection).
+  EXPECT_TRUE(Solver.implies(In, R->Formula))
+      << "input: " << In->toString()
+      << " proj: " << R->Formula->toString();
+  // When exact: Projection -> exists v. In must be valid too.
+  if (R->Exact) {
+    ExprRef Ex = Ctx.mkExists({V}, In);
+    EXPECT_TRUE(Solver.implies(R->Formula, Ex));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FmSoundness,
+    ::testing::Values(
+        FmCase{"v >= 0 && v <= x", "v"},
+        FmCase{"2*v <= x && v >= y", "v"},
+        FmCase{"v == x + y && v <= 10 && v >= -10", "v"},
+        FmCase{"3*v >= x && 2*v <= y", "v"},
+        FmCase{"v != 0 && v >= x && v <= y", "v"},
+        FmCase{"v + x <= 2*y && y <= v", "v"},
+        FmCase{"v <= x && v <= y && v >= z", "v"},
+        FmCase{"x <= 1 && v == 2*x", "v"},
+        FmCase{"v == v && x <= y", "v"},
+        FmCase{"5*v >= x && 3*v <= y && v >= 0", "v"}));
+
+TEST_F(FourierMotzkinTest, QeEngineAutoPrefersFm) {
+  QeEngine Qe(Solver);
+  auto R = Qe.projectExists(formula("x < y && y < z"),
+                            {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_EQ(Qe.stats().FmCalls, 1u);
+  EXPECT_EQ(Qe.stats().Z3Calls, 0u);
+}
+
+TEST_F(FourierMotzkinTest, QeEngineFallsBackToZ3) {
+  QeEngine Qe(Solver);
+  auto R = Qe.projectExists(formula("y >= 5 || y <= x"),
+                            {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_GE(Qe.stats().Z3Calls, 1u);
+  // Result equivalent to exists y. (y >= 5 || y <= x) == true.
+  EXPECT_TRUE(Solver.isValid(*R));
+}
+
+TEST_F(FourierMotzkinTest, QeEngineFmOnlyFailsOnDisjunction) {
+  QeEngine Qe(Solver, QeStrategy::FourierMotzkin);
+  EXPECT_FALSE(Qe.projectExists(formula("y >= 5 || y <= x"),
+                                {Ctx.mkVar("y")}));
+  EXPECT_GE(Qe.stats().Failures, 1u);
+}
+
+} // namespace

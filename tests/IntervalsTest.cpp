@@ -1,0 +1,190 @@
+//===- tests/IntervalsTest.cpp - Interval domain unit tests --------------------===//
+
+#include "analysis/Intervals.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class IntervalsTest : public ::testing::Test {
+protected:
+  IntervalsTest() : Solver(Ctx) {}
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+};
+
+TEST_F(IntervalsTest, JoinAndMeet) {
+  Interval A{1, 5}, B{3, 9};
+  EXPECT_EQ(A.join(B), (Interval{1, 9}));
+  EXPECT_EQ(A.meet(B), (Interval{3, 5}));
+  EXPECT_TRUE((Interval{5, 3}).isEmpty());
+  EXPECT_TRUE(Interval::top().isTop());
+}
+
+TEST_F(IntervalsTest, WideningDropsUnstableBounds) {
+  Interval A{0, 3}, B{0, 7};
+  Interval W = A.widen(B);
+  EXPECT_EQ(W.Lo, std::optional<std::int64_t>(0));
+  EXPECT_FALSE(W.Hi.has_value());
+  // Stable bounds survive.
+  Interval W2 = A.widen(Interval{1, 3});
+  EXPECT_EQ(W2, (Interval{0, 3}));
+}
+
+TEST_F(IntervalsTest, ArithmeticRespectsSign) {
+  Interval A{2, 4};
+  EXPECT_EQ(A.scale(3), (Interval{6, 12}));
+  EXPECT_EQ(A.scale(-1), (Interval{-4, -2}));
+  EXPECT_EQ(A.add(Interval{-1, 1}), (Interval{1, 5}));
+}
+
+TEST_F(IntervalsTest, RefineFromAtoms) {
+  IntervalState S = IntervalState::top().refine(f("x >= 0 && x <= 10"));
+  EXPECT_EQ(S.get("x"), (Interval{0, 10}));
+  // Contradiction detected.
+  EXPECT_TRUE(IntervalState::top()
+                  .refine(f("x >= 5 && x <= 3"))
+                  .isBottom());
+}
+
+TEST_F(IntervalsTest, RefineSolvesAcrossVariables) {
+  // y == x && x >= 1 gives y >= 1 regardless of atom order.
+  IntervalState A = IntervalState::top().refine(f("y == x && x >= 1"));
+  EXPECT_EQ(A.get("y").Lo, std::optional<std::int64_t>(1));
+  IntervalState B = IntervalState::top().refine(f("x >= 1 && y == x"));
+  EXPECT_EQ(B.get("y").Lo, std::optional<std::int64_t>(1));
+}
+
+TEST_F(IntervalsTest, RefineWithCoefficients) {
+  // 2x <= 7 over integers: x <= 3.
+  IntervalState S = IntervalState::top().refine(f("2*x <= 7"));
+  EXPECT_EQ(S.get("x").Hi, std::optional<std::int64_t>(3));
+  // 2x >= 7: x >= 4.
+  IntervalState T = IntervalState::top().refine(f("2*x >= 7"));
+  EXPECT_EQ(T.get("x").Lo, std::optional<std::int64_t>(4));
+}
+
+TEST_F(IntervalsTest, ApplyCommands) {
+  IntervalState S = IntervalState::top().refine(f("x >= 0 && x <= 4"));
+  ExprRef X = Ctx.mkVar("x");
+  IntervalState A =
+      S.apply(Command::assign(X, Ctx.mkAdd(X, Ctx.mkInt(1))));
+  EXPECT_EQ(A.get("x"), (Interval{1, 5}));
+  IntervalState H = S.apply(Command::havoc(X));
+  EXPECT_TRUE(H.get("x").isTop());
+  IntervalState G =
+      S.apply(Command::assume(Ctx.mkGe(X, Ctx.mkInt(3))));
+  EXPECT_EQ(G.get("x"), (Interval{3, 4}));
+}
+
+TEST_F(IntervalsTest, WholeProgramBounds) {
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (x < 10) { x = x + 1; }", Err);
+  ASSERT_TRUE(P) << Err;
+  Region Inv = intervalInvariants(*P, Region::initial(*P));
+  // Everywhere reachable: 0 <= x <= 10 (widening may lose the upper
+  // bound at the head, but the exit must have x >= 10 from its
+  // guard refinement and x >= 0 everywhere).
+  for (Loc L = 0; L < P->numLocations(); ++L) {
+    if (Inv.at(L)->isFalse())
+      continue;
+    EXPECT_TRUE(Solver.implies(Inv.at(L), f("x >= 0")))
+        << P->locationName(L) << ": " << Inv.at(L)->toString();
+  }
+}
+
+TEST_F(IntervalsTest, UnreachableStaysBottom) {
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); assume(x > 5); y = 1;", Err);
+  ASSERT_TRUE(P) << Err;
+  Region Inv = intervalInvariants(*P, Region::initial(*P));
+  // The location after the blocked assume is unreachable.
+  bool FoundBottom = false;
+  for (Loc L = 0; L < P->numLocations(); ++L)
+    if (Inv.at(L)->isFalse())
+      FoundBottom = true;
+  EXPECT_TRUE(FoundBottom);
+}
+
+TEST_F(IntervalsTest, ChuteRefinesStates) {
+  std::string Err;
+  auto P = parseProgram(Ctx, "y = *; x = y;", Err);
+  ASSERT_TRUE(P) << Err;
+  // Chute: y >= 7 at every location.
+  Region C = Region::uniform(*P, f("y >= 7"));
+  Region Inv = intervalInvariants(*P, Region::initial(*P), &C);
+  // Where x has been assigned, x >= 7 follows.
+  Loc Last = 0;
+  for (const Edge &E : P->edges())
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "x")
+      Last = E.Dst;
+  EXPECT_TRUE(Solver.implies(Inv.at(Last), f("x >= 7")))
+      << Inv.at(Last)->toString();
+}
+
+TEST_F(IntervalsTest, StopRegionIsNotExpanded) {
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); x = 1; x = 2; x = 3;", Err);
+  ASSERT_TRUE(P) << Err;
+  // Stop at x == 1: the later assignments must stay unreachable.
+  Region Stop = Region::uniform(*P, f("x == 1"));
+  Region Inv =
+      intervalInvariants(*P, Region::initial(*P), nullptr, &Stop,
+                         &Solver);
+  for (Loc L = 0; L < P->numLocations(); ++L)
+    EXPECT_FALSE(Solver.isSat(Ctx.mkAnd(Inv.at(L), f("x == 3"))))
+        << P->locationName(L);
+}
+
+TEST_F(IntervalsTest, HullOfDisjunction) {
+  // (x == 1 && y == 5) || (x == 4 && y == 2) hulls to the bounding
+  // box 1 <= x <= 4 && 2 <= y <= 5.
+  ExprRef F = Ctx.mkOr(f("x == 1 && y == 5"), f("x == 4 && y == 2"));
+  ExprRef H = intervalHull(Ctx, F);
+  EXPECT_TRUE(Solver.implies(F, H));
+  EXPECT_TRUE(Solver.equivalent(
+      H, f("x >= 1 && x <= 4 && y >= 2 && y <= 5")));
+}
+
+TEST_F(IntervalsTest, HullKeepsFalseEmpty) {
+  EXPECT_TRUE(intervalHull(Ctx, Ctx.mkFalse())->isFalse());
+}
+
+TEST_F(IntervalsTest, HullDropsUnboundedSides) {
+  ExprRef F = Ctx.mkOr(f("x >= 3"), f("x == 1"));
+  ExprRef H = intervalHull(Ctx, F);
+  EXPECT_TRUE(Solver.equivalent(H, f("x >= 1")));
+}
+
+TEST_F(IntervalsTest, NarrowingRecoversGuardedBound) {
+  // Widening alone loses n >= 0 on a guarded decrement; narrowing
+  // must recover it and pin the exit to exactly n == 0.
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(n == 50); while (n > 0) { n = n - 1; }", Err);
+  ASSERT_TRUE(P) << Err;
+  Region Inv = intervalInvariants(*P, Region::initial(*P));
+  for (Loc L = 0; L < P->numLocations(); ++L) {
+    if (Inv.at(L)->isFalse())
+      continue;
+    EXPECT_TRUE(Solver.implies(Inv.at(L), f("n >= 0")))
+        << P->locationName(L) << ": " << Inv.at(L)->toString();
+  }
+}
+
+} // namespace

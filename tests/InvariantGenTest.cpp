@@ -1,0 +1,121 @@
+//===- tests/InvariantGenTest.cpp - Reachability invariant tests ---------------===//
+
+#include "analysis/InvariantGen.h"
+#include "program/Parser.h"
+#include "program/NondetLifting.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class InvariantGenTest : public ::testing::Test {
+protected:
+  InvariantGenTest() : Solver(Ctx), Qe(Solver) {}
+
+  void load(const std::string &Src) {
+    std::string Err;
+    auto P0 = parseProgram(Ctx, Src, Err);
+    ASSERT_TRUE(P0) << Err;
+    Lifted = liftNondeterminism(*P0);
+    Ts = std::make_unique<TransitionSystem>(*Lifted.Prog, Solver, Qe);
+    Gen = std::make_unique<InvariantGen>(*Ts, Solver);
+  }
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  const Program &prog() { return *Lifted.Prog; }
+
+  ExprContext Ctx;
+  Smt Solver;
+  QeEngine Qe;
+  LiftedProgram Lifted;
+  std::unique_ptr<TransitionSystem> Ts;
+  std::unique_ptr<InvariantGen> Gen;
+};
+
+TEST_F(InvariantGenTest, BoundedLoopConvergesExactly) {
+  load("init(x == 0); while (x < 3) { x = x + 1; }");
+  Region Inv = Gen->reach(Region::initial(prog()));
+  EXPECT_TRUE(Gen->stats().ExactConverged);
+  // The invariant is inductive and bounds x by 3 everywhere.
+  for (Loc L = 0; L < prog().numLocations(); ++L)
+    EXPECT_TRUE(Solver.implies(Inv.at(L), f("x >= 0 && x <= 3")))
+        << prog().locationName(L) << ": " << Inv.at(L)->toString();
+}
+
+TEST_F(InvariantGenTest, InvariantIsInductive) {
+  load("init(x == 0); while (x < 3) { x = x + 1; }");
+  Region Inv = Gen->reach(Region::initial(prog()));
+  Region Post = Ts->post(Inv);
+  EXPECT_TRUE(Post.subsetOf(Solver, Inv));
+}
+
+TEST_F(InvariantGenTest, UnboundedLoopFallsBackButStaysSound) {
+  load("init(x == 0); while (true) { x = x + 1; }");
+  Region Inv = Gen->reach(Region::initial(prog()));
+  EXPECT_FALSE(Gen->stats().ExactConverged);
+  // Initial states are contained and x >= 0 is retained.
+  EXPECT_TRUE(Region::initial(prog()).subsetOf(Solver, Inv));
+  for (Loc L = 0; L < prog().numLocations(); ++L)
+    if (!Inv.at(L)->isFalse())
+      EXPECT_TRUE(Solver.implies(Inv.at(L), f("x >= 0")));
+}
+
+TEST_F(InvariantGenTest, StopRegionIsFrontier) {
+  load("init(x == 0); x = 1; x = 2; x = 3;");
+  Region Stop = Region::uniform(prog(), f("x == 1"));
+  Region Inv = Gen->reach(Region::initial(prog()), nullptr, &Stop);
+  // x == 2 / x == 3 are beyond the frontier.
+  for (Loc L = 0; L < prog().numLocations(); ++L) {
+    EXPECT_FALSE(Solver.isSat(Ctx.mkAnd(Inv.at(L), f("x >= 2"))))
+        << prog().locationName(L) << ": " << Inv.at(L)->toString();
+  }
+}
+
+TEST_F(InvariantGenTest, ChuteRestrictsReachability) {
+  load("y = *; x = y;");
+  Region Chute = Region::uniform(prog(), f("y >= 5"));
+  Region Inv =
+      Gen->reach(Region::initial(prog()), &Chute, nullptr);
+  // After x = y the chute forces x >= 5.
+  Loc Last = 0;
+  for (const Edge &E : prog().edges())
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "x")
+      Last = E.Dst;
+  EXPECT_TRUE(Solver.implies(Inv.at(Last), f("x >= 5")))
+      << Inv.at(Last)->toString();
+}
+
+TEST_F(InvariantGenTest, HavocProducesUnconstrainedValue) {
+  load("init(x == 0); x = *;");
+  Region Inv = Gen->reach(Region::initial(prog()));
+  // After the havoc, any x is reachable.
+  Loc Last = 0;
+  for (const Edge &E : prog().edges())
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "x")
+      Last = E.Dst;
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(Inv.at(Last), f("x == -1234"))));
+}
+
+TEST_F(InvariantGenTest, BranchesUnion) {
+  load("init(x == 0); if (*) { x = 1; } else { x = 2; } skip;");
+  Region Inv = Gen->reach(Region::initial(prog()));
+  // At the final location both outcomes are present, nothing else.
+  Loc Final = 0;
+  for (const Edge &E : prog().edges())
+    if (E.Cmd.isAssume() && E.Src == E.Dst)
+      Final = E.Src; // Totalising self-loop marks the end.
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(Inv.at(Final), f("x == 1"))));
+  EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(Inv.at(Final), f("x == 2"))));
+  EXPECT_FALSE(Solver.isSat(Ctx.mkAnd(Inv.at(Final), f("x == 3"))));
+}
+
+} // namespace

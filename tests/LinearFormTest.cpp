@@ -1,0 +1,176 @@
+//===- tests/LinearFormTest.cpp - Linear form unit tests ---------------------===//
+
+#include "expr/LinearForm.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class LinearFormTest : public ::testing::Test {
+protected:
+  ExprRef term(const std::string &T) {
+    std::string Err;
+    auto E = parseTermString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprRef formula(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprContext Ctx;
+};
+
+TEST_F(LinearFormTest, ExtractSimpleTerm) {
+  auto T = extractLinearTerm(term("2*x + 3*y - 4"));
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->coeff(Ctx.mkVar("x")), 2);
+  EXPECT_EQ(T->coeff(Ctx.mkVar("y")), 3);
+  EXPECT_EQ(T->constant(), -4);
+}
+
+TEST_F(LinearFormTest, CoefficientsMerge) {
+  auto T = extractLinearTerm(term("x + x + x"));
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->coeff(Ctx.mkVar("x")), 3);
+}
+
+TEST_F(LinearFormTest, CancellingTermsVanish) {
+  auto T = extractLinearTerm(term("x - x + 7"));
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(T->isConstant());
+  EXPECT_EQ(T->constant(), 7);
+}
+
+TEST_F(LinearFormTest, NonlinearProductRejected) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  EXPECT_FALSE(extractLinearTerm(Ctx.mkMul(X, Y)).has_value());
+}
+
+TEST_F(LinearFormTest, TermsSortedByName) {
+  auto T = extractLinearTerm(term("z + a + m"));
+  ASSERT_TRUE(T);
+  ASSERT_EQ(T->terms().size(), 3u);
+  EXPECT_EQ(T->terms()[0].first->varName(), "a");
+  EXPECT_EQ(T->terms()[1].first->varName(), "m");
+  EXPECT_EQ(T->terms()[2].first->varName(), "z");
+}
+
+TEST_F(LinearFormTest, AtomNormalisesLeToTermLeZero) {
+  auto A = extractLinearAtom(formula("x + 2 <= y"));
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Rel, ExprKind::Le);
+  EXPECT_EQ(A->Term.coeff(Ctx.mkVar("x")), 1);
+  EXPECT_EQ(A->Term.coeff(Ctx.mkVar("y")), -1);
+  EXPECT_EQ(A->Term.constant(), 2);
+}
+
+TEST_F(LinearFormTest, StrictInequalityTightensOverIntegers) {
+  // x < y  ==>  x - y + 1 <= 0.
+  auto A = extractLinearAtom(formula("x < y"));
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Rel, ExprKind::Le);
+  EXPECT_EQ(A->Term.constant(), 1);
+}
+
+TEST_F(LinearFormTest, GreaterFlipsSign) {
+  // x > 3  ==>  3 - x + 1 <= 0  ==>  -x + 4 <= 0.
+  auto A = extractLinearAtom(formula("x > 3"));
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Term.coeff(Ctx.mkVar("x")), -1);
+  EXPECT_EQ(A->Term.constant(), 4);
+}
+
+TEST_F(LinearFormTest, RoundTripThroughExpr) {
+  auto A = extractLinearAtom(formula("2*x - y >= 1"));
+  ASSERT_TRUE(A);
+  ExprRef Back = A->toExpr(Ctx);
+  auto Again = extractLinearAtom(Back);
+  ASSERT_TRUE(Again);
+  EXPECT_TRUE(A->Term == Again->Term);
+  EXPECT_EQ(A->Rel, Again->Rel);
+}
+
+TEST_F(LinearFormTest, ExtractConjunction) {
+  auto Atoms = extractConjunction(formula("x >= 0 && y <= 5 && x != y"));
+  ASSERT_TRUE(Atoms);
+  EXPECT_EQ(Atoms->size(), 3u);
+}
+
+TEST_F(LinearFormTest, ExtractConjunctionRejectsDisjunction) {
+  EXPECT_FALSE(extractConjunction(formula("x >= 0 || y <= 5")));
+}
+
+TEST_F(LinearFormTest, TrueGivesEmptyConjunction) {
+  auto Atoms = extractConjunction(Ctx.mkTrue());
+  ASSERT_TRUE(Atoms);
+  EXPECT_TRUE(Atoms->empty());
+}
+
+TEST_F(LinearFormTest, DnfCubesOfDisjunction) {
+  auto Cubes = dnfAtomCubes(Ctx, formula("x >= 0 || y <= 5"));
+  ASSERT_TRUE(Cubes);
+  EXPECT_EQ(Cubes->size(), 2u);
+}
+
+TEST_F(LinearFormTest, DnfCubesDistributeConjunction) {
+  auto Cubes =
+      dnfAtomCubes(Ctx, formula("(x >= 0 || x <= -5) && y == 1"));
+  ASSERT_TRUE(Cubes);
+  EXPECT_EQ(Cubes->size(), 2u);
+  for (const auto &Cube : *Cubes)
+    EXPECT_EQ(Cube.size(), 2u);
+}
+
+TEST_F(LinearFormTest, DnfCubesPushNegation) {
+  auto Cubes = dnfAtomCubes(Ctx, formula("!(x >= 0 && y >= 0)"));
+  ASSERT_TRUE(Cubes);
+  EXPECT_EQ(Cubes->size(), 2u);
+}
+
+TEST_F(LinearFormTest, DnfCubesRespectCap) {
+  // 2^5 = 32 cubes > cap of 4.
+  ExprRef F = formula("(a >= 0 || a <= -1) && (b >= 0 || b <= -1) && "
+                      "(c >= 0 || c <= -1) && (d >= 0 || d <= -1) && "
+                      "(e >= 0 || e <= -1)");
+  EXPECT_FALSE(dnfAtomCubes(Ctx, F, 4));
+  EXPECT_TRUE(dnfAtomCubes(Ctx, F, 64));
+}
+
+TEST_F(LinearFormTest, FalseGivesZeroCubes) {
+  auto Cubes = dnfAtomCubes(Ctx, Ctx.mkFalse());
+  ASSERT_TRUE(Cubes);
+  EXPECT_TRUE(Cubes->empty());
+}
+
+TEST_F(LinearFormTest, ScaledArithmetic) {
+  auto T = extractLinearTerm(term("2*x + 4"));
+  ASSERT_TRUE(T);
+  LinearTerm S = T->scaled(-3);
+  EXPECT_EQ(S.coeff(Ctx.mkVar("x")), -6);
+  EXPECT_EQ(S.constant(), -12);
+  EXPECT_EQ(S.coeffGcd(), 6);
+}
+
+TEST_F(LinearFormTest, PlusAndMinus) {
+  auto A = extractLinearTerm(term("x + 2*y"));
+  auto B = extractLinearTerm(term("x - y + 1"));
+  ASSERT_TRUE(A && B);
+  LinearTerm Sum = A->plus(*B);
+  EXPECT_EQ(Sum.coeff(Ctx.mkVar("x")), 2);
+  EXPECT_EQ(Sum.coeff(Ctx.mkVar("y")), 1);
+  EXPECT_EQ(Sum.constant(), 1);
+  LinearTerm Diff = A->minus(*B);
+  EXPECT_EQ(Diff.coeff(Ctx.mkVar("x")), 0);
+  EXPECT_EQ(Diff.coeff(Ctx.mkVar("y")), 3);
+}
+
+} // namespace

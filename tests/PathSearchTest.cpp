@@ -1,0 +1,146 @@
+//===- tests/PathSearchTest.cpp - Path/lasso search tests ----------------------===//
+
+#include "analysis/PathSearch.h"
+#include "program/Parser.h"
+#include "program/NondetLifting.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class PathSearchTest : public ::testing::Test {
+protected:
+  PathSearchTest() : Solver(Ctx), Qe(Solver) {}
+
+  void load(const std::string &Src) {
+    std::string Err;
+    auto P0 = parseProgram(Ctx, Src, Err);
+    ASSERT_TRUE(P0) << Err;
+    Lifted = liftNondeterminism(*P0);
+    Ts = std::make_unique<TransitionSystem>(*Lifted.Prog, Solver, Qe);
+    Search = std::make_unique<PathSearch>(*Ts, Solver, Qe);
+  }
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  const Program &prog() { return *Lifted.Prog; }
+
+  /// Validates a path: consecutive edges connect.
+  void expectConnected(const std::vector<unsigned> &Path) {
+    for (std::size_t I = 0; I + 1 < Path.size(); ++I)
+      EXPECT_EQ(prog().edge(Path[I]).Dst, prog().edge(Path[I + 1]).Src);
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+  QeEngine Qe;
+  LiftedProgram Lifted;
+  std::unique_ptr<TransitionSystem> Ts;
+  std::unique_ptr<PathSearch> Search;
+};
+
+TEST_F(PathSearchTest, FindsStraightLinePath) {
+  load("init(x == 0); x = 1; x = 2;");
+  Region Target = Region::uniform(prog(), f("x == 2"));
+  auto Path =
+      Search->findPath(Region::initial(prog()), Target);
+  ASSERT_TRUE(Path);
+  EXPECT_EQ(Path->size(), 2u);
+  expectConnected(*Path);
+}
+
+TEST_F(PathSearchTest, ZeroLengthWhenAlreadyThere) {
+  load("init(x == 7); skip;");
+  Region Target = Region::uniform(prog(), f("x == 7"));
+  auto Path = Search->findPath(Region::initial(prog()), Target);
+  ASSERT_TRUE(Path);
+  EXPECT_TRUE(Path->empty());
+}
+
+TEST_F(PathSearchTest, InfeasibleTargetIsRejected) {
+  load("init(x == 0); x = 1;");
+  Region Target = Region::uniform(prog(), f("x == 9"));
+  EXPECT_FALSE(Search->findPath(Region::initial(prog()), Target));
+}
+
+TEST_F(PathSearchTest, UnrollsLoopsAsNeeded) {
+  load("init(x == 0); while (x < 4) { x = x + 1; }");
+  Region Target = Region::uniform(prog(), f("x == 4"));
+  auto Path = Search->findPath(Region::initial(prog()), Target);
+  ASSERT_TRUE(Path);
+  // Needs 4 increments: at least 3 full rounds plus the guard
+  // and increment of the fourth.
+  EXPECT_GE(Path->size(), 11u);
+  expectConnected(*Path);
+}
+
+TEST_F(PathSearchTest, PicksTheFeasibleBranch) {
+  load("init(x == 0 && y == 0); if (x > 5) { y = 1; } else { y = 2; } skip;");
+  Region Target = Region::uniform(prog(), f("y == 2"));
+  auto Path = Search->findPath(Region::initial(prog()), Target);
+  ASSERT_TRUE(Path);
+  // y == 1 unreachable.
+  Region Bad = Region::uniform(prog(), f("y == 1"));
+  EXPECT_FALSE(Search->findPath(Region::initial(prog()), Bad));
+}
+
+TEST_F(PathSearchTest, WithinConstraintBlocksRoutes) {
+  load("init(x == 0); x = 5; x = 2;");
+  Region Target = Region::uniform(prog(), f("x == 2"));
+  // The only route passes through x == 5, forbidden by Within.
+  Region Within = Region::uniform(prog(), f("x <= 4"));
+  EXPECT_FALSE(
+      Search->findPath(Region::initial(prog()), Target, &Within));
+  EXPECT_TRUE(Search->findPath(Region::initial(prog()), Target));
+}
+
+TEST_F(PathSearchTest, DeepStraightLineProgram) {
+  // 60 sequential increments: directed search must not blow up.
+  std::string Src = "init(x == 0);\n";
+  for (int I = 0; I < 60; ++I)
+    Src += "x = x + 1;\n";
+  load(Src);
+  Region Target = Region::uniform(prog(), f("x == 60"));
+  auto Path = Search->findPath(Region::initial(prog()), Target);
+  ASSERT_TRUE(Path);
+  EXPECT_EQ(Path->size(), 60u);
+}
+
+TEST_F(PathSearchTest, FindsLassoInInfiniteLoop) {
+  load("init(x == 0); while (true) { x = x + 1; }");
+  auto Lasso = Search->findLasso(Region::initial(prog()));
+  ASSERT_TRUE(Lasso);
+  EXPECT_FALSE(Lasso->Cycle.empty());
+  EXPECT_NE(Lasso->RecurrentSet, nullptr);
+  // The cycle truly returns to its head.
+  EXPECT_EQ(prog().edge(Lasso->Cycle.front()).Src,
+            prog().edge(Lasso->Cycle.back()).Dst);
+}
+
+TEST_F(PathSearchTest, LassoRespectsWithin) {
+  // Terminating loop: the only infinite behaviour sits in the
+  // totalising exit self-loop, excluded by Within x < 3.
+  load("init(x == 0); while (x < 3) { x = x + 1; }");
+  Region Within = Region::uniform(prog(), f("x < 3"));
+  EXPECT_FALSE(Search->findLasso(Region::initial(prog()), &Within));
+  // Without the restriction the exit self-loop is a lasso.
+  EXPECT_TRUE(Search->findLasso(Region::initial(prog())));
+}
+
+TEST_F(PathSearchTest, LassoWithNondeterministicGuard) {
+  // The paper's inner loop: only y <= 0 choices loop forever.
+  load("init(p == 0); y = *; n = *; while (n > 0) { n = n - y; }");
+  Region Within = Region::uniform(prog(), f("n > 0 || p == 0"));
+  auto Lasso = Search->findLasso(Region::initial(prog()), nullptr);
+  ASSERT_TRUE(Lasso);
+}
+
+} // namespace

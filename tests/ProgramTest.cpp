@@ -1,0 +1,220 @@
+//===- tests/ProgramTest.cpp - Program/parser/lifting unit tests --------------===//
+
+#include "program/Parser.h"
+#include "program/NondetLifting.h"
+#include "program/PrettyPrint.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class ProgramTest : public ::testing::Test {
+protected:
+  std::unique_ptr<Program> parse(const std::string &Src) {
+    std::string Err;
+    auto P = parseProgram(Ctx, Src, Err);
+    EXPECT_TRUE(P) << "parse failed: " << Err;
+    return P;
+  }
+
+  ExprContext Ctx;
+};
+
+TEST_F(ProgramTest, ParsesStraightLine) {
+  auto P = parse("x = 1; y = x + 2;");
+  ASSERT_TRUE(P);
+  // Two assignment edges plus the totalising self-loop.
+  EXPECT_EQ(P->edges().size(), 3u);
+  EXPECT_TRUE(P->findVariable("x"));
+  EXPECT_TRUE(P->findVariable("y"));
+  EXPECT_FALSE(P->findVariable("z"));
+}
+
+TEST_F(ProgramTest, InitClauseSetsInitialCondition) {
+  auto P = parse("init(x > 0 && y == 0); skip;");
+  ASSERT_TRUE(P);
+  std::string Err;
+  EXPECT_EQ(P->init(), *parseFormulaString(Ctx, "x > 0 && y == 0", Err));
+}
+
+TEST_F(ProgramTest, DefaultInitIsTrue) {
+  auto P = parse("x = 1;");
+  EXPECT_TRUE(P->init()->isTrue());
+}
+
+TEST_F(ProgramTest, WhileCreatesCompleteGuards) {
+  auto P = parse("while (x > 0) { x = x - 1; }");
+  ASSERT_TRUE(P);
+  // Guard edges out of the head: x > 0 and x <= 0.
+  Loc Head = P->entry();
+  ASSERT_EQ(P->outgoing(Head).size(), 2u);
+  ExprRef G1 = P->edge(P->outgoing(Head)[0]).Cmd.cond();
+  ExprRef G2 = P->edge(P->outgoing(Head)[1]).Cmd.cond();
+  EXPECT_EQ(Ctx.mkNot(G1), G2);
+}
+
+TEST_F(ProgramTest, IfElseJoins) {
+  auto P = parse("if (x > 0) { y = 1; } else { y = 2; } z = y;");
+  ASSERT_TRUE(P);
+  // z = y is reachable from both branches via the join.
+  bool FoundZ = false;
+  for (const Edge &E : P->edges())
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "z")
+      FoundZ = true;
+  EXPECT_TRUE(FoundZ);
+}
+
+TEST_F(ProgramTest, NondetAssignmentIsHavoc) {
+  auto P = parse("x = *;");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numHavocEdges(), 1u);
+}
+
+TEST_F(ProgramTest, NondetBranchUsesChoiceVariable) {
+  auto P = parse("if (*) { x = 1; } else { x = 2; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->numHavocEdges(), 1u);
+}
+
+TEST_F(ProgramTest, WhileOneMeansTrue) {
+  auto P = parse("while (1) { x = x + 1; }");
+  ASSERT_TRUE(P);
+  // The exit guard is assume(false).
+  bool FoundFalseGuard = false;
+  for (const Edge &E : P->edges())
+    if (E.Cmd.isAssume() && E.Cmd.cond()->isFalse())
+      FoundFalseGuard = true;
+  EXPECT_TRUE(FoundFalseGuard);
+}
+
+TEST_F(ProgramTest, EnsureTotalAddsSelfLoops) {
+  auto P = parse("x = 1;");
+  for (Loc L = 0; L < P->numLocations(); ++L)
+    EXPECT_FALSE(P->outgoing(L).empty())
+        << "location " << P->locationName(L) << " has no successor";
+}
+
+TEST_F(ProgramTest, ParseErrorsReportPositions) {
+  std::string Err;
+  EXPECT_FALSE(parseProgram(Ctx, "x = ;", Err));
+  EXPECT_FALSE(Err.empty());
+  Err.clear();
+  EXPECT_FALSE(parseProgram(Ctx, "while x { }", Err));
+  Err.clear();
+  EXPECT_FALSE(parseProgram(Ctx, "if (x > 0) { x = 1;", Err));
+}
+
+TEST_F(ProgramTest, LiftingSplitsHavocAssignments) {
+  auto P = parse("y = *;");
+  auto L = liftNondeterminism(*P);
+  // y = * becomes rho1 = *; y = rho1.
+  ASSERT_EQ(L.Rhos.size(), 1u);
+  EXPECT_EQ(L.Rhos[0].Rho->varName(), "rho1");
+  const Edge &Havoc = L.Prog->edge(L.Rhos[0].HavocEdgeId);
+  EXPECT_TRUE(Havoc.Cmd.isHavoc());
+  EXPECT_EQ(Havoc.Cmd.var(), L.Rhos[0].Rho);
+  // Followed by the copy assignment.
+  bool FoundCopy = false;
+  for (const Edge &E : L.Prog->edges())
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "y" &&
+        E.Cmd.rhs() == L.Rhos[0].Rho)
+      FoundCopy = true;
+  EXPECT_TRUE(FoundCopy);
+}
+
+TEST_F(ProgramTest, LiftingRenamesBranchTemporaries) {
+  auto P = parse("if (*) { x = 1; } else { x = 2; }");
+  auto L = liftNondeterminism(*P);
+  ASSERT_EQ(L.Rhos.size(), 1u);
+  // No $nd variable survives in the lifted program.
+  for (ExprRef V : L.Prog->variables())
+    EXPECT_EQ(V->varName().find("$nd"), std::string::npos);
+  // The guards now test the rho variable.
+  Loc After = L.Rhos[0].AfterLoc;
+  ASSERT_EQ(L.Prog->outgoing(After).size(), 2u);
+  for (unsigned Id : L.Prog->outgoing(After)) {
+    const Edge &E = L.Prog->edge(Id);
+    ASSERT_TRUE(E.Cmd.isAssume());
+    EXPECT_TRUE(occursFree(E.Cmd.cond(), L.Rhos[0].Rho));
+  }
+}
+
+TEST_F(ProgramTest, LiftingNumbersRhosInOrder) {
+  auto P = parse("a = *; b = *; c = *;");
+  auto L = liftNondeterminism(*P);
+  ASSERT_EQ(L.Rhos.size(), 3u);
+  EXPECT_EQ(L.Rhos[0].Rho->varName(), "rho1");
+  EXPECT_EQ(L.Rhos[1].Rho->varName(), "rho2");
+  EXPECT_EQ(L.Rhos[2].Rho->varName(), "rho3");
+}
+
+TEST_F(ProgramTest, RhoForEdgeLookup) {
+  auto P = parse("a = *;");
+  auto L = liftNondeterminism(*P);
+  EXPECT_NE(L.rhoForEdge(L.Rhos[0].HavocEdgeId), nullptr);
+  EXPECT_EQ(L.rhoForEdge(9999), nullptr);
+}
+
+TEST_F(ProgramTest, CommandTransitionFormulas) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Y = Ctx.mkVar("y");
+  std::vector<ExprRef> Vars = {X, Y};
+  std::string Err;
+
+  Command Asn = Command::assign(X, Ctx.mkAdd(X, Ctx.mkInt(1)));
+  ExprRef T = Asn.transitionFormula(Ctx, Vars);
+  EXPECT_EQ(T, *parseFormulaString(Ctx, "x' == x + 1 && y' == y", Err));
+
+  Command Asm = Command::assume(Ctx.mkGt(X, Ctx.mkInt(0)));
+  T = Asm.transitionFormula(Ctx, Vars);
+  EXPECT_EQ(T,
+            *parseFormulaString(Ctx, "x > 0 && x' == x && y' == y", Err));
+
+  Command Hav = Command::havoc(X);
+  T = Hav.transitionFormula(Ctx, Vars);
+  EXPECT_EQ(T, *parseFormulaString(Ctx, "y' == y", Err));
+}
+
+TEST_F(ProgramTest, CommandWpAndPre) {
+  ExprRef X = Ctx.mkVar("x");
+  std::string Err;
+  ExprRef Post = *parseFormulaString(Ctx, "x >= 5", Err);
+
+  Command Asn = Command::assign(X, Ctx.mkAdd(X, Ctx.mkInt(1)));
+  EXPECT_EQ(Asn.wp(Ctx, Post), *parseFormulaString(Ctx, "x + 1 >= 5", Err));
+
+  Command Asm = Command::assume(Ctx.mkGt(X, Ctx.mkInt(0)));
+  EXPECT_EQ(Asm.wp(Ctx, Post),
+            Ctx.mkImplies(*parseFormulaString(Ctx, "x > 0", Err), Post));
+  EXPECT_EQ(Asm.preExists(Ctx, Post),
+            Ctx.mkAnd(*parseFormulaString(Ctx, "x > 0", Err), Post));
+
+  Command Hav = Command::havoc(X);
+  EXPECT_EQ(Hav.wp(Ctx, Post)->kind(), ExprKind::Forall);
+  EXPECT_EQ(Hav.preExists(Ctx, Post)->kind(), ExprKind::Exists);
+}
+
+TEST_F(ProgramTest, DotExportMentionsAllEdges) {
+  auto P = parse("x = 1; while (x > 0) { x = x - 1; }");
+  std::string Dot = toDot(*P);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  for (const Edge &E : P->edges()) {
+    (void)E;
+  }
+  EXPECT_NE(Dot.find("x := 1"), std::string::npos);
+}
+
+TEST_F(ProgramTest, LocationNamesFollowSourceLines) {
+  auto P = parse("x = 1;\nx = 2;\nx = 3;");
+  // Some location is named "2" (line two).
+  bool Found = false;
+  for (Loc L = 0; L < P->numLocations(); ++L)
+    if (P->locationName(L) == "2")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

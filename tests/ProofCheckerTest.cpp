@@ -1,0 +1,134 @@
+//===- tests/ProofCheckerTest.cpp - Certificate checking tests -----------------===//
+
+#include "core/ProofChecker.h"
+#include "core/Verifier.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+/// Verifies a property, expects a proof, and re-validates it with the
+/// independent checker.
+CheckReport proveAndCheck(const char *Program, const char *Prop,
+                          bool ExpectNegation = false) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, Program, Err);
+  EXPECT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify(Prop, Err);
+  EXPECT_TRUE(R.Proof.valid()) << Prop;
+  EXPECT_EQ(R.ProofIsOfNegation, ExpectNegation);
+  return V.checkProof(R);
+}
+
+TEST(ProofChecker, ValidatesUniversalSafety) {
+  CheckReport R = proveAndCheck(
+      "init(x == 0); while (true) { x = x + 1; }", "AG(x >= 0)");
+  EXPECT_TRUE(R.Ok) << (R.Failures.empty() ? "" : R.Failures[0]);
+  EXPECT_GT(R.ObligationsChecked, 2u);
+}
+
+TEST(ProofChecker, ValidatesTerminationStyleProof) {
+  CheckReport R = proveAndCheck(
+      "init(x == 0); while (x < 5) { x = x + 1; }", "AF(x == 5)");
+  EXPECT_TRUE(R.Ok) << (R.Failures.empty() ? "" : R.Failures[0]);
+}
+
+TEST(ProofChecker, ValidatesChuteProof) {
+  CheckReport R = proveAndCheck(
+      "init(p == 1);"
+      "while (true) { if (*) { p = 1; } else { p = 0; } }",
+      "EG(p == 1)");
+  EXPECT_TRUE(R.Ok) << (R.Failures.empty() ? "" : R.Failures[0]);
+}
+
+TEST(ProofChecker, ValidatesNestedMixedProof) {
+  CheckReport R = proveAndCheck(
+      "init(p == 1);"
+      "if (*) { while (true) { p = 1; } }"
+      "else { while (true) { p = 0; } }",
+      "EF(EG(p == 1))");
+  EXPECT_TRUE(R.Ok) << (R.Failures.empty() ? "" : R.Failures[0]);
+}
+
+TEST(ProofChecker, RejectsTamperedFrontier) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (x < 5) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AF(x == 5)", Err);
+  ASSERT_TRUE(R.Proof.valid());
+  // Tamper: enlarge the frontier beyond what the subformula covers.
+  auto Nodes = R.Proof.existentialNodes(); // none here; tamper root
+  DerivationNode *Root =
+      const_cast<DerivationNode *>(R.Proof.root());
+  ASSERT_TRUE(Root->Frontier);
+  Root->Frontier = Region::uniform(V.lifted(),
+                                   *parseFormulaString(Ctx, "x >= 0", Err));
+  CheckReport C = V.checkProof(R);
+  EXPECT_FALSE(C.Ok);
+}
+
+TEST(ProofChecker, RejectsTamperedRanking) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (x < 5) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AF(x == 5)", Err);
+  ASSERT_TRUE(R.Proof.valid());
+  DerivationNode *Root =
+      const_cast<DerivationNode *>(R.Proof.root());
+  ASSERT_FALSE(Root->Ranking.Components.empty());
+  // Tamper: wipe the ranking certificate.
+  Root->Ranking.Components.clear();
+  CheckReport C = V.checkProof(R);
+  EXPECT_FALSE(C.Ok);
+}
+
+TEST(ProofChecker, WitnessForExistentialProofs) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx,
+                        "init(p == 0);"
+                        "if (*) { p = 1; } else { skip; }"
+                        "while (true) { skip; }",
+                        Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("EF(p == 1)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  auto W = V.witness(R);
+  ASSERT_TRUE(W);
+  // The witness ends in a p == 1 state: its last edge is the p := 1
+  // assignment or later.
+  bool SawAssign = false;
+  for (unsigned Id : *W) {
+    const Edge &E = V.lifted().edge(Id);
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "p")
+      SawAssign = true;
+  }
+  EXPECT_TRUE(SawAssign);
+}
+
+TEST(ProofChecker, NoWitnessForUniversalProofs) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (true) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AG(x >= 0)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  EXPECT_FALSE(V.witness(R));
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/RankingTest.cpp - Lexicographic ranking synthesis tests -----------===//
+
+#include "analysis/Ranking.h"
+#include "expr/ExprBuilder.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class RankingTest : public ::testing::Test {
+protected:
+  RankingTest() : Solver(Ctx) {}
+
+  RankRelation rel(Loc Src, Loc Dst, const std::string &T,
+                   unsigned Tag = 0) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    auto Atoms = extractConjunction(*E);
+    EXPECT_TRUE(Atoms);
+    RankRelation R;
+    R.Tag = Tag;
+    R.Src = Src;
+    R.Dst = Dst;
+    R.Atoms = *Atoms;
+    return R;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+};
+
+TEST_F(RankingTest, SimpleCountdown) {
+  // while (x > 0) x--: relation x >= 1 && x' == x - 1.
+  auto R = synthesizeLexRanking(
+      Solver, {rel(0, 0, "x >= 1 && x' == x - 1")}, {Ctx.mkVar("x")});
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Components.size(), 1u);
+}
+
+TEST_F(RankingTest, NoRankingForCountUp) {
+  auto R = synthesizeLexRanking(
+      Solver, {rel(0, 0, "x >= 0 && x' == x + 1")}, {Ctx.mkVar("x")});
+  EXPECT_FALSE(R);
+}
+
+TEST_F(RankingTest, NoRankingForIdentity) {
+  auto R = synthesizeLexRanking(Solver, {rel(0, 0, "x' == x")},
+                                {Ctx.mkVar("x")});
+  EXPECT_FALSE(R);
+}
+
+TEST_F(RankingTest, InfeasibleRelationIsTriviallyRanked) {
+  auto R = synthesizeLexRanking(
+      Solver, {rel(0, 0, "x >= 1 && x <= 0 && x' == x")},
+      {Ctx.mkVar("x")});
+  EXPECT_TRUE(R);
+}
+
+TEST_F(RankingTest, LexicographicTwoCounters) {
+  // Nested loop: either (i decreases, j resets arbitrarily... here
+  // j' unconstrained is modelled by no atom for j') or (i stays, j
+  // decreases).
+  std::vector<RankRelation> Rels = {
+      rel(0, 0, "i >= 1 && i' == i - 1", 0),
+      rel(0, 0, "j >= 1 && j' == j - 1 && i' == i && i >= 0", 1),
+  };
+  auto R = synthesizeLexRanking(Solver, Rels,
+                                {Ctx.mkVar("i"), Ctx.mkVar("j")});
+  ASSERT_TRUE(R);
+  EXPECT_GE(R->Components.size(), 1u);
+  EXPECT_LE(R->Components.size(), 2u);
+}
+
+TEST_F(RankingTest, NeedsTheInvariantInThePremise) {
+  // n' == n - y alone is unrankable; with the invariant y >= 1 it
+  // ranks (this is the paper's inner loop after the chute rho1 > 0).
+  auto Without = synthesizeLexRanking(
+      Solver, {rel(0, 0, "n >= 1 && n' == n - y && y' == y")},
+      {Ctx.mkVar("n"), Ctx.mkVar("y")});
+  EXPECT_FALSE(Without);
+  auto With = synthesizeLexRanking(
+      Solver,
+      {rel(0, 0, "n >= 1 && y >= 1 && n' == n - y && y' == y")},
+      {Ctx.mkVar("n"), Ctx.mkVar("y")});
+  EXPECT_TRUE(With);
+}
+
+TEST_F(RankingTest, PerLocationFunctions) {
+  // Two-location cycle: at L0 x decreases crossing to L1, and L1
+  // returns to L0 unchanged. A per-location affine offset handles it.
+  std::vector<RankRelation> Rels = {
+      rel(0, 1, "x >= 1 && x' == x - 1", 0),
+      rel(1, 0, "x' == x && x >= 0", 1),
+  };
+  auto R = synthesizeLexRanking(Solver, Rels, {Ctx.mkVar("x")});
+  ASSERT_TRUE(R);
+}
+
+TEST_F(RankingTest, HavocStepForcesZeroCoefficient) {
+  // x' unconstrained (havoc): only rankable via the OTHER variable.
+  std::vector<RankRelation> Rels = {
+      rel(0, 0, "k >= 1 && k' == k - 1", 0), // k counts down; x havoc
+  };
+  auto R = synthesizeLexRanking(Solver, Rels,
+                                {Ctx.mkVar("k"), Ctx.mkVar("x")});
+  ASSERT_TRUE(R);
+  // The synthesised function cannot mention x' (it is unconstrained),
+  // so soundness forces its coefficient through the Farkas matching;
+  // validate by checking decrease on a concrete havoc jump.
+  const LinearTerm &F = R->Components[0].at(0);
+  std::unordered_map<std::string, std::int64_t> Before{{"k", 5},
+                                                       {"x", 0}};
+  std::unordered_map<std::string, std::int64_t> After{{"k", 4},
+                                                      {"x", 1000000}};
+  EXPECT_GT(evaluate(F.toExpr(Ctx), Before),
+            evaluate(F.toExpr(Ctx), After));
+}
+
+TEST_F(RankingTest, DisequalityAtomsAreDroppedSoundly) {
+  RankRelation R = rel(0, 0, "x >= 1 && x' == x - 1");
+  // Add an Ne atom manually.
+  auto Atom = extractLinearAtom(
+      Ctx.mkNe(Ctx.mkVar("x"), Ctx.mkInt(42)));
+  ASSERT_TRUE(Atom);
+  R.Atoms.push_back(*Atom);
+  auto Out = synthesizeLexRanking(Solver, {R}, {Ctx.mkVar("x")});
+  EXPECT_TRUE(Out);
+}
+
+} // namespace

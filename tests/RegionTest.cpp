@@ -1,0 +1,132 @@
+//===- tests/RegionTest.cpp - Region algebra unit tests -----------------------===//
+
+#include "ts/Region.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class RegionTest : public ::testing::Test {
+protected:
+  RegionTest() : Solver(Ctx) {
+    std::string Err;
+    Prog = parseProgram(Ctx, "x = 1; y = 2;", Err);
+    EXPECT_TRUE(Prog) << Err;
+  }
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+  std::unique_ptr<Program> Prog;
+};
+
+TEST_F(RegionTest, TopAndBottom) {
+  Region T = Region::top(*Prog);
+  Region B = Region::bottom(*Prog);
+  EXPECT_FALSE(T.isEmpty(Solver));
+  EXPECT_TRUE(B.isEmpty(Solver));
+  EXPECT_TRUE(B.subsetOf(Solver, T));
+  EXPECT_FALSE(T.subsetOf(Solver, B));
+}
+
+TEST_F(RegionTest, InitialRegionSitsAtEntry) {
+  Region I = Region::initial(*Prog);
+  EXPECT_TRUE(I.at(Prog->entry())->isTrue());
+  for (Loc L = 0; L < Prog->numLocations(); ++L)
+    if (L != Prog->entry())
+      EXPECT_TRUE(I.at(L)->isFalse());
+}
+
+TEST_F(RegionTest, IntersectAndUnite) {
+  Region A = Region::uniform(*Prog, f("x >= 0"));
+  Region B = Region::uniform(*Prog, f("x <= 10"));
+  Region I = A.intersect(Ctx, B);
+  Region U = A.unite(Ctx, B);
+  EXPECT_TRUE(I.subsetOf(Solver, A));
+  EXPECT_TRUE(I.subsetOf(Solver, B));
+  EXPECT_TRUE(A.subsetOf(Solver, U));
+  EXPECT_TRUE(B.subsetOf(Solver, U));
+}
+
+TEST_F(RegionTest, MinusRemovesStates) {
+  Region A = Region::uniform(*Prog, f("x >= 0"));
+  Region B = Region::uniform(*Prog, f("x >= 5"));
+  Region D = A.minus(Ctx, B);
+  EXPECT_TRUE(D.equals(Solver, Region::uniform(*Prog, f("x >= 0 && x <= 4"))));
+}
+
+TEST_F(RegionTest, SubsetIsPerLocation) {
+  Region A = Region::atLocation(*Prog, 0, f("x >= 5"));
+  Region B = Region::atLocation(*Prog, 0, f("x >= 0"));
+  EXPECT_TRUE(A.subsetOf(Solver, B));
+  // Same formulas at different locations do not compare.
+  Region C = Region::atLocation(*Prog, 1, f("x >= 5"));
+  EXPECT_FALSE(C.subsetOf(Solver, B));
+}
+
+TEST_F(RegionTest, IntersectPrunedDropsUnsatDisjuncts) {
+  Region A = Region::uniform(
+      *Prog, Ctx.mkOr(f("x == 1"), f("x == 2")));
+  Region B = Region::uniform(*Prog, f("x == 2"));
+  Region R = A.intersectPruned(Solver, B);
+  // Only the x == 2 disjunct survives, kept as a clean single cube.
+  EXPECT_TRUE(R.equals(Solver, B));
+  EXPECT_EQ(disjuncts(R.at(0)).size(), 1u);
+}
+
+TEST_F(RegionTest, IntersectPrunedKeepsImpliedDisjunctsVerbatim) {
+  ExprRef D = f("x == 2");
+  Region A = Region::uniform(*Prog, D);
+  Region B = Region::uniform(*Prog, f("x >= 0"));
+  Region R = A.intersectPruned(Solver, B);
+  EXPECT_EQ(R.at(0), D); // No redundant conjunct added.
+}
+
+TEST_F(RegionTest, MinusPrunedKeepsDisjointDisjunctsClean) {
+  Region A = Region::uniform(
+      *Prog, Ctx.mkOr(f("x == 1"), f("x == 5")));
+  Region B = Region::uniform(*Prog, f("x == 5"));
+  Region R = A.minusPruned(Solver, B);
+  EXPECT_EQ(R.at(0), f("x == 1")); // Kept verbatim, no !B conjunct.
+}
+
+TEST_F(RegionTest, MinusPrunedDropsCoveredDisjuncts) {
+  Region A = Region::uniform(*Prog, f("x == 5"));
+  Region B = Region::uniform(*Prog, f("x >= 0"));
+  Region R = A.minusPruned(Solver, B);
+  EXPECT_TRUE(R.isEmpty(Solver));
+}
+
+TEST_F(RegionTest, MinusPrunedSplitsOverlaps) {
+  Region A = Region::uniform(*Prog, f("x >= 0"));
+  Region B = Region::uniform(*Prog, f("x >= 5"));
+  Region R = A.minusPruned(Solver, B);
+  EXPECT_TRUE(
+      R.equals(Solver, Region::uniform(*Prog, f("x >= 0 && x < 5"))));
+}
+
+TEST_F(RegionTest, ConstrainAppliesEverywhere) {
+  Region A = Region::top(*Prog);
+  Region R = A.constrain(Ctx, f("y == 2"));
+  for (Loc L = 0; L < Prog->numLocations(); ++L)
+    EXPECT_EQ(R.at(L), f("y == 2"));
+}
+
+TEST_F(RegionTest, ToStringSkipsEmptyLocations) {
+  Region R = Region::atLocation(*Prog, 0, f("x == 1"));
+  std::string Str = R.toString(*Prog);
+  EXPECT_NE(Str.find("x == 1"), std::string::npos);
+  EXPECT_EQ(Str.find("false"), std::string::npos);
+}
+
+} // namespace

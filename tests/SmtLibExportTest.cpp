@@ -1,0 +1,61 @@
+//===- tests/SmtLibExportTest.cpp - SMT-LIB2 export unit tests ------------------===//
+
+#include "smt/SmtLibExport.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class SmtLibExportTest : public ::testing::Test {
+protected:
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  ExprContext Ctx;
+};
+
+TEST_F(SmtLibExportTest, RendersComparisons) {
+  EXPECT_EQ(toSmtLib(f("x <= 3")), "(<= x 3)");
+  EXPECT_EQ(toSmtLib(f("x != y")), "(distinct x y)");
+  EXPECT_EQ(toSmtLib(f("x == y")), "(= x y)");
+}
+
+TEST_F(SmtLibExportTest, RendersNegativeLiterals) {
+  EXPECT_EQ(toSmtLib(Ctx.mkInt(-7)), "(- 7)");
+  EXPECT_EQ(toSmtLib(Ctx.mkInt(7)), "7");
+}
+
+TEST_F(SmtLibExportTest, RendersBooleanStructure) {
+  std::string S = toSmtLib(f("x > 0 && (y < 1 || x == y)"));
+  EXPECT_NE(S.find("(and"), std::string::npos);
+  EXPECT_NE(S.find("(or"), std::string::npos);
+}
+
+TEST_F(SmtLibExportTest, QuotesNonSimpleSymbols) {
+  // Primed and SSA variables need |quoting|.
+  EXPECT_EQ(toSmtLib(Ctx.mkVar("x'")), "|x'|");
+  EXPECT_EQ(toSmtLib(Ctx.mkVar("x@3")), "|x@3|");
+  EXPECT_EQ(toSmtLib(Ctx.mkVar("plain_name")), "plain_name");
+}
+
+TEST_F(SmtLibExportTest, RendersQuantifiers) {
+  ExprRef X = Ctx.mkVar("x");
+  ExprRef Q = Ctx.mkExists({X}, Ctx.mkGt(X, Ctx.mkInt(0)));
+  EXPECT_EQ(toSmtLib(Q), "(exists ((x Int)) (> x 0))");
+}
+
+TEST_F(SmtLibExportTest, QueryDeclaresFreeVariables) {
+  std::string Q = toSmtLibQuery(f("x + y >= 2"));
+  EXPECT_NE(Q.find("(declare-const x Int)"), std::string::npos);
+  EXPECT_NE(Q.find("(declare-const y Int)"), std::string::npos);
+  EXPECT_NE(Q.find("(check-sat)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/SynthCpTest.cpp - Chute-predicate synthesis tests -----------------===//
+
+#include "core/SynthCp.h"
+#include "ctl/CtlParser.h"
+#include "program/Parser.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class SynthCpTest : public ::testing::Test {
+protected:
+  SynthCpTest() : Solver(Ctx), Qe(Solver), M(Ctx) {}
+
+  void load(const std::string &Src) {
+    std::string Err;
+    auto P0 = parseProgram(Ctx, Src, Err);
+    ASSERT_TRUE(P0) << Err;
+    Lifted = liftNondeterminism(*P0);
+    Synth = std::make_unique<SynthCp>(Lifted, Solver, Qe);
+  }
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  /// Builds a trace covering the given edge ids under the root scope.
+  CexTrace traceOf(std::initializer_list<unsigned> Steps,
+                   std::initializer_list<unsigned> Cycle = {}) {
+    CexTrace T;
+    for (unsigned Id : Steps)
+      T.Steps.push_back({Id, SubformulaPath()});
+    for (unsigned Id : Cycle)
+      T.Cycle.push_back({Id, SubformulaPath()});
+    return T;
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+  QeEngine Qe;
+  CtlManager M;
+  LiftedProgram Lifted;
+  std::unique_ptr<SynthCp> Synth;
+};
+
+TEST_F(SynthCpTest, BranchChoiceProducesSignPredicate) {
+  // if (*) { x = 0; } else { x = 1; }  — the trace through the first
+  // branch is excluded by the predicate rho1 <= 0.
+  load("init(x == 9); if (*) { x = 0; } else { x = 1; } skip;");
+  const Program &P = *Lifted.Prog;
+  std::string Err;
+  CtlRef F = parseCtlString(M, "EG(x != 0)", Err);
+  ChuteMap Chutes(P, F);
+
+  // Find the havoc edge, the rho1 > 0 guard and the x := 0 edge.
+  unsigned Havoc = Lifted.Rhos[0].HavocEdgeId;
+  unsigned Guard = ~0u, Bad = ~0u;
+  for (const Edge &E : P.edges()) {
+    if (E.Cmd.isAssume() && occursFree(E.Cmd.cond(), Lifted.Rhos[0].Rho) &&
+        E.Src == Lifted.Rhos[0].AfterLoc &&
+        E.Cmd.cond()->kind() == ExprKind::Gt)
+      Guard = E.Id;
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "x" &&
+        E.Cmd.rhs()->isIntConst() && E.Cmd.rhs()->intValue() == 0)
+      Bad = E.Id;
+  }
+  ASSERT_NE(Guard, ~0u);
+  ASSERT_NE(Bad, ~0u);
+
+  CexTrace Trace = traceOf({Havoc, Guard, Bad});
+  auto Cands = Synth->synthesize(Trace, Chutes);
+  ASSERT_FALSE(Cands.empty());
+  // The candidate must exclude rho1 > 0 choices.
+  EXPECT_TRUE(
+      Solver.equivalent(Cands[0].Predicate, f("rho1 <= 0")))
+      << Cands[0].Predicate->toString();
+  EXPECT_EQ(Cands[0].AtLoc, Lifted.Rhos[0].AfterLoc);
+}
+
+TEST_F(SynthCpTest, NoHavocMeansNoCandidates) {
+  load("init(x == 0); x = 1; x = 2;");
+  const Program &P = *Lifted.Prog;
+  std::string Err;
+  CtlRef F = parseCtlString(M, "EG(x != 2)", Err);
+  ChuteMap Chutes(P, F);
+  CexTrace Trace = traceOf({0, 1});
+  EXPECT_TRUE(Synth->synthesize(Trace, Chutes).empty());
+}
+
+TEST_F(SynthCpTest, CycleStrengtheningEntersTheFormula) {
+  // The Section 2 pattern: stem chooses y := rho1, the cycle runs
+  // n = n - y forever; the recurrent set y <= 0 strengthens the path
+  // formula so elimination leaves rho1 <= 0, negated to rho1 > 0.
+  load("y = *; n = *; while (n > 0) { n = n - y; }");
+  const Program &P = *Lifted.Prog;
+  std::string Err;
+  CtlRef F = parseCtlString(M, "EF(n <= 0)", Err);
+  ChuteMap Chutes(P, F);
+
+  // Stem: rho1 havoc, y := rho1, rho2 havoc, n := rho2.
+  // Cycle: guard n > 0, n := n - y, back edge.
+  std::vector<unsigned> Stem, Cycle;
+  for (const Edge &E : P.edges()) {
+    if (E.Cmd.isHavoc() ||
+        (E.Cmd.isAssign() && !occursFree(E.Cmd.rhs(), Ctx.mkVar("y"))
+         && E.Cmd.rhs()->isVar()))
+      Stem.push_back(E.Id);
+  }
+  for (const Edge &E : P.edges()) {
+    if (E.Cmd.isAssume() && E.Cmd.cond()->kind() == ExprKind::Gt)
+      Cycle.push_back(E.Id); // n > 0 guard
+    if (E.Cmd.isAssign() && occursFree(E.Cmd.rhs(), Ctx.mkVar("y")))
+      Cycle.push_back(E.Id); // n := n - y
+  }
+  ASSERT_EQ(Cycle.size(), 2u);
+
+  CexTrace Trace;
+  for (unsigned Id : Stem)
+    Trace.Steps.push_back({Id, SubformulaPath()});
+  for (unsigned Id : Cycle)
+    Trace.Cycle.push_back({Id, SubformulaPath()});
+  Trace.CycleRecurrentSet = f("y <= 0 && n > 0");
+
+  auto Cands = Synth->synthesize(Trace, Chutes);
+  ASSERT_FALSE(Cands.empty());
+  // Among the candidates there is one forcing rho1 (= y) positive.
+  bool Found = false;
+  for (const ChuteCandidate &C : Cands)
+    if (Solver.equivalent(C.Predicate, f("rho1 > 0")) ||
+        Solver.equivalent(C.Predicate, f("rho1 >= 1")))
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(SynthCpTest, CandidatesKeepChuteNonEmpty) {
+  load("x = *; skip;");
+  const Program &P = *Lifted.Prog;
+  std::string Err;
+  CtlRef F = parseCtlString(M, "EF(x == 0)", Err);
+  ChuteMap Chutes(P, F);
+  // Pre-restrict the chute to rho1 >= 10 at the after-location; a
+  // candidate rho1 <= 5 would empty it and must be filtered.
+  Chutes.strengthen(SubformulaPath(), Lifted.Rhos[0].AfterLoc,
+                    f("rho1 >= 10"));
+  unsigned Havoc = Lifted.Rhos[0].HavocEdgeId;
+  // Build an artificial trace whose exclusion would demand rho1 <= 5:
+  // havoc then assume(rho1 >= 6)... we emulate by a trace through a
+  // guard edge; with no such edge, candidates (if any) must at least
+  // keep the chute satisfiable.
+  CexTrace Trace = traceOf({Havoc});
+  auto Cands = Synth->synthesize(Trace, Chutes);
+  for (const ChuteCandidate &C : Cands) {
+    ExprRef Combined =
+        Ctx.mkAnd(Chutes.at(SubformulaPath()).at(C.AtLoc), C.Predicate);
+    EXPECT_TRUE(Solver.isSat(Combined));
+  }
+}
+
+TEST_F(SynthCpTest, ScopeFiltering) {
+  // Steps annotated under a sibling scope are invisible to a chute.
+  load("x = *; skip;");
+  const Program &P = *Lifted.Prog;
+  std::string Err;
+  CtlRef F = parseCtlString(M, "EF(x == 1) && AF(x == 0)", Err);
+  ChuteMap Chutes(P, F); // Chute at "Lo" only.
+  // Trace whose steps belong to the AF scope ("Ro"): no candidates
+  // for the EF chute.
+  CexTrace Trace;
+  Trace.Steps.push_back(
+      {Lifted.Rhos[0].HavocEdgeId, SubformulaPath().rightChild()});
+  EXPECT_TRUE(Synth->synthesize(Trace, Chutes).empty());
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/TerminationProverTest.cpp - Reach-the-frontier tests --------------===//
+
+#include "analysis/TerminationProver.h"
+#include "program/Parser.h"
+#include "program/NondetLifting.h"
+#include "expr/ExprParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class TerminationProverTest : public ::testing::Test {
+protected:
+  TerminationProverTest() : Solver(Ctx), Qe(Solver) {}
+
+  void load(const std::string &Src) {
+    std::string Err;
+    auto P0 = parseProgram(Ctx, Src, Err);
+    ASSERT_TRUE(P0) << Err;
+    Lifted = liftNondeterminism(*P0);
+    Ts = std::make_unique<TransitionSystem>(*Lifted.Prog, Solver, Qe);
+    TP = std::make_unique<TerminationProver>(*Ts, Solver, Qe);
+  }
+
+  ExprRef f(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return *E;
+  }
+
+  TerminationResult run(const std::string &Frontier,
+                        const Region *Chute = nullptr) {
+    Region F = Region::uniform(*Lifted.Prog, f(Frontier));
+    return TP->proveReach(Region::initial(*Lifted.Prog), F, Chute);
+  }
+
+  ExprContext Ctx;
+  Smt Solver;
+  QeEngine Qe;
+  LiftedProgram Lifted;
+  std::unique_ptr<TransitionSystem> Ts;
+  std::unique_ptr<TerminationProver> TP;
+};
+
+TEST_F(TerminationProverTest, CountdownReachesZero) {
+  load("init(n >= 0); while (n > 0) { n = n - 1; }");
+  TerminationResult R = run("n <= 0");
+  EXPECT_TRUE(R.proved());
+}
+
+TEST_F(TerminationProverTest, RankingCertificateIsProduced) {
+  load("init(n == 50); while (n > 0) { n = n - 1; }");
+  TerminationResult R = run("n == 0");
+  ASSERT_TRUE(R.proved());
+  EXPECT_FALSE(R.Ranking.Components.empty());
+}
+
+TEST_F(TerminationProverTest, CountUpNeverReachesNegative) {
+  load("init(x == 0); while (true) { x = x + 1; }");
+  TerminationResult R = run("x < 0");
+  ASSERT_TRUE(R.refuted());
+  EXPECT_FALSE(R.Lasso.Cycle.empty());
+}
+
+TEST_F(TerminationProverTest, ImmediateFrontier) {
+  load("init(x == 3); skip;");
+  EXPECT_TRUE(run("x == 3").proved());
+}
+
+TEST_F(TerminationProverTest, NondetStepMayAvoidFrontier) {
+  // y is chosen nondeterministically; with y <= 0 the loop runs
+  // forever avoiding n <= 0.
+  load("init(n > 0); y = *; while (n > 0) { n = n - y; }");
+  TerminationResult R = run("n <= 0");
+  ASSERT_TRUE(R.refuted());
+  // The recurrent set pins down the bad choices.
+  EXPECT_TRUE(Solver.implies(R.Lasso.RecurrentSet, f("y <= 0")));
+}
+
+TEST_F(TerminationProverTest, ChuteMakesItTerminate) {
+  load("init(n > 0); y = *; while (n > 0) { n = n - y; }");
+  // Restricting the choice to y >= 1 (the paper's chute) forces the
+  // frontier to be reached.
+  Region Chute =
+      Region::uniform(*Lifted.Prog, f("rho1 >= 1"));
+  TerminationResult R = run("n <= 0", &Chute);
+  EXPECT_TRUE(R.proved());
+}
+
+TEST_F(TerminationProverTest, TwoPhaseLoop) {
+  // Phase 1: x counts down; phase 2: y counts down. Lexicographic.
+  load("init(x >= 0 && y >= 0 && done == 0);"
+       "while (x > 0) { x = x - 1; }"
+       "while (y > 0) { y = y - 1; }"
+       "done = 1; while (true) { skip; }");
+  EXPECT_TRUE(run("done == 1").proved());
+}
+
+TEST_F(TerminationProverTest, BranchingBody) {
+  // The body decrements by 1 or 2: still terminating.
+  load("init(n >= 0);"
+       "while (n > 0) { if (*) { n = n - 1; } else { n = n - 2; } }");
+  EXPECT_TRUE(run("n <= 0").proved());
+}
+
+TEST_F(TerminationProverTest, InvariantContextIsUsed) {
+  // Terminates only because y >= 1 is established before the loop.
+  load("init(n >= 0); y = 1; while (n > 0) { n = n - y; }");
+  EXPECT_TRUE(run("n <= 0").proved());
+}
+
+TEST_F(TerminationProverTest, UnreachableFrontierWithTotalLoop) {
+  // All executions spin at x == 0 forever; frontier x == 5 is never
+  // reached and the self-spin is the counterexample.
+  load("init(x == 0); while (true) { x = 0; }");
+  TerminationResult R = run("x == 5");
+  EXPECT_TRUE(R.refuted());
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/VerifierIndustrialTest.cpp - Industrial-model integration ----------===//
+//
+// Samples of the Figure 7 workload as integration tests (the full
+// table runs in bench_fig7_industrial; here: the small models with
+// one property of each shape).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "corpus/Corpus.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+Verdict verify(const std::string &Program, const std::string &Prop) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, Program, Err);
+  EXPECT_TRUE(P) << Err;
+  if (!P)
+    return Verdict::Unknown;
+  Verifier V(*P);
+  VerifyResult R = V.verify(Prop, Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  return R.V;
+}
+
+TEST(IndustrialModels, AllModelsParse) {
+  ExprContext Ctx;
+  std::string Err;
+  for (auto *Model :
+       {corpus::osFrag1, corpus::osFrag1Buggy, corpus::osFrag2,
+        corpus::osFrag2Buggy, corpus::osFrag3, corpus::osFrag4,
+        corpus::osFrag5, corpus::osFrag5Buggy, corpus::pgArchiver,
+        corpus::pgArchiverBuggy, corpus::softwareUpdates}) {
+    Err.clear();
+    EXPECT_TRUE(parseProgram(Ctx, Model(), Err)) << Err;
+  }
+}
+
+TEST(IndustrialModels, ModelSizesMatchThePaper) {
+  auto lines = [](const std::string &S) {
+    unsigned N = 0;
+    for (char C : S)
+      if (C == '\n')
+        ++N;
+    return N;
+  };
+  // Figure 7 reports 29 / 58 / 370 / 370 / 43 / 90 / 36 LOC.
+  EXPECT_NEAR(lines(corpus::osFrag1()), 29, 6);
+  EXPECT_NEAR(lines(corpus::osFrag2()), 58, 10);
+  EXPECT_NEAR(lines(corpus::osFrag3()), 370, 40);
+  EXPECT_NEAR(lines(corpus::osFrag4()), 370, 40);
+  EXPECT_NEAR(lines(corpus::osFrag5()), 43, 25);
+  EXPECT_NEAR(lines(corpus::pgArchiver()), 90, 40);
+  EXPECT_NEAR(lines(corpus::softwareUpdates()), 36, 12);
+}
+
+TEST(IndustrialModels, OsFrag1LockRelease) {
+  EXPECT_EQ(verify(corpus::osFrag1(),
+                   "AG(lock == 1 -> AF(lock == 0))"),
+            Verdict::Proved);
+}
+
+TEST(IndustrialModels, OsFrag1BuggyLeaksTheLock) {
+  EXPECT_EQ(verify(corpus::osFrag1Buggy(),
+                   "AG(lock == 1 -> AF(lock == 0))"),
+            Verdict::Disproved);
+}
+
+TEST(IndustrialModels, OsFrag1ExistentialRelease) {
+  EXPECT_EQ(verify(corpus::osFrag1(),
+                   "AG(lock == 1 -> EF(lock == 0))"),
+            Verdict::Proved);
+}
+
+TEST(IndustrialModels, SoftwareUpdatesResponse) {
+  EXPECT_EQ(verify(corpus::softwareUpdates(),
+                   "req == 0 -> AF(req == 1)"),
+            Verdict::Proved);
+}
+
+TEST(IndustrialModels, SoftwareUpdatesUpdateOptional) {
+  EXPECT_EQ(verify(corpus::softwareUpdates(),
+                   "req == 0 -> AF(updated == 1)"),
+            Verdict::Disproved);
+}
+
+TEST(IndustrialModels, SoftwareUpdatesUpdatePossible) {
+  EXPECT_EQ(verify(corpus::softwareUpdates(),
+                   "req == 0 -> EF(updated == 1)"),
+            Verdict::Proved);
+}
+
+TEST(IndustrialModels, CorpusTablesAreComplete) {
+  EXPECT_EQ(corpus::fig6Rows().size(), 54u);
+  EXPECT_EQ(corpus::fig7Rows().size(), 56u);
+  // Negated rows flip the expected verdicts of their base rows.
+  const auto &F6 = corpus::fig6Rows();
+  for (std::size_t I = 0; I < 27; ++I)
+    EXPECT_NE(F6[I].ExpectHolds, F6[I + 27].ExpectHolds);
+  const auto &F7 = corpus::fig7Rows();
+  for (std::size_t I = 0; I < 28; ++I)
+    EXPECT_NE(F7[I].ExpectHolds, F7[I + 28].ExpectHolds);
+}
+
+} // namespace

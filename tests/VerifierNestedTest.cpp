@@ -1,0 +1,122 @@
+//===- tests/VerifierNestedTest.cpp - Nested mixed-quantifier tests ------------===//
+//
+// The distinguishing capability of the paper: properties mixing
+// universal and existential path quantifiers non-trivially
+// (Figure 6 rows 9-27 pattern).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+struct VerifyCase {
+  const char *Name;
+  const char *Program;
+  const char *Property;
+  Verdict Expected;
+};
+
+class VerifierNested : public ::testing::TestWithParam<VerifyCase> {};
+
+TEST_P(VerifierNested, MatchesExpectedVerdict) {
+  const VerifyCase &C = GetParam();
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, C.Program, Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify(C.Property, Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(R.V, C.Expected) << C.Name << ": " << C.Property;
+}
+
+// Oscillator where both branches stay enabled forever.
+const char *Oscillator =
+    "init(p == 0);"
+    "while (true) { if (*) { p = 1; } else { p = 0; } }";
+
+// Pulse: p goes to 1 in every iteration, then back.
+const char *Pulse =
+    "init(p == 0);"
+    "while (true) { p = 1; p = 0; }";
+
+// Two stable loops selected by one initial choice.
+const char *TwoLoops =
+    "init(p == 1);"
+    "if (*) { while (true) { p = 1; } }"
+    "else { while (true) { p = 0; } }";
+
+// p identically 1 (AG p holds globally).
+const char *PConst =
+    "init(p == 1 && n >= 0);"
+    "while (n > 0) { n = n - 1; }"
+    "while (true) { skip; }";
+
+// Terminating prologue into a stable flag.
+const char *SettleToP =
+    "init(p == 0 && n >= 0);"
+    "while (n > 0) { n = n - 1; }"
+    "p = 1; while (true) { skip; }";
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Nested, VerifierNested,
+    ::testing::Values(
+        // AG AF p: the pulse guarantees recurrent p on all paths.
+        VerifyCase{"agafp_holds", Pulse, "AG(AF(p == 1))",
+                   Verdict::Proved},
+        // AG AF p fails on the oscillator: stay on p = 0 forever.
+        VerifyCase{"agafp_fails", Oscillator, "AG(AF(p == 1))",
+                   Verdict::Disproved},
+        // AG EF p: from every oscillator state one can set p.
+        VerifyCase{"agefp_holds", Oscillator, "AG(EF(p == 1))",
+                   Verdict::Proved},
+        // AF AG p: the prologue settles into AG p.
+        VerifyCase{"afagp_holds", SettleToP, "AF(AG(p == 1))",
+                   Verdict::Proved},
+        // AF AG p fails on the oscillator.
+        VerifyCase{"afagp_fails", Oscillator, "AF(AG(p == 1))",
+                   Verdict::Disproved},
+        // AF EG p: settle, then the only continuation keeps p.
+        VerifyCase{"afegp_holds", SettleToP, "AF(EG(p == 1))",
+                   Verdict::Proved},
+        // EF EG p: choose the stable p-loop (paper's Example 1 core).
+        VerifyCase{"efegp_holds", TwoLoops, "EF(EG(p == 1))",
+                   Verdict::Proved},
+        // EF AG p: same selection, universal inside.
+        VerifyCase{"efagp_holds", TwoLoops, "EF(AG(p == 1))",
+                   Verdict::Proved},
+        // EG EF p: on the oscillator any path admits future p = 1.
+        VerifyCase{"egefp_holds", Oscillator, "EG(EF(p == 1))",
+                   Verdict::Proved},
+        // EG AG p holds only when AG p does (the initial state sits
+        // on every path): constant p.
+        VerifyCase{"egagp_holds", PConst, "EG(AG(p == 1))",
+                   Verdict::Proved},
+        // On TwoLoops the p = 0 loop is reachable from the initial
+        // state, so EG AG p is false there.
+        VerifyCase{"egagp_fails", TwoLoops, "EG(AG(p == 1))",
+                   Verdict::Disproved},
+        // EG AF p: the pulse satisfies AF p on every state of any
+        // path, so some path does.
+        VerifyCase{"egafp_holds", Pulse, "EG(AF(p == 1))",
+                   Verdict::Proved},
+        // EF EG p fails on the pulse: p hits 0 in every iteration of
+        // every path. (Negation AG AF !p is the proof.)
+        VerifyCase{"efegp_fails", Pulse, "EF(EG(p == 1))",
+                   Verdict::Disproved},
+        // Implication shapes (Figure 6 rows 24-27 pattern).
+        VerifyCase{"ag_q_efp", Oscillator,
+                   "AG(p == 0 -> EF(p == 1))", Verdict::Proved},
+        VerifyCase{"eg_q_afp", Pulse, "EG(p == 0 -> AF(p == 1))",
+                   Verdict::Proved}),
+    [](const ::testing::TestParamInfo<VerifyCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

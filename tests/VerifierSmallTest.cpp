@@ -1,0 +1,158 @@
+//===- tests/VerifierSmallTest.cpp - End-to-end single-operator tests ----------===//
+//
+// Parameterised sweep over the paper's single-operator benchmark
+// shapes (Figure 6 rows 1-8 and their negations 28-35): AF/AG/EF/EG,
+// each in a holding and a failing variant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+struct VerifyCase {
+  const char *Name;
+  const char *Program;
+  const char *Property;
+  Verdict Expected;
+};
+
+class VerifierSmall : public ::testing::TestWithParam<VerifyCase> {};
+
+TEST_P(VerifierSmall, MatchesExpectedVerdict) {
+  const VerifyCase &C = GetParam();
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, C.Program, Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify(C.Property, Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(R.V, C.Expected) << C.Name << ": " << C.Property;
+}
+
+const char *CountTo5 =
+    "init(p == 0 && x == 0);"
+    "while (x < 5) { x = x + 1; }"
+    "p = 1; while (true) { skip; }";
+
+const char *MaybeSetP =
+    "init(p == 0);"
+    "if (*) { p = 1; } else { skip; }"
+    "while (true) { skip; }";
+
+const char *PConstantOne =
+    "init(p == 1 && n >= 0);"
+    "while (n > 0) { n = n - 1; }"
+    "while (true) { skip; }";
+
+const char *OscillatorChoice =
+    "init(p == 1);"
+    "while (true) { if (*) { p = 1; } else { p = 0; } }";
+
+const char *EventuallyClearsP =
+    "init(p == 1 && n >= 1);"
+    "while (n > 0) { n = n - 1; }"
+    "p = 0; while (true) { skip; }";
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6SingleOps, VerifierSmall,
+    ::testing::Values(
+        // AF p: all paths count to 5 and set p.
+        VerifyCase{"af_holds", CountTo5, "AF(p == 1)",
+                   Verdict::Proved},
+        // AF p fails when a branch skips the assignment; the
+        // negation EG !p is proved with a chute on the branch.
+        VerifyCase{"af_fails", MaybeSetP, "AF(p == 1)",
+                   Verdict::Disproved},
+        // AG p: p is never written.
+        VerifyCase{"ag_holds", PConstantOne, "AG(p == 1)",
+                   Verdict::Proved},
+        // AG p fails on the oscillator (a path sets p = 0).
+        VerifyCase{"ag_fails", OscillatorChoice, "AG(p == 1)",
+                   Verdict::Disproved},
+        // EF p: choose the setting branch.
+        VerifyCase{"ef_holds", MaybeSetP, "EF(p == 1)",
+                   Verdict::Proved},
+        // EF p fails when every path clears p first... here p == 2 is
+        // simply unreachable.
+        VerifyCase{"ef_fails", PConstantOne, "EF(p == 2)",
+                   Verdict::Disproved},
+        // EG p: always choose the p = 1 branch.
+        VerifyCase{"eg_holds", OscillatorChoice, "EG(p == 1)",
+                   Verdict::Proved},
+        // EG p fails: every path eventually clears p.
+        VerifyCase{"eg_fails", EventuallyClearsP, "EG(p == 1)",
+                   Verdict::Disproved},
+        // The negated forms (Figure 6 rows 28-35 pattern).
+        VerifyCase{"neg_af", MaybeSetP, "EG(p != 1)",
+                   Verdict::Proved},
+        VerifyCase{"neg_ag", OscillatorChoice, "EF(p != 1)",
+                   Verdict::Proved},
+        VerifyCase{"neg_ef", PConstantOne, "AG(p != 2)",
+                   Verdict::Proved},
+        VerifyCase{"neg_eg", EventuallyClearsP, "AF(p != 1)",
+                   Verdict::Proved}),
+    [](const ::testing::TestParamInfo<VerifyCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(VerifierBasics, ParseErrorsSurface) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, "x = 0;", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AF(", Err);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(R.V, Verdict::Unknown);
+}
+
+TEST(VerifierBasics, ProofCarriesDerivation) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (x < 3) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AF(x == 3)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  ASSERT_TRUE(R.Proof.valid());
+  EXPECT_FALSE(R.ProofIsOfNegation);
+  // The derivation shows an RA+RF root with a frontier.
+  std::string Str = R.Proof.toString(V.lifted());
+  EXPECT_NE(Str.find("RA+RF"), std::string::npos);
+  EXPECT_NE(Str.find("frontier"), std::string::npos);
+}
+
+TEST(VerifierBasics, DisproofProofIsOfNegation) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (true) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  VerifyResult R = V.verify("AG(x <= 2)", Err);
+  ASSERT_EQ(R.V, Verdict::Disproved);
+  EXPECT_TRUE(R.ProofIsOfNegation);
+}
+
+TEST(VerifierBasics, NegationDisabledGivesUnknown) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (true) { x = x + 1; }", Err);
+  ASSERT_TRUE(P);
+  VerifierOptions O;
+  O.TryNegation = false;
+  Verifier V(*P, O);
+  VerifyResult R = V.verify("AG(x <= 2)", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- tests/WitnessTest.cpp - Witness extraction tests ------------------------===//
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+TEST(Witness, EgPrefixStaysInChute) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx,
+                        "init(p == 1);"
+                        "while (true) { if (*) { p = 1; } else { p = 0; } }",
+                        Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify("EG(p == 1)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  auto W = V.witness(R, /*PrefixLen=*/10);
+  ASSERT_TRUE(W);
+  EXPECT_FALSE(W->empty());
+  // The prefix is a connected path starting at the entry.
+  const Program &L = V.lifted();
+  EXPECT_EQ(L.edge(W->front()).Src, L.entry());
+  for (std::size_t I = 0; I + 1 < W->size(); ++I)
+    EXPECT_EQ(L.edge((*W)[I]).Dst, L.edge((*W)[I + 1]).Src);
+  // No step assigns p := 0 (the chute forbids that branch).
+  for (unsigned Id : *W) {
+    const Edge &E = L.edge(Id);
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "p")
+      EXPECT_FALSE(E.Cmd.rhs()->isIntConst() &&
+                   E.Cmd.rhs()->intValue() == 0);
+  }
+}
+
+TEST(Witness, EfWitnessReachesTheFrontier) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx,
+                        "init(x == 0);"
+                        "if (*) { x = 10; } else { x = 5; }"
+                        "while (true) { skip; }",
+                        Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify("EF(x == 10)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  auto W = V.witness(R);
+  ASSERT_TRUE(W);
+  // The path contains the x := 10 assignment.
+  bool Saw10 = false;
+  for (unsigned Id : *W) {
+    const Edge &E = V.lifted().edge(Id);
+    if (E.Cmd.isAssign() && E.Cmd.var()->varName() == "x" &&
+        E.Cmd.rhs()->isIntConst() && E.Cmd.rhs()->intValue() == 10)
+      Saw10 = true;
+  }
+  EXPECT_TRUE(Saw10);
+}
+
+TEST(Witness, DerivationRendersChuteAndFrontier) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx,
+                        "init(p == 0);"
+                        "if (*) { p = 1; } else { skip; }"
+                        "while (true) { skip; }",
+                        Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify("EF(p == 1)", Err);
+  ASSERT_EQ(R.V, Verdict::Proved);
+  std::string S = R.Proof.toString(V.lifted());
+  EXPECT_NE(S.find("RE+RF"), std::string::npos);
+  EXPECT_NE(S.find("chute"), std::string::npos);
+  EXPECT_NE(S.find("frontier"), std::string::npos);
+  EXPECT_NE(S.find("rcr checked: yes"), std::string::npos);
+  std::string Dot = R.Proof.toDot(V.lifted());
+  EXPECT_NE(Dot.find("digraph derivation"), std::string::npos);
+  EXPECT_NE(Dot.find("RE+RF"), std::string::npos);
+}
+
+} // namespace

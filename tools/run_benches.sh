@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs every benchmark binary sequentially, reproducing the paper's
+# tables and the ablations. Pass a build directory (default: build).
+# Table binaries exit nonzero when rows mismatch expectations; that is
+# reported in the tables themselves, so failures do not stop the run.
+BUILD=${1:-build}
+
+"$BUILD"/bench/bench_fig6_small --timeout 60 || true
+"$BUILD"/bench/bench_fig7_industrial --timeout 75 || true
+"$BUILD"/bench/bench_termination_reduction || true
+"$BUILD"/bench/bench_ablation_chutes || true
+"$BUILD"/bench/bench_ablation_qe --benchmark_min_time=0.05s || true

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Summarise the captured final-run artefacts (test_output.txt,
+# bench_output.txt) into the headline numbers EXPERIMENTS.md quotes.
+set -u
+cd "$(dirname "$0")/.."
+
+echo "== ctest =="
+grep -E 'tests passed|tests failed' test_output.txt | tail -2
+grep '(Failed)' test_output.txt | sed 's/ \.\.*/ /' | head -20
+
+echo
+echo "== Figure 6 =="
+grep -cE '^\s*[0-9]+ ' bench_output.txt >/dev/null 2>&1 || true
+awk '/Figure 6/,/^$/' bench_output.txt | grep -c MISMATCH | \
+  sed 's/^/MISMATCH rows: /'
+awk '/Figure 6/,/summary/' bench_output.txt | grep -E 'summary|rows' | head -3
+
+echo
+echo "== Figure 7 =="
+awk '/Figure 7/,/summary/' bench_output.txt | grep -c MISMATCH | \
+  sed 's/^/MISMATCH rows: /'
+awk '/Figure 7/,/summary/' bench_output.txt | grep -E 'summary|rows' | head -3
+
+echo
+echo "== reductions =="
+grep -c DISAGREE bench_output.txt | sed 's/^/DISAGREE rows: /'
