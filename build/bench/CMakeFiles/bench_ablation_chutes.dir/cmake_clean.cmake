@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chutes.dir/bench_ablation_chutes.cpp.o"
+  "CMakeFiles/bench_ablation_chutes.dir/bench_ablation_chutes.cpp.o.d"
+  "bench_ablation_chutes"
+  "bench_ablation_chutes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chutes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_qe.cpp" "bench/CMakeFiles/bench_ablation_qe.dir/bench_ablation_qe.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_qe.dir/bench_ablation_qe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/chute_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_industrial.dir/bench_fig7_industrial.cpp.o"
+  "CMakeFiles/bench_fig7_industrial.dir/bench_fig7_industrial.cpp.o.d"
+  "bench_fig7_industrial"
+  "bench_fig7_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/chute_bench_harness.dir/Harness.cpp.o.d"
+  "libchute_bench_harness.a"
+  "libchute_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

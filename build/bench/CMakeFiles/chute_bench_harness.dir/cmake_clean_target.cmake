@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchute_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_corpus.dir/corpus/Corpus.cpp.o"
+  "CMakeFiles/chute_corpus.dir/corpus/Corpus.cpp.o.d"
+  "libchute_corpus.a"
+  "libchute_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chuteverify.dir/chuteverify.cpp.o"
+  "CMakeFiles/chuteverify.dir/chuteverify.cpp.o.d"
+  "chuteverify"
+  "chuteverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chuteverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivation_tree.dir/derivation_tree.cpp.o"
+  "CMakeFiles/derivation_tree.dir/derivation_tree.cpp.o.d"
+  "derivation_tree"
+  "derivation_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivation_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_synthesis.dir/environment_synthesis.cpp.o"
+  "CMakeFiles/environment_synthesis.dir/environment_synthesis.cpp.o.d"
+  "environment_synthesis"
+  "environment_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_tour.dir/industrial_tour.cpp.o"
+  "CMakeFiles/industrial_tour.dir/industrial_tour.cpp.o.d"
+  "industrial_tour"
+  "industrial_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

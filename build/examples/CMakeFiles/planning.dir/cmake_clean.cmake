@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planning.dir/planning.cpp.o"
+  "CMakeFiles/planning.dir/planning.cpp.o.d"
+  "planning"
+  "planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DifferenceBounds.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/DifferenceBounds.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/DifferenceBounds.cpp.o.d"
+  "/root/repo/src/analysis/Farkas.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/Farkas.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/Farkas.cpp.o.d"
+  "/root/repo/src/analysis/Intervals.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/Intervals.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/Intervals.cpp.o.d"
+  "/root/repo/src/analysis/InvariantGen.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/InvariantGen.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/InvariantGen.cpp.o.d"
+  "/root/repo/src/analysis/PathSearch.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/PathSearch.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/PathSearch.cpp.o.d"
+  "/root/repo/src/analysis/Ranking.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/Ranking.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/Ranking.cpp.o.d"
+  "/root/repo/src/analysis/RecurrentSet.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/RecurrentSet.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/RecurrentSet.cpp.o.d"
+  "/root/repo/src/analysis/TerminationProver.cpp" "src/CMakeFiles/chute_analysis.dir/analysis/TerminationProver.cpp.o" "gcc" "src/CMakeFiles/chute_analysis.dir/analysis/TerminationProver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

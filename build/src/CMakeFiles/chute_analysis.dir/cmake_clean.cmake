@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_analysis.dir/analysis/DifferenceBounds.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/DifferenceBounds.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/Farkas.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/Farkas.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/Intervals.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/Intervals.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/InvariantGen.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/InvariantGen.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/PathSearch.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/PathSearch.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/Ranking.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/Ranking.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/RecurrentSet.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/RecurrentSet.cpp.o.d"
+  "CMakeFiles/chute_analysis.dir/analysis/TerminationProver.cpp.o"
+  "CMakeFiles/chute_analysis.dir/analysis/TerminationProver.cpp.o.d"
+  "libchute_analysis.a"
+  "libchute_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

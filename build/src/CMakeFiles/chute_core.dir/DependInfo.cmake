@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Chute.cpp" "src/CMakeFiles/chute_core.dir/core/Chute.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/Chute.cpp.o.d"
+  "/root/repo/src/core/ChuteRefiner.cpp" "src/CMakeFiles/chute_core.dir/core/ChuteRefiner.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/ChuteRefiner.cpp.o.d"
+  "/root/repo/src/core/DerivationTree.cpp" "src/CMakeFiles/chute_core.dir/core/DerivationTree.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/DerivationTree.cpp.o.d"
+  "/root/repo/src/core/ProofChecker.cpp" "src/CMakeFiles/chute_core.dir/core/ProofChecker.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/ProofChecker.cpp.o.d"
+  "/root/repo/src/core/SynthCp.cpp" "src/CMakeFiles/chute_core.dir/core/SynthCp.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/SynthCp.cpp.o.d"
+  "/root/repo/src/core/UniversalProver.cpp" "src/CMakeFiles/chute_core.dir/core/UniversalProver.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/UniversalProver.cpp.o.d"
+  "/root/repo/src/core/Verifier.cpp" "src/CMakeFiles/chute_core.dir/core/Verifier.cpp.o" "gcc" "src/CMakeFiles/chute_core.dir/core/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_core.dir/core/Chute.cpp.o"
+  "CMakeFiles/chute_core.dir/core/Chute.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/ChuteRefiner.cpp.o"
+  "CMakeFiles/chute_core.dir/core/ChuteRefiner.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/DerivationTree.cpp.o"
+  "CMakeFiles/chute_core.dir/core/DerivationTree.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/ProofChecker.cpp.o"
+  "CMakeFiles/chute_core.dir/core/ProofChecker.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/SynthCp.cpp.o"
+  "CMakeFiles/chute_core.dir/core/SynthCp.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/UniversalProver.cpp.o"
+  "CMakeFiles/chute_core.dir/core/UniversalProver.cpp.o.d"
+  "CMakeFiles/chute_core.dir/core/Verifier.cpp.o"
+  "CMakeFiles/chute_core.dir/core/Verifier.cpp.o.d"
+  "libchute_core.a"
+  "libchute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchute_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctl/Ctl.cpp" "src/CMakeFiles/chute_ctl.dir/ctl/Ctl.cpp.o" "gcc" "src/CMakeFiles/chute_ctl.dir/ctl/Ctl.cpp.o.d"
+  "/root/repo/src/ctl/CtlParser.cpp" "src/CMakeFiles/chute_ctl.dir/ctl/CtlParser.cpp.o" "gcc" "src/CMakeFiles/chute_ctl.dir/ctl/CtlParser.cpp.o.d"
+  "/root/repo/src/ctl/Nnf.cpp" "src/CMakeFiles/chute_ctl.dir/ctl/Nnf.cpp.o" "gcc" "src/CMakeFiles/chute_ctl.dir/ctl/Nnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_ctl.dir/ctl/Ctl.cpp.o"
+  "CMakeFiles/chute_ctl.dir/ctl/Ctl.cpp.o.d"
+  "CMakeFiles/chute_ctl.dir/ctl/CtlParser.cpp.o"
+  "CMakeFiles/chute_ctl.dir/ctl/CtlParser.cpp.o.d"
+  "CMakeFiles/chute_ctl.dir/ctl/Nnf.cpp.o"
+  "CMakeFiles/chute_ctl.dir/ctl/Nnf.cpp.o.d"
+  "libchute_ctl.a"
+  "libchute_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/Expr.cpp" "src/CMakeFiles/chute_expr.dir/expr/Expr.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/Expr.cpp.o.d"
+  "/root/repo/src/expr/ExprBuilder.cpp" "src/CMakeFiles/chute_expr.dir/expr/ExprBuilder.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/ExprBuilder.cpp.o.d"
+  "/root/repo/src/expr/ExprParser.cpp" "src/CMakeFiles/chute_expr.dir/expr/ExprParser.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/ExprParser.cpp.o.d"
+  "/root/repo/src/expr/ExprPrinter.cpp" "src/CMakeFiles/chute_expr.dir/expr/ExprPrinter.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/ExprPrinter.cpp.o.d"
+  "/root/repo/src/expr/ExprSimplify.cpp" "src/CMakeFiles/chute_expr.dir/expr/ExprSimplify.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/ExprSimplify.cpp.o.d"
+  "/root/repo/src/expr/ExprSubst.cpp" "src/CMakeFiles/chute_expr.dir/expr/ExprSubst.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/ExprSubst.cpp.o.d"
+  "/root/repo/src/expr/LinearForm.cpp" "src/CMakeFiles/chute_expr.dir/expr/LinearForm.cpp.o" "gcc" "src/CMakeFiles/chute_expr.dir/expr/LinearForm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

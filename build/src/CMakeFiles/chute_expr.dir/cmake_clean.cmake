@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_expr.dir/expr/Expr.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/Expr.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/ExprBuilder.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/ExprBuilder.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/ExprParser.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/ExprParser.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/ExprPrinter.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/ExprPrinter.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/ExprSimplify.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/ExprSimplify.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/ExprSubst.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/ExprSubst.cpp.o.d"
+  "CMakeFiles/chute_expr.dir/expr/LinearForm.cpp.o"
+  "CMakeFiles/chute_expr.dir/expr/LinearForm.cpp.o.d"
+  "libchute_expr.a"
+  "libchute_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/Cfg.cpp" "src/CMakeFiles/chute_program.dir/program/Cfg.cpp.o" "gcc" "src/CMakeFiles/chute_program.dir/program/Cfg.cpp.o.d"
+  "/root/repo/src/program/Command.cpp" "src/CMakeFiles/chute_program.dir/program/Command.cpp.o" "gcc" "src/CMakeFiles/chute_program.dir/program/Command.cpp.o.d"
+  "/root/repo/src/program/NondetLifting.cpp" "src/CMakeFiles/chute_program.dir/program/NondetLifting.cpp.o" "gcc" "src/CMakeFiles/chute_program.dir/program/NondetLifting.cpp.o.d"
+  "/root/repo/src/program/Parser.cpp" "src/CMakeFiles/chute_program.dir/program/Parser.cpp.o" "gcc" "src/CMakeFiles/chute_program.dir/program/Parser.cpp.o.d"
+  "/root/repo/src/program/PrettyPrint.cpp" "src/CMakeFiles/chute_program.dir/program/PrettyPrint.cpp.o" "gcc" "src/CMakeFiles/chute_program.dir/program/PrettyPrint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

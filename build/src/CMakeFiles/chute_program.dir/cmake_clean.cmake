@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_program.dir/program/Cfg.cpp.o"
+  "CMakeFiles/chute_program.dir/program/Cfg.cpp.o.d"
+  "CMakeFiles/chute_program.dir/program/Command.cpp.o"
+  "CMakeFiles/chute_program.dir/program/Command.cpp.o.d"
+  "CMakeFiles/chute_program.dir/program/NondetLifting.cpp.o"
+  "CMakeFiles/chute_program.dir/program/NondetLifting.cpp.o.d"
+  "CMakeFiles/chute_program.dir/program/Parser.cpp.o"
+  "CMakeFiles/chute_program.dir/program/Parser.cpp.o.d"
+  "CMakeFiles/chute_program.dir/program/PrettyPrint.cpp.o"
+  "CMakeFiles/chute_program.dir/program/PrettyPrint.cpp.o.d"
+  "libchute_program.a"
+  "libchute_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qe/FourierMotzkin.cpp" "src/CMakeFiles/chute_qe.dir/qe/FourierMotzkin.cpp.o" "gcc" "src/CMakeFiles/chute_qe.dir/qe/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/qe/QeEngine.cpp" "src/CMakeFiles/chute_qe.dir/qe/QeEngine.cpp.o" "gcc" "src/CMakeFiles/chute_qe.dir/qe/QeEngine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_qe.dir/qe/FourierMotzkin.cpp.o"
+  "CMakeFiles/chute_qe.dir/qe/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/chute_qe.dir/qe/QeEngine.cpp.o"
+  "CMakeFiles/chute_qe.dir/qe/QeEngine.cpp.o.d"
+  "libchute_qe.a"
+  "libchute_qe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_qe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chute_qe.
+# This may be replaced when dependencies are built.

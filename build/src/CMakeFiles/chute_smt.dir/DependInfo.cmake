@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Model.cpp" "src/CMakeFiles/chute_smt.dir/smt/Model.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/Model.cpp.o.d"
+  "/root/repo/src/smt/SmtLibExport.cpp" "src/CMakeFiles/chute_smt.dir/smt/SmtLibExport.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/SmtLibExport.cpp.o.d"
+  "/root/repo/src/smt/SmtQueries.cpp" "src/CMakeFiles/chute_smt.dir/smt/SmtQueries.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/SmtQueries.cpp.o.d"
+  "/root/repo/src/smt/Z3Context.cpp" "src/CMakeFiles/chute_smt.dir/smt/Z3Context.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/Z3Context.cpp.o.d"
+  "/root/repo/src/smt/Z3Solver.cpp" "src/CMakeFiles/chute_smt.dir/smt/Z3Solver.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/Z3Solver.cpp.o.d"
+  "/root/repo/src/smt/Z3Translate.cpp" "src/CMakeFiles/chute_smt.dir/smt/Z3Translate.cpp.o" "gcc" "src/CMakeFiles/chute_smt.dir/smt/Z3Translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_smt.dir/smt/Model.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/Model.cpp.o.d"
+  "CMakeFiles/chute_smt.dir/smt/SmtLibExport.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/SmtLibExport.cpp.o.d"
+  "CMakeFiles/chute_smt.dir/smt/SmtQueries.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/SmtQueries.cpp.o.d"
+  "CMakeFiles/chute_smt.dir/smt/Z3Context.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/Z3Context.cpp.o.d"
+  "CMakeFiles/chute_smt.dir/smt/Z3Solver.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/Z3Solver.cpp.o.d"
+  "CMakeFiles/chute_smt.dir/smt/Z3Translate.cpp.o"
+  "CMakeFiles/chute_smt.dir/smt/Z3Translate.cpp.o.d"
+  "libchute_smt.a"
+  "libchute_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

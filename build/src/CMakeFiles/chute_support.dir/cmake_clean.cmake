@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_support.dir/support/Debug.cpp.o"
+  "CMakeFiles/chute_support.dir/support/Debug.cpp.o.d"
+  "CMakeFiles/chute_support.dir/support/StringExtras.cpp.o"
+  "CMakeFiles/chute_support.dir/support/StringExtras.cpp.o.d"
+  "libchute_support.a"
+  "libchute_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

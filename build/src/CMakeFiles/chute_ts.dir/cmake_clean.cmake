@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chute_ts.dir/ts/PathEncoding.cpp.o"
+  "CMakeFiles/chute_ts.dir/ts/PathEncoding.cpp.o.d"
+  "CMakeFiles/chute_ts.dir/ts/Region.cpp.o"
+  "CMakeFiles/chute_ts.dir/ts/Region.cpp.o.d"
+  "CMakeFiles/chute_ts.dir/ts/TransitionSystem.cpp.o"
+  "CMakeFiles/chute_ts.dir/ts/TransitionSystem.cpp.o.d"
+  "libchute_ts.a"
+  "libchute_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chute_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

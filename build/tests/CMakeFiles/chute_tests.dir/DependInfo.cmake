@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ChuteTest.cpp" "tests/CMakeFiles/chute_tests.dir/ChuteTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ChuteTest.cpp.o.d"
+  "/root/repo/tests/CtlOracleTest.cpp" "tests/CMakeFiles/chute_tests.dir/CtlOracleTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/CtlOracleTest.cpp.o.d"
+  "/root/repo/tests/CtlTest.cpp" "tests/CMakeFiles/chute_tests.dir/CtlTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/CtlTest.cpp.o.d"
+  "/root/repo/tests/DifferenceBoundsTest.cpp" "tests/CMakeFiles/chute_tests.dir/DifferenceBoundsTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/DifferenceBoundsTest.cpp.o.d"
+  "/root/repo/tests/ExprParserTest.cpp" "tests/CMakeFiles/chute_tests.dir/ExprParserTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ExprParserTest.cpp.o.d"
+  "/root/repo/tests/ExprPropertyTest.cpp" "tests/CMakeFiles/chute_tests.dir/ExprPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ExprPropertyTest.cpp.o.d"
+  "/root/repo/tests/ExprTest.cpp" "tests/CMakeFiles/chute_tests.dir/ExprTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ExprTest.cpp.o.d"
+  "/root/repo/tests/FarkasTest.cpp" "tests/CMakeFiles/chute_tests.dir/FarkasTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/FarkasTest.cpp.o.d"
+  "/root/repo/tests/FourierMotzkinTest.cpp" "tests/CMakeFiles/chute_tests.dir/FourierMotzkinTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/FourierMotzkinTest.cpp.o.d"
+  "/root/repo/tests/IntervalsTest.cpp" "tests/CMakeFiles/chute_tests.dir/IntervalsTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/IntervalsTest.cpp.o.d"
+  "/root/repo/tests/InvariantGenTest.cpp" "tests/CMakeFiles/chute_tests.dir/InvariantGenTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/InvariantGenTest.cpp.o.d"
+  "/root/repo/tests/LinearFormTest.cpp" "tests/CMakeFiles/chute_tests.dir/LinearFormTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/LinearFormTest.cpp.o.d"
+  "/root/repo/tests/PaperExamplesTest.cpp" "tests/CMakeFiles/chute_tests.dir/PaperExamplesTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/PaperExamplesTest.cpp.o.d"
+  "/root/repo/tests/PathEncodingTest.cpp" "tests/CMakeFiles/chute_tests.dir/PathEncodingTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/PathEncodingTest.cpp.o.d"
+  "/root/repo/tests/PathSearchTest.cpp" "tests/CMakeFiles/chute_tests.dir/PathSearchTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/PathSearchTest.cpp.o.d"
+  "/root/repo/tests/ProgramTest.cpp" "tests/CMakeFiles/chute_tests.dir/ProgramTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ProgramTest.cpp.o.d"
+  "/root/repo/tests/ProofCheckerTest.cpp" "tests/CMakeFiles/chute_tests.dir/ProofCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/ProofCheckerTest.cpp.o.d"
+  "/root/repo/tests/RankingTest.cpp" "tests/CMakeFiles/chute_tests.dir/RankingTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/RankingTest.cpp.o.d"
+  "/root/repo/tests/RecurrentSetTest.cpp" "tests/CMakeFiles/chute_tests.dir/RecurrentSetTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/RecurrentSetTest.cpp.o.d"
+  "/root/repo/tests/RegionTest.cpp" "tests/CMakeFiles/chute_tests.dir/RegionTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/RegionTest.cpp.o.d"
+  "/root/repo/tests/SmtLibExportTest.cpp" "tests/CMakeFiles/chute_tests.dir/SmtLibExportTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/SmtLibExportTest.cpp.o.d"
+  "/root/repo/tests/SmtTest.cpp" "tests/CMakeFiles/chute_tests.dir/SmtTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/SmtTest.cpp.o.d"
+  "/root/repo/tests/SynthCpTest.cpp" "tests/CMakeFiles/chute_tests.dir/SynthCpTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/SynthCpTest.cpp.o.d"
+  "/root/repo/tests/TerminationProverTest.cpp" "tests/CMakeFiles/chute_tests.dir/TerminationProverTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/TerminationProverTest.cpp.o.d"
+  "/root/repo/tests/TransitionSystemTest.cpp" "tests/CMakeFiles/chute_tests.dir/TransitionSystemTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/TransitionSystemTest.cpp.o.d"
+  "/root/repo/tests/VerifierIndustrialTest.cpp" "tests/CMakeFiles/chute_tests.dir/VerifierIndustrialTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/VerifierIndustrialTest.cpp.o.d"
+  "/root/repo/tests/VerifierNestedTest.cpp" "tests/CMakeFiles/chute_tests.dir/VerifierNestedTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/VerifierNestedTest.cpp.o.d"
+  "/root/repo/tests/VerifierSmallTest.cpp" "tests/CMakeFiles/chute_tests.dir/VerifierSmallTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/VerifierSmallTest.cpp.o.d"
+  "/root/repo/tests/WitnessTest.cpp" "tests/CMakeFiles/chute_tests.dir/WitnessTest.cpp.o" "gcc" "tests/CMakeFiles/chute_tests.dir/WitnessTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chute_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/chute_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_qe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
