@@ -53,6 +53,49 @@ int verdictExitCode(Verdict V) {
   return 13;
 }
 
+/// Stats record the child writes on the pipe.
+struct ChildStats {
+  unsigned Rounds = 0;
+  unsigned Refinements = 0;
+  unsigned SmtRetries = 0;
+  unsigned SmtRecovered = 0;
+};
+
+const char *statusName(RowResult::Status St) {
+  switch (St) {
+  case RowResult::Status::Proved:
+    return "proved";
+  case RowResult::Status::Disproved:
+    return "disproved";
+  case RowResult::Status::Unknown:
+    return "unknown";
+  case RowResult::Status::Timeout:
+    return "timeout";
+  case RowResult::Status::Crashed:
+    return "crashed";
+  }
+  return "unknown";
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size() + 8);
+  for (char C : In) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
 } // namespace
 
 RowResult chute::bench::runRow(const corpus::BenchRow &Row,
@@ -73,17 +116,30 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
 
   if (Child == 0) {
     // Child: run the verification and report through the exit code
-    // plus a small stats record on the pipe.
+    // plus a small stats record on the pipe. Three layers of defense
+    // against a pathological row: the verifier budget (graceful
+    // Unknown), the parent's SIGKILL at the deadline, and an alarm()
+    // backstop in case the parent itself dies.
     close(Pipe[0]);
+    alarm(TimeoutSec + 10);
     ExprContext Ctx;
     std::string Err;
     auto P = parseProgram(Ctx, Row.Program, Err);
     if (!P)
       _exit(13);
-    Verifier V(*P);
+    VerifierOptions Options;
+    // Leave the parent a margin to collect a clean Unknown instead
+    // of having to deliver SIGKILL at the deadline.
+    Options.BudgetMs =
+        TimeoutSec > 2 ? (TimeoutSec - 1) * 1000 : TimeoutSec * 1000;
+    Verifier V(*P, Options);
     VerifyResult R = V.verify(Row.Property, Err);
-    unsigned Stats[2] = {R.Rounds, R.Refinements};
-    ssize_t Ignored = write(Pipe[1], Stats, sizeof(Stats));
+    ChildStats Stats;
+    Stats.Rounds = R.Rounds;
+    Stats.Refinements = R.Refinements;
+    Stats.SmtRetries = static_cast<unsigned>(R.SmtStats.Retries);
+    Stats.SmtRecovered = static_cast<unsigned>(R.SmtStats.Recovered);
+    ssize_t Ignored = write(Pipe[1], &Stats, sizeof(Stats));
     (void)Ignored;
     close(Pipe[1]);
     _exit(verdictExitCode(R.V));
@@ -111,12 +167,14 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     return Result;
   }
 
-  unsigned Stats[2] = {0, 0};
-  ssize_t N = read(Pipe[0], Stats, sizeof(Stats));
+  ChildStats Stats;
+  ssize_t N = read(Pipe[0], &Stats, sizeof(Stats));
   close(Pipe[0]);
   if (N == sizeof(Stats)) {
-    Result.Rounds = Stats[0];
-    Result.Refinements = Stats[1];
+    Result.Rounds = Stats.Rounds;
+    Result.Refinements = Stats.Refinements;
+    Result.SmtRetries = Stats.SmtRetries;
+    Result.SmtRecovered = Stats.SmtRecovered;
   }
 
   Result.Seconds = Timer.seconds();
@@ -141,27 +199,55 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
 
 unsigned chute::bench::runTable(const char *Title,
                                 const std::vector<corpus::BenchRow> &Rows,
-                                unsigned TimeoutSec) {
+                                unsigned TimeoutSec,
+                                const char *JsonPath) {
+  std::FILE *Json = nullptr;
+  if (JsonPath != nullptr) {
+    Json = std::fopen(JsonPath, "a");
+    if (Json == nullptr)
+      std::fprintf(stderr, "warning: cannot open %s for append\n",
+                   JsonPath);
+  }
+
   std::printf("== %s ==\n", Title);
-  std::printf("%4s  %-18s %4s  %-34s %-4s %-5s %8s %7s %5s  %s\n",
+  std::printf("%4s  %-18s %4s  %-34s %-4s %-5s %8s %7s %5s %5s  %s\n",
               "#", "Example", "LOC", "Property", "Exp", "Act",
-              "Time(s)", "Rounds", "Refs", "Note");
+              "Time(s)", "Rounds", "Refs", "Retry", "Note");
   unsigned Mismatches = 0;
   for (const corpus::BenchRow &Row : Rows) {
     RowResult R = runRow(Row, TimeoutSec);
     bool Ok = R.matches(Row.ExpectHolds);
     if (!Ok)
       ++Mismatches;
-    std::printf("%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u  %s%s\n",
-                Row.Id, Row.Example.c_str(), Row.Loc,
-                Row.Property.substr(0, 34).c_str(),
-                Row.ExpectHolds ? "yes" : "no", R.glyph(), R.Seconds,
-                R.Rounds, R.Refinements,
-                Ok ? "" : "MISMATCH ", Row.PaperNote.c_str());
+    std::printf(
+        "%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u %5u  %s%s\n",
+        Row.Id, Row.Example.c_str(), Row.Loc,
+        Row.Property.substr(0, 34).c_str(),
+        Row.ExpectHolds ? "yes" : "no", R.glyph(), R.Seconds,
+        R.Rounds, R.Refinements, R.SmtRetries,
+        Ok ? "" : "MISMATCH ", Row.PaperNote.c_str());
     std::fflush(stdout);
+    if (Json != nullptr) {
+      std::fprintf(
+          Json,
+          "{\"table\":\"%s\",\"id\":%u,\"example\":\"%s\","
+          "\"property\":\"%s\",\"expect\":%s,\"status\":\"%s\","
+          "\"match\":%s,\"seconds\":%.3f,\"rounds\":%u,"
+          "\"refinements\":%u,\"smt_retries\":%u,"
+          "\"smt_recovered\":%u,\"timeout_sec\":%u}\n",
+          jsonEscape(Title).c_str(), Row.Id,
+          jsonEscape(Row.Example).c_str(),
+          jsonEscape(Row.Property).c_str(),
+          Row.ExpectHolds ? "true" : "false", statusName(R.St),
+          Ok ? "true" : "false", R.Seconds, R.Rounds, R.Refinements,
+          R.SmtRetries, R.SmtRecovered, TimeoutSec);
+      std::fflush(Json);
+    }
   }
   std::printf("-- %s: %zu rows, %u mismatches --\n\n", Title,
               Rows.size(), Mismatches);
+  if (Json != nullptr)
+    std::fclose(Json);
   return Mismatches;
 }
 
@@ -182,4 +268,11 @@ chute::bench::rowRangeFromArgs(int Argc, char **Argv, unsigned Max) {
       return {A, B};
     }
   return {1, Max};
+}
+
+const char *chute::bench::jsonPathFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
 }

@@ -10,6 +10,13 @@
 /// "time"/"mem" failure entries: a row that exceeds the budget is
 /// reported as "time" instead of wedging the whole table.
 ///
+/// Each child runs under the resource governor (a verifier budget
+/// slightly under the row timeout, so well-behaved rows degrade to a
+/// reportable Unknown before the parent has to shoot them) plus an
+/// alarm() backstop that fires even if the solver wedges and the
+/// parent is gone. Retry/backoff activity is reported per row and
+/// can be appended to a JSON-lines file for trend tracking.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHUTE_BENCH_HARNESS_H
@@ -26,6 +33,8 @@ struct RowResult {
   double Seconds = 0.0;
   unsigned Rounds = 0;
   unsigned Refinements = 0;
+  unsigned SmtRetries = 0;   ///< Unknown answers retried in the child
+  unsigned SmtRecovered = 0; ///< queries rescued by a retry
 
   /// The table glyph: check, cross, '?', 'time', 'crash'.
   const char *glyph() const;
@@ -38,9 +47,12 @@ RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec);
 
 /// Runs a whole table and prints it in the paper's layout. Returns
 /// the number of rows whose verdict disagrees with the expectation.
+/// When \p JsonPath is non-null, appends one JSON object per row
+/// (JSON-lines) for machine-readable trend tracking.
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
-                  unsigned TimeoutSec);
+                  unsigned TimeoutSec,
+                  const char *JsonPath = nullptr);
 
 /// Reads the row timeout from argv ("--timeout N") or returns
 /// \p Default.
@@ -49,6 +61,10 @@ unsigned timeoutFromArgs(int Argc, char **Argv, unsigned Default);
 /// Optional row filter from argv ("--rows A-B"); defaults to all.
 std::pair<unsigned, unsigned> rowRangeFromArgs(int Argc, char **Argv,
                                                unsigned Max);
+
+/// Optional JSON-lines output path from argv ("--json PATH");
+/// nullptr when absent.
+const char *jsonPathFromArgs(int Argc, char **Argv);
 
 } // namespace chute::bench
 

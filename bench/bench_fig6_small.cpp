@@ -4,7 +4,7 @@
 // every combination of temporal operators (27 base properties plus
 // their negations). Usage:
 //
-//   bench_fig6_small [--timeout SECONDS] [--rows A-B]
+//   bench_fig6_small [--timeout SECONDS] [--rows A-B] [--json PATH]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +25,6 @@ int main(int Argc, char **Argv) {
       Rows.push_back(R);
   unsigned Mismatches = bench::runTable(
       "Figure 6: small benchmarks (operator combinations)", Rows,
-      Timeout);
+      Timeout, bench::jsonPathFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

@@ -4,7 +4,7 @@
 // of industrial code (Windows I/O fragments, the PostgreSQL archiver,
 // the SoftUpdates patch system), 28 base rows plus negations. Usage:
 //
-//   bench_fig7_industrial [--timeout SECONDS] [--rows A-B]
+//   bench_fig7_industrial [--timeout SECONDS] [--rows A-B] [--json PATH]
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +24,7 @@ int main(int Argc, char **Argv) {
     if (R.Id >= Lo && R.Id <= Hi)
       Rows.push_back(R);
   unsigned Mismatches = bench::runTable(
-      "Figure 7: industrial code models", Rows, Timeout);
+      "Figure 7: industrial code models", Rows, Timeout,
+      bench::jsonPathFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

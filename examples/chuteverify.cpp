@@ -6,6 +6,11 @@
 //   chuteverify PROGRAM-FILE "CTL-PROPERTY" [--show-proof]
 //                                           [--show-program]
 //                                           [--no-negation]
+//                                           [--budget-ms N]
+//
+// --budget-ms runs the verification under the resource governor: a
+// wall-clock deadline that derives per-query SMT timeouts and
+// degrades cleanly to "unknown" (with a reason) when it expires.
 //
 // Exit codes: 0 proved, 1 disproved, 2 unknown, 3 usage/parse error.
 //
@@ -15,6 +20,7 @@
 #include "program/Parser.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -25,7 +31,8 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: chuteverify PROGRAM-FILE \"CTL-PROPERTY\" "
-      "[--show-proof] [--show-program] [--no-negation]\n");
+      "[--show-proof] [--show-program] [--no-negation] "
+      "[--budget-ms N]\n");
 }
 
 int main(int Argc, char **Argv) {
@@ -34,6 +41,7 @@ int main(int Argc, char **Argv) {
     return 3;
   }
   bool ShowProof = false, ShowProgram = false, TryNegation = true;
+  unsigned BudgetMs = 0;
   for (int I = 3; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--show-proof") == 0)
       ShowProof = true;
@@ -41,6 +49,8 @@ int main(int Argc, char **Argv) {
       ShowProgram = true;
     else if (std::strcmp(Argv[I], "--no-negation") == 0)
       TryNegation = false;
+    else if (std::strcmp(Argv[I], "--budget-ms") == 0 && I + 1 < Argc)
+      BudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
     else {
       usage();
       return 3;
@@ -65,6 +75,7 @@ int main(int Argc, char **Argv) {
 
   VerifierOptions Options;
   Options.TryNegation = TryNegation;
+  Options.BudgetMs = BudgetMs;
   Verifier V(*Prog, Options);
   if (ShowProgram)
     std::printf("%s\n", V.lifted().toString().c_str());
@@ -78,6 +89,13 @@ int main(int Argc, char **Argv) {
   std::printf("%s: %s  (%.2fs, %u attempts, %u refinements)\n",
               Argv[2], toString(R.V), R.Seconds, R.Rounds,
               R.Refinements);
+  if (R.V == Verdict::Unknown && R.Failure.valid())
+    std::printf("degraded: %s\n", R.Failure.toString().c_str());
+  if (R.SmtStats.Retries != 0)
+    std::printf("smt retries: %llu (%llu recovered, %llu exhausted)\n",
+                static_cast<unsigned long long>(R.SmtStats.Retries),
+                static_cast<unsigned long long>(R.SmtStats.Recovered),
+                static_cast<unsigned long long>(R.SmtStats.Exhausted));
   if (ShowProof && R.Proof.valid()) {
     if (R.ProofIsOfNegation)
       std::printf("proof of the negated property:\n");

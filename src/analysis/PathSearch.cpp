@@ -40,6 +40,7 @@ bool PathSearch::feasible(const std::vector<unsigned> &Path,
 std::optional<std::vector<unsigned>>
 PathSearch::findPath(const Region &From, const Region &Target,
                      const Region *Within, unsigned MaxLen) {
+  SmtPhaseScope Phase(S, FailPhase::PathSearch);
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
 
@@ -108,7 +109,7 @@ PathSearch::findPath(const Region &From, const Region &Target,
     std::vector<unsigned> Path;
     std::vector<Frame> Stack;
     Stack.push_back({orderedOut(Start), 0});
-    while (!Stack.empty() && Budget > 0) {
+    while (!Stack.empty() && Budget > 0 && !S.budget().expired()) {
       Frame &Top = Stack.back();
       if (Top.Next >= Top.Order.size()) {
         Stack.pop_back();
@@ -183,6 +184,7 @@ void PathSearch::cyclesFrom(Loc Head, unsigned MaxCycle,
 std::optional<PathSearch::Lasso>
 PathSearch::findLasso(const Region &From, const Region *Within,
                       unsigned MaxStem, unsigned MaxCycle) {
+  SmtPhaseScope Phase(S, FailPhase::PathSearch);
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
 

@@ -170,6 +170,10 @@ std::optional<ExprRef> RecurrentSetChecker::cycleRecurrentSet(
   G = simplify(Ctx, G);
 
   for (unsigned Iter = 0; Iter < MaxIter; ++Iter) {
+    // GFP iteration multiplies QE and quantified-query costs; bail
+    // out between iterations once the run's budget is gone.
+    if (S.budget().expired())
+      return std::nullopt;
     if (S.isUnsat(G))
       return std::nullopt;
     auto Pre = cyclePreExists(Cycle, G, StateConstraint);

@@ -10,6 +10,7 @@ using namespace chute;
 
 bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
                             const ChuteMap &Chutes) {
+  SmtPhaseScope Phase(S, FailPhase::RcrCheck);
   const Program &P = Ts.program();
   for (DerivationNode *Node : Proof.existentialNodes()) {
     if (Node->RcrChecked)
@@ -30,6 +31,22 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
 
 RefineOutcome ChuteRefiner::prove(CtlRef F) {
   RefineOutcome Out;
+
+  // Snapshot of partial progress for degradation reports.
+  auto progressDetail = [&Out]() {
+    return "after " + std::to_string(Out.Rounds) + " rounds, " +
+           std::to_string(Out.Refinements) + " refinements, " +
+           std::to_string(Out.Backtracks) + " backtracks";
+  };
+  auto budgetFailure = [&](FailPhase Phase) {
+    Out.St = RefineOutcome::Status::Unknown;
+    Out.Failure.Phase = Phase;
+    Out.Failure.Resource = S.budget().cancelled()
+                               ? FailResource::Cancelled
+                               : FailResource::WallClock;
+    Out.Failure.Obligation = F->toString();
+    Out.Failure.Detail = progressDetail();
+  };
 
   // Applied strengthenings, in order, and the banned set used for
   // backtracking.
@@ -81,6 +98,12 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
   };
 
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    // Degrade before starting a round the budget cannot pay for.
+    if (S.budget().expired()) {
+      budgetFailure(FailPhase::Refinement);
+      Out.Refinements = static_cast<unsigned>(Applied.size());
+      return Out;
+    }
     ++Out.Rounds;
     ChuteMap Chutes = buildChutes();
     UniversalProver Prover(Ts, S, Qe, Chutes, Opts.Prover);
@@ -93,18 +116,44 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
         Out.Refinements = static_cast<unsigned>(Applied.size());
         return Out;
       }
+      if (S.budget().expired()) {
+        budgetFailure(FailPhase::RcrCheck);
+        Out.Refinements = static_cast<unsigned>(Applied.size());
+        return Out;
+      }
       // A chute restricted the system into vacuity: backtrack.
       if (backtrack())
         continue;
       Out.St = RefineOutcome::Status::Unknown;
+      Out.Failure = {FailPhase::RcrCheck, FailResource::Incomplete,
+                     F->toString(), progressDetail()};
+      return Out;
+    }
+
+    if (Attempt.Kind == FailKind::Budget) {
+      // Backtracking would only replay attempts the budget can no
+      // longer pay for: unwind immediately.
+      budgetFailure(FailPhase::UniversalProof);
+      Out.Refinements = static_cast<unsigned>(Applied.size());
       return Out;
     }
 
     if (Attempt.Kind != FailKind::Counterexample) {
+      // An expired budget masquerades as incompleteness when it runs
+      // out inside a sub-loop (denied queries fail obligations);
+      // report the real cause.
+      if (S.budget().expired()) {
+        budgetFailure(FailPhase::UniversalProof);
+        Out.Refinements = static_cast<unsigned>(Applied.size());
+        return Out;
+      }
       // Incomplete failure: a different chute choice might unblock.
       if (backtrack())
         continue;
       Out.St = RefineOutcome::Status::Unknown;
+      Out.Failure = {FailPhase::UniversalProof,
+                     FailResource::Incomplete, F->toString(),
+                     progressDetail()};
       return Out;
     }
 
@@ -113,17 +162,25 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
                           Attempt.Trace.toString(Ts.program())));
     CHUTE_DEBUG(debugLine("refiner: secondary trace\n" +
                           Attempt.Secondary.toString(Ts.program())));
-    std::vector<ChuteCandidate> Candidates =
-        Synth.synthesize(Attempt.Trace, Chutes);
-    if (Attempt.Secondary.realizable()) {
-      // The inner subformula's failing trace can blame choices the
-      // primary lasso cannot (different scopes).
-      std::vector<ChuteCandidate> More =
-          Synth.synthesize(Attempt.Secondary, Chutes);
-      for (ChuteCandidate &C : More)
-        if (std::find(Candidates.begin(), Candidates.end(), C) ==
-            Candidates.end())
-          Candidates.push_back(std::move(C));
+    std::vector<ChuteCandidate> Candidates;
+    {
+      SmtPhaseScope Phase(S, FailPhase::ChuteSynthesis);
+      Candidates = Synth.synthesize(Attempt.Trace, Chutes);
+      if (Attempt.Secondary.realizable()) {
+        // The inner subformula's failing trace can blame choices the
+        // primary lasso cannot (different scopes).
+        std::vector<ChuteCandidate> More =
+            Synth.synthesize(Attempt.Secondary, Chutes);
+        for (ChuteCandidate &C : More)
+          if (std::find(Candidates.begin(), Candidates.end(), C) ==
+              Candidates.end())
+            Candidates.push_back(std::move(C));
+      }
+    }
+    if (Candidates.empty() && S.budget().expired()) {
+      budgetFailure(FailPhase::ChuteSynthesis);
+      Out.Refinements = static_cast<unsigned>(Applied.size());
+      return Out;
     }
     Candidates.erase(std::remove_if(Candidates.begin(),
                                     Candidates.end(),
@@ -143,6 +200,10 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
   }
 
   Out.St = RefineOutcome::Status::Unknown;
+  Out.Failure = {FailPhase::Refinement, FailResource::Rounds,
+                 F->toString(),
+                 "MaxRounds=" + std::to_string(Opts.MaxRounds) +
+                     " exhausted; " + progressDetail()};
   Out.Refinements = static_cast<unsigned>(Applied.size());
   return Out;
 }

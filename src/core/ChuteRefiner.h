@@ -39,6 +39,8 @@ struct RefineOutcome {
   unsigned Rounds = 0;   ///< attempt() invocations
   unsigned Refinements = 0; ///< chute strengthenings applied
   unsigned Backtracks = 0;  ///< candidates undone
+  /// When Unknown: which phase degraded and which resource ran out.
+  FailureInfo Failure;
 
   bool proved() const { return St == Status::Proved; }
 };

@@ -44,6 +44,7 @@ struct CexTrace {
 enum class FailKind {
   Counterexample, ///< realizable annotated trace attached
   Incomplete,     ///< obligation failed but no realizable trace
+  Budget,         ///< the governing budget expired mid-proof
 };
 
 } // namespace chute

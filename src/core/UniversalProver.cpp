@@ -174,6 +174,16 @@ UniversalProver::prove(const SubformulaPath &Pi, CtlRef F,
   CHUTE_DEBUG(debugLine("prove " + Pi.toString() + " : " +
                         F->toString()));
 
+  // Budget exhaustion unwinds the whole proof search: every pending
+  // obligation reports FailKind::Budget (never a counterexample), so
+  // the refiner can degrade to Unknown without backtracking.
+  if (S.budget().expired()) {
+    SubResult R;
+    R.Kind = FailKind::Budget;
+    R.BadStart = X;
+    return R;
+  }
+
   // Vacuous obligation: nothing required of the empty set.
   if (X.isEmpty(S)) {
     SubResult R;
@@ -679,9 +689,20 @@ UniversalProver::proveUnless(const SubformulaPath &Pi, CtlRef F,
     Region Inv = Invariants.reach(XEff, C, &Frontier,
                                   Opts.MaxReachIterations);
     Region Active = Inv.minusPruned(S, Frontier);
+    // Counterexample paths may *start* outside the chute (the
+    // one-step entry exemption covers stale choices made before this
+    // obligation began), but every later step is a choice made under
+    // this scope and must respect the chute. Active alone is too
+    // permissive: it contains the entry-exempt starts at their own
+    // locations, so a path from an in-chute start could route through
+    // one by taking a chute-violating havoc — and the blame pre-image
+    // would then wrongly implicate the in-chute starts.
+    Region CexScope = Active;
+    if (Exist)
+      CexScope = Active.intersect(Ctx, *C).simplified(Ctx);
     Anchor A1 = {AEff.Steps, AEff.End.minusPruned(S, Frontier)};
     SubResult Left = prove(Pi.leftChild(), F->left(), Active, A1, Pi,
-                           &Active);
+                           &CexScope);
     if (!Left.Proved && GloballyShape) {
       Left.BadStart = liftAlongTrace(Left);
       return Left;
@@ -777,6 +798,7 @@ UniversalProver::proveUnless(const SubformulaPath &Pi, CtlRef F,
 //===-- Top level ------------------------------------------------------------===//
 
 UniversalProver::Outcome UniversalProver::attempt(CtlRef F) {
+  SmtPhaseScope Phase(S, FailPhase::UniversalProof);
   const Program &P = Ts.program();
   Region Init = Region::initial(P);
   Anchor A;

@@ -25,11 +25,38 @@ Verifier::Verifier(const Program &Source, VerifierOptions Options)
       Solver(Source.exprContext(), Options.SmtTimeoutMs), Qe(Solver),
       Ts(*LP.Prog, Solver, Qe), Ctl(Source.exprContext()) {}
 
+namespace {
+
+RetryStats statsDelta(const RetryStats &Now, const RetryStats &Then) {
+  RetryStats D;
+  D.Queries = Now.Queries - Then.Queries;
+  D.Unknowns = Now.Unknowns - Then.Unknowns;
+  D.Retries = Now.Retries - Then.Retries;
+  D.Recovered = Now.Recovered - Then.Recovered;
+  D.Exhausted = Now.Exhausted - Then.Exhausted;
+  D.BudgetDenied = Now.BudgetDenied - Then.BudgetDenied;
+  return D;
+}
+
+} // namespace
+
 VerifyResult Verifier::verify(CtlRef F) {
   Stopwatch Timer;
   VerifyResult Result;
 
+  // Root budget for this call, carved out of the verifier's
+  // cancellation domain; the proof attempt gets a slice, the
+  // negation attempt whatever is left when it starts (so an early
+  // proof failure donates its unused time to the disproof).
+  Budget Root = Opts.BudgetMs != 0 ? CancelRoot.subMillis(Opts.BudgetMs)
+                                   : CancelRoot;
+  Solver.setRetryPolicy(Opts.Retry);
+  RetryStats Before = Solver.totalRetryStats();
+
   {
+    Solver.setBudget(Opts.TryNegation
+                         ? Root.subFraction(Opts.PrimaryShare)
+                         : Root);
     ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
     RefineOutcome Out = Refiner.prove(F);
     Result.Rounds += Out.Rounds;
@@ -38,13 +65,15 @@ VerifyResult Verifier::verify(CtlRef F) {
     if (Out.proved()) {
       Result.V = Verdict::Proved;
       Result.Proof = std::move(Out.Proof);
-      Result.Seconds = Timer.seconds();
+      finish(Result, Timer, Before);
       return Result;
     }
+    Result.Failure = std::move(Out.Failure);
   }
 
-  if (Opts.TryNegation) {
+  if (Opts.TryNegation && !Root.expired()) {
     if (auto NegF = Ctl.negate(F)) {
+      Solver.setBudget(Root);
       ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
       RefineOutcome Out = Refiner.prove(*NegF);
       Result.Rounds += Out.Rounds;
@@ -54,22 +83,45 @@ VerifyResult Verifier::verify(CtlRef F) {
         Result.V = Verdict::Disproved;
         Result.Proof = std::move(Out.Proof);
         Result.ProofIsOfNegation = true;
-        Result.Seconds = Timer.seconds();
+        finish(Result, Timer, Before);
         return Result;
       }
+      // Prefer the primary attempt's failure; fall back to the
+      // negation's when only it has something to report.
+      if (!Result.Failure.valid())
+        Result.Failure = std::move(Out.Failure);
     }
+  } else if (Opts.TryNegation && !Result.Failure.valid()) {
+    Result.Failure = {FailPhase::Refinement,
+                      Root.cancelled() ? FailResource::Cancelled
+                                       : FailResource::WallClock,
+                      F->toString(),
+                      "budget exhausted before the negation attempt"};
   }
 
   Result.V = Verdict::Unknown;
-  Result.Seconds = Timer.seconds();
+  finish(Result, Timer, Before);
   return Result;
+}
+
+void Verifier::finish(VerifyResult &Result, Stopwatch &Timer,
+                      const RetryStats &Before) {
+  Result.Seconds = Timer.seconds();
+  Result.SmtStats = statsDelta(Solver.totalRetryStats(), Before);
+  // Post-verification utilities (checkProof, witness) run ungoverned
+  // again; each verify() call installs its own fresh budget.
+  Solver.setBudget(Budget::unlimited());
 }
 
 VerifyResult Verifier::verify(const std::string &Property,
                               std::string &Err) {
   CtlRef F = parseCtlString(Ctl, Property, Err);
-  if (F == nullptr)
-    return VerifyResult();
+  if (F == nullptr) {
+    VerifyResult Result;
+    Result.Failure = {FailPhase::Parse, FailResource::Incomplete,
+                      Property, Err};
+    return Result;
+  }
   return verify(F);
 }
 

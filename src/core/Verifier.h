@@ -20,6 +20,7 @@
 #include "core/ChuteRefiner.h"
 #include "core/ProofChecker.h"
 #include "program/NondetLifting.h"
+#include "support/Stopwatch.h"
 
 namespace chute {
 
@@ -33,6 +34,18 @@ struct VerifierOptions {
   RefinerOptions Refiner;
   unsigned SmtTimeoutMs = 3000;
   bool TryNegation = true; ///< attempt to disprove via the dual
+
+  /// Wall-clock budget for one verify() call in milliseconds; 0
+  /// means unlimited (the pre-governor behaviour). With a budget,
+  /// per-SMT-query timeouts are derived from the remaining time and
+  /// exhaustion degrades cleanly to Unknown with a FailureInfo.
+  unsigned BudgetMs = 0;
+  /// Fraction of the budget reserved for proving the property
+  /// itself; the rest (plus whatever the proof attempt left unused)
+  /// goes to the negation attempt.
+  double PrimaryShare = 0.6;
+  /// Backoff schedule for Unknown SMT answers.
+  RetryPolicy Retry;
 };
 
 /// Result of one verification run.
@@ -49,6 +62,12 @@ struct VerifyResult {
   unsigned Rounds = 0;      ///< attempt() calls across both directions
   unsigned Refinements = 0; ///< chute strengthenings applied
   unsigned Backtracks = 0;
+
+  /// When Unknown: the phase/resource that degraded the run (valid()
+  /// is false for plain incompleteness with nothing to report).
+  FailureInfo Failure;
+  /// SMT retry/backoff activity during this run (all phases).
+  RetryStats SmtStats;
 
   bool proved() const { return V == Verdict::Proved; }
   bool disproved() const { return V == Verdict::Disproved; }
@@ -90,13 +109,25 @@ public:
 
   CtlManager &ctl() { return Ctl; }
 
+  /// Requests cooperative cancellation of an in-flight verify()
+  /// (e.g. from a signal handler or another thread): the current run
+  /// degrades to Unknown with FailResource::Cancelled.
+  void cancel() { CancelRoot.cancel(); }
+
 private:
+  /// Stamps timing/stat fields and releases the budget.
+  void finish(VerifyResult &Result, Stopwatch &Timer,
+              const RetryStats &Before);
+
   VerifierOptions Opts;
   LiftedProgram LP;
   Smt Solver;
   QeEngine Qe;
   TransitionSystem Ts;
   CtlManager Ctl;
+  /// Cancellation domain every verify() budget is carved from, so
+  /// cancel() reaches in-flight runs.
+  Budget CancelRoot;
 };
 
 } // namespace chute

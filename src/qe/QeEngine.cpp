@@ -10,6 +10,12 @@ QeEngine::projectExists(ExprRef Body, const std::vector<ExprRef> &Vars) {
   if (Vars.empty())
     return Body;
 
+  if (Solver.budget().expired()) {
+    ++S.BudgetDenied;
+    return std::nullopt;
+  }
+  SmtPhaseScope Phase(Solver, FailPhase::QuantElim);
+
   if (Strategy != QeStrategy::Z3Tactic) {
     auto Fm = fourierMotzkinProject(Ctx, Body, Vars);
     if (Fm) {

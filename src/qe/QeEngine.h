@@ -45,6 +45,7 @@ public:
     std::uint64_t FmInexact = 0;
     std::uint64_t Z3Calls = 0;
     std::uint64_t Failures = 0;
+    std::uint64_t BudgetDenied = 0; ///< refused: budget expired
   };
 
   const Stats &stats() const { return S; }

@@ -1,0 +1,55 @@
+//===- smt/FaultInjection.cpp - Deterministic SMT fault injection ----------===//
+
+#include "smt/FaultInjection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+using namespace chute;
+
+namespace {
+
+std::atomic<std::uint64_t> CheckCounter{0};
+std::atomic<std::uint64_t> InjectedCounter{0};
+
+SmtFaultPlan planFromEnv() {
+  SmtFaultPlan P;
+  if (const char *E = std::getenv("CHUTE_SMT_FAULT_EVERY"))
+    P.UnknownEveryN = static_cast<unsigned>(std::atoi(E));
+  if (const char *E = std::getenv("CHUTE_SMT_FAULT_DELAY_MS"))
+    P.DelayMs = static_cast<unsigned>(std::atoi(E));
+  return P;
+}
+
+} // namespace
+
+SmtFaultPlan &chute::smtFaultPlan() {
+  static SmtFaultPlan Plan = planFromEnv();
+  return Plan;
+}
+
+void chute::resetSmtFaultCounter() {
+  CheckCounter.store(0, std::memory_order_relaxed);
+  InjectedCounter.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t chute::smtFaultInjectedCount() {
+  return InjectedCounter.load(std::memory_order_relaxed);
+}
+
+bool chute::smtFaultShouldInjectUnknown() {
+  const SmtFaultPlan &Plan = smtFaultPlan();
+  if (Plan.DelayMs != 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Plan.DelayMs));
+  if (Plan.UnknownEveryN == 0)
+    return false;
+  std::uint64_t N =
+      CheckCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (N % Plan.UnknownEveryN != 0)
+    return false;
+  InjectedCounter.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}

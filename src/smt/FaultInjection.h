@@ -1,0 +1,50 @@
+//===- smt/FaultInjection.h - Deterministic SMT fault injection -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global fault plan consulted by Z3Solver::check, so the
+/// degradation paths of the resource governor are testable
+/// deterministically: force Unknown on every Nth check, or delay
+/// every check by a fixed amount. Configured from the environment
+/// (CHUTE_SMT_FAULT_EVERY, CHUTE_SMT_FAULT_DELAY_MS) at first use,
+/// or programmatically by tests via smtFaultPlan().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_FAULTINJECTION_H
+#define CHUTE_SMT_FAULTINJECTION_H
+
+#include <cstdint>
+
+namespace chute {
+
+/// The active fault plan. All-zero means no injection.
+struct SmtFaultPlan {
+  /// Force Unknown on every Nth solver check (0 = disabled; 1 =
+  /// every check).
+  unsigned UnknownEveryN = 0;
+  /// Sleep this long before every solver check (0 = disabled).
+  unsigned DelayMs = 0;
+};
+
+/// Mutable access to the plan (tests overwrite it; remember to reset
+/// in teardown). First call seeds the plan from the environment.
+SmtFaultPlan &smtFaultPlan();
+
+/// Resets the every-Nth counter (tests call this for determinism).
+void resetSmtFaultCounter();
+
+/// Number of checks the plan has forced to Unknown so far.
+std::uint64_t smtFaultInjectedCount();
+
+/// Called by Z3Solver::check before talking to Z3. Applies the
+/// configured delay and returns true when this check must report
+/// Unknown without running the solver.
+bool smtFaultShouldInjectUnknown();
+
+} // namespace chute
+
+#endif // CHUTE_SMT_FAULTINJECTION_H

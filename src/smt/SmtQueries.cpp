@@ -5,16 +5,63 @@
 #include "smt/Z3Translate.h"
 #include "support/Debug.h"
 
+#include <algorithm>
+
 using namespace chute;
 
 Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs)
     : Ctx(Ctx), TimeoutMs(TimeoutMs) {}
 
-SatResult Smt::checkSat(ExprRef E) {
+RetryStats Smt::totalRetryStats() const {
+  RetryStats Total;
+  for (const auto &[Phase, St] : Stats)
+    Total += St;
+  return Total;
+}
+
+SatResult Smt::runQuery(ExprRef E, bool WantModel,
+                        std::optional<Model> *ModelOut) {
   ++NumQueries;
-  Z3Solver Solver(Z3, TimeoutMs);
-  Solver.add(E);
-  SatResult R = Solver.check();
+  RetryStats &St = Stats[CurPhase];
+  ++St.Queries;
+
+  if (Governor.expired() ||
+      Governor.remainingMs() < Budget::MinQueryMs) {
+    ++St.BudgetDenied;
+    return SatResult::Unknown;
+  }
+
+  unsigned T = Governor.queryTimeoutMs(TimeoutMs);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    // A fresh solver per attempt; replaying the assertions is just
+    // re-adding E. Re-seeding steers the solver's randomized
+    // heuristics onto a different search order.
+    Z3Solver Solver(Z3, T, /*Seed=*/Attempt);
+    Solver.add(E);
+    SatResult R = Solver.check();
+    if (R != SatResult::Unknown) {
+      if (Attempt != 0)
+        ++St.Recovered;
+      if (R == SatResult::Sat && WantModel)
+        *ModelOut = Solver.getModel(freeVars(E));
+      return R;
+    }
+    ++St.Unknowns;
+    if (Attempt >= Policy.MaxRetries || Governor.expired()) {
+      ++St.Exhausted;
+      return SatResult::Unknown;
+    }
+    ++St.Retries;
+    // Escalate, but never past the remaining budget.
+    T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
+        static_cast<double>(T) * Policy.Backoff, 3600000.0)));
+    CHUTE_DEBUG(debugLine("smt: retrying Unknown with timeout " +
+                          std::to_string(T) + "ms"));
+  }
+}
+
+SatResult Smt::checkSat(ExprRef E) {
+  SatResult R = runQuery(E, /*WantModel=*/false, nullptr);
   CHUTE_DEBUG(debugLine("checkSat(" + E->toString() +
                         ") = " + toString(R)));
   return R;
@@ -35,16 +82,18 @@ bool Smt::equivalent(ExprRef A, ExprRef B) {
 }
 
 std::optional<Model> Smt::getModel(ExprRef E) {
-  ++NumQueries;
-  Z3Solver Solver(Z3, TimeoutMs);
-  Solver.add(E);
-  if (Solver.check() != SatResult::Sat)
+  std::optional<Model> M;
+  if (runQuery(E, /*WantModel=*/true, &M) != SatResult::Sat)
     return std::nullopt;
-  return Solver.getModel(freeVars(E));
+  return M;
 }
 
 std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   ++NumQueries;
+  if (Governor.expired()) {
+    ++Stats[CurPhase].BudgetDenied;
+    return std::nullopt;
+  }
   Z3_context C = Z3.raw();
   Z3.clearError();
 
@@ -60,8 +109,17 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   Z3_goal_inc_ref(C, Goal);
   Z3_goal_assert(C, Goal, toZ3(Z3, E));
 
+  // Bound the tactic by the budget-derived timeout; an un-bounded qe
+  // call was the one remaining way a single query could stall the
+  // whole run. Tactics reject a "timeout" parameter, so the bound is
+  // a try-for wrapper: on expiry the application fails and we return
+  // nullopt (the caller falls back or degrades).
+  unsigned T = Governor.queryTimeoutMs(TimeoutMs);
+  Z3_tactic Bounded = Z3_tactic_try_for(C, Pipeline, T);
+  Z3_tactic_inc_ref(C, Bounded);
+
   std::optional<ExprRef> Result;
-  Z3_apply_result Applied = Z3_tactic_apply(C, Pipeline, Goal);
+  Z3_apply_result Applied = Z3_tactic_apply(C, Bounded, Goal);
   if (Applied != nullptr && !Z3.hasError()) {
     Z3_apply_result_inc_ref(C, Applied);
     // Conjoin all formulas across all subgoals.
@@ -87,6 +145,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   Z3.clearError();
 
   Z3_goal_dec_ref(C, Goal);
+  Z3_tactic_dec_ref(C, Bounded);
   Z3_tactic_dec_ref(C, Pipeline);
   Z3_tactic_dec_ref(C, Simp);
   Z3_tactic_dec_ref(C, Qe);

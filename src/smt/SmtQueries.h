@@ -10,6 +10,14 @@
 /// and quantifier elimination via Z3's qe tactic. One instance wraps
 /// one Z3 context and one ExprContext; queries are stateless.
 ///
+/// The facade is also the fault-tolerance boundary of the pipeline:
+/// every query runs under the governing Budget (per-query timeouts
+/// are derived from the remaining time, and queries are refused
+/// outright once the budget expires), and Unknown answers are
+/// retried on a fresh, re-seeded solver with escalating timeouts up
+/// to a bounded backoff schedule. Per-phase retry statistics record
+/// where the solver struggled.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHUTE_SMT_SMTQUERIES_H
@@ -19,10 +27,40 @@
 #include "smt/Model.h"
 #include "smt/Z3Context.h"
 #include "smt/Z3Solver.h"
+#include "support/Budget.h"
 
+#include <map>
 #include <optional>
 
 namespace chute {
+
+/// Backoff schedule for Unknown/timeout answers.
+struct RetryPolicy {
+  /// Extra attempts after the first (0 disables retrying).
+  unsigned MaxRetries = 2;
+  /// Timeout multiplier applied per retry.
+  double Backoff = 2.0;
+};
+
+/// Counters for one retry site (keyed by FailPhase).
+struct RetryStats {
+  std::uint64_t Queries = 0;      ///< checks issued at this site
+  std::uint64_t Unknowns = 0;     ///< attempts that answered Unknown
+  std::uint64_t Retries = 0;      ///< re-runs scheduled
+  std::uint64_t Recovered = 0;    ///< queries rescued by a retry
+  std::uint64_t Exhausted = 0;    ///< Unknown after the full schedule
+  std::uint64_t BudgetDenied = 0; ///< refused: budget already expired
+
+  RetryStats &operator+=(const RetryStats &O) {
+    Queries += O.Queries;
+    Unknowns += O.Unknowns;
+    Retries += O.Retries;
+    Recovered += O.Recovered;
+    Exhausted += O.Exhausted;
+    BudgetDenied += O.BudgetDenied;
+    return *this;
+  }
+};
 
 /// High-level SMT query interface used throughout the verifier.
 ///
@@ -35,6 +73,20 @@ public:
 
   ExprContext &exprContext() { return Ctx; }
   Z3Context &z3Context() { return Z3; }
+
+  /// Installs the governing budget; per-query timeouts derive from
+  /// its remaining time (capped by the construction-time TimeoutMs)
+  /// and queries are refused once it expires.
+  void setBudget(const Budget &B) { Governor = B; }
+  const Budget &budget() const { return Governor; }
+
+  void setRetryPolicy(RetryPolicy P) { Policy = P; }
+  const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// Current retry-stats site; analyses label their query batches
+  /// with SmtPhaseScope.
+  void setPhase(FailPhase P) { CurPhase = P; }
+  FailPhase phase() const { return CurPhase; }
 
   /// Raw three-valued satisfiability.
   SatResult checkSat(ExprRef E);
@@ -60,17 +112,51 @@ public:
 
   /// Eliminates the quantifiers of \p E with Z3's qe tactic and
   /// translates back; nullopt when the result leaves the supported
-  /// fragment or the tactic fails.
+  /// fragment or the tactic fails. Runs under the budget-derived
+  /// timeout.
   std::optional<ExprRef> eliminateQuantifiers(ExprRef E);
 
   /// Number of solver queries issued so far (for stats/ablations).
   std::uint64_t numQueries() const { return NumQueries; }
 
+  /// Per-phase retry statistics.
+  const std::map<FailPhase, RetryStats> &retryStats() const {
+    return Stats;
+  }
+
+  /// Aggregate over all phases.
+  RetryStats totalRetryStats() const;
+
 private:
+  /// The shared query driver: check \p E with retry/backoff; when
+  /// \p WantModel, extract a model on Sat.
+  SatResult runQuery(ExprRef E, bool WantModel,
+                     std::optional<Model> *ModelOut);
+
   ExprContext &Ctx;
   Z3Context Z3;
   unsigned TimeoutMs;
+  Budget Governor; ///< unlimited by default
+  RetryPolicy Policy;
+  FailPhase CurPhase = FailPhase::None;
+  std::map<FailPhase, RetryStats> Stats;
   std::uint64_t NumQueries = 0;
+};
+
+/// RAII phase label for a batch of queries.
+class SmtPhaseScope {
+public:
+  SmtPhaseScope(Smt &S, FailPhase P) : S(S), Prev(S.phase()) {
+    S.setPhase(P);
+  }
+  ~SmtPhaseScope() { S.setPhase(Prev); }
+
+  SmtPhaseScope(const SmtPhaseScope &) = delete;
+  SmtPhaseScope &operator=(const SmtPhaseScope &) = delete;
+
+private:
+  Smt &S;
+  FailPhase Prev;
 };
 
 } // namespace chute

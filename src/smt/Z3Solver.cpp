@@ -2,6 +2,7 @@
 
 #include "smt/Z3Solver.h"
 
+#include "smt/FaultInjection.h"
 #include "smt/Z3Translate.h"
 
 using namespace chute;
@@ -18,15 +19,22 @@ const char *chute::toString(SatResult R) {
   return "?";
 }
 
-Z3Solver::Z3Solver(Z3Context &Z3, unsigned TimeoutMs) : Z3(Z3) {
+Z3Solver::Z3Solver(Z3Context &Z3, unsigned TimeoutMs, unsigned Seed)
+    : Z3(Z3) {
   Z3_context C = Z3.raw();
   Solver = Z3_mk_solver(C);
   Z3_solver_inc_ref(C, Solver);
-  if (TimeoutMs != 0) {
+  if (TimeoutMs != 0 || Seed != 0) {
     Z3_params Params = Z3_mk_params(C);
     Z3_params_inc_ref(C, Params);
-    Z3_symbol Timeout = Z3_mk_string_symbol(C, "timeout");
-    Z3_params_set_uint(C, Params, Timeout, TimeoutMs);
+    if (TimeoutMs != 0) {
+      Z3_symbol Timeout = Z3_mk_string_symbol(C, "timeout");
+      Z3_params_set_uint(C, Params, Timeout, TimeoutMs);
+    }
+    if (Seed != 0) {
+      Z3_symbol RandomSeed = Z3_mk_string_symbol(C, "random_seed");
+      Z3_params_set_uint(C, Params, RandomSeed, Seed);
+    }
     Z3_solver_set_params(C, Solver, Params);
     Z3_params_dec_ref(C, Params);
   }
@@ -48,6 +56,8 @@ void Z3Solver::push() { Z3_solver_push(Z3.raw(), Solver); }
 void Z3Solver::pop() { Z3_solver_pop(Z3.raw(), Solver, 1); }
 
 SatResult Z3Solver::check() {
+  if (smtFaultShouldInjectUnknown())
+    return SatResult::Unknown;
   Z3.clearError();
   switch (Z3_solver_check(Z3.raw(), Solver)) {
   case Z3_L_TRUE:

@@ -30,8 +30,12 @@ const char *toString(SatResult R);
 /// Incremental solver. Not copyable; tied to one Z3Context.
 class Z3Solver {
 public:
-  /// \p TimeoutMs bounds each check() call (0 = no limit).
-  explicit Z3Solver(Z3Context &Z3, unsigned TimeoutMs = 10000);
+  /// \p TimeoutMs bounds each check() call (0 = no limit). \p Seed
+  /// re-seeds the solver's randomized heuristics — the retry layer
+  /// passes a fresh seed per attempt so a retried query explores a
+  /// different search order.
+  explicit Z3Solver(Z3Context &Z3, unsigned TimeoutMs = 10000,
+                    unsigned Seed = 0);
   ~Z3Solver();
 
   Z3Solver(const Z3Solver &) = delete;

@@ -1,0 +1,124 @@
+//===- support/Budget.cpp - Wall-clock budgets and failure info ------------===//
+
+#include "support/Budget.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace chute;
+
+Budget::Budget()
+    : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+Budget Budget::unlimited() { return Budget(); }
+
+Budget Budget::forMillis(std::uint64_t Ms) {
+  Budget B;
+  B.Unlimited = false;
+  B.Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+  return B;
+}
+
+Budget Budget::subMillis(std::uint64_t Ms) const {
+  Budget B;
+  B.Flag = Flag; // one cancellation domain per run
+  B.Unlimited = false;
+  std::uint64_t Slice =
+      Unlimited ? Ms
+                : std::min<std::uint64_t>(
+                      Ms, static_cast<std::uint64_t>(remainingMs()));
+  B.Deadline = Clock::now() + std::chrono::milliseconds(Slice);
+  return B;
+}
+
+Budget Budget::subFraction(double Fraction) const {
+  Fraction = std::clamp(Fraction, 0.0, 1.0);
+  if (Unlimited) {
+    Budget B;
+    B.Flag = Flag;
+    return B; // a fraction of forever is forever
+  }
+  return subMillis(static_cast<std::uint64_t>(
+      static_cast<double>(remainingMs()) * Fraction));
+}
+
+std::int64_t Budget::remainingMs() const {
+  if (Unlimited)
+    return std::numeric_limits<std::int64_t>::max() / 4;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left < 0 ? 0 : Left;
+}
+
+bool Budget::expired() const {
+  if (cancelled())
+    return true;
+  return !Unlimited && remainingMs() == 0;
+}
+
+unsigned Budget::queryTimeoutMs(unsigned CapMs) const {
+  if (Unlimited)
+    return CapMs;
+  auto Left = static_cast<std::uint64_t>(remainingMs());
+  std::uint64_t T =
+      CapMs == 0 ? Left : std::min<std::uint64_t>(CapMs, Left);
+  return static_cast<unsigned>(std::max<std::uint64_t>(T, MinQueryMs));
+}
+
+const char *chute::toString(FailPhase P) {
+  switch (P) {
+  case FailPhase::None:
+    return "none";
+  case FailPhase::Parse:
+    return "parse";
+  case FailPhase::UniversalProof:
+    return "universal-proof";
+  case FailPhase::ChuteSynthesis:
+    return "chute-synthesis";
+  case FailPhase::RcrCheck:
+    return "rcr-check";
+  case FailPhase::QuantElim:
+    return "quant-elim";
+  case FailPhase::PathSearch:
+    return "path-search";
+  case FailPhase::Refinement:
+    return "refinement";
+  }
+  return "?";
+}
+
+const char *chute::toString(FailResource R) {
+  switch (R) {
+  case FailResource::None:
+    return "none";
+  case FailResource::WallClock:
+    return "wall-clock";
+  case FailResource::Cancelled:
+    return "cancelled";
+  case FailResource::Rounds:
+    return "rounds";
+  case FailResource::SolverUnknown:
+    return "solver-unknown";
+  case FailResource::Incomplete:
+    return "incompleteness";
+  }
+  return "?";
+}
+
+std::string FailureInfo::toString() const {
+  if (!valid())
+    return "no failure";
+  std::string S = chute::toString(Phase);
+  S += " ran out of ";
+  S += chute::toString(Resource);
+  if (!Obligation.empty()) {
+    S += " on ";
+    S += Obligation;
+  }
+  if (!Detail.empty()) {
+    S += ": ";
+    S += Detail;
+  }
+  return S;
+}

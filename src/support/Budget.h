@@ -1,0 +1,136 @@
+//===- support/Budget.h - Wall-clock budgets and failure info -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deadline propagation for the whole pipeline. A Budget is a
+/// wall-clock deadline plus a shared cancellation flag; sub-budgets
+/// carve out a fraction (or a fixed slice) of the parent's remaining
+/// time while sharing the cancellation domain, so cancelling the root
+/// run tears down every phase. Every long-running loop polls
+/// expired() at its head, and the SMT layer derives per-query
+/// timeouts from the remaining time instead of fixed constants.
+///
+/// FailureInfo is the structured record a budget-exhausted (or
+/// otherwise degraded) verification carries back to the caller:
+/// which phase gave up, on which obligation, and which resource ran
+/// out. It replaces silent Unknowns with an explainable taxonomy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_BUDGET_H
+#define CHUTE_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace chute {
+
+/// A wall-clock deadline with a shared cancellation flag.
+///
+/// Budgets are cheap value types: copying shares the deadline and the
+/// cancellation flag. An unlimited budget never expires on its own
+/// but still honours cancel().
+class Budget {
+public:
+  /// Default-constructed budgets are unlimited (back-compat: callers
+  /// that never configure a budget keep today's behaviour).
+  Budget();
+
+  /// A budget that never expires (but can still be cancelled).
+  static Budget unlimited();
+
+  /// A budget of \p Ms milliseconds starting now.
+  static Budget forMillis(std::uint64_t Ms);
+
+  /// A sub-budget of at most \p Ms milliseconds, clamped to this
+  /// budget's remaining time. Shares the cancellation flag.
+  Budget subMillis(std::uint64_t Ms) const;
+
+  /// A sub-budget holding \p Fraction (clamped to [0,1]) of the
+  /// remaining time. Of an unlimited budget, returns unlimited.
+  Budget subFraction(double Fraction) const;
+
+  bool isUnlimited() const { return Unlimited; }
+
+  /// Milliseconds until the deadline (never negative). Unlimited
+  /// budgets report a very large value.
+  std::int64_t remainingMs() const;
+
+  /// True once the deadline passed or the run was cancelled.
+  bool expired() const;
+
+  /// Requests cooperative cancellation of every budget sharing this
+  /// flag (the whole run).
+  void cancel() { Flag->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return Flag->load(std::memory_order_relaxed);
+  }
+
+  /// Derives a per-SMT-query timeout from the remaining time:
+  /// min(CapMs, remaining), but never below a small floor so queries
+  /// near the deadline still get a chance to answer trivially.
+  /// \p CapMs == 0 means "no cap" (use the remaining time). For
+  /// unlimited budgets the cap is returned unchanged.
+  unsigned queryTimeoutMs(unsigned CapMs) const;
+
+  /// Queries issued this close to the deadline are not started at
+  /// all (checked by the SMT facade).
+  static constexpr unsigned MinQueryMs = 10;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  bool Unlimited = true;
+  Clock::time_point Deadline{};
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// Pipeline phase in which a degradation happened (also used to key
+/// per-site SMT retry statistics).
+enum class FailPhase {
+  None,
+  Parse,          ///< program/property parsing
+  UniversalProof, ///< UniversalProver obligations
+  ChuteSynthesis, ///< SYNTHcp candidate generation
+  RcrCheck,       ///< recurrent-set obligations
+  QuantElim,      ///< quantifier elimination
+  PathSearch,     ///< counterexample path/lasso search
+  Refinement,     ///< the Figure 4 loop itself
+};
+
+/// Which resource ran out (or failed).
+enum class FailResource {
+  None,
+  WallClock,     ///< budget deadline passed
+  Cancelled,     ///< cooperative cancellation
+  Rounds,        ///< MaxRounds exhausted
+  SolverUnknown, ///< SMT gave Unknown after all retries
+  Incomplete,    ///< method incompleteness (no resource ran out)
+};
+
+const char *toString(FailPhase P);
+const char *toString(FailResource R);
+
+/// Structured record of why a verification degraded to Unknown.
+struct FailureInfo {
+  FailPhase Phase = FailPhase::None;
+  FailResource Resource = FailResource::None;
+  std::string Obligation; ///< subformula / query the phase was on
+  std::string Detail;     ///< free-form context (rounds done, ...)
+
+  bool valid() const { return Phase != FailPhase::None; }
+
+  /// "universal-proof ran out of wall-clock on AF(EG(p == 0)): ..."
+  std::string toString() const;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_BUDGET_H

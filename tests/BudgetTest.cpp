@@ -1,0 +1,114 @@
+//===- tests/BudgetTest.cpp - Budget/FailureInfo unit tests ------------------===//
+
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace chute;
+
+namespace {
+
+void sleepMs(unsigned Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  Budget B;
+  EXPECT_TRUE(B.isUnlimited());
+  EXPECT_FALSE(B.expired());
+  EXPECT_GT(B.remainingMs(), 1000000);
+}
+
+TEST(BudgetTest, FiniteBudgetExpires) {
+  Budget B = Budget::forMillis(40);
+  EXPECT_FALSE(B.isUnlimited());
+  EXPECT_FALSE(B.expired());
+  EXPECT_LE(B.remainingMs(), 40);
+  sleepMs(60);
+  EXPECT_TRUE(B.expired());
+  EXPECT_EQ(B.remainingMs(), 0);
+}
+
+TEST(BudgetTest, SubMillisClampedToParent) {
+  Budget Parent = Budget::forMillis(50);
+  Budget Child = Parent.subMillis(100000);
+  EXPECT_LE(Child.remainingMs(), Parent.remainingMs() + 1);
+  sleepMs(70);
+  EXPECT_TRUE(Child.expired());
+}
+
+TEST(BudgetTest, SubMillisOfUnlimitedIsFinite) {
+  Budget Parent = Budget::unlimited();
+  Budget Child = Parent.subMillis(30);
+  EXPECT_FALSE(Child.isUnlimited());
+  EXPECT_LE(Child.remainingMs(), 30);
+  sleepMs(50);
+  EXPECT_TRUE(Child.expired());
+  EXPECT_FALSE(Parent.expired());
+}
+
+TEST(BudgetTest, SubFractionSplits) {
+  Budget Parent = Budget::forMillis(1000);
+  Budget Half = Parent.subFraction(0.5);
+  EXPECT_FALSE(Half.isUnlimited());
+  EXPECT_LE(Half.remainingMs(), 510);
+  EXPECT_GE(Half.remainingMs(), 390);
+  // A fraction of forever is forever.
+  EXPECT_TRUE(Budget::unlimited().subFraction(0.5).isUnlimited());
+}
+
+TEST(BudgetTest, CancellationSharedWithSubBudgets) {
+  Budget Parent = Budget::forMillis(60000);
+  Budget Child = Parent.subFraction(0.5);
+  EXPECT_FALSE(Child.expired());
+  Parent.cancel();
+  EXPECT_TRUE(Parent.expired());
+  EXPECT_TRUE(Child.expired());
+  EXPECT_TRUE(Child.cancelled());
+  // And the other direction: cancelling a child tears down the run.
+  Budget P2 = Budget::forMillis(60000);
+  Budget C2 = P2.subMillis(1000);
+  C2.cancel();
+  EXPECT_TRUE(P2.cancelled());
+}
+
+TEST(BudgetTest, CancelledUnlimitedBudgetExpires) {
+  Budget B = Budget::unlimited();
+  EXPECT_FALSE(B.expired());
+  B.cancel();
+  EXPECT_TRUE(B.expired());
+}
+
+TEST(BudgetTest, QueryTimeoutDerivedFromRemaining) {
+  // Unlimited: the cap passes through (including "no cap").
+  EXPECT_EQ(Budget::unlimited().queryTimeoutMs(3000), 3000u);
+  EXPECT_EQ(Budget::unlimited().queryTimeoutMs(0), 0u);
+
+  // Finite: min(cap, remaining), floored at MinQueryMs.
+  Budget B = Budget::forMillis(500);
+  unsigned T = B.queryTimeoutMs(3000);
+  EXPECT_LE(T, 500u);
+  EXPECT_GE(T, Budget::MinQueryMs);
+  EXPECT_LE(B.queryTimeoutMs(100), 100u);
+
+  Budget Tiny = Budget::forMillis(1);
+  sleepMs(5);
+  EXPECT_EQ(Tiny.queryTimeoutMs(3000), Budget::MinQueryMs);
+}
+
+TEST(BudgetTest, FailureInfoRendering) {
+  FailureInfo None;
+  EXPECT_FALSE(None.valid());
+  EXPECT_EQ(None.toString(), "no failure");
+
+  FailureInfo F{FailPhase::UniversalProof, FailResource::WallClock,
+                "AF(EG(p == 0))", "after 3 rounds"};
+  EXPECT_TRUE(F.valid());
+  EXPECT_EQ(F.toString(), "universal-proof ran out of wall-clock on "
+                          "AF(EG(p == 0)): after 3 rounds");
+}
+
+} // namespace

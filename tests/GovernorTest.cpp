@@ -1,0 +1,221 @@
+//===- tests/GovernorTest.cpp - Resource governor degradation tests ----------===//
+//
+// Deterministic coverage for the fault-tolerance layer: SMT
+// retry/backoff (via the fault-injection hook), budget exhaustion,
+// and cancellation all degrade to Unknown with a populated
+// FailureInfo — never a flipped Proved/Disproved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "expr/ExprParser.h"
+#include "program/Parser.h"
+#include "smt/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class GovernorTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    smtFaultPlan() = SmtFaultPlan();
+    resetSmtFaultCounter();
+  }
+
+  void TearDown() override {
+    // The fault plan is process-global; never leak it into other
+    // tests.
+    smtFaultPlan() = SmtFaultPlan();
+    resetSmtFaultCounter();
+  }
+
+  ExprRef formula(ExprContext &Ctx, const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  std::unique_ptr<Program> program(ExprContext &Ctx,
+                                   const std::string &Src) {
+    std::string Err;
+    auto P = parseProgram(Ctx, Src, Err);
+    EXPECT_TRUE(P) << Err;
+    return P;
+  }
+
+  /// A counter that runs forever: x = 0, 1, 2, ...
+  static constexpr const char *Counter =
+      "init(x == 0); while (true) { x = x + 1; }";
+};
+
+TEST_F(GovernorTest, RetryRecoversTransientUnknown) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+
+  // Burn two un-faulted checks so the next one hits the every-3rd
+  // fault; its retry (check 4) then succeeds.
+  smtFaultPlan().UnknownEveryN = 3;
+  EXPECT_TRUE(Solver.isSat(formula(Ctx, "x > 0")));
+  EXPECT_TRUE(Solver.isUnsat(formula(Ctx, "x > 0 && x < 0")));
+
+  EXPECT_EQ(Solver.checkSat(formula(Ctx, "y > 5")), SatResult::Sat);
+  RetryStats Total = Solver.totalRetryStats();
+  EXPECT_EQ(Total.Retries, 1u);
+  EXPECT_EQ(Total.Recovered, 1u);
+  EXPECT_EQ(Total.Exhausted, 0u);
+}
+
+TEST_F(GovernorTest, RetriesExhaustOnPersistentUnknown) {
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  smtFaultPlan().UnknownEveryN = 1; // every check fails
+
+  EXPECT_EQ(Solver.checkSat(formula(Ctx, "x > 0")),
+            SatResult::Unknown);
+  RetryStats Total = Solver.totalRetryStats();
+  const RetryPolicy &Policy = Solver.retryPolicy();
+  EXPECT_EQ(Total.Retries, Policy.MaxRetries);
+  EXPECT_EQ(Total.Unknowns, Policy.MaxRetries + 1);
+  EXPECT_EQ(Total.Exhausted, 1u);
+  EXPECT_EQ(Total.Recovered, 0u);
+
+  // Conservative mapping: Unknown is never treated as an answer.
+  EXPECT_FALSE(Solver.isSat(formula(Ctx, "x > 0")));
+  EXPECT_FALSE(Solver.isValid(formula(Ctx, "x <= x")));
+}
+
+TEST_F(GovernorTest, TotalSolverFailureDegradesToUnknown) {
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+  smtFaultPlan().UnknownEveryN = 1;
+
+  Verifier V(*P);
+  std::string Err;
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_TRUE(R.Failure.valid()) << R.Failure.toString();
+  EXPECT_GT(R.SmtStats.Exhausted, 0u);
+}
+
+TEST_F(GovernorTest, EveryThirdQueryUnknownNeverFlipsVerdicts) {
+  // The acceptance-criterion scenario in miniature: with Unknown
+  // forced on every 3rd SMT query, each verification returns either
+  // the correct verdict or Unknown — never the opposite verdict.
+  struct Case {
+    const char *Property;
+    Verdict Expected;
+  };
+  const Case Cases[] = {
+      {"AF(x > 5)", Verdict::Proved},
+      {"AG(x >= 0)", Verdict::Proved},
+      {"EF(x == 3)", Verdict::Proved},
+      {"AG(x < 3)", Verdict::Disproved},
+  };
+
+  for (const Case &C : Cases) {
+    ExprContext Ctx;
+    auto P = program(Ctx, Counter);
+    ASSERT_TRUE(P);
+    resetSmtFaultCounter();
+    smtFaultPlan().UnknownEveryN = 3;
+
+    VerifierOptions Options;
+    Options.BudgetMs = 60000; // hang backstop only
+    Verifier V(*P, Options);
+    std::string Err;
+    VerifyResult R = V.verify(C.Property, Err);
+    EXPECT_TRUE(R.V == C.Expected || R.V == Verdict::Unknown)
+        << C.Property << " flipped to " << toString(R.V);
+  }
+}
+
+TEST_F(GovernorTest, BudgetExhaustionReportsStructuredFailure) {
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+
+  VerifierOptions Options;
+  Options.BudgetMs = 1; // expires before any real work
+  Verifier V(*P, Options);
+  std::string Err;
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  ASSERT_TRUE(R.Failure.valid());
+  EXPECT_EQ(R.Failure.Resource, FailResource::WallClock);
+  EXPECT_FALSE(R.Failure.Obligation.empty());
+  EXPECT_FALSE(R.Failure.Detail.empty());
+}
+
+TEST_F(GovernorTest, SlowQueriesDegradeWithinBudget) {
+  // Delay every solver check so a small budget runs dry mid-proof;
+  // the run must unwind to Unknown with a wall-clock failure instead
+  // of hanging or crashing.
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+  smtFaultPlan().DelayMs = 50;
+
+  VerifierOptions Options;
+  Options.BudgetMs = 300;
+  Verifier V(*P, Options);
+  std::string Err;
+  Stopwatch Timer;
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_TRUE(R.Failure.valid()) << "expected a degradation report";
+  EXPECT_EQ(R.Failure.Resource, FailResource::WallClock);
+  // Unwinds promptly: well under 100x the budget even on a loaded
+  // machine.
+  EXPECT_LT(Timer.seconds(), 20.0);
+}
+
+TEST_F(GovernorTest, CancellationDegradesCleanly) {
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+
+  VerifierOptions Options;
+  Options.BudgetMs = 60000;
+  Verifier V(*P, Options);
+  V.cancel(); // before the run: every phase refuses immediately
+  std::string Err;
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  ASSERT_TRUE(R.Failure.valid());
+  EXPECT_EQ(R.Failure.Resource, FailResource::Cancelled);
+}
+
+TEST_F(GovernorTest, UnlimitedDefaultStillProves) {
+  // The governor is opt-in: default options behave exactly as before
+  // and retry stats stay quiet without faults.
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  std::string Err;
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_FALSE(R.Failure.valid());
+  EXPECT_EQ(R.SmtStats.Retries, 0u);
+  EXPECT_GT(R.SmtStats.Queries, 0u);
+}
+
+TEST_F(GovernorTest, ParseFailureCarriesFailureInfo) {
+  ExprContext Ctx;
+  auto P = program(Ctx, Counter);
+  ASSERT_TRUE(P);
+  Verifier V(*P);
+  std::string Err;
+  VerifyResult R = V.verify("AF(((", Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  ASSERT_TRUE(R.Failure.valid());
+  EXPECT_EQ(R.Failure.Phase, FailPhase::Parse);
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

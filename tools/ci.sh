@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate: configure, build, and run the test suite under
+# timeouts, exiting nonzero on any failure. Usable locally and in CI.
+#
+#   tools/ci.sh [build-dir]
+#
+# Knobs (environment):
+#   CI_TEST_TIMEOUT   per-test timeout in seconds (default 300)
+#   CI_TOTAL_TIMEOUT  whole-ctest wall-clock cap in seconds
+#                     (default 3600)
+#   CI_JOBS           parallelism (default: nproc)
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+JOBS=${CI_JOBS:-$(nproc)}
+TEST_TIMEOUT=${CI_TEST_TIMEOUT:-300}
+TOTAL_TIMEOUT=${CI_TOTAL_TIMEOUT:-3600}
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j"$JOBS"
+
+# `timeout` caps the whole suite; ctest --timeout caps each test.
+# Both fire as failures (nonzero exit) rather than hangs.
+timeout --signal=TERM --kill-after=30 "$TOTAL_TIMEOUT" \
+  ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" \
+        --timeout "$TEST_TIMEOUT"
+
+echo "ci: build and tests passed"

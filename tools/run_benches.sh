@@ -3,10 +3,21 @@
 # tables and the ablations. Pass a build directory (default: build).
 # Table binaries exit nonzero when rows mismatch expectations; that is
 # reported in the tables themselves, so failures do not stop the run.
+#
+# Set BENCH_JSON=path to additionally record one JSON-lines row per
+# benchmark (wall time, verdict, retry counts) — the robustness
+# trajectory that BENCH_governor.json snapshots. FIG6_TIMEOUT /
+# FIG7_TIMEOUT override the per-row timeouts.
 BUILD=${1:-build}
 
-"$BUILD"/bench/bench_fig6_small --timeout 60 || true
-"$BUILD"/bench/bench_fig7_industrial --timeout 75 || true
+JSON_ARGS=""
+if [ -n "${BENCH_JSON:-}" ]; then
+  : > "$BENCH_JSON"
+  JSON_ARGS="--json $BENCH_JSON"
+fi
+
+"$BUILD"/bench/bench_fig6_small --timeout "${FIG6_TIMEOUT:-60}" $JSON_ARGS || true
+"$BUILD"/bench/bench_fig7_industrial --timeout "${FIG7_TIMEOUT:-75}" $JSON_ARGS || true
 "$BUILD"/bench/bench_termination_reduction || true
 "$BUILD"/bench/bench_ablation_chutes || true
 "$BUILD"/bench/bench_ablation_qe --benchmark_min_time=0.05s || true
