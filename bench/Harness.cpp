@@ -59,6 +59,9 @@ struct ChildStats {
   unsigned Refinements = 0;
   unsigned SmtRetries = 0;
   unsigned SmtRecovered = 0;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  unsigned Jobs = 1;
 };
 
 const char *statusName(RowResult::Status St) {
@@ -99,7 +102,7 @@ std::string jsonEscape(const std::string &In) {
 } // namespace
 
 RowResult chute::bench::runRow(const corpus::BenchRow &Row,
-                               unsigned TimeoutSec) {
+                               unsigned TimeoutSec, unsigned Jobs) {
   RowResult Result;
   Stopwatch Timer;
 
@@ -132,6 +135,7 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     // of having to deliver SIGKILL at the deadline.
     Options.BudgetMs =
         TimeoutSec > 2 ? (TimeoutSec - 1) * 1000 : TimeoutSec * 1000;
+    Options.Jobs = Jobs;
     Verifier V(*P, Options);
     VerifyResult R = V.verify(Row.Property, Err);
     ChildStats Stats;
@@ -139,6 +143,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Stats.Refinements = R.Refinements;
     Stats.SmtRetries = static_cast<unsigned>(R.SmtStats.Retries);
     Stats.SmtRecovered = static_cast<unsigned>(R.SmtStats.Recovered);
+    Stats.CacheHits = static_cast<unsigned>(R.CacheStats.Hits);
+    Stats.CacheMisses = static_cast<unsigned>(R.CacheStats.Misses);
+    Stats.Jobs = R.Jobs;
     ssize_t Ignored = write(Pipe[1], &Stats, sizeof(Stats));
     (void)Ignored;
     close(Pipe[1]);
@@ -175,6 +182,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.Refinements = Stats.Refinements;
     Result.SmtRetries = Stats.SmtRetries;
     Result.SmtRecovered = Stats.SmtRecovered;
+    Result.CacheHits = Stats.CacheHits;
+    Result.CacheMisses = Stats.CacheMisses;
+    Result.Jobs = Stats.Jobs;
   }
 
   Result.Seconds = Timer.seconds();
@@ -200,7 +210,7 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
 unsigned chute::bench::runTable(const char *Title,
                                 const std::vector<corpus::BenchRow> &Rows,
                                 unsigned TimeoutSec,
-                                const char *JsonPath) {
+                                const char *JsonPath, unsigned Jobs) {
   std::FILE *Json = nullptr;
   if (JsonPath != nullptr) {
     Json = std::fopen(JsonPath, "a");
@@ -210,22 +220,24 @@ unsigned chute::bench::runTable(const char *Title,
   }
 
   std::printf("== %s ==\n", Title);
-  std::printf("%4s  %-18s %4s  %-34s %-4s %-5s %8s %7s %5s %5s  %s\n",
-              "#", "Example", "LOC", "Property", "Exp", "Act",
-              "Time(s)", "Rounds", "Refs", "Retry", "Note");
+  std::printf(
+      "%4s  %-18s %4s  %-34s %-4s %-5s %8s %7s %5s %5s %5s %4s  %s\n",
+      "#", "Example", "LOC", "Property", "Exp", "Act", "Time(s)",
+      "Rounds", "Refs", "Retry", "Cache", "Jobs", "Note");
   unsigned Mismatches = 0;
   for (const corpus::BenchRow &Row : Rows) {
-    RowResult R = runRow(Row, TimeoutSec);
+    RowResult R = runRow(Row, TimeoutSec, Jobs);
     bool Ok = R.matches(Row.ExpectHolds);
     if (!Ok)
       ++Mismatches;
-    std::printf(
-        "%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u %5u  %s%s\n",
-        Row.Id, Row.Example.c_str(), Row.Loc,
-        Row.Property.substr(0, 34).c_str(),
-        Row.ExpectHolds ? "yes" : "no", R.glyph(), R.Seconds,
-        R.Rounds, R.Refinements, R.SmtRetries,
-        Ok ? "" : "MISMATCH ", Row.PaperNote.c_str());
+    std::printf("%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u %5u "
+                "%4.0f%% %4u  %s%s\n",
+                Row.Id, Row.Example.c_str(), Row.Loc,
+                Row.Property.substr(0, 34).c_str(),
+                Row.ExpectHolds ? "yes" : "no", R.glyph(), R.Seconds,
+                R.Rounds, R.Refinements, R.SmtRetries,
+                100.0 * R.cacheHitRate(), R.Jobs,
+                Ok ? "" : "MISMATCH ", Row.PaperNote.c_str());
     std::fflush(stdout);
     if (Json != nullptr) {
       std::fprintf(
@@ -234,13 +246,16 @@ unsigned chute::bench::runTable(const char *Title,
           "\"property\":\"%s\",\"expect\":%s,\"status\":\"%s\","
           "\"match\":%s,\"seconds\":%.3f,\"rounds\":%u,"
           "\"refinements\":%u,\"smt_retries\":%u,"
-          "\"smt_recovered\":%u,\"timeout_sec\":%u}\n",
+          "\"smt_recovered\":%u,\"cache_hits\":%u,"
+          "\"cache_misses\":%u,\"cache_hit_rate\":%.4f,"
+          "\"jobs\":%u,\"timeout_sec\":%u}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
           Row.ExpectHolds ? "true" : "false", statusName(R.St),
           Ok ? "true" : "false", R.Seconds, R.Rounds, R.Refinements,
-          R.SmtRetries, R.SmtRecovered, TimeoutSec);
+          R.SmtRetries, R.SmtRecovered, R.CacheHits, R.CacheMisses,
+          R.cacheHitRate(), R.Jobs, TimeoutSec);
       std::fflush(Json);
     }
   }
@@ -275,4 +290,12 @@ const char *chute::bench::jsonPathFromArgs(int Argc, char **Argv) {
     if (std::strcmp(Argv[I], "--json") == 0)
       return Argv[I + 1];
   return nullptr;
+}
+
+unsigned chute::bench::jobsFromArgs(int Argc, char **Argv,
+                                    unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--jobs") == 0)
+      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+  return Default;
 }

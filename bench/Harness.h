@@ -35,6 +35,15 @@ struct RowResult {
   unsigned Refinements = 0;
   unsigned SmtRetries = 0;   ///< Unknown answers retried in the child
   unsigned SmtRecovered = 0; ///< queries rescued by a retry
+  unsigned CacheHits = 0;    ///< SMT/QE queries answered from the cache
+  unsigned CacheMisses = 0;  ///< cacheable queries that went to the solver
+  unsigned Jobs = 1;         ///< worker threads the child ran with
+
+  /// Cache hit rate in [0,1] over this row's cacheable queries.
+  double cacheHitRate() const {
+    unsigned Total = CacheHits + CacheMisses;
+    return Total == 0 ? 0.0 : static_cast<double>(CacheHits) / Total;
+  }
 
   /// The table glyph: check, cross, '?', 'time', 'crash'.
   const char *glyph() const;
@@ -43,7 +52,10 @@ struct RowResult {
 };
 
 /// Verifies one row in a forked child, bounded by \p TimeoutSec.
-RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec);
+/// \p Jobs sizes the child's proof-engine thread pool (0 defers to
+/// CHUTE_JOBS; 1 is fully sequential).
+RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
+                 unsigned Jobs = 0);
 
 /// Runs a whole table and prints it in the paper's layout. Returns
 /// the number of rows whose verdict disagrees with the expectation.
@@ -52,7 +64,8 @@ RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec);
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
                   unsigned TimeoutSec,
-                  const char *JsonPath = nullptr);
+                  const char *JsonPath = nullptr,
+                  unsigned Jobs = 0);
 
 /// Reads the row timeout from argv ("--timeout N") or returns
 /// \p Default.
@@ -65,6 +78,10 @@ std::pair<unsigned, unsigned> rowRangeFromArgs(int Argc, char **Argv,
 /// Optional JSON-lines output path from argv ("--json PATH");
 /// nullptr when absent.
 const char *jsonPathFromArgs(int Argc, char **Argv);
+
+/// Worker-thread count from argv ("--jobs N") or \p Default (0 lets
+/// each child defer to CHUTE_JOBS).
+unsigned jobsFromArgs(int Argc, char **Argv, unsigned Default = 0);
 
 } // namespace chute::bench
 

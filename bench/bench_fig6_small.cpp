@@ -5,6 +5,7 @@
 // their negations). Usage:
 //
 //   bench_fig6_small [--timeout SECONDS] [--rows A-B] [--json PATH]
+//                    [--jobs N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +26,7 @@ int main(int Argc, char **Argv) {
       Rows.push_back(R);
   unsigned Mismatches = bench::runTable(
       "Figure 6: small benchmarks (operator combinations)", Rows,
-      Timeout, bench::jsonPathFromArgs(Argc, Argv));
+      Timeout, bench::jsonPathFromArgs(Argc, Argv),
+      bench::jobsFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

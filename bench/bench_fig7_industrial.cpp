@@ -5,6 +5,7 @@
 // the SoftUpdates patch system), 28 base rows plus negations. Usage:
 //
 //   bench_fig7_industrial [--timeout SECONDS] [--rows A-B] [--json PATH]
+//                         [--jobs N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +26,7 @@ int main(int Argc, char **Argv) {
       Rows.push_back(R);
   unsigned Mismatches = bench::runTable(
       "Figure 7: industrial code models", Rows, Timeout,
-      bench::jsonPathFromArgs(Argc, Argv));
+      bench::jsonPathFromArgs(Argc, Argv),
+      bench::jobsFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

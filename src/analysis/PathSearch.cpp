@@ -45,13 +45,19 @@ PathSearch::findPath(const Region &From, const Region &Target,
   ExprContext &Ctx = P.exprContext();
 
   // Zero-length solution? (The start position is exempt from
-  // Within, consistently with feasible().)
-  for (Loc L = 0; L < P.numLocations(); ++L) {
-    ExprRef Here = Ctx.mkAnd(From.at(L), Target.at(L));
-    if (Here->isFalse())
-      continue;
-    if (S.isSat(Here))
-      return std::vector<unsigned>{};
+  // Within, consistently with feasible().) The per-location probes
+  // are independent, so discharge them as one batch; any Sat at any
+  // location yields the same empty path.
+  {
+    std::vector<ExprRef> Probes;
+    for (Loc L = 0; L < P.numLocations(); ++L) {
+      ExprRef Here = Ctx.mkAnd(From.at(L), Target.at(L));
+      if (!Here->isFalse())
+        Probes.push_back(Here);
+    }
+    for (SatResult R : S.checkSatBatch(Probes))
+      if (R == SatResult::Sat)
+        return std::vector<unsigned>{};
   }
 
   // Backward CFG distance to any location where Target can hold, for

@@ -5,8 +5,10 @@
 #include "expr/ExprBuilder.h"
 #include "support/Debug.h"
 #include "support/StringExtras.h"
+#include "support/TaskPool.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace chute;
 
@@ -38,20 +40,27 @@ bool RecurrentSetChecker::isRecurrent(const Region &X, const Region &C,
   // only states reachable from X∩C inside C arise in that argument.
   Region CF = C.unite(Ctx, F);
   Region SuccInCF = Ts.preExists(CF);
-  for (Loc L = 0; L < P.numLocations(); ++L) {
-    ExprRef Domain =
-        Ctx.mkAnd(C.at(L), Ctx.mkNot(F.at(L)));
-    if (Inv != nullptr)
-      Domain = Ctx.mkAnd(Domain, Inv->at(L));
-    if (S.isUnsat(Domain))
-      continue;
-    if (!S.implies(Domain, SuccInCF.at(L))) {
-      CHUTE_DEBUG(debugLine("rcr fails at location " +
-                            P.locationName(L)));
-      return false;
-    }
-  }
-  return true;
+  // Per-location obligations are independent (location L passes iff
+  // its domain is empty or implies a successor in C ∪ F), so they
+  // fan out across the pool; the conjunction of verdicts matches
+  // the sequential early-exit loop exactly.
+  std::atomic<bool> AllOk{true};
+  TaskPool::global().parallelFor(
+      P.numLocations(), [&](std::size_t I) {
+        Loc L = static_cast<Loc>(I);
+        ExprRef Domain =
+            Ctx.mkAnd(C.at(L), Ctx.mkNot(F.at(L)));
+        if (Inv != nullptr)
+          Domain = Ctx.mkAnd(Domain, Inv->at(L));
+        if (S.isUnsat(Domain))
+          return;
+        if (!S.implies(Domain, SuccInCF.at(L))) {
+          CHUTE_DEBUG(debugLine("rcr fails at location " +
+                                P.locationName(L)));
+          AllOk.store(false, std::memory_order_relaxed);
+        }
+      });
+  return AllOk.load(std::memory_order_relaxed);
 }
 
 std::optional<ExprRef>

@@ -3,8 +3,10 @@
 #include "core/ChuteRefiner.h"
 
 #include "support/Debug.h"
+#include "support/TaskPool.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace chute;
 
@@ -12,9 +14,19 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
                             const ChuteMap &Chutes) {
   SmtPhaseScope Phase(S, FailPhase::RcrCheck);
   const Program &P = Ts.program();
-  for (DerivationNode *Node : Proof.existentialNodes()) {
-    if (Node->RcrChecked)
-      continue; // Vacuous obligations are pre-marked.
+  // The recurrent-set obligations of distinct existential nodes are
+  // independent, so they fan out across the pool; the check passes
+  // iff every obligation passes, which is order-insensitive. Each
+  // passing node is marked so later rounds skip it (the parallel run
+  // may mark nodes past a failing one — strictly more caching, same
+  // semantics).
+  std::vector<DerivationNode *> Pending;
+  for (DerivationNode *Node : Proof.existentialNodes())
+    if (!Node->RcrChecked) // Vacuous obligations are pre-marked.
+      Pending.push_back(Node);
+  std::atomic<bool> AllOk{true};
+  TaskPool::global().parallelFor(Pending.size(), [&](std::size_t I) {
+    DerivationNode *Node = Pending[I];
     Region F = Node->Frontier ? *Node->Frontier : Region::bottom(P);
     const Region &C = Chutes.at(Node->Pi);
     const Region *Inv =
@@ -22,11 +34,12 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
     if (!Rcr.isRecurrent(Node->X, C, F, Inv)) {
       CHUTE_DEBUG(debugLine("RCRCHECK failed for " +
                             Node->Pi.toString()));
-      return false;
+      AllOk.store(false, std::memory_order_relaxed);
+      return;
     }
     Node->RcrChecked = true;
-  }
-  return true;
+  });
+  return AllOk.load(std::memory_order_relaxed);
 }
 
 RefineOutcome ChuteRefiner::prove(CtlRef F) {

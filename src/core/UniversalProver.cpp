@@ -229,11 +229,23 @@ UniversalProver::proveAtom(const SubformulaPath &Pi, CtlRef F,
 
   Region Bad = Region::bottom(P);
   bool AnyBad = false;
+  // The per-location violation checks are independent: build every
+  // obligation first, then discharge them as one batch (concurrent
+  // under the pool, inline and in order otherwise).
+  std::vector<Loc> Locs;
+  std::vector<ExprRef> Obligations;
   for (Loc L = 0; L < P.numLocations(); ++L) {
     ExprRef B = simplify(Ctx, Ctx.mkAnd(X.at(L), Ctx.mkNot(Pred)));
-    if (B->isFalse() || S.isUnsat(B))
+    if (B->isFalse())
       continue;
-    Bad.set(L, B);
+    Locs.push_back(L);
+    Obligations.push_back(B);
+  }
+  std::vector<SatResult> Verdicts = S.checkSatBatch(Obligations);
+  for (std::size_t I = 0; I < Obligations.size(); ++I) {
+    if (Verdicts[I] == SatResult::Unsat)
+      continue;
+    Bad.set(Locs[I], Obligations[I]);
     AnyBad = true;
   }
 

@@ -5,6 +5,7 @@
 #include "ctl/CtlParser.h"
 #include "support/Debug.h"
 #include "support/Stopwatch.h"
+#include "support/TaskPool.h"
 
 using namespace chute;
 
@@ -35,6 +36,17 @@ RetryStats statsDelta(const RetryStats &Now, const RetryStats &Then) {
   D.Recovered = Now.Recovered - Then.Recovered;
   D.Exhausted = Now.Exhausted - Then.Exhausted;
   D.BudgetDenied = Now.BudgetDenied - Then.BudgetDenied;
+  D.CacheHits = Now.CacheHits - Then.CacheHits;
+  return D;
+}
+
+QueryCacheStats cacheDelta(const QueryCacheStats &Now,
+                           const QueryCacheStats &Then) {
+  QueryCacheStats D;
+  D.Hits = Now.Hits - Then.Hits;
+  D.Misses = Now.Misses - Then.Misses;
+  D.Evictions = Now.Evictions - Then.Evictions;
+  D.Insertions = Now.Insertions - Then.Insertions;
   return D;
 }
 
@@ -44,6 +56,10 @@ VerifyResult Verifier::verify(CtlRef F) {
   Stopwatch Timer;
   VerifyResult Result;
 
+  // Size the global pool for this run (0 keeps whatever is
+  // configured — CHUTE_JOBS or a prior explicit size).
+  Result.Jobs = TaskPool::configureGlobal(Opts.Jobs);
+
   // Root budget for this call, carved out of the verifier's
   // cancellation domain; the proof attempt gets a slice, the
   // negation attempt whatever is left when it starts (so an early
@@ -52,6 +68,7 @@ VerifyResult Verifier::verify(CtlRef F) {
                                    : CancelRoot;
   Solver.setRetryPolicy(Opts.Retry);
   RetryStats Before = Solver.totalRetryStats();
+  QueryCacheStats CacheBefore = Solver.cacheStats();
 
   {
     Solver.setBudget(Opts.TryNegation
@@ -65,7 +82,7 @@ VerifyResult Verifier::verify(CtlRef F) {
     if (Out.proved()) {
       Result.V = Verdict::Proved;
       Result.Proof = std::move(Out.Proof);
-      finish(Result, Timer, Before);
+      finish(Result, Timer, Before, CacheBefore);
       return Result;
     }
     Result.Failure = std::move(Out.Failure);
@@ -83,7 +100,7 @@ VerifyResult Verifier::verify(CtlRef F) {
         Result.V = Verdict::Disproved;
         Result.Proof = std::move(Out.Proof);
         Result.ProofIsOfNegation = true;
-        finish(Result, Timer, Before);
+        finish(Result, Timer, Before, CacheBefore);
         return Result;
       }
       // Prefer the primary attempt's failure; fall back to the
@@ -100,14 +117,16 @@ VerifyResult Verifier::verify(CtlRef F) {
   }
 
   Result.V = Verdict::Unknown;
-  finish(Result, Timer, Before);
+  finish(Result, Timer, Before, CacheBefore);
   return Result;
 }
 
 void Verifier::finish(VerifyResult &Result, Stopwatch &Timer,
-                      const RetryStats &Before) {
+                      const RetryStats &Before,
+                      const QueryCacheStats &CacheBefore) {
   Result.Seconds = Timer.seconds();
   Result.SmtStats = statsDelta(Solver.totalRetryStats(), Before);
+  Result.CacheStats = cacheDelta(Solver.cacheStats(), CacheBefore);
   // Post-verification utilities (checkProof, witness) run ungoverned
   // again; each verify() call installs its own fresh budget.
   Solver.setBudget(Budget::unlimited());

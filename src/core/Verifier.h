@@ -46,6 +46,11 @@ struct VerifierOptions {
   double PrimaryShare = 0.6;
   /// Backoff schedule for Unknown SMT answers.
   RetryPolicy Retry;
+  /// Worker threads for the parallel proof engine: independent
+  /// proof obligations and SMT discharge batches fan out over this
+  /// many threads (each with its own Z3 context). 0 defers to
+  /// CHUTE_JOBS / the existing global pool; 1 is fully sequential.
+  unsigned Jobs = 0;
 };
 
 /// Result of one verification run.
@@ -68,6 +73,10 @@ struct VerifyResult {
   FailureInfo Failure;
   /// SMT retry/backoff activity during this run (all phases).
   RetryStats SmtStats;
+  /// Query-cache activity during this run (hits/misses/evictions).
+  QueryCacheStats CacheStats;
+  /// Worker threads the run executed with (the global pool size).
+  unsigned Jobs = 1;
 
   bool proved() const { return V == Verdict::Proved; }
   bool disproved() const { return V == Verdict::Disproved; }
@@ -117,7 +126,8 @@ public:
 private:
   /// Stamps timing/stat fields and releases the budget.
   void finish(VerifyResult &Result, Stopwatch &Timer,
-              const RetryStats &Before);
+              const RetryStats &Before,
+              const QueryCacheStats &CacheBefore);
 
   VerifierOptions Opts;
   LiftedProgram LP;

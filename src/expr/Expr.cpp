@@ -73,6 +73,15 @@ static std::size_t hashNode(ExprKind K, std::int64_t IV,
 ExprRef ExprContext::intern(ExprKind K, std::int64_t IV, std::string N,
                             std::vector<ExprRef> Ops,
                             std::vector<ExprRef> Bound) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return internLocked(K, IV, std::move(N), std::move(Ops),
+                      std::move(Bound));
+}
+
+ExprRef ExprContext::internLocked(ExprKind K, std::int64_t IV,
+                                  std::string N,
+                                  std::vector<ExprRef> Ops,
+                                  std::vector<ExprRef> Bound) {
   std::size_t H = hashNode(K, IV, N, Ops, Bound);
   auto &Bucket = Buckets[H];
   for (ExprRef Existing : Bucket) {
@@ -103,6 +112,7 @@ ExprRef ExprContext::mkTrue() { return TrueNode; }
 ExprRef ExprContext::mkFalse() { return FalseNode; }
 
 ExprRef ExprContext::freshVar(const std::string &Prefix) {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::uint64_t &Counter = FreshCounters[Prefix];
   for (;;) {
     std::string Name = Prefix + "!" + std::to_string(Counter++);
@@ -117,7 +127,7 @@ ExprRef ExprContext::freshVar(const std::string &Prefix) {
           Exists = true;
     }
     if (!Exists)
-      return mkVar(Name);
+      return internLocked(ExprKind::Var, 0, Name, {}, {});
   }
 }
 

@@ -29,6 +29,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -144,6 +145,11 @@ private:
 /// Owns and uniquifies expression nodes. All exprs that interact with
 /// each other (programs, CTL atoms, chutes) must come from the same
 /// context.
+///
+/// Thread safety: node creation (every mk* call) serialises on an
+/// internal mutex, so worker threads of the proof-obligation
+/// scheduler may build expressions concurrently. Nodes themselves are
+/// immutable after interning and may be read without locking.
 class ExprContext {
 public:
   ExprContext();
@@ -203,7 +209,10 @@ public:
   ExprRef mkForall(std::vector<ExprRef> Bound, ExprRef Body);
 
   /// Number of distinct nodes created so far (for tests/stats).
-  std::size_t numNodes() const { return Nodes.size(); }
+  std::size_t numNodes() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Nodes.size();
+  }
 
   /// Creates a fresh variable whose name starts with \p Prefix and is
   /// distinct from every variable created through this context so far.
@@ -212,11 +221,17 @@ public:
 private:
   ExprRef intern(ExprKind K, std::int64_t IV, std::string N,
                  std::vector<ExprRef> Ops, std::vector<ExprRef> Bound);
+  /// intern() body without taking Mu (callers hold it already).
+  ExprRef internLocked(ExprKind K, std::int64_t IV, std::string N,
+                       std::vector<ExprRef> Ops,
+                       std::vector<ExprRef> Bound);
 
   struct Key;
   struct KeyHash;
   struct KeyEq;
 
+  /// Guards Nodes, Buckets and FreshCounters; see the class comment.
+  mutable std::mutex Mu;
   std::vector<std::unique_ptr<ExprNode>> Nodes;
   std::unordered_map<std::size_t, std::vector<ExprRef>> Buckets;
   std::unordered_map<std::string, std::uint64_t> FreshCounters;

@@ -59,6 +59,36 @@ LinearTerm LinearTerm::scaled(std::int64_t K) const {
   return Result;
 }
 
+std::optional<LinearTerm> LinearTerm::plusChecked(
+    const LinearTerm &Other) const {
+  LinearTerm Result = *this;
+  if (__builtin_add_overflow(Result.Const, Other.Const, &Result.Const))
+    return std::nullopt;
+  for (const auto &[Var, C] : Other.Terms) {
+    // addCoeff sums into the existing coefficient; pre-check that sum.
+    std::int64_t Cur = Result.coeff(Var);
+    std::int64_t Sum;
+    if (__builtin_add_overflow(Cur, C, &Sum))
+      return std::nullopt;
+    Result.addCoeff(Var, C);
+  }
+  return Result;
+}
+
+std::optional<LinearTerm> LinearTerm::scaledChecked(
+    std::int64_t K) const {
+  LinearTerm Result;
+  if (K == 0)
+    return Result;
+  if (__builtin_mul_overflow(Const, K, &Result.Const))
+    return std::nullopt;
+  Result.Terms = Terms;
+  for (auto &[Var, C] : Result.Terms)
+    if (__builtin_mul_overflow(C, K, &C))
+      return std::nullopt;
+  return Result;
+}
+
 std::int64_t LinearTerm::drop(ExprRef V) {
   for (auto It = Terms.begin(); It != Terms.end(); ++It) {
     if (It->first == V) {

@@ -52,6 +52,12 @@ public:
   /// this * K.
   LinearTerm scaled(std::int64_t K) const;
 
+  /// this + Other with overflow detection: nullopt when any
+  /// coefficient or the constant would wrap int64.
+  std::optional<LinearTerm> plusChecked(const LinearTerm &Other) const;
+  /// this * K with overflow detection.
+  std::optional<LinearTerm> scaledChecked(std::int64_t K) const;
+
   /// Removes the variable \p V (returns its former coefficient).
   std::int64_t drop(ExprRef V);
 

@@ -36,10 +36,15 @@ bool tidyAtoms(std::vector<LinearAtom> &Atoms) {
 }
 
 /// Substitutes v := Sol (a linear term) into \p T, where \p T has
-/// coefficient \p C for v already removed.
-LinearTerm substInto(const LinearTerm &TWithoutV, std::int64_t C,
-                     const LinearTerm &Sol) {
-  return TWithoutV.plus(Sol.scaled(C));
+/// coefficient \p C for v already removed. Nullopt when the scaled
+/// sum wraps int64.
+std::optional<LinearTerm> substInto(const LinearTerm &TWithoutV,
+                                    std::int64_t C,
+                                    const LinearTerm &Sol) {
+  std::optional<LinearTerm> Scaled = Sol.scaledChecked(C);
+  if (!Scaled)
+    return std::nullopt;
+  return TWithoutV.plusChecked(*Scaled);
 }
 
 } // namespace
@@ -68,8 +73,15 @@ FmResult chute::fourierMotzkinProject(ExprContext &Ctx,
       Atoms.erase(Atoms.begin() + static_cast<std::ptrdiff_t>(I));
       for (LinearAtom &A : Atoms) {
         std::int64_t CA = A.Term.drop(V);
-        if (CA != 0)
-          A.Term = substInto(A.Term, CA, Sol);
+        if (CA == 0)
+          continue;
+        std::optional<LinearTerm> Sub = substInto(A.Term, CA, Sol);
+        if (!Sub) {
+          Result.Overflow = true;
+          Result.Formula = nullptr;
+          return Result;
+        }
+        A.Term = std::move(*Sub);
       }
       Substituted = true;
       break;
@@ -92,8 +104,14 @@ FmResult chute::fourierMotzkinProject(ExprContext &Ctx,
         continue;
       }
       if (A.Rel == ExprKind::Eq) {
+        std::optional<LinearTerm> Negated = A.Term.scaledChecked(-1);
+        if (!Negated) {
+          Result.Overflow = true;
+          Result.Formula = nullptr;
+          return Result;
+        }
         LinearAtom Le1{A.Term, ExprKind::Le};
-        LinearAtom Le2{A.Term.scaled(-1), ExprKind::Le};
+        LinearAtom Le2{std::move(*Negated), ExprKind::Le};
         Work.push_back(std::move(Le1));
         Work.push_back(std::move(Le2));
         continue;
@@ -125,9 +143,23 @@ FmResult chute::fourierMotzkinProject(ExprContext &Ctx,
         RL.drop(V);
         LinearTerm RU = U.Term;
         RU.drop(V);
+        // RL*CU + RU*(-CL), every product and sum overflow-checked
+        // (-CL itself wraps when CL is INT64_MIN).
+        std::optional<LinearTerm> ScaledL = RL.scaledChecked(CU);
+        std::optional<LinearTerm> ScaledU =
+            CL == INT64_MIN ? std::optional<LinearTerm>()
+                            : RU.scaledChecked(-CL);
+        std::optional<LinearTerm> Sum =
+            ScaledL && ScaledU ? ScaledL->plusChecked(*ScaledU)
+                               : std::nullopt;
+        if (!Sum) {
+          Result.Overflow = true;
+          Result.Formula = nullptr;
+          return Result;
+        }
         LinearAtom New;
         New.Rel = ExprKind::Le;
-        New.Term = RL.scaled(CU).plus(RU.scaled(-CL));
+        New.Term = std::move(*Sum);
         // The combination is integer-exact when either coefficient is
         // a unit (standard Omega-test real/dark shadow coincidence).
         if (CL != -1 && CU != 1)

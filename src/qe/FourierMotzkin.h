@@ -39,12 +39,17 @@ namespace chute {
 /// Result of a Fourier-Motzkin projection.
 struct FmResult {
   /// Quantifier-free formula implied by (and when Exact, equivalent
-  /// to) `exists Vars. Input`.
+  /// to) `exists Vars. Input`. Null when Overflow is set.
   ExprRef Formula = nullptr;
   /// True when the projection is exact over the integers.
   bool Exact = true;
   /// Number of atom pairs combined (for stats/benchmarks).
   std::uint64_t Combinations = 0;
+  /// True when a cross-elimination product or substitution would
+  /// have wrapped int64. The projection is abandoned (Formula is
+  /// null) and callers must fall back to Z3's qe tactic — silently
+  /// wrapped coefficients would make the "projection" unsound.
+  bool Overflow = false;
 };
 
 /// Projects the variables \p Vars out of the conjunction \p Conj.

@@ -18,12 +18,14 @@ QeEngine::projectExists(ExprRef Body, const std::vector<ExprRef> &Vars) {
 
   if (Strategy != QeStrategy::Z3Tactic) {
     auto Fm = fourierMotzkinProject(Ctx, Body, Vars);
-    if (Fm) {
+    if (Fm && !Fm->Overflow) {
       ++S.FmCalls;
       if (!Fm->Exact)
         ++S.FmInexact;
       return Fm->Formula;
     }
+    if (Fm && Fm->Overflow)
+      ++S.FmOverflow; // fall through to the Z3 tactic in Auto
     if (Strategy == QeStrategy::FourierMotzkin) {
       ++S.Failures;
       return std::nullopt;

@@ -18,6 +18,8 @@
 #include "qe/FourierMotzkin.h"
 #include "smt/SmtQueries.h"
 
+#include <atomic>
+
 namespace chute {
 
 /// Strategy selection for projection queries.
@@ -39,13 +41,15 @@ public:
   std::optional<ExprRef> projectExists(ExprRef Body,
                                        const std::vector<ExprRef> &Vars);
 
-  /// Statistics for the ablation benchmark.
+  /// Statistics for the ablation benchmark. Atomics: projection
+  /// queries run concurrently on the proof scheduler's workers.
   struct Stats {
-    std::uint64_t FmCalls = 0;
-    std::uint64_t FmInexact = 0;
-    std::uint64_t Z3Calls = 0;
-    std::uint64_t Failures = 0;
-    std::uint64_t BudgetDenied = 0; ///< refused: budget expired
+    std::atomic<std::uint64_t> FmCalls{0};
+    std::atomic<std::uint64_t> FmInexact{0};
+    std::atomic<std::uint64_t> FmOverflow{0}; ///< FM aborted, wrapped int64
+    std::atomic<std::uint64_t> Z3Calls{0};
+    std::atomic<std::uint64_t> Failures{0};
+    std::atomic<std::uint64_t> BudgetDenied{0}; ///< refused: budget expired
   };
 
   const Stats &stats() const { return S; }

@@ -41,14 +41,15 @@ std::uint64_t chute::smtFaultInjectedCount() {
 
 bool chute::smtFaultShouldInjectUnknown() {
   const SmtFaultPlan &Plan = smtFaultPlan();
-  if (Plan.DelayMs != 0)
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(Plan.DelayMs));
-  if (Plan.UnknownEveryN == 0)
+  unsigned Delay = Plan.DelayMs.load(std::memory_order_relaxed);
+  if (Delay != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+  unsigned EveryN = Plan.UnknownEveryN.load(std::memory_order_relaxed);
+  if (EveryN == 0)
     return false;
   std::uint64_t N =
       CheckCounter.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (N % Plan.UnknownEveryN != 0)
+  if (N % EveryN != 0)
     return false;
   InjectedCounter.fetch_add(1, std::memory_order_relaxed);
   return true;

@@ -17,17 +17,36 @@
 #ifndef CHUTE_SMT_FAULTINJECTION_H
 #define CHUTE_SMT_FAULTINJECTION_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace chute {
 
 /// The active fault plan. All-zero means no injection.
+///
+/// The fields are atomics because under the parallel proof scheduler
+/// the plan is read from Z3Solver::check on every worker thread while
+/// tests (or signal-free teardown paths) write it from the main
+/// thread. Copy construction/assignment are defined so the idiomatic
+/// reset `smtFaultPlan() = SmtFaultPlan()` keeps working.
 struct SmtFaultPlan {
   /// Force Unknown on every Nth solver check (0 = disabled; 1 =
   /// every check).
-  unsigned UnknownEveryN = 0;
+  std::atomic<unsigned> UnknownEveryN{0};
   /// Sleep this long before every solver check (0 = disabled).
-  unsigned DelayMs = 0;
+  std::atomic<unsigned> DelayMs{0};
+
+  SmtFaultPlan() = default;
+  SmtFaultPlan(const SmtFaultPlan &O)
+      : UnknownEveryN(O.UnknownEveryN.load(std::memory_order_relaxed)),
+        DelayMs(O.DelayMs.load(std::memory_order_relaxed)) {}
+  SmtFaultPlan &operator=(const SmtFaultPlan &O) {
+    UnknownEveryN.store(O.UnknownEveryN.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    DelayMs.store(O.DelayMs.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Mutable access to the plan (tests overwrite it; remember to reset

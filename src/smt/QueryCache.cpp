@@ -1,0 +1,115 @@
+//===- smt/QueryCache.cpp - Content-addressed SMT result cache -------------===//
+
+#include "smt/QueryCache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chute;
+
+QueryCache::QueryCache(std::size_t Capacity) : Cap(Capacity) {}
+
+std::size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Lru.size();
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+void QueryCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lru.clear();
+  Buckets.clear();
+}
+
+QueryCache::Entry *QueryCache::find(std::size_t H, EntryKind K,
+                                    ExprRef Key) {
+  auto BucketIt = Buckets.find(H);
+  if (BucketIt == Buckets.end())
+    return nullptr;
+  for (LruList::iterator It : BucketIt->second) {
+    if (It->Kind != K || It->Key != Key)
+      continue; // same hash, different formula or kind: not a hit
+    // Refresh: splice to the front of the LRU list. Iterators stay
+    // valid across splice, so the bucket needs no update.
+    Lru.splice(Lru.begin(), Lru, It);
+    return &*It;
+  }
+  return nullptr;
+}
+
+void QueryCache::evictOne() {
+  assert(!Lru.empty());
+  auto Last = std::prev(Lru.end());
+  auto BucketIt = Buckets.find(Last->Hash);
+  assert(BucketIt != Buckets.end());
+  auto &Vec = BucketIt->second;
+  Vec.erase(std::remove(Vec.begin(), Vec.end(), Last), Vec.end());
+  if (Vec.empty())
+    Buckets.erase(BucketIt);
+  Lru.erase(Last);
+  ++St.Evictions;
+}
+
+void QueryCache::insert(std::size_t H, EntryKind K, ExprRef Key,
+                        SatResult R, ExprRef QeOut) {
+  if (Cap == 0)
+    return;
+  if (Entry *Existing = find(H, K, Key)) {
+    Existing->Verdict = R;
+    Existing->QeOut = QeOut;
+    return;
+  }
+  while (Lru.size() >= Cap)
+    evictOne();
+  Lru.push_front(Entry{H, K, Key, R, QeOut});
+  Buckets[H].push_back(Lru.begin());
+  ++St.Insertions;
+}
+
+std::optional<SatResult> QueryCache::lookupSat(ExprRef E) {
+  return lookupSatWithHash(E->hash(), E);
+}
+
+void QueryCache::storeSat(ExprRef E, SatResult R) {
+  storeSatWithHash(E->hash(), E, R);
+}
+
+std::optional<SatResult> QueryCache::lookupSatWithHash(std::size_t H,
+                                                       ExprRef E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *Found = find(H, EntryKind::Sat, E)) {
+    ++St.Hits;
+    return Found->Verdict;
+  }
+  ++St.Misses;
+  return std::nullopt;
+}
+
+void QueryCache::storeSatWithHash(std::size_t H, ExprRef E,
+                                  SatResult R) {
+  if (R == SatResult::Unknown)
+    return; // transient: must reach the solver again next time
+  std::lock_guard<std::mutex> Lock(Mu);
+  insert(H, EntryKind::Sat, E, R, nullptr);
+}
+
+std::optional<ExprRef> QueryCache::lookupQe(ExprRef E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *Found = find(E->hash(), EntryKind::Qe, E)) {
+    ++St.Hits;
+    return Found->QeOut;
+  }
+  ++St.Misses;
+  return std::nullopt;
+}
+
+void QueryCache::storeQe(ExprRef E, ExprRef Out) {
+  if (Out == nullptr)
+    return; // failed eliminations are not memoized
+  std::lock_guard<std::mutex> Lock(Mu);
+  insert(E->hash(), EntryKind::Qe, E, SatResult::Unknown, Out);
+}

@@ -1,0 +1,144 @@
+//===- smt/QueryCache.h - Content-addressed SMT result cache --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU-bounded, content-addressed cache of SMT verdicts and
+/// quantifier-elimination outputs, shared by all worker threads of
+/// one Smt facade.
+///
+/// Keys are the structural hash every ExprNode caches at construction
+/// (ExprNode::hash()), so a lookup costs one hash-map probe with no
+/// re-traversal of the formula. Hash collisions are survivable, not
+/// assumed away: each entry also stores the exact ExprRef it was
+/// inserted under, and because expressions are hash-consed (pointer
+/// equality is structural equality within a context), a lookup only
+/// hits when the pointer matches. Two different formulas that happen
+/// to share a hash simply occupy two entries in the same bucket.
+///
+/// Only information that is stable across solver runs is memoized:
+/// definite Sat/Unsat verdicts and successful QE outputs. Unknown
+/// answers (timeouts, injected faults) and failed eliminations are
+/// never cached — retrying them later with a bigger timeout must
+/// reach the solver. Models are not cached either; a Sat hit on a
+/// model-requesting query falls through to the solver.
+///
+/// The cache is keyed purely on expression identity, so it must not
+/// be shared across ExprContexts (distinct programs): Smt owns one
+/// cache per facade, and Verifier owns one facade per program, which
+/// gives that invalidation for free. clear() exists for callers that
+/// re-seat a facade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_QUERYCACHE_H
+#define CHUTE_SMT_QUERYCACHE_H
+
+#include "expr/Expr.h"
+#include "smt/Z3Solver.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace chute {
+
+/// Hit/miss/evict counters for one cache (monotone; read via
+/// QueryCache::stats()).
+struct QueryCacheStats {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Evictions = 0;
+  std::uint64_t Insertions = 0;
+
+  double hitRate() const {
+    std::uint64_t Lookups = Hits + Misses;
+    return Lookups == 0 ? 0.0
+                        : static_cast<double>(Hits) /
+                              static_cast<double>(Lookups);
+  }
+
+  QueryCacheStats &operator+=(const QueryCacheStats &O) {
+    Hits += O.Hits;
+    Misses += O.Misses;
+    Evictions += O.Evictions;
+    Insertions += O.Insertions;
+    return *this;
+  }
+};
+
+/// Thread-safe LRU cache of SMT verdicts and QE results.
+class QueryCache {
+public:
+  /// \p Capacity bounds the number of live entries (Sat and QE
+  /// entries share the bound); 0 disables caching entirely.
+  explicit QueryCache(std::size_t Capacity = 8192);
+
+  std::size_t capacity() const { return Cap; }
+  std::size_t size() const;
+
+  /// Cached satisfiability verdict of \p E, if any. Counts a hit or
+  /// a miss.
+  std::optional<SatResult> lookupSat(ExprRef E);
+
+  /// Records a definite verdict for \p E. Unknown is ignored.
+  void storeSat(ExprRef E, SatResult R);
+
+  /// Cached QE output for input \p E, if any. Counts a hit or a miss.
+  std::optional<ExprRef> lookupQe(ExprRef E);
+
+  /// Records a successful elimination \p E -> \p Out.
+  void storeQe(ExprRef E, ExprRef Out);
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+  QueryCacheStats stats() const;
+
+  //===-- Testing hooks ----------------------------------------------===//
+  // The hash is normally taken from E->hash(); these variants accept
+  // it explicitly so tests can force two distinct formulas into the
+  // same bucket and check that collision never aliases results.
+  std::optional<SatResult> lookupSatWithHash(std::size_t H, ExprRef E);
+  void storeSatWithHash(std::size_t H, ExprRef E, SatResult R);
+
+private:
+  enum class EntryKind : std::uint8_t { Sat, Qe };
+
+  struct Entry {
+    std::size_t Hash = 0;
+    EntryKind Kind = EntryKind::Sat;
+    ExprRef Key = nullptr;    ///< exact formula this entry answers
+    SatResult Verdict = SatResult::Unknown;
+    ExprRef QeOut = nullptr;
+  };
+
+  using LruList = std::list<Entry>;
+
+  /// Finds the entry for (H, Kind, Key), refreshing its LRU position.
+  /// Returns nullptr on miss. Caller holds Mu.
+  Entry *find(std::size_t H, EntryKind K, ExprRef Key);
+
+  /// Inserts or overwrites (H, Kind, Key). Caller holds Mu.
+  void insert(std::size_t H, EntryKind K, ExprRef Key, SatResult R,
+              ExprRef QeOut);
+
+  /// Evicts the least-recently-used entry. Caller holds Mu.
+  void evictOne();
+
+  std::size_t Cap;
+  mutable std::mutex Mu;
+  /// Most-recently-used first.
+  LruList Lru;
+  /// Structural hash -> entries sharing it (collision bucket).
+  std::unordered_map<std::size_t, std::vector<LruList::iterator>> Buckets;
+  QueryCacheStats St;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_QUERYCACHE_H

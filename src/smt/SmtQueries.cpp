@@ -4,6 +4,7 @@
 
 #include "smt/Z3Translate.h"
 #include "support/Debug.h"
+#include "support/TaskPool.h"
 
 #include <algorithm>
 
@@ -12,7 +13,19 @@ using namespace chute;
 Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs)
     : Ctx(Ctx), TimeoutMs(TimeoutMs) {}
 
+Smt::~Smt() = default;
+
+Z3Context &Smt::threadZ3() {
+  std::thread::id Me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> Lock(Z3Mu);
+  std::unique_ptr<Z3Context> &Slot = ThreadZ3[Me];
+  if (!Slot)
+    Slot = std::make_unique<Z3Context>();
+  return *Slot;
+}
+
 RetryStats Smt::totalRetryStats() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
   RetryStats Total;
   for (const auto &[Phase, St] : Stats)
     Total += St;
@@ -21,37 +34,61 @@ RetryStats Smt::totalRetryStats() const {
 
 SatResult Smt::runQuery(ExprRef E, bool WantModel,
                         std::optional<Model> *ModelOut) {
-  ++NumQueries;
-  RetryStats &St = Stats[CurPhase];
-  ++St.Queries;
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  const FailPhase Phase = CurPhase.load(std::memory_order_relaxed);
 
+  // Stats are accumulated locally and folded in under the lock on
+  // every exit path, so concurrent queries never interleave updates.
+  RetryStats Delta;
+  ++Delta.Queries;
+  auto Commit = [&](SatResult R) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Stats[Phase] += Delta;
+    return R;
+  };
+
+  // Budget before cache: an expired governor refuses even queries
+  // the cache could answer, so the degradation path (BudgetDenied
+  // counters, FailureInfo) is identical with and without caching.
   if (Governor.expired() ||
       Governor.remainingMs() < Budget::MinQueryMs) {
-    ++St.BudgetDenied;
-    return SatResult::Unknown;
+    ++Delta.BudgetDenied;
+    return Commit(SatResult::Unknown);
   }
 
+  // Cache probe. A model-requesting query can only use a cached
+  // Unsat (models are not memoized); a cached Sat still runs the
+  // solver below to obtain the assignment.
+  if (std::optional<SatResult> Cached = Cache.lookupSat(E)) {
+    if (!WantModel || *Cached == SatResult::Unsat) {
+      ++Delta.CacheHits;
+      return Commit(*Cached);
+    }
+  }
+
+  Z3Context &Zc = threadZ3();
   unsigned T = Governor.queryTimeoutMs(TimeoutMs);
   for (unsigned Attempt = 0;; ++Attempt) {
     // A fresh solver per attempt; replaying the assertions is just
     // re-adding E. Re-seeding steers the solver's randomized
     // heuristics onto a different search order.
-    Z3Solver Solver(Z3, T, /*Seed=*/Attempt);
+    Z3Solver Solver(Zc, T, /*Seed=*/Attempt);
     Solver.add(E);
     SatResult R = Solver.check();
     if (R != SatResult::Unknown) {
       if (Attempt != 0)
-        ++St.Recovered;
+        ++Delta.Recovered;
       if (R == SatResult::Sat && WantModel)
         *ModelOut = Solver.getModel(freeVars(E));
-      return R;
+      Cache.storeSat(E, R);
+      return Commit(R);
     }
-    ++St.Unknowns;
+    ++Delta.Unknowns;
     if (Attempt >= Policy.MaxRetries || Governor.expired()) {
-      ++St.Exhausted;
-      return SatResult::Unknown;
+      ++Delta.Exhausted;
+      return Commit(SatResult::Unknown);
     }
-    ++St.Retries;
+    ++Delta.Retries;
     // Escalate, but never past the remaining budget.
     T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
         static_cast<double>(T) * Policy.Backoff, 3600000.0)));
@@ -65,6 +102,13 @@ SatResult Smt::checkSat(ExprRef E) {
   CHUTE_DEBUG(debugLine("checkSat(" + E->toString() +
                         ") = " + toString(R)));
   return R;
+}
+
+std::vector<SatResult> Smt::checkSatBatch(const std::vector<ExprRef> &Es) {
+  std::vector<SatResult> Out(Es.size(), SatResult::Unknown);
+  TaskPool::global().parallelFor(
+      Es.size(), [&](std::size_t I) { Out[I] = checkSat(Es[I]); });
+  return Out;
 }
 
 bool Smt::isSat(ExprRef E) { return checkSat(E) == SatResult::Sat; }
@@ -89,13 +133,25 @@ std::optional<Model> Smt::getModel(ExprRef E) {
 }
 
 std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
-  ++NumQueries;
+  NumQueries.fetch_add(1, std::memory_order_relaxed);
+  const FailPhase Phase = CurPhase.load(std::memory_order_relaxed);
   if (Governor.expired()) {
-    ++Stats[CurPhase].BudgetDenied;
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats[Phase].BudgetDenied;
     return std::nullopt;
   }
-  Z3_context C = Z3.raw();
-  Z3.clearError();
+
+  // QE outputs are deterministic given the input formula, so a prior
+  // successful elimination answers immediately.
+  if (std::optional<ExprRef> Cached = Cache.lookupQe(E)) {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Stats[Phase].CacheHits;
+    return *Cached;
+  }
+
+  Z3Context &Zc = threadZ3();
+  Z3_context C = Zc.raw();
+  Zc.clearError();
 
   Z3_tactic Qe = Z3_mk_tactic(C, "qe");
   Z3_tactic_inc_ref(C, Qe);
@@ -107,7 +163,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   Z3_goal Goal = Z3_mk_goal(C, /*models=*/false, /*unsat_cores=*/false,
                             /*proofs=*/false);
   Z3_goal_inc_ref(C, Goal);
-  Z3_goal_assert(C, Goal, toZ3(Z3, E));
+  Z3_goal_assert(C, Goal, toZ3(Zc, E));
 
   // Bound the tactic by the budget-derived timeout; an un-bounded qe
   // call was the one remaining way a single query could stall the
@@ -120,7 +176,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
 
   std::optional<ExprRef> Result;
   Z3_apply_result Applied = Z3_tactic_apply(C, Bounded, Goal);
-  if (Applied != nullptr && !Z3.hasError()) {
+  if (Applied != nullptr && !Zc.hasError()) {
     Z3_apply_result_inc_ref(C, Applied);
     // Conjoin all formulas across all subgoals.
     std::vector<ExprRef> Parts;
@@ -130,7 +186,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
       Z3_goal Sub = Z3_apply_result_get_subgoal(C, Applied, G);
       unsigned Size = Z3_goal_size(C, Sub);
       for (unsigned I = 0; I < Size && Ok; ++I) {
-        auto Back = fromZ3(Z3, Ctx, Z3_goal_formula(C, Sub, I));
+        auto Back = fromZ3(Zc, Ctx, Z3_goal_formula(C, Sub, I));
         if (!Back) {
           Ok = false;
           break;
@@ -142,12 +198,14 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
       Result = Ctx.mkAnd(std::move(Parts));
     Z3_apply_result_dec_ref(C, Applied);
   }
-  Z3.clearError();
+  Zc.clearError();
 
   Z3_goal_dec_ref(C, Goal);
   Z3_tactic_dec_ref(C, Bounded);
   Z3_tactic_dec_ref(C, Pipeline);
   Z3_tactic_dec_ref(C, Simp);
   Z3_tactic_dec_ref(C, Qe);
+  if (Result)
+    Cache.storeQe(E, *Result);
   return Result;
 }

@@ -8,7 +8,7 @@
 /// The Smt facade every analysis talks to: satisfiability, validity,
 /// implication/equivalence between state formulas, model extraction,
 /// and quantifier elimination via Z3's qe tactic. One instance wraps
-/// one Z3 context and one ExprContext; queries are stateless.
+/// one ExprContext; queries are stateless.
 ///
 /// The facade is also the fault-tolerance boundary of the pipeline:
 /// every query runs under the governing Budget (per-query timeouts
@@ -18,6 +18,19 @@
 /// to a bounded backoff schedule. Per-phase retry statistics record
 /// where the solver struggled.
 ///
+/// Concurrency model: Z3 contexts are not thread-safe, so the facade
+/// owns one Z3Context per thread that queries it (created lazily,
+/// destroyed with the facade). Everything else that mutates — the
+/// query counter, the per-phase stats, the result cache — is atomic
+/// or mutex-guarded, so the parallel proof scheduler may issue
+/// queries from any worker. checkSatBatch is the bulk entry point:
+/// it discharges independent obligations across the global TaskPool.
+///
+/// Definite verdicts and successful QE outputs are memoized in a
+/// content-addressed QueryCache keyed on the structural hash that
+/// every hash-consed node carries, which makes the re-queries of
+/// successive refinement rounds nearly free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHUTE_SMT_SMTQUERIES_H
@@ -25,12 +38,19 @@
 
 #include "expr/Expr.h"
 #include "smt/Model.h"
+#include "smt/QueryCache.h"
 #include "smt/Z3Context.h"
 #include "smt/Z3Solver.h"
 #include "support/Budget.h"
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 namespace chute {
 
@@ -50,6 +70,7 @@ struct RetryStats {
   std::uint64_t Recovered = 0;    ///< queries rescued by a retry
   std::uint64_t Exhausted = 0;    ///< Unknown after the full schedule
   std::uint64_t BudgetDenied = 0; ///< refused: budget already expired
+  std::uint64_t CacheHits = 0;    ///< answered from the QueryCache
 
   RetryStats &operator+=(const RetryStats &O) {
     Queries += O.Queries;
@@ -58,6 +79,7 @@ struct RetryStats {
     Recovered += O.Recovered;
     Exhausted += O.Exhausted;
     BudgetDenied += O.BudgetDenied;
+    CacheHits += O.CacheHits;
     return *this;
   }
 };
@@ -70,9 +92,13 @@ struct RetryStats {
 class Smt {
 public:
   explicit Smt(ExprContext &Ctx, unsigned TimeoutMs = 10000);
+  ~Smt();
 
   ExprContext &exprContext() { return Ctx; }
-  Z3Context &z3Context() { return Z3; }
+
+  /// The Z3 context owned by this facade for the *calling thread*
+  /// (created on first use).
+  Z3Context &z3Context() { return threadZ3(); }
 
   /// Installs the governing budget; per-query timeouts derive from
   /// its remaining time (capped by the construction-time TimeoutMs)
@@ -85,11 +111,16 @@ public:
 
   /// Current retry-stats site; analyses label their query batches
   /// with SmtPhaseScope.
-  void setPhase(FailPhase P) { CurPhase = P; }
-  FailPhase phase() const { return CurPhase; }
+  void setPhase(FailPhase P) { CurPhase.store(P, std::memory_order_relaxed); }
+  FailPhase phase() const { return CurPhase.load(std::memory_order_relaxed); }
 
   /// Raw three-valued satisfiability.
   SatResult checkSat(ExprRef E);
+
+  /// Discharges a batch of independent satisfiability queries,
+  /// fanning out across TaskPool::global() when it is parallel
+  /// (inline and in order otherwise). Results line up with \p Es.
+  std::vector<SatResult> checkSatBatch(const std::vector<ExprRef> &Es);
 
   /// True iff \p E is satisfiable (Unknown maps to false).
   bool isSat(ExprRef E);
@@ -113,19 +144,27 @@ public:
   /// Eliminates the quantifiers of \p E with Z3's qe tactic and
   /// translates back; nullopt when the result leaves the supported
   /// fragment or the tactic fails. Runs under the budget-derived
-  /// timeout.
+  /// timeout. Successful outputs are memoized.
   std::optional<ExprRef> eliminateQuantifiers(ExprRef E);
 
-  /// Number of solver queries issued so far (for stats/ablations).
-  std::uint64_t numQueries() const { return NumQueries; }
+  /// Number of queries issued so far, cache hits included (for
+  /// stats/ablations).
+  std::uint64_t numQueries() const {
+    return NumQueries.load(std::memory_order_relaxed);
+  }
 
-  /// Per-phase retry statistics.
-  const std::map<FailPhase, RetryStats> &retryStats() const {
+  /// Per-phase retry statistics (snapshot).
+  std::map<FailPhase, RetryStats> retryStats() const {
+    std::lock_guard<std::mutex> Lock(StatsMu);
     return Stats;
   }
 
   /// Aggregate over all phases.
   RetryStats totalRetryStats() const;
+
+  /// The memoized-verdict cache shared by all threads of this facade.
+  QueryCache &queryCache() { return Cache; }
+  QueryCacheStats cacheStats() const { return Cache.stats(); }
 
 private:
   /// The shared query driver: check \p E with retry/backoff; when
@@ -133,14 +172,24 @@ private:
   SatResult runQuery(ExprRef E, bool WantModel,
                      std::optional<Model> *ModelOut);
 
+  /// This thread's Z3 context (lazily created).
+  Z3Context &threadZ3();
+
   ExprContext &Ctx;
-  Z3Context Z3;
   unsigned TimeoutMs;
   Budget Governor; ///< unlimited by default
   RetryPolicy Policy;
-  FailPhase CurPhase = FailPhase::None;
+  std::atomic<FailPhase> CurPhase{FailPhase::None};
+
+  /// Guards ThreadZ3 (contexts themselves are single-thread-owned).
+  std::mutex Z3Mu;
+  std::unordered_map<std::thread::id, std::unique_ptr<Z3Context>> ThreadZ3;
+
+  mutable std::mutex StatsMu;
   std::map<FailPhase, RetryStats> Stats;
-  std::uint64_t NumQueries = 0;
+  std::atomic<std::uint64_t> NumQueries{0};
+
+  QueryCache Cache;
 };
 
 /// RAII phase label for a batch of queries.

@@ -3,6 +3,7 @@
 #include "smt/Z3Context.h"
 
 #include <cassert>
+#include <mutex>
 #include <unordered_map>
 
 using namespace chute;
@@ -10,19 +11,35 @@ using namespace chute;
 namespace {
 
 /// Z3 hands the raw context to the error handler; map it back to the
-/// owning wrapper so the handler can record the message. Access is
-/// single-threaded throughout this project.
+/// owning wrapper so the handler can record the message. The parallel
+/// proof scheduler creates one context per worker thread, so the map
+/// is mutated from ctor/dtor on several threads and read from the
+/// error handler concurrently — every access must hold the mutex.
+std::mutex &registryMutex() {
+  static std::mutex Mu;
+  return Mu;
+}
+
 std::unordered_map<Z3_context, Z3Context *> &registry() {
   static std::unordered_map<Z3_context, Z3Context *> Map;
   return Map;
 }
 
 void errorHandler(Z3_context C, Z3_error_code Code) {
-  auto It = registry().find(C);
-  if (It == registry().end())
-    return;
+  Z3Context *Owner = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    auto It = registry().find(C);
+    if (It == registry().end())
+      return;
+    Owner = It->second;
+  }
+  // Z3 invokes the handler on the thread driving C; the owning
+  // wrapper is only used from that same thread, so recording the
+  // message outside the lock is safe (and keeps Z3_get_error_msg —
+  // which may allocate inside C — out of the critical section).
   const char *Msg = Z3_get_error_msg(C, Code);
-  It->second->noteError(Msg != nullptr ? Msg : "unknown Z3 error");
+  Owner->noteError(Msg != nullptr ? Msg : "unknown Z3 error");
 }
 
 } // namespace
@@ -33,13 +50,19 @@ Z3Context::Z3Context() {
   Ctx = Z3_mk_context(Cfg);
   Z3_del_config(Cfg);
   assert(Ctx && "failed to create Z3 context");
-  registry()[Ctx] = this;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    registry()[Ctx] = this;
+  }
   Z3_set_error_handler(Ctx, errorHandler);
 }
 
 Z3Context::~Z3Context() {
   if (Ctx != nullptr) {
-    registry().erase(Ctx);
+    {
+      std::lock_guard<std::mutex> Lock(registryMutex());
+      registry().erase(Ctx);
+    }
     Z3_del_context(Ctx);
   }
 }

@@ -1,0 +1,178 @@
+//===- support/TaskPool.cpp - Fixed-size thread-pool scheduler -------------===//
+
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace chute;
+
+namespace {
+
+/// Set while the current thread is executing pool work; nested
+/// parallelFor calls detect it and degrade to inline execution.
+thread_local bool InsidePoolTask = false;
+
+/// State of one parallelFor call, shared between the caller and the
+/// workers that pick it up.
+struct ForJob {
+  std::size_t N = 0;
+  const std::function<void(std::size_t)> *Fn = nullptr;
+  std::atomic<std::size_t> Next{0}; ///< next index to claim
+  std::atomic<std::size_t> Done{0}; ///< iterations finished
+  std::mutex Mu;
+  std::condition_variable AllDone;
+
+  /// Claims and runs iterations until none remain.
+  void drain() {
+    for (;;) {
+      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      (*Fn)(I);
+      if (Done.fetch_add(1, std::memory_order_acq_rel) + 1 == N) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        AllDone.notify_all();
+      }
+    }
+  }
+};
+
+} // namespace
+
+struct TaskPool::Impl {
+  /// Serialises external parallelFor callers: the pool runs one
+  /// parallel section at a time (nested calls run inline and never
+  /// take this lock).
+  std::mutex CallerMu;
+  std::mutex Mu;
+  std::condition_variable WorkAvailable;
+  std::shared_ptr<ForJob> Current; ///< job workers should join, if any
+  std::uint64_t Generation = 0;    ///< bumped per posted job
+  bool ShuttingDown = false;
+  std::vector<std::thread> Threads;
+
+  void workerLoop() {
+    InsidePoolTask = true;
+    std::uint64_t SeenGeneration = 0;
+    for (;;) {
+      std::shared_ptr<ForJob> Job;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        WorkAvailable.wait(Lock, [&] {
+          return ShuttingDown || (Current && Generation != SeenGeneration);
+        });
+        if (ShuttingDown)
+          return;
+        SeenGeneration = Generation;
+        Job = Current;
+      }
+      Job->drain();
+    }
+  }
+};
+
+TaskPool::TaskPool(unsigned Workers)
+    : NumWorkers(Workers == 0 ? 1 : Workers) {
+  if (NumWorkers > 1)
+    startWorkers();
+}
+
+void TaskPool::startWorkers() {
+  State = new Impl;
+  State->Threads.reserve(NumWorkers - 1);
+  for (unsigned I = 0; I + 1 < NumWorkers; ++I)
+    State->Threads.emplace_back([this] { State->workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  if (State == nullptr)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(State->Mu);
+    State->ShuttingDown = true;
+  }
+  State->WorkAvailable.notify_all();
+  for (std::thread &T : State->Threads)
+    T.join();
+  delete State;
+}
+
+void TaskPool::parallelFor(std::size_t N,
+                           const std::function<void(std::size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (!parallel() || N == 1 || InsidePoolTask) {
+    for (std::size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::lock_guard<std::mutex> CallerLock(State->CallerMu);
+  auto Job = std::make_shared<ForJob>();
+  Job->N = N;
+  Job->Fn = &Fn;
+  {
+    std::lock_guard<std::mutex> Lock(State->Mu);
+    State->Current = Job;
+    ++State->Generation;
+  }
+  State->WorkAvailable.notify_all();
+
+  // The caller participates; by the time drain() returns every index
+  // has been claimed, but workers may still be finishing theirs.
+  // While draining, the caller thread is executing pool work: mark it
+  // so a nested parallelFor inside Fn runs inline instead of trying
+  // to re-acquire CallerMu (self-deadlock).
+  InsidePoolTask = true;
+  Job->drain();
+  InsidePoolTask = false;
+  {
+    std::unique_lock<std::mutex> Lock(Job->Mu);
+    Job->AllDone.wait(Lock, [&] {
+      return Job->Done.load(std::memory_order_acquire) == Job->N;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> Lock(State->Mu);
+    if (State->Current == Job)
+      State->Current = nullptr;
+  }
+}
+
+namespace {
+
+std::mutex GlobalMu;
+std::unique_ptr<TaskPool> GlobalPool;
+
+} // namespace
+
+unsigned TaskPool::defaultJobs() {
+  if (const char *E = std::getenv("CHUTE_JOBS")) {
+    int N = std::atoi(E);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 1;
+}
+
+TaskPool &TaskPool::global() {
+  std::lock_guard<std::mutex> Lock(GlobalMu);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<TaskPool>(defaultJobs());
+  return *GlobalPool;
+}
+
+unsigned TaskPool::configureGlobal(unsigned Workers) {
+  std::lock_guard<std::mutex> Lock(GlobalMu);
+  if (Workers == 0)
+    return GlobalPool ? GlobalPool->workers() : defaultJobs();
+  if (!GlobalPool || GlobalPool->workers() != Workers)
+    GlobalPool = std::make_unique<TaskPool>(Workers);
+  return GlobalPool->workers();
+}

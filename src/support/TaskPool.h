@@ -1,0 +1,86 @@
+//===- support/TaskPool.h - Fixed-size thread-pool scheduler --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, work-stealing-free thread pool for independent proof
+/// obligations and SMT discharge batches. The design keeps the
+/// verifier's sequential semantics intact:
+///
+///  - With one worker (the default) every parallelFor runs inline on
+///    the calling thread, bit-for-bit identical to the pre-pool code.
+///  - Nested parallelFor calls from inside a worker run inline, so
+///    obligation-level parallelism (e.g. RCRCHECK across derivation
+///    nodes) composes with query-level batches without deadlock or
+///    oversubscription.
+///  - Tasks carry whatever state their closure captures; the Budget
+///    cancellation flag is a shared_ptr-backed value type, so a task
+///    capturing a Budget observes cancellation/expiry exactly like
+///    sequential code and unwinds to Verdict::Unknown the same way.
+///
+/// The process-global pool is sized by CHUTE_JOBS (or
+/// VerifierOptions::Jobs / the bench --jobs flag, which configure it
+/// explicitly) and is started lazily on first parallel use —
+/// important for the bench harness, which forks a child per row and
+/// must not inherit live threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_TASKPOOL_H
+#define CHUTE_SUPPORT_TASKPOOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace chute {
+
+/// Fixed-size thread pool with a blocking parallel-for primitive.
+class TaskPool {
+public:
+  /// \p Workers is the total parallelism: N workers means the caller
+  /// plus N-1 pool threads execute iterations. 0 and 1 both mean
+  /// "inline" (no threads are ever started).
+  explicit TaskPool(unsigned Workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  unsigned workers() const { return NumWorkers; }
+
+  /// True when parallelFor may actually fan out.
+  bool parallel() const { return NumWorkers > 1; }
+
+  /// Runs Fn(0) .. Fn(N-1), returning when all have finished. The
+  /// calling thread participates. Runs inline (in index order) when
+  /// the pool is sequential, N <= 1, or the caller is itself a pool
+  /// worker (nested use). In parallel runs the iteration order is
+  /// unspecified; Fn must only touch thread-safe or per-index state.
+  void parallelFor(std::size_t N,
+                   const std::function<void(std::size_t)> &Fn);
+
+  /// The process-global pool (lazily created; see configureGlobal).
+  static TaskPool &global();
+
+  /// Resizes the global pool to \p Workers (0 keeps the current
+  /// size). Joins existing workers first; must not be called from
+  /// inside a task. Returns the resulting worker count.
+  static unsigned configureGlobal(unsigned Workers);
+
+  /// Worker count requested by the environment: CHUTE_JOBS when set
+  /// and positive, else 1 (sequential).
+  static unsigned defaultJobs();
+
+private:
+  struct Impl;
+  void startWorkers();
+
+  unsigned NumWorkers;
+  Impl *State = nullptr;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_TASKPOOL_H

@@ -3,6 +3,9 @@
 #include "ts/Region.h"
 
 #include "support/StringExtras.h"
+#include "support/TaskPool.h"
+
+#include <optional>
 
 using namespace chute;
 
@@ -68,6 +71,16 @@ Region Region::simplified(ExprContext &Ctx) const {
 }
 
 bool Region::isEmpty(Smt &S) const {
+  // With a parallel pool, discharge every location at once; the
+  // conjunction of independent per-location verdicts is the same
+  // either way, the early exit only saves queries sequentially.
+  if (TaskPool::global().parallel() && Formulas.size() > 1) {
+    std::vector<SatResult> Rs = S.checkSatBatch(Formulas);
+    for (SatResult R : Rs)
+      if (R != SatResult::Unsat)
+        return false;
+    return true;
+  }
   for (ExprRef F : Formulas)
     if (!S.isUnsat(F))
       return false;
@@ -76,6 +89,19 @@ bool Region::isEmpty(Smt &S) const {
 
 bool Region::subsetOf(Smt &S, const Region &Other) const {
   assert(size() == Other.size() && "region size mismatch");
+  if (TaskPool::global().parallel() && Formulas.size() > 1) {
+    ExprContext &Ctx = S.exprContext();
+    std::vector<ExprRef> Obligations;
+    Obligations.reserve(Formulas.size());
+    for (std::size_t L = 0; L < Formulas.size(); ++L)
+      Obligations.push_back(Ctx.mkAnd(
+          Formulas[L], Ctx.mkNot(Other.Formulas[L])));
+    std::vector<SatResult> Rs = S.checkSatBatch(Obligations);
+    for (SatResult R : Rs)
+      if (R != SatResult::Unsat)
+        return false;
+    return true;
+  }
   for (std::size_t L = 0; L < Formulas.size(); ++L)
     if (!S.implies(Formulas[L], Other.Formulas[L]))
       return false;
@@ -90,19 +116,44 @@ Region Region::intersectPruned(Smt &S, const Region &Other) const {
   assert(size() == Other.size() && "region size mismatch");
   ExprContext &Ctx = S.exprContext();
   Region R = *this;
+
+  // Each (location, disjunct) decision is independent of the rest,
+  // so the whole grid fans out across the pool; the in-order merge
+  // below rebuilds exactly the formula the sequential loop built.
+  struct Slot {
+    std::size_t L;
+    ExprRef D;
+    std::optional<ExprRef> Keep; ///< nullopt = dropped
+  };
+  std::vector<Slot> Slots;
+  std::vector<std::size_t> PerLoc(Formulas.size(), 0);
+  for (std::size_t L = 0; L < Formulas.size(); ++L) {
+    for (ExprRef D : disjuncts(Formulas[L])) {
+      Slots.push_back(Slot{L, D, std::nullopt});
+      ++PerLoc[L];
+    }
+  }
+
+  TaskPool::global().parallelFor(Slots.size(), [&](std::size_t I) {
+    Slot &Sl = Slots[I];
+    ExprRef O = Other.Formulas[Sl.L];
+    if (S.implies(Sl.D, O)) {
+      Sl.Keep = Sl.D;
+      return;
+    }
+    ExprRef C = simplify(Ctx, Ctx.mkAnd(Sl.D, O));
+    // Keep on Unknown: dropping a possibly-nonempty part could
+    // erase an obligation downstream.
+    if (!C->isFalse() && !S.isUnsat(C))
+      Sl.Keep = C;
+  });
+
+  std::size_t Next = 0;
   for (std::size_t L = 0; L < Formulas.size(); ++L) {
     std::vector<ExprRef> Kept;
-    for (ExprRef D : disjuncts(Formulas[L])) {
-      if (S.implies(D, Other.Formulas[L])) {
-        Kept.push_back(D);
-        continue;
-      }
-      ExprRef C = simplify(Ctx, Ctx.mkAnd(D, Other.Formulas[L]));
-      // Keep on Unknown: dropping a possibly-nonempty part could
-      // erase an obligation downstream.
-      if (!C->isFalse() && !S.isUnsat(C))
-        Kept.push_back(C);
-    }
+    for (std::size_t J = 0; J < PerLoc[L]; ++J, ++Next)
+      if (Slots[Next].Keep)
+        Kept.push_back(*Slots[Next].Keep);
     R.Formulas[L] = Ctx.mkOr(std::move(Kept));
   }
   return R;
@@ -112,22 +163,46 @@ Region Region::minusPruned(Smt &S, const Region &Other) const {
   assert(size() == Other.size() && "region size mismatch");
   ExprContext &Ctx = S.exprContext();
   Region R = *this;
+
+  // Same slot/merge scheme as intersectPruned.
+  struct Slot {
+    std::size_t L;
+    ExprRef D;
+    std::optional<ExprRef> Keep;
+  };
+  std::vector<Slot> Slots;
+  std::vector<std::size_t> PerLoc(Formulas.size(), 0);
   for (std::size_t L = 0; L < Formulas.size(); ++L) {
-    ExprRef O = Other.Formulas[L];
-    if (O->isFalse())
+    if (Other.Formulas[L]->isFalse())
+      continue; // location untouched; PerLoc stays 0
+    for (ExprRef D : disjuncts(Formulas[L])) {
+      Slots.push_back(Slot{L, D, std::nullopt});
+      ++PerLoc[L];
+    }
+  }
+
+  TaskPool::global().parallelFor(Slots.size(), [&](std::size_t I) {
+    Slot &Sl = Slots[I];
+    ExprRef O = Other.Formulas[Sl.L];
+    if (S.isUnsat(Ctx.mkAnd(Sl.D, O))) {
+      Sl.Keep = Sl.D; // Disjoint: keep as-is.
+      return;
+    }
+    if (S.implies(Sl.D, O))
+      return; // Fully covered: drop.
+    ExprRef C = simplify(Ctx, Ctx.mkAnd(Sl.D, Ctx.mkNot(O)));
+    if (!C->isFalse())
+      Sl.Keep = C;
+  });
+
+  std::size_t Next = 0;
+  for (std::size_t L = 0; L < Formulas.size(); ++L) {
+    if (Other.Formulas[L]->isFalse())
       continue;
     std::vector<ExprRef> Kept;
-    for (ExprRef D : disjuncts(Formulas[L])) {
-      if (S.isUnsat(Ctx.mkAnd(D, O))) {
-        Kept.push_back(D); // Disjoint: keep as-is.
-        continue;
-      }
-      if (S.implies(D, O))
-        continue; // Fully covered: drop.
-      ExprRef C = simplify(Ctx, Ctx.mkAnd(D, Ctx.mkNot(O)));
-      if (!C->isFalse())
-        Kept.push_back(C);
-    }
+    for (std::size_t J = 0; J < PerLoc[L]; ++J, ++Next)
+      if (Slots[Next].Keep)
+        Kept.push_back(*Slots[Next].Keep);
     R.Formulas[L] = Ctx.mkOr(std::move(Kept));
   }
   return R;

@@ -3,6 +3,9 @@
 #include "ts/TransitionSystem.h"
 
 #include "support/Debug.h"
+#include "support/TaskPool.h"
+
+#include <atomic>
 
 using namespace chute;
 
@@ -11,6 +14,7 @@ TransitionSystem::TransitionSystem(const Program &P, Smt &Solver,
     : Prog(P), Solver(Solver), Qe(Qe) {}
 
 ExprRef TransitionSystem::edgeRelation(unsigned Id) const {
+  std::lock_guard<std::mutex> Lock(EdgeRelMu);
   if (EdgeRelCache.size() != Prog.edges().size())
     EdgeRelCache.assign(Prog.edges().size(), nullptr);
   if (EdgeRelCache[Id] == nullptr)
@@ -30,16 +34,28 @@ ExprRef TransitionSystem::projectOrKeep(ExprRef E) {
   }
   if (E->kind() == ExprKind::Exists) {
     // Keep the projection exact and disjunct-structured: expand the
-    // body to cubes and project each with Fourier-Motzkin.
+    // body to cubes and project each with Fourier-Motzkin. Cubes are
+    // independent, so they fan out across the pool (inline when the
+    // pool is sequential or we are already inside a pool task).
     auto Cubes = dnfAtomCubes(Ctx, E->body());
     if (Cubes) {
-      std::vector<ExprRef> Parts;
-      for (auto &Cube : *Cubes) {
-        FmResult R =
-            fourierMotzkinProject(Ctx, std::move(Cube), E->boundVars());
-        Parts.push_back(simplify(Ctx, R.Formula));
-      }
-      return Ctx.mkOr(std::move(Parts));
+      std::vector<ExprRef> Parts((*Cubes).size(), nullptr);
+      std::atomic<bool> Overflowed{false};
+      TaskPool::global().parallelFor(
+          (*Cubes).size(), [&](std::size_t I) {
+            FmResult R = fourierMotzkinProject(
+                Ctx, std::move((*Cubes)[I]), E->boundVars());
+            if (R.Overflow) {
+              Overflowed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            Parts[I] = simplify(Ctx, R.Formula);
+          });
+      if (!Overflowed.load(std::memory_order_relaxed))
+        return Ctx.mkOr(std::move(Parts));
+      // A combination wrapped int64: the FM result would be
+      // unsound, so project the whole body with the qe tactic
+      // below instead.
     }
     auto R = Qe.projectExists(E->body(), E->boundVars());
     if (R)
@@ -51,20 +67,46 @@ ExprRef TransitionSystem::projectOrKeep(ExprRef E) {
 Region TransitionSystem::post(const Region &R, const Region *Chute) {
   ExprContext &Ctx = Prog.exprContext();
   Region Out = Region::bottom(Prog);
+
+  // Two stages so the parallel part stays deterministic: building
+  // the strongest-postcondition formulas draws fresh SSA variables
+  // from the context and therefore runs sequentially in edge order
+  // (the numbering must not depend on thread scheduling); the
+  // projections are pure given those formulas and fan out across
+  // the pool. The merge then reassembles results in edge order, so
+  // the Region is bit-identical to the sequential one.
+  struct EdgeWork {
+    Loc Dst = 0;
+    std::vector<ExprRef> Sps;
+    std::vector<ExprRef> Projected;
+  };
+  std::vector<EdgeWork> Work;
+  std::vector<std::pair<std::size_t, std::size_t>> Flat;
   for (const Edge &E : Prog.edges()) {
     ExprRef Pre = R.at(E.Src);
     if (Pre->isFalse())
       continue;
+    EdgeWork W;
+    W.Dst = E.Dst;
     // Distribute over disjuncts to keep the QE inputs conjunctive.
-    std::vector<ExprRef> Results;
-    for (ExprRef D : disjuncts(Pre)) {
-      ExprRef Sp = E.Cmd.post(Ctx, D, Prog.variables());
-      Results.push_back(projectOrKeep(Sp));
-    }
-    ExprRef PostF = Ctx.mkOr(std::move(Results));
+    for (ExprRef D : disjuncts(Pre))
+      W.Sps.push_back(E.Cmd.post(Ctx, D, Prog.variables()));
+    W.Projected.resize(W.Sps.size(), nullptr);
+    for (std::size_t J = 0; J < W.Sps.size(); ++J)
+      Flat.emplace_back(Work.size(), J);
+    Work.push_back(std::move(W));
+  }
+
+  TaskPool::global().parallelFor(Flat.size(), [&](std::size_t K) {
+    auto [I, J] = Flat[K];
+    Work[I].Projected[J] = projectOrKeep(Work[I].Sps[J]);
+  });
+
+  for (EdgeWork &W : Work) {
+    ExprRef PostF = Ctx.mkOr(std::move(W.Projected));
     if (Chute != nullptr)
-      PostF = Ctx.mkAnd(PostF, Chute->at(E.Dst));
-    Out.set(E.Dst, Ctx.mkOr(Out.at(E.Dst), PostF));
+      PostF = Ctx.mkAnd(PostF, Chute->at(W.Dst));
+    Out.set(W.Dst, Ctx.mkOr(Out.at(W.Dst), PostF));
   }
   return Out.simplified(Ctx);
 }
@@ -72,11 +114,15 @@ Region TransitionSystem::post(const Region &R, const Region *Chute) {
 ExprRef TransitionSystem::postEdge(unsigned Id, ExprRef Pre) {
   ExprContext &Ctx = Prog.exprContext();
   const Edge &E = Prog.edge(Id);
-  std::vector<ExprRef> Results;
-  for (ExprRef D : disjuncts(Pre)) {
-    ExprRef Sp = E.Cmd.post(Ctx, D, Prog.variables());
-    Results.push_back(projectOrKeep(Sp));
-  }
+  // Same staging as post(): sequential formula construction,
+  // parallel projection, in-order merge.
+  std::vector<ExprRef> Sps;
+  for (ExprRef D : disjuncts(Pre))
+    Sps.push_back(E.Cmd.post(Ctx, D, Prog.variables()));
+  std::vector<ExprRef> Results(Sps.size(), nullptr);
+  TaskPool::global().parallelFor(Sps.size(), [&](std::size_t I) {
+    Results[I] = projectOrKeep(Sps[I]);
+  });
   return simplify(Ctx, Ctx.mkOr(std::move(Results)));
 }
 
@@ -116,7 +162,11 @@ Region TransitionSystem::hasSuccessor(const Region *Chute) const {
 
 Region TransitionSystem::eliminate(const Region &R) {
   Region Out = R;
+  std::vector<ExprRef> Projected(Prog.numLocations(), nullptr);
+  TaskPool::global().parallelFor(
+      Prog.numLocations(),
+      [&](std::size_t L) { Projected[L] = projectOrKeep(Out.at(L)); });
   for (Loc L = 0; L < Prog.numLocations(); ++L)
-    Out.set(L, projectOrKeep(Out.at(L)));
+    Out.set(L, Projected[L]);
   return Out.simplified(Prog.exprContext());
 }

@@ -22,6 +22,8 @@
 #include "qe/QeEngine.h"
 #include "ts/Region.h"
 
+#include <mutex>
+
 namespace chute {
 
 /// Symbolic transition-system operators over a Program.
@@ -67,6 +69,9 @@ private:
   const Program &Prog;
   Smt &Solver;
   QeEngine &Qe;
+  /// Guards EdgeRelCache: edgeRelation may be called from concurrent
+  /// proof obligations.
+  mutable std::mutex EdgeRelMu;
   mutable std::vector<ExprRef> EdgeRelCache;
 };
 

@@ -2,6 +2,10 @@
 
 #include "support/Budget.h"
 
+#include "core/Verifier.h"
+#include "program/Parser.h"
+#include "support/TaskPool.h"
+
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -97,6 +101,29 @@ TEST(BudgetTest, QueryTimeoutDerivedFromRemaining) {
   Budget Tiny = Budget::forMillis(1);
   sleepMs(5);
   EXPECT_EQ(Tiny.queryTimeoutMs(3000), Budget::MinQueryMs);
+}
+
+TEST(BudgetTest, ZeroBudgetIsUnlimitedInParallelMode) {
+  // BudgetMs = 0 means unlimited; with a parallel pool every task
+  // inherits that unlimited budget, so no per-task deadline is ever
+  // imposed and the run completes with a clean verdict and no
+  // budget-denied queries.
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(
+      Ctx, "init(x == 0); while (true) { x = x + 1; }", Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerifierOptions Options;
+  Options.BudgetMs = 0;
+  Options.Jobs = 4;
+  Verifier V(*P, Options);
+  VerifyResult R = V.verify("AF(x > 5)", Err);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_FALSE(R.Failure.valid());
+  EXPECT_EQ(R.SmtStats.BudgetDenied, 0u);
+  EXPECT_EQ(R.Jobs, 4u);
+  TaskPool::configureGlobal(1);
 }
 
 TEST(BudgetTest, FailureInfoRendering) {

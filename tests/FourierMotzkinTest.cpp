@@ -162,6 +162,67 @@ TEST_F(FourierMotzkinTest, QeEngineFallsBackToZ3) {
   EXPECT_TRUE(Solver.isValid(*R));
 }
 
+TEST_F(FourierMotzkinTest, LargeCoefficientsAbortInsteadOfWrapping) {
+  // Cross-eliminating y combines the two rows scaled by each other's
+  // y-coefficients; with coefficients this close to INT64_MAX the
+  // product wraps int64. The projection must flag Overflow and
+  // return no formula — a silently wrapped "projection" would be
+  // unsound (regression: this used to wrap and keep going).
+  ExprRef Huge = formula("4000000000000000000*y >= 5*x && "
+                         "3000000000000000000*y <= z");
+  auto R = fourierMotzkinProject(Ctx, Huge, {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Overflow);
+  EXPECT_EQ(R->Formula, nullptr);
+}
+
+TEST_F(FourierMotzkinTest, OverflowSubstitutionAborts) {
+  // Equality substitution multiplies the substituted row through the
+  // other atoms; overflow there must abort identically.
+  ExprRef Huge =
+      formula("y == 4000000000000000000*x && "
+              "3000000000000000000*y <= z");
+  auto R = fourierMotzkinProject(Ctx, Huge, {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->Overflow);
+  EXPECT_EQ(R->Formula, nullptr);
+}
+
+TEST_F(FourierMotzkinTest, QeEngineFallsBackToZ3OnOverflow) {
+  // The Auto strategy must recover from an FM overflow by handing
+  // the projection to Z3's qe tactic instead of returning a formula
+  // built from wrapped coefficients (the pre-fix behaviour: FM
+  // "succeeded" with garbage and Z3 was never consulted). The exact
+  // projection here is 12e36*x <= z, whose coefficient exceeds
+  // int64, so the engine may also soundly report failure — what it
+  // must never do is hand back an unsound projection.
+  QeEngine Qe(Solver);
+  auto R = Qe.projectExists(formula("y == 4000000000000000000*x && "
+                                    "3000000000000000000*y <= z"),
+                            {Ctx.mkVar("y")});
+  EXPECT_EQ(Qe.stats().FmCalls, 0u); // FM did not claim success
+  EXPECT_EQ(Qe.stats().FmOverflow, 1u);
+  EXPECT_EQ(Qe.stats().Z3Calls, 1u); // the fallback was consulted
+  if (R) {
+    // If Z3's answer was representable it must over-approximate the
+    // existential: x == 0, z == 0 has the witness y == 0.
+    ExprRef Witness = formula("x == 0 && z == 0");
+    EXPECT_TRUE(Solver.isSat(Ctx.mkAnd(*R, Witness)));
+  }
+}
+
+TEST_F(FourierMotzkinTest, ModestCoefficientsStillProjectExactly) {
+  // Guard the guard: the overflow checks must not reject ordinary
+  // arithmetic.
+  auto R = fourierMotzkinProject(
+      Ctx, formula("1000000*y >= x && 1000000*y <= z"),
+      {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_FALSE(R->Overflow);
+  ASSERT_NE(R->Formula, nullptr);
+  EXPECT_TRUE(Solver.isSat(R->Formula));
+}
+
 TEST_F(FourierMotzkinTest, QeEngineFmOnlyFailsOnDisjunction) {
   QeEngine Qe(Solver, QeStrategy::FourierMotzkin);
   EXPECT_FALSE(Qe.projectExists(formula("y >= 5 || y <= x"),

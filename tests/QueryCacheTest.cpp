@@ -1,0 +1,171 @@
+//===- tests/QueryCacheTest.cpp - SMT result-cache tests ----------------------===//
+
+#include "smt/QueryCache.h"
+
+#include "expr/ExprParser.h"
+#include "smt/SmtQueries.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class QueryCacheTest : public ::testing::Test {
+protected:
+  ExprRef formula(ExprContext &Ctx, const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+};
+
+TEST_F(QueryCacheTest, HitAfterStore) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  ExprRef E = formula(Ctx, "x > 0");
+  EXPECT_FALSE(Cache.lookupSat(E).has_value());
+  Cache.storeSat(E, SatResult::Sat);
+  auto R = Cache.lookupSat(E);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, SatResult::Sat);
+  QueryCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Insertions, 1u);
+}
+
+TEST_F(QueryCacheTest, UnknownIsNeverStored) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  ExprRef E = formula(Ctx, "x > 0");
+  Cache.storeSat(E, SatResult::Unknown);
+  EXPECT_FALSE(Cache.lookupSat(E).has_value());
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST_F(QueryCacheTest, SameHashDifferentFormulaNeverAliases) {
+  // Force two distinct formulas into the same hash bucket through
+  // the explicit-hash testing hooks: a collision must yield two
+  // independent entries, never the other formula's verdict.
+  ExprContext Ctx;
+  QueryCache Cache;
+  ExprRef A = formula(Ctx, "x > 0");
+  ExprRef B = formula(Ctx, "x > 0 && x < 0");
+  constexpr std::size_t H = 0x1234;
+
+  Cache.storeSatWithHash(H, A, SatResult::Sat);
+  // B shares the hash but is a different formula: a lookup must miss.
+  EXPECT_FALSE(Cache.lookupSatWithHash(H, B).has_value());
+
+  Cache.storeSatWithHash(H, B, SatResult::Unsat);
+  auto RA = Cache.lookupSatWithHash(H, A);
+  auto RB = Cache.lookupSatWithHash(H, B);
+  ASSERT_TRUE(RA.has_value());
+  ASSERT_TRUE(RB.has_value());
+  EXPECT_EQ(*RA, SatResult::Sat);
+  EXPECT_EQ(*RB, SatResult::Unsat);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST_F(QueryCacheTest, LruEvictionDropsColdestEntry) {
+  ExprContext Ctx;
+  QueryCache Cache(/*Capacity=*/2);
+  ExprRef A = formula(Ctx, "x > 1");
+  ExprRef B = formula(Ctx, "x > 2");
+  ExprRef C = formula(Ctx, "x > 3");
+
+  Cache.storeSat(A, SatResult::Sat);
+  Cache.storeSat(B, SatResult::Sat);
+  // Touch A so B becomes the LRU entry.
+  EXPECT_TRUE(Cache.lookupSat(A).has_value());
+  Cache.storeSat(C, SatResult::Sat);
+
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_TRUE(Cache.lookupSat(A).has_value());
+  EXPECT_TRUE(Cache.lookupSat(C).has_value());
+  EXPECT_FALSE(Cache.lookupSat(B).has_value());
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+}
+
+TEST_F(QueryCacheTest, ZeroCapacityDisablesCaching) {
+  ExprContext Ctx;
+  QueryCache Cache(/*Capacity=*/0);
+  ExprRef E = formula(Ctx, "x > 0");
+  Cache.storeSat(E, SatResult::Sat);
+  EXPECT_FALSE(Cache.lookupSat(E).has_value());
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST_F(QueryCacheTest, QeEntriesAreIndependentOfSatEntries) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  ExprRef In = formula(Ctx, "x > 0 && y > x");
+  ExprRef Out = formula(Ctx, "x > 0");
+
+  // A Sat verdict for the same formula must not answer a QE lookup.
+  Cache.storeSat(In, SatResult::Sat);
+  EXPECT_FALSE(Cache.lookupQe(In).has_value());
+
+  Cache.storeQe(In, Out);
+  auto R = Cache.lookupQe(In);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, Out);
+}
+
+TEST_F(QueryCacheTest, ClearDropsEntriesKeepsStats) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  Cache.storeSat(formula(Ctx, "x > 0"), SatResult::Sat);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.stats().Insertions, 1u);
+}
+
+TEST_F(QueryCacheTest, FacadeCachesRepeatVerdicts) {
+  // End-to-end through the Smt facade: the second identical query is
+  // answered from the cache (hit count grows) with the same verdict,
+  // and the query counter still advances so per-run accounting holds.
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  ExprRef E = formula(Ctx, "x > 0 && x < 10");
+
+  EXPECT_TRUE(Solver.isSat(E));
+  std::uint64_t QueriesAfterFirst = Solver.numQueries();
+  QueryCacheStats Before = Solver.cacheStats();
+
+  EXPECT_TRUE(Solver.isSat(E));
+  QueryCacheStats After = Solver.cacheStats();
+  EXPECT_EQ(After.Hits, Before.Hits + 1);
+  EXPECT_GT(Solver.numQueries(), QueriesAfterFirst);
+}
+
+TEST_F(QueryCacheTest, DistinctProgramsUseDistinctCaches) {
+  // Each Smt facade owns its cache and caches are keyed on the
+  // facade's own hash-consed expressions, so structurally identical
+  // formulas from two different programs (ExprContexts) can never
+  // answer each other: facade B starts cold even after facade A
+  // cached the "same" formula.
+  ExprContext CtxA, CtxB;
+  Smt SolverA(CtxA), SolverB(CtxB);
+
+  EXPECT_TRUE(SolverA.isSat(formula(CtxA, "x > 0")));
+  EXPECT_TRUE(SolverA.isSat(formula(CtxA, "x > 0")));
+  EXPECT_EQ(SolverA.cacheStats().Hits, 1u);
+
+  EXPECT_TRUE(SolverB.isSat(formula(CtxB, "x > 0")));
+  EXPECT_EQ(SolverB.cacheStats().Hits, 0u);
+  EXPECT_EQ(SolverB.cacheStats().Misses, 1u);
+}
+
+TEST_F(QueryCacheTest, HitRate) {
+  QueryCacheStats St;
+  EXPECT_DOUBLE_EQ(St.hitRate(), 0.0);
+  St.Hits = 3;
+  St.Misses = 1;
+  EXPECT_DOUBLE_EQ(St.hitRate(), 0.75);
+}
+
+} // namespace

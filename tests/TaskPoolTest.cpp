@@ -1,0 +1,138 @@
+//===- tests/TaskPoolTest.cpp - Thread-pool scheduler tests -------------------===//
+
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace chute;
+
+namespace {
+
+TEST(TaskPoolTest, SequentialPoolRunsInlineInOrder) {
+  TaskPool Pool(1);
+  EXPECT_FALSE(Pool.parallel());
+  EXPECT_EQ(Pool.workers(), 1u);
+  std::vector<std::size_t> Order;
+  Pool.parallelFor(5, [&](std::size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskPoolTest, ZeroWorkersMeansSequential) {
+  TaskPool Pool(0);
+  EXPECT_EQ(Pool.workers(), 1u);
+  EXPECT_FALSE(Pool.parallel());
+}
+
+TEST(TaskPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool Pool(4);
+  EXPECT_TRUE(Pool.parallel());
+  constexpr std::size_t N = 1000;
+  std::vector<std::atomic<unsigned>> Counts(N);
+  Pool.parallelFor(N, [&](std::size_t I) {
+    Counts[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1u) << "index " << I;
+}
+
+TEST(TaskPoolTest, ParallelForActuallyFansOut) {
+  TaskPool Pool(4);
+  std::mutex Mu;
+  std::set<std::thread::id> Tids;
+  // Enough iterations with a small busy wait that several workers
+  // get a chance to claim one.
+  Pool.parallelFor(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> Lock(Mu);
+    Tids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(Tids.size(), 2u);
+}
+
+TEST(TaskPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Regression: the caller thread participates in the outer job, so
+  // a nested parallelFor issued from the task body used to try to
+  // re-acquire the pool's caller lock on the same thread and
+  // self-deadlock. Nested calls must degrade to inline execution on
+  // whichever thread runs them (worker or caller).
+  TaskPool Pool(4);
+  constexpr std::size_t Outer = 16, Inner = 16;
+  std::atomic<unsigned> Total{0};
+  Pool.parallelFor(Outer, [&](std::size_t) {
+    Pool.parallelFor(Inner, [&](std::size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), Outer * Inner);
+}
+
+TEST(TaskPoolTest, DoublyNestedParallelFor) {
+  TaskPool Pool(3);
+  std::atomic<unsigned> Total{0};
+  Pool.parallelFor(4, [&](std::size_t) {
+    Pool.parallelFor(4, [&](std::size_t) {
+      Pool.parallelFor(4, [&](std::size_t) {
+        Total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(Total.load(), 64u);
+}
+
+TEST(TaskPoolTest, ConcurrentExternalCallersSerialise) {
+  // Multiple user threads may call parallelFor on the same pool; the
+  // pool runs one section at a time but all of them must complete.
+  TaskPool Pool(4);
+  std::atomic<unsigned> Total{0};
+  std::vector<std::thread> Callers;
+  for (unsigned T = 0; T < 4; ++T)
+    Callers.emplace_back([&] {
+      Pool.parallelFor(100, [&](std::size_t) {
+        Total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  for (std::thread &T : Callers)
+    T.join();
+  EXPECT_EQ(Total.load(), 400u);
+}
+
+TEST(TaskPoolTest, EmptyRangeIsANoOp) {
+  TaskPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](std::size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(TaskPoolTest, ExceptionsDoNotEscapeSequentialPath) {
+  // The pool's contract is exception-free task bodies; on the inline
+  // path an exception still propagates to the caller like a plain
+  // loop would.
+  TaskPool Pool(1);
+  EXPECT_THROW(
+      Pool.parallelFor(3,
+                       [&](std::size_t I) {
+                         if (I == 1)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(TaskPoolTest, ConfigureGlobalZeroKeepsCurrentSize) {
+  unsigned Before = TaskPool::configureGlobal(0);
+  EXPECT_EQ(TaskPool::configureGlobal(0), Before);
+  // Explicit resize then restore.
+  EXPECT_EQ(TaskPool::configureGlobal(2), 2u);
+  EXPECT_EQ(TaskPool::configureGlobal(0), 2u);
+  EXPECT_EQ(TaskPool::global().workers(), 2u);
+  EXPECT_EQ(TaskPool::configureGlobal(Before), Before);
+}
+
+} // namespace
