@@ -3,10 +3,13 @@
 #include "Harness.h"
 
 #include "core/Verifier.h"
+#include "obs/ChromeTrace.h"
+#include "obs/Trace.h"
 #include "program/Parser.h"
 #include "support/Stopwatch.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -53,7 +56,8 @@ int verdictExitCode(Verdict V) {
   return 13;
 }
 
-/// Stats record the child writes on the pipe.
+/// Stats record the child writes on the pipe. TraceSummary is
+/// trivially copyable, so the whole record crosses as raw bytes.
 struct ChildStats {
   unsigned Rounds = 0;
   unsigned Refinements = 0;
@@ -62,6 +66,7 @@ struct ChildStats {
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
   unsigned Jobs = 1;
+  obs::TraceSummary Trace;
 };
 
 const char *statusName(RowResult::Status St) {
@@ -102,7 +107,8 @@ std::string jsonEscape(const std::string &In) {
 } // namespace
 
 RowResult chute::bench::runRow(const corpus::BenchRow &Row,
-                               unsigned TimeoutSec, unsigned Jobs) {
+                               unsigned TimeoutSec, unsigned Jobs,
+                               const char *TracePath) {
   RowResult Result;
   Stopwatch Timer;
 
@@ -125,6 +131,16 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     // backstop in case the parent itself dies.
     close(Pipe[0]);
     alarm(TimeoutSec + 10);
+    // Every row records at least Stats-level aggregates (cheap:
+    // relaxed atomics, no event storage) so its JSON line carries a
+    // phase breakdown; --trace-out / CHUTE_TRACE upgrade to Full
+    // with an explicit export before _exit (which skips atexit).
+    obs::Tracer &Tr = obs::Tracer::global();
+    Tr.reset();
+    if (TracePath != nullptr)
+      Tr.enable(obs::TraceLevel::Full, TracePath);
+    else
+      Tr.ensureStats();
     ExprContext Ctx;
     std::string Err;
     auto P = parseProgram(Ctx, Row.Program, Err);
@@ -146,9 +162,12 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Stats.CacheHits = static_cast<unsigned>(R.CacheStats.Hits);
     Stats.CacheMisses = static_cast<unsigned>(R.CacheStats.Misses);
     Stats.Jobs = R.Jobs;
+    Stats.Trace = R.Trace;
     ssize_t Ignored = write(Pipe[1], &Stats, sizeof(Stats));
     (void)Ignored;
     close(Pipe[1]);
+    if (TracePath != nullptr)
+      Tr.exportConfigured();
     _exit(verdictExitCode(R.V));
   }
 
@@ -185,6 +204,7 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.CacheHits = Stats.CacheHits;
     Result.CacheMisses = Stats.CacheMisses;
     Result.Jobs = Stats.Jobs;
+    Result.Trace = Stats.Trace;
   }
 
   Result.Seconds = Timer.seconds();
@@ -210,7 +230,14 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
 unsigned chute::bench::runTable(const char *Title,
                                 const std::vector<corpus::BenchRow> &Rows,
                                 unsigned TimeoutSec,
-                                const char *JsonPath, unsigned Jobs) {
+                                const char *JsonPath, unsigned Jobs,
+                                const char *TraceOut) {
+  // The env knob applies per child; resolve it here so multi-row
+  // tables get distinct per-row files instead of the last child
+  // overwriting the path.
+  if (TraceOut == nullptr)
+    TraceOut = std::getenv("CHUTE_TRACE");
+
   std::FILE *Json = nullptr;
   if (JsonPath != nullptr) {
     Json = std::fopen(JsonPath, "a");
@@ -226,7 +253,15 @@ unsigned chute::bench::runTable(const char *Title,
       "Rounds", "Refs", "Retry", "Cache", "Jobs", "Note");
   unsigned Mismatches = 0;
   for (const corpus::BenchRow &Row : Rows) {
-    RowResult R = runRow(Row, TimeoutSec, Jobs);
+    std::string TracePath;
+    if (TraceOut != nullptr && TraceOut[0] != '\0') {
+      TracePath = TraceOut;
+      if (Rows.size() > 1)
+        TracePath += ".row" + std::to_string(Row.Id);
+    }
+    RowResult R = runRow(Row, TimeoutSec, Jobs,
+                         TracePath.empty() ? nullptr
+                                           : TracePath.c_str());
     bool Ok = R.matches(Row.ExpectHolds);
     if (!Ok)
       ++Mismatches;
@@ -248,14 +283,15 @@ unsigned chute::bench::runTable(const char *Title,
           "\"refinements\":%u,\"smt_retries\":%u,"
           "\"smt_recovered\":%u,\"cache_hits\":%u,"
           "\"cache_misses\":%u,\"cache_hit_rate\":%.4f,"
-          "\"jobs\":%u,\"timeout_sec\":%u}\n",
+          "\"jobs\":%u,\"timeout_sec\":%u,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
           Row.ExpectHolds ? "true" : "false", statusName(R.St),
           Ok ? "true" : "false", R.Seconds, R.Rounds, R.Refinements,
           R.SmtRetries, R.SmtRecovered, R.CacheHits, R.CacheMisses,
-          R.cacheHitRate(), R.Jobs, TimeoutSec);
+          R.cacheHitRate(), R.Jobs, TimeoutSec,
+          R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }
   }
@@ -298,4 +334,11 @@ unsigned chute::bench::jobsFromArgs(int Argc, char **Argv,
     if (std::strcmp(Argv[I], "--jobs") == 0)
       return static_cast<unsigned>(std::atoi(Argv[I + 1]));
   return Default;
+}
+
+const char *chute::bench::traceOutFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--trace-out") == 0)
+      return Argv[I + 1];
+  return nullptr;
 }

@@ -23,6 +23,7 @@
 #define CHUTE_BENCH_HARNESS_H
 
 #include "corpus/Corpus.h"
+#include "obs/TraceSummary.h"
 
 namespace chute::bench {
 
@@ -38,6 +39,9 @@ struct RowResult {
   unsigned CacheHits = 0;    ///< SMT/QE queries answered from the cache
   unsigned CacheMisses = 0;  ///< cacheable queries that went to the solver
   unsigned Jobs = 1;         ///< worker threads the child ran with
+  /// Phase breakdown of the child's run (each child traces at Stats
+  /// level, so JSON rows always carry per-stage time/span counts).
+  obs::TraceSummary Trace;
 
   /// Cache hit rate in [0,1] over this row's cacheable queries.
   double cacheHitRate() const {
@@ -53,19 +57,27 @@ struct RowResult {
 
 /// Verifies one row in a forked child, bounded by \p TimeoutSec.
 /// \p Jobs sizes the child's proof-engine thread pool (0 defers to
-/// CHUTE_JOBS; 1 is fully sequential).
+/// CHUTE_JOBS; 1 is fully sequential). When \p TracePath is non-null
+/// the child records at Full level and writes a chrome://tracing
+/// JSON file there before exiting; otherwise it records at Stats
+/// level (cheap aggregates only) so RowResult::Trace is populated
+/// either way.
 RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
-                 unsigned Jobs = 0);
+                 unsigned Jobs = 0, const char *TracePath = nullptr);
 
 /// Runs a whole table and prints it in the paper's layout. Returns
 /// the number of rows whose verdict disagrees with the expectation.
 /// When \p JsonPath is non-null, appends one JSON object per row
-/// (JSON-lines) for machine-readable trend tracking.
+/// (JSON-lines) for machine-readable trend tracking. \p TraceOut
+/// (or the CHUTE_TRACE environment variable) requests a Chrome
+/// trace per row: a single-row table writes exactly that path, a
+/// multi-row table appends ".row<id>" per row.
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
                   unsigned TimeoutSec,
                   const char *JsonPath = nullptr,
-                  unsigned Jobs = 0);
+                  unsigned Jobs = 0,
+                  const char *TraceOut = nullptr);
 
 /// Reads the row timeout from argv ("--timeout N") or returns
 /// \p Default.
@@ -82,6 +94,10 @@ const char *jsonPathFromArgs(int Argc, char **Argv);
 /// Worker-thread count from argv ("--jobs N") or \p Default (0 lets
 /// each child defer to CHUTE_JOBS).
 unsigned jobsFromArgs(int Argc, char **Argv, unsigned Default = 0);
+
+/// Optional Chrome-trace output path from argv ("--trace-out PATH");
+/// nullptr when absent (runTable then falls back to CHUTE_TRACE).
+const char *traceOutFromArgs(int Argc, char **Argv);
 
 } // namespace chute::bench
 

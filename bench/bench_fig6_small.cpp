@@ -5,7 +5,7 @@
 // their negations). Usage:
 //
 //   bench_fig6_small [--timeout SECONDS] [--rows A-B] [--json PATH]
-//                    [--jobs N]
+//                    [--jobs N] [--trace-out PATH]
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +27,7 @@ int main(int Argc, char **Argv) {
   unsigned Mismatches = bench::runTable(
       "Figure 6: small benchmarks (operator combinations)", Rows,
       Timeout, bench::jsonPathFromArgs(Argc, Argv),
-      bench::jobsFromArgs(Argc, Argv));
+      bench::jobsFromArgs(Argc, Argv),
+      bench::traceOutFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include "analysis/PathSearch.h"
 
+#include "obs/Trace.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -41,6 +42,9 @@ std::optional<std::vector<unsigned>>
 PathSearch::findPath(const Region &From, const Region &Target,
                      const Region *Within, unsigned MaxLen) {
   SmtPhaseScope Phase(S, FailPhase::PathSearch);
+  obs::Span Sp(obs::Category::PathSearch, "find-path");
+  Sp.setOutcome("none");
+  obs::bump(obs::Counter::PathSearches);
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
 
@@ -56,8 +60,10 @@ PathSearch::findPath(const Region &From, const Region &Target,
         Probes.push_back(Here);
     }
     for (SatResult R : S.checkSatBatch(Probes))
-      if (R == SatResult::Sat)
+      if (R == SatResult::Sat) {
+        Sp.setOutcome("found-empty");
         return std::vector<unsigned>{};
+      }
   }
 
   // Backward CFG distance to any location where Target can hold, for
@@ -135,8 +141,10 @@ PathSearch::findPath(const Region &From, const Region &Target,
       }
       if (!Target.at(Dst)->isFalse() && Budget > 0) {
         --Budget;
-        if (feasible(Path, From, Within, &Target))
+        if (feasible(Path, From, Within, &Target)) {
+          Sp.setOutcome("found");
           return Path;
+        }
       }
       Stack.push_back({orderedOut(Dst), 0});
     }
@@ -191,6 +199,9 @@ std::optional<PathSearch::Lasso>
 PathSearch::findLasso(const Region &From, const Region *Within,
                       unsigned MaxStem, unsigned MaxCycle) {
   SmtPhaseScope Phase(S, FailPhase::PathSearch);
+  obs::Span Sp(obs::Category::PathSearch, "find-lasso");
+  Sp.setOutcome("none");
+  obs::bump(obs::Counter::PathSearches);
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
 
@@ -222,6 +233,7 @@ PathSearch::findLasso(const Region &From, const Region *Within,
     Result.Stem = *Stem;
     Result.Cycle = Cycle;
     Result.RecurrentSet = *G;
+    Sp.setOutcome("found");
     return Result;
   }
   return std::nullopt;

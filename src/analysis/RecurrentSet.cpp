@@ -2,6 +2,8 @@
 
 #include "analysis/RecurrentSet.h"
 
+#include "obs/Trace.h"
+
 #include "expr/ExprBuilder.h"
 #include "support/Debug.h"
 #include "support/StringExtras.h"
@@ -18,49 +20,58 @@ bool RecurrentSetChecker::isRecurrent(const Region &X, const Region &C,
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
 
-  // Start states must be able to participate: each is in C, in F, or
-  // can step into C ∪ F (the one-step entry exemption for stale
-  // choices made before the obligation began).
-  Region CF0 = C.unite(Ctx, F);
-  Region Entry = CF0.unite(Ctx, Ts.preExists(CF0));
-  if (!X.subsetOf(S, Entry))
-    return false;
-  if (X.isEmpty(S))
-    return false;
+  obs::Span Sp(obs::Category::Rcr, "rcr-check");
+  obs::bump(obs::Counter::RcrChecks);
+  bool Ok = [&] {
+    // Start states must be able to participate: each is in C, in F,
+    // or can step into C ∪ F (the one-step entry exemption for stale
+    // choices made before the obligation began).
+    Region CF0 = C.unite(Ctx, F);
+    Region Entry = CF0.unite(Ctx, Ts.preExists(CF0));
+    if (!X.subsetOf(S, Entry))
+      return false;
+    if (X.isEmpty(S))
+      return false;
 
-  // Case 1: every start is already at the frontier.
-  if (X.subsetOf(S, F))
-    return true;
+    // Case 1: every start is already at the frontier.
+    if (X.subsetOf(S, F))
+      return true;
 
-  // Case 2: every (reachable) C-state not yet at the frontier has a
-  // successor in C ∪ F. We check C \ F rather than all of C: states
-  // already in F have discharged their obligation to the subproperty
-  // (the inductive trace-construction argument only needs progress
-  // until F is reached), and the restriction to Inv is sound because
-  // only states reachable from X∩C inside C arise in that argument.
-  Region CF = C.unite(Ctx, F);
-  Region SuccInCF = Ts.preExists(CF);
-  // Per-location obligations are independent (location L passes iff
-  // its domain is empty or implies a successor in C ∪ F), so they
-  // fan out across the pool; the conjunction of verdicts matches
-  // the sequential early-exit loop exactly.
-  std::atomic<bool> AllOk{true};
-  TaskPool::global().parallelFor(
-      P.numLocations(), [&](std::size_t I) {
-        Loc L = static_cast<Loc>(I);
-        ExprRef Domain =
-            Ctx.mkAnd(C.at(L), Ctx.mkNot(F.at(L)));
-        if (Inv != nullptr)
-          Domain = Ctx.mkAnd(Domain, Inv->at(L));
-        if (S.isUnsat(Domain))
-          return;
-        if (!S.implies(Domain, SuccInCF.at(L))) {
-          CHUTE_DEBUG(debugLine("rcr fails at location " +
-                                P.locationName(L)));
-          AllOk.store(false, std::memory_order_relaxed);
-        }
-      });
-  return AllOk.load(std::memory_order_relaxed);
+    // Case 2: every (reachable) C-state not yet at the frontier has
+    // a successor in C ∪ F. We check C \ F rather than all of C:
+    // states already in F have discharged their obligation to the
+    // subproperty (the inductive trace-construction argument only
+    // needs progress until F is reached), and the restriction to Inv
+    // is sound because only states reachable from X∩C inside C arise
+    // in that argument.
+    Region CF = C.unite(Ctx, F);
+    Region SuccInCF = Ts.preExists(CF);
+    // Per-location obligations are independent (location L passes
+    // iff its domain is empty or implies a successor in C ∪ F), so
+    // they fan out across the pool; the conjunction of verdicts
+    // matches the sequential early-exit loop exactly.
+    std::atomic<bool> AllOk{true};
+    TaskPool::global().parallelFor(
+        P.numLocations(), [&](std::size_t I) {
+          Loc L = static_cast<Loc>(I);
+          ExprRef Domain =
+              Ctx.mkAnd(C.at(L), Ctx.mkNot(F.at(L)));
+          if (Inv != nullptr)
+            Domain = Ctx.mkAnd(Domain, Inv->at(L));
+          if (S.isUnsat(Domain))
+            return;
+          if (!S.implies(Domain, SuccInCF.at(L))) {
+            CHUTE_DEBUG(debugLine("rcr fails at location " +
+                                  P.locationName(L)));
+            AllOk.store(false, std::memory_order_relaxed);
+          }
+        });
+    return AllOk.load(std::memory_order_relaxed);
+  }();
+  Sp.setOutcome(Ok ? "ok" : "fail");
+  if (!Ok)
+    obs::bump(obs::Counter::RcrFailures);
+  return Ok;
 }
 
 std::optional<ExprRef>
@@ -166,6 +177,11 @@ std::optional<ExprRef> RecurrentSetChecker::cycleRecurrentSet(
     const std::vector<unsigned> &Cycle, ExprRef HeadStates,
     const Region *StateConstraint, unsigned MaxIter) {
   assert(!Cycle.empty() && "cycle must be non-empty");
+  obs::Span Sp(obs::Category::Rcr, "cycle-rcr");
+  Sp.setOutcome("none");
+  obs::bump(obs::Counter::RcrChecks);
+  if (Sp.detailed())
+    Sp.setDetail(std::to_string(Cycle.size()) + "-edge cycle");
   const Program &P = Ts.program();
   ExprContext &Ctx = P.exprContext();
   Loc Head = P.edge(Cycle.front()).Src;
@@ -191,8 +207,10 @@ std::optional<ExprRef> RecurrentSetChecker::cycleRecurrentSet(
     if (S.implies(G, *Pre)) {
       // Closed under the (possibly over-approximate) pre-image; a
       // direct quantified query confirms against exact semantics.
-      if (verifyClosed(Cycle, G, StateConstraint))
+      if (verifyClosed(Cycle, G, StateConstraint)) {
+        Sp.setOutcome("found");
         return G;
+      }
       return std::nullopt;
     }
     ExprRef GNext = simplify(Ctx, Ctx.mkAnd(G, *Pre));
@@ -207,6 +225,7 @@ std::optional<ExprRef> RecurrentSetChecker::cycleRecurrentSet(
           verifyClosed(Cycle, Widened, StateConstraint)) {
         CHUTE_DEBUG(debugLine("cycleRecurrentSet: widened to " +
                               Widened->toString()));
+        Sp.setOutcome("found-widened");
         return Widened;
       }
     }

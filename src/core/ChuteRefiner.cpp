@@ -2,6 +2,7 @@
 
 #include "core/ChuteRefiner.h"
 
+#include "obs/Trace.h"
 #include "support/Debug.h"
 #include "support/TaskPool.h"
 
@@ -13,6 +14,7 @@ using namespace chute;
 bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
                             const ChuteMap &Chutes) {
   SmtPhaseScope Phase(S, FailPhase::RcrCheck);
+  obs::Span Sp(obs::Category::Refine, "rcr-batch");
   const Program &P = Ts.program();
   // The recurrent-set obligations of distinct existential nodes are
   // independent, so they fan out across the pool; the check passes
@@ -39,7 +41,9 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
     }
     Node->RcrChecked = true;
   });
-  return AllOk.load(std::memory_order_relaxed);
+  bool Ok = AllOk.load(std::memory_order_relaxed);
+  Sp.setOutcome(Ok ? "ok" : "fail");
+  return Ok;
 }
 
 RefineOutcome ChuteRefiner::prove(CtlRef F) {
@@ -118,6 +122,12 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       return Out;
     }
     ++Out.Rounds;
+    obs::Span RoundSp(obs::Category::Refine, "round");
+    obs::bump(obs::Counter::RefineRounds);
+    if (RoundSp.detailed())
+      RoundSp.setDetail("round " + std::to_string(Out.Rounds) + ", " +
+                        std::to_string(Applied.size()) +
+                        " strengthenings");
     ChuteMap Chutes = buildChutes();
     UniversalProver Prover(Ts, S, Qe, Chutes, Opts.Prover);
     UniversalProver::Outcome Attempt = Prover.attempt(F);
@@ -178,6 +188,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
     std::vector<ChuteCandidate> Candidates;
     {
       SmtPhaseScope Phase(S, FailPhase::ChuteSynthesis);
+      obs::Span SynthSp(obs::Category::Synth, "synthesize");
       Candidates = Synth.synthesize(Attempt.Trace, Chutes);
       if (Attempt.Secondary.realizable()) {
         // The inner subformula's failing trace can blame choices the

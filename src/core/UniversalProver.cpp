@@ -2,6 +2,7 @@
 
 #include "core/UniversalProver.h"
 
+#include "obs/Trace.h"
 #include "support/Debug.h"
 #include "support/StringExtras.h"
 
@@ -197,19 +198,54 @@ UniversalProver::prove(const SubformulaPath &Pi, CtlRef F,
     return R;
   }
 
+  // One span per non-vacuous obligation, named by the operator it
+  // dispatches to; nested subformulas produce nested spans.
+  auto SpanName = [](CtlKind K) -> const char * {
+    switch (K) {
+    case CtlKind::Atom:
+      return "atom";
+    case CtlKind::And:
+      return "and";
+    case CtlKind::Or:
+      return "or";
+    case CtlKind::AF:
+      return "AF";
+    case CtlKind::EF:
+      return "EF";
+    case CtlKind::AW:
+      return "AW";
+    case CtlKind::EW:
+      return "EW";
+    }
+    return "?";
+  };
+  obs::Span Sp(obs::Category::Universal, SpanName(F->kind()));
+  obs::bump(obs::Counter::Obligations);
+  if (Sp.detailed())
+    Sp.setDetail(F->toString());
+  auto Finish = [&Sp](SubResult R) {
+    Sp.setOutcome(R.Proved ? "proved"
+                  : R.Kind == FailKind::Budget
+                      ? "budget"
+                      : R.Kind == FailKind::Counterexample
+                            ? "counterexample"
+                            : "incomplete");
+    return R;
+  };
+
   switch (F->kind()) {
   case CtlKind::Atom:
-    return proveAtom(Pi, F, X, A, Scope, CexWithin);
+    return Finish(proveAtom(Pi, F, X, A, Scope, CexWithin));
   case CtlKind::And:
-    return proveAnd(Pi, F, X, A, Scope, CexWithin);
+    return Finish(proveAnd(Pi, F, X, A, Scope, CexWithin));
   case CtlKind::Or:
-    return proveOr(Pi, F, X, A, Scope, CexWithin);
+    return Finish(proveOr(Pi, F, X, A, Scope, CexWithin));
   case CtlKind::AF:
   case CtlKind::EF:
-    return proveEventually(Pi, F, X, A);
+    return Finish(proveEventually(Pi, F, X, A));
   case CtlKind::AW:
   case CtlKind::EW:
-    return proveUnless(Pi, F, X, A);
+    return Finish(proveUnless(Pi, F, X, A));
   }
   SubResult R;
   R.Kind = FailKind::Incomplete;

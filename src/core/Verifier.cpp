@@ -3,6 +3,7 @@
 #include "core/Verifier.h"
 
 #include "ctl/CtlParser.h"
+#include "obs/Trace.h"
 #include "support/Debug.h"
 #include "support/Stopwatch.h"
 #include "support/TaskPool.h"
@@ -60,6 +61,13 @@ VerifyResult Verifier::verify(CtlRef F) {
   // configured — CHUTE_JOBS or a prior explicit size).
   Result.Jobs = TaskPool::configureGlobal(Opts.Jobs);
 
+  // Root span of the whole run; closed (with the verdict as its
+  // outcome) by finish() so the summary delta below includes it.
+  obs::Span RootSp(obs::Category::Verify, "verify");
+  if (RootSp.detailed())
+    RootSp.setDetail(F->toString());
+  obs::TraceSummary TraceBefore = obs::Tracer::global().snapshot();
+
   // Root budget for this call, carved out of the verifier's
   // cancellation domain; the proof attempt gets a slice, the
   // negation attempt whatever is left when it starts (so an early
@@ -71,6 +79,7 @@ VerifyResult Verifier::verify(CtlRef F) {
   QueryCacheStats CacheBefore = Solver.cacheStats();
 
   {
+    obs::Span AttemptSp(obs::Category::Verify, "prove-primary");
     Solver.setBudget(Opts.TryNegation
                          ? Root.subFraction(Opts.PrimaryShare)
                          : Root);
@@ -82,14 +91,18 @@ VerifyResult Verifier::verify(CtlRef F) {
     if (Out.proved()) {
       Result.V = Verdict::Proved;
       Result.Proof = std::move(Out.Proof);
-      finish(Result, Timer, Before, CacheBefore);
+      AttemptSp.setOutcome("proved");
+      AttemptSp.close();
+      finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
       return Result;
     }
+    AttemptSp.setOutcome("not-proved");
     Result.Failure = std::move(Out.Failure);
   }
 
   if (Opts.TryNegation && !Root.expired()) {
     if (auto NegF = Ctl.negate(F)) {
+      obs::Span AttemptSp(obs::Category::Verify, "prove-negation");
       Solver.setBudget(Root);
       ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
       RefineOutcome Out = Refiner.prove(*NegF);
@@ -100,9 +113,12 @@ VerifyResult Verifier::verify(CtlRef F) {
         Result.V = Verdict::Disproved;
         Result.Proof = std::move(Out.Proof);
         Result.ProofIsOfNegation = true;
-        finish(Result, Timer, Before, CacheBefore);
+        AttemptSp.setOutcome("proved");
+        AttemptSp.close();
+        finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
         return Result;
       }
+      AttemptSp.setOutcome("not-proved");
       // Prefer the primary attempt's failure; fall back to the
       // negation's when only it has something to report.
       if (!Result.Failure.valid())
@@ -117,16 +133,23 @@ VerifyResult Verifier::verify(CtlRef F) {
   }
 
   Result.V = Verdict::Unknown;
-  finish(Result, Timer, Before, CacheBefore);
+  finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
   return Result;
 }
 
 void Verifier::finish(VerifyResult &Result, Stopwatch &Timer,
                       const RetryStats &Before,
-                      const QueryCacheStats &CacheBefore) {
+                      const QueryCacheStats &CacheBefore,
+                      const obs::TraceSummary &TraceBefore,
+                      obs::Span &RootSpan) {
+  RootSpan.setOutcome(toString(Result.V));
+  RootSpan.close();
   Result.Seconds = Timer.seconds();
   Result.SmtStats = statsDelta(Solver.totalRetryStats(), Before);
   Result.CacheStats = cacheDelta(Solver.cacheStats(), CacheBefore);
+  obs::Tracer &T = obs::Tracer::global();
+  if (T.enabled())
+    Result.Trace = T.snapshot() - TraceBefore;
   // Post-verification utilities (checkProof, witness) run ungoverned
   // again; each verify() call installs its own fresh budget.
   Solver.setBudget(Budget::unlimited());

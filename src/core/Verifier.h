@@ -19,6 +19,7 @@
 
 #include "core/ChuteRefiner.h"
 #include "core/ProofChecker.h"
+#include "obs/TraceSummary.h"
 #include "program/NondetLifting.h"
 #include "support/Stopwatch.h"
 
@@ -28,6 +29,10 @@ namespace chute {
 enum class Verdict { Proved, Disproved, Unknown };
 
 const char *toString(Verdict V);
+
+namespace obs {
+class Span;
+} // namespace obs
 
 /// Options for the whole pipeline.
 struct VerifierOptions {
@@ -77,6 +82,10 @@ struct VerifyResult {
   QueryCacheStats CacheStats;
   /// Worker threads the run executed with (the global pool size).
   unsigned Jobs = 1;
+  /// Phase breakdown of this run (span counts/durations per
+  /// pipeline stage plus tracing counters). All-zero unless the
+  /// tracer is enabled (obs::Tracer, CHUTE_TRACE/CHUTE_TRACE_STATS).
+  obs::TraceSummary Trace;
 
   bool proved() const { return V == Verdict::Proved; }
   bool disproved() const { return V == Verdict::Disproved; }
@@ -124,10 +133,13 @@ public:
   void cancel() { CancelRoot.cancel(); }
 
 private:
-  /// Stamps timing/stat fields and releases the budget.
+  /// Stamps timing/stat/trace fields (closing the run's root span
+  /// first so the summary delta includes it) and releases the budget.
   void finish(VerifyResult &Result, Stopwatch &Timer,
               const RetryStats &Before,
-              const QueryCacheStats &CacheBefore);
+              const QueryCacheStats &CacheBefore,
+              const obs::TraceSummary &TraceBefore,
+              obs::Span &RootSpan);
 
   VerifierOptions Opts;
   LiftedProgram LP;

@@ -1,0 +1,113 @@
+//===- obs/ChromeTrace.cpp - chrome://tracing JSON export ---------------===//
+
+#include "obs/ChromeTrace.h"
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+
+using namespace chute;
+using namespace chute::obs;
+
+std::string chute::obs::jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size() + 8);
+  for (char C : In) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void appendEvent(std::string &Out, const SpanEvent &E, unsigned Lane,
+                 bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  Out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+  Out += std::to_string(Lane);
+  Out += ",\"ts\":";
+  Out += std::to_string(E.StartUs);
+  Out += ",\"dur\":";
+  Out += std::to_string(E.DurUs);
+  Out += ",\"name\":\"";
+  Out += jsonEscape(E.Name);
+  Out += "\",\"cat\":\"";
+  Out += toString(E.Cat);
+  Out += "\",\"args\":{\"depth\":";
+  Out += std::to_string(E.Depth);
+  if (E.Outcome != nullptr && E.Outcome[0] != '\0') {
+    Out += ",\"outcome\":\"";
+    Out += jsonEscape(E.Outcome);
+    Out += '"';
+  }
+  if (!E.Detail.empty()) {
+    Out += ",\"detail\":\"";
+    Out += jsonEscape(E.Detail);
+    Out += '"';
+  }
+  if (E.BudgetRemainMs >= 0) {
+    Out += ",\"budget_remain_ms\":";
+    Out += std::to_string(E.BudgetRemainMs);
+  }
+  Out += "}}";
+}
+
+} // namespace
+
+std::string chute::obs::chromeTraceJson(const Tracer &T) {
+  std::string Out;
+  Out.reserve(1 << 16);
+  Out += "{\"traceEvents\":[\n";
+  bool First = true;
+
+  Out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"chute\"}}";
+  First = false;
+
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs = T.buffers();
+  for (const std::shared_ptr<ThreadBuf> &Buf : Bufs) {
+    std::string Name;
+    {
+      // The registry lock (inside buffers()) is already released;
+      // the per-buffer lock covers Name updates racing with export.
+      std::lock_guard<std::mutex> Lock(Buf->Mu);
+      Name = Buf->Name;
+    }
+    Out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    Out += std::to_string(Buf->Lane);
+    Out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    Out += jsonEscape(Name);
+    Out += "\"}}";
+  }
+
+  for (const std::shared_ptr<ThreadBuf> &Buf : Bufs) {
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    for (const SpanEvent &E : Buf->Events)
+      appendEvent(Out, E, Buf->Lane, First);
+  }
+
+  Out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return Out;
+}
+
+bool chute::obs::writeChromeTrace(const Tracer &T,
+                                  const std::string &Path) {
+  std::string Json = chromeTraceJson(T);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (F == nullptr)
+    return false;
+  std::size_t N = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = N == Json.size();
+  return std::fclose(F) == 0 && Ok;
+}

@@ -1,0 +1,38 @@
+//===- obs/ChromeTrace.h - chrome://tracing JSON export -------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialises the tracer's recorded spans into the Chrome Trace
+/// Event Format (the JSON accepted by chrome://tracing and
+/// https://ui.perfetto.dev): one complete ("ph":"X") event per span
+/// with its category, microsecond timestamps, outcome/detail/budget
+/// args, plus thread_name metadata events so every TaskPool worker
+/// gets a labelled lane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_OBS_CHROMETRACE_H
+#define CHUTE_OBS_CHROMETRACE_H
+
+#include <string>
+
+namespace chute::obs {
+
+class Tracer;
+
+/// The whole trace as one JSON document:
+///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+std::string chromeTraceJson(const Tracer &T);
+
+/// Writes chromeTraceJson(T) to \p Path. Returns false on I/O error.
+bool writeChromeTrace(const Tracer &T, const std::string &Path);
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string jsonEscape(const std::string &In);
+
+} // namespace chute::obs
+
+#endif // CHUTE_OBS_CHROMETRACE_H

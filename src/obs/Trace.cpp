@@ -1,0 +1,216 @@
+//===- obs/Trace.cpp - Structured proof-search tracing ------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/ChromeTrace.h"
+
+#include <chrono>
+#include <cstdlib>
+
+using namespace chute;
+using namespace chute::obs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One epoch per process, fixed at tracer construction so event
+/// timestamps from every thread share a base.
+Clock::time_point &epoch() {
+  static Clock::time_point E = Clock::now();
+  return E;
+}
+
+/// Open-span nesting depth of the calling thread.
+thread_local unsigned TlsDepth = 0;
+
+/// The calling thread's registered buffer (shared ownership with the
+/// tracer registry, so the buffer outlives the thread).
+thread_local std::shared_ptr<ThreadBuf> TlsBuf;
+
+void exportAtExit() { Tracer::global().exportConfigured(); }
+
+} // namespace
+
+Tracer::Tracer() {
+  // Knobs: CHUTE_TRACE=<path> turns on Full tracing with a Chrome
+  // trace written at process exit; CHUTE_TRACE_STATS=<anything
+  // nonempty> turns on Stats.
+  if (const char *P = std::getenv("CHUTE_TRACE")) {
+    if (*P != '\0')
+      enable(TraceLevel::Full, P);
+  } else if (const char *S = std::getenv("CHUTE_TRACE_STATS")) {
+    if (*S != '\0')
+      enable(TraceLevel::Stats);
+  }
+}
+
+Tracer &Tracer::global() {
+  // Deliberately immortal (never destroyed): the atexit exporter is
+  // registered during construction, so a plain static would be torn
+  // down before the exporter runs; late spans from worker threads
+  // during shutdown must stay safe too.
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+std::uint64_t Tracer::nowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch())
+          .count());
+}
+
+ThreadBuf &Tracer::thisThread() {
+  if (TlsBuf)
+    return *TlsBuf;
+  auto Buf = std::make_shared<ThreadBuf>();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Buf->Lane = NextLane++;
+    Buf->Name = "thread-" + std::to_string(Buf->Lane);
+    Bufs.push_back(Buf);
+  }
+  TlsBuf = std::move(Buf);
+  return *TlsBuf;
+}
+
+void Tracer::nameThisThread(std::string Name) {
+  ThreadBuf &Buf = thisThread();
+  // Names are guarded by the per-buffer mutex (the exporter reads
+  // them under the same lock).
+  std::lock_guard<std::mutex> Lock(Buf.Mu);
+  Buf.Name = std::move(Name);
+}
+
+unsigned Tracer::currentDepth() { return TlsDepth; }
+
+std::vector<std::shared_ptr<ThreadBuf>> Tracer::buffers() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bufs;
+}
+
+void Tracer::enable(TraceLevel L, std::string ChromePath) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Path = std::move(ChromePath);
+  }
+  // The first thread to enable tracing is the driver: give its lane
+  // a meaningful default name (workers rename theirs explicitly).
+  ThreadBuf &Buf = thisThread();
+  {
+    std::lock_guard<std::mutex> Lock(Buf.Mu);
+    if (Buf.Name.rfind("thread-", 0) == 0)
+      Buf.Name = "main";
+  }
+  Lvl.store(L, std::memory_order_relaxed);
+  if (L == TraceLevel::Full && !chromePath().empty() &&
+      !AtExitArmed.exchange(true))
+    std::atexit(exportAtExit);
+}
+
+void Tracer::ensureStats() {
+  if (level() == TraceLevel::Off)
+    enable(TraceLevel::Stats);
+}
+
+std::string Tracer::chromePath() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Path;
+}
+
+bool Tracer::exportConfigured() {
+  std::string P = chromePath();
+  if (P.empty())
+    return false;
+  return writeChromeTrace(*this, P);
+}
+
+TraceSummary Tracer::snapshot() const {
+  TraceSummary Sum;
+  for (const std::shared_ptr<ThreadBuf> &Buf : buffers()) {
+    for (unsigned I = 0; I < NumCategories; ++I) {
+      Sum.Categories[I].Spans +=
+          Buf->CatSpans[I].load(std::memory_order_relaxed);
+      Sum.Categories[I].Micros +=
+          Buf->CatMicros[I].load(std::memory_order_relaxed);
+    }
+    for (unsigned I = 0; I < NumCounters; ++I)
+      Sum.Counters[I] += Buf->Counters[I].load(std::memory_order_relaxed);
+  }
+  return Sum;
+}
+
+void Tracer::reset() {
+  for (const std::shared_ptr<ThreadBuf> &Buf : buffers()) {
+    for (unsigned I = 0; I < NumCategories; ++I) {
+      Buf->CatSpans[I].store(0, std::memory_order_relaxed);
+      Buf->CatMicros[I].store(0, std::memory_order_relaxed);
+    }
+    for (unsigned I = 0; I < NumCounters; ++I)
+      Buf->Counters[I].store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    Buf->Events.clear();
+  }
+}
+
+void chute::obs::bump(Counter C, std::uint64_t N) {
+  Tracer &T = Tracer::global();
+  if (!T.enabled())
+    return;
+  T.thisThread().Counters[static_cast<unsigned>(C)].fetch_add(
+      N, std::memory_order_relaxed);
+}
+
+void chute::obs::nameThisThread(std::string Name) {
+  Tracer::global().nameThisThread(std::move(Name));
+}
+
+Span::Span(Category C, const char *SpanName) {
+  Tracer &T = Tracer::global();
+  TraceLevel L = T.level();
+  if (L == TraceLevel::Off)
+    return;
+  Buf = &T.thisThread();
+  Cat = C;
+  Name = SpanName;
+  Detailed = L == TraceLevel::Full;
+  StartUs = T.nowUs();
+  Depth = TlsDepth++;
+}
+
+void Span::setDetail(std::string D) {
+  if (Detailed)
+    Detail = std::move(D);
+}
+
+void Span::close() {
+  if (Buf == nullptr)
+    return;
+  Tracer &T = Tracer::global();
+  std::uint64_t Dur = T.nowUs() - StartUs;
+  --TlsDepth;
+
+  unsigned C = static_cast<unsigned>(Cat);
+  Buf->CatSpans[C].fetch_add(1, std::memory_order_relaxed);
+  Buf->CatMicros[C].fetch_add(Dur, std::memory_order_relaxed);
+
+  if (Detailed) {
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    if (Buf->Events.size() < ThreadBuf::MaxEvents) {
+      SpanEvent &E = Buf->Events.emplace_back();
+      E.Cat = Cat;
+      E.Name = Name;
+      E.Outcome = Outcome;
+      E.Detail = std::move(Detail);
+      E.StartUs = StartUs;
+      E.DurUs = Dur;
+      E.BudgetRemainMs = BudgetRemainMs;
+      E.Depth = Depth;
+    } else {
+      Buf->Counters[static_cast<unsigned>(Counter::SpansDropped)]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Buf = nullptr;
+}

@@ -1,0 +1,223 @@
+//===- obs/Trace.h - Structured proof-search tracing ----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the proof search: hierarchical spans and
+/// monotonic counters over every major stage of the pipeline
+/// (verify dispatch, refinement rounds, universal-prover
+/// obligations, recurrent-set checks, path search, quantifier
+/// elimination, SMT queries), aggregated across TaskPool workers.
+///
+/// Design:
+///
+///  - A process-global Tracer with three levels. Off records
+///    nothing: Span construction is a single relaxed atomic load and
+///    every other entry point checks the same flag first, so the
+///    instrumented hot paths cost one predictable branch when
+///    tracing is disabled. Stats accumulates per-category span
+///    counts/durations and counters only (no per-event storage, no
+///    allocation on the span path). Full additionally records every
+///    span as an event for Chrome trace export.
+///
+///  - Per-thread buffers: each thread that opens a span or bumps a
+///    counter owns a ThreadBuf registered with the tracer. Counters
+///    and category aggregates are relaxed atomics written only by
+///    the owning thread; events are appended under a per-buffer
+///    mutex that is uncontended except while a snapshot/export is
+///    reading. Buffers outlive their threads (the registry holds a
+///    shared_ptr), so TaskPool workers' spans survive into the
+///    export.
+///
+///  - Spans are RAII and close on any exit path, including the
+///    cooperative budget/cancellation unwind to Verdict::Unknown —
+///    there is no failure mode that leaves a span open short of
+///    process death.
+///
+/// Exporters: a chrome://tracing-compatible JSON file (see
+/// ChromeTrace.h) with one lane per thread (TaskPool workers are
+/// named "worker-N"), and a compact TraceSummary embedded into
+/// VerifyResult and the bench harness JSON rows (see
+/// TraceSummary.h).
+///
+/// Knobs: CHUTE_TRACE=<path> enables Full tracing and writes the
+/// Chrome trace to <path> at process exit; CHUTE_TRACE_STATS=1
+/// enables Stats. The bench harness adds --trace-out and always
+/// runs rows at Stats level so BENCH_*.json rows carry phase
+/// breakdowns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_OBS_TRACE_H
+#define CHUTE_OBS_TRACE_H
+
+#include "obs/TraceSummary.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chute::obs {
+
+/// How much the tracer records.
+enum class TraceLevel : std::uint8_t {
+  Off = 0,   ///< nothing (the default; spans are no-ops)
+  Stats = 1, ///< counters and per-category aggregates only
+  Full = 2,  ///< Stats plus per-span events for Chrome export
+};
+
+/// One closed span, as stored for Chrome export (Full level only).
+struct SpanEvent {
+  Category Cat = Category::Verify;
+  const char *Name = "";    ///< static string (span site)
+  const char *Outcome = ""; ///< static string ("" when unset)
+  std::string Detail;       ///< optional free-form (formula, round)
+  std::uint64_t StartUs = 0; ///< relative to the tracer epoch
+  std::uint64_t DurUs = 0;
+  std::int64_t BudgetRemainMs = -1; ///< at close; -1 = no budget
+  unsigned Depth = 0;               ///< nesting depth on this thread
+};
+
+/// Per-thread recording buffer. Counters and aggregates are written
+/// only by the owning thread (relaxed atomics, exact because every
+/// reader synchronises with the writers via joins/barriers before
+/// reading); Events is guarded by Mu.
+struct ThreadBuf {
+  unsigned Lane = 0; ///< stable per-thread lane id (tid in the trace)
+  std::string Name;  ///< "main", "worker-N", or "thread-N"
+
+  std::atomic<std::uint64_t> Counters[NumCounters] = {};
+  std::atomic<std::uint64_t> CatSpans[NumCategories] = {};
+  std::atomic<std::uint64_t> CatMicros[NumCategories] = {};
+
+  std::mutex Mu;
+  std::vector<SpanEvent> Events;
+  /// Events beyond this cap are dropped (Counter::SpansDropped).
+  static constexpr std::size_t MaxEvents = 1u << 20;
+};
+
+/// The process-global trace collector.
+class Tracer {
+public:
+  Tracer();
+
+  static Tracer &global();
+
+  TraceLevel level() const { return Lvl.load(std::memory_order_relaxed); }
+  bool enabled() const { return level() != TraceLevel::Off; }
+
+  /// Enables tracing at \p L. For Full, \p ChromePath (may be empty)
+  /// is remembered and written by exportConfigured() / at normal
+  /// process exit. Names the calling thread "main" if it has no name
+  /// yet.
+  void enable(TraceLevel L, std::string ChromePath = "");
+
+  /// Raises Off to Stats; never lowers an existing level.
+  void ensureStats();
+
+  void disable() { Lvl.store(TraceLevel::Off, std::memory_order_relaxed); }
+
+  /// Path configured via enable() or CHUTE_TRACE ("" when none).
+  std::string chromePath() const;
+
+  /// Writes the Chrome trace to the configured path, if any.
+  /// Returns false when no path is configured or the write failed.
+  bool exportConfigured();
+
+  /// Aggregated counters and per-category stats across all threads.
+  TraceSummary snapshot() const;
+
+  /// Drops every recorded event and zeroes all counters/aggregates
+  /// (thread registrations and lane ids are kept). For tests and for
+  /// the bench harness child after fork.
+  void reset();
+
+  /// Registers/returns the calling thread's buffer (creates and
+  /// registers it on first use).
+  ThreadBuf &thisThread();
+
+  /// Names the calling thread's lane in the exported trace.
+  void nameThisThread(std::string Name);
+
+  /// Nesting depth of open spans on the calling thread (tests).
+  static unsigned currentDepth();
+
+  /// All registered buffers, for the exporters. The vector grows
+  /// only; buffers are never removed.
+  std::vector<std::shared_ptr<ThreadBuf>> buffers() const;
+
+  /// Microseconds since the tracer epoch (process-lifetime clock).
+  std::uint64_t nowUs() const;
+
+private:
+  std::atomic<TraceLevel> Lvl{TraceLevel::Off};
+
+  mutable std::mutex Mu; ///< guards Bufs, Path, NextLane
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  std::string Path;
+  unsigned NextLane = 0;
+  std::atomic<bool> AtExitArmed{false};
+};
+
+/// Bumps a monotonic counter on the calling thread's buffer. A
+/// relaxed-load no-op when tracing is Off.
+void bump(Counter C, std::uint64_t N = 1);
+
+/// Names the calling thread's trace lane (used by TaskPool workers).
+/// Safe to call whether or not tracing is enabled.
+void nameThisThread(std::string Name);
+
+/// RAII hierarchical span. Construction snapshots the start time and
+/// nesting depth; destruction (or close()) folds the duration into
+/// the per-category aggregates and, at Full level, records an event.
+class Span {
+public:
+  Span(Category Cat, const char *Name);
+  ~Span() { close(); }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// True when the span is recording (tracing was on at open).
+  bool active() const { return Buf != nullptr; }
+
+  /// True when per-event details are worth building (Full level).
+  bool detailed() const { return Detailed; }
+
+  /// Attaches free-form context (formula text, round number).
+  /// Recorded only at Full level; guard expensive formatting with
+  /// detailed().
+  void setDetail(std::string D);
+
+  /// Labels how the spanned stage ended ("proved", "sat",
+  /// "cache-hit", "budget-denied", ...). \p O must be a static
+  /// string.
+  void setOutcome(const char *O) { Outcome = O; }
+
+  /// Records the governing budget's remaining time, captured at
+  /// close (-1 = unlimited / none).
+  void setBudgetRemainingMs(std::int64_t Ms) { BudgetRemainMs = Ms; }
+
+  /// Closes the span now (idempotent; the destructor calls it).
+  void close();
+
+private:
+  ThreadBuf *Buf = nullptr;
+  Category Cat = Category::Verify;
+  const char *Name = "";
+  const char *Outcome = "";
+  std::string Detail;
+  std::uint64_t StartUs = 0;
+  std::int64_t BudgetRemainMs = -1;
+  unsigned Depth = 0;
+  bool Detailed = false;
+};
+
+} // namespace chute::obs
+
+#endif // CHUTE_OBS_TRACE_H

@@ -1,0 +1,129 @@
+//===- obs/TraceSummary.cpp - Compact per-verify trace summary ----------===//
+
+#include "obs/TraceSummary.h"
+
+using namespace chute::obs;
+
+const char *chute::obs::toString(Category C) {
+  switch (C) {
+  case Category::Verify:
+    return "verify";
+  case Category::Refine:
+    return "refine";
+  case Category::Universal:
+    return "universal";
+  case Category::Rcr:
+    return "rcr";
+  case Category::PathSearch:
+    return "path_search";
+  case Category::Qe:
+    return "qe";
+  case Category::Smt:
+    return "smt";
+  case Category::Synth:
+    return "synth";
+  }
+  return "?";
+}
+
+const char *chute::obs::toString(Counter C) {
+  switch (C) {
+  case Counter::SmtQueries:
+    return "smt_queries";
+  case Counter::SmtSat:
+    return "smt_sat";
+  case Counter::SmtUnsat:
+    return "smt_unsat";
+  case Counter::SmtUnknown:
+    return "smt_unknown";
+  case Counter::SmtCacheHits:
+    return "smt_cache_hits";
+  case Counter::SmtCacheMisses:
+    return "smt_cache_misses";
+  case Counter::SmtRetries:
+    return "smt_retries";
+  case Counter::SmtBudgetDenied:
+    return "smt_budget_denied";
+  case Counter::QeFourierMotzkin:
+    return "qe_fm";
+  case Counter::QeZ3Tactic:
+    return "qe_z3";
+  case Counter::QeFailures:
+    return "qe_failures";
+  case Counter::Obligations:
+    return "obligations";
+  case Counter::RefineRounds:
+    return "refine_rounds";
+  case Counter::RcrChecks:
+    return "rcr_checks";
+  case Counter::RcrFailures:
+    return "rcr_failures";
+  case Counter::PathSearches:
+    return "path_searches";
+  case Counter::SpansDropped:
+    return "spans_dropped";
+  }
+  return "?";
+}
+
+bool TraceSummary::empty() const {
+  for (const CategoryStats &S : Categories)
+    if (S.Spans != 0 || S.Micros != 0)
+      return false;
+  for (std::uint64_t C : Counters)
+    if (C != 0)
+      return false;
+  return true;
+}
+
+TraceSummary &TraceSummary::operator+=(const TraceSummary &O) {
+  for (unsigned I = 0; I < NumCategories; ++I) {
+    Categories[I].Spans += O.Categories[I].Spans;
+    Categories[I].Micros += O.Categories[I].Micros;
+  }
+  for (unsigned I = 0; I < NumCounters; ++I)
+    Counters[I] += O.Counters[I];
+  return *this;
+}
+
+TraceSummary TraceSummary::operator-(const TraceSummary &O) const {
+  auto Sat = [](std::uint64_t A, std::uint64_t B) {
+    return A > B ? A - B : 0;
+  };
+  TraceSummary D;
+  for (unsigned I = 0; I < NumCategories; ++I) {
+    D.Categories[I].Spans = Sat(Categories[I].Spans, O.Categories[I].Spans);
+    D.Categories[I].Micros =
+        Sat(Categories[I].Micros, O.Categories[I].Micros);
+  }
+  for (unsigned I = 0; I < NumCounters; ++I)
+    D.Counters[I] = Sat(Counters[I], O.Counters[I]);
+  return D;
+}
+
+std::string TraceSummary::toJsonFields() const {
+  std::string Out;
+  Out.reserve(256);
+  for (unsigned I = 0; I < NumCategories; ++I) {
+    const char *N = toString(static_cast<Category>(I));
+    if (!Out.empty())
+      Out += ',';
+    Out += "\"us_";
+    Out += N;
+    Out += "\":";
+    Out += std::to_string(Categories[I].Micros);
+    Out += ",\"spans_";
+    Out += N;
+    Out += "\":";
+    Out += std::to_string(Categories[I].Spans);
+  }
+  for (unsigned I = 0; I < NumCounters; ++I) {
+    if (Counters[I] == 0)
+      continue;
+    Out += ",\"ctr_";
+    Out += toString(static_cast<Counter>(I));
+    Out += "\":";
+    Out += std::to_string(Counters[I]);
+  }
+  return Out;
+}

@@ -1,0 +1,112 @@
+//===- obs/TraceSummary.h - Compact per-verify trace summary --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The span taxonomy (Category), the monotonic counter set
+/// (Counter), and TraceSummary — the compact aggregate a verify()
+/// run carries back in VerifyResult and the bench harness embeds
+/// into its JSON rows. Kept free of tracer internals so result
+/// types can include it without pulling in the collector.
+///
+/// TraceSummary is trivially copyable on purpose: the bench harness
+/// ships it from the forked child to the parent over a pipe as raw
+/// bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_OBS_TRACESUMMARY_H
+#define CHUTE_OBS_TRACESUMMARY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace chute::obs {
+
+/// Span taxonomy: which stage of the pipeline a span covers. One
+/// Chrome-trace category per value.
+enum class Category : std::uint8_t {
+  Verify,     ///< Verifier: whole runs and per-direction attempts
+  Refine,     ///< ChuteRefiner: Figure 4 rounds, backtracking
+  Universal,  ///< UniversalProver: per-subformula obligations
+  Rcr,        ///< recurrent-set checks (Definition 3.2, cycles)
+  PathSearch, ///< counterexample path/lasso search
+  Qe,         ///< quantifier-elimination projections
+  Smt,        ///< individual solver queries and qe tactic calls
+  Synth,      ///< SYNTHcp chute-candidate synthesis
+};
+inline constexpr unsigned NumCategories = 8;
+
+const char *toString(Category C);
+
+/// Monotonic counters, aggregated across all worker threads.
+enum class Counter : std::uint8_t {
+  SmtQueries,      ///< satisfiability checks issued (cache included)
+  SmtSat,          ///< definite Sat answers
+  SmtUnsat,        ///< definite Unsat answers
+  SmtUnknown,      ///< Unknown after the full retry schedule
+  SmtCacheHits,    ///< answered from the QueryCache
+  SmtCacheMisses,  ///< cacheable queries that went to the solver
+  SmtRetries,      ///< re-runs scheduled for Unknown answers
+  SmtBudgetDenied, ///< refused: budget already expired
+  QeFourierMotzkin, ///< projections answered by Fourier-Motzkin
+  QeZ3Tactic,       ///< projections sent to Z3's qe tactic
+  QeFailures,       ///< projections no engine could answer
+  Obligations,   ///< UniversalProver::prove obligations dispatched
+  RefineRounds,  ///< chute-refinement rounds started
+  RcrChecks,     ///< recurrent-set obligations checked
+  RcrFailures,   ///< recurrent-set obligations that failed
+  PathSearches,  ///< path/lasso searches started
+  SpansDropped,  ///< events discarded by the per-thread cap
+};
+inline constexpr unsigned NumCounters = 17;
+
+const char *toString(Counter C);
+
+/// Aggregate of one span category.
+struct CategoryStats {
+  std::uint64_t Spans = 0;  ///< spans closed
+  std::uint64_t Micros = 0; ///< total wall time inside them
+};
+
+/// Compact, trivially-copyable aggregate of a tracing window:
+/// per-category span counts/durations plus all counters. Obtained
+/// from Tracer::snapshot(); two snapshots subtract to the activity
+/// between them.
+struct TraceSummary {
+  std::array<CategoryStats, NumCategories> Categories{};
+  std::array<std::uint64_t, NumCounters> Counters{};
+
+  const CategoryStats &of(Category C) const {
+    return Categories[static_cast<unsigned>(C)];
+  }
+  std::uint64_t count(Counter C) const {
+    return Counters[static_cast<unsigned>(C)];
+  }
+
+  /// True when nothing was recorded (tracing off or no activity).
+  bool empty() const;
+
+  TraceSummary &operator+=(const TraceSummary &O);
+
+  /// Counter-wise difference (saturating at zero), for
+  /// snapshot-delta accounting around one verify() run.
+  TraceSummary operator-(const TraceSummary &O) const;
+
+  /// Phase breakdown as JSON object fields without braces, e.g.
+  ///   "us_verify":1234,"spans_verify":2,...,"ctr_smt_queries":57
+  /// Categories are always present (stable keys for trend tooling);
+  /// counters only when nonzero.
+  std::string toJsonFields() const;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceSummary>,
+              "TraceSummary crosses the bench harness pipe as bytes");
+
+} // namespace chute::obs
+
+#endif // CHUTE_OBS_TRACESUMMARY_H

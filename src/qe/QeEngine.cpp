@@ -2,6 +2,8 @@
 
 #include "qe/QeEngine.h"
 
+#include "obs/Trace.h"
+
 using namespace chute;
 
 std::optional<ExprRef>
@@ -10,8 +12,14 @@ QeEngine::projectExists(ExprRef Body, const std::vector<ExprRef> &Vars) {
   if (Vars.empty())
     return Body;
 
+  obs::Span Sp(obs::Category::Qe, "project");
+  if (Sp.detailed())
+    Sp.setDetail(std::to_string(Vars.size()) + " vars: " +
+                 Body->toString());
+
   if (Solver.budget().expired()) {
     ++S.BudgetDenied;
+    Sp.setOutcome("budget-denied");
     return std::nullopt;
   }
   SmtPhaseScope Phase(Solver, FailPhase::QuantElim);
@@ -22,23 +30,31 @@ QeEngine::projectExists(ExprRef Body, const std::vector<ExprRef> &Vars) {
       ++S.FmCalls;
       if (!Fm->Exact)
         ++S.FmInexact;
+      Sp.setOutcome("fourier-motzkin");
+      obs::bump(obs::Counter::QeFourierMotzkin);
       return Fm->Formula;
     }
     if (Fm && Fm->Overflow)
       ++S.FmOverflow; // fall through to the Z3 tactic in Auto
     if (Strategy == QeStrategy::FourierMotzkin) {
       ++S.Failures;
+      Sp.setOutcome("fail");
+      obs::bump(obs::Counter::QeFailures);
       return std::nullopt;
     }
   }
 
   ++S.Z3Calls;
+  obs::bump(obs::Counter::QeZ3Tactic);
   std::vector<ExprRef> Bound = Vars;
   ExprRef Quantified = Ctx.mkExists(std::move(Bound), Body);
   auto R = Solver.eliminateQuantifiers(Quantified);
   if (!R) {
     ++S.Failures;
+    Sp.setOutcome("fail");
+    obs::bump(obs::Counter::QeFailures);
     return std::nullopt;
   }
+  Sp.setOutcome("z3-tactic");
   return R;
 }

@@ -2,6 +2,7 @@
 
 #include "smt/SmtQueries.h"
 
+#include "obs/Trace.h"
 #include "smt/Z3Translate.h"
 #include "support/Debug.h"
 #include "support/TaskPool.h"
@@ -37,11 +38,30 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   NumQueries.fetch_add(1, std::memory_order_relaxed);
   const FailPhase Phase = CurPhase.load(std::memory_order_relaxed);
 
+  obs::Span Sp(obs::Category::Smt, "check-sat");
+  obs::bump(obs::Counter::SmtQueries);
+  if (Sp.detailed())
+    Sp.setDetail(E->toString());
+
   // Stats are accumulated locally and folded in under the lock on
   // every exit path, so concurrent queries never interleave updates.
   RetryStats Delta;
   ++Delta.Queries;
   auto Commit = [&](SatResult R) {
+    Sp.setBudgetRemainingMs(Governor.isUnlimited()
+                                ? -1
+                                : Governor.remainingMs());
+    switch (R) {
+    case SatResult::Sat:
+      obs::bump(obs::Counter::SmtSat);
+      break;
+    case SatResult::Unsat:
+      obs::bump(obs::Counter::SmtUnsat);
+      break;
+    case SatResult::Unknown:
+      obs::bump(obs::Counter::SmtUnknown);
+      break;
+    }
     std::lock_guard<std::mutex> Lock(StatsMu);
     Stats[Phase] += Delta;
     return R;
@@ -53,6 +73,8 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   if (Governor.expired() ||
       Governor.remainingMs() < Budget::MinQueryMs) {
     ++Delta.BudgetDenied;
+    Sp.setOutcome("budget-denied");
+    obs::bump(obs::Counter::SmtBudgetDenied);
     return Commit(SatResult::Unknown);
   }
 
@@ -62,9 +84,12 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   if (std::optional<SatResult> Cached = Cache.lookupSat(E)) {
     if (!WantModel || *Cached == SatResult::Unsat) {
       ++Delta.CacheHits;
+      Sp.setOutcome("cache-hit");
+      obs::bump(obs::Counter::SmtCacheHits);
       return Commit(*Cached);
     }
   }
+  obs::bump(obs::Counter::SmtCacheMisses);
 
   Z3Context &Zc = threadZ3();
   unsigned T = Governor.queryTimeoutMs(TimeoutMs);
@@ -81,14 +106,17 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
       if (R == SatResult::Sat && WantModel)
         *ModelOut = Solver.getModel(freeVars(E));
       Cache.storeSat(E, R);
+      Sp.setOutcome(R == SatResult::Sat ? "sat" : "unsat");
       return Commit(R);
     }
     ++Delta.Unknowns;
     if (Attempt >= Policy.MaxRetries || Governor.expired()) {
       ++Delta.Exhausted;
+      Sp.setOutcome("unknown");
       return Commit(SatResult::Unknown);
     }
     ++Delta.Retries;
+    obs::bump(obs::Counter::SmtRetries);
     // Escalate, but never past the remaining budget.
     T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
         static_cast<double>(T) * Policy.Backoff, 3600000.0)));
@@ -135,7 +163,14 @@ std::optional<Model> Smt::getModel(ExprRef E) {
 std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   NumQueries.fetch_add(1, std::memory_order_relaxed);
   const FailPhase Phase = CurPhase.load(std::memory_order_relaxed);
+
+  obs::Span Sp(obs::Category::Smt, "qe-tactic");
+  if (Sp.detailed())
+    Sp.setDetail(E->toString());
+
   if (Governor.expired()) {
+    Sp.setOutcome("budget-denied");
+    obs::bump(obs::Counter::SmtBudgetDenied);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Stats[Phase].BudgetDenied;
     return std::nullopt;
@@ -144,10 +179,13 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   // QE outputs are deterministic given the input formula, so a prior
   // successful elimination answers immediately.
   if (std::optional<ExprRef> Cached = Cache.lookupQe(E)) {
+    Sp.setOutcome("cache-hit");
+    obs::bump(obs::Counter::SmtCacheHits);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Stats[Phase].CacheHits;
     return *Cached;
   }
+  obs::bump(obs::Counter::SmtCacheMisses);
 
   Z3Context &Zc = threadZ3();
   Z3_context C = Zc.raw();
@@ -207,5 +245,8 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   Z3_tactic_dec_ref(C, Qe);
   if (Result)
     Cache.storeQe(E, *Result);
+  Sp.setOutcome(Result ? "ok" : "fail");
+  Sp.setBudgetRemainingMs(Governor.isUnlimited() ? -1
+                                                 : Governor.remainingMs());
   return Result;
 }

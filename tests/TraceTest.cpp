@@ -1,0 +1,472 @@
+//===- tests/TraceTest.cpp - Proof-search tracing tests -------------------------===//
+//
+// The obs subsystem: disabled-mode no-ops, counter exactness across
+// TaskPool workers, span nesting, the per-verify summary embedded in
+// VerifyResult, and the Chrome trace exporter (the JSON must parse
+// and the spans must nest laminarly within each thread lane).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+#include "obs/Trace.h"
+
+#include "core/Verifier.h"
+#include "program/Parser.h"
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace chute;
+using namespace chute::obs;
+
+namespace {
+
+/// Every test runs against the process-global tracer; restore Off and
+/// drop recorded state afterwards so tests cannot observe each other.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::global().disable();
+    Tracer::global().reset();
+  }
+  void TearDown() override {
+    Tracer::global().disable();
+    Tracer::global().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Disabled mode
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, DisabledSpansAndCountersAreNoOps) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  {
+    Span Sp(Category::Smt, "check-sat");
+    EXPECT_FALSE(Sp.active());
+    EXPECT_FALSE(Sp.detailed());
+    Sp.setOutcome("sat");
+    Sp.setBudgetRemainingMs(42);
+  }
+  bump(Counter::SmtQueries);
+  bump(Counter::Obligations, 7);
+
+  TraceSummary S = Tracer::global().snapshot();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(Counter::SmtQueries), 0u);
+  EXPECT_EQ(S.of(Category::Smt).Spans, 0u);
+}
+
+TEST_F(TraceTest, EnableRaisesAndDisableLowers) {
+  EXPECT_EQ(Tracer::global().level(), TraceLevel::Off);
+  Tracer::global().ensureStats();
+  EXPECT_EQ(Tracer::global().level(), TraceLevel::Stats);
+  Tracer::global().enable(TraceLevel::Full);
+  EXPECT_EQ(Tracer::global().level(), TraceLevel::Full);
+  // ensureStats never lowers an existing level.
+  Tracer::global().ensureStats();
+  EXPECT_EQ(Tracer::global().level(), TraceLevel::Full);
+  Tracer::global().disable();
+  EXPECT_FALSE(Tracer::global().enabled());
+}
+
+//===----------------------------------------------------------------------===//
+// Counters and aggregates
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, CountersAreExactAcrossPoolWorkers) {
+  Tracer::global().ensureStats();
+  TaskPool::configureGlobal(4);
+  constexpr std::size_t N = 10000;
+  TaskPool::global().parallelFor(N, [](std::size_t) {
+    bump(Counter::SmtQueries);
+    Span Sp(Category::Qe, "project");
+    Sp.setOutcome("ok");
+  });
+  TraceSummary S = Tracer::global().snapshot();
+  EXPECT_EQ(S.count(Counter::SmtQueries), N);
+  EXPECT_EQ(S.of(Category::Qe).Spans, N);
+}
+
+TEST_F(TraceTest, StatsLevelAggregatesDurationsPerCategory) {
+  Tracer::global().ensureStats();
+  {
+    Span Outer(Category::Refine, "round");
+    Span Inner(Category::Smt, "check-sat");
+  }
+  TraceSummary S = Tracer::global().snapshot();
+  EXPECT_EQ(S.of(Category::Refine).Spans, 1u);
+  EXPECT_EQ(S.of(Category::Smt).Spans, 1u);
+  EXPECT_EQ(S.of(Category::Verify).Spans, 0u);
+  // Durations are monotone: the outer span contains the inner one.
+  EXPECT_GE(S.of(Category::Refine).Micros, S.of(Category::Smt).Micros);
+  EXPECT_FALSE(S.empty());
+}
+
+TEST_F(TraceTest, SnapshotDeltaIsolatesAWindow) {
+  Tracer::global().ensureStats();
+  bump(Counter::RcrChecks, 5);
+  TraceSummary Before = Tracer::global().snapshot();
+  bump(Counter::RcrChecks, 3);
+  { Span Sp(Category::Rcr, "rcr-check"); }
+  TraceSummary Delta = Tracer::global().snapshot() - Before;
+  EXPECT_EQ(Delta.count(Counter::RcrChecks), 3u);
+  EXPECT_EQ(Delta.of(Category::Rcr).Spans, 1u);
+}
+
+TEST_F(TraceTest, SummarySumAndJsonFields) {
+  TraceSummary A, B;
+  A.Counters[static_cast<unsigned>(Counter::SmtQueries)] = 2;
+  A.Categories[static_cast<unsigned>(Category::Smt)] = {2, 100};
+  B.Counters[static_cast<unsigned>(Counter::SmtQueries)] = 3;
+  B.Categories[static_cast<unsigned>(Category::Smt)] = {1, 50};
+  A += B;
+  EXPECT_EQ(A.count(Counter::SmtQueries), 5u);
+  EXPECT_EQ(A.of(Category::Smt).Spans, 3u);
+  EXPECT_EQ(A.of(Category::Smt).Micros, 150u);
+
+  std::string J = A.toJsonFields();
+  // Stable category keys always present; counters only when nonzero.
+  EXPECT_NE(J.find("\"us_smt\":150"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"spans_smt\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"us_qe\":0"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ctr_smt_queries\":5"), std::string::npos) << J;
+  EXPECT_EQ(J.find("\"ctr_smt_sat\""), std::string::npos) << J;
+  // Fields must compose into a valid object without a leading comma.
+  EXPECT_EQ(J.front(), '"');
+  EXPECT_NE(J.back(), ',');
+}
+
+//===----------------------------------------------------------------------===//
+// Nesting
+//===----------------------------------------------------------------------===//
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndUnwind) {
+  Tracer::global().enable(TraceLevel::Full);
+  EXPECT_EQ(Tracer::currentDepth(), 0u);
+  {
+    Span A(Category::Verify, "verify");
+    EXPECT_EQ(Tracer::currentDepth(), 1u);
+    {
+      Span B(Category::Refine, "round");
+      EXPECT_EQ(Tracer::currentDepth(), 2u);
+    }
+    EXPECT_EQ(Tracer::currentDepth(), 1u);
+  }
+  EXPECT_EQ(Tracer::currentDepth(), 0u);
+
+  // The recorded events carry the open-time depth.
+  std::vector<SpanEvent> Events;
+  for (const auto &Buf : Tracer::global().buffers()) {
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    for (const SpanEvent &E : Buf->Events)
+      Events.push_back(E);
+  }
+  ASSERT_EQ(Events.size(), 2u);
+  // Close order: inner first.
+  EXPECT_STREQ(Events[0].Name, "round");
+  EXPECT_EQ(Events[0].Depth, 1u);
+  EXPECT_STREQ(Events[1].Name, "verify");
+  EXPECT_EQ(Events[1].Depth, 0u);
+  // Containment: the outer interval covers the inner one.
+  EXPECT_LE(Events[1].StartUs, Events[0].StartUs);
+  EXPECT_GE(Events[1].StartUs + Events[1].DurUs,
+            Events[0].StartUs + Events[0].DurUs);
+}
+
+TEST_F(TraceTest, CloseIsIdempotent) {
+  Tracer::global().ensureStats();
+  Span Sp(Category::Smt, "check-sat");
+  Sp.close();
+  Sp.close(); // and once more from the destructor on scope exit
+  TraceSummary S = Tracer::global().snapshot();
+  EXPECT_EQ(S.of(Category::Smt).Spans, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration
+//===----------------------------------------------------------------------===//
+
+// A nested mixed-quantifier property (EF below AF) so the verify
+// exercises dispatch, refinement, obligations and SMT.
+const char *NestedProgram = "init(p == 0);"
+                            "while (true) { p = 1; p = 0; }";
+const char *NestedProperty = "AF(EF(p == 1))";
+
+TEST_F(TraceTest, VerifyResultCarriesSummary) {
+  Tracer::global().ensureStats();
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, NestedProgram, Err);
+  ASSERT_TRUE(P) << Err;
+  VerifierOptions Options;
+  Options.Jobs = 4;
+  Verifier V(*P, Options);
+  VerifyResult R = V.verify(NestedProperty, Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(R.V, Verdict::Proved);
+
+  EXPECT_FALSE(R.Trace.empty());
+  // The root verify span plus at least the primary attempt.
+  EXPECT_GE(R.Trace.of(Category::Verify).Spans, 2u);
+  EXPECT_GE(R.Trace.of(Category::Universal).Spans, 1u);
+  EXPECT_GE(R.Trace.count(Counter::Obligations), 1u);
+  EXPECT_GE(R.Trace.count(Counter::SmtQueries), 1u);
+  EXPECT_GE(R.Trace.count(Counter::RefineRounds), 1u);
+  // The root span covers (essentially) the whole run.
+  EXPECT_GT(R.Trace.of(Category::Verify).Micros, 0u);
+}
+
+TEST_F(TraceTest, DisabledVerifyLeavesSummaryEmpty) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, NestedProgram, Err);
+  ASSERT_TRUE(P) << Err;
+  Verifier V(*P);
+  VerifyResult R = V.verify(NestedProperty, Err);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_TRUE(R.Trace.empty());
+}
+
+TEST_F(TraceTest, BudgetUnwindClosesAllSpans) {
+  Tracer::global().ensureStats();
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, NestedProgram, Err);
+  ASSERT_TRUE(P) << Err;
+  VerifierOptions Options;
+  Options.BudgetMs = 1; // expire almost immediately
+  Verifier V(*P, Options);
+  VerifyResult R = V.verify(NestedProperty, Err);
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  // The cooperative unwind to Unknown must not leak open spans.
+  EXPECT_EQ(Tracer::currentDepth(), 0u);
+  EXPECT_GE(R.Trace.of(Category::Verify).Spans, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+/// Minimal JSON syntax checker (no tree): enough to assert the
+/// exporter emits well-formed JSON without an external parser.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  std::size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\n' ||
+                              S[Pos] == '\t' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool literal(const char *L) {
+    std::size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool number() {
+    std::size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && (std::isdigit(S[Pos]) || S[Pos] == '.' ||
+                              S[Pos] == 'e' || S[Pos] == 'E' ||
+                              S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{': {
+      ++Pos;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (Pos >= S.size() || S[Pos] != ':')
+          return false;
+        ++Pos;
+        if (!value())
+          return false;
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != '}')
+        return false;
+      ++Pos;
+      return true;
+    }
+    case '[': {
+      ++Pos;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        if (!value())
+          return false;
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != ']')
+        return false;
+      ++Pos;
+      return true;
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormedAndLaminar) {
+  Tracer::global().enable(TraceLevel::Full);
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, NestedProgram, Err);
+  ASSERT_TRUE(P) << Err;
+  VerifierOptions Options;
+  Options.Jobs = 4;
+  Verifier V(*P, Options);
+  VerifyResult R = V.verify(NestedProperty, Err);
+  EXPECT_EQ(R.V, Verdict::Proved);
+
+  std::string Json = chromeTraceJson(Tracer::global());
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  // The verify exercised several pipeline stages.
+  for (const char *Cat : {"verify", "refine", "universal", "smt"})
+    EXPECT_NE(Json.find("\"cat\":\"" + std::string(Cat) + "\""),
+              std::string::npos)
+        << Cat;
+
+  // Spans within one thread lane must be laminar: any two intervals
+  // are either disjoint or nested (strict partial overlap would mean
+  // broken nesting bookkeeping).
+  for (const auto &Buf : Tracer::global().buffers()) {
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    const auto &Ev = Buf->Events;
+    for (std::size_t I = 0; I < Ev.size(); ++I)
+      for (std::size_t J = I + 1; J < Ev.size(); ++J) {
+        std::uint64_t AS = Ev[I].StartUs, AE = AS + Ev[I].DurUs;
+        std::uint64_t BS = Ev[J].StartUs, BE = BS + Ev[J].DurUs;
+        bool Disjoint = AE <= BS || BE <= AS;
+        bool Nested = (AS <= BS && BE <= AE) || (BS <= AS && AE <= BE);
+        EXPECT_TRUE(Disjoint || Nested)
+            << "lane " << Buf->Lane << ": [" << AS << "," << AE
+            << ") vs [" << BS << "," << BE << ")";
+      }
+  }
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  Tracer::global().enable(TraceLevel::Full);
+  {
+    Span Sp(Category::Smt, "check-sat");
+    Sp.setOutcome("sat");
+    Sp.setDetail("p == \"quoted\"\nnext");
+    Sp.setBudgetRemainingMs(120);
+  }
+  std::string Json = chromeTraceJson(Tracer::global());
+  EXPECT_TRUE(JsonChecker(Json).valid());
+
+  std::string Path =
+      ::testing::TempDir() + "/chute_trace_roundtrip.json";
+  ASSERT_TRUE(writeChromeTrace(Tracer::global(), Path));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Read;
+  char Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Read.append(Buf, N);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  // The export is a pure function of the recorded events.
+  EXPECT_EQ(Read, Json);
+  // Escapes survived: the detail string contains a quote + newline
+  // (control characters are emitted as \uXXXX).
+  EXPECT_NE(Read.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Read.find("\\u000a"), std::string::npos);
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndZeroesCounters) {
+  Tracer::global().enable(TraceLevel::Full);
+  { Span Sp(Category::Verify, "verify"); }
+  bump(Counter::SmtQueries, 9);
+  ASSERT_FALSE(Tracer::global().snapshot().empty());
+  Tracer::global().reset();
+  TraceSummary S = Tracer::global().snapshot();
+  EXPECT_TRUE(S.empty());
+  for (const auto &Buf : Tracer::global().buffers()) {
+    std::lock_guard<std::mutex> Lock(Buf->Mu);
+    EXPECT_TRUE(Buf->Events.empty());
+  }
+}
+
+} // namespace

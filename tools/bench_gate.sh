@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Bench smoke gate: runs a small subset of the Figure 6 rows and
+# fails when any row's *verdict* (proved/disproved/unknown/...)
+# differs from the checked-in baseline BENCH_parallel.json. Timings
+# are deliberately ignored — CI machines are noisy — so this catches
+# soundness/strength regressions, not slowdowns.
+#
+#   tools/bench_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_GATE_ROWS      row range to run (default 1-12: a fast,
+#                        deterministic slice covering both verdicts)
+#   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
+#   CHUTE_GATE_JOBS      worker threads per row (default 2)
+#   CHUTE_BENCH_BASELINE baseline JSON-lines file
+#                        (default BENCH_parallel.json)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+ROWS=${CHUTE_GATE_ROWS:-1-12}
+TIMEOUT=${CHUTE_GATE_TIMEOUT:-90}
+JOBS=${CHUTE_GATE_JOBS:-2}
+BASELINE=${CHUTE_BENCH_BASELINE:-"$ROOT"/BENCH_parallel.json}
+TABLE="Figure 6: small benchmarks (operator combinations)"
+
+BENCH="$BUILD"/bench/bench_fig6_small
+[ -x "$BENCH" ] || { echo "bench_gate: $BENCH not built" >&2; exit 2; }
+[ -r "$BASELINE" ] || { echo "bench_gate: no baseline $BASELINE" >&2; exit 2; }
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+# The bench binary exits nonzero on paper-expectation mismatches;
+# the gate's own criterion is drift against the baseline, so run it
+# for its JSON and judge below.
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --json "$OUT" || true
+
+# "id status" pairs for the Figure 6 table, sorted by id.
+extract() {
+  grep -F "\"table\":\"$TABLE\"" "$1" |
+    sed -n 's/.*"id":\([0-9]*\),.*"status":"\([a-z]*\)".*/\1 \2/p' |
+    sort -n
+}
+
+extract "$OUT" > "$OUT.new"
+NEW_ROWS=$(wc -l < "$OUT.new")
+if [ "$NEW_ROWS" -eq 0 ]; then
+  echo "bench_gate: bench run produced no JSON rows" >&2
+  exit 1
+fi
+
+FAIL=0
+while read -r ID ST; do
+  BASE=$(extract "$BASELINE" |
+    awk -v id="$ID" '$1 == id { print $2; exit }')
+  if [ -z "$BASE" ]; then
+    echo "bench_gate: row $ID not in baseline, skipping"
+    continue
+  fi
+  if [ "$ST" != "$BASE" ]; then
+    echo "bench_gate: row $ID verdict regressed: $BASE -> $ST"
+    FAIL=1
+  else
+    echo "bench_gate: row $ID ok ($ST)"
+  fi
+done < "$OUT.new"
+rm -f "$OUT.new"
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "bench_gate: verdict regression against $(basename "$BASELINE")" >&2
+  exit 1
+fi
+echo "bench_gate: $NEW_ROWS rows match the baseline verdicts"

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Tier-1 gate: configure, build, and run the test suite under
 # timeouts, exiting nonzero on any failure. Usable locally and in CI.
 #
@@ -7,19 +7,24 @@
 #
 # --tsan builds with ThreadSanitizer into a separate build tree
 # (default build-tsan) and runs only the concurrency-sensitive suites
-# (thread pool, SMT facade, query cache, governor, parallel engine):
-# a data race in the proof scheduler fails the gate even when the
-# plain build happens to pass.
+# (thread pool, SMT facade, query cache, governor, parallel engine,
+# tracer): a data race in the proof scheduler fails the gate even
+# when the plain build happens to pass.
 #
 # Knobs (environment):
 #   CI_TEST_TIMEOUT   per-test timeout in seconds (default 300)
 #   CI_TOTAL_TIMEOUT  whole-ctest wall-clock cap in seconds
 #                     (default 3600)
-#   CI_JOBS           parallelism (default: nproc)
-set -eu
+#   CI_JOBS           parallelism (default: nproc, falling back to 2)
+#   CI_BUILD_TYPE     CMAKE_BUILD_TYPE for the plain build (default:
+#                     the project default)
+#   CI_CXX_FLAGS      extra CMAKE_CXX_FLAGS for the plain build
+#                     (e.g. "-fsanitize=address,undefined")
+#   CI_LINKER_FLAGS   extra CMAKE_EXE_LINKER_FLAGS to match
+set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-JOBS=${CI_JOBS:-$(nproc)}
+JOBS=${CI_JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}
 TEST_TIMEOUT=${CI_TEST_TIMEOUT:-300}
 TOTAL_TIMEOUT=${CI_TOTAL_TIMEOUT:-3600}
 
@@ -47,13 +52,20 @@ if [ "$TSAN" = 1 ]; then
   timeout --signal=TERM --kill-after=30 "$TOTAL_TIMEOUT" \
     ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" \
           --timeout "$TEST_TIMEOUT" \
-          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget"
+          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget|Trace"
   echo "ci: tsan build and concurrency tests passed"
   exit 0
 fi
 
 BUILD=${1:-"$ROOT"/build}
-cmake -B "$BUILD" -S "$ROOT"
+CONFIGURE_ARGS=()
+[ -n "${CI_BUILD_TYPE:-}" ] &&
+  CONFIGURE_ARGS+=("-DCMAKE_BUILD_TYPE=${CI_BUILD_TYPE}")
+[ -n "${CI_CXX_FLAGS:-}" ] &&
+  CONFIGURE_ARGS+=("-DCMAKE_CXX_FLAGS=${CI_CXX_FLAGS}")
+[ -n "${CI_LINKER_FLAGS:-}" ] &&
+  CONFIGURE_ARGS+=("-DCMAKE_EXE_LINKER_FLAGS=${CI_LINKER_FLAGS}")
+cmake -B "$BUILD" -S "$ROOT" ${CONFIGURE_ARGS[@]+"${CONFIGURE_ARGS[@]}"}
 cmake --build "$BUILD" -j"$JOBS"
 
 # `timeout` caps the whole suite; ctest --timeout caps each test.
