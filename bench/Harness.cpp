@@ -66,6 +66,11 @@ struct ChildStats {
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
   unsigned Jobs = 1;
+  unsigned IncChecks = 0;
+  unsigned IncLitsReused = 0;
+  unsigned IncCores = 0;
+  unsigned IncCorePruned = 0;
+  unsigned IncResets = 0;
   obs::TraceSummary Trace;
 };
 
@@ -162,6 +167,13 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Stats.CacheHits = static_cast<unsigned>(R.CacheStats.Hits);
     Stats.CacheMisses = static_cast<unsigned>(R.CacheStats.Misses);
     Stats.Jobs = R.Jobs;
+    Stats.IncChecks = static_cast<unsigned>(R.SessionStats.Checks);
+    Stats.IncLitsReused =
+        static_cast<unsigned>(R.SessionStats.LitsReused);
+    Stats.IncCores = static_cast<unsigned>(R.SessionStats.UnsatCores);
+    Stats.IncCorePruned =
+        static_cast<unsigned>(R.CacheStats.CoreHits);
+    Stats.IncResets = static_cast<unsigned>(R.SessionStats.Resets);
     Stats.Trace = R.Trace;
     ssize_t Ignored = write(Pipe[1], &Stats, sizeof(Stats));
     (void)Ignored;
@@ -204,6 +216,11 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.CacheHits = Stats.CacheHits;
     Result.CacheMisses = Stats.CacheMisses;
     Result.Jobs = Stats.Jobs;
+    Result.IncChecks = Stats.IncChecks;
+    Result.IncLitsReused = Stats.IncLitsReused;
+    Result.IncCores = Stats.IncCores;
+    Result.IncCorePruned = Stats.IncCorePruned;
+    Result.IncResets = Stats.IncResets;
     Result.Trace = Stats.Trace;
   }
 
@@ -283,14 +300,18 @@ unsigned chute::bench::runTable(const char *Title,
           "\"refinements\":%u,\"smt_retries\":%u,"
           "\"smt_recovered\":%u,\"cache_hits\":%u,"
           "\"cache_misses\":%u,\"cache_hit_rate\":%.4f,"
-          "\"jobs\":%u,\"timeout_sec\":%u,%s}\n",
+          "\"jobs\":%u,\"timeout_sec\":%u,"
+          "\"inc_checks\":%u,\"inc_lit_reuse\":%u,"
+          "\"inc_unsat_cores\":%u,\"inc_core_pruned\":%u,"
+          "\"inc_resets\":%u,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
           Row.ExpectHolds ? "true" : "false", statusName(R.St),
           Ok ? "true" : "false", R.Seconds, R.Rounds, R.Refinements,
           R.SmtRetries, R.SmtRecovered, R.CacheHits, R.CacheMisses,
-          R.cacheHitRate(), R.Jobs, TimeoutSec,
+          R.cacheHitRate(), R.Jobs, TimeoutSec, R.IncChecks,
+          R.IncLitsReused, R.IncCores, R.IncCorePruned, R.IncResets,
           R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }

@@ -39,6 +39,12 @@ struct RowResult {
   unsigned CacheHits = 0;    ///< SMT/QE queries answered from the cache
   unsigned CacheMisses = 0;  ///< cacheable queries that went to the solver
   unsigned Jobs = 1;         ///< worker threads the child ran with
+  /// Incremental-session activity (zero when CHUTE_INCREMENTAL=0).
+  unsigned IncChecks = 0;    ///< checks run on persistent sessions
+  unsigned IncLitsReused = 0; ///< assumption literals reused
+  unsigned IncCores = 0;     ///< unsat cores extracted
+  unsigned IncCorePruned = 0; ///< queries answered by a cached core
+  unsigned IncResets = 0;    ///< session frames torn down
   /// Phase breakdown of the child's run (each child traces at Stats
   /// level, so JSON rows always carry per-stage time/span counts).
   obs::TraceSummary Trace;

@@ -48,6 +48,24 @@ QueryCacheStats cacheDelta(const QueryCacheStats &Now,
   D.Misses = Now.Misses - Then.Misses;
   D.Evictions = Now.Evictions - Then.Evictions;
   D.Insertions = Now.Insertions - Then.Insertions;
+  D.CoreInserts = Now.CoreInserts - Then.CoreInserts;
+  D.CoreHits = Now.CoreHits - Then.CoreHits;
+  D.Retired = Now.Retired - Then.Retired;
+  return D;
+}
+
+SmtSessionStats sessionDelta(const SmtSessionStats &Now,
+                             const SmtSessionStats &Then) {
+  SmtSessionStats D;
+  D.Checks = Now.Checks - Then.Checks;
+  D.LitsRegistered = Now.LitsRegistered - Then.LitsRegistered;
+  D.LitsReused = Now.LitsReused - Then.LitsReused;
+  D.UnsatCores = Now.UnsatCores - Then.UnsatCores;
+  D.CoreLits = Now.CoreLits - Then.CoreLits;
+  D.Resets = Now.Resets - Then.Resets;
+  D.ErrorResets = Now.ErrorResets - Then.ErrorResets;
+  D.FramesPushed = Now.FramesPushed - Then.FramesPushed;
+  D.FramesPopped = Now.FramesPopped - Then.FramesPopped;
   return D;
 }
 
@@ -77,6 +95,7 @@ VerifyResult Verifier::verify(CtlRef F) {
   Solver.setRetryPolicy(Opts.Retry);
   RetryStats Before = Solver.totalRetryStats();
   QueryCacheStats CacheBefore = Solver.cacheStats();
+  SmtSessionStats SessionBefore = Solver.sessionStats();
 
   {
     obs::Span AttemptSp(obs::Category::Verify, "prove-primary");
@@ -93,7 +112,8 @@ VerifyResult Verifier::verify(CtlRef F) {
       Result.Proof = std::move(Out.Proof);
       AttemptSp.setOutcome("proved");
       AttemptSp.close();
-      finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
+      finish(Result, Timer, Before, CacheBefore, SessionBefore,
+             TraceBefore, RootSp);
       return Result;
     }
     AttemptSp.setOutcome("not-proved");
@@ -115,7 +135,8 @@ VerifyResult Verifier::verify(CtlRef F) {
         Result.ProofIsOfNegation = true;
         AttemptSp.setOutcome("proved");
         AttemptSp.close();
-        finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
+        finish(Result, Timer, Before, CacheBefore, SessionBefore,
+               TraceBefore, RootSp);
         return Result;
       }
       AttemptSp.setOutcome("not-proved");
@@ -133,13 +154,15 @@ VerifyResult Verifier::verify(CtlRef F) {
   }
 
   Result.V = Verdict::Unknown;
-  finish(Result, Timer, Before, CacheBefore, TraceBefore, RootSp);
+  finish(Result, Timer, Before, CacheBefore, SessionBefore,
+         TraceBefore, RootSp);
   return Result;
 }
 
 void Verifier::finish(VerifyResult &Result, Stopwatch &Timer,
                       const RetryStats &Before,
                       const QueryCacheStats &CacheBefore,
+                      const SmtSessionStats &SessionBefore,
                       const obs::TraceSummary &TraceBefore,
                       obs::Span &RootSpan) {
   RootSpan.setOutcome(toString(Result.V));
@@ -147,6 +170,10 @@ void Verifier::finish(VerifyResult &Result, Stopwatch &Timer,
   Result.Seconds = Timer.seconds();
   Result.SmtStats = statsDelta(Solver.totalRetryStats(), Before);
   Result.CacheStats = cacheDelta(Solver.cacheStats(), CacheBefore);
+  // Sessions are read after the run's parallel sections have joined,
+  // so the per-thread counters are settled.
+  Result.SessionStats =
+      sessionDelta(Solver.sessionStats(), SessionBefore);
   obs::Tracer &T = obs::Tracer::global();
   if (T.enabled())
     Result.Trace = T.snapshot() - TraceBefore;

@@ -80,6 +80,10 @@ struct VerifyResult {
   RetryStats SmtStats;
   /// Query-cache activity during this run (hits/misses/evictions).
   QueryCacheStats CacheStats;
+  /// Incremental-session activity during this run (checks, literal
+  /// reuse, unsat cores, resets) aggregated over worker threads.
+  /// All-zero when CHUTE_INCREMENTAL=0 disabled the layer.
+  SmtSessionStats SessionStats;
   /// Worker threads the run executed with (the global pool size).
   unsigned Jobs = 1;
   /// Phase breakdown of this run (span counts/durations per
@@ -138,6 +142,7 @@ private:
   void finish(VerifyResult &Result, Stopwatch &Timer,
               const RetryStats &Before,
               const QueryCacheStats &CacheBefore,
+              const SmtSessionStats &SessionBefore,
               const obs::TraceSummary &TraceBefore,
               obs::Span &RootSpan);
 

@@ -62,6 +62,14 @@ const char *chute::obs::toString(Counter C) {
     return "path_searches";
   case Counter::SpansDropped:
     return "spans_dropped";
+  case Counter::SmtIncChecks:
+    return "smt_inc_checks";
+  case Counter::SmtIncFallbacks:
+    return "smt_inc_fallbacks";
+  case Counter::SmtIncCorePruned:
+    return "smt_inc_core_pruned";
+  case Counter::SmtIncResets:
+    return "smt_inc_resets";
   }
   return "?";
 }

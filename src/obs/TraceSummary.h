@@ -62,8 +62,12 @@ enum class Counter : std::uint8_t {
   RcrFailures,   ///< recurrent-set obligations that failed
   PathSearches,  ///< path/lasso searches started
   SpansDropped,  ///< events discarded by the per-thread cap
+  SmtIncChecks,     ///< checks answered on a persistent session
+  SmtIncFallbacks,  ///< session Unknowns retried on fresh solvers
+  SmtIncCorePruned, ///< queries answered by a cached unsat core
+  SmtIncResets,     ///< session frames torn down (capacity/error)
 };
-inline constexpr unsigned NumCounters = 17;
+inline constexpr unsigned NumCounters = 21;
 
 const char *toString(Counter C);
 

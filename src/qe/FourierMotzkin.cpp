@@ -123,6 +123,17 @@ FmResult chute::fourierMotzkinProject(ExprContext &Ctx,
       Work.push_back(std::move(A));
     }
 
+    // The split can re-create bounds already present (an equality
+    // alongside one of its own <= halves, or a chain of equalities
+    // over v that all solve to the same bound). Deduplicate before
+    // combining: every duplicate lower bound multiplies the
+    // quadratic lower x upper resultant count for nothing, and the
+    // redundant resultants then feed the next variable's round.
+    if (!tidyAtoms(Work)) {
+      Result.Formula = Ctx.mkFalse();
+      return Result;
+    }
+
     // Step 3: Fourier-Motzkin combination of lower and upper bounds.
     std::vector<LinearAtom> Lowers, Uppers, Rest;
     for (LinearAtom &A : Work) {

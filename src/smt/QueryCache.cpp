@@ -23,6 +23,7 @@ void QueryCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Lru.clear();
   Buckets.clear();
+  Cores.clear();
 }
 
 QueryCache::Entry *QueryCache::find(std::size_t H, EntryKind K,
@@ -33,6 +34,14 @@ QueryCache::Entry *QueryCache::find(std::size_t H, EntryKind K,
   for (LruList::iterator It : BucketIt->second) {
     if (It->Kind != K || It->Key != Key)
       continue; // same hash, different formula or kind: not a hit
+    if (It->Epoch != 0 && It->Epoch < MinIncEpoch) {
+      // Retired incremental generation: the verdict came from a
+      // session that later hit a Z3 error, so it cannot be trusted.
+      // Dropped lazily here rather than swept eagerly on retire.
+      erase(It);
+      ++St.Retired;
+      return nullptr;
+    }
     // Refresh: splice to the front of the LRU list. Iterators stay
     // valid across splice, so the bucket needs no update.
     Lru.splice(Lru.begin(), Lru, It);
@@ -41,31 +50,36 @@ QueryCache::Entry *QueryCache::find(std::size_t H, EntryKind K,
   return nullptr;
 }
 
-void QueryCache::evictOne() {
-  assert(!Lru.empty());
-  auto Last = std::prev(Lru.end());
-  auto BucketIt = Buckets.find(Last->Hash);
+void QueryCache::erase(LruList::iterator It) {
+  auto BucketIt = Buckets.find(It->Hash);
   assert(BucketIt != Buckets.end());
   auto &Vec = BucketIt->second;
-  Vec.erase(std::remove(Vec.begin(), Vec.end(), Last), Vec.end());
+  Vec.erase(std::remove(Vec.begin(), Vec.end(), It), Vec.end());
   if (Vec.empty())
     Buckets.erase(BucketIt);
-  Lru.erase(Last);
+  Lru.erase(It);
+}
+
+void QueryCache::evictOne() {
+  assert(!Lru.empty());
+  erase(std::prev(Lru.end()));
   ++St.Evictions;
 }
 
 void QueryCache::insert(std::size_t H, EntryKind K, ExprRef Key,
-                        SatResult R, ExprRef QeOut) {
+                        SatResult R, ExprRef QeOut,
+                        std::uint32_t Epoch) {
   if (Cap == 0)
     return;
   if (Entry *Existing = find(H, K, Key)) {
     Existing->Verdict = R;
     Existing->QeOut = QeOut;
+    Existing->Epoch = Epoch;
     return;
   }
   while (Lru.size() >= Cap)
     evictOne();
-  Lru.push_front(Entry{H, K, Key, R, QeOut});
+  Lru.push_front(Entry{H, K, Key, R, QeOut, Epoch});
   Buckets[H].push_back(Lru.begin());
   ++St.Insertions;
 }
@@ -74,8 +88,8 @@ std::optional<SatResult> QueryCache::lookupSat(ExprRef E) {
   return lookupSatWithHash(E->hash(), E);
 }
 
-void QueryCache::storeSat(ExprRef E, SatResult R) {
-  storeSatWithHash(E->hash(), E, R);
+void QueryCache::storeSat(ExprRef E, SatResult R, std::uint32_t Epoch) {
+  storeSatWithHash(E->hash(), E, R, Epoch);
 }
 
 std::optional<SatResult> QueryCache::lookupSatWithHash(std::size_t H,
@@ -89,12 +103,14 @@ std::optional<SatResult> QueryCache::lookupSatWithHash(std::size_t H,
   return std::nullopt;
 }
 
-void QueryCache::storeSatWithHash(std::size_t H, ExprRef E,
-                                  SatResult R) {
+void QueryCache::storeSatWithHash(std::size_t H, ExprRef E, SatResult R,
+                                  std::uint32_t Epoch) {
   if (R == SatResult::Unknown)
     return; // transient: must reach the solver again next time
   std::lock_guard<std::mutex> Lock(Mu);
-  insert(H, EntryKind::Sat, E, R, nullptr);
+  if (Epoch != 0 && Epoch < MinIncEpoch)
+    return; // produced by an already-retired session generation
+  insert(H, EntryKind::Sat, E, R, nullptr, Epoch);
 }
 
 std::optional<ExprRef> QueryCache::lookupQe(ExprRef E) {
@@ -111,5 +127,67 @@ void QueryCache::storeQe(ExprRef E, ExprRef Out) {
   if (Out == nullptr)
     return; // failed eliminations are not memoized
   std::lock_guard<std::mutex> Lock(Mu);
-  insert(E->hash(), EntryKind::Qe, E, SatResult::Unknown, Out);
+  insert(E->hash(), EntryKind::Qe, E, SatResult::Unknown, Out,
+         /*Epoch=*/0);
+}
+
+void QueryCache::storeUnsatCore(std::vector<ExprRef> Core,
+                                std::uint32_t Epoch) {
+  if (Cap == 0 || Core.empty() || Core.size() > MaxCoreSize)
+    return;
+  std::sort(Core.begin(), Core.end());
+  Core.erase(std::unique(Core.begin(), Core.end()), Core.end());
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Epoch != 0 && Epoch < MinIncEpoch)
+    return;
+  for (const CoreEntry &C : Cores)
+    if (C.Conjuncts == Core)
+      return; // already recorded
+  if (Cores.size() >= CoreCap)
+    Cores.pop_back();
+  Cores.push_front(CoreEntry{std::move(Core), Epoch});
+  ++St.CoreInserts;
+}
+
+bool QueryCache::subsumedUnsat(const std::vector<ExprRef> &Conjuncts) {
+  if (Conjuncts.empty())
+    return false;
+  std::vector<ExprRef> Sorted(Conjuncts);
+  std::sort(Sorted.begin(), Sorted.end());
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Cores.begin(); It != Cores.end();) {
+    if (It->Epoch != 0 && It->Epoch < MinIncEpoch) {
+      It = Cores.erase(It);
+      ++St.Retired;
+      continue;
+    }
+    if (It->Conjuncts.size() <= Sorted.size() &&
+        std::includes(Sorted.begin(), Sorted.end(),
+                      It->Conjuncts.begin(), It->Conjuncts.end())) {
+      // Hit: move the core to the front so frequently-useful cores
+      // survive the bound longest.
+      Cores.splice(Cores.begin(), Cores, It);
+      ++St.CoreHits;
+      return true;
+    }
+    ++It;
+  }
+  return false;
+}
+
+void QueryCache::retireIncrementalBefore(std::uint32_t MinValid) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (MinValid <= MinIncEpoch)
+    return;
+  MinIncEpoch = MinValid;
+  // Cores are few: sweep them eagerly. Verdict entries are dropped
+  // lazily on their next lookup instead of walking the whole LRU.
+  for (auto It = Cores.begin(); It != Cores.end();) {
+    if (It->Epoch != 0 && It->Epoch < MinIncEpoch) {
+      It = Cores.erase(It);
+      ++St.Retired;
+    } else {
+      ++It;
+    }
+  }
 }

@@ -54,6 +54,9 @@ struct QueryCacheStats {
   std::uint64_t Misses = 0;
   std::uint64_t Evictions = 0;
   std::uint64_t Insertions = 0;
+  std::uint64_t CoreInserts = 0; ///< unsat cores recorded
+  std::uint64_t CoreHits = 0;    ///< queries subsumed by a core
+  std::uint64_t Retired = 0;     ///< entries dropped by epoch retire
 
   double hitRate() const {
     std::uint64_t Lookups = Hits + Misses;
@@ -67,6 +70,9 @@ struct QueryCacheStats {
     Misses += O.Misses;
     Evictions += O.Evictions;
     Insertions += O.Insertions;
+    CoreInserts += O.CoreInserts;
+    CoreHits += O.CoreHits;
+    Retired += O.Retired;
     return *this;
   }
 };
@@ -82,17 +88,47 @@ public:
   std::size_t size() const;
 
   /// Cached satisfiability verdict of \p E, if any. Counts a hit or
-  /// a miss.
+  /// a miss. Entries whose session epoch was retired are treated as
+  /// misses (and dropped).
   std::optional<SatResult> lookupSat(ExprRef E);
 
-  /// Records a definite verdict for \p E. Unknown is ignored.
-  void storeSat(ExprRef E, SatResult R);
+  /// Records a definite verdict for \p E. Unknown is ignored — a
+  /// timed-out or budget-starved query must reach the solver again
+  /// under a fresher budget, so transient verdicts are never
+  /// replayed. \p Epoch tags the entry's provenance: 0 means a
+  /// one-shot solver (always valid); nonzero is the incremental
+  /// session generation that produced it, and retireIncrementalBefore
+  /// can invalidate whole generations so incremental and one-shot
+  /// verdicts can never alias after a suspect session.
+  void storeSat(ExprRef E, SatResult R, std::uint32_t Epoch = 0);
 
   /// Cached QE output for input \p E, if any. Counts a hit or a miss.
   std::optional<ExprRef> lookupQe(ExprRef E);
 
   /// Records a successful elimination \p E -> \p Out.
   void storeQe(ExprRef E, ExprRef Out);
+
+  //===-- Unsat-core index -------------------------------------------===//
+  // Satisfiability is antitone in conjunction strength: once a set of
+  // conjuncts K is known jointly unsatisfiable, every query whose
+  // top-level conjunct set includes K is Unsat without a solver. The
+  // incremental sessions feed their unsat cores here, which prunes
+  // the re-discharged obligations of successive refinement rounds
+  // whose cores never mentioned the refined predicate.
+
+  /// Records \p Core (a set of conjuncts proven jointly Unsat) under
+  /// session epoch \p Epoch. Oversized or duplicate cores are
+  /// ignored.
+  void storeUnsatCore(std::vector<ExprRef> Core, std::uint32_t Epoch);
+
+  /// True when a recorded core is a subset of \p Conjuncts (the query
+  /// is then Unsat by monotonicity). Counts a core hit on success.
+  bool subsumedUnsat(const std::vector<ExprRef> &Conjuncts);
+
+  /// Invalidates every entry (verdicts, QE outputs, cores) whose
+  /// incremental epoch is nonzero and below \p MinValid. One-shot
+  /// entries (epoch 0) are never retired.
+  void retireIncrementalBefore(std::uint32_t MinValid);
 
   /// Drops every entry (stats are kept).
   void clear();
@@ -104,7 +140,8 @@ public:
   // it explicitly so tests can force two distinct formulas into the
   // same bucket and check that collision never aliases results.
   std::optional<SatResult> lookupSatWithHash(std::size_t H, ExprRef E);
-  void storeSatWithHash(std::size_t H, ExprRef E, SatResult R);
+  void storeSatWithHash(std::size_t H, ExprRef E, SatResult R,
+                        std::uint32_t Epoch = 0);
 
 private:
   enum class EntryKind : std::uint8_t { Sat, Qe };
@@ -115,20 +152,35 @@ private:
     ExprRef Key = nullptr;    ///< exact formula this entry answers
     SatResult Verdict = SatResult::Unknown;
     ExprRef QeOut = nullptr;
+    /// 0 = one-shot (always valid); else the incremental session
+    /// generation the verdict came from.
+    std::uint32_t Epoch = 0;
+  };
+
+  /// One recorded unsat core: conjuncts sorted by pointer identity so
+  /// subset probes are a single std::includes sweep.
+  struct CoreEntry {
+    std::vector<ExprRef> Conjuncts;
+    std::uint32_t Epoch = 0;
   };
 
   using LruList = std::list<Entry>;
+  using CoreList = std::list<CoreEntry>;
 
-  /// Finds the entry for (H, Kind, Key), refreshing its LRU position.
-  /// Returns nullptr on miss. Caller holds Mu.
+  /// Finds the live entry for (H, Kind, Key), refreshing its LRU
+  /// position; drops it instead when its epoch was retired. Returns
+  /// nullptr on miss. Caller holds Mu.
   Entry *find(std::size_t H, EntryKind K, ExprRef Key);
 
   /// Inserts or overwrites (H, Kind, Key). Caller holds Mu.
   void insert(std::size_t H, EntryKind K, ExprRef Key, SatResult R,
-              ExprRef QeOut);
+              ExprRef QeOut, std::uint32_t Epoch);
 
   /// Evicts the least-recently-used entry. Caller holds Mu.
   void evictOne();
+
+  /// Removes \p It from its bucket and the LRU list. Caller holds Mu.
+  void erase(LruList::iterator It);
 
   std::size_t Cap;
   mutable std::mutex Mu;
@@ -136,6 +188,14 @@ private:
   LruList Lru;
   /// Structural hash -> entries sharing it (collision bucket).
   std::unordered_map<std::size_t, std::vector<LruList::iterator>> Buckets;
+  /// Recorded unsat cores, most-recently-hit first, bounded.
+  CoreList Cores;
+  /// Cores are few and small; probing is a linear sweep of subset
+  /// checks, so keep the bound tight.
+  static constexpr std::size_t CoreCap = 256;
+  static constexpr std::size_t MaxCoreSize = 32;
+  /// Incremental entries with Epoch < MinIncEpoch are invalid.
+  std::uint32_t MinIncEpoch = 0;
   QueryCacheStats St;
 };
 

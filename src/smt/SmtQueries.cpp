@@ -8,11 +8,19 @@
 #include "support/TaskPool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 using namespace chute;
 
+static bool incrementalDefault() {
+  const char *V = std::getenv("CHUTE_INCREMENTAL");
+  return V == nullptr || std::string_view(V) != "0";
+}
+
 Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs)
-    : Ctx(Ctx), TimeoutMs(TimeoutMs) {}
+    : Ctx(Ctx), TimeoutMs(TimeoutMs),
+      Incremental(incrementalDefault()) {}
 
 Smt::~Smt() = default;
 
@@ -23,6 +31,26 @@ Z3Context &Smt::threadZ3() {
   if (!Slot)
     Slot = std::make_unique<Z3Context>();
   return *Slot;
+}
+
+SmtSession &Smt::threadSession() {
+  std::thread::id Me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> Lock(Z3Mu);
+  std::unique_ptr<Z3Context> &Zc = ThreadZ3[Me];
+  if (!Zc)
+    Zc = std::make_unique<Z3Context>();
+  std::unique_ptr<SmtSession> &Slot = ThreadSessions[Me];
+  if (!Slot)
+    Slot = std::make_unique<SmtSession>(*Zc);
+  return *Slot;
+}
+
+SmtSessionStats Smt::sessionStats() const {
+  std::lock_guard<std::mutex> Lock(Z3Mu);
+  SmtSessionStats Total;
+  for (const auto &[Tid, Session] : ThreadSessions)
+    Total += Session->stats();
+  return Total;
 }
 
 RetryStats Smt::totalRetryStats() const {
@@ -91,9 +119,44 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   }
   obs::bump(obs::Counter::SmtCacheMisses);
 
-  Z3Context &Zc = threadZ3();
   unsigned T = Governor.queryTimeoutMs(TimeoutMs);
-  for (unsigned Attempt = 0;; ++Attempt) {
+  unsigned Attempt = 0;
+  if (incrementalEnabled() && !WantModel) {
+    // Attempt 0 runs on this thread's persistent session (or is
+    // answered outright by a cached unsat core). Unknown falls
+    // through to the classic fresh-solver schedule below, so the
+    // incremental layer can add verdicts but never lose them.
+    // Model-requesting queries never take this path: models steer
+    // the counterexample search, and a long-lived solver's models —
+    // shaped by lemmas from earlier rounds — would steer it onto a
+    // different (possibly far slower) trajectory than one-shot mode.
+    bool CoreHit = false;
+    SatResult R = runIncremental(E, T, CoreHit);
+    if (R != SatResult::Unknown) {
+      if (CoreHit) {
+        ++Delta.CacheHits;
+        Sp.setOutcome("core-hit");
+      } else {
+        Sp.setOutcome(R == SatResult::Sat ? "sat" : "unsat");
+      }
+      return Commit(R);
+    }
+    ++Delta.Unknowns;
+    obs::bump(obs::Counter::SmtIncFallbacks);
+    if (Policy.MaxRetries == 0 || Governor.expired()) {
+      ++Delta.Exhausted;
+      Sp.setOutcome("unknown");
+      return Commit(SatResult::Unknown);
+    }
+    ++Delta.Retries;
+    obs::bump(obs::Counter::SmtRetries);
+    T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
+        static_cast<double>(T) * Policy.Backoff, 3600000.0)));
+    Attempt = 1;
+  }
+
+  Z3Context &Zc = threadZ3();
+  for (;; ++Attempt) {
     // A fresh solver per attempt; replaying the assertions is just
     // re-adding E. Re-seeding steers the solver's randomized
     // heuristics onto a different search order.
@@ -123,6 +186,55 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
     CHUTE_DEBUG(debugLine("smt: retrying Unknown with timeout " +
                           std::to_string(T) + "ms"));
   }
+}
+
+SatResult Smt::runIncremental(ExprRef E, unsigned T, bool &CoreHit) {
+  CoreHit = false;
+  // Top-level conjuncts are the assumption granularity: successive
+  // refinement rounds share the path-formula and transition-relation
+  // conjuncts and differ only by the newly synthesised chute
+  // conjunct, so those shared parts keep their learned lemmas.
+  std::vector<ExprRef> Conjuncts;
+  if (E->kind() == ExprKind::And)
+    Conjuncts = E->operands();
+  else
+    Conjuncts.push_back(E);
+
+  if (Cache.subsumedUnsat(Conjuncts)) {
+    // A recorded unsat core is a subset of this conjunct set: Unsat
+    // by monotonicity, no solver involved.
+    CoreHit = true;
+    obs::bump(obs::Counter::SmtIncCorePruned);
+    return SatResult::Unsat;
+  }
+
+  SmtSession &Session = threadSession();
+  const std::uint64_t ResetsBefore = Session.stats().Resets;
+  const std::uint64_t ErrorsBefore = Session.stats().ErrorResets;
+
+  obs::bump(obs::Counter::SmtIncChecks);
+  std::vector<ExprRef> Core;
+  SatResult R = Session.check(Conjuncts, T, /*Seed=*/0, &Core);
+
+  if (Session.stats().Resets != ResetsBefore)
+    obs::bump(obs::Counter::SmtIncResets);
+  if (Session.stats().ErrorResets != ErrorsBefore) {
+    // The session hit a Z3 error, so verdicts it produced earlier are
+    // suspect: open a new generation and retire everything older
+    // generations put into the shared cache. (Defense in depth — the
+    // erroring check itself already answered Unknown.)
+    std::uint32_t NewEpoch =
+        IncEpoch.fetch_add(1, std::memory_order_relaxed) + 1;
+    Cache.retireIncrementalBefore(NewEpoch);
+  }
+
+  if (R == SatResult::Unknown)
+    return R;
+  std::uint32_t Epoch = IncEpoch.load(std::memory_order_relaxed);
+  Cache.storeSat(E, R, Epoch);
+  if (R == SatResult::Unsat && !Core.empty())
+    Cache.storeUnsatCore(std::move(Core), Epoch);
+  return R;
 }
 
 SatResult Smt::checkSat(ExprRef E) {

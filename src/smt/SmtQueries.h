@@ -39,6 +39,7 @@
 #include "expr/Expr.h"
 #include "smt/Model.h"
 #include "smt/QueryCache.h"
+#include "smt/SmtSession.h"
 #include "smt/Z3Context.h"
 #include "smt/Z3Solver.h"
 #include "support/Budget.h"
@@ -166,14 +167,53 @@ public:
   QueryCache &queryCache() { return Cache; }
   QueryCacheStats cacheStats() const { return Cache.stats(); }
 
+  //===-- Incremental sessions ---------------------------------------===//
+  // Each worker thread owns a persistent SmtSession next to its
+  // Z3Context; queries run there first (assumption literals keep the
+  // solver warm across the refinement rounds) and fall back to the
+  // classic fresh-solver retry schedule on Unknown. On by default;
+  // CHUTE_INCREMENTAL=0 in the environment disables the layer, and
+  // tests can toggle it directly.
+
+  /// Whether queries use the persistent per-thread sessions.
+  bool incrementalEnabled() const {
+    return Incremental.load(std::memory_order_relaxed);
+  }
+  void setIncremental(bool On) {
+    Incremental.store(On, std::memory_order_relaxed);
+  }
+
+  /// Current incremental cache generation. Bumped when any session
+  /// hits a Z3 error, which also retires every cache entry earlier
+  /// generations produced.
+  std::uint32_t incrementalEpoch() const {
+    return IncEpoch.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate session statistics over all worker threads. Exact only
+  /// after parallel sections have joined (sessions are written by
+  /// their owning threads without synchronisation).
+  SmtSessionStats sessionStats() const;
+
 private:
   /// The shared query driver: check \p E with retry/backoff; when
   /// \p WantModel, extract a model on Sat.
   SatResult runQuery(ExprRef E, bool WantModel,
                      std::optional<Model> *ModelOut);
 
+  /// Incremental attempt 0 of runQuery for verdict-only queries:
+  /// core-subsumption probe, then one check on this thread's
+  /// session. Returns Unknown to make the caller fall back to the
+  /// fresh-solver schedule. \p CoreHit is set when a cached unsat
+  /// core answered without touching a solver.
+  SatResult runIncremental(ExprRef E, unsigned T, bool &CoreHit);
+
   /// This thread's Z3 context (lazily created).
   Z3Context &threadZ3();
+
+  /// This thread's persistent session (lazily created over the
+  /// thread's Z3Context).
+  SmtSession &threadSession();
 
   ExprContext &Ctx;
   unsigned TimeoutMs;
@@ -181,9 +221,19 @@ private:
   RetryPolicy Policy;
   std::atomic<FailPhase> CurPhase{FailPhase::None};
 
-  /// Guards ThreadZ3 (contexts themselves are single-thread-owned).
-  std::mutex Z3Mu;
+  /// Guards ThreadZ3/ThreadSessions (contexts and sessions themselves
+  /// are single-thread-owned). Sessions are declared after the
+  /// contexts they borrow so they are destroyed first.
+  mutable std::mutex Z3Mu;
   std::unordered_map<std::thread::id, std::unique_ptr<Z3Context>> ThreadZ3;
+  std::unordered_map<std::thread::id, std::unique_ptr<SmtSession>>
+      ThreadSessions;
+
+  /// Persistent-session layer toggle (CHUTE_INCREMENTAL=0 disables).
+  std::atomic<bool> Incremental;
+  /// Incremental cache generation; entries tagged with an older
+  /// generation than the retire watermark are dropped.
+  std::atomic<std::uint32_t> IncEpoch{1};
 
   mutable std::mutex StatsMu;
   std::map<FailPhase, RetryStats> Stats;

@@ -1,0 +1,179 @@
+//===- smt/SmtSession.cpp - Persistent incremental SMT session -------------===//
+
+#include "smt/SmtSession.h"
+
+#include "smt/FaultInjection.h"
+#include "smt/Z3Translate.h"
+
+#include <string>
+
+using namespace chute;
+
+SmtSession::SmtSession(Z3Context &Zc, std::size_t MaxLits)
+    : Zc(Zc), MaxLits(MaxLits == 0 ? 1 : MaxLits) {}
+
+SmtSession::~SmtSession() {
+  if (Solver != nullptr)
+    Z3_solver_dec_ref(Zc.raw(), Solver);
+}
+
+void SmtSession::ensureSolver() {
+  if (Solver != nullptr)
+    return;
+  Z3_context C = Zc.raw();
+  Solver = Z3_mk_solver(C);
+  Z3_solver_inc_ref(C, Solver);
+  // All guarded assertions live inside this frame so reset() can drop
+  // them without destroying the solver.
+  Z3_solver_push(C, Solver);
+  ++St.FramesPushed;
+}
+
+void SmtSession::reset() {
+  if (Solver != nullptr) {
+    Z3_context C = Zc.raw();
+    Z3_solver_pop(C, Solver, 1);
+    ++St.FramesPopped;
+    Z3_solver_push(C, Solver);
+    ++St.FramesPushed;
+  }
+  Lits.clear();
+  Back.clear();
+  ++St.Resets;
+}
+
+Z3_ast SmtSession::literalFor(ExprRef Conjunct) {
+  auto It = Lits.find(Conjunct);
+  if (It != Lits.end()) {
+    ++St.LitsReused;
+    return It->second;
+  }
+  Z3_context C = Zc.raw();
+  // The '!' keeps the guard outside the program-variable namespace
+  // (and the literal is Boolean-sorted while program variables are
+  // integers, so a clash could not alias anyway).
+  std::string Name = "chute!assume!" + std::to_string(NextLitId++);
+  Z3_ast Lit = Z3_mk_const(C, Z3_mk_string_symbol(C, Name.c_str()),
+                           Z3_mk_bool_sort(C));
+  Z3_ast Body = toZ3(Zc, Conjunct);
+  if (Zc.hasError())
+    return nullptr;
+  Z3_solver_assert(C, Solver, Z3_mk_implies(C, Lit, Body));
+  Lits.emplace(Conjunct, Lit);
+  Back.emplace(Lit, Conjunct);
+  ++St.LitsRegistered;
+  return Lit;
+}
+
+SatResult SmtSession::check(const std::vector<ExprRef> &Conjuncts,
+                            unsigned TimeoutMs, unsigned Seed,
+                            std::vector<ExprRef> *CoreOut) {
+  if (CoreOut != nullptr)
+    CoreOut->clear();
+  if (smtFaultShouldInjectUnknown())
+    return SatResult::Unknown;
+
+  ensureSolver();
+  if (Lits.size() + Conjuncts.size() > MaxLits)
+    reset();
+  Z3_context C = Zc.raw();
+  Zc.clearError();
+
+  std::vector<Z3_ast> Assumptions;
+  Assumptions.reserve(Conjuncts.size());
+  for (ExprRef Conjunct : Conjuncts) {
+    Z3_ast Lit = literalFor(Conjunct);
+    if (Lit == nullptr || Zc.hasError()) {
+      // Translation failure poisons nothing permanent, but the frame
+      // may hold a half-registered literal: start over.
+      reset();
+      ++St.ErrorResets;
+      Zc.clearError();
+      return SatResult::Unknown;
+    }
+    Assumptions.push_back(Lit);
+  }
+
+  // Per-check knobs: the facade derives the timeout from the
+  // governing budget, and retries re-seed the heuristics.
+  Z3_params Params = Z3_mk_params(C);
+  Z3_params_inc_ref(C, Params);
+  Z3_params_set_uint(C, Params, Z3_mk_string_symbol(C, "timeout"),
+                     TimeoutMs);
+  Z3_params_set_uint(C, Params,
+                     Z3_mk_string_symbol(C, "random_seed"), Seed);
+  Z3_solver_set_params(C, Solver, Params);
+  Z3_params_dec_ref(C, Params);
+
+  ++St.Checks;
+  Z3_lbool R = Z3_solver_check_assumptions(
+      C, Solver, static_cast<unsigned>(Assumptions.size()),
+      Assumptions.data());
+  if (Zc.hasError()) {
+    // The solver state is suspect after an error: never reuse it.
+    reset();
+    ++St.ErrorResets;
+    Zc.clearError();
+    return SatResult::Unknown;
+  }
+
+  switch (R) {
+  case Z3_L_TRUE:
+    return SatResult::Sat;
+  case Z3_L_FALSE: {
+    if (CoreOut != nullptr) {
+      Z3_ast_vector Core = Z3_solver_get_unsat_core(C, Solver);
+      if (Core != nullptr && !Zc.hasError()) {
+        Z3_ast_vector_inc_ref(C, Core);
+        unsigned N = Z3_ast_vector_size(C, Core);
+        for (unsigned I = 0; I < N; ++I) {
+          auto It = Back.find(Z3_ast_vector_get(C, Core, I));
+          if (It == Back.end()) {
+            // An unrecognised core member would make the mapped core
+            // an under-approximation — unusable; report none.
+            CoreOut->clear();
+            break;
+          }
+          CoreOut->push_back(It->second);
+        }
+        Z3_ast_vector_dec_ref(C, Core);
+        if (!CoreOut->empty()) {
+          ++St.UnsatCores;
+          St.CoreLits += CoreOut->size();
+        }
+      }
+      Zc.clearError();
+    }
+    return SatResult::Unsat;
+  }
+  default:
+    return SatResult::Unknown;
+  }
+}
+
+std::optional<Model>
+SmtSession::getModel(const std::vector<ExprRef> &Vars) {
+  Z3_context C = Zc.raw();
+  Z3_model M = Z3_solver_get_model(C, Solver);
+  if (M == nullptr || Zc.hasError()) {
+    Zc.clearError();
+    return std::nullopt;
+  }
+  Z3_model_inc_ref(C, M);
+  Model Result;
+  for (ExprRef V : Vars) {
+    assert(V->isVar() && "model extraction needs variables");
+    Z3_ast Const = toZ3(Zc, V);
+    Z3_ast Value = nullptr;
+    if (!Z3_model_eval(C, M, Const, /*model_completion=*/true,
+                       &Value) ||
+        Value == nullptr)
+      continue;
+    std::int64_t IV = 0;
+    if (Z3_get_ast_kind(C, Value) == Z3_NUMERAL_AST &&
+        Z3_get_numeral_int64(C, Value, &IV))
+      Result.set(V->varName(), IV);
+  }
+  Z3_model_dec_ref(C, M);
+  return Result;
+}

@@ -1,0 +1,153 @@
+//===- smt/SmtSession.h - Persistent incremental SMT session --*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived incremental solver session, one per worker thread of
+/// an Smt facade. The refinement loop of Figure 4 re-discharges
+/// nearly identical obligations every round: the SSA path formula and
+/// the restricted transition relation change only by the newly
+/// synthesised chute conjunct. A fresh solver per query (Z3Solver)
+/// forces Z3 to re-learn the same lemmas each time; the session keeps
+/// the solver warm instead.
+///
+/// Mechanism — assumption literals over a scoped frame:
+///
+///  - Each top-level conjunct `c` of a query is registered once with
+///    a fresh Boolean assumption literal `a`: the session asserts
+///    `a => c` permanently inside its work frame. A query for the
+///    conjunction {c1..cn} is then `check_assumptions({a1..an})`:
+///    conjuncts shared between queries (path formulas, transition
+///    relations) stay asserted across checks, so learned lemmas
+///    survive, while per-round chute conjuncts toggle by merely
+///    picking a different assumption set. Guarded assertions whose
+///    literal is not assumed are vacuously satisfiable, so the
+///    verdict is exactly sat(c1 && .. && cn).
+///
+///  - On Unsat, Z3 reports the subset of assumption literals actually
+///    used — an unsat core over the conjuncts. Cores are fed back
+///    into the QueryCache: a later query whose conjunct set includes
+///    a known-unsat core is unsatisfiable by monotonicity and never
+///    reaches a solver, which prunes re-discharged obligations whose
+///    cores do not mention the refined predicate.
+///
+///  - All guarded assertions live in one push()ed frame. When the
+///    registered-literal count exceeds the cap (or Z3 reports an
+///    error, after which the solver state is suspect), the session
+///    pops the frame and starts a fresh one — bounded memory, and a
+///    poisoned solver never survives an error.
+///
+/// The session is single-thread-owned (Z3 contexts are not
+/// thread-safe); the Smt facade keeps one per worker thread next to
+/// the thread's Z3Context. Unknown answers fall back to the facade's
+/// classic fresh-solver retry schedule, so incremental mode can only
+/// add verdicts, never lose them. `CHUTE_INCREMENTAL=0` disables the
+/// layer entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_SMTSESSION_H
+#define CHUTE_SMT_SMTSESSION_H
+
+#include "expr/Expr.h"
+#include "smt/Model.h"
+#include "smt/Z3Context.h"
+#include "smt/Z3Solver.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace chute {
+
+/// Monotone counters of one session (or an aggregate over the
+/// facade's per-thread sessions). Written only by the owning thread;
+/// aggregated after parallel sections have joined.
+struct SmtSessionStats {
+  std::uint64_t Checks = 0;       ///< incremental checks issued
+  std::uint64_t LitsRegistered = 0; ///< distinct conjuncts guarded
+  std::uint64_t LitsReused = 0;   ///< assumption literals reused
+  std::uint64_t UnsatCores = 0;   ///< Unsat answers with a core
+  std::uint64_t CoreLits = 0;     ///< total conjuncts across cores
+  std::uint64_t Resets = 0;       ///< frames torn down (all causes)
+  std::uint64_t ErrorResets = 0;  ///< resets forced by a Z3 error
+  std::uint64_t FramesPushed = 0; ///< work frames opened
+  std::uint64_t FramesPopped = 0; ///< work frames closed
+
+  SmtSessionStats &operator+=(const SmtSessionStats &O) {
+    Checks += O.Checks;
+    LitsRegistered += O.LitsRegistered;
+    LitsReused += O.LitsReused;
+    UnsatCores += O.UnsatCores;
+    CoreLits += O.CoreLits;
+    Resets += O.Resets;
+    ErrorResets += O.ErrorResets;
+    FramesPushed += O.FramesPushed;
+    FramesPopped += O.FramesPopped;
+    return *this;
+  }
+};
+
+/// Persistent incremental solver over one Z3Context. Not copyable;
+/// single-thread-owned (the owning thread of the context).
+class SmtSession {
+public:
+  /// \p MaxLits bounds the guarded conjuncts held in the work frame;
+  /// exceeding it tears the frame down and starts fresh.
+  explicit SmtSession(Z3Context &Zc, std::size_t MaxLits = 4096);
+  ~SmtSession();
+
+  SmtSession(const SmtSession &) = delete;
+  SmtSession &operator=(const SmtSession &) = delete;
+
+  /// Checks satisfiability of the conjunction of \p Conjuncts under
+  /// the session's accumulated state. \p TimeoutMs bounds this check
+  /// (0 = none); \p Seed re-seeds the randomized heuristics. On
+  /// Unsat, \p CoreOut (when non-null) receives the subset of
+  /// \p Conjuncts in the solver's unsat core (may be empty when the
+  /// core is unavailable). Z3 errors reset the session and answer
+  /// Unknown.
+  SatResult check(const std::vector<ExprRef> &Conjuncts,
+                  unsigned TimeoutMs, unsigned Seed,
+                  std::vector<ExprRef> *CoreOut = nullptr);
+
+  /// After a Sat answer, extracts values for \p Vars (Var exprs).
+  std::optional<Model> getModel(const std::vector<ExprRef> &Vars);
+
+  /// Tears down the work frame: pops it, forgets every registered
+  /// literal, and opens a fresh frame on the same solver.
+  void reset();
+
+  /// Guarded conjuncts currently registered.
+  std::size_t numLiterals() const { return Lits.size(); }
+
+  const SmtSessionStats &stats() const { return St; }
+
+private:
+  /// Creates the solver and opens the work frame on first use.
+  void ensureSolver();
+
+  /// The assumption literal guarding \p Conjunct, registering it (and
+  /// asserting the guarded implication) on first sight. Null when
+  /// translation failed.
+  Z3_ast literalFor(ExprRef Conjunct);
+
+  Z3Context &Zc;
+  std::size_t MaxLits;
+  Z3_solver Solver = nullptr;
+  /// Conjunct -> its assumption literal, and the reverse map used to
+  /// translate unsat cores back. Expressions are hash-consed, so the
+  /// pointer is the identity.
+  std::unordered_map<ExprRef, Z3_ast> Lits;
+  std::unordered_map<Z3_ast, ExprRef> Back;
+  /// Monotone across resets so literal names never collide.
+  unsigned NextLitId = 0;
+  SmtSessionStats St;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_SMTSESSION_H

@@ -74,6 +74,41 @@ TEST_F(FourierMotzkinTest, MultipleVariables) {
   EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x <= y")));
 }
 
+TEST_F(FourierMotzkinTest, EqualitySplitDeduplicatesBounds) {
+  // A non-unit equality is split into its two <= halves (step 2).
+  // When those halves are *also* present as standalone inequalities,
+  // the split used to duplicate every bound, and each duplicate
+  // lower bound multiplies the quadratic lower x upper resultant
+  // count. After dedup the combination runs once per distinct pair:
+  // one lower (x - 2y <= 0) against two uppers (2y - x <= 0 and
+  // y - z <= 0) is exactly 2 combinations, not 6.
+  auto R = fourierMotzkinProject(
+      Ctx, formula("2*y == x && 2*y <= x && x <= 2*y && y <= z"),
+      {Ctx.mkVar("y")});
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Combinations, 2u);
+  EXPECT_TRUE(Solver.equivalent(R->Formula, formula("x <= 2*z")));
+}
+
+TEST_F(FourierMotzkinTest, EqualityChainStaysCompact) {
+  // The same non-unit equality in both orientations (the normal form
+  // keeps 2b - x and x - 2b distinct, so step 1 cannot substitute
+  // either away): each splits into the same two <= halves, so the
+  // split doubles every bound on b. With dedup the combination runs
+  // over 2 distinct lowers x 2 distinct uppers = 4; the duplicated
+  // halves used to push it to 9.
+  auto R = fourierMotzkinProject(
+      Ctx, formula("2*b == x && x == 2*b && b <= z && w <= b"),
+      {Ctx.mkVar("b")});
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Combinations, 4u);
+  ASSERT_NE(R->Formula, nullptr);
+  // The projection still over-approximates exists b correctly.
+  EXPECT_TRUE(Solver.implies(R->Formula, formula("2*w <= x")));
+  EXPECT_TRUE(Solver.implies(R->Formula, formula("x <= 2*z")));
+  EXPECT_TRUE(Solver.implies(R->Formula, formula("w <= z")));
+}
+
 TEST_F(FourierMotzkinTest, DisequalityDroppedMarksInexact) {
   auto R = fourierMotzkinProject(Ctx, formula("y != 3 && y >= x"),
                                  {Ctx.mkVar("y")});

@@ -3,7 +3,9 @@
 #include "smt/QueryCache.h"
 
 #include "expr/ExprParser.h"
+#include "smt/FaultInjection.h"
 #include "smt/SmtQueries.h"
+#include "support/Budget.h"
 
 #include <gtest/gtest.h>
 
@@ -158,6 +160,46 @@ TEST_F(QueryCacheTest, DistinctProgramsUseDistinctCaches) {
   EXPECT_TRUE(SolverB.isSat(formula(CtxB, "x > 0")));
   EXPECT_EQ(SolverB.cacheStats().Hits, 0u);
   EXPECT_EQ(SolverB.cacheStats().Misses, 1u);
+}
+
+TEST_F(QueryCacheTest, TimedOutUnknownIsNotReplayedUnderFreshBudget) {
+  // Regression: a query that degrades to Unknown because its budget
+  // was nearly exhausted must not leave anything behind that answers
+  // the same formula later — a retry under a fresh budget has to
+  // reach the solver and can succeed.
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  ExprRef E = formula(Ctx, "x > 0 && x < 10");
+
+  // Starve the first attempt: every solver check reports Unknown, as
+  // a hard timeout would.
+  smtFaultPlan().UnknownEveryN = 1;
+  resetSmtFaultCounter();
+  EXPECT_EQ(Solver.checkSat(E), SatResult::Unknown);
+  smtFaultPlan() = SmtFaultPlan();
+  EXPECT_EQ(Solver.queryCache().size(), 0u);
+
+  // Same formula, healthy solver: the verdict must come back
+  // definite, not the cached ghost of the timeout.
+  EXPECT_EQ(Solver.checkSat(E), SatResult::Sat);
+}
+
+TEST_F(QueryCacheTest, BudgetDeniedQueryLeavesNoCacheEntry) {
+  // An expired budget refuses the query before cache or solver; the
+  // refusal must not be memoized either.
+  ExprContext Ctx;
+  Smt Solver(Ctx);
+  ExprRef E = formula(Ctx, "x > 3");
+
+  Budget Tiny = Budget::forMillis(1);
+  while (!Tiny.expired()) {
+  }
+  Solver.setBudget(Tiny);
+  EXPECT_EQ(Solver.checkSat(E), SatResult::Unknown);
+  EXPECT_EQ(Solver.queryCache().size(), 0u);
+
+  Solver.setBudget(Budget::unlimited());
+  EXPECT_EQ(Solver.checkSat(E), SatResult::Sat);
 }
 
 TEST_F(QueryCacheTest, HitRate) {

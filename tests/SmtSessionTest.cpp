@@ -1,0 +1,230 @@
+//===- tests/SmtSessionTest.cpp - Incremental-session tests -------------------===//
+//
+// Covers the persistent incremental solver layer: verdict agreement
+// with one-shot solving, assumption-literal reuse, unsat-core
+// extraction and feedback, capacity/error resets, the CHUTE_INCREMENTAL
+// escape hatch, and epoch-based cache retirement.
+
+#include "smt/SmtSession.h"
+
+#include "expr/ExprParser.h"
+#include "smt/SmtQueries.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+class SmtSessionTest : public ::testing::Test {
+protected:
+  ExprRef formula(const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  /// Top-level conjunct list as the facade would decompose it.
+  std::vector<ExprRef> conjuncts(const std::string &T) {
+    ExprRef E = formula(T);
+    if (E->kind() == ExprKind::And)
+      return E->operands();
+    return {E};
+  }
+
+  ExprContext Ctx;
+};
+
+TEST_F(SmtSessionTest, AgreesWithOneShotSolver) {
+  Z3Context Zc;
+  SmtSession Session(Zc);
+  const char *Formulas[] = {
+      "x > 0 && x < 10",          "x > 0 && x < 0",
+      "x > 0 && x < 1",           "x >= 1 && x <= 1 && y == x + 2",
+      "x + y > 4 && x - y > 4 && x < 4",
+  };
+  for (const char *F : Formulas) {
+    SatResult Inc =
+        Session.check(conjuncts(F), /*TimeoutMs=*/5000, /*Seed=*/0);
+    Z3Solver OneShot(Zc, /*TimeoutMs=*/5000);
+    OneShot.add(formula(F));
+    SatResult Fresh = OneShot.check();
+    EXPECT_EQ(Inc, Fresh) << F;
+  }
+}
+
+TEST_F(SmtSessionTest, ReusesAssumptionLiterals) {
+  // Two queries sharing the conjunct "x > 0" must register it once
+  // and reuse the literal on the second check, which is exactly what
+  // keeps learned lemmas alive across refinement rounds.
+  Z3Context Zc;
+  SmtSession Session(Zc);
+  EXPECT_EQ(Session.check(conjuncts("x > 0 && x < 10"), 5000, 0),
+            SatResult::Sat);
+  EXPECT_EQ(Session.check(conjuncts("x > 0 && x < 1"), 5000, 0),
+            SatResult::Unsat);
+  const SmtSessionStats &St = Session.stats();
+  EXPECT_EQ(St.Checks, 2u);
+  EXPECT_EQ(St.LitsRegistered, 3u); // x>0, x<10, x<1
+  EXPECT_EQ(St.LitsReused, 1u);     // x>0 on the second check
+  EXPECT_EQ(Session.numLiterals(), 3u);
+}
+
+TEST_F(SmtSessionTest, UnsatCoreIsSubsetOfConjuncts) {
+  // {x>0, x<0} is the contradiction; y>5 is irrelevant and must not
+  // appear in the reported core.
+  Z3Context Zc;
+  SmtSession Session(Zc);
+  std::vector<ExprRef> Cs = conjuncts("x > 0 && x < 0 && y > 5");
+  std::vector<ExprRef> Core;
+  ASSERT_EQ(Session.check(Cs, 5000, 0, &Core), SatResult::Unsat);
+  ASSERT_FALSE(Core.empty());
+  for (ExprRef C : Core)
+    EXPECT_NE(std::find(Cs.begin(), Cs.end(), C), Cs.end());
+  EXPECT_EQ(std::find(Core.begin(), Core.end(), formula("y > 5")),
+            Core.end());
+  EXPECT_GE(Session.stats().UnsatCores, 1u);
+}
+
+TEST_F(SmtSessionTest, ModelAfterSatCheck) {
+  Z3Context Zc;
+  SmtSession Session(Zc);
+  ExprRef F = formula("x > 3 && y == x + 2");
+  ASSERT_EQ(Session.check(conjuncts("x > 3 && y == x + 2"), 5000, 0),
+            SatResult::Sat);
+  auto M = Session.getModel(freeVars(F));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_GT(M->get("x"), 3);
+  EXPECT_EQ(M->get("y"), M->get("x") + 2);
+}
+
+TEST_F(SmtSessionTest, CapacityResetBoundsLiterals) {
+  // A tiny literal cap: pushing more distinct conjuncts than fit
+  // must tear the frame down (a reset), re-register, and keep
+  // answering correctly.
+  Z3Context Zc;
+  SmtSession Session(Zc, /*MaxLits=*/4);
+  for (int I = 1; I <= 8; ++I) {
+    std::string F = "x > " + std::to_string(I) + " && x < " +
+                    std::to_string(I + 10);
+    EXPECT_EQ(Session.check(conjuncts(F), 5000, 0), SatResult::Sat);
+  }
+  EXPECT_GE(Session.stats().Resets, 1u);
+  EXPECT_LE(Session.numLiterals(), 4u);
+  // Still sound after the resets.
+  EXPECT_EQ(Session.check(conjuncts("x > 0 && x < 0"), 5000, 0),
+            SatResult::Unsat);
+}
+
+TEST_F(SmtSessionTest, ExplicitResetForgetsLiterals) {
+  Z3Context Zc;
+  SmtSession Session(Zc);
+  EXPECT_EQ(Session.check(conjuncts("x > 0 && x < 10"), 5000, 0),
+            SatResult::Sat);
+  EXPECT_EQ(Session.numLiterals(), 2u);
+  Session.reset();
+  EXPECT_EQ(Session.numLiterals(), 0u);
+  EXPECT_EQ(Session.check(conjuncts("x > 0 && x < 1"), 5000, 0),
+            SatResult::Unsat);
+}
+
+//===-- Facade integration ------------------------------------------------===//
+
+TEST_F(SmtSessionTest, FacadeIncrementalMatchesOneShot) {
+  // The same query battery under both modes must produce identical
+  // verdicts — the acceptance bar for the incremental layer.
+  const char *Formulas[] = {
+      "x > 0 && x < 10",  "x > 0 && x < 0",  "x > 0 && x < 1",
+      "x >= 1 && x <= 1", "x + y > 4 && x - y > 4 && x < 4",
+  };
+  ExprContext CtxInc, CtxOne;
+  Smt Inc(CtxInc), OneShot(CtxOne);
+  Inc.setIncremental(true);
+  OneShot.setIncremental(false);
+  for (const char *F : Formulas) {
+    std::string Err;
+    auto EI = parseFormulaString(CtxInc, F, Err);
+    auto EO = parseFormulaString(CtxOne, F, Err);
+    ASSERT_TRUE(EI && EO) << Err;
+    EXPECT_EQ(Inc.checkSat(*EI), OneShot.checkSat(*EO)) << F;
+  }
+  EXPECT_GT(Inc.sessionStats().Checks, 0u);
+  EXPECT_EQ(OneShot.sessionStats().Checks, 0u);
+}
+
+TEST_F(SmtSessionTest, EnvVarZeroDisablesIncremental) {
+  ASSERT_EQ(setenv("CHUTE_INCREMENTAL", "0", /*overwrite=*/1), 0);
+  {
+    Smt Solver(Ctx);
+    EXPECT_FALSE(Solver.incrementalEnabled());
+    EXPECT_TRUE(Solver.isSat(formula("x > 0")));
+    EXPECT_EQ(Solver.sessionStats().Checks, 0u);
+  }
+  ASSERT_EQ(unsetenv("CHUTE_INCREMENTAL"), 0);
+  Smt Solver(Ctx);
+  EXPECT_TRUE(Solver.incrementalEnabled());
+}
+
+TEST_F(SmtSessionTest, CorePrunesSupersetQueries) {
+  // After {x>0, x<0} is proven unsat, the strictly larger query
+  // {x>0, x<0, y>7} is Unsat by monotonicity: answered from the core
+  // index without reaching any solver.
+  Smt Solver(Ctx);
+  Solver.setIncremental(true);
+  EXPECT_TRUE(Solver.isUnsat(formula("x > 0 && x < 0")));
+  ASSERT_GE(Solver.cacheStats().CoreInserts, 1u);
+
+  std::uint64_t ChecksBefore = Solver.sessionStats().Checks;
+  EXPECT_TRUE(Solver.isUnsat(formula("x > 0 && x < 0 && y > 7")));
+  EXPECT_GE(Solver.cacheStats().CoreHits, 1u);
+  // The superset query never became a session check.
+  EXPECT_EQ(Solver.sessionStats().Checks, ChecksBefore);
+}
+
+//===-- Epoch retirement --------------------------------------------------===//
+
+TEST_F(SmtSessionTest, RetiredEpochEntriesAreDropped) {
+  QueryCache Cache;
+  ExprRef A = formula("x > 1");
+  ExprRef B = formula("x > 2");
+  Cache.storeSat(A, SatResult::Sat, /*Epoch=*/1);
+  Cache.storeSat(B, SatResult::Sat, /*Epoch=*/0); // one-shot
+  Cache.retireIncrementalBefore(/*MinValid=*/2);
+
+  // The incremental-tagged entry is gone; the one-shot entry stays.
+  EXPECT_FALSE(Cache.lookupSat(A).has_value());
+  EXPECT_TRUE(Cache.lookupSat(B).has_value());
+  EXPECT_GE(Cache.stats().Retired, 1u);
+
+  // Stores from the retired generation are refused too.
+  Cache.storeSat(A, SatResult::Sat, /*Epoch=*/1);
+  EXPECT_FALSE(Cache.lookupSat(A).has_value());
+  // The current generation is accepted.
+  Cache.storeSat(A, SatResult::Sat, /*Epoch=*/2);
+  EXPECT_TRUE(Cache.lookupSat(A).has_value());
+}
+
+TEST_F(SmtSessionTest, RetirementSweepsCores) {
+  QueryCache Cache;
+  std::vector<ExprRef> Core = conjuncts("x > 0 && x < 0");
+  Cache.storeUnsatCore(Core, /*Epoch=*/1);
+  EXPECT_TRUE(Cache.subsumedUnsat(conjuncts("x > 0 && x < 0 && y > 7")));
+  Cache.retireIncrementalBefore(/*MinValid=*/2);
+  EXPECT_FALSE(
+      Cache.subsumedUnsat(conjuncts("x > 0 && x < 0 && y > 7")));
+}
+
+TEST_F(SmtSessionTest, CoreSubsumptionIsSubsetOnly) {
+  QueryCache Cache;
+  Cache.storeUnsatCore(conjuncts("x > 0 && x < 0"), /*Epoch=*/1);
+  // Superset: subsumed. Overlap/disjoint: not.
+  EXPECT_TRUE(Cache.subsumedUnsat(conjuncts("x > 0 && x < 0 && y > 7")));
+  EXPECT_FALSE(Cache.subsumedUnsat(conjuncts("x > 0 && y > 7")));
+  EXPECT_FALSE(Cache.subsumedUnsat(conjuncts("y > 7 && y < 9")));
+  EXPECT_EQ(Cache.stats().CoreHits, 1u);
+}
+
+} // namespace

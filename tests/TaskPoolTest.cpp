@@ -2,6 +2,8 @@
 
 #include "support/TaskPool.h"
 
+#include "support/Budget.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -85,6 +87,34 @@ TEST(TaskPoolTest, DoublyNestedParallelFor) {
     });
   });
   EXPECT_EQ(Total.load(), 64u);
+}
+
+TEST(TaskPoolTest, NestedInlineExecutionUnderBudgetCancellation) {
+  // The proof scheduler fans obligations out through nested
+  // parallelFor sections whose bodies poll the governing Budget.
+  // Cancelling the budget from inside a task must neither deadlock
+  // the nested inline path nor lose indices: every task still runs
+  // (the pool's contract) and merely observes the cancellation.
+  // The inner sections of outer index 0 run inline in index order on
+  // one thread, so once task (0,0) cancels, (0,1..) must all see it.
+  TaskPool Pool(4);
+  Budget B = Budget::forMillis(60000);
+  constexpr std::size_t Outer = 8, Inner = 32;
+  std::atomic<unsigned> Visited{0}, SawCancel{0};
+  Pool.parallelFor(Outer, [&](std::size_t I) {
+    Pool.parallelFor(Inner, [&](std::size_t J) {
+      Visited.fetch_add(1, std::memory_order_relaxed);
+      if (I == 0 && J == 0)
+        B.cancel();
+      if (B.expired())
+        SawCancel.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Visited.load(), Outer * Inner);
+  // At minimum the rest of outer 0's inline inner section saw it.
+  EXPECT_GE(SawCancel.load(), Inner - 1);
+  EXPECT_TRUE(B.cancelled());
+  EXPECT_TRUE(B.expired());
 }
 
 TEST(TaskPoolTest, ConcurrentExternalCallersSerialise) {

@@ -455,6 +455,26 @@ TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
   EXPECT_NE(Read.find("\\u000a"), std::string::npos);
 }
 
+TEST_F(TraceTest, SpanNameWithJsonMetacharactersRoundTrips) {
+  // Span names flow into the "name" field of every Chrome-trace
+  // event. A name carrying RFC 8259 metacharacters — quotes,
+  // backslashes, control characters — must be escaped on export or
+  // the whole trace file is unparseable.
+  Tracer::global().enable(TraceLevel::Full);
+  {
+    Span Sp(Category::Qe, "qe \"inner\" \\ back\nstep");
+    Sp.setOutcome("out\"come\\");
+  }
+  std::string Json = chromeTraceJson(Tracer::global());
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  // The escaped forms are present...
+  EXPECT_NE(Json.find("qe \\\"inner\\\" \\\\ back\\u000astep"),
+            std::string::npos);
+  EXPECT_NE(Json.find("out\\\"come\\\\"), std::string::npos);
+  // ...and the raw name never leaks into the output unescaped.
+  EXPECT_EQ(Json.find("qe \"inner\""), std::string::npos);
+}
+
 TEST_F(TraceTest, ResetDropsEventsAndZeroesCounters) {
   Tracer::global().enable(TraceLevel::Full);
   { Span Sp(Category::Verify, "verify"); }

@@ -29,7 +29,7 @@ BENCH="$BUILD"/bench/bench_fig6_small
 [ -r "$BASELINE" ] || { echo "bench_gate: no baseline $BASELINE" >&2; exit 2; }
 
 OUT=$(mktemp)
-trap 'rm -f "$OUT"' EXIT
+trap 'rm -f "$OUT" "$OUT.new" "$OUT.base"' EXIT
 
 # The bench binary exits nonzero on paper-expectation mismatches;
 # the gate's own criterion is drift against the baseline, so run it
@@ -37,14 +37,23 @@ trap 'rm -f "$OUT"' EXIT
 "$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
   --json "$OUT" || true
 
-# "id status" pairs for the Figure 6 table, sorted by id.
+# "id status" pairs for the Figure 6 table, sorted by id. Each field
+# is located independently so the extraction does not depend on the
+# order the harness happens to print the JSON keys in.
 extract() {
-  grep -F "\"table\":\"$TABLE\"" "$1" |
-    sed -n 's/.*"id":\([0-9]*\),.*"status":"\([a-z]*\)".*/\1 \2/p' |
-    sort -n
+  grep -F "\"table\":\"$TABLE\"" "$1" | awk '
+    {
+      id = ""; st = ""
+      if (match($0, /"id":[0-9]+/))
+        id = substr($0, RSTART + 5, RLENGTH - 5)
+      if (match($0, /"status":"[a-z]+"/))
+        st = substr($0, RSTART + 10, RLENGTH - 11)
+      if (id != "" && st != "") print id, st
+    }' | sort -n
 }
 
 extract "$OUT" > "$OUT.new"
+extract "$BASELINE" > "$OUT.base"
 NEW_ROWS=$(wc -l < "$OUT.new")
 if [ "$NEW_ROWS" -eq 0 ]; then
   echo "bench_gate: bench run produced no JSON rows" >&2
@@ -53,8 +62,7 @@ fi
 
 FAIL=0
 while read -r ID ST; do
-  BASE=$(extract "$BASELINE" |
-    awk -v id="$ID" '$1 == id { print $2; exit }')
+  BASE=$(awk -v id="$ID" '$1 == id { print $2; exit }' "$OUT.base")
   if [ -z "$BASE" ]; then
     echo "bench_gate: row $ID not in baseline, skipping"
     continue
@@ -66,7 +74,21 @@ while read -r ID ST; do
     echo "bench_gate: row $ID ok ($ST)"
   fi
 done < "$OUT.new"
-rm -f "$OUT.new"
+
+# Baseline rows inside the requested range that this run never
+# produced: a child that dies before writing its JSON line would
+# otherwise slip past the per-row comparison above.
+RANGE_LO=${ROWS%%-*}
+RANGE_HI=${ROWS##*-}
+MISSING=$(awk -v lo="$RANGE_LO" -v hi="$RANGE_HI" '
+  NR == FNR { seen[$1] = 1; next }
+  $1 + 0 >= lo + 0 && $1 + 0 <= hi + 0 && !($1 in seen) { print $1 }
+' "$OUT.new" "$OUT.base")
+for ID in $MISSING; do
+  echo "bench_gate: row $ID in baseline but missing from this run"
+  FAIL=1
+done
+rm -f "$OUT.new" "$OUT.base"
 
 if [ "$FAIL" -ne 0 ]; then
   echo "bench_gate: verdict regression against $(basename "$BASELINE")" >&2

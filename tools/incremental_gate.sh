@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Incremental-session verdict gate: runs the same Figure 6 subset
+# twice — once with the persistent incremental SMT session disabled
+# (CHUTE_INCREMENTAL=0, every query on a fresh solver) and once with
+# it enabled — and fails when any row's verdict differs between the
+# two modes. The incremental layer is a pure performance feature;
+# any verdict drift it introduces is a soundness bug.
+#
+#   tools/incremental_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_GATE_ROWS      row range to run (default 1-12)
+#   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
+#   CHUTE_GATE_JOBS      worker threads per row (default 2)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+ROWS=${CHUTE_GATE_ROWS:-1-12}
+TIMEOUT=${CHUTE_GATE_TIMEOUT:-90}
+JOBS=${CHUTE_GATE_JOBS:-2}
+TABLE="Figure 6: small benchmarks (operator combinations)"
+
+BENCH="$BUILD"/bench/bench_fig6_small
+[ -x "$BENCH" ] || { echo "incremental_gate: $BENCH not built" >&2; exit 2; }
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT.inc" "$OUT.oneshot" "$OUT.inc.v" "$OUT.oneshot.v" "$OUT"' EXIT
+
+# The bench binary exits nonzero on paper-expectation mismatches; the
+# gate's criterion is inc-vs-oneshot agreement, so run for the JSON.
+CHUTE_INCREMENTAL=0 "$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" \
+  --jobs "$JOBS" --json "$OUT.oneshot" || true
+CHUTE_INCREMENTAL=1 "$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" \
+  --jobs "$JOBS" --json "$OUT.inc" || true
+
+# "id status" pairs, each field located independently of key order.
+extract() {
+  grep -F "\"table\":\"$TABLE\"" "$1" | awk '
+    {
+      id = ""; st = ""
+      if (match($0, /"id":[0-9]+/))
+        id = substr($0, RSTART + 5, RLENGTH - 5)
+      if (match($0, /"status":"[a-z]+"/))
+        st = substr($0, RSTART + 10, RLENGTH - 11)
+      if (id != "" && st != "") print id, st
+    }' | sort -n
+}
+
+extract "$OUT.oneshot" > "$OUT.oneshot.v"
+extract "$OUT.inc" > "$OUT.inc.v"
+N_ONESHOT=$(wc -l < "$OUT.oneshot.v")
+N_INC=$(wc -l < "$OUT.inc.v")
+if [ "$N_ONESHOT" -eq 0 ] || [ "$N_INC" -eq 0 ]; then
+  echo "incremental_gate: a run produced no JSON rows" >&2
+  exit 1
+fi
+
+if ! diff -u "$OUT.oneshot.v" "$OUT.inc.v" > "$OUT"; then
+  echo "incremental_gate: verdicts differ between CHUTE_INCREMENTAL=0" \
+       "and =1 (-: one-shot, +: incremental)" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+# The incremental run should actually have exercised the session
+# layer: at least one row must report a nonzero inc_checks, else the
+# gate silently degenerates into comparing one-shot with itself.
+if ! grep -Eq '"inc_checks":[1-9]' "$OUT.inc"; then
+  echo "incremental_gate: incremental run reports no session checks" >&2
+  exit 1
+fi
+
+echo "incremental_gate: $N_INC rows agree between one-shot and" \
+     "incremental modes"
