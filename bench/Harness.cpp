@@ -2,6 +2,7 @@
 
 #include "Harness.h"
 
+#include "core/Session.h"
 #include "core/Verifier.h"
 #include "obs/ChromeTrace.h"
 #include "obs/Trace.h"
@@ -50,6 +51,7 @@ int verdictExitCode(Verdict V) {
     return 10;
   case Verdict::Disproved:
     return 11;
+  case Verdict::NotProved: // refinement-internal; a run never ends here
   case Verdict::Unknown:
     return 12;
   }
@@ -71,6 +73,10 @@ struct ChildStats {
   unsigned IncCores = 0;
   unsigned IncCorePruned = 0;
   unsigned IncResets = 0;
+  unsigned DiskLoaded = 0;
+  unsigned DiskWarmHits = 0;
+  unsigned DiskSaved = 0;
+  unsigned DiskRejects = 0;
   obs::TraceSummary Trace;
 };
 
@@ -113,7 +119,8 @@ std::string jsonEscape(const std::string &In) {
 
 RowResult chute::bench::runRow(const corpus::BenchRow &Row,
                                unsigned TimeoutSec, unsigned Jobs,
-                               const char *TracePath) {
+                               const char *TracePath,
+                               const char *CacheDir) {
   RowResult Result;
   Stopwatch Timer;
 
@@ -157,9 +164,27 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Options.BudgetMs =
         TimeoutSec > 2 ? (TimeoutSec - 1) * 1000 : TimeoutSec * 1000;
     Options.Jobs = Jobs;
-    Verifier V(*P, Options);
-    VerifyResult R = V.verify(Row.Property, Err);
+    VerifyResult R;
     ChildStats Stats;
+    if (CacheDir != nullptr && CacheDir[0] != '\0') {
+      // Through a session: warm start from the disk cache, persist
+      // on close (before the stats cross the pipe, so DiskSaved is
+      // accurate).
+      Options.CacheDir = std::string(CacheDir);
+      VerificationSession S(*P, Options);
+      R = S.verify(Row.Property, Err);
+      S.close();
+      VerificationSessionStats SS = S.stats();
+      Stats.DiskLoaded = static_cast<unsigned>(
+          SS.Disk.SatLoaded + SS.Disk.QeLoaded + SS.Disk.CoresLoaded);
+      Stats.DiskWarmHits = static_cast<unsigned>(SS.Cache.WarmHits);
+      Stats.DiskSaved = static_cast<unsigned>(
+          SS.Disk.SatSaved + SS.Disk.QeSaved + SS.Disk.CoresSaved);
+      Stats.DiskRejects = static_cast<unsigned>(SS.Disk.LoadRejects);
+    } else {
+      Verifier V(*P, Options);
+      R = V.verify(Row.Property, Err);
+    }
     Stats.Rounds = R.Rounds;
     Stats.Refinements = R.Refinements;
     Stats.SmtRetries = static_cast<unsigned>(R.SmtStats.Retries);
@@ -221,6 +246,10 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.IncCores = Stats.IncCores;
     Result.IncCorePruned = Stats.IncCorePruned;
     Result.IncResets = Stats.IncResets;
+    Result.DiskLoaded = Stats.DiskLoaded;
+    Result.DiskWarmHits = Stats.DiskWarmHits;
+    Result.DiskSaved = Stats.DiskSaved;
+    Result.DiskRejects = Stats.DiskRejects;
     Result.Trace = Stats.Trace;
   }
 
@@ -248,12 +277,16 @@ unsigned chute::bench::runTable(const char *Title,
                                 const std::vector<corpus::BenchRow> &Rows,
                                 unsigned TimeoutSec,
                                 const char *JsonPath, unsigned Jobs,
-                                const char *TraceOut) {
+                                const char *TraceOut,
+                                const char *CacheDir) {
   // The env knob applies per child; resolve it here so multi-row
   // tables get distinct per-row files instead of the last child
   // overwriting the path.
   if (TraceOut == nullptr)
     TraceOut = std::getenv("CHUTE_TRACE");
+  // Explicit flag wins; the env var makes CI gates wiring-free.
+  if (CacheDir == nullptr)
+    CacheDir = std::getenv("CHUTE_CACHE_DIR");
 
   std::FILE *Json = nullptr;
   if (JsonPath != nullptr) {
@@ -278,7 +311,8 @@ unsigned chute::bench::runTable(const char *Title,
     }
     RowResult R = runRow(Row, TimeoutSec, Jobs,
                          TracePath.empty() ? nullptr
-                                           : TracePath.c_str());
+                                           : TracePath.c_str(),
+                         CacheDir);
     bool Ok = R.matches(Row.ExpectHolds);
     if (!Ok)
       ++Mismatches;
@@ -303,7 +337,9 @@ unsigned chute::bench::runTable(const char *Title,
           "\"jobs\":%u,\"timeout_sec\":%u,"
           "\"inc_checks\":%u,\"inc_lit_reuse\":%u,"
           "\"inc_unsat_cores\":%u,\"inc_core_pruned\":%u,"
-          "\"inc_resets\":%u,%s}\n",
+          "\"inc_resets\":%u,\"disk_loaded\":%u,"
+          "\"disk_warm_hits\":%u,\"disk_saved\":%u,"
+          "\"disk_rejects\":%u,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
@@ -312,6 +348,7 @@ unsigned chute::bench::runTable(const char *Title,
           R.SmtRetries, R.SmtRecovered, R.CacheHits, R.CacheMisses,
           R.cacheHitRate(), R.Jobs, TimeoutSec, R.IncChecks,
           R.IncLitsReused, R.IncCores, R.IncCorePruned, R.IncResets,
+          R.DiskLoaded, R.DiskWarmHits, R.DiskSaved, R.DiskRejects,
           R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }
@@ -360,6 +397,13 @@ unsigned chute::bench::jobsFromArgs(int Argc, char **Argv,
 const char *chute::bench::traceOutFromArgs(int Argc, char **Argv) {
   for (int I = 1; I + 1 < Argc; ++I)
     if (std::strcmp(Argv[I], "--trace-out") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+const char *chute::bench::cacheDirFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--cache-dir") == 0)
       return Argv[I + 1];
   return nullptr;
 }

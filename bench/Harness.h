@@ -45,6 +45,11 @@ struct RowResult {
   unsigned IncCores = 0;     ///< unsat cores extracted
   unsigned IncCorePruned = 0; ///< queries answered by a cached core
   unsigned IncResets = 0;    ///< session frames torn down
+  /// Disk-cache activity (zero unless the row ran with a cache dir).
+  unsigned DiskLoaded = 0;   ///< warm records imported at open
+  unsigned DiskWarmHits = 0; ///< queries answered by imported records
+  unsigned DiskSaved = 0;    ///< records persisted at close
+  unsigned DiskRejects = 0;  ///< cache files rejected (corrupt/mismatch)
   /// Phase breakdown of the child's run (each child traces at Stats
   /// level, so JSON rows always carry per-stage time/span counts).
   obs::TraceSummary Trace;
@@ -68,8 +73,13 @@ struct RowResult {
 /// JSON file there before exiting; otherwise it records at Stats
 /// level (cheap aggregates only) so RowResult::Trace is populated
 /// either way.
+/// \p CacheDir, when non-null, makes the child verify through a
+/// VerificationSession with that disk-cache directory: it warm
+/// starts from the previous run's verdicts and persists its own on
+/// exit, and the RowResult's Disk* fields report the traffic.
 RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
-                 unsigned Jobs = 0, const char *TracePath = nullptr);
+                 unsigned Jobs = 0, const char *TracePath = nullptr,
+                 const char *CacheDir = nullptr);
 
 /// Runs a whole table and prints it in the paper's layout. Returns
 /// the number of rows whose verdict disagrees with the expectation.
@@ -78,12 +88,16 @@ RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
 /// (or the CHUTE_TRACE environment variable) requests a Chrome
 /// trace per row: a single-row table writes exactly that path, a
 /// multi-row table appends ".row<id>" per row.
+/// \p CacheDir (or the CHUTE_CACHE_DIR environment variable) routes
+/// every row through the disk-backed cache; the JSON rows then carry
+/// disk_loaded / disk_warm_hits / disk_saved / disk_rejects fields.
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
                   unsigned TimeoutSec,
                   const char *JsonPath = nullptr,
                   unsigned Jobs = 0,
-                  const char *TraceOut = nullptr);
+                  const char *TraceOut = nullptr,
+                  const char *CacheDir = nullptr);
 
 /// Reads the row timeout from argv ("--timeout N") or returns
 /// \p Default.
@@ -104,6 +118,11 @@ unsigned jobsFromArgs(int Argc, char **Argv, unsigned Default = 0);
 /// Optional Chrome-trace output path from argv ("--trace-out PATH");
 /// nullptr when absent (runTable then falls back to CHUTE_TRACE).
 const char *traceOutFromArgs(int Argc, char **Argv);
+
+/// Optional disk-cache directory from argv ("--cache-dir PATH");
+/// nullptr when absent (runTable then falls back to
+/// CHUTE_CACHE_DIR).
+const char *cacheDirFromArgs(int Argc, char **Argv);
 
 } // namespace chute::bench
 

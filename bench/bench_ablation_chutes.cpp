@@ -52,7 +52,7 @@ int main(int Argc, char **Argv) {
 
     const char *Res =
         Out.proved() ? "yes"
-        : Out.St == RefineOutcome::Status::NotProved ? "no" : "?";
+        : Out.St == Verdict::NotProved ? "no" : "?";
     std::printf("%4u  %-34s %-6s %7u %6u %6u %7llu %6llu %8.2f\n",
                 Row.Id, Row.Property.substr(0, 34).c_str(), Res,
                 Out.Rounds, Out.Refinements, Out.Backtracks,

@@ -5,7 +5,7 @@
 // their negations). Usage:
 //
 //   bench_fig6_small [--timeout SECONDS] [--rows A-B] [--json PATH]
-//                    [--jobs N] [--trace-out PATH]
+//                    [--jobs N] [--trace-out PATH] [--cache-dir DIR]
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +28,7 @@ int main(int Argc, char **Argv) {
       "Figure 6: small benchmarks (operator combinations)", Rows,
       Timeout, bench::jsonPathFromArgs(Argc, Argv),
       bench::jobsFromArgs(Argc, Argv),
-      bench::traceOutFromArgs(Argc, Argv));
+      bench::traceOutFromArgs(Argc, Argv),
+      bench::cacheDirFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

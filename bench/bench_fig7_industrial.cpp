@@ -5,7 +5,7 @@
 // the SoftUpdates patch system), 28 base rows plus negations. Usage:
 //
 //   bench_fig7_industrial [--timeout SECONDS] [--rows A-B] [--json PATH]
-//                         [--jobs N] [--trace-out PATH]
+//                         [--jobs N] [--trace-out PATH] [--cache-dir DIR]
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +28,7 @@ int main(int Argc, char **Argv) {
       "Figure 7: industrial code models", Rows, Timeout,
       bench::jsonPathFromArgs(Argc, Argv),
       bench::jobsFromArgs(Argc, Argv),
-      bench::traceOutFromArgs(Argc, Argv));
+      bench::traceOutFromArgs(Argc, Argv),
+      bench::cacheDirFromArgs(Argc, Argv));
   return Mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,265 @@
+//===- bench/bench_session.cpp - Session / disk-cache benchmark -----------------===//
+//
+// Measures the two claims the VerificationSession API makes:
+//
+//  A. Disk-backed cross-run cache: a Figure 6 subset verified twice
+//     through sessions sharing one CHUTE_CACHE_DIR — the warm pass
+//     must return identical verdicts and run faster than the cold
+//     pass (target: >= 1.5x on the aggregate).
+//
+//  B. Batch verifyAll: Figure 7 rows grouped by program, verified
+//     once property-by-property on fresh Verifiers (no sharing) and
+//     once through a session's verifyAll — identical verdicts, with
+//     the session faster thanks to the shared SMT/QE cache.
+//
+// Runs in-process (no forked children) so timings exclude process
+// startup and the disk cache is the only persistence between the
+// passes. Usage:
+//
+//   bench_session [--rows A-B] [--fig7-groups N] [--budget-ms N]
+//                 [--json PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+#include "chute/chute.h"
+#include "support/Stopwatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace chute;
+
+namespace {
+
+unsigned argUnsigned(int Argc, char **Argv, const char *Flag,
+                     unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return static_cast<unsigned>(std::atoi(Argv[I + 1]));
+  return Default;
+}
+
+/// Removes every regular file in \p Dir, then the directory itself.
+/// The cache dir only ever holds flat ".qc"/".lock" files.
+void removeDir(const std::string &Dir) {
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/" + Name).c_str());
+    }
+    closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+struct PassResult {
+  double Seconds = 0.0;
+  std::vector<std::string> Verdicts;
+  std::uint64_t WarmLoaded = 0;
+  std::uint64_t WarmHits = 0;
+  std::uint64_t DiskSaved = 0;
+};
+
+/// One cold-or-warm pass over \p Rows: a fresh session per row (each
+/// row is its own program), all sharing \p CacheDir.
+PassResult runPass(const std::vector<corpus::BenchRow> &Rows,
+                   const std::string &CacheDir, unsigned BudgetMs) {
+  PassResult P;
+  for (const auto &Row : Rows) {
+    ExprContext Ctx;
+    std::string Err;
+    auto Prog = parseProgram(Ctx, Row.Program, Err);
+    if (!Prog) {
+      P.Verdicts.push_back("parse-error");
+      continue;
+    }
+    VerifierOptions Opts;
+    Opts.CacheDir = CacheDir;
+    Opts.BudgetMs = BudgetMs;
+    Stopwatch W;
+    VerificationSession S(*Prog, Opts);
+    VerifyResult R = S.verify(Row.Property, Err);
+    S.close();
+    P.Seconds += W.seconds();
+    P.Verdicts.push_back(toString(R.V));
+    VerificationSessionStats St = S.stats();
+    P.WarmLoaded += St.Cache.WarmLoaded;
+    P.WarmHits += St.Cache.WarmHits;
+    P.DiskSaved += St.Disk.SatSaved + St.Disk.QeSaved + St.Disk.CoresSaved;
+  }
+  return P;
+}
+
+struct GroupResult {
+  std::string Example;
+  unsigned Properties = 0;
+  double SeqSeconds = 0.0;
+  double BatchSeconds = 0.0;
+  bool VerdictsMatch = true;
+  double CacheHitRate = 0.0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned BudgetMs = argUnsigned(Argc, Argv, "--budget-ms", 60000);
+  unsigned MaxGroups = argUnsigned(Argc, Argv, "--fig7-groups", 2);
+  const char *JsonPath = bench::jsonPathFromArgs(Argc, Argv);
+
+  // ---- Part A: cold vs. warm disk cache over a Figure 6 subset.
+  const auto &All = corpus::fig6Rows();
+  auto [Lo, Hi] =
+      bench::rowRangeFromArgs(Argc, Argv, static_cast<unsigned>(All.size()));
+  // Default subset: the single-operator rows, which are SMT-bound
+  // enough for the disk cache to dominate and keep the bench fast.
+  if (Lo == 1 && Hi == All.size())
+    Hi = 8;
+  std::vector<corpus::BenchRow> Rows;
+  for (const auto &R : All)
+    if (R.Id >= Lo && R.Id <= Hi)
+      Rows.push_back(R);
+
+  char Template[] = "/tmp/chute-bench-cache-XXXXXX";
+  const char *Dir = mkdtemp(Template);
+  if (Dir == nullptr) {
+    std::fprintf(stderr, "bench_session: mkdtemp failed\n");
+    return 2;
+  }
+
+  std::printf("Part A: Figure 6 rows %u-%u, cold vs. warm disk cache\n", Lo,
+              Hi);
+  PassResult Cold = runPass(Rows, Dir, BudgetMs);
+  PassResult Warm = runPass(Rows, Dir, BudgetMs);
+  removeDir(Dir);
+
+  bool SameVerdicts = Cold.Verdicts == Warm.Verdicts;
+  double Speedup =
+      Warm.Seconds > 0.0 ? Cold.Seconds / Warm.Seconds : 0.0;
+  std::printf("  cold: %.2fs (%llu records saved)\n", Cold.Seconds,
+              static_cast<unsigned long long>(Cold.DiskSaved));
+  std::printf("  warm: %.2fs (%llu records loaded, %llu warm hits)\n",
+              Warm.Seconds,
+              static_cast<unsigned long long>(Warm.WarmLoaded),
+              static_cast<unsigned long long>(Warm.WarmHits));
+  std::printf("  speedup: %.2fx, verdicts %s\n\n", Speedup,
+              SameVerdicts ? "identical" : "DIFFER");
+
+  // ---- Part B: sequential fresh Verifiers vs. session verifyAll on
+  // Figure 7 groups. Rows are grouped by program text so negated
+  // properties of the same model land in the same batch.
+  std::map<std::string, std::vector<const corpus::BenchRow *>> Groups;
+  std::vector<std::string> Order;
+  for (const auto &R : corpus::fig7Rows()) {
+    auto [It, New] = Groups.try_emplace(R.Program);
+    if (New)
+      Order.push_back(R.Program);
+    It->second.push_back(&R);
+  }
+
+  std::vector<GroupResult> GroupResults;
+  for (const std::string &Key : Order) {
+    if (GroupResults.size() >= MaxGroups)
+      break;
+    const auto &Group = Groups[Key];
+    ExprContext Ctx;
+    std::string Err;
+    auto Prog = parseProgram(Ctx, Key, Err);
+    if (!Prog)
+      continue;
+
+    GroupResult G;
+    G.Example = Group.front()->Example;
+    G.Properties = static_cast<unsigned>(Group.size());
+
+    // Baseline: one fresh Verifier per property — nothing shared.
+    std::vector<std::string> SeqVerdicts;
+    {
+      Stopwatch W;
+      for (const corpus::BenchRow *Row : Group) {
+        VerifierOptions Opts;
+        Opts.BudgetMs = BudgetMs;
+        Verifier V(*Prog, Opts);
+        VerifyResult R = V.verify(Row->Property, Err);
+        SeqVerdicts.push_back(toString(R.V));
+      }
+      G.SeqSeconds = W.seconds();
+    }
+
+    // Session: one verifyAll over the whole group.
+    {
+      std::vector<std::string> Props;
+      for (const corpus::BenchRow *Row : Group)
+        Props.push_back(Row->Property);
+      VerifierOptions Opts;
+      Opts.BudgetMs = BudgetMs;
+      Stopwatch W;
+      VerificationSession S(*Prog, Opts);
+      std::vector<VerifyResult> Rs = S.verifyAll(Props);
+      G.BatchSeconds = W.seconds();
+      G.CacheHitRate = S.stats().Cache.hitRate();
+      for (size_t I = 0; I < Rs.size(); ++I)
+        if (toString(Rs[I].V) != SeqVerdicts[I])
+          G.VerdictsMatch = false;
+    }
+
+    std::printf("Part B: %-16s %2u props  sequential %.2fs  "
+                "verifyAll %.2fs  (%.2fx, hit rate %.0f%%, verdicts %s)\n",
+                G.Example.c_str(), G.Properties, G.SeqSeconds,
+                G.BatchSeconds,
+                G.BatchSeconds > 0.0 ? G.SeqSeconds / G.BatchSeconds : 0.0,
+                G.CacheHitRate * 100.0,
+                G.VerdictsMatch ? "identical" : "DIFFER");
+    GroupResults.push_back(G);
+  }
+
+  double SeqTotal = 0.0, BatchTotal = 0.0;
+  bool GroupsMatch = true;
+  for (const GroupResult &G : GroupResults) {
+    SeqTotal += G.SeqSeconds;
+    BatchTotal += G.BatchSeconds;
+    GroupsMatch = GroupsMatch && G.VerdictsMatch;
+  }
+
+  if (JsonPath != nullptr) {
+    if (std::FILE *F = std::fopen(JsonPath, "a")) {
+      std::fprintf(
+          F,
+          "{\"bench\":\"session_disk_cache\",\"rows\":\"%u-%u\","
+          "\"cold_seconds\":%.3f,\"warm_seconds\":%.3f,"
+          "\"speedup\":%.3f,\"verdicts_identical\":%s,"
+          "\"warm_loaded\":%llu,\"warm_hits\":%llu,"
+          "\"disk_saved\":%llu}\n",
+          Lo, Hi, Cold.Seconds, Warm.Seconds, Speedup,
+          SameVerdicts ? "true" : "false",
+          static_cast<unsigned long long>(Warm.WarmLoaded),
+          static_cast<unsigned long long>(Warm.WarmHits),
+          static_cast<unsigned long long>(Cold.DiskSaved));
+      for (const GroupResult &G : GroupResults)
+        std::fprintf(
+            F,
+            "{\"bench\":\"session_verify_all\",\"example\":\"%s\","
+            "\"properties\":%u,\"sequential_seconds\":%.3f,"
+            "\"verify_all_seconds\":%.3f,\"speedup\":%.3f,"
+            "\"cache_hit_rate\":%.3f,\"verdicts_identical\":%s}\n",
+            G.Example.c_str(), G.Properties, G.SeqSeconds, G.BatchSeconds,
+            G.BatchSeconds > 0.0 ? G.SeqSeconds / G.BatchSeconds : 0.0,
+            G.CacheHitRate, G.VerdictsMatch ? "true" : "false");
+      std::fclose(F);
+    }
+  }
+
+  std::printf("\nsummary: warm %.2fx, verifyAll %.2fx over %zu groups\n",
+              Speedup, BatchTotal > 0.0 ? SeqTotal / BatchTotal : 0.0,
+              GroupResults.size());
+
+  bool Ok = SameVerdicts && GroupsMatch && Warm.WarmHits > 0;
+  return Ok ? 0 : 1;
+}

@@ -16,8 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Verifier.h"
-#include "program/Parser.h"
+#include "chute/chute.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -107,6 +106,7 @@ int main(int Argc, char **Argv) {
     return 0;
   case Verdict::Disproved:
     return 1;
+  case Verdict::NotProved:
   case Verdict::Unknown:
     return 2;
   }

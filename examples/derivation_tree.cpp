@@ -7,9 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Verifier.h"
-#include "program/Parser.h"
-#include "program/PrettyPrint.h"
+#include "chute/chute.h"
 
 #include <cstdio>
 

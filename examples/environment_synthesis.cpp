@@ -14,8 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Verifier.h"
-#include "program/Parser.h"
+#include "chute/chute.h"
 
 #include <cstdio>
 

@@ -10,9 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Verifier.h"
+#include "chute/chute.h"
 #include "corpus/Corpus.h"
-#include "program/Parser.h"
 
 #include <cstdio>
 

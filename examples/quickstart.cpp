@@ -7,8 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Verifier.h"
-#include "program/Parser.h"
+#include "chute/chute.h"
 
 #include <cstdio>
 
@@ -71,5 +70,20 @@ int main() {
       std::printf("%s", N->Chute->toString(V.lifted()).c_str());
     }
   }
+
+  // Batch mode: a VerificationSession verifies many properties of
+  // one program through shared solver state, so formulas any
+  // property discharges are cache hits for the rest. Setting
+  // VerifierOptions::CacheDir (or CHUTE_CACHE_DIR) would also
+  // persist the cache across runs.
+  std::printf("\nbatch (VerificationSession::verifyAll):\n");
+  VerificationSession Session(*Prog);
+  std::vector<VerifyResult> Batch = Session.verifyAll(
+      {"EG(x == 1 -> AF(x == 0))", "AF(x == 1)", "EF(x == 1)"});
+  for (const VerifyResult &B : Batch)
+    std::printf("  %s  (%.2fs)\n", toString(B.V), B.Seconds);
+  std::printf("  shared-cache hit rate: %.0f%%\n",
+              Session.stats().Cache.hitRate() * 100.0);
+
   return R.proved() ? 0 : 1;
 }

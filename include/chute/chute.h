@@ -1,0 +1,58 @@
+//===- chute/chute.h - The public umbrella header -------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one header an embedder includes. Link chute_core and write:
+///
+///   #include "chute/chute.h"
+///
+///   chute::ExprContext Ctx;
+///   std::string Err;
+///   auto Prog = chute::parseProgram(Ctx, Source, Err);
+///
+///   // One property:
+///   chute::Verifier V(*Prog);
+///   chute::VerifyResult R = V.verify("AF(x <= 0)", Err);
+///
+///   // Many properties over one program, with shared solver state
+///   // and (optionally) a disk-backed cross-run cache:
+///   chute::VerifierOptions Opts;
+///   Opts.CacheDir = ".chute-cache";
+///   chute::VerificationSession S(*Prog, Opts);
+///   auto Rs = S.verifyAll({"AF(x <= 0)", "EF(x == 5)"});
+///
+/// Everything re-exported here is stable API surface: the program
+/// and expression parsers, the CTL surface syntax, Verifier /
+/// VerificationSession with their consolidated VerifierOptions (see
+/// core/Options.h for the CHUTE_* environment overrides), the
+/// unified Verdict enum, derivation trees and pretty-printing.
+/// Internal layers (smt/, qe/, analysis/, ts/) are reachable through
+/// their own headers but carry no stability promise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CHUTE_H
+#define CHUTE_CHUTE_H
+
+// Expressions and the program surface syntax.
+#include "expr/Expr.h"
+#include "expr/ExprParser.h"
+#include "program/Parser.h"
+#include "program/PrettyPrint.h"
+
+// CTL properties.
+#include "ctl/Ctl.h"
+#include "ctl/CtlParser.h"
+
+// Verification: options, verdicts, single-property and batch entry
+// points, proofs.
+#include "core/DerivationTree.h"
+#include "core/Options.h"
+#include "core/Session.h"
+#include "core/Verdict.h"
+#include "core/Verifier.h"
+
+#endif // CHUTE_CHUTE_H

@@ -56,7 +56,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
            std::to_string(Out.Backtracks) + " backtracks";
   };
   auto budgetFailure = [&](FailPhase Phase) {
-    Out.St = RefineOutcome::Status::Unknown;
+    Out.St = Verdict::Unknown;
     Out.Failure.Phase = Phase;
     Out.Failure.Resource = S.budget().cancelled()
                                ? FailResource::Cancelled
@@ -134,7 +134,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
 
     if (Attempt.Proved) {
       if (rcrCheck(Attempt.Proof, Chutes)) {
-        Out.St = RefineOutcome::Status::Proved;
+        Out.St = Verdict::Proved;
         Out.Proof = std::move(Attempt.Proof);
         Out.Refinements = static_cast<unsigned>(Applied.size());
         return Out;
@@ -147,7 +147,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       // A chute restricted the system into vacuity: backtrack.
       if (backtrack())
         continue;
-      Out.St = RefineOutcome::Status::Unknown;
+      Out.St = Verdict::Unknown;
       Out.Failure = {FailPhase::RcrCheck, FailResource::Incomplete,
                      F->toString(), progressDetail()};
       return Out;
@@ -173,7 +173,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       // Incomplete failure: a different chute choice might unblock.
       if (backtrack())
         continue;
-      Out.St = RefineOutcome::Status::Unknown;
+      Out.St = Verdict::Unknown;
       Out.Failure = {FailPhase::UniversalProof,
                      FailResource::Incomplete, F->toString(),
                      progressDetail()};
@@ -215,7 +215,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       // chutes this is a genuine counterexample to the property.
       if (backtrack())
         continue;
-      Out.St = RefineOutcome::Status::NotProved;
+      Out.St = Verdict::NotProved;
       Out.Refinements = static_cast<unsigned>(Applied.size());
       return Out;
     }
@@ -223,7 +223,7 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
     Alternatives.push_back({Candidates.begin() + 1, Candidates.end()});
   }
 
-  Out.St = RefineOutcome::Status::Unknown;
+  Out.St = Verdict::Unknown;
   Out.Failure = {FailPhase::Refinement, FailResource::Rounds,
                  F->toString(),
                  "MaxRounds=" + std::to_string(Opts.MaxRounds) +

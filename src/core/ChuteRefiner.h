@@ -22,18 +22,22 @@
 #include "analysis/RecurrentSet.h"
 #include "core/SynthCp.h"
 #include "core/UniversalProver.h"
+#include "core/Verdict.h"
 
 namespace chute {
 
-/// Outcome of the refinement loop.
+/// Outcome of the refinement loop. The verdict vocabulary is the
+/// shared core/Verdict.h enum; refinement uses Proved / NotProved
+/// (genuine-looking counterexample for THIS direction) / Unknown and
+/// never produces Disproved — disproof is the verifier's job, by
+/// proving the CTL negation.
 struct RefineOutcome {
-  enum class Status {
-    Proved,    ///< derivation found, all rcr obligations discharged
-    NotProved, ///< genuine-looking counterexample, no chute to blame
-    Unknown,   ///< gave up (incompleteness or resource limits)
-  };
+  /// Deprecated alias for chute::Verdict, kept one release so
+  /// downstream switches over RefineOutcome::Status::... migrate
+  /// mechanically.
+  using Status = Verdict;
 
-  Status St = Status::Unknown;
+  Verdict St = Verdict::Unknown;
   DerivationTree Proof;  ///< when Proved
   CexTrace Trace;        ///< best counterexample seen (NotProved)
   unsigned Rounds = 0;   ///< attempt() invocations
@@ -42,7 +46,7 @@ struct RefineOutcome {
   /// When Unknown: which phase degraded and which resource ran out.
   FailureInfo Failure;
 
-  bool proved() const { return St == Status::Proved; }
+  bool proved() const { return St == Verdict::Proved; }
 };
 
 /// Limits for the refinement loop.

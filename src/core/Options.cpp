@@ -1,0 +1,35 @@
+//===- core/Options.cpp - Environment-override resolution ------------------===//
+
+#include "core/Options.h"
+
+#include "support/Env.h"
+
+using namespace chute;
+
+VerifierOptions chute::resolveEnvOverrides(VerifierOptions Options) {
+  if (Options.BudgetMs == 0)
+    if (std::optional<unsigned> Ms = envUnsigned("CHUTE_BUDGET_MS"))
+      Options.BudgetMs = *Ms;
+
+  if (!Options.Incremental)
+    Options.Incremental = envFlag("CHUTE_INCREMENTAL");
+
+  if (!Options.CacheDir)
+    Options.CacheDir = envString("CHUTE_CACHE_DIR");
+
+  if (!Options.Trace) {
+    if (std::optional<std::string> Path = envString("CHUTE_TRACE")) {
+      Options.Trace = obs::TraceLevel::Full;
+      if (!Options.TracePath)
+        Options.TracePath = *Path;
+    } else if (envFlag("CHUTE_TRACE_STATS").value_or(false)) {
+      Options.Trace = obs::TraceLevel::Stats;
+    }
+  }
+
+  // Jobs stays 0 here on purpose: CHUTE_JOBS is consumed by
+  // TaskPool::defaultJobs() when the global pool is first created,
+  // and resolving it into a concrete count would make verify()
+  // resize pools that callers configured explicitly.
+  return Options;
+}

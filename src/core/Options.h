@@ -1,0 +1,110 @@
+//===- core/Options.h - Consolidated pipeline options ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VerifierOptions — the one documented entry point for configuring
+/// the pipeline — and resolveEnvOverrides(), the one place the
+/// CHUTE_* environment knobs are applied as option overrides.
+///
+/// Precedence (pinned by OptionsTest): an option set explicitly in
+/// code wins over its environment variable, which wins over the
+/// built-in default. "Explicitly set" is encoded per field: optional
+/// fields are set when they hold a value; BudgetMs and Jobs use 0 as
+/// their "unset/defer" sentinel (their pre-existing convention).
+///
+/// Environment knobs resolved here:
+///
+///   CHUTE_BUDGET_MS    wall-clock budget per verify() call (ms)
+///   CHUTE_INCREMENTAL  0/false disables the persistent SMT sessions
+///   CHUTE_CACHE_DIR    directory for the disk-backed query cache
+///                      (used by VerificationSession)
+///   CHUTE_TRACE        =<path>: Full tracing + Chrome export path
+///   CHUTE_TRACE_STATS  nonzero: Stats-level tracing
+///   CHUTE_JOBS         worker threads (read via the same helper by
+///                      TaskPool on lazy pool creation; Jobs = 0
+///                      keeps that deferred behaviour, an explicit
+///                      Jobs here overrides it)
+///
+/// Residual direct readers (debug/fault-injection knobs CHUTE_DEBUG,
+/// CHUTE_SMT_FAULT_*) sit outside the options surface on purpose:
+/// they configure cross-cutting diagnostics, not verification.
+/// Components usable without a Verifier keep an env-derived default
+/// with identical semantics, read through the same support/Env
+/// helpers: TaskPool::defaultJobs (CHUTE_JOBS), a bare Smt facade's
+/// incremental default (CHUTE_INCREMENTAL), and the tracer's
+/// self-configuration (CHUTE_TRACE*).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_OPTIONS_H
+#define CHUTE_CORE_OPTIONS_H
+
+#include "core/ChuteRefiner.h"
+#include "obs/Trace.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace chute {
+
+class QueryCache;
+
+/// Options for the whole pipeline.
+struct VerifierOptions {
+  RefinerOptions Refiner;
+  unsigned SmtTimeoutMs = 3000;
+  bool TryNegation = true; ///< attempt to disprove via the dual
+
+  /// Wall-clock budget for one verify() call in milliseconds; 0
+  /// means "unset" (CHUTE_BUDGET_MS applies, else unlimited). With a
+  /// budget, per-SMT-query timeouts are derived from the remaining
+  /// time and exhaustion degrades cleanly to Unknown with a
+  /// FailureInfo.
+  unsigned BudgetMs = 0;
+  /// Fraction of the budget reserved for proving the property
+  /// itself; the rest (plus whatever the proof attempt left unused)
+  /// goes to the negation attempt.
+  double PrimaryShare = 0.6;
+  /// Backoff schedule for Unknown SMT answers.
+  RetryPolicy Retry;
+  /// Worker threads for the parallel proof engine: independent
+  /// proof obligations and SMT discharge batches fan out over this
+  /// many threads (each with its own Z3 context). 0 defers to
+  /// CHUTE_JOBS / the existing global pool; 1 is fully sequential.
+  unsigned Jobs = 0;
+
+  /// Persistent per-thread SMT sessions (PR 4). Unset defers to
+  /// CHUTE_INCREMENTAL, default on.
+  std::optional<bool> Incremental;
+  /// Directory for the disk-backed, content-addressed query cache.
+  /// Unset defers to CHUTE_CACHE_DIR; empty disables. Consumed by
+  /// VerificationSession (a bare Verifier never touches disk).
+  std::optional<std::string> CacheDir;
+  /// Tracing level to install on the global tracer. Unset defers to
+  /// CHUTE_TRACE / CHUTE_TRACE_STATS and, when neither is set,
+  /// leaves the tracer exactly as the caller configured it (tests
+  /// and tools may have enabled it directly).
+  std::optional<obs::TraceLevel> Trace;
+  /// Chrome-trace export path accompanying Trace = Full.
+  std::optional<std::string> TracePath;
+
+  /// A query cache to share instead of owning one — how a
+  /// VerificationSession makes all of its Verifiers hit one
+  /// content-addressed store. Null: the Smt facade creates its own.
+  std::shared_ptr<QueryCache> SharedCache;
+};
+
+/// Applies the environment overrides documented above to every field
+/// that was not set explicitly, and returns the resolved options.
+/// This is the only function that turns CHUTE_* values into option
+/// values; Verifier and VerificationSession call it exactly once at
+/// construction.
+VerifierOptions resolveEnvOverrides(VerifierOptions Options);
+
+} // namespace chute
+
+#endif // CHUTE_CORE_OPTIONS_H

@@ -1,0 +1,147 @@
+//===- core/Session.cpp - Batch verification sessions ----------------------===//
+
+#include "core/Session.h"
+
+#include "ctl/CtlParser.h"
+#include "support/TaskPool.h"
+
+using namespace chute;
+
+VerificationSession::VerificationSession(const Program &Source,
+                                         VerifierOptions Options)
+    : Source(Source), Opts(resolveEnvOverrides(std::move(Options))),
+      Shared(Opts.SharedCache ? Opts.SharedCache
+                              : std::make_shared<QueryCache>()),
+      Ctl(Source.exprContext()) {
+  // Every Verifier this session creates shares the one cache.
+  Opts.SharedCache = Shared;
+  if (Opts.CacheDir && !Opts.CacheDir->empty()) {
+    Disk = std::make_unique<DiskCache>(*Opts.CacheDir);
+    ProgKey = DiskCache::programKey(Source.toString());
+    // Warm start: rebuild the previous run's verdicts in this
+    // program's ExprContext before the first query is issued.
+    Disk->load(ProgKey, Source.exprContext(), *Shared);
+  }
+}
+
+VerificationSession::~VerificationSession() { close(); }
+
+bool VerificationSession::close() {
+  if (Closed)
+    return false;
+  Closed = true;
+  if (!Disk)
+    return false;
+  return Disk->save(ProgKey, *Shared);
+}
+
+VerificationSessionStats VerificationSession::stats() const {
+  VerificationSessionStats S;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    S.Properties = Properties;
+    S.Seconds = Seconds;
+  }
+  S.Cache = Shared->stats();
+  if (Disk)
+    S.Disk = Disk->stats();
+  return S;
+}
+
+VerifyResult VerificationSession::withVerifier(
+    const std::function<VerifyResult(Verifier &)> &Fn) {
+  std::unique_ptr<Verifier> V;
+  {
+    std::lock_guard<std::mutex> Lock(VerifiersMu);
+    if (!Idle.empty()) {
+      V = std::move(Idle.back());
+      Idle.pop_back();
+    }
+  }
+  if (!V) {
+    // One Verifier per concurrency slot, created on demand. Jobs = 0
+    // because this may run inside a pool task, where resizing the
+    // pool would deadlock; configureGlobal(0) is a safe no-op there.
+    VerifierOptions PerProperty = Opts;
+    PerProperty.Jobs = 0;
+    V = std::make_unique<Verifier>(Source, PerProperty);
+  }
+  VerifyResult R = Fn(*V);
+  {
+    std::lock_guard<std::mutex> Lock(VerifiersMu);
+    Idle.push_back(std::move(V));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Properties;
+    Seconds += R.Seconds;
+  }
+  return R;
+}
+
+VerifyResult VerificationSession::verify(CtlRef F) {
+  // CtlRefs cross managers soundly: Verifier only traverses F
+  // structurally (its refinement state is keyed by subformula path,
+  // and negation rebuilds nodes in the Verifier's own manager), and
+  // every atom lives in the shared ExprContext.
+  return withVerifier([&](Verifier &V) { return V.verify(F); });
+}
+
+VerifyResult VerificationSession::verify(const std::string &Property,
+                                         std::string &Err) {
+  CtlRef F = parseCtlString(Ctl, Property, Err);
+  if (F == nullptr) {
+    VerifyResult R;
+    R.Failure = {FailPhase::Parse, FailResource::Incomplete, Property,
+                 Err};
+    return R;
+  }
+  return verify(F);
+}
+
+std::vector<VerifyResult>
+VerificationSession::verifyAll(const std::vector<CtlRef> &Fs) {
+  // Size the pool before fanning out; inside a task this would join
+  // workers from within a worker.
+  TaskPool::configureGlobal(Opts.Jobs);
+
+  std::vector<VerifyResult> Rs(Fs.size());
+  TaskPool::global().parallelFor(Fs.size(), [&](std::size_t I) {
+    if (Fs[I] != nullptr)
+      Rs[I] = verify(Fs[I]);
+  });
+  return Rs;
+}
+
+std::vector<VerifyResult>
+VerificationSession::verifyAll(const std::vector<std::string> &Properties,
+                               std::vector<std::string> *Errs) {
+  std::vector<VerifyResult> Rs(Properties.size());
+  std::vector<CtlRef> Fs(Properties.size(), nullptr);
+  std::vector<std::size_t> Valid;
+  if (Errs)
+    Errs->assign(Properties.size(), "");
+
+  // Parsing happens on the calling thread (the CTL manager is not
+  // synchronised); only the verification fans out.
+  for (std::size_t I = 0; I < Properties.size(); ++I) {
+    std::string Err;
+    CtlRef F = parseCtlString(Ctl, Properties[I], Err);
+    if (F == nullptr) {
+      Rs[I].Failure = {FailPhase::Parse, FailResource::Incomplete,
+                       Properties[I], Err};
+      if (Errs)
+        (*Errs)[I] = Err;
+      continue;
+    }
+    Fs[I] = F;
+    Valid.push_back(I);
+  }
+
+  TaskPool::configureGlobal(Opts.Jobs);
+  TaskPool::global().parallelFor(Valid.size(), [&](std::size_t J) {
+    std::size_t I = Valid[J];
+    Rs[I] = verify(Fs[I]);
+  });
+  return Rs;
+}

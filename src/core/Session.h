@@ -1,0 +1,142 @@
+//===- core/Session.h - Batch verification sessions -----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VerificationSession: the batch entry point over one program. A
+/// session owns what per-property Verifier instances would otherwise
+/// duplicate — the content-addressed SMT/QE query cache with its
+/// unsat-core subsumption index, the worker-pool configuration, and
+/// the optional disk-backed cache — and schedules many properties
+/// through them:
+///
+///   VerificationSession S(Prog, Opts);
+///   std::vector<VerifyResult> Rs = S.verifyAll({F1, F2, F3});
+///
+/// Properties verify concurrently across the global TaskPool; each
+/// property still runs the full prove/negate pipeline of
+/// Verifier::verify and returns an identical VerifyResult, but every
+/// formula any property discharges is a cache hit for all the others
+/// (CTL subformulas of related properties overlap heavily, and the
+/// transition-relation side of every query is shared outright).
+///
+/// With VerifierOptions::CacheDir (or CHUTE_CACHE_DIR) set, the
+/// session warm starts from the disk cache on construction and
+/// persists merged results on close() — see smt/DiskCache.h for the
+/// format and the soundness argument. Only definite verdicts
+/// persist; timed-out or budget-denied Unknowns never do.
+///
+/// Threading contract: verifyAll configures the pool before fanning
+/// out (resizing from inside a task would deadlock) and per-property
+/// Verifiers run with Jobs = 0, which inside a pool task is a no-op
+/// that keeps nested parallelism inline. The session itself is not
+/// re-entrant: issue verify/verifyAll calls from one thread at a
+/// time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_SESSION_H
+#define CHUTE_CORE_SESSION_H
+
+#include "core/Verifier.h"
+#include "smt/DiskCache.h"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chute {
+
+/// Aggregate activity of one session (monotone; read via stats()).
+struct VerificationSessionStats {
+  std::uint64_t Properties = 0; ///< verify() calls completed
+  double Seconds = 0.0;         ///< wall time inside verify calls
+  QueryCacheStats Cache;        ///< shared-cache activity (lifetime)
+  DiskCacheStats Disk;          ///< load/save activity (lifetime)
+};
+
+/// Verifies batches of CTL properties of one program through shared
+/// solver state and an optional disk-backed cross-run cache.
+class VerificationSession {
+public:
+  /// \p Source is the un-lifted program (exactly as for Verifier).
+  /// Environment overrides are resolved here, once; the disk cache —
+  /// when configured — is loaded here too, so even the first verify
+  /// call runs warm.
+  explicit VerificationSession(const Program &Source,
+                               VerifierOptions Options = VerifierOptions());
+  ~VerificationSession();
+
+  VerificationSession(const VerificationSession &) = delete;
+  VerificationSession &operator=(const VerificationSession &) = delete;
+
+  /// Verifies one property (sharing the session cache).
+  VerifyResult verify(CtlRef F);
+
+  /// Parses \p Property in this session's CTL manager and verifies
+  /// it. Parse errors return Unknown with \p Err set.
+  VerifyResult verify(const std::string &Property, std::string &Err);
+
+  /// Verifies every property, scheduling them concurrently across
+  /// the global TaskPool when it is parallel. Results line up with
+  /// \p Fs. Equivalent to (but never weaker than) calling verify()
+  /// per property: verdicts are identical, only shared-cache reuse
+  /// and scheduling differ.
+  std::vector<VerifyResult> verifyAll(const std::vector<CtlRef> &Fs);
+
+  /// Parse-and-verify batch. A property that fails to parse yields
+  /// Unknown with a Parse failure in its result (and \p Errs[i] set
+  /// when \p Errs is non-null); the rest still verify.
+  std::vector<VerifyResult>
+  verifyAll(const std::vector<std::string> &Properties,
+            std::vector<std::string> *Errs = nullptr);
+
+  /// The CTL manager to build/parse properties in. Backed by the
+  /// program's ExprContext, so its formulas are valid for verify().
+  CtlManager &ctl() { return Ctl; }
+
+  /// Flushes the shared cache to the disk cache (when configured)
+  /// and detaches it. Idempotent; the destructor calls it. Returns
+  /// true when a file was written.
+  bool close();
+
+  VerificationSessionStats stats() const;
+
+  /// The resolved options every per-property Verifier runs under.
+  const VerifierOptions &options() const { return Opts; }
+
+  /// This session's program key in the disk cache ("" when no cache
+  /// directory is configured).
+  const std::string &programKey() const { return ProgKey; }
+
+private:
+  /// Takes an idle Verifier (constructing one on first use per
+  /// concurrency slot) and runs \p Fn on it.
+  VerifyResult withVerifier(const std::function<VerifyResult(Verifier &)> &Fn);
+
+  const Program &Source;
+  VerifierOptions Opts; ///< resolved; SharedCache always set
+  std::shared_ptr<QueryCache> Shared;
+  CtlManager Ctl;
+
+  /// Idle per-slot Verifiers; verifyAll re-acquires them across
+  /// properties so at most one exists per concurrent task.
+  std::mutex VerifiersMu;
+  std::vector<std::unique_ptr<Verifier>> Idle;
+
+  std::unique_ptr<DiskCache> Disk; ///< null when no cache dir
+  std::string ProgKey;
+  bool Closed = false;
+
+  mutable std::mutex StatsMu;
+  std::uint64_t Properties = 0;
+  double Seconds = 0.0;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CORE_SESSION_H

@@ -1,0 +1,44 @@
+//===- core/Verdict.h - The one verdict enum ------------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single verdict vocabulary shared by every result type in the
+/// pipeline. Historically `Verifier` and the refinement loop each
+/// carried their own three-valued status enum; they are unified here
+/// so results compose without translation tables:
+///
+///  - VerifyResult uses Proved / Disproved / Unknown (a failed proof
+///    attempt is never reported as a disproof);
+///  - RefineOutcome uses Proved / NotProved / Unknown (NotProved
+///    means a genuine-looking counterexample was found for THIS
+///    direction — the verifier may still disprove via the dual).
+///
+/// `RefineOutcome::Status` remains as a deprecated alias for one
+/// release so downstream code migrates mechanically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_VERDICT_H
+#define CHUTE_CORE_VERDICT_H
+
+#include <cstdint>
+
+namespace chute {
+
+/// Final and intermediate proof verdicts.
+enum class Verdict : std::uint8_t {
+  Proved,    ///< derivation found (and rcr obligations discharged)
+  Disproved, ///< the property's CTL negation was proved
+  NotProved, ///< refinement only: counterexample, no chute to blame
+  Unknown,   ///< gave up (incompleteness or resource limits)
+};
+
+/// Renders a verdict: "proved", "disproved", "not-proved", "unknown".
+const char *toString(Verdict V);
+
+} // namespace chute
+
+#endif // CHUTE_CORE_VERDICT_H

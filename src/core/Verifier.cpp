@@ -16,6 +16,8 @@ const char *chute::toString(Verdict V) {
     return "proved";
   case Verdict::Disproved:
     return "disproved";
+  case Verdict::NotProved:
+    return "not-proved";
   case Verdict::Unknown:
     return "unknown";
   }
@@ -23,9 +25,20 @@ const char *chute::toString(Verdict V) {
 }
 
 Verifier::Verifier(const Program &Source, VerifierOptions Options)
-    : Opts(Options), LP(liftNondeterminism(Source)),
-      Solver(Source.exprContext(), Options.SmtTimeoutMs), Qe(Solver),
-      Ts(*LP.Prog, Solver, Qe), Ctl(Source.exprContext()) {}
+    : Opts(resolveEnvOverrides(std::move(Options))),
+      LP(liftNondeterminism(Source)),
+      Solver(Source.exprContext(), Opts.SmtTimeoutMs, Opts.SharedCache),
+      Qe(Solver), Ts(*LP.Prog, Solver, Qe), Ctl(Source.exprContext()) {
+  if (Opts.Incremental)
+    Solver.setIncremental(*Opts.Incremental);
+  if (Opts.Trace) {
+    obs::Tracer &T = obs::Tracer::global();
+    if (*Opts.Trace == obs::TraceLevel::Off)
+      T.disable();
+    else
+      T.enable(*Opts.Trace, Opts.TracePath.value_or(T.chromePath()));
+  }
+}
 
 namespace {
 
@@ -51,6 +64,8 @@ QueryCacheStats cacheDelta(const QueryCacheStats &Now,
   D.CoreInserts = Now.CoreInserts - Then.CoreInserts;
   D.CoreHits = Now.CoreHits - Then.CoreHits;
   D.Retired = Now.Retired - Then.Retired;
+  D.WarmLoaded = Now.WarmLoaded - Then.WarmLoaded;
+  D.WarmHits = Now.WarmHits - Then.WarmHits;
   return D;
 }
 

@@ -18,45 +18,18 @@
 #define CHUTE_CORE_VERIFIER_H
 
 #include "core/ChuteRefiner.h"
+#include "core/Options.h"
 #include "core/ProofChecker.h"
+#include "core/Verdict.h"
 #include "obs/TraceSummary.h"
 #include "program/NondetLifting.h"
 #include "support/Stopwatch.h"
 
 namespace chute {
 
-/// Final verdicts.
-enum class Verdict { Proved, Disproved, Unknown };
-
-const char *toString(Verdict V);
-
 namespace obs {
 class Span;
 } // namespace obs
-
-/// Options for the whole pipeline.
-struct VerifierOptions {
-  RefinerOptions Refiner;
-  unsigned SmtTimeoutMs = 3000;
-  bool TryNegation = true; ///< attempt to disprove via the dual
-
-  /// Wall-clock budget for one verify() call in milliseconds; 0
-  /// means unlimited (the pre-governor behaviour). With a budget,
-  /// per-SMT-query timeouts are derived from the remaining time and
-  /// exhaustion degrades cleanly to Unknown with a FailureInfo.
-  unsigned BudgetMs = 0;
-  /// Fraction of the budget reserved for proving the property
-  /// itself; the rest (plus whatever the proof attempt left unused)
-  /// goes to the negation attempt.
-  double PrimaryShare = 0.6;
-  /// Backoff schedule for Unknown SMT answers.
-  RetryPolicy Retry;
-  /// Worker threads for the parallel proof engine: independent
-  /// proof obligations and SMT discharge batches fan out over this
-  /// many threads (each with its own Z3 context). 0 defers to
-  /// CHUTE_JOBS / the existing global pool; 1 is fully sequential.
-  unsigned Jobs = 0;
-};
 
 /// Result of one verification run.
 struct VerifyResult {

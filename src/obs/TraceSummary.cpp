@@ -70,6 +70,12 @@ const char *chute::obs::toString(Counter C) {
     return "smt_inc_core_pruned";
   case Counter::SmtIncResets:
     return "smt_inc_resets";
+  case Counter::SmtDiskLoaded:
+    return "smt_disk_loaded";
+  case Counter::SmtDiskWarmHits:
+    return "smt_disk_warm_hits";
+  case Counter::SmtDiskRejects:
+    return "smt_disk_rejects";
   }
   return "?";
 }

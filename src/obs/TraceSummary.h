@@ -66,8 +66,11 @@ enum class Counter : std::uint8_t {
   SmtIncFallbacks,  ///< session Unknowns retried on fresh solvers
   SmtIncCorePruned, ///< queries answered by a cached unsat core
   SmtIncResets,     ///< session frames torn down (capacity/error)
+  SmtDiskLoaded,    ///< warm entries imported from the disk cache
+  SmtDiskWarmHits,  ///< queries answered by an imported entry
+  SmtDiskRejects,   ///< disk-cache files rejected (corrupt/mismatch)
 };
-inline constexpr unsigned NumCounters = 21;
+inline constexpr unsigned NumCounters = 24;
 
 const char *toString(Counter C);
 

@@ -1,0 +1,131 @@
+//===- smt/DiskCache.h - Disk-backed cross-run query cache ----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for the content-addressed QueryCache: a
+/// VerificationSession saves its cache's durable contents (definite
+/// Sat/Unsat verdicts, QE outputs, unsat cores) on close and warm
+/// starts the next run from them, so re-verifying the same program —
+/// after an edit elsewhere, in CI, across ablation sweeps — skips
+/// every query an earlier run already discharged.
+///
+/// Soundness rests on two facts. First, only verdicts that are
+/// properties of the formula alone are persisted: Sat/Unsat of a
+/// closed-form query and QE input/output pairs, never Unknowns
+/// (which encode a timeout or budget denial of some past run, not a
+/// fact). Second, expressions are rebuilt on load through the same
+/// normalising ExprContext smart constructors that built them
+/// originally (mk* is idempotent on its own output), so a record
+/// either re-attaches to the exact hash-consed node a new run will
+/// query, or rebuilds to an equivalent formula — in both cases the
+/// transferred verdict is true of the node it is keyed on.
+///
+/// On-disk format: one text file per program key under the cache
+/// directory, `qc-<key>.chute`. A versioned header carries the cache
+/// schema tag and the Z3 version that produced the verdicts (a Z3
+/// upgrade invalidates the file wholesale — cheap insurance against
+/// solver-bug asymmetries). The body is a deduplicated expression
+/// DAG (children precede parents) followed by the verdict/QE/core
+/// records over node ids. Writers replace the file atomically
+/// (temporary + fsync + rename) under an advisory lock; readers
+/// validate everything — header, counts, node references, verdict
+/// tokens — and reject the whole file on the first inconsistency,
+/// falling back to a cold cache and bumping a reject counter. A
+/// corrupt cache can cost time; it can never change a verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_DISKCACHE_H
+#define CHUTE_SMT_DISKCACHE_H
+
+#include "smt/QueryCache.h"
+
+#include <cstdint>
+#include <string>
+
+namespace chute {
+
+class ExprContext;
+
+/// Load/save activity of one DiskCache (monotone).
+struct DiskCacheStats {
+  std::uint64_t FilesLoaded = 0; ///< files accepted by load()
+  std::uint64_t FilesSaved = 0;  ///< files written by save()
+  std::uint64_t LoadRejects = 0; ///< files rejected (corrupt/mismatch)
+  std::uint64_t SatLoaded = 0;   ///< Sat/Unsat records imported
+  std::uint64_t QeLoaded = 0;    ///< QE records imported
+  std::uint64_t CoresLoaded = 0; ///< unsat cores imported
+  std::uint64_t SatSaved = 0;
+  std::uint64_t QeSaved = 0;
+  std::uint64_t CoresSaved = 0;
+
+  DiskCacheStats &operator+=(const DiskCacheStats &O) {
+    FilesLoaded += O.FilesLoaded;
+    FilesSaved += O.FilesSaved;
+    LoadRejects += O.LoadRejects;
+    SatLoaded += O.SatLoaded;
+    QeLoaded += O.QeLoaded;
+    CoresLoaded += O.CoresLoaded;
+    SatSaved += O.SatSaved;
+    QeSaved += O.QeSaved;
+    CoresSaved += O.CoresSaved;
+    return *this;
+  }
+};
+
+/// One cache directory. Stateless between calls apart from stats;
+/// safe to share a directory between processes (per-file advisory
+/// locks serialise load/save cycles).
+class DiskCache {
+public:
+  /// \p Dir is created (single level) on first save if missing.
+  explicit DiskCache(std::string Dir);
+
+  const std::string &dir() const { return Directory; }
+
+  /// Warm starts \p Cache from the file for \p ProgramKey, rebuilding
+  /// expressions in \p Ctx. Returns false (leaving \p Cache cold and
+  /// counting a reject where a file existed) when there is no file,
+  /// the header does not match this binary's schema/Z3 version, or
+  /// the contents fail validation. Never throws, never crashes on
+  /// garbage input.
+  bool load(const std::string &ProgramKey, ExprContext &Ctx,
+            QueryCache &Cache);
+
+  /// Serialises \p Cache's durable contents over the file for
+  /// \p ProgramKey (atomic replace). Timed-out/budget-denied
+  /// Unknowns are structurally absent from the snapshot.
+  bool save(const std::string &ProgramKey, QueryCache &Cache);
+
+  DiskCacheStats stats() const { return St; }
+
+  /// Stable content key for a program: FNV-1a (64-bit, hex) of its
+  /// printed form.
+  static std::string programKey(const std::string &ProgramText);
+
+  /// The file load/save use for \p ProgramKey inside \p Dir.
+  static std::string filePath(const std::string &Dir,
+                              const std::string &ProgramKey);
+
+  //===-- Testing hooks ----------------------------------------------===//
+  // The serialised text format, exposed so tests can corrupt it in
+  // controlled ways without knowing the framing.
+
+  static std::string serialize(const CacheSnapshot &S);
+
+  /// Parses \p Text into \p Out (expressions built in \p Ctx).
+  /// Strict: returns false on any malformation.
+  static bool deserialize(const std::string &Text, ExprContext &Ctx,
+                          CacheSnapshot &Out);
+
+private:
+  std::string Directory;
+  DiskCacheStats St;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_DISKCACHE_H

@@ -2,6 +2,8 @@
 
 #include "smt/QueryCache.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -68,18 +70,19 @@ void QueryCache::evictOne() {
 
 void QueryCache::insert(std::size_t H, EntryKind K, ExprRef Key,
                         SatResult R, ExprRef QeOut,
-                        std::uint32_t Epoch) {
+                        std::uint32_t Epoch, bool Warm) {
   if (Cap == 0)
     return;
   if (Entry *Existing = find(H, K, Key)) {
     Existing->Verdict = R;
     Existing->QeOut = QeOut;
     Existing->Epoch = Epoch;
+    Existing->Warm = Warm;
     return;
   }
   while (Lru.size() >= Cap)
     evictOne();
-  Lru.push_front(Entry{H, K, Key, R, QeOut, Epoch});
+  Lru.push_front(Entry{H, K, Key, R, QeOut, Epoch, Warm});
   Buckets[H].push_back(Lru.begin());
   ++St.Insertions;
 }
@@ -97,6 +100,10 @@ std::optional<SatResult> QueryCache::lookupSatWithHash(std::size_t H,
   std::lock_guard<std::mutex> Lock(Mu);
   if (Entry *Found = find(H, EntryKind::Sat, E)) {
     ++St.Hits;
+    if (Found->Warm) {
+      ++St.WarmHits;
+      obs::bump(obs::Counter::SmtDiskWarmHits);
+    }
     return Found->Verdict;
   }
   ++St.Misses;
@@ -117,6 +124,10 @@ std::optional<ExprRef> QueryCache::lookupQe(ExprRef E) {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Entry *Found = find(E->hash(), EntryKind::Qe, E)) {
     ++St.Hits;
+    if (Found->Warm) {
+      ++St.WarmHits;
+      obs::bump(obs::Counter::SmtDiskWarmHits);
+    }
     return Found->QeOut;
   }
   ++St.Misses;
@@ -133,6 +144,11 @@ void QueryCache::storeQe(ExprRef E, ExprRef Out) {
 
 void QueryCache::storeUnsatCore(std::vector<ExprRef> Core,
                                 std::uint32_t Epoch) {
+  storeCoreImpl(std::move(Core), Epoch, /*Warm=*/false);
+}
+
+void QueryCache::storeCoreImpl(std::vector<ExprRef> Core,
+                               std::uint32_t Epoch, bool Warm) {
   if (Cap == 0 || Core.empty() || Core.size() > MaxCoreSize)
     return;
   std::sort(Core.begin(), Core.end());
@@ -145,7 +161,7 @@ void QueryCache::storeUnsatCore(std::vector<ExprRef> Core,
       return; // already recorded
   if (Cores.size() >= CoreCap)
     Cores.pop_back();
-  Cores.push_front(CoreEntry{std::move(Core), Epoch});
+  Cores.push_front(CoreEntry{std::move(Core), Epoch, Warm});
   ++St.CoreInserts;
 }
 
@@ -168,11 +184,60 @@ bool QueryCache::subsumedUnsat(const std::vector<ExprRef> &Conjuncts) {
       // survive the bound longest.
       Cores.splice(Cores.begin(), Cores, It);
       ++St.CoreHits;
+      if (It->Warm) {
+        ++St.WarmHits;
+        obs::bump(obs::Counter::SmtDiskWarmHits);
+      }
       return true;
     }
     ++It;
   }
   return false;
+}
+
+CacheSnapshot QueryCache::exportAll() const {
+  CacheSnapshot S;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const Entry &E : Lru) {
+    if (E.Epoch != 0 && E.Epoch < MinIncEpoch)
+      continue; // retired generation: never persist a suspect verdict
+    if (E.Kind == EntryKind::Sat) {
+      if (E.Verdict != SatResult::Unknown)
+        S.Sat.push_back({E.Key, E.Verdict});
+    } else if (E.QeOut != nullptr) {
+      S.Qe.push_back({E.Key, E.QeOut});
+    }
+  }
+  for (const CoreEntry &C : Cores)
+    if (C.Epoch == 0 || C.Epoch >= MinIncEpoch)
+      S.Cores.push_back(C.Conjuncts);
+  return S;
+}
+
+void QueryCache::importWarm(const CacheSnapshot &S) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const CacheSnapshot::SatRecord &R : S.Sat) {
+      if (R.E == nullptr || R.R == SatResult::Unknown)
+        continue;
+      if (find(R.E->hash(), EntryKind::Sat, R.E) != nullptr)
+        continue; // this run already knows the verdict
+      insert(R.E->hash(), EntryKind::Sat, R.E, R.R, nullptr,
+             /*Epoch=*/0, /*Warm=*/true);
+      ++St.WarmLoaded;
+    }
+    for (const CacheSnapshot::QeRecord &R : S.Qe) {
+      if (R.In == nullptr || R.Out == nullptr)
+        continue;
+      if (find(R.In->hash(), EntryKind::Qe, R.In) != nullptr)
+        continue;
+      insert(R.In->hash(), EntryKind::Qe, R.In, SatResult::Unknown,
+             R.Out, /*Epoch=*/0, /*Warm=*/true);
+      ++St.WarmLoaded;
+    }
+  }
+  for (const std::vector<ExprRef> &Core : S.Cores)
+    storeCoreImpl(Core, /*Epoch=*/0, /*Warm=*/true);
 }
 
 void QueryCache::retireIncrementalBefore(std::uint32_t MinValid) {

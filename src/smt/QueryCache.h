@@ -44,6 +44,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace chute {
 
@@ -57,6 +58,8 @@ struct QueryCacheStats {
   std::uint64_t CoreInserts = 0; ///< unsat cores recorded
   std::uint64_t CoreHits = 0;    ///< queries subsumed by a core
   std::uint64_t Retired = 0;     ///< entries dropped by epoch retire
+  std::uint64_t WarmLoaded = 0;  ///< entries imported from disk
+  std::uint64_t WarmHits = 0;    ///< hits answered by imported entries
 
   double hitRate() const {
     std::uint64_t Lookups = Hits + Misses;
@@ -73,8 +76,30 @@ struct QueryCacheStats {
     CoreInserts += O.CoreInserts;
     CoreHits += O.CoreHits;
     Retired += O.Retired;
+    WarmLoaded += O.WarmLoaded;
+    WarmHits += O.WarmHits;
     return *this;
   }
+};
+
+/// A context-free image of a cache's durable contents, used by the
+/// disk cache to move verdicts between runs. Sat records carry only
+/// definite verdicts (Unknown is never exported), QE records only
+/// successful eliminations, cores only unretired ones.
+struct CacheSnapshot {
+  struct SatRecord {
+    ExprRef E = nullptr;
+    SatResult R = SatResult::Unknown;
+  };
+  struct QeRecord {
+    ExprRef In = nullptr;
+    ExprRef Out = nullptr;
+  };
+  std::vector<SatRecord> Sat;
+  std::vector<QeRecord> Qe;
+  std::vector<std::vector<ExprRef>> Cores;
+
+  bool empty() const { return Sat.empty() && Qe.empty() && Cores.empty(); }
 };
 
 /// Thread-safe LRU cache of SMT verdicts and QE results.
@@ -130,6 +155,23 @@ public:
   /// entries (epoch 0) are never retired.
   void retireIncrementalBefore(std::uint32_t MinValid);
 
+  //===-- Warm start (disk cache) ------------------------------------===//
+  // The disk-backed cache (smt/DiskCache.h) round-trips a cache
+  // through these. Imported entries are tagged warm; a hit on one
+  // additionally counts WarmHits (and the SmtDiskWarmHits trace
+  // counter), which is how the bench harness proves a warm run
+  // actually consumed the previous run's work.
+
+  /// Every durable entry: definite Sat verdicts, QE outputs, and
+  /// unretired cores. Retired-epoch entries are skipped.
+  CacheSnapshot exportAll() const;
+
+  /// Inserts \p S's records as warm entries under epoch 0 (a
+  /// serialized verdict is definite, so it is valid independent of
+  /// any incremental session generation). Existing entries for the
+  /// same formula are left in place.
+  void importWarm(const CacheSnapshot &S);
+
   /// Drops every entry (stats are kept).
   void clear();
 
@@ -155,6 +197,8 @@ private:
     /// 0 = one-shot (always valid); else the incremental session
     /// generation the verdict came from.
     std::uint32_t Epoch = 0;
+    /// Imported from the disk cache (hits count WarmHits).
+    bool Warm = false;
   };
 
   /// One recorded unsat core: conjuncts sorted by pointer identity so
@@ -162,6 +206,7 @@ private:
   struct CoreEntry {
     std::vector<ExprRef> Conjuncts;
     std::uint32_t Epoch = 0;
+    bool Warm = false;
   };
 
   using LruList = std::list<Entry>;
@@ -174,7 +219,11 @@ private:
 
   /// Inserts or overwrites (H, Kind, Key). Caller holds Mu.
   void insert(std::size_t H, EntryKind K, ExprRef Key, SatResult R,
-              ExprRef QeOut, std::uint32_t Epoch);
+              ExprRef QeOut, std::uint32_t Epoch, bool Warm = false);
+
+  /// storeUnsatCore with the warm flag. Caller does NOT hold Mu.
+  void storeCoreImpl(std::vector<ExprRef> Core, std::uint32_t Epoch,
+                     bool Warm);
 
   /// Evicts the least-recently-used entry. Caller holds Mu.
   void evictOne();

@@ -5,22 +5,25 @@
 #include "obs/Trace.h"
 #include "smt/Z3Translate.h"
 #include "support/Debug.h"
+#include "support/Env.h"
 #include "support/TaskPool.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <string_view>
 
 using namespace chute;
 
+// Bare-facade default; Verifier/VerificationSession override this
+// from the resolved VerifierOptions (see core/Options.h).
 static bool incrementalDefault() {
-  const char *V = std::getenv("CHUTE_INCREMENTAL");
-  return V == nullptr || std::string_view(V) != "0";
+  return envFlag("CHUTE_INCREMENTAL").value_or(true);
 }
 
-Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs)
+Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs,
+         std::shared_ptr<QueryCache> Shared)
     : Ctx(Ctx), TimeoutMs(TimeoutMs),
-      Incremental(incrementalDefault()) {}
+      Incremental(incrementalDefault()),
+      Cache(Shared ? std::move(Shared)
+                   : std::make_shared<QueryCache>()) {}
 
 Smt::~Smt() = default;
 
@@ -109,7 +112,7 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   // Cache probe. A model-requesting query can only use a cached
   // Unsat (models are not memoized); a cached Sat still runs the
   // solver below to obtain the assignment.
-  if (std::optional<SatResult> Cached = Cache.lookupSat(E)) {
+  if (std::optional<SatResult> Cached = Cache->lookupSat(E)) {
     if (!WantModel || *Cached == SatResult::Unsat) {
       ++Delta.CacheHits;
       Sp.setOutcome("cache-hit");
@@ -168,7 +171,7 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
         ++Delta.Recovered;
       if (R == SatResult::Sat && WantModel)
         *ModelOut = Solver.getModel(freeVars(E));
-      Cache.storeSat(E, R);
+      Cache->storeSat(E, R);
       Sp.setOutcome(R == SatResult::Sat ? "sat" : "unsat");
       return Commit(R);
     }
@@ -200,7 +203,7 @@ SatResult Smt::runIncremental(ExprRef E, unsigned T, bool &CoreHit) {
   else
     Conjuncts.push_back(E);
 
-  if (Cache.subsumedUnsat(Conjuncts)) {
+  if (Cache->subsumedUnsat(Conjuncts)) {
     // A recorded unsat core is a subset of this conjunct set: Unsat
     // by monotonicity, no solver involved.
     CoreHit = true;
@@ -225,15 +228,15 @@ SatResult Smt::runIncremental(ExprRef E, unsigned T, bool &CoreHit) {
     // erroring check itself already answered Unknown.)
     std::uint32_t NewEpoch =
         IncEpoch.fetch_add(1, std::memory_order_relaxed) + 1;
-    Cache.retireIncrementalBefore(NewEpoch);
+    Cache->retireIncrementalBefore(NewEpoch);
   }
 
   if (R == SatResult::Unknown)
     return R;
   std::uint32_t Epoch = IncEpoch.load(std::memory_order_relaxed);
-  Cache.storeSat(E, R, Epoch);
+  Cache->storeSat(E, R, Epoch);
   if (R == SatResult::Unsat && !Core.empty())
-    Cache.storeUnsatCore(std::move(Core), Epoch);
+    Cache->storeUnsatCore(std::move(Core), Epoch);
   return R;
 }
 
@@ -290,7 +293,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
 
   // QE outputs are deterministic given the input formula, so a prior
   // successful elimination answers immediately.
-  if (std::optional<ExprRef> Cached = Cache.lookupQe(E)) {
+  if (std::optional<ExprRef> Cached = Cache->lookupQe(E)) {
     Sp.setOutcome("cache-hit");
     obs::bump(obs::Counter::SmtCacheHits);
     std::lock_guard<std::mutex> Lock(StatsMu);
@@ -356,7 +359,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   Z3_tactic_dec_ref(C, Simp);
   Z3_tactic_dec_ref(C, Qe);
   if (Result)
-    Cache.storeQe(E, *Result);
+    Cache->storeQe(E, *Result);
   Sp.setOutcome(Result ? "ok" : "fail");
   Sp.setBudgetRemainingMs(Governor.isUnlimited() ? -1
                                                  : Governor.remainingMs());

@@ -92,7 +92,14 @@ struct RetryStats {
 /// true only for genuine Sat.
 class Smt {
 public:
-  explicit Smt(ExprContext &Ctx, unsigned TimeoutMs = 10000);
+  /// \p Shared, when non-null, is used as this facade's query cache
+  /// instead of a private one — the mechanism VerificationSession
+  /// uses to share one content-addressed store (verdicts, QE
+  /// outputs, unsat cores) across the Verifiers of many properties.
+  /// The cache is keyed on hash-consed pointers, so every facade
+  /// sharing it must wrap the same ExprContext.
+  explicit Smt(ExprContext &Ctx, unsigned TimeoutMs = 10000,
+               std::shared_ptr<QueryCache> Shared = nullptr);
   ~Smt();
 
   ExprContext &exprContext() { return Ctx; }
@@ -163,9 +170,12 @@ public:
   /// Aggregate over all phases.
   RetryStats totalRetryStats() const;
 
-  /// The memoized-verdict cache shared by all threads of this facade.
-  QueryCache &queryCache() { return Cache; }
-  QueryCacheStats cacheStats() const { return Cache.stats(); }
+  /// The memoized-verdict cache shared by all threads of this facade
+  /// (and, under a VerificationSession, by sibling facades).
+  QueryCache &queryCache() { return *Cache; }
+  QueryCacheStats cacheStats() const { return Cache->stats(); }
+  /// The owning handle, for callers that outlive this facade.
+  std::shared_ptr<QueryCache> queryCachePtr() const { return Cache; }
 
   //===-- Incremental sessions ---------------------------------------===//
   // Each worker thread owns a persistent SmtSession next to its
@@ -239,7 +249,9 @@ private:
   std::map<FailPhase, RetryStats> Stats;
   std::atomic<std::uint64_t> NumQueries{0};
 
-  QueryCache Cache;
+  /// Never null; either private to this facade or shared by a
+  /// session across facades (QueryCache is internally thread-safe).
+  std::shared_ptr<QueryCache> Cache;
 };
 
 /// RAII phase label for a batch of queries.

@@ -1,0 +1,44 @@
+//===- support/Env.cpp - Typed environment-variable readers ----------------===//
+
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace chute;
+
+std::optional<std::string> chute::envString(const char *Name) {
+  const char *V = std::getenv(Name);
+  if (V == nullptr || V[0] == '\0')
+    return std::nullopt;
+  return std::string(V);
+}
+
+std::optional<unsigned> chute::envUnsigned(const char *Name) {
+  std::optional<std::string> V = envString(Name);
+  if (!V)
+    return std::nullopt;
+  const std::string &S = *V;
+  if (S.empty() ||
+      !std::all_of(S.begin(), S.end(),
+                   [](unsigned char C) { return std::isdigit(C); }))
+    return std::nullopt;
+  errno = 0;
+  unsigned long N = std::strtoul(S.c_str(), nullptr, 10);
+  if (errno != 0 || N > 0xffffffffUL)
+    return std::nullopt;
+  return static_cast<unsigned>(N);
+}
+
+std::optional<bool> chute::envFlag(const char *Name) {
+  std::optional<std::string> V = envString(Name);
+  if (!V)
+    return std::nullopt;
+  std::string S = *V;
+  std::transform(S.begin(), S.end(), S.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return !(S == "0" || S == "false" || S == "off" || S == "no");
+}

@@ -1,0 +1,41 @@
+//===- support/Env.h - Typed environment-variable readers -----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one set of helpers every CHUTE_* environment knob goes
+/// through. Call sites that keep their own getenv for bootstrap
+/// reasons (the tracer reads CHUTE_TRACE before any options object
+/// exists, the thread pool reads CHUTE_JOBS on lazy creation) use
+/// these helpers too, so parsing rules — what counts as "set", what
+/// counts as "off" — are identical everywhere. The documented entry
+/// point that applies the knobs as option overrides is
+/// resolveEnvOverrides() in core/Options.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_ENV_H
+#define CHUTE_SUPPORT_ENV_H
+
+#include <optional>
+#include <string>
+
+namespace chute {
+
+/// The raw value of \p Name, or nullopt when unset. An empty value
+/// counts as unset (mirrors how shells clear a knob).
+std::optional<std::string> envString(const char *Name);
+
+/// \p Name parsed as a non-negative integer; nullopt when unset or
+/// not a number. Zero is a valid value.
+std::optional<unsigned> envUnsigned(const char *Name);
+
+/// \p Name parsed as a boolean: "0", "false", "off", "no" (any case)
+/// are false, anything else set is true; nullopt when unset.
+std::optional<bool> envFlag(const char *Name);
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_ENV_H

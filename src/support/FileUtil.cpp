@@ -1,0 +1,93 @@
+//===- support/FileUtil.cpp - File I/O and locking helpers -----------------===//
+
+#include "support/FileUtil.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace chute;
+
+std::optional<std::string> chute::readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (F == nullptr)
+    return std::nullopt;
+  std::string Out;
+  char Buf[1 << 14];
+  for (;;) {
+    std::size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+    Out.append(Buf, N);
+    if (N < sizeof(Buf))
+      break;
+  }
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!Ok)
+    return std::nullopt;
+  return Out;
+}
+
+bool chute::atomicWriteFile(const std::string &Path,
+                            const std::string &Contents) {
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  const char *P = Contents.data();
+  std::size_t Left = Contents.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    P += N;
+    Left -= static_cast<std::size_t>(N);
+  }
+  // Data must be durable before the rename publishes it, or a crash
+  // could leave the published name pointing at truncated content.
+  if (::fsync(Fd) != 0 || ::close(Fd) != 0 ||
+      ::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool chute::ensureDir(const std::string &Path) {
+  if (Path.empty())
+    return false;
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat St;
+    return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+  }
+  return false;
+}
+
+FileLock::FileLock(const std::string &Path) {
+  Fd = ::open(Path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (Fd < 0)
+    return;
+  while (::flock(Fd, LOCK_EX) != 0) {
+    if (errno != EINTR) {
+      ::close(Fd);
+      Fd = -1;
+      return;
+    }
+  }
+}
+
+FileLock::~FileLock() {
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+  }
+}

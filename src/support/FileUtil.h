@@ -1,0 +1,63 @@
+//===- support/FileUtil.h - File I/O and locking helpers ------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small file helpers for the disk-backed caches: whole-file
+/// read/write, crash-safe atomic replacement (write to a
+/// pid-distinct temporary, fsync, rename), directory creation, and
+/// an advisory inter-process lock so two chute processes sharing one
+/// CHUTE_CACHE_DIR serialise their load-merge-save cycles instead of
+/// interleaving them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_FILEUTIL_H
+#define CHUTE_SUPPORT_FILEUTIL_H
+
+#include <optional>
+#include <string>
+
+namespace chute {
+
+/// Reads the whole file at \p Path; nullopt when it cannot be opened
+/// or read.
+std::optional<std::string> readFile(const std::string &Path);
+
+/// Replaces \p Path with \p Contents atomically: the data lands in a
+/// temporary in the same directory first, is fsynced, then renamed
+/// over \p Path, so readers see either the old or the new file and
+/// never a torn write. Returns false when any step fails (the
+/// temporary is cleaned up).
+bool atomicWriteFile(const std::string &Path, const std::string &Contents);
+
+/// Creates \p Path as a directory if it does not exist (single
+/// level, parents must exist — cache dirs are user-supplied).
+/// Returns true when the directory exists afterwards.
+bool ensureDir(const std::string &Path);
+
+/// Advisory exclusive lock on \p Path (the file is created when
+/// missing and never deleted). Blocks until acquired. Moveable, not
+/// copyable; the destructor releases.
+class FileLock {
+public:
+  explicit FileLock(const std::string &Path);
+  ~FileLock();
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// True when the lock was actually acquired; false means the lock
+  /// file could not be opened and the caller proceeds unlocked (a
+  /// degraded but safe mode — writes are still atomic renames).
+  bool held() const { return Fd >= 0; }
+
+private:
+  int Fd = -1;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_FILEUTIL_H

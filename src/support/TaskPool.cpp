@@ -3,6 +3,7 @@
 #include "support/TaskPool.h"
 
 #include "obs/Trace.h"
+#include "support/Env.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -160,12 +161,8 @@ std::unique_ptr<TaskPool> GlobalPool;
 } // namespace
 
 unsigned TaskPool::defaultJobs() {
-  if (const char *E = std::getenv("CHUTE_JOBS")) {
-    int N = std::atoi(E);
-    if (N > 0)
-      return static_cast<unsigned>(N);
-  }
-  return 1;
+  std::optional<unsigned> N = envUnsigned("CHUTE_JOBS");
+  return N && *N > 0 ? *N : 1;
 }
 
 TaskPool &TaskPool::global() {

@@ -1,0 +1,261 @@
+//===- tests/DiskCacheTest.cpp - Disk-backed cache tests -----------------------===//
+//
+// Round-trip and corruption tests for the disk-backed query cache.
+// The contract under attack: a warm start must transfer verdicts
+// exactly (rebuilt in a fresh ExprContext they re-attach to the
+// hash-consed nodes a new run queries), Unknowns must be
+// unrepresentable on disk, and a damaged file must mean a cold cache
+// plus a bumped reject counter — never a crash, never a verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/DiskCache.h"
+
+#include "expr/ExprParser.h"
+#include "support/FileUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace chute;
+
+namespace {
+
+class DiskCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/chute-diskcache-XXXXXX";
+    char *D = mkdtemp(Template);
+    ASSERT_NE(D, nullptr);
+    Dir = D;
+  }
+
+  void TearDown() override {
+    if (DIR *D = opendir(Dir.c_str())) {
+      while (dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  ExprRef formula(ExprContext &Ctx, const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  /// A quantified formula (QE inputs are): exists rho1. rho1 > 0 &&
+  /// x > rho1. The surface parser has no quantifier syntax, so build
+  /// it through the constructors.
+  ExprRef qeInput(ExprContext &Ctx) {
+    ExprRef Rho = Ctx.mkVar("rho1");
+    ExprRef Body = Ctx.mkAnd(Ctx.mkGt(Rho, Ctx.mkInt(0)),
+                             Ctx.mkGt(Ctx.mkVar("x"), Rho));
+    return Ctx.mkExists({Rho}, Body);
+  }
+
+  /// A populated cache: two verdicts, one QE pair, one core.
+  void populate(ExprContext &Ctx, QueryCache &Cache) {
+    Cache.storeSat(formula(Ctx, "x > 0"), SatResult::Sat);
+    Cache.storeSat(formula(Ctx, "x > 0 && x < 0"), SatResult::Unsat);
+    Cache.storeQe(qeInput(Ctx), formula(Ctx, "x > 1"));
+    Cache.storeUnsatCore({formula(Ctx, "x > 2"), formula(Ctx, "x < 1")},
+                         /*Epoch=*/0);
+  }
+
+  std::string Dir;
+};
+
+TEST_F(DiskCacheTest, SaveThenLoadRoundTripsVerdicts) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  populate(Ctx, Cache);
+
+  DiskCache Disk(Dir);
+  ASSERT_TRUE(Disk.save("prog1", Cache));
+  EXPECT_EQ(Disk.stats().FilesSaved, 1u);
+  EXPECT_EQ(Disk.stats().SatSaved, 2u);
+  EXPECT_EQ(Disk.stats().QeSaved, 1u);
+  EXPECT_EQ(Disk.stats().CoresSaved, 1u);
+
+  // A warm start in the same context: verdicts answer immediately.
+  QueryCache Fresh;
+  ASSERT_TRUE(Disk.load("prog1", Ctx, Fresh));
+  EXPECT_EQ(Disk.stats().FilesLoaded, 1u);
+  EXPECT_EQ(Disk.stats().LoadRejects, 0u);
+
+  auto Sat = Fresh.lookupSat(formula(Ctx, "x > 0"));
+  ASSERT_TRUE(Sat.has_value());
+  EXPECT_EQ(*Sat, SatResult::Sat);
+  auto Unsat = Fresh.lookupSat(formula(Ctx, "x > 0 && x < 0"));
+  ASSERT_TRUE(Unsat.has_value());
+  EXPECT_EQ(*Unsat, SatResult::Unsat);
+  EXPECT_TRUE(Fresh.subsumedUnsat({formula(Ctx, "x > 2"),
+                                   formula(Ctx, "x < 1"),
+                                   formula(Ctx, "x == 5")}));
+  EXPECT_GE(Fresh.stats().WarmHits, 2u);
+}
+
+TEST_F(DiskCacheTest, LoadIntoFreshContextReattaches) {
+  // The cross-run case: the loading process built its expressions
+  // from scratch, so the file's nodes must rebuild through the new
+  // context's normalising constructors and still answer lookups for
+  // formulas parsed there.
+  std::string Key;
+  {
+    ExprContext Ctx;
+    QueryCache Cache;
+    populate(Ctx, Cache);
+    DiskCache Disk(Dir);
+    Key = DiskCache::programKey("some program text");
+    ASSERT_TRUE(Disk.save(Key, Cache));
+  }
+
+  ExprContext Ctx2;
+  QueryCache Warm;
+  DiskCache Disk2(Dir);
+  ASSERT_TRUE(Disk2.load(Key, Ctx2, Warm));
+  EXPECT_EQ(Warm.stats().WarmLoaded, 3u); // 2 Sat + 1 QE
+
+  auto Sat = Warm.lookupSat(formula(Ctx2, "x > 0"));
+  ASSERT_TRUE(Sat.has_value());
+  EXPECT_EQ(*Sat, SatResult::Sat);
+  auto Qe = Warm.lookupQe(qeInput(Ctx2));
+  ASSERT_TRUE(Qe.has_value());
+  EXPECT_EQ(*Qe, formula(Ctx2, "x > 1"));
+}
+
+TEST_F(DiskCacheTest, UnknownIsUnrepresentableOnDisk) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  Cache.storeSat(formula(Ctx, "x > 0"), SatResult::Unknown); // ignored
+  Cache.storeSat(formula(Ctx, "x > 1"), SatResult::Sat);
+
+  DiskCache Disk(Dir);
+  ASSERT_TRUE(Disk.save("prog", Cache));
+  std::optional<std::string> Text =
+      readFile(DiskCache::filePath(Dir, "prog"));
+  ASSERT_TRUE(Text.has_value());
+  EXPECT_EQ(Text->find("unknown"), std::string::npos);
+}
+
+TEST_F(DiskCacheTest, EmptyCacheSavesNothing) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  DiskCache Disk(Dir);
+  EXPECT_FALSE(Disk.save("prog", Cache));
+  EXPECT_EQ(Disk.stats().FilesSaved, 0u);
+}
+
+TEST_F(DiskCacheTest, MissingFileIsColdNotReject) {
+  ExprContext Ctx;
+  QueryCache Cache;
+  DiskCache Disk(Dir);
+  EXPECT_FALSE(Disk.load("nothing-here", Ctx, Cache));
+  EXPECT_EQ(Disk.stats().LoadRejects, 0u);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+class DiskCacheCorruption : public DiskCacheTest {
+protected:
+  /// Saves a populated cache and returns its file's contents.
+  std::string savedText() {
+    ExprContext Ctx;
+    QueryCache Cache;
+    populate(Ctx, Cache);
+    DiskCache Disk(Dir);
+    EXPECT_TRUE(Disk.save("prog", Cache));
+    std::optional<std::string> Text =
+        readFile(DiskCache::filePath(Dir, "prog"));
+    EXPECT_TRUE(Text.has_value());
+    return Text.value_or("");
+  }
+
+  /// Writes \p Text as the cache file and expects load to reject it
+  /// into a still-cold cache.
+  void expectReject(const std::string &Text) {
+    ASSERT_TRUE(
+        atomicWriteFile(DiskCache::filePath(Dir, "prog"), Text));
+    ExprContext Ctx;
+    QueryCache Cache;
+    DiskCache Disk(Dir);
+    EXPECT_FALSE(Disk.load("prog", Ctx, Cache));
+    EXPECT_EQ(Disk.stats().LoadRejects, 1u);
+    EXPECT_EQ(Disk.stats().FilesLoaded, 0u);
+    EXPECT_EQ(Cache.size(), 0u);
+    EXPECT_EQ(Cache.stats().WarmLoaded, 0u);
+  }
+};
+
+TEST_F(DiskCacheCorruption, TruncatedFileIsRejected) {
+  std::string Text = savedText();
+  expectReject(Text.substr(0, Text.size() / 2));
+}
+
+TEST_F(DiskCacheCorruption, GarbageFileIsRejected) {
+  expectReject("not a cache file\n\x01\x02\xff binary junk\n");
+}
+
+TEST_F(DiskCacheCorruption, EmptyFileIsRejected) { expectReject(""); }
+
+TEST_F(DiskCacheCorruption, VersionMismatchIsRejected) {
+  std::string Text = savedText();
+  // The header's schema tag is the first token after the magic.
+  std::size_t Nl = Text.find('\n');
+  ASSERT_NE(Nl, std::string::npos);
+  expectReject("CHUTE-QC 9999 z9.99.99\n" + Text.substr(Nl + 1));
+}
+
+TEST_F(DiskCacheCorruption, TamperedVerdictTokenIsRejected) {
+  std::string Text = savedText();
+  std::size_t Pos = Text.find(" unsat");
+  ASSERT_NE(Pos, std::string::npos);
+  expectReject(Text.substr(0, Pos) + " maybe" + Text.substr(Pos + 6));
+}
+
+TEST_F(DiskCacheCorruption, DanglingNodeReferenceIsRejected) {
+  std::string Text = savedText();
+  // Point a Sat record at a node id that was never defined.
+  std::size_t Pos = Text.find("\nS ");
+  ASSERT_NE(Pos, std::string::npos);
+  std::size_t End = Text.find(' ', Pos + 3);
+  ASSERT_NE(End, std::string::npos);
+  expectReject(Text.substr(0, Pos) + "\nS 999999" + Text.substr(End));
+}
+
+TEST_F(DiskCacheCorruption, TrailingGarbageIsRejected) {
+  expectReject(savedText() + "trailing nonsense\n");
+}
+
+TEST_F(DiskCacheCorruption, SerializeDeserializeIsStrict) {
+  // The testing hooks agree with load/save: deserialize accepts the
+  // exact serialized text and rejects a one-byte corruption.
+  ExprContext Ctx;
+  QueryCache Cache;
+  populate(Ctx, Cache);
+  std::string Text = DiskCache::serialize(Cache.exportAll());
+
+  ExprContext Ctx2;
+  CacheSnapshot Out;
+  EXPECT_TRUE(DiskCache::deserialize(Text, Ctx2, Out));
+  EXPECT_EQ(Out.Sat.size(), 2u);
+  EXPECT_EQ(Out.Qe.size(), 1u);
+  EXPECT_EQ(Out.Cores.size(), 1u);
+
+  // Dropping the last record line breaks the header's counts.
+  std::size_t LastNl = Text.rfind('\n', Text.size() - 2);
+  ASSERT_NE(LastNl, std::string::npos);
+  CacheSnapshot Out2;
+  EXPECT_FALSE(
+      DiskCache::deserialize(Text.substr(0, LastNl + 1), Ctx2, Out2));
+}
+
+} // namespace

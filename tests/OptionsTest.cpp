@@ -1,0 +1,133 @@
+//===- tests/OptionsTest.cpp - Env-override precedence tests -------------------===//
+//
+// resolveEnvOverrides is the one place CHUTE_* knobs become option
+// values; these tests pin the precedence contract: an explicitly set
+// option always wins, the environment fills only defaults, and an
+// unset knob leaves the default untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Options.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+/// Sets (or clears, for nullptr) an environment variable for one
+/// test and restores the previous value on destruction, so the suite
+/// stays order-independent.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
+      Saved = Old;
+    if (Value != nullptr)
+      ::setenv(Name, Value, 1);
+    else
+      ::unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (Saved)
+      ::setenv(Name, Saved->c_str(), 1);
+    else
+      ::unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+TEST(OptionsTest, EnvFillsUnsetDefaults) {
+  ScopedEnv Budget("CHUTE_BUDGET_MS", "1500");
+  ScopedEnv Inc("CHUTE_INCREMENTAL", "0");
+  ScopedEnv Dir("CHUTE_CACHE_DIR", "/tmp/qc");
+
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_EQ(O.BudgetMs, 1500u);
+  ASSERT_TRUE(O.Incremental.has_value());
+  EXPECT_FALSE(*O.Incremental);
+  ASSERT_TRUE(O.CacheDir.has_value());
+  EXPECT_EQ(*O.CacheDir, "/tmp/qc");
+}
+
+TEST(OptionsTest, ExplicitValuesBeatTheEnvironment) {
+  ScopedEnv Budget("CHUTE_BUDGET_MS", "1500");
+  ScopedEnv Inc("CHUTE_INCREMENTAL", "0");
+  ScopedEnv Dir("CHUTE_CACHE_DIR", "/tmp/env-dir");
+
+  VerifierOptions In;
+  In.BudgetMs = 250;
+  In.Incremental = true;
+  In.CacheDir = "/tmp/explicit-dir";
+  VerifierOptions O = resolveEnvOverrides(std::move(In));
+  EXPECT_EQ(O.BudgetMs, 250u);
+  EXPECT_TRUE(O.Incremental.has_value() && *O.Incremental);
+  EXPECT_EQ(*O.CacheDir, "/tmp/explicit-dir");
+}
+
+TEST(OptionsTest, UnsetKnobsLeaveDefaults) {
+  ScopedEnv Budget("CHUTE_BUDGET_MS", nullptr);
+  ScopedEnv Inc("CHUTE_INCREMENTAL", nullptr);
+  ScopedEnv Dir("CHUTE_CACHE_DIR", nullptr);
+  ScopedEnv Trace("CHUTE_TRACE", nullptr);
+  ScopedEnv Stats("CHUTE_TRACE_STATS", nullptr);
+
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_EQ(O.BudgetMs, 0u);
+  EXPECT_FALSE(O.Incremental.has_value());
+  EXPECT_FALSE(O.CacheDir.has_value());
+  EXPECT_FALSE(O.Trace.has_value());
+}
+
+TEST(OptionsTest, TraceEnvSelectsFullWithPath) {
+  ScopedEnv Trace("CHUTE_TRACE", "/tmp/trace.json");
+  ScopedEnv Stats("CHUTE_TRACE_STATS", nullptr);
+
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  ASSERT_TRUE(O.Trace.has_value());
+  EXPECT_EQ(*O.Trace, obs::TraceLevel::Full);
+  ASSERT_TRUE(O.TracePath.has_value());
+  EXPECT_EQ(*O.TracePath, "/tmp/trace.json");
+}
+
+TEST(OptionsTest, TraceStatsFlagSelectsStatsLevel) {
+  ScopedEnv Trace("CHUTE_TRACE", nullptr);
+  ScopedEnv Stats("CHUTE_TRACE_STATS", "1");
+
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  ASSERT_TRUE(O.Trace.has_value());
+  EXPECT_EQ(*O.Trace, obs::TraceLevel::Stats);
+  EXPECT_FALSE(O.TracePath.has_value());
+}
+
+TEST(OptionsTest, ExplicitTraceBeatsEnv) {
+  ScopedEnv Trace("CHUTE_TRACE", "/tmp/env-trace.json");
+
+  VerifierOptions In;
+  In.Trace = obs::TraceLevel::Off;
+  VerifierOptions O = resolveEnvOverrides(std::move(In));
+  ASSERT_TRUE(O.Trace.has_value());
+  EXPECT_EQ(*O.Trace, obs::TraceLevel::Off);
+  // The env path must not leak in under an explicit level either.
+  EXPECT_FALSE(O.TracePath.has_value());
+}
+
+TEST(OptionsTest, EmptyEnvValueCountsAsUnset) {
+  ScopedEnv Dir("CHUTE_CACHE_DIR", "");
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_FALSE(O.CacheDir.has_value());
+}
+
+TEST(OptionsTest, ResolutionIsIdempotent) {
+  ScopedEnv Budget("CHUTE_BUDGET_MS", "900");
+  VerifierOptions Once = resolveEnvOverrides(VerifierOptions());
+  VerifierOptions Twice = resolveEnvOverrides(Once);
+  EXPECT_EQ(Twice.BudgetMs, 900u);
+  EXPECT_EQ(Once.BudgetMs, Twice.BudgetMs);
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/SessionTest.cpp - Batch verification-session tests ----------------===//
+//
+// VerificationSession's contract: verifyAll returns the verdicts
+// individual Verifiers would, the shared cache actually carries work
+// between properties, and a configured cache directory warm starts
+// the next session on the same program — including surviving a
+// corrupted cache file as a cold start.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "ctl/CtlParser.h"
+#include "program/Parser.h"
+#include "support/FileUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace chute;
+
+namespace {
+
+// The Figure 6 single-operator shapes: fast to verify, overlapping
+// subformulas so batch members actually share cache entries.
+const char *CountTo5 =
+    "init(p == 0 && x == 0);"
+    "while (x < 5) { x = x + 1; }"
+    "p = 1; while (true) { skip; }";
+
+class SessionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/chute-session-XXXXXX";
+    char *D = mkdtemp(Template);
+    ASSERT_NE(D, nullptr);
+    Dir = D;
+  }
+
+  void TearDown() override {
+    if (DIR *Dp = opendir(Dir.c_str())) {
+      while (dirent *E = readdir(Dp)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(Dp);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  std::string Dir;
+};
+
+const std::vector<std::string> &countTo5Properties() {
+  static const std::vector<std::string> Props = {
+      "AF(p == 1)", "EF(p == 1)", "AG(x >= 0)", "EF(x == 5)"};
+  return Props;
+}
+
+TEST_F(SessionTest, VerifyAllMatchesIndividualVerify) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  std::vector<Verdict> Individual;
+  for (const std::string &Prop : countTo5Properties()) {
+    Verifier V(*P);
+    VerifyResult R = V.verify(Prop, Err);
+    ASSERT_TRUE(Err.empty()) << Err;
+    Individual.push_back(R.V);
+  }
+
+  VerificationSession S(*P);
+  std::vector<std::string> Errs;
+  std::vector<VerifyResult> Batch =
+      S.verifyAll(countTo5Properties(), &Errs);
+  ASSERT_EQ(Batch.size(), Individual.size());
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    EXPECT_TRUE(Errs[I].empty()) << Errs[I];
+    EXPECT_EQ(Batch[I].V, Individual[I])
+        << countTo5Properties()[I];
+  }
+  VerificationSessionStats St = S.stats();
+  EXPECT_EQ(St.Properties, countTo5Properties().size());
+  // The whole point of the session: later properties hit formulas
+  // earlier ones discharged.
+  EXPECT_GT(St.Cache.Hits, 0u);
+}
+
+TEST_F(SessionTest, ParseFailureIsIsolated) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerificationSession S(*P);
+  std::vector<std::string> Errs;
+  std::vector<VerifyResult> Rs =
+      S.verifyAll({"AF(p == 1)", "AF(((", "EF(p == 1)"}, &Errs);
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_EQ(Rs[0].V, Verdict::Proved);
+  EXPECT_EQ(Rs[1].V, Verdict::Unknown);
+  EXPECT_FALSE(Errs[1].empty());
+  EXPECT_EQ(Rs[2].V, Verdict::Proved);
+}
+
+TEST_F(SessionTest, DiskCacheWarmStartsTheNextSession) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerifierOptions Opts;
+  Opts.CacheDir = Dir;
+
+  Verdict First;
+  {
+    VerificationSession S(*P, Opts);
+    VerifyResult R = S.verify("AF(p == 1)", Err);
+    ASSERT_TRUE(Err.empty()) << Err;
+    First = R.V;
+    EXPECT_TRUE(S.close());
+    EXPECT_GT(S.stats().Disk.SatSaved + S.stats().Disk.QeSaved, 0u);
+    EXPECT_FALSE(S.programKey().empty());
+  }
+
+  // Same program, fresh context and session: the disk cache is the
+  // only carrier, and the verdict must not change.
+  {
+    ExprContext Ctx2;
+    auto P2 = parseProgram(Ctx2, CountTo5, Err);
+    ASSERT_TRUE(P2) << Err;
+    VerificationSession S(*P2, Opts);
+    VerificationSessionStats Cold = S.stats();
+    EXPECT_GT(Cold.Cache.WarmLoaded, 0u);
+    EXPECT_EQ(Cold.Disk.FilesLoaded, 1u);
+    VerifyResult R = S.verify("AF(p == 1)", Err);
+    ASSERT_TRUE(Err.empty()) << Err;
+    EXPECT_EQ(R.V, First);
+    EXPECT_GT(S.stats().Cache.WarmHits, 0u);
+  }
+}
+
+TEST_F(SessionTest, CorruptCacheFileFallsBackCold) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerifierOptions Opts;
+  Opts.CacheDir = Dir;
+
+  Verdict First;
+  std::string Key;
+  {
+    VerificationSession S(*P, Opts);
+    First = S.verify("AF(p == 1)", Err).V;
+    S.close();
+    Key = S.programKey();
+  }
+  ASSERT_TRUE(
+      atomicWriteFile(DiskCache::filePath(Dir, Key), "garbage\n"));
+
+  VerificationSession S(*P, Opts);
+  VerificationSessionStats St = S.stats();
+  EXPECT_EQ(St.Disk.LoadRejects, 1u);
+  EXPECT_EQ(St.Cache.WarmLoaded, 0u);
+  VerifyResult R = S.verify("AF(p == 1)", Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(R.V, First);
+}
+
+TEST_F(SessionTest, CloseIsIdempotentAndImplicitInDtor) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerifierOptions Opts;
+  Opts.CacheDir = Dir;
+  {
+    VerificationSession S(*P, Opts);
+    S.verify("EF(p == 1)", Err);
+    EXPECT_TRUE(S.close());
+    EXPECT_FALSE(S.close()); // second close is a no-op
+  }
+  // Destructor-driven close also persists: a fresh session sees the
+  // file the scoped one wrote.
+  {
+    ExprContext Ctx2;
+    auto P2 = parseProgram(Ctx2, CountTo5, Err);
+    VerificationSession S2(*P2, Opts);
+    EXPECT_GT(S2.stats().Cache.WarmLoaded, 0u);
+  }
+}
+
+TEST_F(SessionTest, VerifyCtlRefBuiltInSessionManager) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P = parseProgram(Ctx, CountTo5, Err);
+  ASSERT_TRUE(P) << Err;
+
+  VerificationSession S(*P);
+  std::string PErr;
+  CtlRef F = parseCtlString(S.ctl(), "AF(p == 1)", PErr);
+  ASSERT_NE(F, nullptr) << PErr;
+  VerifyResult R = S.verify(F);
+  EXPECT_EQ(R.V, Verdict::Proved);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Disk-cache verdict gate: runs the same Figure 6 subset twice with a
+# shared CHUTE_CACHE_DIR — a cold pass that populates the cache and a
+# warm pass that starts from it — and fails when any row's verdict
+# differs between the two runs. The disk cache is a pure performance
+# feature; any verdict drift it introduces is a soundness bug. The
+# warm run must also report nonzero warm hits, else the gate silently
+# degenerates into comparing two cold runs.
+#
+#   tools/cache_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_GATE_ROWS      row range to run (default 1-12)
+#   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
+#   CHUTE_GATE_JOBS      worker threads per row (default 2)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+ROWS=${CHUTE_GATE_ROWS:-1-12}
+TIMEOUT=${CHUTE_GATE_TIMEOUT:-90}
+JOBS=${CHUTE_GATE_JOBS:-2}
+TABLE="Figure 6: small benchmarks (operator combinations)"
+
+BENCH="$BUILD"/bench/bench_fig6_small
+[ -x "$BENCH" ] || { echo "cache_gate: $BENCH not built" >&2; exit 2; }
+
+OUT=$(mktemp)
+CACHE=$(mktemp -d)
+trap 'rm -f "$OUT.cold" "$OUT.warm" "$OUT.cold.v" "$OUT.warm.v" "$OUT";
+      rm -rf "$CACHE"' EXIT
+
+# The bench binary exits nonzero on paper-expectation mismatches; the
+# gate's criterion is cold-vs-warm agreement, so run for the JSON.
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --cache-dir "$CACHE" --json "$OUT.cold" || true
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --cache-dir "$CACHE" --json "$OUT.warm" || true
+
+# "id status" pairs, each field located independently of key order.
+extract() {
+  grep -F "\"table\":\"$TABLE\"" "$1" | awk '
+    {
+      id = ""; st = ""
+      if (match($0, /"id":[0-9]+/))
+        id = substr($0, RSTART + 5, RLENGTH - 5)
+      if (match($0, /"status":"[a-z]+"/))
+        st = substr($0, RSTART + 10, RLENGTH - 11)
+      if (id != "" && st != "") print id, st
+    }' | sort -n
+}
+
+extract "$OUT.cold" > "$OUT.cold.v"
+extract "$OUT.warm" > "$OUT.warm.v"
+N_COLD=$(wc -l < "$OUT.cold.v")
+N_WARM=$(wc -l < "$OUT.warm.v")
+if [ "$N_COLD" -eq 0 ] || [ "$N_WARM" -eq 0 ]; then
+  echo "cache_gate: a run produced no JSON rows" >&2
+  exit 1
+fi
+
+if ! diff -u "$OUT.cold.v" "$OUT.warm.v" > "$OUT"; then
+  echo "cache_gate: verdicts differ between the cold and warm runs" \
+       "(-: cold, +: warm)" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+# The cold run must have persisted something for the warm run to
+# consume...
+if ! grep -Eq '"disk_saved":[1-9]' "$OUT.cold"; then
+  echo "cache_gate: cold run persisted no records" >&2
+  exit 1
+fi
+
+# ...and the warm run must actually have consumed it.
+if ! grep -Eq '"disk_warm_hits":[1-9]' "$OUT.warm"; then
+  echo "cache_gate: warm run reports no warm cache hits" >&2
+  exit 1
+fi
+
+# Corrupt-cache resilience: damage every cache file and re-run one
+# row — the run must still succeed (cold fallback), reporting rejects
+# rather than crashing or changing a verdict.
+for F in "$CACHE"/*; do
+  [ -f "$F" ] && printf 'garbage\n' > "$F"
+done
+"$BENCH" --rows "${ROWS%%-*}-${ROWS%%-*}" --timeout "$TIMEOUT" \
+  --jobs "$JOBS" --cache-dir "$CACHE" --json "$OUT.corrupt" || true
+if ! grep -Eq '"disk_rejects":[1-9]' "$OUT.corrupt"; then
+  echo "cache_gate: corrupted cache files were not rejected" >&2
+  rm -f "$OUT.corrupt"
+  exit 1
+fi
+FIRST=$(head -n 1 "$OUT.cold.v")
+CORRUPT_FIRST=$(extract "$OUT.corrupt" | head -n 1)
+rm -f "$OUT.corrupt"
+if [ "$FIRST" != "$CORRUPT_FIRST" ]; then
+  echo "cache_gate: verdict changed after cache corruption" \
+       "($FIRST vs $CORRUPT_FIRST)" >&2
+  exit 1
+fi
+
+echo "cache_gate: $N_WARM rows agree between cold and warm runs," \
+     "warm hits observed, corrupt cache fell back cold"
