@@ -7,6 +7,7 @@
 #include "obs/ChromeTrace.h"
 #include "obs/Trace.h"
 #include "program/Parser.h"
+#include "support/Socket.h"
 #include "support/Stopwatch.h"
 
 #include <cstdio>
@@ -124,6 +125,11 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
   RowResult Result;
   Stopwatch Timer;
 
+  // If the parent dies first, the child's stats write must fail with
+  // EPIPE instead of killing it with SIGPIPE mid-protocol (the exit
+  // code is the verdict channel). Inherited across fork.
+  ignoreSigpipe();
+
   int Pipe[2] = {-1, -1};
   if (pipe(Pipe) != 0)
     return Result;
@@ -200,8 +206,10 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
         static_cast<unsigned>(R.CacheStats.CoreHits);
     Stats.IncResets = static_cast<unsigned>(R.SessionStats.Resets);
     Stats.Trace = R.Trace;
-    ssize_t Ignored = write(Pipe[1], &Stats, sizeof(Stats));
-    (void)Ignored;
+    // sendAll retries short writes/EINTR and reports a vanished
+    // reader as a status instead of a signal; the verdict still
+    // travels via the exit code.
+    (void)sendAll(Pipe[1], &Stats, sizeof(Stats));
     close(Pipe[1]);
     if (TracePath != nullptr)
       Tr.exportConfigured();

@@ -1,0 +1,242 @@
+//===- bench/bench_soak_daemon.cpp - Daemon concurrency soak -------------------===//
+//
+// The daemon's end-to-end correctness gate: N clients hammer one
+// chuted with the Figure 6 corpus concurrently, and every verdict
+// that comes back over the wire must agree with a plain offline
+// Verifier run of the same row. Run it under CHUTE_SMT_FAULT_EVERY
+// to soak the whole stack — fault injection, retries, admission,
+// deadline budgets, warm shared caches — and the verdicts must STILL
+// agree, because the daemon's recovery layers are supposed to be
+// invisible in the answers.
+//
+//   bench_soak_daemon [--clients N] [--iters N] [--rows N]
+//                     [--deadline-ms N] [--socket SPEC] [--quiet]
+//
+// Without --socket an in-process server on a private Unix socket is
+// used; with it, an external chuted (started by tools/daemon_gate.sh)
+// takes the traffic. Exit 0 when every verdict matched, 1 on any
+// mismatch or client failure, 3 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "chute/chute.h"
+#include "daemon/Client.h"
+#include "daemon/Server.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+namespace {
+
+struct SoakConfig {
+  unsigned Clients = 8;
+  unsigned Iters = 2;
+  unsigned Rows = 18;
+  unsigned DeadlineMs = 0;
+  std::string Socket; // empty = in-process server
+  bool Quiet = false;
+};
+
+const char *wireName(WireStatus S) {
+  switch (S) {
+  case WireStatus::Proved:
+    return "proved";
+  case WireStatus::Disproved:
+    return "disproved";
+  case WireStatus::Unknown:
+    return "unknown";
+  case WireStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+WireStatus offlineStatus(const corpus::BenchRow &Row) {
+  ExprContext Ctx;
+  std::string Err;
+  auto Prog = parseProgram(Ctx, Row.Program, Err);
+  if (!Prog) {
+    std::fprintf(stderr, "offline: row %u program parse: %s\n", Row.Id,
+                 Err.c_str());
+    std::exit(3);
+  }
+  Verifier V(*Prog, VerifierOptions());
+  VerifyResult R = V.verify(Row.Property, Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "offline: row %u property parse: %s\n", Row.Id,
+                 Err.c_str());
+    std::exit(3);
+  }
+  switch (R.V) {
+  case Verdict::Proved:
+    return WireStatus::Proved;
+  case Verdict::Disproved:
+    return WireStatus::Disproved;
+  case Verdict::Unknown:
+    return WireStatus::Unknown;
+  }
+  return WireStatus::Unknown;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SoakConfig Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    auto Num = [&](unsigned &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "usage: %s expects a value\n", Argv[I]);
+        std::exit(3);
+      }
+      Out = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    };
+    if (std::strcmp(Argv[I], "--clients") == 0)
+      Num(Cfg.Clients);
+    else if (std::strcmp(Argv[I], "--iters") == 0)
+      Num(Cfg.Iters);
+    else if (std::strcmp(Argv[I], "--rows") == 0)
+      Num(Cfg.Rows);
+    else if (std::strcmp(Argv[I], "--deadline-ms") == 0)
+      Num(Cfg.DeadlineMs);
+    else if (std::strcmp(Argv[I], "--socket") == 0 && I + 1 < Argc)
+      Cfg.Socket = Argv[++I];
+    else if (std::strcmp(Argv[I], "--quiet") == 0)
+      Cfg.Quiet = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_soak_daemon [--clients N] [--iters N] "
+                   "[--rows N] [--deadline-ms N] [--socket SPEC] "
+                   "[--quiet]\n");
+      return 3;
+    }
+  }
+  if (Cfg.Clients == 0 || Cfg.Iters == 0 || Cfg.Rows == 0) {
+    std::fprintf(stderr, "soak: nothing to do\n");
+    return 3;
+  }
+
+  const std::vector<corpus::BenchRow> &All = corpus::fig6Rows();
+  if (Cfg.Rows > All.size())
+    Cfg.Rows = static_cast<unsigned>(All.size());
+  std::vector<corpus::BenchRow> Rows(All.begin(), All.begin() + Cfg.Rows);
+
+  // Offline ground truth, one plain Verifier per row — the same
+  // engine the daemon multiplexes, minus every daemon layer.
+  std::vector<WireStatus> Expect;
+  Expect.reserve(Rows.size());
+  for (const corpus::BenchRow &Row : Rows)
+    Expect.push_back(offlineStatus(Row));
+
+  // Target daemon: external via --socket, else in-process.
+  std::unique_ptr<Server> InProc;
+  std::string Socket = Cfg.Socket;
+  std::string SockDir;
+  if (Socket.empty()) {
+    char Template[] = "/tmp/chute-soak-XXXXXX";
+    char *D = mkdtemp(Template);
+    if (!D) {
+      std::perror("mkdtemp");
+      return 3;
+    }
+    SockDir = D;
+    Socket = "unix:" + SockDir + "/soak.sock";
+    ServerOptions O;
+    O.Endpoint = Socket;
+    InProc = std::make_unique<Server>(std::move(O));
+    std::string Err;
+    if (!InProc->start(Err)) {
+      std::fprintf(stderr, "soak: server start: %s\n", Err.c_str());
+      return 3;
+    }
+  }
+
+  std::atomic<unsigned> Mismatches{0}, Failures{0}, Timeouts{0},
+      Overloads{0}, Requests{0}, Reconnects{0};
+
+  auto Worker = [&](unsigned Me) {
+    ClientOptions CO;
+    CO.Endpoint = Socket;
+    CO.OverloadRetries = 8; // soak traffic waits its turn
+    CO.Seed = 0x50a1c0de + Me;
+    Client C(CO);
+    for (unsigned It = 0; It < Cfg.Iters; ++It) {
+      for (unsigned R = 0; R < Rows.size(); ++R) {
+        // Stagger starting rows so clients collide on different
+        // programs at any instant.
+        unsigned Idx = (R + Me * 7) % Rows.size();
+        const corpus::BenchRow &Row = Rows[Idx];
+        ++Requests;
+        ClientResult Res =
+            C.request(Row.Program, {Row.Property}, Cfg.DeadlineMs);
+        Reconnects += Res.Reconnects;
+        if (Res.Outcome == ClientOutcome::Overloaded) {
+          // Final shed after retries: legal under load, not a
+          // verdict mismatch.
+          ++Overloads;
+          continue;
+        }
+        if (Res.Outcome != ClientOutcome::Done ||
+            Res.Verdicts.size() != 1) {
+          ++Failures;
+          std::fprintf(stderr,
+                       "soak: client %u row %u: %s (%s)\n", Me,
+                       Row.Id, daemon::toString(Res.Outcome),
+                       Res.Error.c_str());
+          continue;
+        }
+        WireStatus Got = Res.Verdicts[0].St;
+        if (Got == WireStatus::Timeout && Cfg.DeadlineMs != 0) {
+          // A deadline run may legally time out; only undeadlined
+          // traffic must reproduce offline verdicts exactly.
+          ++Timeouts;
+          continue;
+        }
+        if (Got != Expect[Idx]) {
+          ++Mismatches;
+          std::fprintf(stderr,
+                       "soak: MISMATCH client %u row %u \"%s\": "
+                       "daemon=%s offline=%s\n",
+                       Me, Row.Id, Row.Property.c_str(),
+                       wireName(Got), wireName(Expect[Idx]));
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Cfg.Clients; ++I)
+    Threads.emplace_back(Worker, I);
+  for (std::thread &T : Threads)
+    T.join();
+
+  if (InProc) {
+    InProc->stop();
+    if (!Cfg.Quiet)
+      std::fprintf(stderr, "soak: daemon stats %s\n",
+                   InProc->stats().toJson().c_str());
+    InProc.reset();
+    ::unlink((SockDir + "/soak.sock").c_str());
+    ::rmdir(SockDir.c_str());
+  }
+
+  std::printf("soak: %u requests, %u clients x %u iters x %u rows; "
+              "%u mismatches, %u failures, %u timeouts, %u overloads, "
+              "%u reconnects\n",
+              Requests.load(), Cfg.Clients, Cfg.Iters, Cfg.Rows,
+              Mismatches.load(), Failures.load(), Timeouts.load(),
+              Overloads.load(), Reconnects.load());
+  return (Mismatches.load() == 0 && Failures.load() == 0) ? 0 : 1;
+}

@@ -44,6 +44,7 @@
 
 #include "core/ChuteRefiner.h"
 #include "obs/Trace.h"
+#include "support/Budget.h"
 
 #include <memory>
 #include <optional>
@@ -96,6 +97,16 @@ struct VerifierOptions {
   /// VerificationSession makes all of its Verifiers hit one
   /// content-addressed store. Null: the Smt facade creates its own.
   std::shared_ptr<QueryCache> SharedCache;
+
+  /// An external cancellation domain to adopt: every verify() budget
+  /// is carved from this Budget instead of a private root, so its
+  /// deadline bounds the run and cancel() on it (from a daemon
+  /// connection monitor, a signal handler, a supervising session)
+  /// tears down in-flight verification through every engine layer.
+  /// Unset: the Verifier owns a private, unlimited cancellation
+  /// root reachable via Verifier::cancel(). Never resolved from the
+  /// environment.
+  std::optional<Budget> CancelDomain;
 };
 
 /// Applies the environment overrides documented above to every field

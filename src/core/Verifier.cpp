@@ -29,6 +29,12 @@ Verifier::Verifier(const Program &Source, VerifierOptions Options)
       LP(liftNondeterminism(Source)),
       Solver(Source.exprContext(), Opts.SmtTimeoutMs, Opts.SharedCache),
       Qe(Solver), Ts(*LP.Prog, Solver, Qe), Ctl(Source.exprContext()) {
+  // Adopting an external cancellation domain makes this verifier's
+  // runs cancellable (and deadline-bounded) from outside: sub-budgets
+  // share the external flag, so the owner's cancel() unwinds verify()
+  // exactly like Verifier::cancel() would.
+  if (Opts.CancelDomain)
+    CancelRoot = *Opts.CancelDomain;
   if (Opts.Incremental)
     Solver.setIncremental(*Opts.Incremental);
   if (Opts.Trace) {

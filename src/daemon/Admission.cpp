@@ -1,0 +1,75 @@
+//===- daemon/Admission.cpp - Bounded admission control --------------------===//
+
+#include "daemon/Admission.h"
+
+#include <chrono>
+
+using namespace chute::daemon;
+
+AdmissionController::Ticket
+AdmissionController::enter(std::int64_t MaxWaitMs) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (Down) {
+    ++St.Shed;
+    return Ticket::Shed;
+  }
+  if (InFlight < MaxInFlight) {
+    ++InFlight;
+    ++St.Admitted;
+    if (InFlight > St.PeakInFlight)
+      St.PeakInFlight = InFlight;
+    return Ticket::Admitted;
+  }
+  if (MaxWaitMs <= 0 || Waiting >= MaxQueue) {
+    ++St.Shed;
+    return Ticket::Shed;
+  }
+
+  ++Waiting;
+  bool Got = SlotFree.wait_for(
+      Lock, std::chrono::milliseconds(MaxWaitMs),
+      [&] { return Down || InFlight < MaxInFlight; });
+  --Waiting;
+  if (!Got || Down) {
+    ++St.Shed;
+    return Ticket::Shed;
+  }
+  ++InFlight;
+  ++St.Admitted;
+  ++St.Queued;
+  if (InFlight > St.PeakInFlight)
+    St.PeakInFlight = InFlight;
+  return Ticket::Admitted;
+}
+
+void AdmissionController::leave() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (InFlight > 0)
+      --InFlight;
+  }
+  SlotFree.notify_one();
+}
+
+void AdmissionController::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Down = true;
+  }
+  SlotFree.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+unsigned AdmissionController::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return InFlight;
+}
+
+unsigned AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Waiting;
+}

@@ -1,0 +1,79 @@
+//===- daemon/Admission.h - Bounded admission control ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Admission control for the verification daemon: at most MaxInFlight
+/// requests verify concurrently, at most MaxQueue more wait for a
+/// slot, and everything beyond that is shed immediately — the caller
+/// replies OVERLOADED instead of buffering unboundedly. Queued
+/// waiters respect the request's own deadline: a request whose
+/// deadline would expire before a slot frees up is shed rather than
+/// admitted dead-on-arrival.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_DAEMON_ADMISSION_H
+#define CHUTE_DAEMON_ADMISSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace chute::daemon {
+
+/// Monotone admission counters (snapshot).
+struct AdmissionStats {
+  std::uint64_t Admitted = 0; ///< granted a slot (immediately or queued)
+  std::uint64_t Queued = 0;   ///< of Admitted: had to wait first
+  std::uint64_t Shed = 0;     ///< rejected: saturated or deadline-dead
+  std::uint64_t PeakInFlight = 0;
+};
+
+/// Bounded in-flight + bounded queue; everything else sheds.
+class AdmissionController {
+public:
+  AdmissionController(unsigned MaxInFlight, unsigned MaxQueue)
+      : MaxInFlight(MaxInFlight == 0 ? 1 : MaxInFlight),
+        MaxQueue(MaxQueue) {}
+
+  enum class Ticket { Admitted, Shed };
+
+  /// Tries to take a slot. Admits immediately when under the
+  /// in-flight bound; otherwise waits (at most \p MaxWaitMs, and
+  /// only if fewer than MaxQueue requests are already waiting);
+  /// otherwise sheds. \p MaxWaitMs <= 0 sheds instead of queueing.
+  /// A shutdown() wakes every waiter as Shed.
+  Ticket enter(std::int64_t MaxWaitMs);
+
+  /// Releases a slot taken by a successful enter().
+  void leave();
+
+  /// Wakes all queued waiters (they shed) and sheds all future
+  /// enters. For server stop.
+  void shutdown();
+
+  AdmissionStats stats() const;
+  unsigned inFlight() const;
+  /// Requests currently queued for a slot (gauge).
+  unsigned waiting() const;
+  unsigned maxInFlight() const { return MaxInFlight; }
+  unsigned maxQueue() const { return MaxQueue; }
+
+private:
+  const unsigned MaxInFlight;
+  const unsigned MaxQueue;
+
+  mutable std::mutex Mu;
+  std::condition_variable SlotFree;
+  unsigned InFlight = 0;
+  unsigned Waiting = 0;
+  bool Down = false;
+  AdmissionStats St;
+};
+
+} // namespace chute::daemon
+
+#endif // CHUTE_DAEMON_ADMISSION_H

@@ -1,0 +1,240 @@
+//===- daemon/Client.cpp - chuted client library ---------------------------===//
+
+#include "daemon/Client.h"
+
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+const char *chute::daemon::toString(ClientOutcome O) {
+  switch (O) {
+  case ClientOutcome::Done:
+    return "done";
+  case ClientOutcome::Overloaded:
+    return "overloaded";
+  case ClientOutcome::ServerError:
+    return "server-error";
+  case ClientOutcome::ConnectFailed:
+    return "connect-failed";
+  case ClientOutcome::ProtocolError:
+    return "protocol-error";
+  }
+  return "?";
+}
+
+Client::Client(ClientOptions Options) : Opts(std::move(Options)) {
+  ignoreSigpipe();
+  std::uint64_t Seed = Opts.Seed;
+  if (Seed == 0) {
+    std::random_device Rd;
+    Seed = (static_cast<std::uint64_t>(Rd()) << 32) ^ Rd();
+  }
+  Rng.seed(Seed);
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Client::backoff(unsigned Attempt) {
+  // Full jitter: uniform in [0, min(cap, base * 2^(attempt-1))].
+  std::uint64_t Ceiling = Opts.BackoffBaseMs;
+  for (unsigned I = 1; I < Attempt && Ceiling < Opts.BackoffCapMs; ++I)
+    Ceiling *= 2;
+  if (Ceiling > Opts.BackoffCapMs)
+    Ceiling = Opts.BackoffCapMs;
+  if (Ceiling == 0)
+    return;
+  std::uniform_int_distribution<std::uint64_t> Draw(0, Ceiling);
+  std::this_thread::sleep_for(std::chrono::milliseconds(Draw(Rng)));
+}
+
+bool Client::ensureConnected(std::string &Err, unsigned &Reconnects) {
+  if (Fd >= 0)
+    return true;
+  auto E = Endpoint::parse(Opts.Endpoint, Err);
+  if (!E)
+    return false;
+  unsigned Attempts = Opts.ConnectAttempts == 0 ? 1 : Opts.ConnectAttempts;
+  for (unsigned A = 1; A <= Attempts; ++A) {
+    if (A > 1) {
+      backoff(A - 1);
+      ++Reconnects;
+    }
+    Fd = connectEndpoint(*E, Err);
+    if (Fd >= 0)
+      return true;
+  }
+  return false;
+}
+
+bool Client::ping() {
+  std::string Err;
+  unsigned Reconnects = 0;
+  if (!ensureConnected(Err, Reconnects))
+    return false;
+  std::uniform_int_distribution<std::uint64_t> Draw;
+  std::uint64_t Nonce = Draw(Rng);
+  if (!writeFrame(Fd, encodePing(Nonce))) {
+    disconnect();
+    return false;
+  }
+  std::string Payload;
+  if (readFrame(Fd, Payload, Opts.MaxFrameBytes, 10000) !=
+      FrameStatus::Ok) {
+    disconnect();
+    return false;
+  }
+  std::uint64_t Back = 0;
+  if (!decodePong(Payload, Back) || Back != Nonce) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+ClientResult Client::attemptOnce(const WireRequest &Req, int ReplyTimeoutMs,
+                                 bool &Retryable) {
+  ClientResult R;
+  Retryable = false;
+
+  if (!writeFrame(Fd, encodeRequest(Req))) {
+    // Peer vanished before (or while) we sent: nothing of this
+    // attempt reached the daemon for sure, safe to retry.
+    disconnect();
+    Retryable = true;
+    R.Outcome = ClientOutcome::ConnectFailed;
+    R.Error = "send failed";
+    return R;
+  }
+
+  while (true) {
+    std::string Payload;
+    FrameStatus St = readFrame(Fd, Payload, Opts.MaxFrameBytes,
+                               ReplyTimeoutMs, ReplyTimeoutMs);
+    if (St != FrameStatus::Ok) {
+      disconnect();
+      // The daemon may have finished the work before the connection
+      // died; resending the same id replays its verdicts.
+      Retryable = St == FrameStatus::CleanClose ||
+                  St == FrameStatus::Truncated || St == FrameStatus::Error;
+      R.Outcome = St == FrameStatus::TimedOut
+                      ? ClientOutcome::ProtocolError
+                      : ClientOutcome::ConnectFailed;
+      R.Error = std::string("reply: ") + daemon::toString(St);
+      return R;
+    }
+    std::string Err;
+    switch (payloadType(Payload)) {
+    case static_cast<std::uint8_t>(MsgType::Verdict): {
+      WireVerdict V;
+      if (!decodeVerdict(Payload, V, Err)) {
+        disconnect();
+        R.Outcome = ClientOutcome::ProtocolError;
+        R.Error = "bad verdict frame: " + Err;
+        return R;
+      }
+      R.Verdicts.push_back(std::move(V));
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::Done): {
+      WireDone D;
+      if (!decodeDone(Payload, D, Err) || D.Id != Req.Id ||
+          D.Verdicts != R.Verdicts.size()) {
+        disconnect();
+        R.Outcome = ClientOutcome::ProtocolError;
+        R.Error = Err.empty() ? "done frame mismatch" : Err;
+        return R;
+      }
+      R.Outcome = ClientOutcome::Done;
+      R.Replayed = D.Replayed != 0;
+      return R;
+    }
+    case static_cast<std::uint8_t>(MsgType::Overloaded): {
+      WireOverloaded O;
+      if (!decodeOverloaded(Payload, O, Err)) {
+        disconnect();
+        R.Outcome = ClientOutcome::ProtocolError;
+        R.Error = "bad overloaded frame: " + Err;
+        return R;
+      }
+      R.Outcome = ClientOutcome::Overloaded;
+      R.Error = O.Detail;
+      return R;
+    }
+    case static_cast<std::uint8_t>(MsgType::Error): {
+      WireError E;
+      if (!decodeError(Payload, E, Err)) {
+        disconnect();
+        R.Outcome = ClientOutcome::ProtocolError;
+        R.Error = "bad error frame: " + Err;
+        return R;
+      }
+      R.Outcome = ClientOutcome::ServerError;
+      R.Error = E.Detail;
+      return R;
+    }
+    default:
+      disconnect();
+      R.Outcome = ClientOutcome::ProtocolError;
+      R.Error = "unexpected frame type";
+      return R;
+    }
+  }
+}
+
+ClientResult Client::request(const std::string &Program,
+                             const std::vector<std::string> &Properties,
+                             std::uint32_t DeadlineMs) {
+  WireRequest Req;
+  // One id for the request's whole lifetime: every resend after a
+  // reconnect carries it, so the daemon can recognise a retry of
+  // work it already completed.
+  std::uniform_int_distribution<std::uint64_t> Draw(1);
+  Req.Id = Draw(Rng);
+  Req.DeadlineMs = DeadlineMs;
+  Req.Program = Program;
+  Req.Properties = Properties;
+
+  int ReplyTimeoutMs = Opts.ReplyTimeoutMs;
+  if (DeadlineMs != 0) {
+    int Bound = static_cast<int>(DeadlineMs) + Opts.ReplyGraceMs;
+    if (ReplyTimeoutMs <= 0 || Bound < ReplyTimeoutMs)
+      ReplyTimeoutMs = Bound;
+  }
+
+  ClientResult Last;
+  unsigned Reconnects = 0;
+  unsigned SendAttempts = Opts.ConnectAttempts == 0 ? 1 : Opts.ConnectAttempts;
+  unsigned OverloadLeft = Opts.OverloadRetries;
+  for (unsigned A = 1; A <= SendAttempts; ++A) {
+    std::string Err;
+    if (!ensureConnected(Err, Reconnects)) {
+      Last.Outcome = ClientOutcome::ConnectFailed;
+      Last.Error = Err;
+      break;
+    }
+    bool Retryable = false;
+    Last = attemptOnce(Req, ReplyTimeoutMs, Retryable);
+    if (Last.Outcome == ClientOutcome::Overloaded && OverloadLeft > 0) {
+      --OverloadLeft;
+      backoff(A);
+      continue;
+    }
+    if (!Retryable)
+      break;
+    backoff(A);
+    ++Reconnects;
+  }
+  Last.Reconnects = Reconnects;
+  return Last;
+}

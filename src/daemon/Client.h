@@ -1,0 +1,121 @@
+//===- daemon/Client.h - chuted client library ----------------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client for the chuted verification daemon. One Client owns one
+/// connection and reconnects on demand with jittered exponential
+/// backoff. A request's id is generated once per call and reused
+/// verbatim across reconnect attempts, so a connection lost after
+/// the daemon finished the work replays the recorded verdicts
+/// instead of re-running the verification (the daemon's idempotency
+/// cache makes retry safe).
+///
+/// The failure surface is explicit: every outcome a distributed
+/// caller must distinguish — done, shed by admission control,
+/// rejected input, daemon unreachable, protocol violation — is a
+/// separate Outcome value, never an exception.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_DAEMON_CLIENT_H
+#define CHUTE_DAEMON_CLIENT_H
+
+#include "daemon/Wire.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace chute::daemon {
+
+struct ClientOptions {
+  /// Endpoint spec, as Endpoint::parse accepts.
+  std::string Endpoint = "unix:/tmp/chuted.sock";
+  /// Connection attempts per request (1 = no retry).
+  unsigned ConnectAttempts = 5;
+  /// Backoff before reconnect attempt k (1-based) is a uniform draw
+  /// from [0, min(BackoffCapMs, BackoffBaseMs * 2^(k-1))] — full
+  /// jitter, so a fleet of clients retrying a restarted daemon does
+  /// not stampede it in lockstep.
+  unsigned BackoffBaseMs = 50;
+  unsigned BackoffCapMs = 2000;
+  /// Extra whole-request retries when the daemon sheds us with
+  /// OVERLOADED (also backed off). 0 = report Overloaded at once.
+  unsigned OverloadRetries = 0;
+  /// Frame ceiling for replies (mirror of the server knob).
+  std::uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// How long to wait for each reply frame once a request is sent;
+  /// <= 0 waits forever. Deadline-carrying requests additionally get
+  /// deadline + ReplyGraceMs as an upper bound.
+  int ReplyTimeoutMs = 0;
+  /// Slack on top of the request deadline before the client gives up
+  /// on a reply frame (covers scheduling + cancellation latency).
+  int ReplyGraceMs = 5000;
+  /// Seed for request ids and backoff jitter; 0 draws one from the
+  /// system entropy source.
+  std::uint64_t Seed = 0;
+};
+
+/// How a request() call ended.
+enum class ClientOutcome {
+  Done,          ///< Verdicts holds one entry per property
+  Overloaded,    ///< daemon shed the request (retry later)
+  ServerError,   ///< daemon rejected the request (Error holds why)
+  ConnectFailed, ///< no connection after all attempts
+  ProtocolError, ///< malformed/unexpected reply (connection dropped)
+};
+
+const char *toString(ClientOutcome O);
+
+struct ClientResult {
+  ClientOutcome Outcome = ClientOutcome::ConnectFailed;
+  std::vector<WireVerdict> Verdicts; ///< streamed verdicts so far
+  std::string Error;                 ///< detail for the failure outcomes
+  bool Replayed = false; ///< daemon answered from its idempotency cache
+  unsigned Reconnects = 0; ///< reconnections this call performed
+};
+
+class Client {
+public:
+  explicit Client(ClientOptions Options = ClientOptions());
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Verifies \p Properties of \p Program with a whole-batch
+  /// \p DeadlineMs (0 = daemon default / unlimited). Blocks until an
+  /// outcome; never throws, never raises SIGPIPE.
+  ClientResult request(const std::string &Program,
+                       const std::vector<std::string> &Properties,
+                       std::uint32_t DeadlineMs = 0);
+
+  /// Round-trips a Ping (connecting if needed). False when the
+  /// daemon is unreachable or replies garbage.
+  bool ping();
+
+  /// Drops the connection (the next call reconnects).
+  void disconnect();
+
+  bool connected() const { return Fd >= 0; }
+
+private:
+  bool ensureConnected(std::string &Err, unsigned &Reconnects);
+  void backoff(unsigned Attempt);
+  ClientResult attemptOnce(const WireRequest &Req, int ReplyTimeoutMs,
+                           bool &Retryable);
+
+  ClientOptions Opts;
+  int Fd = -1;
+  std::mt19937_64 Rng;
+};
+
+} // namespace chute::daemon
+
+#endif // CHUTE_DAEMON_CLIENT_H

@@ -1,0 +1,723 @@
+//===- daemon/Server.cpp - chuted verification daemon ----------------------===//
+
+#include "daemon/Server.h"
+
+#include "core/Verifier.h"
+#include "expr/Expr.h"
+#include "program/Parser.h"
+#include "smt/DiskCache.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+namespace {
+
+/// Connections beyond this are refused at accept with an Error
+/// frame: each one costs a blocked thread, so an unbounded count is
+/// its own overload vector. Generous relative to the admission
+/// bounds — a shed *request* keeps its connection.
+constexpr std::size_t MaxConnections = 256;
+
+/// How long a request with no deadline may wait for an admission
+/// slot before shedding (deadline-carrying requests wait at most
+/// their remaining time).
+constexpr std::int64_t NoDeadlineQueueWaitMs = 60000;
+
+/// Monitor poll cadence: an abandoned request's budget is cancelled
+/// within roughly this long of the client vanishing.
+constexpr int MonitorIntervalMs = 20;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+ServerOptions chute::daemon::resolveDaemonEnvOverrides(ServerOptions O) {
+  O.Verify = resolveEnvOverrides(std::move(O.Verify));
+  if (!O.Endpoint)
+    O.Endpoint =
+        envString("CHUTE_DAEMON_SOCKET").value_or("unix:/tmp/chuted.sock");
+  if (!O.MaxInFlight) {
+    if (auto V = envUnsigned("CHUTE_DAEMON_MAX_INFLIGHT")) {
+      O.MaxInFlight = *V;
+    } else {
+      unsigned HW = std::thread::hardware_concurrency();
+      O.MaxInFlight = std::min(HW != 0 ? HW : 4u, 8u);
+    }
+  }
+  if (*O.MaxInFlight == 0)
+    O.MaxInFlight = 1;
+  if (!O.MaxQueue)
+    O.MaxQueue = envUnsigned("CHUTE_DAEMON_MAX_QUEUE").value_or(16);
+  if (!O.MaxFrameBytes)
+    O.MaxFrameBytes = envUnsigned("CHUTE_DAEMON_MAX_FRAME_BYTES")
+                          .value_or(DefaultMaxFrameBytes);
+  if (*O.MaxFrameBytes == 0)
+    O.MaxFrameBytes = DefaultMaxFrameBytes;
+  if (!O.DefaultDeadlineMs)
+    O.DefaultDeadlineMs = envUnsigned("CHUTE_DAEMON_DEADLINE_MS").value_or(0);
+  if (!O.MaxPrograms)
+    O.MaxPrograms = envUnsigned("CHUTE_DAEMON_MAX_PROGRAMS").value_or(32);
+  if (*O.MaxPrograms == 0)
+    O.MaxPrograms = 1;
+  if (!O.IdleTimeoutMs)
+    O.IdleTimeoutMs =
+        envUnsigned("CHUTE_DAEMON_IDLE_TIMEOUT_MS").value_or(300000);
+  if (!O.HoldMs)
+    O.HoldMs = envUnsigned("CHUTE_DAEMON_HOLD_MS").value_or(0);
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+std::string ServerStats::toJson() const {
+  std::ostringstream S;
+  S << "{";
+  const char *Sep = "";
+  auto Put = [&](const char *Key, std::uint64_t V) {
+    S << Sep << "\"" << Key << "\": " << V;
+    Sep = ", ";
+  };
+  Put("accepted", Accepted);
+  Put("conn_over_cap", ConnOverCap);
+  Put("requests", Requests);
+  Put("admitted", Admitted);
+  Put("queued", Queued);
+  Put("shed", Shed);
+  Put("completed", Completed);
+  Put("timed_out", TimedOut);
+  Put("disconnected", Disconnected);
+  Put("hangup_cancels", HangupCancels);
+  Put("framing_errors", FramingErrors);
+  Put("oversized_frames", OversizedFrames);
+  Put("parse_errors", ParseErrors);
+  Put("program_parse_errors", ProgramParseErrors);
+  Put("property_parse_errors", PropertyParseErrors);
+  Put("replays", Replays);
+  Put("pings", Pings);
+  Put("proved", Proved);
+  Put("disproved", Disproved);
+  Put("unknowns", Unknowns);
+  Put("programs_interned", ProgramsInterned);
+  Put("programs_evicted", ProgramsEvicted);
+  Put("disk_loads", DiskLoads);
+  Put("disk_saves", DiskSaves);
+  Put("in_flight", InFlight);
+  Put("live_connections", LiveConnections);
+  S << "}";
+  return S.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Internal state
+//===----------------------------------------------------------------------===//
+
+struct Server::Counters {
+  std::atomic<std::uint64_t> Accepted{0};
+  std::atomic<std::uint64_t> ConnOverCap{0};
+  std::atomic<std::uint64_t> Requests{0};
+  std::atomic<std::uint64_t> Completed{0};
+  std::atomic<std::uint64_t> TimedOut{0};
+  std::atomic<std::uint64_t> Disconnected{0};
+  std::atomic<std::uint64_t> HangupCancels{0};
+  std::atomic<std::uint64_t> FramingErrors{0};
+  std::atomic<std::uint64_t> OversizedFrames{0};
+  std::atomic<std::uint64_t> ParseErrors{0};
+  std::atomic<std::uint64_t> ProgramParseErrors{0};
+  std::atomic<std::uint64_t> PropertyParseErrors{0};
+  std::atomic<std::uint64_t> Replays{0};
+  std::atomic<std::uint64_t> Pings{0};
+  std::atomic<std::uint64_t> Proved{0};
+  std::atomic<std::uint64_t> Disproved{0};
+  std::atomic<std::uint64_t> Unknowns{0};
+  std::atomic<std::uint64_t> ProgramsInterned{0};
+  std::atomic<std::uint64_t> ProgramsEvicted{0};
+  std::atomic<std::uint64_t> DiskLoads{0};
+  std::atomic<std::uint64_t> DiskSaves{0};
+};
+
+/// One accepted connection; owned jointly by its service thread and
+/// the registry (so stop() can shutdown the fd under ConnsMu while
+/// the thread is blocked on it).
+struct Server::Conn {
+  int Fd = -1;
+};
+
+/// An interned program: its own ExprContext (QueryCache entries hold
+/// ExprRefs into it, so context and cache share a lifetime) plus the
+/// warm cache every request for this program shares.
+struct Server::ProgramEntry {
+  std::string Key;
+  std::unique_ptr<ExprContext> Ctx;
+  std::unique_ptr<Program> Prog;
+  std::shared_ptr<QueryCache> Cache;
+  std::atomic<std::uint64_t> LastUse{0};
+};
+
+/// A connection the monitor polls for hangup while its request
+/// verifies; on hangup the budget is cancelled and the engine
+/// unwinds.
+struct Server::Watch {
+  std::uint64_t Token = 0;
+  int Fd = -1;
+  Budget B;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions Options)
+    : Opts(resolveDaemonEnvOverrides(std::move(Options))),
+      CacheDir(Opts.Verify.CacheDir.value_or("")),
+      Ct(std::make_unique<Counters>()) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Err) {
+  if (Started) {
+    Err = "server already started";
+    return false;
+  }
+  ignoreSigpipe();
+  auto E = Endpoint::parse(*Opts.Endpoint, Err);
+  if (!E)
+    return false;
+  Ep = *E;
+  ListenFd = listenEndpoint(Ep, Err);
+  if (ListenFd < 0)
+    return false;
+  if (Ep.K == Endpoint::Kind::Tcp && Ep.Port == 0)
+    Ep.Port = boundTcpPort(ListenFd);
+  if (::pipe(WakePipe) != 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  Admit =
+      std::make_unique<AdmissionController>(*Opts.MaxInFlight, *Opts.MaxQueue);
+  if (!CacheDir.empty())
+    Disk = std::make_unique<DiskCache>(CacheDir);
+  Started = true;
+  Acceptor = std::thread(&Server::acceptLoop, this);
+  Monitor = std::thread(&Server::monitorLoop, this);
+  return true;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(StopMu);
+    if (!Started || StopRan)
+      return;
+    StopRan = true;
+  }
+  Stopping.store(true);
+
+  // Wake the acceptor, shed every queued request, cancel every
+  // in-flight one, and unblock connection threads parked in recv.
+  char One = 1;
+  (void)sendAll(WakePipe[1], &One, 1);
+  Admit->shutdown();
+  {
+    std::lock_guard<std::mutex> Lock(WatchMu);
+    for (Watch &W : Watches)
+      W.B.cancel();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      ::shutdown(C->Fd, SHUT_RDWR);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (Monitor.joinable())
+    Monitor.join();
+  {
+    std::unique_lock<std::mutex> Lock(ConnsMu);
+    ConnsDrained.wait(Lock, [&] { return Conns.empty(); });
+  }
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::close(WakePipe[0]);
+  ::close(WakePipe[1]);
+  WakePipe[0] = WakePipe[1] = -1;
+  if (Ep.K == Endpoint::Kind::Unix)
+    ::unlink(Ep.Path.c_str());
+  // Persist the warm caches so the next daemon (or an offline run)
+  // starts where this one left off.
+  saveAllEntries();
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.Accepted = Ct->Accepted.load();
+  S.ConnOverCap = Ct->ConnOverCap.load();
+  S.Requests = Ct->Requests.load();
+  S.Completed = Ct->Completed.load();
+  S.TimedOut = Ct->TimedOut.load();
+  S.Disconnected = Ct->Disconnected.load();
+  S.HangupCancels = Ct->HangupCancels.load();
+  S.FramingErrors = Ct->FramingErrors.load();
+  S.OversizedFrames = Ct->OversizedFrames.load();
+  S.ParseErrors = Ct->ParseErrors.load();
+  S.ProgramParseErrors = Ct->ProgramParseErrors.load();
+  S.PropertyParseErrors = Ct->PropertyParseErrors.load();
+  S.Replays = Ct->Replays.load();
+  S.Pings = Ct->Pings.load();
+  S.Proved = Ct->Proved.load();
+  S.Disproved = Ct->Disproved.load();
+  S.Unknowns = Ct->Unknowns.load();
+  S.ProgramsInterned = Ct->ProgramsInterned.load();
+  S.ProgramsEvicted = Ct->ProgramsEvicted.load();
+  S.DiskLoads = Ct->DiskLoads.load();
+  S.DiskSaves = Ct->DiskSaves.load();
+  if (Admit) {
+    AdmissionStats A = Admit->stats();
+    S.Admitted = A.Admitted;
+    S.Queued = A.Queued;
+    S.Shed = A.Shed;
+    S.InFlight = Admit->inFlight();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    S.LiveConnections = static_cast<unsigned>(Conns.size());
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept / monitor threads
+//===----------------------------------------------------------------------===//
+
+void Server::acceptLoop() {
+  while (!Stopping.load()) {
+    pollfd P[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int N = ::poll(P, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (P[1].revents != 0)
+      break; // stop() wrote the wake byte
+    if ((P[0].revents & POLLIN) == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      if (Stopping.load()) {
+        ::close(Fd);
+        continue;
+      }
+      if (Conns.size() >= MaxConnections) {
+        ++Ct->ConnOverCap;
+        writeFrame(Fd, encodeError({0, "connection limit reached"}));
+        ::close(Fd);
+        continue;
+      }
+      Conns.push_back(C);
+      ++Ct->Accepted;
+    }
+    std::thread(&Server::serveConnection, this, std::move(C)).detach();
+  }
+}
+
+void Server::monitorLoop() {
+  while (!Stopping.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(MonitorIntervalMs));
+    std::vector<Watch> Snapshot;
+    {
+      std::lock_guard<std::mutex> Lock(WatchMu);
+      Snapshot = Watches;
+    }
+    for (Watch &W : Snapshot) {
+      if (W.B.cancelled())
+        continue;
+      if (peerHungUp(W.Fd)) {
+        W.B.cancel();
+        ++Ct->HangupCancels;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Connection service
+//===----------------------------------------------------------------------===//
+
+void Server::serveConnection(std::shared_ptr<Conn> C) {
+  int IdleMs =
+      *Opts.IdleTimeoutMs == 0 ? -1 : static_cast<int>(*Opts.IdleTimeoutMs);
+  while (!Stopping.load()) {
+    std::string Payload;
+    FrameStatus St =
+        readFrame(C->Fd, Payload, *Opts.MaxFrameBytes, IdleMs);
+    bool Keep = false;
+    switch (St) {
+    case FrameStatus::Ok:
+      Keep = handleFrame(*C, Payload);
+      break;
+    case FrameStatus::CleanClose:
+      break; // peer finished at a frame boundary
+    case FrameStatus::TimedOut:
+      writeFrame(C->Fd, encodeError({0, "idle timeout"}));
+      break;
+    case FrameStatus::Empty:
+      ++Ct->FramingErrors;
+      writeFrame(C->Fd, encodeError({0, "zero-length frame"}));
+      break;
+    case FrameStatus::Oversized:
+      ++Ct->OversizedFrames;
+      writeFrame(C->Fd, encodeError({0, "frame exceeds size limit"}));
+      break;
+    case FrameStatus::Truncated:
+    case FrameStatus::Error:
+      // Peer died mid-frame (or the transport broke); nothing to
+      // reply to.
+      ++Ct->FramingErrors;
+      break;
+    }
+    if (!Keep)
+      break;
+  }
+  ::close(C->Fd);
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
+    // Notify under the lock: once stop()'s predicate observes the
+    // empty vector this thread holds no server reference.
+    ConnsDrained.notify_all();
+  }
+}
+
+bool Server::handleFrame(Conn &C, const std::string &Payload) {
+  switch (payloadType(Payload)) {
+  case static_cast<std::uint8_t>(MsgType::Ping): {
+    std::uint64_t Nonce = 0;
+    if (!decodePing(Payload, Nonce)) {
+      ++Ct->ParseErrors;
+      writeFrame(C.Fd, encodeError({0, "malformed ping"}));
+      return false;
+    }
+    ++Ct->Pings;
+    return writeFrame(C.Fd, encodePong(Nonce));
+  }
+  case static_cast<std::uint8_t>(MsgType::Request): {
+    WireRequest R;
+    std::string Err;
+    if (!decodeRequest(Payload, R, Err)) {
+      ++Ct->ParseErrors;
+      writeFrame(C.Fd, encodeError({0, "malformed request: " + Err}));
+      return false;
+    }
+    return handleRequest(C, std::move(R));
+  }
+  default:
+    ++Ct->ParseErrors;
+    writeFrame(C.Fd, encodeError({0, "unknown message type"}));
+    return false;
+  }
+}
+
+bool Server::handleRequest(Conn &C, WireRequest &&Req) {
+  ++Ct->Requests;
+
+  // Idempotent retry: a request id we already completed replays its
+  // recorded verdicts — a client that lost the connection mid-reply
+  // resends without re-running anything.
+  {
+    std::vector<WireVerdict> Recorded;
+    if (replayLookup(Req.Id, Recorded)) {
+      ++Ct->Replays;
+      for (const WireVerdict &V : Recorded)
+        if (!writeFrame(C.Fd, encodeVerdict(V))) {
+          ++Ct->Disconnected;
+          return false;
+        }
+      WireDone D;
+      D.Id = Req.Id;
+      D.Verdicts = static_cast<std::uint32_t>(Recorded.size());
+      D.Replayed = 1;
+      if (!writeFrame(C.Fd, encodeDone(D))) {
+        ++Ct->Disconnected;
+        return false;
+      }
+      return true;
+    }
+  }
+
+  // The client deadline becomes the request's budget; queue waiting
+  // spends it too, so a request that would be admitted already dead
+  // sheds instead.
+  std::uint32_t DeadlineMs =
+      Req.DeadlineMs != 0 ? Req.DeadlineMs : *Opts.DefaultDeadlineMs;
+  Budget Root =
+      DeadlineMs != 0 ? Budget::forMillis(DeadlineMs) : Budget::unlimited();
+  std::int64_t MaxWaitMs =
+      DeadlineMs != 0 ? Root.remainingMs() : NoDeadlineQueueWaitMs;
+  if (Admit->enter(MaxWaitMs) == AdmissionController::Ticket::Shed) {
+    WireOverloaded O;
+    O.Id = Req.Id;
+    std::ostringstream Detail;
+    Detail << "saturated: " << Admit->inFlight() << "/"
+           << Admit->maxInFlight() << " in flight, queue limit "
+           << Admit->maxQueue();
+    O.Detail = Detail.str();
+    if (!writeFrame(C.Fd, encodeOverloaded(O))) {
+      ++Ct->Disconnected;
+      return false;
+    }
+    return true; // shed the request, keep the connection
+  }
+
+  std::uint64_t WatchTok = watchAdd(C.Fd, Root);
+  bool Keep = true;
+  {
+    std::string Err;
+    std::shared_ptr<ProgramEntry> Entry = internProgram(Req.Program, Err);
+    if (!Entry) {
+      ++Ct->ProgramParseErrors;
+      if (!writeFrame(C.Fd,
+                      encodeError({Req.Id, "program parse error: " + Err}))) {
+        ++Ct->Disconnected;
+        Keep = false;
+      }
+    } else {
+      // Test-only stall (CHUTE_DAEMON_HOLD_MS): keeps the slot busy
+      // so tests can saturate admission and abandon requests
+      // deterministically. Budget-aware like any engine phase.
+      if (unsigned Hold = *Opts.HoldMs) {
+        auto End = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(Hold);
+        while (std::chrono::steady_clock::now() < End && !Root.expired() &&
+               !Stopping.load())
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+
+      std::vector<WireVerdict> Verdicts;
+      Verdicts.reserve(Req.Properties.size());
+      bool PeerGone = false;
+      for (std::uint32_t I = 0; I < Req.Properties.size(); ++I) {
+        WireVerdict V = verifyOne(*Entry, Req, I, Root, DeadlineMs);
+        Verdicts.push_back(V);
+        if (!writeFrame(C.Fd, encodeVerdict(V))) {
+          // Client gone mid-stream: stop verifying for it, release
+          // the slot, tear down only this connection.
+          ++Ct->Disconnected;
+          PeerGone = true;
+          break;
+        }
+      }
+      if (!PeerGone) {
+        replayStore(Req.Id, Verdicts);
+        WireDone D;
+        D.Id = Req.Id;
+        D.Verdicts = static_cast<std::uint32_t>(Verdicts.size());
+        if (writeFrame(C.Fd, encodeDone(D))) {
+          ++Ct->Completed;
+        } else {
+          ++Ct->Disconnected;
+          Keep = false;
+        }
+      } else {
+        Keep = false;
+      }
+    }
+  }
+  watchRemove(WatchTok);
+  Admit->leave();
+  return Keep && !Stopping.load();
+}
+
+WireVerdict Server::verifyOne(ProgramEntry &Entry, const WireRequest &Req,
+                              std::uint32_t Index, const Budget &Root,
+                              std::uint32_t DeadlineMs) {
+  WireVerdict V;
+  V.Id = Req.Id;
+  V.Index = Index;
+
+  if (Root.expired()) {
+    // Earlier properties (or the queue) consumed the whole deadline;
+    // report this one as timed out without starting it.
+    FailureInfo F{FailPhase::Refinement,
+                  Root.cancelled() ? FailResource::Cancelled
+                                   : FailResource::WallClock,
+                  Req.Properties[Index],
+                  DeadlineMs != 0
+                      ? "deadline exhausted before this property started"
+                      : "request cancelled before this property started"};
+    V.St = WireStatus::Timeout;
+    V.FailPhase = static_cast<std::uint8_t>(F.Phase);
+    V.FailResource = static_cast<std::uint8_t>(F.Resource);
+    V.Failure = F.toString();
+    ++Ct->TimedOut;
+    return V;
+  }
+
+  VerifierOptions PO = Opts.Verify;
+  PO.SharedCache = Entry.Cache;
+  PO.CancelDomain = Root; // deadline + hangup/stop cancellation
+  // Workers: 0 defers to the shared global pool (sized once by
+  // chuted at startup); per-request resizing would thrash it.
+  PO.Jobs = 0;
+
+  Verifier Vr(*Entry.Prog, PO);
+  std::string Err;
+  VerifyResult R = Vr.verify(Req.Properties[Index], Err);
+
+  V.Seconds = R.Seconds;
+  V.Rounds = R.Rounds;
+  if (R.Failure.valid()) {
+    V.FailPhase = static_cast<std::uint8_t>(R.Failure.Phase);
+    V.FailResource = static_cast<std::uint8_t>(R.Failure.Resource);
+    V.Failure = R.Failure.toString();
+    if (R.Failure.Phase == FailPhase::Parse)
+      ++Ct->PropertyParseErrors;
+  }
+  switch (R.V) {
+  case Verdict::Proved:
+    V.St = WireStatus::Proved;
+    ++Ct->Proved;
+    break;
+  case Verdict::Disproved:
+    V.St = WireStatus::Disproved;
+    ++Ct->Disproved;
+    break;
+  default:
+    if (Root.expired() || R.Failure.Resource == FailResource::WallClock ||
+        R.Failure.Resource == FailResource::Cancelled) {
+      V.St = WireStatus::Timeout;
+      ++Ct->TimedOut;
+    } else {
+      V.St = WireStatus::Unknown;
+      ++Ct->Unknowns;
+    }
+    break;
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Program registry
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<Server::ProgramEntry>
+Server::internProgram(const std::string &Text, std::string &Err) {
+  std::string Key = DiskCache::programKey(Text);
+  std::lock_guard<std::mutex> Lock(ProgMu);
+  auto It = Programs.find(Key);
+  if (It != Programs.end()) {
+    It->second->LastUse.store(UseTick.fetch_add(1) + 1);
+    return It->second;
+  }
+
+  auto E = std::make_shared<ProgramEntry>();
+  E->Key = Key;
+  E->Ctx = std::make_unique<ExprContext>();
+  E->Prog = parseProgram(*E->Ctx, Text, Err);
+  if (!E->Prog)
+    return nullptr;
+  E->Cache = std::make_shared<QueryCache>();
+  if (Disk && Disk->load(Key, *E->Ctx, *E->Cache))
+    ++Ct->DiskLoads;
+  E->LastUse.store(UseTick.fetch_add(1) + 1);
+  Programs.emplace(Key, E);
+  ++Ct->ProgramsInterned;
+
+  // Evict least-recently-used entries beyond the bound, persisting
+  // their warm caches first. In-flight requests holding an evicted
+  // entry keep it alive through their shared_ptr.
+  while (Programs.size() > *Opts.MaxPrograms) {
+    auto Victim = Programs.end();
+    for (auto I = Programs.begin(); I != Programs.end(); ++I) {
+      if (I->first == Key)
+        continue;
+      if (Victim == Programs.end() ||
+          I->second->LastUse.load() < Victim->second->LastUse.load())
+        Victim = I;
+    }
+    if (Victim == Programs.end())
+      break;
+    saveEntry(*Victim->second);
+    Programs.erase(Victim);
+    ++Ct->ProgramsEvicted;
+  }
+  return E;
+}
+
+void Server::saveEntry(ProgramEntry &E) {
+  // Callers hold ProgMu (DiskCache stats are not synchronised).
+  if (Disk && Disk->save(E.Key, *E.Cache))
+    ++Ct->DiskSaves;
+}
+
+void Server::saveAllEntries() {
+  std::lock_guard<std::mutex> Lock(ProgMu);
+  for (auto &KV : Programs)
+    saveEntry(*KV.second);
+}
+
+//===----------------------------------------------------------------------===//
+// Hangup watches
+//===----------------------------------------------------------------------===//
+
+std::uint64_t Server::watchAdd(int Fd, const Budget &B) {
+  std::lock_guard<std::mutex> Lock(WatchMu);
+  std::uint64_t Token = NextWatchToken++;
+  Watches.push_back(Watch{Token, Fd, B});
+  return Token;
+}
+
+void Server::watchRemove(std::uint64_t Token) {
+  std::lock_guard<std::mutex> Lock(WatchMu);
+  for (auto I = Watches.begin(); I != Watches.end(); ++I) {
+    if (I->Token == Token) {
+      Watches.erase(I);
+      return;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Idempotency cache
+//===----------------------------------------------------------------------===//
+
+bool Server::replayLookup(std::uint64_t Id, std::vector<WireVerdict> &Out) {
+  std::lock_guard<std::mutex> Lock(ReplayMu);
+  auto It = Replay.find(Id);
+  if (It == Replay.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void Server::replayStore(std::uint64_t Id, std::vector<WireVerdict> Vs) {
+  std::lock_guard<std::mutex> Lock(ReplayMu);
+  auto Ins = Replay.emplace(Id, std::move(Vs));
+  if (!Ins.second)
+    return; // first completion wins; a replay already answered
+  ReplayOrder.push_back(Id);
+  while (ReplayOrder.size() > ReplayCap) {
+    Replay.erase(ReplayOrder.front());
+    ReplayOrder.pop_front();
+  }
+}

@@ -1,0 +1,243 @@
+//===- daemon/Server.h - chuted verification daemon -----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chuted server: a long-lived process accepting verification
+/// requests (program text + a CTL property batch) over the
+/// length-prefixed protocol of daemon/Wire.h, on a Unix-domain or
+/// TCP socket.
+///
+/// Failure containment is the design center:
+///
+///  - Admission control (daemon/Admission.h) bounds in-flight work
+///    and queue depth; saturated requests get an immediate
+///    OVERLOADED reply instead of buffering unboundedly, and queued
+///    requests shed when their own deadline would expire first.
+///
+///  - Every request's client deadline becomes a Budget installed as
+///    the per-request Verifier's cancellation domain
+///    (VerifierOptions::CancelDomain), so expiry and cancellation
+///    propagate through every engine layer; the client receives a
+///    partial TIMEOUT verdict with FailureInfo instead of a hang.
+///
+///  - A connection monitor polls active requests' sockets for
+///    hangup and cancels their budgets, so a dying client reclaims
+///    its verification slot within one poll interval.
+///
+///  - Framing errors, oversized payloads, parse failures and
+///    mid-request disconnects tear down only their connection; the
+///    daemon's shared state (program registry, warm caches,
+///    admission slots) is untouched.
+///
+///  - Completed requests are remembered in a bounded idempotency
+///    cache keyed by client request id; a retried id replays the
+///    recorded verdicts instead of re-verifying.
+///
+/// Programs are interned in a bounded LRU registry; each entry owns
+/// the program's ExprContext and a shared QueryCache, so every
+/// client verifying the same program hits the warm in-memory cache,
+/// and — when a cache directory is configured — entries warm start
+/// from and persist to the disk cache shared with offline runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_DAEMON_SERVER_H
+#define CHUTE_DAEMON_SERVER_H
+
+#include "core/Options.h"
+#include "daemon/Admission.h"
+#include "daemon/Wire.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace chute {
+class DiskCache;
+} // namespace chute
+
+namespace chute::daemon {
+
+/// Daemon configuration. Optional fields follow the
+/// VerifierOptions convention: explicitly set wins over the
+/// environment knob, which wins over the built-in default (see
+/// resolveDaemonEnvOverrides; precedence is pinned by DaemonTest).
+struct ServerOptions {
+  /// Listen endpoint spec ("unix:/path", "tcp:host:port", or a bare
+  /// path). Env: CHUTE_DAEMON_SOCKET. Default: unix:/tmp/chuted.sock.
+  std::optional<std::string> Endpoint;
+  /// Concurrent verifying requests. Env: CHUTE_DAEMON_MAX_INFLIGHT.
+  /// Default: min(hardware concurrency, 8).
+  std::optional<unsigned> MaxInFlight;
+  /// Requests allowed to wait for a slot; everything beyond sheds.
+  /// Env: CHUTE_DAEMON_MAX_QUEUE. Default: 16.
+  std::optional<unsigned> MaxQueue;
+  /// Frame size ceiling. Env: CHUTE_DAEMON_MAX_FRAME_BYTES.
+  /// Default: DefaultMaxFrameBytes.
+  std::optional<unsigned> MaxFrameBytes;
+  /// Deadline applied to requests that carry none (0 = unlimited).
+  /// Env: CHUTE_DAEMON_DEADLINE_MS. Default: 0.
+  std::optional<unsigned> DefaultDeadlineMs;
+  /// Bound on the interned-program LRU registry.
+  /// Env: CHUTE_DAEMON_MAX_PROGRAMS. Default: 32.
+  std::optional<unsigned> MaxPrograms;
+  /// Idle connections are closed after this long without a frame.
+  /// Env: CHUTE_DAEMON_IDLE_TIMEOUT_MS. Default: 300000; 0 = never.
+  std::optional<unsigned> IdleTimeoutMs;
+  /// Test-only: admitted requests stall this long (budget-aware)
+  /// before verifying, so tests can saturate admission and observe
+  /// mid-request disconnects deterministically.
+  /// Env: CHUTE_DAEMON_HOLD_MS. Default: 0.
+  std::optional<unsigned> HoldMs;
+
+  /// Base options for per-request Verifiers. CacheDir (or
+  /// CHUTE_CACHE_DIR) enables the shared disk cache; SharedCache and
+  /// CancelDomain are overwritten per request.
+  VerifierOptions Verify;
+};
+
+/// Applies the CHUTE_DAEMON_* environment knobs to every field not
+/// set explicitly and fills the documented defaults, so the returned
+/// options have every field set. Also resolves Verify through
+/// resolveEnvOverrides.
+ServerOptions resolveDaemonEnvOverrides(ServerOptions O);
+
+/// Monotone daemon counters plus a few instantaneous gauges
+/// (snapshot; see Server::stats). The per-connection failure
+/// counters are the observable contract of the containment tests.
+struct ServerStats {
+  std::uint64_t Accepted = 0;      ///< connections accepted
+  std::uint64_t ConnOverCap = 0;   ///< connections shed at accept
+  std::uint64_t Requests = 0;      ///< request frames decoded
+  std::uint64_t Admitted = 0;      ///< granted a verification slot
+  std::uint64_t Queued = 0;        ///< of Admitted: waited first
+  std::uint64_t Shed = 0;          ///< replied OVERLOADED
+  std::uint64_t Completed = 0;     ///< Done frames sent
+  std::uint64_t TimedOut = 0;      ///< TIMEOUT verdicts sent
+  std::uint64_t Disconnected = 0;  ///< reply aborted: client gone
+  std::uint64_t HangupCancels = 0; ///< budgets cancelled by monitor
+  std::uint64_t FramingErrors = 0; ///< empty/truncated/unreadable frames
+  std::uint64_t OversizedFrames = 0; ///< length > MaxFrameBytes
+  std::uint64_t ParseErrors = 0;     ///< well-framed, undecodable payloads
+  std::uint64_t ProgramParseErrors = 0; ///< program text rejected
+  std::uint64_t PropertyParseErrors = 0; ///< property text rejected
+  std::uint64_t Replays = 0;       ///< answered from idempotency cache
+  std::uint64_t Pings = 0;
+  std::uint64_t Proved = 0;
+  std::uint64_t Disproved = 0;
+  std::uint64_t Unknowns = 0;
+  std::uint64_t ProgramsInterned = 0;
+  std::uint64_t ProgramsEvicted = 0;
+  std::uint64_t DiskLoads = 0; ///< program entries warm-started
+  std::uint64_t DiskSaves = 0; ///< entries persisted
+  unsigned InFlight = 0;        ///< gauge
+  unsigned LiveConnections = 0; ///< gauge
+
+  std::string toJson() const;
+};
+
+/// The daemon. start() binds and spawns the acceptor/monitor
+/// threads; stop() (idempotent, also run by the destructor) sheds
+/// queued work, cancels in-flight budgets, drains connections and
+/// persists warm caches. Safe to drive from a signal-notified main
+/// loop.
+class Server {
+public:
+  explicit Server(ServerOptions Options = ServerOptions());
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  bool start(std::string &Err);
+  void stop();
+
+  bool running() const { return Started && !Stopping.load(); }
+
+  /// The resolved options the server runs under.
+  const ServerOptions &options() const { return Opts; }
+
+  /// The endpoint actually listening (TCP port resolved).
+  Endpoint endpoint() const { return Ep; }
+
+  ServerStats stats() const;
+
+private:
+  struct Conn;
+  struct ProgramEntry;
+  struct Watch;
+
+  void acceptLoop();
+  void monitorLoop();
+  void serveConnection(std::shared_ptr<Conn> C);
+  /// Returns false when the connection must close (framing-level
+  /// trouble); true to keep serving it.
+  bool handleFrame(Conn &C, const std::string &Payload);
+  bool handleRequest(Conn &C, WireRequest &&Req);
+  WireVerdict verifyOne(ProgramEntry &Entry, const WireRequest &Req,
+                        std::uint32_t Index, const Budget &Root,
+                        std::uint32_t DeadlineMs);
+
+  std::shared_ptr<ProgramEntry> internProgram(const std::string &Text,
+                                              std::string &Err);
+  void saveEntry(ProgramEntry &E);
+  void saveAllEntries();
+
+  std::uint64_t watchAdd(int Fd, const Budget &B);
+  void watchRemove(std::uint64_t Token);
+
+  bool replayLookup(std::uint64_t Id, std::vector<WireVerdict> &Out);
+  void replayStore(std::uint64_t Id, std::vector<WireVerdict> Vs);
+
+  ServerOptions Opts; ///< fully resolved
+  Endpoint Ep;
+  std::string CacheDir; ///< "" = no disk cache
+  std::unique_ptr<DiskCache> Disk; ///< null without CacheDir; ProgMu
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  bool Started = false;
+  std::atomic<bool> Stopping{false};
+  bool StopRan = false;
+  std::mutex StopMu;
+
+  std::unique_ptr<AdmissionController> Admit;
+  std::thread Acceptor;
+  std::thread Monitor;
+
+  mutable std::mutex ConnsMu;
+  std::condition_variable ConnsDrained;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  mutable std::mutex WatchMu;
+  std::vector<Watch> Watches;
+  std::uint64_t NextWatchToken = 1;
+
+  mutable std::mutex ProgMu;
+  std::unordered_map<std::string, std::shared_ptr<ProgramEntry>>
+      Programs;
+  std::atomic<std::uint64_t> UseTick{0};
+
+  mutable std::mutex ReplayMu;
+  std::unordered_map<std::uint64_t, std::vector<WireVerdict>> Replay;
+  std::list<std::uint64_t> ReplayOrder; ///< front = oldest
+  static constexpr std::size_t ReplayCap = 256;
+
+  struct Counters;
+  std::unique_ptr<Counters> Ct;
+};
+
+} // namespace chute::daemon
+
+#endif // CHUTE_DAEMON_SERVER_H

@@ -1,0 +1,358 @@
+//===- daemon/Wire.cpp - chuted length-prefixed wire protocol --------------===//
+
+#include "daemon/Wire.h"
+
+#include "support/Socket.h"
+
+#include <cstring>
+
+using namespace chute;
+using namespace chute::daemon;
+
+const char *chute::daemon::toString(WireStatus S) {
+  switch (S) {
+  case WireStatus::Proved:
+    return "proved";
+  case WireStatus::Disproved:
+    return "disproved";
+  case WireStatus::Unknown:
+    return "unknown";
+  case WireStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+const char *chute::daemon::toString(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::CleanClose:
+    return "clean-close";
+  case FrameStatus::Truncated:
+    return "truncated";
+  case FrameStatus::Oversized:
+    return "oversized";
+  case FrameStatus::Empty:
+    return "empty";
+  case FrameStatus::TimedOut:
+    return "timed-out";
+  case FrameStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+void putU8(std::string &B, std::uint8_t V) {
+  B.push_back(static_cast<char>(V));
+}
+
+void putU32(std::string &B, std::uint32_t V) {
+  for (unsigned I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &B, std::uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putF64(std::string &B, double V) {
+  std::uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(B, Bits);
+}
+
+void putStr(std::string &B, const std::string &S) {
+  putU32(B, static_cast<std::uint32_t>(S.size()));
+  B.append(S);
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every
+/// accessor returns false (and poisons the reader) on underrun;
+/// decoders additionally require done() so trailing garbage inside a
+/// frame is rejected.
+class Reader {
+public:
+  explicit Reader(const std::string &B) : B(B) {}
+
+  bool u8(std::uint8_t &V) {
+    if (Bad || B.size() - Pos < 1)
+      return fail();
+    V = static_cast<std::uint8_t>(B[Pos++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t &V) {
+    if (Bad || B.size() - Pos < 4)
+      return fail();
+    V = 0;
+    for (unsigned I = 0; I < 4; ++I)
+      V |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(B[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t &V) {
+    if (Bad || B.size() - Pos < 8)
+      return fail();
+    V = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      V |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(B[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool f64(double &V) {
+    std::uint64_t Bits = 0;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+
+  bool str(std::string &S) {
+    std::uint32_t Len = 0;
+    if (!u32(Len))
+      return false;
+    if (B.size() - Pos < Len)
+      return fail();
+    S.assign(B, Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  bool done() const { return !Bad && Pos == B.size(); }
+
+private:
+  bool fail() {
+    Bad = true;
+    return false;
+  }
+
+  const std::string &B;
+  std::size_t Pos = 0;
+  bool Bad = false;
+};
+
+} // namespace
+
+std::string chute::daemon::encodeRequest(const WireRequest &R) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Request));
+  putU64(B, R.Id);
+  putU32(B, R.DeadlineMs);
+  putStr(B, R.Program);
+  putU32(B, static_cast<std::uint32_t>(R.Properties.size()));
+  for (const std::string &P : R.Properties)
+    putStr(B, P);
+  return B;
+}
+
+std::string chute::daemon::encodePing(std::uint64_t Nonce) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Ping));
+  putU64(B, Nonce);
+  return B;
+}
+
+std::string chute::daemon::encodeVerdict(const WireVerdict &V) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Verdict));
+  putU64(B, V.Id);
+  putU32(B, V.Index);
+  putU8(B, static_cast<std::uint8_t>(V.St));
+  putF64(B, V.Seconds);
+  putU32(B, V.Rounds);
+  putU8(B, V.FailPhase);
+  putU8(B, V.FailResource);
+  putStr(B, V.Failure);
+  return B;
+}
+
+std::string chute::daemon::encodeDone(const WireDone &D) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Done));
+  putU64(B, D.Id);
+  putU32(B, D.Verdicts);
+  putU8(B, D.Replayed);
+  return B;
+}
+
+std::string chute::daemon::encodeOverloaded(const WireOverloaded &O) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Overloaded));
+  putU64(B, O.Id);
+  putStr(B, O.Detail);
+  return B;
+}
+
+std::string chute::daemon::encodeError(const WireError &E) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Error));
+  putU64(B, E.Id);
+  putStr(B, E.Detail);
+  return B;
+}
+
+std::string chute::daemon::encodePong(std::uint64_t Nonce) {
+  std::string B;
+  putU8(B, static_cast<std::uint8_t>(MsgType::Pong));
+  putU64(B, Nonce);
+  return B;
+}
+
+std::uint8_t chute::daemon::payloadType(const std::string &Payload) {
+  return Payload.empty() ? 0
+                         : static_cast<std::uint8_t>(Payload[0]);
+}
+
+namespace {
+
+bool expectType(Reader &R, MsgType T) {
+  std::uint8_t Got = 0;
+  return R.u8(Got) && Got == static_cast<std::uint8_t>(T);
+}
+
+} // namespace
+
+bool chute::daemon::decodeRequest(const std::string &Payload,
+                                  WireRequest &Out, std::string &Err) {
+  Reader R(Payload);
+  std::uint32_t NProps = 0;
+  if (!expectType(R, MsgType::Request) || !R.u64(Out.Id) ||
+      !R.u32(Out.DeadlineMs) || !R.str(Out.Program) || !R.u32(NProps)) {
+    Err = "malformed request header";
+    return false;
+  }
+  // A property is at least a u32 length; anything claiming more
+  // properties than the remaining bytes could hold is garbage.
+  if (NProps > Payload.size() / 4) {
+    Err = "request property count implausible";
+    return false;
+  }
+  Out.Properties.clear();
+  Out.Properties.reserve(NProps);
+  for (std::uint32_t I = 0; I < NProps; ++I) {
+    std::string P;
+    if (!R.str(P)) {
+      Err = "malformed request property " + std::to_string(I);
+      return false;
+    }
+    Out.Properties.push_back(std::move(P));
+  }
+  if (!R.done()) {
+    Err = "trailing bytes after request";
+    return false;
+  }
+  return true;
+}
+
+bool chute::daemon::decodePing(const std::string &Payload,
+                               std::uint64_t &Nonce) {
+  Reader R(Payload);
+  return expectType(R, MsgType::Ping) && R.u64(Nonce) && R.done();
+}
+
+bool chute::daemon::decodeVerdict(const std::string &Payload,
+                                  WireVerdict &Out, std::string &Err) {
+  Reader R(Payload);
+  std::uint8_t St = 0;
+  if (!expectType(R, MsgType::Verdict) || !R.u64(Out.Id) ||
+      !R.u32(Out.Index) || !R.u8(St) || !R.f64(Out.Seconds) ||
+      !R.u32(Out.Rounds) || !R.u8(Out.FailPhase) ||
+      !R.u8(Out.FailResource) || !R.str(Out.Failure) || !R.done() ||
+      St > static_cast<std::uint8_t>(WireStatus::Timeout)) {
+    Err = "malformed verdict";
+    return false;
+  }
+  Out.St = static_cast<WireStatus>(St);
+  return true;
+}
+
+bool chute::daemon::decodeDone(const std::string &Payload, WireDone &Out,
+                               std::string &Err) {
+  Reader R(Payload);
+  if (!expectType(R, MsgType::Done) || !R.u64(Out.Id) ||
+      !R.u32(Out.Verdicts) || !R.u8(Out.Replayed) || !R.done()) {
+    Err = "malformed done";
+    return false;
+  }
+  return true;
+}
+
+bool chute::daemon::decodeOverloaded(const std::string &Payload,
+                                     WireOverloaded &Out,
+                                     std::string &Err) {
+  Reader R(Payload);
+  if (!expectType(R, MsgType::Overloaded) || !R.u64(Out.Id) ||
+      !R.str(Out.Detail) || !R.done()) {
+    Err = "malformed overloaded";
+    return false;
+  }
+  return true;
+}
+
+bool chute::daemon::decodeError(const std::string &Payload,
+                                WireError &Out, std::string &Err) {
+  Reader R(Payload);
+  if (!expectType(R, MsgType::Error) || !R.u64(Out.Id) ||
+      !R.str(Out.Detail) || !R.done()) {
+    Err = "malformed error frame";
+    return false;
+  }
+  return true;
+}
+
+bool chute::daemon::decodePong(const std::string &Payload,
+                               std::uint64_t &Nonce) {
+  Reader R(Payload);
+  return expectType(R, MsgType::Pong) && R.u64(Nonce) && R.done();
+}
+
+bool chute::daemon::writeFrame(int Fd, const std::string &Payload) {
+  std::string Buf;
+  Buf.reserve(4 + Payload.size());
+  putU32(Buf, static_cast<std::uint32_t>(Payload.size()));
+  Buf.append(Payload);
+  return sendAll(Fd, Buf.data(), Buf.size()) == IoStatus::Ok;
+}
+
+FrameStatus chute::daemon::readFrame(int Fd, std::string &Payload,
+                                     std::uint32_t MaxBytes,
+                                     int HeaderTimeoutMs,
+                                     int BodyTimeoutMs) {
+  unsigned char Hdr[4];
+  RecvResult H = recvAll(Fd, Hdr, sizeof(Hdr), HeaderTimeoutMs);
+  if (H.St == IoStatus::Eof)
+    return H.N == 0 ? FrameStatus::CleanClose : FrameStatus::Truncated;
+  if (H.St == IoStatus::TimedOut)
+    return FrameStatus::TimedOut;
+  if (H.St != IoStatus::Ok)
+    return FrameStatus::Error;
+
+  std::uint32_t Len = 0;
+  for (unsigned I = 0; I < 4; ++I)
+    Len |= static_cast<std::uint32_t>(Hdr[I]) << (8 * I);
+  if (Len == 0)
+    return FrameStatus::Empty;
+  if (Len > MaxBytes)
+    return FrameStatus::Oversized;
+
+  Payload.resize(Len);
+  RecvResult B = recvAll(Fd, Payload.data(), Len, BodyTimeoutMs);
+  if (B.St == IoStatus::Eof)
+    return FrameStatus::Truncated;
+  if (B.St == IoStatus::TimedOut)
+    return FrameStatus::TimedOut;
+  if (B.St != IoStatus::Ok)
+    return FrameStatus::Error;
+  return FrameStatus::Ok;
+}

@@ -1,0 +1,177 @@
+//===- daemon/Wire.h - chuted length-prefixed wire protocol ---*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chuted wire protocol: length-prefixed binary frames over a
+/// stream socket. Every frame is
+///
+///   u32 length (little-endian, length of what follows)
+///   u8  message type
+///   ... type-specific payload
+///
+/// A valid length is in [1, MaxFrameBytes]; zero-length frames and
+/// oversized lengths are framing errors that terminate the
+/// connection (after a best-effort Error reply), because nothing
+/// after a malformed header can be trusted. All integers are fixed
+/// width little-endian; strings are u32 length + raw bytes.
+///
+/// Client -> daemon: Request (one program, a batch of CTL
+/// properties, an id and a deadline), Ping.
+///
+/// Daemon -> client: one Verdict per property, streamed as each
+/// finishes, then Done; or Overloaded (admission shed the request);
+/// or Error (malformed input); Pong.
+///
+/// Request ids are client-chosen 64-bit values used for idempotent
+/// retry: the daemon remembers recently completed requests and
+/// replays their verdicts when the same id is submitted again, so a
+/// client that lost the connection mid-reply can resend without
+/// re-running the verification.
+///
+/// Decoding is strict: every read is bounds-checked, trailing bytes
+/// in a frame are an error, and a decoder never throws — malformed
+/// payloads surface as a false return plus an error string, and the
+/// daemon answers them with Error, tearing down only that
+/// connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_DAEMON_WIRE_H
+#define CHUTE_DAEMON_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chute::daemon {
+
+/// Hard ceiling a frame length field may carry by default (4 MiB —
+/// programs and properties are text; anything bigger is hostile or
+/// corrupt). Configurable per server/client.
+inline constexpr std::uint32_t DefaultMaxFrameBytes = 4u << 20;
+
+enum class MsgType : std::uint8_t {
+  // client -> daemon
+  Request = 1,
+  Ping = 2,
+  // daemon -> client
+  Verdict = 16,
+  Done = 17,
+  Overloaded = 18,
+  Error = 19,
+  Pong = 20,
+};
+
+/// Per-property outcome on the wire. Timeout is distinct from
+/// Unknown so clients can tell "your deadline expired" from "the
+/// method gave up".
+enum class WireStatus : std::uint8_t {
+  Proved = 0,
+  Disproved = 1,
+  Unknown = 2,
+  Timeout = 3,
+};
+
+const char *toString(WireStatus S);
+
+/// A verification request: one program, many properties, a deadline
+/// that covers the whole batch.
+struct WireRequest {
+  std::uint64_t Id = 0;
+  std::uint32_t DeadlineMs = 0; ///< 0 = no client deadline
+  std::string Program;
+  std::vector<std::string> Properties;
+};
+
+/// One property's verdict (streamed as soon as it is known).
+struct WireVerdict {
+  std::uint64_t Id = 0;
+  std::uint32_t Index = 0; ///< position in WireRequest::Properties
+  WireStatus St = WireStatus::Unknown;
+  double Seconds = 0.0;
+  std::uint32_t Rounds = 0;
+  std::uint8_t FailPhase = 0;    ///< chute::FailPhase when degraded
+  std::uint8_t FailResource = 0; ///< chute::FailResource
+  std::string Failure;           ///< rendered FailureInfo ("" if none)
+};
+
+struct WireDone {
+  std::uint64_t Id = 0;
+  std::uint32_t Verdicts = 0;
+  std::uint8_t Replayed = 0; ///< answered from the idempotency cache
+};
+
+struct WireOverloaded {
+  std::uint64_t Id = 0;
+  std::string Detail;
+};
+
+/// Protocol/request error. Id is 0 for connection-level framing
+/// errors (the connection closes after this frame).
+struct WireError {
+  std::uint64_t Id = 0;
+  std::string Detail;
+};
+
+//===--- Payload encoding (type byte + body, no length prefix) --------===//
+
+std::string encodeRequest(const WireRequest &R);
+std::string encodePing(std::uint64_t Nonce);
+std::string encodeVerdict(const WireVerdict &V);
+std::string encodeDone(const WireDone &D);
+std::string encodeOverloaded(const WireOverloaded &O);
+std::string encodeError(const WireError &E);
+std::string encodePong(std::uint64_t Nonce);
+
+//===--- Payload decoding ---------------------------------------------===//
+
+/// First byte of a non-empty payload (the message type); 0 when
+/// empty.
+std::uint8_t payloadType(const std::string &Payload);
+
+bool decodeRequest(const std::string &Payload, WireRequest &Out,
+                   std::string &Err);
+bool decodePing(const std::string &Payload, std::uint64_t &Nonce);
+bool decodeVerdict(const std::string &Payload, WireVerdict &Out,
+                   std::string &Err);
+bool decodeDone(const std::string &Payload, WireDone &Out,
+                std::string &Err);
+bool decodeOverloaded(const std::string &Payload, WireOverloaded &Out,
+                      std::string &Err);
+bool decodeError(const std::string &Payload, WireError &Out,
+                 std::string &Err);
+bool decodePong(const std::string &Payload, std::uint64_t &Nonce);
+
+//===--- Frame I/O ----------------------------------------------------===//
+
+/// How reading one frame ended.
+enum class FrameStatus {
+  Ok,         ///< Payload holds one complete frame body
+  CleanClose, ///< peer closed at a frame boundary (normal end)
+  Truncated,  ///< peer closed mid-header or mid-payload
+  Oversized,  ///< header length > MaxBytes (stream unusable)
+  Empty,      ///< header length == 0 (stream unusable)
+  TimedOut,   ///< whole-frame deadline passed
+  Error,      ///< transport error
+};
+
+const char *toString(FrameStatus S);
+
+/// Writes one frame (length prefix + \p Payload). Returns false when
+/// the peer is gone or the transport failed — never raises SIGPIPE.
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame into \p Payload. \p HeaderTimeoutMs bounds the
+/// wait for the first header byte (idle connection; <= 0 waits
+/// forever); once a header arrives the body must follow within
+/// \p BodyTimeoutMs.
+FrameStatus readFrame(int Fd, std::string &Payload,
+                      std::uint32_t MaxBytes, int HeaderTimeoutMs,
+                      int BodyTimeoutMs = 10000);
+
+} // namespace chute::daemon
+
+#endif // CHUTE_DAEMON_WIRE_H

@@ -1,0 +1,199 @@
+//===- daemon/chuted_main.cpp - chuted entry point --------------------------===//
+//
+// The verification daemon. Binds the configured endpoint, serves
+// until SIGTERM/SIGINT, then shuts down gracefully: stops accepting,
+// sheds queued requests, cancels in-flight verification through the
+// budget layer, drains connections and persists warm caches. Exit
+// code 0 on a clean signal-driven shutdown, 1 on startup failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Server.h"
+#include "support/Socket.h"
+#include "support/TaskPool.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+namespace {
+
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int Sig) {
+  unsigned char B = static_cast<unsigned char>(Sig);
+  // Async-signal-safe: just poke the main loop.
+  (void)!::write(SignalPipe[1], &B, 1);
+}
+
+void usage() {
+  std::cerr
+      << "usage: chuted [options]\n"
+         "\n"
+         "Serve verification requests over a Unix or TCP socket.\n"
+         "\n"
+         "  --socket SPEC        unix:/path | tcp:host:port | /path\n"
+         "                       (env CHUTE_DAEMON_SOCKET)\n"
+         "  --max-inflight N     concurrent requests (CHUTE_DAEMON_MAX_INFLIGHT)\n"
+         "  --max-queue N        waiting requests before shedding\n"
+         "                       (CHUTE_DAEMON_MAX_QUEUE)\n"
+         "  --max-frame-bytes N  wire frame ceiling (CHUTE_DAEMON_MAX_FRAME_BYTES)\n"
+         "  --deadline-ms N      default deadline for requests without one\n"
+         "                       (CHUTE_DAEMON_DEADLINE_MS; 0 = unlimited)\n"
+         "  --max-programs N     interned-program LRU bound\n"
+         "                       (CHUTE_DAEMON_MAX_PROGRAMS)\n"
+         "  --idle-timeout-ms N  close idle connections after N ms\n"
+         "                       (CHUTE_DAEMON_IDLE_TIMEOUT_MS; 0 = never)\n"
+         "  --cache-dir DIR      disk-backed query cache shared with offline\n"
+         "                       runs (CHUTE_CACHE_DIR)\n"
+         "  --jobs N             size the worker pool once at startup\n"
+         "                       (CHUTE_JOBS)\n"
+         "  --stats-json PATH    write the stats snapshot there on shutdown\n"
+         "                       ('-' = stdout)\n"
+         "  --help\n";
+}
+
+bool parseUnsigned(const char *S, unsigned &Out) {
+  if (S == nullptr || *S == '\0')
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(S, &End, 10);
+  if (*End != '\0' || V > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  std::string StatsPath;
+  unsigned Jobs = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << "chuted: " << Flag << " needs a value\n";
+        std::exit(1);
+      }
+      return Argv[++I];
+    };
+    unsigned N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--socket") {
+      Opts.Endpoint = Next("--socket");
+    } else if (Arg == "--max-inflight") {
+      if (!parseUnsigned(Next("--max-inflight"), N)) {
+        std::cerr << "chuted: bad --max-inflight\n";
+        return 1;
+      }
+      Opts.MaxInFlight = N;
+    } else if (Arg == "--max-queue") {
+      if (!parseUnsigned(Next("--max-queue"), N)) {
+        std::cerr << "chuted: bad --max-queue\n";
+        return 1;
+      }
+      Opts.MaxQueue = N;
+    } else if (Arg == "--max-frame-bytes") {
+      if (!parseUnsigned(Next("--max-frame-bytes"), N)) {
+        std::cerr << "chuted: bad --max-frame-bytes\n";
+        return 1;
+      }
+      Opts.MaxFrameBytes = N;
+    } else if (Arg == "--deadline-ms") {
+      if (!parseUnsigned(Next("--deadline-ms"), N)) {
+        std::cerr << "chuted: bad --deadline-ms\n";
+        return 1;
+      }
+      Opts.DefaultDeadlineMs = N;
+    } else if (Arg == "--max-programs") {
+      if (!parseUnsigned(Next("--max-programs"), N)) {
+        std::cerr << "chuted: bad --max-programs\n";
+        return 1;
+      }
+      Opts.MaxPrograms = N;
+    } else if (Arg == "--idle-timeout-ms") {
+      if (!parseUnsigned(Next("--idle-timeout-ms"), N)) {
+        std::cerr << "chuted: bad --idle-timeout-ms\n";
+        return 1;
+      }
+      Opts.IdleTimeoutMs = N;
+    } else if (Arg == "--cache-dir") {
+      Opts.Verify.CacheDir = Next("--cache-dir");
+    } else if (Arg == "--jobs") {
+      if (!parseUnsigned(Next("--jobs"), N)) {
+        std::cerr << "chuted: bad --jobs\n";
+        return 1;
+      }
+      Jobs = N;
+    } else if (Arg == "--stats-json") {
+      StatsPath = Next("--stats-json");
+    } else {
+      std::cerr << "chuted: unknown option '" << Arg << "'\n";
+      usage();
+      return 1;
+    }
+  }
+
+  ignoreSigpipe();
+  if (::pipe(SignalPipe) != 0) {
+    std::cerr << "chuted: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = onSignal;
+  sigaction(SIGTERM, &Sa, nullptr);
+  sigaction(SIGINT, &Sa, nullptr);
+
+  // Size the shared worker pool once, before any request arrives;
+  // per-request Verifiers run with Jobs = 0 and inherit it.
+  TaskPool::configureGlobal(Jobs);
+
+  Server S(std::move(Opts));
+  std::string Err;
+  if (!S.start(Err)) {
+    std::cerr << "chuted: " << Err << "\n";
+    return 1;
+  }
+  std::cerr << "chuted: listening on " << S.endpoint().toString() << "\n";
+
+  // Park until a termination signal arrives.
+  unsigned char Sig = 0;
+  while (true) {
+    ssize_t N = ::read(SignalPipe[0], &Sig, 1);
+    if (N == 1)
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    break; // pipe broke: treat as shutdown
+  }
+  std::cerr << "chuted: signal " << static_cast<int>(Sig)
+            << ", shutting down\n";
+  S.stop();
+
+  if (!StatsPath.empty()) {
+    std::string Json = S.stats().toJson();
+    if (StatsPath == "-") {
+      std::cout << Json << "\n";
+    } else {
+      std::ofstream Out(StatsPath, std::ios::trunc);
+      Out << Json << "\n";
+    }
+  }
+  std::cerr << "chuted: bye\n";
+  return 0;
+}

@@ -3,9 +3,9 @@
 #include "obs/Trace.h"
 
 #include "obs/ChromeTrace.h"
+#include "support/Env.h"
 
 #include <chrono>
-#include <cstdlib>
 
 using namespace chute;
 using namespace chute::obs;
@@ -34,15 +34,13 @@ void exportAtExit() { Tracer::global().exportConfigured(); }
 
 Tracer::Tracer() {
   // Knobs: CHUTE_TRACE=<path> turns on Full tracing with a Chrome
-  // trace written at process exit; CHUTE_TRACE_STATS=<anything
-  // nonempty> turns on Stats.
-  if (const char *P = std::getenv("CHUTE_TRACE")) {
-    if (*P != '\0')
-      enable(TraceLevel::Full, P);
-  } else if (const char *S = std::getenv("CHUTE_TRACE_STATS")) {
-    if (*S != '\0')
-      enable(TraceLevel::Stats);
-  }
+  // trace written at process exit; CHUTE_TRACE_STATS turns on Stats.
+  // Read through the support/Env helpers so "set", "empty" and "off"
+  // mean exactly what resolveEnvOverrides makes them mean.
+  if (std::optional<std::string> Path = envString("CHUTE_TRACE"))
+    enable(TraceLevel::Full, *Path);
+  else if (envFlag("CHUTE_TRACE_STATS").value_or(false))
+    enable(TraceLevel::Stats);
 }
 
 Tracer &Tracer::global() {

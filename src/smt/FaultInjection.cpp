@@ -2,9 +2,10 @@
 
 #include "smt/FaultInjection.h"
 
+#include "support/Env.h"
+
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <thread>
 
 using namespace chute;
@@ -15,11 +16,13 @@ std::atomic<std::uint64_t> CheckCounter{0};
 std::atomic<std::uint64_t> InjectedCounter{0};
 
 SmtFaultPlan planFromEnv() {
+  // Typed readers (support/Env): a malformed value reads as unset
+  // instead of atoi's silent zero-or-garbage.
   SmtFaultPlan P;
-  if (const char *E = std::getenv("CHUTE_SMT_FAULT_EVERY"))
-    P.UnknownEveryN = static_cast<unsigned>(std::atoi(E));
-  if (const char *E = std::getenv("CHUTE_SMT_FAULT_DELAY_MS"))
-    P.DelayMs = static_cast<unsigned>(std::atoi(E));
+  if (std::optional<unsigned> N = envUnsigned("CHUTE_SMT_FAULT_EVERY"))
+    P.UnknownEveryN = *N;
+  if (std::optional<unsigned> Ms = envUnsigned("CHUTE_SMT_FAULT_DELAY_MS"))
+    P.DelayMs = *Ms;
   return P;
 }
 

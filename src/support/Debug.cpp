@@ -2,16 +2,16 @@
 
 #include "support/Debug.h"
 
+#include "support/Env.h"
+
 #include <cstdio>
-#include <cstdlib>
 
 using namespace chute;
 
 bool chute::debugEnabled() {
-  static const bool Enabled = [] {
-    const char *Env = std::getenv("CHUTE_DEBUG");
-    return Env != nullptr && Env[0] != '\0';
-  }();
+  // CHUTE_DEBUG through the shared env helpers: set-and-truthy
+  // enables, "0"/"false"/"off"/"no"/empty do not.
+  static const bool Enabled = envFlag("CHUTE_DEBUG").value_or(false);
   return Enabled;
 }
 

@@ -1,0 +1,288 @@
+//===- support/Socket.cpp - SIGPIPE-safe socket utilities ------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0
+#endif
+
+using namespace chute;
+
+void chute::ignoreSigpipe() {
+  static const bool Done = [] {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &SA, nullptr);
+    return true;
+  }();
+  (void)Done;
+}
+
+const char *chute::toString(IoStatus S) {
+  switch (S) {
+  case IoStatus::Ok:
+    return "ok";
+  case IoStatus::Eof:
+    return "eof";
+  case IoStatus::Closed:
+    return "closed";
+  case IoStatus::TimedOut:
+    return "timed-out";
+  case IoStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::optional<Endpoint> Endpoint::parse(const std::string &Spec,
+                                        std::string &Err) {
+  Endpoint E;
+  std::string Rest = Spec;
+  if (Spec.rfind("unix:", 0) == 0) {
+    Rest = Spec.substr(5);
+  } else if (Spec.rfind("tcp:", 0) == 0) {
+    Rest = Spec.substr(4);
+    std::size_t Colon = Rest.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Rest.size()) {
+      Err = "tcp endpoint needs host:port: " + Spec;
+      return std::nullopt;
+    }
+    E.K = Kind::Tcp;
+    E.Host = Rest.substr(0, Colon);
+    std::string PortStr = Rest.substr(Colon + 1);
+    char *End = nullptr;
+    unsigned long P = std::strtoul(PortStr.c_str(), &End, 10);
+    if (End == nullptr || *End != '\0' || P > 65535) {
+      Err = "bad tcp port: " + PortStr;
+      return std::nullopt;
+    }
+    E.Port = static_cast<unsigned>(P);
+    return E;
+  }
+  if (Rest.empty()) {
+    Err = "empty unix socket path";
+    return std::nullopt;
+  }
+  sockaddr_un SUN;
+  if (Rest.size() >= sizeof(SUN.sun_path)) {
+    Err = "unix socket path too long (" + std::to_string(Rest.size()) +
+          " bytes): " + Rest;
+    return std::nullopt;
+  }
+  E.K = Kind::Unix;
+  E.Path = Rest;
+  return E;
+}
+
+std::string Endpoint::toString() const {
+  if (K == Kind::Unix)
+    return "unix:" + Path;
+  return "tcp:" + Host + ":" + std::to_string(Port);
+}
+
+namespace {
+
+int listenUnix(const Endpoint &E, std::string &Err) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, E.Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(E.Path.c_str()); // stale socket from a previous run
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    Err = "bind/listen " + E.Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int listenTcp(const Endpoint &E, std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(E.Port));
+  if (E.Host.empty() || E.Host == "*") {
+    Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, E.Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad listen host (numeric IPv4 or * expected): " + E.Host;
+    ::close(Fd);
+    return -1;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    Err = "bind/listen " + E.toString() + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+int chute::listenEndpoint(const Endpoint &E, std::string &Err) {
+  return E.K == Endpoint::Kind::Unix ? listenUnix(E, Err)
+                                     : listenTcp(E, Err);
+}
+
+int chute::connectEndpoint(const Endpoint &E, std::string &Err) {
+  if (E.K == Endpoint::Kind::Unix) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, E.Path.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) != 0) {
+      Err = "connect " + E.Path + ": " + std::strerror(errno);
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  }
+
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  std::string PortStr = std::to_string(E.Port);
+  int Rc = ::getaddrinfo(E.Host.empty() ? "127.0.0.1" : E.Host.c_str(),
+                         PortStr.c_str(), &Hints, &Res);
+  if (Rc != 0 || Res == nullptr) {
+    Err = "resolve " + E.Host + ": " + ::gai_strerror(Rc);
+    return -1;
+  }
+  int Fd = -1;
+  for (addrinfo *A = Res; A != nullptr; A = A->ai_next) {
+    Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (::connect(Fd, A->ai_addr, A->ai_addrlen) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0)
+    Err = "connect " + E.toString() + ": " + std::strerror(errno);
+  return Fd;
+}
+
+unsigned chute::boundTcpPort(int Fd) {
+  sockaddr_in Addr;
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0 ||
+      Addr.sin_family != AF_INET)
+    return 0;
+  return ntohs(Addr.sin_port);
+}
+
+IoStatus chute::sendAll(int Fd, const void *Buf, std::size_t Len) {
+  const char *P = static_cast<const char *>(Buf);
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, P, Len); // pipes: rely on ignoreSigpipe()
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return IoStatus::Closed;
+      return IoStatus::Error;
+    }
+    P += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return IoStatus::Ok;
+}
+
+RecvResult chute::recvAll(int Fd, void *Buf, std::size_t Len,
+                          int TimeoutMs) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs > 0 ? TimeoutMs : 0);
+  char *P = static_cast<char *>(Buf);
+  RecvResult R;
+  R.N = 0;
+  while (R.N < Len) {
+    int Wait = -1;
+    if (TimeoutMs > 0) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Deadline - Clock::now());
+      if (Left.count() <= 0) {
+        R.St = IoStatus::TimedOut;
+        return R;
+      }
+      Wait = static_cast<int>(Left.count());
+    }
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Pr = ::poll(&Pfd, 1, Wait);
+    if (Pr < 0) {
+      if (errno == EINTR)
+        continue;
+      R.St = IoStatus::Error;
+      return R;
+    }
+    if (Pr == 0) {
+      R.St = IoStatus::TimedOut;
+      return R;
+    }
+    ssize_t N = ::recv(Fd, P + R.N, Len - R.N, 0);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::read(Fd, P + R.N, Len - R.N);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      R.St = errno == ECONNRESET ? IoStatus::Closed : IoStatus::Error;
+      return R;
+    }
+    if (N == 0) {
+      R.St = IoStatus::Eof;
+      return R;
+    }
+    R.N += static_cast<std::size_t>(N);
+  }
+  R.St = IoStatus::Ok;
+  return R;
+}
+
+bool chute::peerHungUp(int Fd) {
+  pollfd Pfd{Fd, POLLRDHUP, 0};
+  if (::poll(&Pfd, 1, 0) <= 0)
+    return false;
+  return (Pfd.revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) != 0;
+}

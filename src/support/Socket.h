@@ -1,0 +1,109 @@
+//===- support/Socket.h - SIGPIPE-safe socket utilities -------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Socket and pipe helpers for the verification daemon and the bench
+/// harness: endpoint parsing (Unix-domain paths and TCP host:port),
+/// listen/connect setup, and exact-length send/receive loops that
+/// treat a dying peer as an error return instead of a process-killing
+/// SIGPIPE.
+///
+/// The SIGPIPE discipline has two layers. Every send goes through
+/// sendAll(), which passes MSG_NOSIGNAL on sockets so a write to a
+/// closed peer fails with EPIPE (reported as IoStatus::Closed).
+/// MSG_NOSIGNAL does not exist for plain pipes (the bench stats
+/// pipe), so long-lived processes that write to peers they do not
+/// control additionally call ignoreSigpipe() once at startup; after
+/// that, pipe writes to a dead reader also fail with EPIPE instead
+/// of raising the signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SUPPORT_SOCKET_H
+#define CHUTE_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace chute {
+
+/// Installs SIG_IGN for SIGPIPE process-wide (idempotent, thread-safe
+/// via a function-local static). Call once before writing to sockets
+/// or pipes whose peer may vanish.
+void ignoreSigpipe();
+
+/// A place a daemon listens or a client connects: a Unix-domain
+/// socket path or a TCP host:port.
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind K = Kind::Unix;
+  std::string Path;    ///< Unix: filesystem path
+  std::string Host;    ///< Tcp: host (numeric or name)
+  unsigned Port = 0;   ///< Tcp: port (0 = ephemeral, listen only)
+
+  /// Parses "unix:/path", "tcp:host:port", or a bare filesystem path
+  /// (treated as Unix). Returns nullopt with \p Err set on
+  /// malformed specs (empty path, non-numeric port, Unix paths
+  /// longer than sockaddr_un can hold).
+  static std::optional<Endpoint> parse(const std::string &Spec,
+                                       std::string &Err);
+
+  std::string toString() const;
+};
+
+/// Creates a bound, listening socket for \p E (unlinking a stale
+/// Unix socket file first). Returns the fd, or -1 with \p Err set.
+int listenEndpoint(const Endpoint &E, std::string &Err);
+
+/// Connects to \p E. Returns the fd, or -1 with \p Err set. No
+/// internal retries — backoff policy belongs to the caller.
+int connectEndpoint(const Endpoint &E, std::string &Err);
+
+/// The port a listening TCP socket actually bound (resolves
+/// Port = 0 requests); 0 for non-TCP fds.
+unsigned boundTcpPort(int Fd);
+
+/// How an exact-length I/O loop ended.
+enum class IoStatus {
+  Ok,       ///< all bytes transferred
+  Eof,      ///< peer closed cleanly (recv only; N carries the count)
+  Closed,   ///< peer gone mid-transfer (EPIPE/ECONNRESET)
+  TimedOut, ///< deadline passed before completion
+  Error,    ///< any other errno
+};
+
+const char *toString(IoStatus S);
+
+/// Result of recvAll: status plus how many bytes actually landed
+/// (distinguishes "clean close at a message boundary" from "peer
+/// died mid-message").
+struct RecvResult {
+  IoStatus St = IoStatus::Error;
+  std::size_t N = 0;
+};
+
+/// Writes all \p Len bytes of \p Buf to \p Fd, retrying short writes
+/// and EINTR. Uses send(MSG_NOSIGNAL) on sockets and write() on
+/// other fds (pipes; see ignoreSigpipe). A dead peer returns
+/// IoStatus::Closed — never a signal.
+IoStatus sendAll(int Fd, const void *Buf, std::size_t Len);
+
+/// Reads exactly \p Len bytes into \p Buf, polling with
+/// \p TimeoutMs as a whole-transfer deadline (<= 0 waits forever).
+/// Returns Eof when the peer closed before \p Len bytes arrived
+/// (RecvResult::N tells how far it got).
+RecvResult recvAll(int Fd, void *Buf, std::size_t Len, int TimeoutMs);
+
+/// True when the peer of connected socket \p Fd has hung up or the
+/// socket is in an error state (non-blocking poll for
+/// POLLRDHUP/POLLHUP/POLLERR; pending unread data does not count as
+/// a hangup).
+bool peerHungUp(int Fd);
+
+} // namespace chute
+
+#endif // CHUTE_SUPPORT_SOCKET_H

@@ -1,0 +1,144 @@
+//===- tests/AdmissionTest.cpp - Admission controller tests --------------------===//
+//
+// The load-shedding contract: at most MaxInFlight requests hold
+// slots, at most MaxQueue wait, everything beyond sheds immediately;
+// a waiter whose own deadline would expire first sheds instead of
+// being admitted dead-on-arrival; shutdown wakes every waiter as
+// Shed and sheds all future enters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Admission.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace chute::daemon;
+
+namespace {
+
+using Ticket = AdmissionController::Ticket;
+
+TEST(AdmissionTest, AdmitsUpToBoundThenSheds) {
+  AdmissionController A(2, 0);
+  EXPECT_EQ(A.enter(0), Ticket::Admitted);
+  EXPECT_EQ(A.enter(0), Ticket::Admitted);
+  EXPECT_EQ(A.inFlight(), 2u);
+  // Saturated, no queue, no willingness to wait: shed.
+  EXPECT_EQ(A.enter(0), Ticket::Shed);
+  A.leave();
+  EXPECT_EQ(A.enter(0), Ticket::Admitted);
+  A.leave();
+  A.leave();
+  EXPECT_EQ(A.inFlight(), 0u);
+
+  AdmissionStats S = A.stats();
+  EXPECT_EQ(S.Admitted, 3u);
+  EXPECT_EQ(S.Shed, 1u);
+  EXPECT_EQ(S.PeakInFlight, 2u);
+}
+
+TEST(AdmissionTest, ZeroMaxInFlightClampsToOne) {
+  AdmissionController A(0, 0);
+  EXPECT_EQ(A.maxInFlight(), 1u);
+  EXPECT_EQ(A.enter(0), Ticket::Admitted);
+  EXPECT_EQ(A.enter(0), Ticket::Shed);
+  A.leave();
+}
+
+TEST(AdmissionTest, QueuedWaiterGetsTheFreedSlot) {
+  AdmissionController A(1, 1);
+  ASSERT_EQ(A.enter(0), Ticket::Admitted);
+
+  std::atomic<int> Result{-1};
+  std::thread Waiter([&] {
+    Result = A.enter(5000) == Ticket::Admitted ? 1 : 0;
+  });
+  // Give the waiter time to actually queue, then free the slot.
+  while (A.waiting() == 0 && Result.load() == -1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  A.leave();
+  Waiter.join();
+  EXPECT_EQ(Result.load(), 1);
+  A.leave();
+
+  AdmissionStats S = A.stats();
+  EXPECT_EQ(S.Admitted, 2u);
+  EXPECT_EQ(S.Queued, 1u);
+  EXPECT_EQ(S.Shed, 0u);
+}
+
+TEST(AdmissionTest, QueueDepthBeyondBoundSheds) {
+  AdmissionController A(1, 1);
+  ASSERT_EQ(A.enter(0), Ticket::Admitted);
+
+  std::thread Waiter([&] {
+    // Occupies the single queue slot until shutdown sheds it.
+    A.enter(60000);
+  });
+  while (A.waiting() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Queue full: the next request sheds even though it would wait.
+  EXPECT_EQ(A.enter(60000), Ticket::Shed);
+
+  A.shutdown();
+  Waiter.join();
+  AdmissionStats S = A.stats();
+  EXPECT_EQ(S.Shed, 2u); // the overflow and the shutdown-woken waiter
+}
+
+TEST(AdmissionTest, DeadlineDeadWaiterShedsInsteadOfHanging) {
+  AdmissionController A(1, 4);
+  ASSERT_EQ(A.enter(0), Ticket::Admitted);
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(A.enter(50), Ticket::Shed);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  EXPECT_GE(Ms, 45);
+  EXPECT_LT(Ms, 5000); // gave up at its deadline, not at slot release
+  A.leave();
+}
+
+TEST(AdmissionTest, ShutdownShedsAllFutureEnters) {
+  AdmissionController A(4, 4);
+  A.shutdown();
+  EXPECT_EQ(A.enter(0), Ticket::Shed);
+  EXPECT_EQ(A.enter(1000), Ticket::Shed);
+}
+
+TEST(AdmissionTest, ContendedCountsStayConsistent) {
+  // 8 threads hammering a 2-slot controller: in-flight never exceeds
+  // the bound (checked via PeakInFlight) and every admit has a
+  // matching leave.
+  AdmissionController A(2, 2);
+  std::atomic<unsigned> Admits{0}, Sheds{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 8; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 50; ++I) {
+        if (A.enter(2) == Ticket::Admitted) {
+          ++Admits;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          A.leave();
+        } else {
+          ++Sheds;
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  AdmissionStats S = A.stats();
+  EXPECT_EQ(S.Admitted, Admits.load());
+  EXPECT_EQ(S.Shed, Sheds.load());
+  EXPECT_EQ(Admits.load() + Sheds.load(), 400u);
+  EXPECT_LE(S.PeakInFlight, 2u);
+  EXPECT_EQ(A.inFlight(), 0u);
+}
+
+} // namespace

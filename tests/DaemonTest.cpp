@@ -1,0 +1,443 @@
+//===- tests/DaemonTest.cpp - chuted server robustness tests -------------------===//
+//
+// Failure-containment tests for the verification daemon, driven
+// through real sockets against an in-process Server. The contract
+// under attack: protocol violations (zero-length frames, oversized
+// lengths, truncated headers, garbage payloads, mid-stream
+// disconnects) tear down exactly one connection and bump exactly
+// the advertised counter; admission control sheds with OVERLOADED
+// instead of queueing unboundedly; client deadlines come back as
+// TIMEOUT verdicts instead of hangs; abandoned requests are
+// cancelled and release their slot; completed request ids replay
+// idempotently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/Server.h"
+
+#include "support/Socket.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+namespace {
+
+const char *TinyProgram = "init(x >= 1);\n"
+                          "while (x >= 1) {\n"
+                          "  x = x + 1;\n"
+                          "}\n";
+
+/// Polls \p Cond every 5ms for up to \p Ms.
+bool waitFor(const std::function<bool()> &Cond, unsigned Ms = 3000) {
+  auto End =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  while (std::chrono::steady_clock::now() < End) {
+    if (Cond())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Cond();
+}
+
+class DaemonTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/chute-daemon-XXXXXX";
+    char *D = mkdtemp(Template);
+    ASSERT_NE(D, nullptr);
+    Dir = D;
+    Sock = "unix:" + Dir + "/d.sock";
+  }
+
+  void TearDown() override {
+    Srv.reset();
+    ::unlink((Dir + "/d.sock").c_str());
+    ::rmdir(Dir.c_str());
+  }
+
+  /// Starts the server with test-friendly bounds plus \p Tweak.
+  void startServer(const std::function<void(ServerOptions &)> &Tweak =
+                       [](ServerOptions &) {}) {
+    ServerOptions O;
+    O.Endpoint = Sock;
+    O.MaxInFlight = 2;
+    O.MaxQueue = 4;
+    O.IdleTimeoutMs = 30000;
+    Tweak(O);
+    Srv = std::make_unique<Server>(std::move(O));
+    std::string Err;
+    ASSERT_TRUE(Srv->start(Err)) << Err;
+  }
+
+  /// A raw protocol-level connection to the server.
+  int rawConnect() {
+    std::string Err;
+    auto E = Endpoint::parse(Sock, Err);
+    EXPECT_TRUE(E) << Err;
+    int Fd = connectEndpoint(*E, Err);
+    EXPECT_GE(Fd, 0) << Err;
+    return Fd;
+  }
+
+  ClientOptions clientOpts() {
+    ClientOptions O;
+    O.Endpoint = Sock;
+    O.ConnectAttempts = 3;
+    O.BackoffBaseMs = 5;
+    O.BackoffCapMs = 50;
+    O.Seed = 42;
+    return O;
+  }
+
+  std::string Dir, Sock;
+  std::unique_ptr<Server> Srv;
+};
+
+TEST_F(DaemonTest, PingAndBatchVerification) {
+  startServer();
+  Client C(clientOpts());
+  EXPECT_TRUE(C.ping());
+
+  ClientResult R =
+      C.request(TinyProgram, {"AG(x >= 1)", "EF(x >= 3)"}, 0);
+  ASSERT_EQ(R.Outcome, ClientOutcome::Done) << R.Error;
+  ASSERT_EQ(R.Verdicts.size(), 2u);
+  EXPECT_EQ(R.Verdicts[0].St, WireStatus::Proved);
+  EXPECT_EQ(R.Verdicts[1].St, WireStatus::Proved);
+  EXPECT_FALSE(R.Replayed);
+
+  // The daemon counts Completed after the Done frame is on the wire,
+  // so poll rather than race it.
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().Completed == 1; }));
+  ServerStats S = Srv->stats();
+  EXPECT_EQ(S.Requests, 1u);
+  EXPECT_EQ(S.Proved, 2u);
+  EXPECT_EQ(S.Pings, 1u);
+  EXPECT_EQ(S.ProgramsInterned, 1u);
+}
+
+TEST_F(DaemonTest, ZeroLengthFrameClosesOnlyThatConnection) {
+  startServer();
+  int Fd = rawConnect();
+  const unsigned char Zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(sendAll(Fd, Zero, 4), IoStatus::Ok);
+
+  // Best-effort Error frame, then the connection dies.
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::Ok);
+  WireError E;
+  std::string Err;
+  ASSERT_TRUE(decodeError(Payload, E, Err));
+  EXPECT_EQ(E.Id, 0u);
+  EXPECT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::CleanClose);
+  ::close(Fd);
+
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().FramingErrors == 1; }));
+
+  // The daemon itself is unharmed: a fresh connection verifies.
+  Client C(clientOpts());
+  EXPECT_EQ(C.request(TinyProgram, {"AG(x >= 1)"}, 0).Outcome,
+            ClientOutcome::Done);
+}
+
+TEST_F(DaemonTest, OversizedFrameIsRefused) {
+  startServer([](ServerOptions &O) { O.MaxFrameBytes = 1024; });
+  int Fd = rawConnect();
+  // Header announcing MaxFrameBytes + 1.
+  const std::uint32_t Len = 1025;
+  unsigned char Hdr[4];
+  for (unsigned I = 0; I < 4; ++I)
+    Hdr[I] = static_cast<unsigned char>((Len >> (8 * I)) & 0xff);
+  ASSERT_EQ(sendAll(Fd, Hdr, 4), IoStatus::Ok);
+
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::Ok);
+  WireError E;
+  std::string Err;
+  ASSERT_TRUE(decodeError(Payload, E, Err));
+  EXPECT_NE(E.Detail.find("size"), std::string::npos);
+  EXPECT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::CleanClose);
+  ::close(Fd);
+
+  EXPECT_TRUE(
+      waitFor([&] { return Srv->stats().OversizedFrames == 1; }));
+  EXPECT_EQ(Srv->stats().FramingErrors, 0u);
+}
+
+TEST_F(DaemonTest, TruncatedHeaderCountsAsFramingError) {
+  startServer();
+  int Fd = rawConnect();
+  const unsigned char Half[2] = {42, 0};
+  ASSERT_EQ(sendAll(Fd, Half, 2), IoStatus::Ok);
+  ::close(Fd); // die mid-header
+
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().FramingErrors == 1; }));
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().LiveConnections == 0; }));
+}
+
+TEST_F(DaemonTest, GarbageAfterValidRequestClosesConnection) {
+  startServer();
+  int Fd = rawConnect();
+
+  // First: a perfectly valid request, served normally.
+  WireRequest Req;
+  Req.Id = 7;
+  Req.Program = TinyProgram;
+  Req.Properties = {"AG(x >= 1)"};
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(Req)));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 30000),
+            FrameStatus::Ok); // verdict
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 5000),
+            FrameStatus::Ok); // done
+  WireDone D;
+  std::string Err;
+  ASSERT_TRUE(decodeDone(Payload, D, Err));
+
+  // Then: a well-framed frame whose payload is garbage.
+  ASSERT_TRUE(writeFrame(Fd, std::string("\x01garbage-not-a-request")));
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::Ok);
+  WireError E;
+  ASSERT_TRUE(decodeError(Payload, E, Err));
+  EXPECT_NE(E.Detail.find("malformed"), std::string::npos);
+  EXPECT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::CleanClose);
+  ::close(Fd);
+
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().ParseErrors == 1; }));
+  // The valid request was unharmed.
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().Completed == 1; }));
+}
+
+TEST_F(DaemonTest, UnknownMessageTypeIsAParseError) {
+  startServer();
+  int Fd = rawConnect();
+  ASSERT_TRUE(writeFrame(Fd, std::string("\x63hello")));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 2000),
+            FrameStatus::Ok);
+  WireError E;
+  std::string Err;
+  ASSERT_TRUE(decodeError(Payload, E, Err));
+  ::close(Fd);
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().ParseErrors == 1; }));
+}
+
+TEST_F(DaemonTest, ProgramParseErrorKeepsConnectionUsable) {
+  startServer();
+  int Fd = rawConnect();
+
+  WireRequest Bad;
+  Bad.Id = 21;
+  Bad.Program = "while while while (";
+  Bad.Properties = {"AG(x >= 1)"};
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(Bad)));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 5000),
+            FrameStatus::Ok);
+  WireError E;
+  std::string Err;
+  ASSERT_TRUE(decodeError(Payload, E, Err));
+  EXPECT_EQ(E.Id, 21u); // request-scoped, not connection-scoped
+
+  // Same connection, valid request: still served.
+  WireRequest Good;
+  Good.Id = 22;
+  Good.Program = TinyProgram;
+  Good.Properties = {"AG(x >= 1)"};
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(Good)));
+  ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 30000),
+            FrameStatus::Ok);
+  WireVerdict V;
+  ASSERT_TRUE(decodeVerdict(Payload, V, Err));
+  EXPECT_EQ(V.St, WireStatus::Proved);
+  ::close(Fd);
+
+  ServerStats S = Srv->stats();
+  EXPECT_EQ(S.ProgramParseErrors, 1u);
+}
+
+TEST_F(DaemonTest, SaturationShedsWithOverloaded) {
+  // One slot, no queue, and a hold that keeps the slot busy long
+  // enough to observe the shed deterministically.
+  startServer([](ServerOptions &O) {
+    O.MaxInFlight = 1;
+    O.MaxQueue = 0;
+    O.HoldMs = 1500;
+  });
+
+  ClientResult First;
+  std::thread Holder([&] {
+    Client C(clientOpts());
+    First = C.request(TinyProgram, {"AG(x >= 1)"}, 0);
+  });
+  ASSERT_TRUE(waitFor([&] { return Srv->stats().InFlight == 1; }));
+
+  Client C(clientOpts());
+  ClientResult Shed = C.request(TinyProgram, {"AG(x >= 1)"}, 0);
+  EXPECT_EQ(Shed.Outcome, ClientOutcome::Overloaded);
+  EXPECT_NE(Shed.Error.find("saturated"), std::string::npos);
+
+  Holder.join();
+  EXPECT_EQ(First.Outcome, ClientOutcome::Done);
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().Completed == 1; }));
+  EXPECT_EQ(Srv->stats().Shed, 1u);
+}
+
+TEST_F(DaemonTest, DeadlineComesBackAsTimeoutVerdict) {
+  // The hold eats the whole 150ms deadline, so the property is
+  // reported TIMEOUT (with the failure taxonomy filled in) instead
+  // of the call hanging.
+  startServer([](ServerOptions &O) { O.HoldMs = 5000; });
+
+  auto Start = std::chrono::steady_clock::now();
+  Client C(clientOpts());
+  ClientResult R = C.request(TinyProgram, {"AG(x >= 1)"}, 150);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  ASSERT_EQ(R.Outcome, ClientOutcome::Done) << R.Error;
+  ASSERT_EQ(R.Verdicts.size(), 1u);
+  EXPECT_EQ(R.Verdicts[0].St, WireStatus::Timeout);
+  EXPECT_NE(R.Verdicts[0].Failure.find("deadline"), std::string::npos);
+  // Deadline plus slack, nowhere near the 5s hold.
+  EXPECT_LT(ElapsedMs, 3000);
+  EXPECT_EQ(Srv->stats().TimedOut, 1u);
+}
+
+TEST_F(DaemonTest, AbandonedRequestIsCancelledAndReleasesSlot) {
+  startServer([](ServerOptions &O) {
+    O.MaxInFlight = 1;
+    O.HoldMs = 30000; // would block the slot for 30s if not cancelled
+  });
+
+  int Fd = rawConnect();
+  WireRequest Req;
+  Req.Id = 99;
+  Req.Program = TinyProgram;
+  Req.Properties = {"AG(x >= 1)"};
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(Req)));
+  ASSERT_TRUE(waitFor([&] { return Srv->stats().InFlight == 1; }));
+
+  // Walk away mid-request. The monitor must cancel the budget and
+  // the slot must free long before the hold would end.
+  ::close(Fd);
+  EXPECT_TRUE(
+      waitFor([&] { return Srv->stats().HangupCancels >= 1; }, 5000));
+  EXPECT_TRUE(waitFor([&] { return Srv->stats().InFlight == 0; }, 5000));
+  EXPECT_TRUE(
+      waitFor([&] { return Srv->stats().Disconnected >= 1; }, 5000));
+
+  // The freed slot serves the next client immediately (no hold
+  // tweak applies to it too, so use the deadline to bound it).
+  Client C(clientOpts());
+  ClientResult R = C.request(TinyProgram, {"AG(x >= 1)"}, 500);
+  EXPECT_EQ(R.Outcome, ClientOutcome::Done) << R.Error;
+}
+
+TEST_F(DaemonTest, SameRequestIdReplaysWithoutReverifying) {
+  startServer();
+  int Fd = rawConnect();
+  WireRequest Req;
+  Req.Id = 4242;
+  Req.Program = TinyProgram;
+  Req.Properties = {"AG(x >= 1)"};
+
+  auto RunOnce = [&](bool &Replayed, WireStatus &St) {
+    ASSERT_TRUE(writeFrame(Fd, encodeRequest(Req)));
+    std::string Payload, Err;
+    ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 30000),
+              FrameStatus::Ok);
+    WireVerdict V;
+    ASSERT_TRUE(decodeVerdict(Payload, V, Err));
+    St = V.St;
+    ASSERT_EQ(readFrame(Fd, Payload, DefaultMaxFrameBytes, 5000),
+              FrameStatus::Ok);
+    WireDone D;
+    ASSERT_TRUE(decodeDone(Payload, D, Err));
+    Replayed = D.Replayed != 0;
+  };
+
+  bool Replayed = false;
+  WireStatus St = WireStatus::Unknown;
+  RunOnce(Replayed, St);
+  EXPECT_FALSE(Replayed);
+  EXPECT_EQ(St, WireStatus::Proved);
+
+  // The retry (same id, e.g. after a lost connection) replays.
+  RunOnce(Replayed, St);
+  EXPECT_TRUE(Replayed);
+  EXPECT_EQ(St, WireStatus::Proved);
+  ::close(Fd);
+
+  ServerStats S = Srv->stats();
+  EXPECT_EQ(S.Replays, 1u);
+  EXPECT_EQ(S.Admitted, 1u); // the replay never took a slot
+}
+
+TEST_F(DaemonTest, ClientReconnectsAfterConnectionLoss) {
+  startServer();
+  Client C(clientOpts());
+  ASSERT_TRUE(C.ping());
+  // Sever the connection behind the client's back; the next request
+  // must transparently reconnect.
+  C.disconnect();
+  ClientResult R = C.request(TinyProgram, {"AG(x >= 1)"}, 0);
+  EXPECT_EQ(R.Outcome, ClientOutcome::Done) << R.Error;
+}
+
+TEST_F(DaemonTest, StopDrainsAndFurtherConnectsFail) {
+  startServer();
+  Client C(clientOpts());
+  ASSERT_TRUE(C.ping());
+
+  Srv->stop();
+  Srv->stop(); // idempotent
+
+  EXPECT_EQ(Srv->stats().LiveConnections, 0u);
+  std::string Err;
+  auto E = Endpoint::parse(Sock, Err);
+  ASSERT_TRUE(E);
+  EXPECT_LT(connectEndpoint(*E, Err), 0);
+}
+
+TEST_F(DaemonTest, DaemonKnobsFollowExplicitOverEnvOverDefault) {
+  // Same precedence contract as VerifierOptions, pinned for the
+  // daemon's own knobs.
+  ASSERT_EQ(setenv("CHUTE_DAEMON_MAX_QUEUE", "3", 1), 0);
+  ASSERT_EQ(setenv("CHUTE_DAEMON_SOCKET", "tcp:127.0.0.1:9099", 1), 0);
+
+  ServerOptions Explicit;
+  Explicit.MaxQueue = 7;
+  ServerOptions R1 = resolveDaemonEnvOverrides(std::move(Explicit));
+  EXPECT_EQ(*R1.MaxQueue, 7u);                     // explicit wins
+  EXPECT_EQ(*R1.Endpoint, "tcp:127.0.0.1:9099");   // env fills unset
+
+  ServerOptions R2 = resolveDaemonEnvOverrides(ServerOptions());
+  EXPECT_EQ(*R2.MaxQueue, 3u); // env wins over default
+
+  ASSERT_EQ(unsetenv("CHUTE_DAEMON_MAX_QUEUE"), 0);
+  ASSERT_EQ(unsetenv("CHUTE_DAEMON_SOCKET"), 0);
+  ServerOptions R3 = resolveDaemonEnvOverrides(ServerOptions());
+  EXPECT_EQ(*R3.MaxQueue, 16u); // built-in default
+  EXPECT_EQ(*R3.Endpoint, "unix:/tmp/chuted.sock");
+  EXPECT_GE(*R3.MaxInFlight, 1u);
+}
+
+} // namespace

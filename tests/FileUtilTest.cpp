@@ -1,0 +1,224 @@
+//===- tests/FileUtilTest.cpp - File helpers under contention ------------------===//
+//
+// The crash/contention contract of the disk cache's file layer: two
+// writers racing on the same cache file serialise through the
+// advisory lock and atomic rename (readers see a complete old or
+// complete new file, never a torn one), and a simulated crash
+// mid-write — a truncated published file, a stale temporary left
+// behind — degrades to a cold cache with LoadRejects bumped, never
+// to a crash or a wrong verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileUtil.h"
+
+#include "expr/ExprParser.h"
+#include "smt/DiskCache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace chute;
+
+namespace {
+
+class FileUtilTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/chute-fileutil-XXXXXX";
+    char *D = mkdtemp(Template);
+    ASSERT_NE(D, nullptr);
+    Dir = D;
+  }
+
+  void TearDown() override {
+    if (DIR *D = opendir(Dir.c_str())) {
+      while (dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  ExprRef formula(ExprContext &Ctx, const std::string &T) {
+    std::string Err;
+    auto E = parseFormulaString(Ctx, T, Err);
+    EXPECT_TRUE(E) << Err;
+    return E ? *E : Ctx.mkFalse();
+  }
+
+  std::string Dir;
+};
+
+TEST_F(FileUtilTest, AtomicWriteReplacesWholeFileAndCleansTemp) {
+  std::string Path = Dir + "/a.txt";
+  ASSERT_TRUE(atomicWriteFile(Path, "first"));
+  ASSERT_TRUE(atomicWriteFile(Path, "second, longer content"));
+  auto Back = readFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, "second, longer content");
+
+  // No temporary left behind on the success path.
+  int Entries = 0;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ++Entries;
+    }
+    closedir(D);
+  }
+  EXPECT_EQ(Entries, 1);
+}
+
+TEST_F(FileUtilTest, FileLockMutuallyExcludes) {
+  // Overlap detector with atomics (relaxed on purpose — flock is
+  // the synchronisation under test, and TSan cannot see flock's
+  // happens-before edge, so the probes must not race themselves):
+  // if two threads ever hold the lock at once, Inside is observed
+  // true by the second one.
+  const std::string LockPath = Dir + "/contended.lock";
+  std::atomic<bool> Inside{false};
+  std::atomic<unsigned> Overlaps{0}, Entries{0};
+  constexpr unsigned PerThread = 200;
+  auto Work = [&] {
+    for (unsigned I = 0; I < PerThread; ++I) {
+      FileLock Lock(LockPath);
+      ASSERT_TRUE(Lock.held());
+      if (Inside.exchange(true, std::memory_order_relaxed))
+        Overlaps.fetch_add(1, std::memory_order_relaxed);
+      Entries.fetch_add(1, std::memory_order_relaxed);
+      Inside.store(false, std::memory_order_relaxed);
+    }
+  };
+  std::thread A(Work), B(Work);
+  A.join();
+  B.join();
+  EXPECT_EQ(Overlaps.load(), 0u);
+  EXPECT_EQ(Entries.load(), 2 * PerThread);
+}
+
+TEST_F(FileUtilTest, ConcurrentCacheWritersNeverTearTheFile) {
+  // Two writers repeatedly saving different snapshots over the SAME
+  // DiskCache file (same program key), a reader repeatedly warm
+  // starting from it. Every load must be all-or-nothing: either a
+  // complete snapshot (some formula answers) or a clean cold
+  // fallback — never a crash, and with atomic renames in place,
+  // never a torn-file reject.
+  const std::string Key = "contended-prog";
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> Saves{0};
+
+  auto Writer = [&](const char *Formula) {
+    ExprContext Ctx;
+    DiskCache Disk(Dir);
+    for (unsigned I = 0; I < 40; ++I) {
+      QueryCache Cache;
+      std::string Err;
+      auto E = parseFormulaString(Ctx, Formula, Err);
+      ASSERT_TRUE(E) << Err;
+      Cache.storeSat(*E, SatResult::Sat);
+      if (Disk.save(Key, Cache))
+        ++Saves;
+    }
+  };
+
+  std::atomic<std::uint64_t> Loads{0}, Rejects{0};
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      ExprContext Ctx;
+      QueryCache Warm;
+      DiskCache Disk(Dir);
+      Disk.load(Key, Ctx, Warm);
+      Loads += Disk.stats().FilesLoaded;
+      Rejects += Disk.stats().LoadRejects;
+    }
+  });
+
+  std::thread W1(Writer, "x > 1"), W2(Writer, "y > 2");
+  W1.join();
+  W2.join();
+  Stop.store(true);
+  Reader.join();
+
+  EXPECT_EQ(Saves.load(), 80u); // every save eventually lands
+  // Loads before the first save see no file; that is a miss, not a
+  // reject. Once renames publish complete files, rejects stay zero.
+  EXPECT_EQ(Rejects.load(), 0u);
+
+  // The survivor is one of the two writers' snapshots, loadable in
+  // full.
+  ExprContext Ctx;
+  QueryCache Warm;
+  DiskCache Disk(Dir);
+  ASSERT_TRUE(Disk.load(Key, Ctx, Warm));
+  bool HasX = Warm.lookupSat(formula(Ctx, "x > 1")).has_value();
+  bool HasY = Warm.lookupSat(formula(Ctx, "y > 2")).has_value();
+  EXPECT_TRUE(HasX || HasY);
+  EXPECT_FALSE(HasX && HasY); // snapshots replace, they do not merge
+}
+
+TEST_F(FileUtilTest, CrashMidWriteFallsBackColdWithReject) {
+  // Simulate a writer that died mid-write: the published file is
+  // truncated (as if rename landed but a pre-atomic-write legacy
+  // tool tore it, or the disk lost the tail), and a stale temporary
+  // from the dead writer's pid sits next to it. The reader must
+  // reject the damaged file — cold cache, LoadRejects bumped — and
+  // must not mistake the temporary for anything.
+  const std::string Key = "crashed-prog";
+  {
+    ExprContext Ctx;
+    QueryCache Cache;
+    Cache.storeSat(formula(Ctx, "x > 0"), SatResult::Sat);
+    Cache.storeSat(formula(Ctx, "x > 0 && x < 0"), SatResult::Unsat);
+    DiskCache Disk(Dir);
+    ASSERT_TRUE(Disk.save(Key, Cache));
+  }
+
+  std::string Path = DiskCache::filePath(Dir, Key);
+  auto Full = readFile(Path);
+  ASSERT_TRUE(Full.has_value());
+
+  // The stale temp a crashed writer leaves: half the content under
+  // the temp naming scheme of atomicWriteFile.
+  std::string Stale = Path + ".tmp.99999";
+  {
+    std::FILE *F = std::fopen(Stale.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    std::fwrite(Full->data(), 1, Full->size() / 3, F);
+    std::fclose(F);
+  }
+  // And a torn published file.
+  ASSERT_EQ(::truncate(Path.c_str(), Full->size() / 2), 0);
+
+  ExprContext Ctx;
+  QueryCache Warm;
+  DiskCache Disk(Dir);
+  EXPECT_FALSE(Disk.load(Key, Ctx, Warm));
+  EXPECT_EQ(Disk.stats().LoadRejects, 1u);
+  EXPECT_EQ(Disk.stats().FilesLoaded, 0u);
+  EXPECT_FALSE(Warm.lookupSat(formula(Ctx, "x > 0")).has_value());
+
+  // Recovery: the next complete save repairs the file for good.
+  {
+    QueryCache Cache;
+    Cache.storeSat(formula(Ctx, "x > 7"), SatResult::Sat);
+    ASSERT_TRUE(Disk.save(Key, Cache));
+  }
+  QueryCache Fresh;
+  EXPECT_TRUE(Disk.load(Key, Ctx, Fresh));
+  EXPECT_TRUE(Fresh.lookupSat(formula(Ctx, "x > 7")).has_value());
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/WireTest.cpp - chuted wire protocol tests -------------------------===//
+//
+// Codec and framing tests for the daemon protocol. The contract: a
+// round trip is exact; any malformed payload — truncated at any
+// byte, trailing garbage, wrong type, implausible counts — decodes
+// to false, never to a crash or a half-filled struct the caller
+// trusts; and frame I/O classifies every way a stream can go wrong
+// (empty length, oversized length, truncated header, truncated
+// body, clean close, timeout) as its own status.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Wire.h"
+
+#include "support/Socket.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace chute;
+using namespace chute::daemon;
+
+namespace {
+
+WireRequest sampleRequest() {
+  WireRequest R;
+  R.Id = 0xfeedfacecafebeefULL;
+  R.DeadlineMs = 1500;
+  R.Program = "init(x >= 1);\nwhile (x >= 1) { x = x + 1; }\n";
+  R.Properties = {"AG(x >= 1)", "EF(x >= 5)", ""};
+  return R;
+}
+
+TEST(WireCodec, RequestRoundTrip) {
+  std::string B = encodeRequest(sampleRequest());
+  WireRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(B, Out, Err)) << Err;
+  EXPECT_EQ(Out.Id, 0xfeedfacecafebeefULL);
+  EXPECT_EQ(Out.DeadlineMs, 1500u);
+  EXPECT_EQ(Out.Program, sampleRequest().Program);
+  ASSERT_EQ(Out.Properties.size(), 3u);
+  EXPECT_EQ(Out.Properties[0], "AG(x >= 1)");
+  EXPECT_EQ(Out.Properties[2], "");
+}
+
+TEST(WireCodec, VerdictRoundTrip) {
+  WireVerdict V;
+  V.Id = 42;
+  V.Index = 7;
+  V.St = WireStatus::Timeout;
+  V.Seconds = 1.25;
+  V.Rounds = 9;
+  V.FailPhase = 3;
+  V.FailResource = 1;
+  V.Failure = "refinement ran out of wall-clock";
+  WireVerdict Out;
+  std::string Err;
+  ASSERT_TRUE(decodeVerdict(encodeVerdict(V), Out, Err)) << Err;
+  EXPECT_EQ(Out.Id, 42u);
+  EXPECT_EQ(Out.Index, 7u);
+  EXPECT_EQ(Out.St, WireStatus::Timeout);
+  EXPECT_DOUBLE_EQ(Out.Seconds, 1.25);
+  EXPECT_EQ(Out.Rounds, 9u);
+  EXPECT_EQ(Out.FailPhase, 3);
+  EXPECT_EQ(Out.FailResource, 1);
+  EXPECT_EQ(Out.Failure, V.Failure);
+}
+
+TEST(WireCodec, ControlFramesRoundTrip) {
+  std::string Err;
+  WireDone D0{11, 3, 1}, D;
+  ASSERT_TRUE(decodeDone(encodeDone(D0), D, Err));
+  EXPECT_EQ(D.Id, 11u);
+  EXPECT_EQ(D.Verdicts, 3u);
+  EXPECT_EQ(D.Replayed, 1);
+
+  WireOverloaded O0{12, "queue full"}, O;
+  ASSERT_TRUE(decodeOverloaded(encodeOverloaded(O0), O, Err));
+  EXPECT_EQ(O.Id, 12u);
+  EXPECT_EQ(O.Detail, "queue full");
+
+  WireError E0{13, "bad things"}, E;
+  ASSERT_TRUE(decodeError(encodeError(E0), E, Err));
+  EXPECT_EQ(E.Id, 13u);
+  EXPECT_EQ(E.Detail, "bad things");
+
+  std::uint64_t N = 0;
+  ASSERT_TRUE(decodePing(encodePing(777), N));
+  EXPECT_EQ(N, 777u);
+  ASSERT_TRUE(decodePong(encodePong(888), N));
+  EXPECT_EQ(N, 888u);
+}
+
+TEST(WireCodec, EveryTruncationOfARequestIsRejected) {
+  std::string B = encodeRequest(sampleRequest());
+  for (std::size_t Len = 0; Len < B.size(); ++Len) {
+    WireRequest Out;
+    std::string Err;
+    EXPECT_FALSE(decodeRequest(B.substr(0, Len), Out, Err))
+        << "accepted a " << Len << "-byte prefix of a "
+        << B.size() << "-byte request";
+  }
+}
+
+TEST(WireCodec, TrailingGarbageIsRejected) {
+  std::string Err;
+  WireRequest R;
+  EXPECT_FALSE(decodeRequest(encodeRequest(sampleRequest()) + "x", R, Err));
+  WireDone D;
+  EXPECT_FALSE(decodeDone(encodeDone({1, 1, 0}) + std::string(1, '\0'),
+                          D, Err));
+  std::uint64_t N;
+  EXPECT_FALSE(decodePing(encodePing(5) + "!", N));
+}
+
+TEST(WireCodec, WrongTypeByteIsRejected) {
+  std::string B = encodeRequest(sampleRequest());
+  B[0] = static_cast<char>(MsgType::Verdict);
+  WireRequest R;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(B, R, Err));
+
+  std::string V = encodeVerdict(WireVerdict{});
+  V[0] = static_cast<char>(MsgType::Done);
+  WireVerdict Out;
+  EXPECT_FALSE(decodeVerdict(V, Out, Err));
+}
+
+TEST(WireCodec, ImplausiblePropertyCountIsRejectedEarly) {
+  // A hostile frame claiming 2^31 properties must be rejected from
+  // the header alone, without attempting to reserve for them.
+  WireRequest R;
+  R.Id = 1;
+  R.Program = "p";
+  std::string B = encodeRequest(R);
+  // Patch the property-count field (last 4 bytes: count 0).
+  B[B.size() - 1] = static_cast<char>(0x80);
+  WireRequest Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(B, Out, Err));
+  EXPECT_NE(Err.find("implausible"), std::string::npos);
+}
+
+TEST(WireCodec, OutOfRangeStatusByteIsRejected) {
+  WireVerdict V;
+  V.St = WireStatus::Proved;
+  std::string B = encodeVerdict(V);
+  // Status byte sits after type(1) + id(8) + index(4).
+  B[13] = 9;
+  WireVerdict Out;
+  std::string Err;
+  EXPECT_FALSE(decodeVerdict(B, Out, Err));
+}
+
+//===--------------------------------------------------------------------===//
+// Frame I/O over a socketpair
+//===--------------------------------------------------------------------===//
+
+class WireFrameTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  }
+  void TearDown() override {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+  }
+  int Fds[2] = {-1, -1};
+};
+
+TEST_F(WireFrameTest, WriteThenReadRoundTrips) {
+  std::string Payload = encodePing(123);
+  ASSERT_TRUE(writeFrame(Fds[0], Payload));
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Ok);
+  EXPECT_EQ(Back, Payload);
+}
+
+TEST_F(WireFrameTest, ZeroLengthFrameIsEmpty) {
+  const unsigned char Hdr[4] = {0, 0, 0, 0};
+  ASSERT_EQ(sendAll(Fds[0], Hdr, 4), IoStatus::Ok);
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Empty);
+}
+
+TEST_F(WireFrameTest, OversizedLengthIsOversized) {
+  // Length = MaxBytes + 1 with a tiny MaxBytes for the reader.
+  const std::uint32_t Len = 65;
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Len), 0, 0, 0};
+  ASSERT_EQ(sendAll(Fds[0], Hdr, 4), IoStatus::Ok);
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, /*MaxBytes=*/64, 1000),
+            FrameStatus::Oversized);
+}
+
+TEST_F(WireFrameTest, TruncatedHeaderIsTruncated) {
+  const unsigned char Half[2] = {9, 9};
+  ASSERT_EQ(sendAll(Fds[0], Half, 2), IoStatus::Ok);
+  ::close(Fds[0]);
+  Fds[0] = -1;
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Truncated);
+}
+
+TEST_F(WireFrameTest, TruncatedBodyIsTruncated) {
+  const unsigned char Hdr[4] = {10, 0, 0, 0}; // promises 10 bytes
+  ASSERT_EQ(sendAll(Fds[0], Hdr, 4), IoStatus::Ok);
+  ASSERT_EQ(sendAll(Fds[0], "abc", 3), IoStatus::Ok); // delivers 3
+  ::close(Fds[0]);
+  Fds[0] = -1;
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 1000),
+            FrameStatus::Truncated);
+}
+
+TEST_F(WireFrameTest, CleanCloseAtBoundaryIsCleanClose) {
+  ::close(Fds[0]);
+  Fds[0] = -1;
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 1000),
+            FrameStatus::CleanClose);
+}
+
+TEST_F(WireFrameTest, HeaderTimeoutIsTimedOut) {
+  std::string Back;
+  EXPECT_EQ(readFrame(Fds[1], Back, DefaultMaxFrameBytes, 50),
+            FrameStatus::TimedOut);
+}
+
+TEST_F(WireFrameTest, WriteToClosedPeerFailsInsteadOfKilling) {
+  // The SIGPIPE contract: a peer that vanished turns writes into an
+  // error return. Were the signal undisciplined, this test would
+  // kill the whole test binary.
+  ::close(Fds[1]);
+  Fds[1] = -1;
+  // Large enough to defeat any socket buffer on the first or second
+  // write.
+  std::string Big(1 << 20, 'x');
+  bool First = writeFrame(Fds[0], Big);
+  bool Second = writeFrame(Fds[0], Big);
+  EXPECT_FALSE(First && Second);
+  EXPECT_FALSE(writeFrame(Fds[0], encodePing(1)));
+}
+
+TEST_F(WireFrameTest, PeerHangupIsObservable) {
+  EXPECT_FALSE(peerHungUp(Fds[0]));
+  ::close(Fds[1]);
+  Fds[1] = -1;
+  EXPECT_TRUE(peerHungUp(Fds[0]));
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+//===- tools/chute-cli/chute_cli.cpp - chuted command-line client -----------===//
+//
+// chute-cli: verify CTL properties of a program against a running
+// chuted instead of in-process (the daemon keeps warm caches, so
+// repeated runs over the same program skip already-discharged
+// queries).
+//
+//   chute-cli PROGRAM-FILE "CTL-PROPERTY" ["CTL-PROPERTY"...]
+//             [--socket SPEC] [--deadline-ms N] [--attempts N]
+//             [--overload-retries N] [--quiet]
+//   chute-cli --ping [--socket SPEC]
+//
+// One line per property: `<property>: <status>  (...)`, the same
+// leading shape chuteverify prints, so the two can be diffed.
+//
+// Exit codes: 0 every property proved, 1 some property disproved,
+// 2 some property unknown or timed out, 3 usage error / daemon
+// unreachable / request rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace chute::daemon;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: chute-cli PROGRAM-FILE \"CTL-PROPERTY\"... "
+      "[--socket SPEC] [--deadline-ms N] [--attempts N] "
+      "[--overload-retries N] [--quiet]\n"
+      "       chute-cli --ping [--socket SPEC]\n"
+      "\n"
+      "SPEC is unix:/path, tcp:host:port, or a bare socket path\n"
+      "(default unix:/tmp/chuted.sock, env CHUTE_DAEMON_SOCKET).\n");
+}
+
+int main(int Argc, char **Argv) {
+  ClientOptions Opts;
+  if (const char *Env = std::getenv("CHUTE_DAEMON_SOCKET"))
+    if (*Env != '\0')
+      Opts.Endpoint = Env;
+
+  std::string ProgramFile;
+  std::vector<std::string> Properties;
+  unsigned DeadlineMs = 0;
+  bool Ping = false, Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "chute-cli: %s needs a value\n", Flag);
+        std::exit(3);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--socket") {
+      Opts.Endpoint = Next("--socket");
+    } else if (Arg == "--deadline-ms") {
+      DeadlineMs = static_cast<unsigned>(std::atoi(Next("--deadline-ms")));
+    } else if (Arg == "--attempts") {
+      Opts.ConnectAttempts =
+          static_cast<unsigned>(std::atoi(Next("--attempts")));
+    } else if (Arg == "--overload-retries") {
+      Opts.OverloadRetries =
+          static_cast<unsigned>(std::atoi(Next("--overload-retries")));
+    } else if (Arg == "--ping") {
+      Ping = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage();
+      return 3;
+    } else if (ProgramFile.empty()) {
+      ProgramFile = Arg;
+    } else {
+      Properties.push_back(Arg);
+    }
+  }
+
+  if (Ping) {
+    Client C(Opts);
+    if (C.ping()) {
+      if (!Quiet)
+        std::printf("pong from %s\n", Opts.Endpoint.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "chute-cli: no pong from %s\n",
+                 Opts.Endpoint.c_str());
+    return 3;
+  }
+
+  if (ProgramFile.empty() || Properties.empty()) {
+    usage();
+    return 3;
+  }
+
+  std::ifstream In(ProgramFile);
+  if (!In) {
+    std::fprintf(stderr, "chute-cli: cannot open %s\n",
+                 ProgramFile.c_str());
+    return 3;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Client C(Opts);
+  ClientResult R = C.request(Buffer.str(), Properties, DeadlineMs);
+  switch (R.Outcome) {
+  case ClientOutcome::Done:
+    break;
+  case ClientOutcome::Overloaded:
+    std::fprintf(stderr, "chute-cli: daemon overloaded: %s\n",
+                 R.Error.c_str());
+    return 3;
+  case ClientOutcome::ServerError:
+    std::fprintf(stderr, "chute-cli: daemon rejected request: %s\n",
+                 R.Error.c_str());
+    return 3;
+  case ClientOutcome::ConnectFailed:
+    std::fprintf(stderr, "chute-cli: cannot reach daemon at %s: %s\n",
+                 Opts.Endpoint.c_str(), R.Error.c_str());
+    return 3;
+  case ClientOutcome::ProtocolError:
+    std::fprintf(stderr, "chute-cli: protocol error: %s\n",
+                 R.Error.c_str());
+    return 3;
+  }
+
+  int Exit = 0;
+  for (const WireVerdict &V : R.Verdicts) {
+    const std::string &Prop =
+        V.Index < Properties.size() ? Properties[V.Index] : "?";
+    if (Quiet)
+      std::printf("%s: %s\n", Prop.c_str(), toString(V.St));
+    else
+      std::printf("%s: %s  (%.2fs, %u attempts%s)\n", Prop.c_str(),
+                  toString(V.St), V.Seconds, V.Rounds,
+                  R.Replayed ? ", replayed" : "");
+    if (!Quiet && !V.Failure.empty())
+      std::printf("degraded: %s\n", V.Failure.c_str());
+    switch (V.St) {
+    case WireStatus::Disproved:
+      if (Exit == 0)
+        Exit = 1;
+      break;
+    case WireStatus::Unknown:
+    case WireStatus::Timeout:
+      Exit = 2;
+      break;
+    case WireStatus::Proved:
+      break;
+    }
+  }
+  return Exit;
+}

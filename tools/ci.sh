@@ -8,8 +8,9 @@
 # --tsan builds with ThreadSanitizer into a separate build tree
 # (default build-tsan) and runs only the concurrency-sensitive suites
 # (thread pool, SMT facade, query cache, governor, parallel engine,
-# tracer): a data race in the proof scheduler fails the gate even
-# when the plain build happens to pass.
+# tracer, daemon + wire protocol + admission control, contended file
+# I/O): a data race in the proof scheduler or the daemon fails the
+# gate even when the plain build happens to pass.
 #
 # Knobs (environment):
 #   CI_TEST_TIMEOUT   per-test timeout in seconds (default 300)
@@ -52,7 +53,7 @@ if [ "$TSAN" = 1 ]; then
   timeout --signal=TERM --kill-after=30 "$TOTAL_TIMEOUT" \
     ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" \
           --timeout "$TEST_TIMEOUT" \
-          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget|Trace"
+          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget|Trace|Daemon|Wire|FileUtil|Admission"
   echo "ci: tsan build and concurrency tests passed"
   exit 0
 fi

@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Verification-daemon gate: starts a real chuted process under SMT
+# fault injection and drives it through the failure modes the daemon
+# exists to contain:
+#
+#   1. liveness     - chute-cli --ping answers once the socket is up
+#   2. agreement    - chute-cli verdicts match offline chuteverify on
+#                     a Figure 6 sample, fault injection and all
+#   3. soak         - bench_soak_daemon: >= 8 concurrent clients over
+#                     the corpus against the daemon, every wire
+#                     verdict diffed against an offline Verifier run
+#   4. shedding     - a saturated daemon (1 slot, no queue, held
+#                     requests) answers OVERLOADED instead of queueing
+#   5. shutdown     - SIGTERM exits 0, writes a parseable stats JSON,
+#                     removes its socket, leaks no child processes
+#
+#   tools/daemon_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_GATE_CLIENTS  soak client count (default 8)
+#   CHUTE_GATE_ITERS    soak iterations per client (default 2)
+#   CHUTE_GATE_ROWS     soak corpus rows (default 12)
+#   CHUTE_GATE_FAULT    CHUTE_SMT_FAULT_EVERY for the phases that
+#                       inject faults (default 7)
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+CLIENTS=${CHUTE_GATE_CLIENTS:-8}
+ITERS=${CHUTE_GATE_ITERS:-2}
+ROWS=${CHUTE_GATE_ROWS:-12}
+FAULT=${CHUTE_GATE_FAULT:-7}
+
+CHUTED="$BUILD"/src/chuted
+CLI="$BUILD"/tools/chute-cli/chute-cli
+SOAK="$BUILD"/bench/bench_soak_daemon
+VERIFY="$BUILD"/examples/chuteverify
+for BIN in "$CHUTED" "$CLI" "$SOAK" "$VERIFY"; do
+  [ -x "$BIN" ] || { echo "daemon_gate: $BIN not built" >&2; exit 2; }
+done
+
+DIR=$(mktemp -d)
+SOCK="unix:$DIR/gate.sock"
+STATS="$DIR/stats.json"
+DAEMON_PID=""
+OVERLOAD_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$OVERLOAD_PID" ] && kill -KILL "$OVERLOAD_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_ping() { # $1 = socket spec
+  for _ in $(seq 1 100); do
+    if "$CLI" --ping --socket "$1" --quiet 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "daemon_gate: daemon never answered a ping on $1" >&2
+  return 1
+}
+
+# --- phase 1: start + liveness -------------------------------------
+CHUTE_SMT_FAULT_EVERY=$FAULT \
+  "$CHUTED" --socket "$SOCK" --stats-json "$STATS" \
+  2> "$DIR/chuted.log" &
+DAEMON_PID=$!
+wait_ping "$SOCK"
+echo "daemon_gate: chuted (pid $DAEMON_PID) is live on $SOCK"
+
+# --- phase 2: chute-cli vs offline chuteverify ---------------------
+# A proved, a disproved, and an unknown-free nested row; both
+# runners see the same fault injection, so any disagreement is a
+# daemon-layer bug, not solver noise.
+cat > "$DIR/counter.chute" <<'EOF'
+init(x >= 1);
+while (x >= 1) {
+  x = x + 1;
+}
+EOF
+PROPS=("AG(x >= 1)" "EF(x <= 0)" "AG(EF(x >= 10))")
+for PROP in "${PROPS[@]}"; do
+  set +e
+  OFFLINE=$(CHUTE_SMT_FAULT_EVERY=$FAULT \
+    "$VERIFY" "$DIR/counter.chute" "$PROP" | head -n 1)
+  DAEMON=$("$CLI" "$DIR/counter.chute" "$PROP" --socket "$SOCK" \
+    --quiet | head -n 1)
+  set -e
+  OFFLINE_V=$(printf '%s' "$OFFLINE" | awk -F': ' '{print $2}' \
+    | awk '{print $1}')
+  DAEMON_V=$(printf '%s' "$DAEMON" | awk -F': ' '{print $2}' \
+    | awk '{print $1}')
+  if [ -z "$OFFLINE_V" ] || [ "$OFFLINE_V" != "$DAEMON_V" ]; then
+    echo "daemon_gate: verdict drift on \"$PROP\":" \
+         "offline='$OFFLINE' daemon='$DAEMON'" >&2
+    exit 1
+  fi
+done
+echo "daemon_gate: ${#PROPS[@]} chute-cli verdicts match chuteverify"
+
+# --- phase 3: concurrency soak under fault injection ---------------
+CHUTE_SMT_FAULT_EVERY=$FAULT \
+  "$SOAK" --socket "$SOCK" --clients "$CLIENTS" --iters "$ITERS" \
+          --rows "$ROWS"
+echo "daemon_gate: soak agreed with offline verdicts"
+
+# --- phase 4: saturation sheds instead of queueing -----------------
+OSOCK="unix:$DIR/overload.sock"
+CHUTE_DAEMON_MAX_INFLIGHT=1 CHUTE_DAEMON_MAX_QUEUE=0 \
+CHUTE_DAEMON_HOLD_MS=2000 \
+  "$CHUTED" --socket "$OSOCK" 2> "$DIR/overload.log" &
+OVERLOAD_PID=$!
+wait_ping "$OSOCK"
+# First request occupies the only slot (held 2s); the second must be
+# shed promptly rather than waiting for it.
+"$CLI" "$DIR/counter.chute" "AG(x >= 1)" --socket "$OSOCK" --quiet \
+  > /dev/null 2>&1 &
+HOLDER=$!
+sleep 0.3
+set +e
+SHED_OUT=$("$CLI" "$DIR/counter.chute" "AG(x >= 1)" --socket "$OSOCK" \
+  --quiet 2>&1)
+SHED_RC=$?
+set -e
+wait "$HOLDER" || true
+if [ "$SHED_RC" -eq 0 ] || ! printf '%s' "$SHED_OUT" \
+    | grep -q "overloaded"; then
+  echo "daemon_gate: saturated daemon did not shed" \
+       "(rc=$SHED_RC out='$SHED_OUT')" >&2
+  exit 1
+fi
+kill -TERM "$OVERLOAD_PID"
+wait "$OVERLOAD_PID" || true
+OVERLOAD_PID=""
+echo "daemon_gate: saturated daemon shed with OVERLOADED"
+
+# --- phase 5: clean SIGTERM shutdown -------------------------------
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+RC=$?
+set -e
+DAEMON_PID=""
+if [ "$RC" -ne 0 ]; then
+  echo "daemon_gate: chuted exited $RC on SIGTERM" >&2
+  cat "$DIR/chuted.log" >&2
+  exit 1
+fi
+if [ -e "$DIR/gate.sock" ]; then
+  echo "daemon_gate: socket file survived shutdown" >&2
+  exit 1
+fi
+if ! grep -q '"accepted"' "$STATS" \
+    || ! grep -Eq '"completed": [1-9]' "$STATS"; then
+  echo "daemon_gate: stats JSON missing or empty:" >&2
+  cat "$STATS" >&2 || true
+  exit 1
+fi
+# No leaked children: every process this shell spawned is reaped and
+# nothing named chuted survives in our process group.
+if pgrep -P $$ > /dev/null 2>&1; then
+  echo "daemon_gate: leaked child processes:" >&2
+  pgrep -P $$ -l >&2
+  exit 1
+fi
+echo "daemon_gate: clean SIGTERM exit, stats persisted, no leaks"
