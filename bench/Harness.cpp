@@ -78,6 +78,9 @@ struct ChildStats {
   unsigned DiskWarmHits = 0;
   unsigned DiskSaved = 0;
   unsigned DiskRejects = 0;
+  unsigned DiskIndexed = 0;
+  unsigned DiskTorn = 0;
+  unsigned DiskCompactions = 0;
   obs::TraceSummary Trace;
 };
 
@@ -187,6 +190,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
       Stats.DiskSaved = static_cast<unsigned>(
           SS.Disk.SatSaved + SS.Disk.QeSaved + SS.Disk.CoresSaved);
       Stats.DiskRejects = static_cast<unsigned>(SS.Disk.LoadRejects);
+      Stats.DiskIndexed = static_cast<unsigned>(SS.Disk.RecordsIndexed);
+      Stats.DiskTorn = static_cast<unsigned>(SS.Disk.TornTailsTruncated);
+      Stats.DiskCompactions = static_cast<unsigned>(SS.Disk.Compactions);
     } else {
       Verifier V(*P, Options);
       R = V.verify(Row.Property, Err);
@@ -258,6 +264,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.DiskWarmHits = Stats.DiskWarmHits;
     Result.DiskSaved = Stats.DiskSaved;
     Result.DiskRejects = Stats.DiskRejects;
+    Result.DiskIndexed = Stats.DiskIndexed;
+    Result.DiskTorn = Stats.DiskTorn;
+    Result.DiskCompactions = Stats.DiskCompactions;
     Result.Trace = Stats.Trace;
   }
 
@@ -347,7 +356,8 @@ unsigned chute::bench::runTable(const char *Title,
           "\"inc_unsat_cores\":%u,\"inc_core_pruned\":%u,"
           "\"inc_resets\":%u,\"disk_loaded\":%u,"
           "\"disk_warm_hits\":%u,\"disk_saved\":%u,"
-          "\"disk_rejects\":%u,%s}\n",
+          "\"disk_rejects\":%u,\"disk_indexed\":%u,"
+          "\"disk_torn\":%u,\"disk_compactions\":%u,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
@@ -357,6 +367,7 @@ unsigned chute::bench::runTable(const char *Title,
           R.cacheHitRate(), R.Jobs, TimeoutSec, R.IncChecks,
           R.IncLitsReused, R.IncCores, R.IncCorePruned, R.IncResets,
           R.DiskLoaded, R.DiskWarmHits, R.DiskSaved, R.DiskRejects,
+          R.DiskIndexed, R.DiskTorn, R.DiskCompactions,
           R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }

@@ -49,7 +49,10 @@ struct RowResult {
   unsigned DiskLoaded = 0;   ///< warm records imported at open
   unsigned DiskWarmHits = 0; ///< queries answered by imported records
   unsigned DiskSaved = 0;    ///< records persisted at close
-  unsigned DiskRejects = 0;  ///< cache files rejected (corrupt/mismatch)
+  unsigned DiskRejects = 0;  ///< records/slabs rejected (corrupt/mismatch)
+  unsigned DiskIndexed = 0;  ///< records accepted into the slab index
+  unsigned DiskTorn = 0;     ///< torn slab tails truncated on recovery
+  unsigned DiskCompactions = 0; ///< slab compaction rewrites
   /// Phase breakdown of the child's run (each child traces at Stats
   /// level, so JSON rows always carry per-stage time/span counts).
   obs::TraceSummary Trace;
@@ -90,7 +93,8 @@ RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
 /// multi-row table appends ".row<id>" per row.
 /// \p CacheDir (or the CHUTE_CACHE_DIR environment variable) routes
 /// every row through the disk-backed cache; the JSON rows then carry
-/// disk_loaded / disk_warm_hits / disk_saved / disk_rejects fields.
+/// disk_loaded / disk_warm_hits / disk_saved / disk_rejects plus the
+/// slab-store disk_indexed / disk_torn / disk_compactions fields.
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
                   unsigned TimeoutSec,

@@ -5,6 +5,7 @@
 #include "core/Verifier.h"
 #include "expr/Expr.h"
 #include "program/Parser.h"
+#include "smt/CacheStore.h"
 #include "smt/DiskCache.h"
 #include "support/Env.h"
 
@@ -258,8 +259,11 @@ void Server::stop() {
   if (Ep.K == Endpoint::Kind::Unix)
     ::unlink(Ep.Path.c_str());
   // Persist the warm caches so the next daemon (or an offline run)
-  // starts where this one left off.
+  // starts where this one left off, then reclaim whatever garbage
+  // (superseded records, healed corruption) accumulated while we ran.
   saveAllEntries();
+  if (Disk)
+    Disk->store().compactNow();
 }
 
 ServerStats Server::stats() const {
@@ -665,7 +669,9 @@ Server::internProgram(const std::string &Text, std::string &Err) {
 }
 
 void Server::saveEntry(ProgramEntry &E) {
-  // Callers hold ProgMu (DiskCache stats are not synchronised).
+  // An incremental append into the shared slab store: entries the
+  // store already holds are deduplicated, so evicting a program that
+  // learned nothing new writes nothing.
   if (Disk && Disk->save(E.Key, *E.Cache))
     ++Ct->DiskSaves;
 }

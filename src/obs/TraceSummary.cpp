@@ -76,6 +76,14 @@ const char *chute::obs::toString(Counter C) {
     return "smt_disk_warm_hits";
   case Counter::SmtDiskRejects:
     return "smt_disk_rejects";
+  case Counter::SmtDiskAppended:
+    return "smt_disk_appended";
+  case Counter::SmtDiskIndexed:
+    return "smt_disk_indexed";
+  case Counter::SmtDiskTorn:
+    return "smt_disk_torn";
+  case Counter::SmtDiskCompactions:
+    return "smt_disk_compactions";
   }
   return "?";
 }

@@ -68,9 +68,13 @@ enum class Counter : std::uint8_t {
   SmtIncResets,     ///< session frames torn down (capacity/error)
   SmtDiskLoaded,    ///< warm entries imported from the disk cache
   SmtDiskWarmHits,  ///< queries answered by an imported entry
-  SmtDiskRejects,   ///< disk-cache files rejected (corrupt/mismatch)
+  SmtDiskRejects,   ///< disk-cache records/slabs rejected (corrupt/mismatch)
+  SmtDiskAppended,  ///< records appended to the slab store
+  SmtDiskIndexed,   ///< records accepted into the slab index
+  SmtDiskTorn,      ///< torn slab tails truncated during recovery
+  SmtDiskCompactions, ///< slab compaction rewrites completed
 };
-inline constexpr unsigned NumCounters = 24;
+inline constexpr unsigned NumCounters = 28;
 
 const char *toString(Counter C);
 

@@ -1,0 +1,447 @@
+//===- smt/CacheFormat.cpp - Shared cache serialisation grammar ------------===//
+
+#include "smt/CacheFormat.h"
+
+#include "expr/Expr.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+#include <z3.h>
+
+using namespace chute;
+
+std::uint64_t cachefmt::fnv1a(const std::string &S) {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string cachefmt::z3VersionString() {
+  unsigned Major = 0, Minor = 0, Build = 0, Rev = 0;
+  Z3_get_version(&Major, &Minor, &Build, &Rev);
+  std::ostringstream Os;
+  Os << Major << '.' << Minor << '.' << Build << '.' << Rev;
+  return Os.str();
+}
+
+namespace {
+
+/// Maps a serialisable operator kind to its file token; nullptr for
+/// kinds handled specially (leaves, quantifiers).
+const char *opToken(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+    return "add";
+  case ExprKind::Mul:
+    return "mul";
+  case ExprKind::Eq:
+    return "eq";
+  case ExprKind::Ne:
+    return "ne";
+  case ExprKind::Le:
+    return "le";
+  case ExprKind::Lt:
+    return "lt";
+  case ExprKind::Ge:
+    return "ge";
+  case ExprKind::Gt:
+    return "gt";
+  case ExprKind::And:
+    return "and";
+  case ExprKind::Or:
+    return "or";
+  case ExprKind::Not:
+    return "not";
+  case ExprKind::Implies:
+    return "imp";
+  default:
+    return nullptr;
+  }
+}
+
+bool nameSerialisable(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (std::isspace(static_cast<unsigned char>(C)) ||
+        static_cast<unsigned char>(C) < 0x20)
+      return false;
+  return true;
+}
+
+/// Assigns dense ids to every node reachable from an expression
+/// (children before parents) and emits their definition lines.
+/// Returns false when the expression cannot be serialised.
+class ExprWriter {
+public:
+  explicit ExprWriter(std::ostringstream &Nodes) : Nodes(Nodes) {}
+
+  bool id(ExprRef E, std::size_t &Out) {
+    auto It = Ids.find(E);
+    if (It != Ids.end()) {
+      Out = It->second;
+      return true;
+    }
+    switch (E->kind()) {
+    case ExprKind::IntConst:
+      Nodes << "i " << E->intValue() << '\n';
+      break;
+    case ExprKind::Var:
+      if (!nameSerialisable(E->varName()))
+        return false;
+      Nodes << "v " << E->varName() << '\n';
+      break;
+    case ExprKind::True:
+      Nodes << "t\n";
+      break;
+    case ExprKind::False:
+      Nodes << "f\n";
+      break;
+    case ExprKind::Exists:
+    case ExprKind::Forall: {
+      std::vector<std::size_t> BoundIds;
+      for (ExprRef B : E->boundVars()) {
+        std::size_t I;
+        if (!id(B, I))
+          return false;
+        BoundIds.push_back(I);
+      }
+      std::size_t BodyId;
+      if (!id(E->body(), BodyId))
+        return false;
+      Nodes << (E->kind() == ExprKind::Exists ? "ex " : "fa ")
+            << BoundIds.size();
+      for (std::size_t I : BoundIds)
+        Nodes << ' ' << I;
+      Nodes << ' ' << BodyId << '\n';
+      break;
+    }
+    default: {
+      const char *Tok = opToken(E->kind());
+      if (Tok == nullptr)
+        return false;
+      std::vector<std::size_t> OpIds;
+      for (ExprRef Op : E->operands()) {
+        std::size_t I;
+        if (!id(Op, I))
+          return false;
+        OpIds.push_back(I);
+      }
+      Nodes << Tok << ' ' << OpIds.size();
+      for (std::size_t I : OpIds)
+        Nodes << ' ' << I;
+      Nodes << '\n';
+      break;
+    }
+    }
+    Out = Next++;
+    Ids.emplace(E, Out);
+    return true;
+  }
+
+  std::size_t count() const { return Next; }
+
+private:
+  std::ostringstream &Nodes;
+  std::unordered_map<ExprRef, std::size_t> Ids;
+  std::size_t Next = 0;
+};
+
+bool parseSize(std::istringstream &Ts, std::size_t &Out,
+               std::size_t Limit) {
+  long long V;
+  if (!(Ts >> V) || V < 0 || static_cast<unsigned long long>(V) > Limit)
+    return false;
+  Out = static_cast<std::size_t>(V);
+  return true;
+}
+
+bool parseNodeRef(std::istringstream &Ts, std::size_t Known,
+                  std::size_t &Out) {
+  // A node may only reference already-defined nodes: this is what
+  // makes cycles and forward garbage unrepresentable.
+  return parseSize(Ts, Out, Known == 0 ? 0 : Known - 1) && Known != 0;
+}
+
+bool atEnd(std::istringstream &Ts) {
+  std::string Rest;
+  return !(Ts >> Rest);
+}
+
+} // namespace
+
+std::string cachefmt::exprText(ExprRef E) {
+  if (E == nullptr)
+    return std::string();
+  std::ostringstream Nodes;
+  ExprWriter W(Nodes);
+  std::size_t Id;
+  if (!W.id(E, Id))
+    return std::string();
+  return Nodes.str();
+}
+
+std::string cachefmt::serializeBody(const CacheSnapshot &S) {
+  std::ostringstream Nodes, Records;
+  ExprWriter W(Nodes);
+  std::size_t NSat = 0, NQe = 0, NCores = 0;
+
+  for (const CacheSnapshot::SatRecord &R : S.Sat) {
+    if (R.E == nullptr || R.R == SatResult::Unknown)
+      continue; // only definite verdicts are durable facts
+    std::size_t Id;
+    if (!W.id(R.E, Id))
+      continue;
+    Records << "S " << Id << ' '
+            << (R.R == SatResult::Sat ? "sat" : "unsat") << '\n';
+    ++NSat;
+  }
+  for (const CacheSnapshot::QeRecord &R : S.Qe) {
+    if (R.In == nullptr || R.Out == nullptr)
+      continue;
+    std::size_t InId, OutId;
+    if (!W.id(R.In, InId) || !W.id(R.Out, OutId))
+      continue;
+    Records << "Q " << InId << ' ' << OutId << '\n';
+    ++NQe;
+  }
+  for (const std::vector<ExprRef> &Core : S.Cores) {
+    if (Core.empty())
+      continue;
+    std::vector<std::size_t> Ids;
+    bool Ok = true;
+    for (ExprRef E : Core) {
+      std::size_t Id;
+      if (E == nullptr || !W.id(E, Id)) {
+        Ok = false;
+        break;
+      }
+      Ids.push_back(Id);
+    }
+    if (!Ok)
+      continue;
+    Records << "C " << Ids.size();
+    for (std::size_t Id : Ids)
+      Records << ' ' << Id;
+    Records << '\n';
+    ++NCores;
+  }
+
+  std::ostringstream Out;
+  Out << "E " << W.count() << " S " << NSat << " Q " << NQe << " C "
+      << NCores << '\n'
+      << Nodes.str() << Records.str();
+  return Out.str();
+}
+
+bool cachefmt::parseBody(const std::string &Text, ExprContext &Ctx,
+                         CacheSnapshot &Out) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  // Counts line (makes truncation detectable).
+  std::size_t NNodes = 0, NSat = 0, NQe = 0, NCores = 0;
+  if (!std::getline(In, Line))
+    return false;
+  {
+    std::istringstream Ts(Line);
+    std::string KE, KS, KQ, KC;
+    constexpr std::size_t Sane = 1u << 24;
+    if (!(Ts >> KE) || KE != "E" || !parseSize(Ts, NNodes, Sane) ||
+        !(Ts >> KS) || KS != "S" || !parseSize(Ts, NSat, Sane) ||
+        !(Ts >> KQ) || KQ != "Q" || !parseSize(Ts, NQe, Sane) ||
+        !(Ts >> KC) || KC != "C" || !parseSize(Ts, NCores, Sane) ||
+        !atEnd(Ts))
+      return false;
+  }
+
+  // Expression DAG, children before parents.
+  std::vector<ExprRef> ById;
+  ById.reserve(NNodes);
+  for (std::size_t I = 0; I < NNodes; ++I) {
+    if (!std::getline(In, Line))
+      return false;
+    std::istringstream Ts(Line);
+    std::string Tok;
+    if (!(Ts >> Tok))
+      return false;
+    ExprRef E = nullptr;
+    if (Tok == "i") {
+      long long V;
+      if (!(Ts >> V) || !atEnd(Ts))
+        return false;
+      E = Ctx.mkInt(V);
+    } else if (Tok == "v") {
+      std::string Name;
+      if (!(Ts >> Name) || !nameSerialisable(Name) || !atEnd(Ts))
+        return false;
+      E = Ctx.mkVar(Name);
+    } else if (Tok == "t") {
+      if (!atEnd(Ts))
+        return false;
+      E = Ctx.mkTrue();
+    } else if (Tok == "f") {
+      if (!atEnd(Ts))
+        return false;
+      E = Ctx.mkFalse();
+    } else if (Tok == "ex" || Tok == "fa") {
+      std::size_t NBound = 0;
+      if (!parseSize(Ts, NBound, 64))
+        return false;
+      std::vector<ExprRef> Bound;
+      for (std::size_t B = 0; B < NBound; ++B) {
+        std::size_t Id;
+        if (!parseNodeRef(Ts, ById.size(), Id) || !ById[Id]->isVar())
+          return false;
+        Bound.push_back(ById[Id]);
+      }
+      std::size_t BodyId;
+      if (!parseNodeRef(Ts, ById.size(), BodyId) || !atEnd(Ts))
+        return false;
+      E = Tok == "ex" ? Ctx.mkExists(std::move(Bound), ById[BodyId])
+                      : Ctx.mkForall(std::move(Bound), ById[BodyId]);
+    } else {
+      ExprKind K;
+      if (Tok == "add")
+        K = ExprKind::Add;
+      else if (Tok == "mul")
+        K = ExprKind::Mul;
+      else if (Tok == "eq")
+        K = ExprKind::Eq;
+      else if (Tok == "ne")
+        K = ExprKind::Ne;
+      else if (Tok == "le")
+        K = ExprKind::Le;
+      else if (Tok == "lt")
+        K = ExprKind::Lt;
+      else if (Tok == "ge")
+        K = ExprKind::Ge;
+      else if (Tok == "gt")
+        K = ExprKind::Gt;
+      else if (Tok == "and")
+        K = ExprKind::And;
+      else if (Tok == "or")
+        K = ExprKind::Or;
+      else if (Tok == "not")
+        K = ExprKind::Not;
+      else if (Tok == "imp")
+        K = ExprKind::Implies;
+      else
+        return false;
+      std::size_t NOps = 0;
+      if (!parseSize(Ts, NOps, 1u << 20))
+        return false;
+      std::vector<ExprRef> Ops;
+      for (std::size_t O = 0; O < NOps; ++O) {
+        std::size_t Id;
+        if (!parseNodeRef(Ts, ById.size(), Id))
+          return false;
+        Ops.push_back(ById[Id]);
+      }
+      if (!atEnd(Ts))
+        return false;
+      switch (K) {
+      case ExprKind::Add:
+        if (Ops.empty())
+          return false;
+        E = Ctx.mkAdd(std::move(Ops));
+        break;
+      case ExprKind::Mul:
+        if (Ops.size() != 2)
+          return false;
+        E = Ctx.mkMul(Ops[0], Ops[1]);
+        break;
+      case ExprKind::And:
+        E = Ctx.mkAnd(std::move(Ops));
+        break;
+      case ExprKind::Or:
+        E = Ctx.mkOr(std::move(Ops));
+        break;
+      case ExprKind::Not:
+        if (Ops.size() != 1)
+          return false;
+        E = Ctx.mkNot(Ops[0]);
+        break;
+      case ExprKind::Implies:
+        if (Ops.size() != 2)
+          return false;
+        E = Ctx.mkImplies(Ops[0], Ops[1]);
+        break;
+      default: // the six comparisons
+        if (Ops.size() != 2)
+          return false;
+        E = Ctx.mkCmp(K, Ops[0], Ops[1]);
+        break;
+      }
+    }
+    if (E == nullptr)
+      return false;
+    ById.push_back(E);
+  }
+
+  // Records.
+  CacheSnapshot S;
+  for (std::size_t I = 0; I < NSat; ++I) {
+    if (!std::getline(In, Line))
+      return false;
+    std::istringstream Ts(Line);
+    std::string Tag, VerdictTok;
+    std::size_t Id;
+    if (!(Ts >> Tag) || Tag != "S" ||
+        !parseNodeRef(Ts, ById.size(), Id) || !(Ts >> VerdictTok) ||
+        !atEnd(Ts))
+      return false;
+    // "unknown" is deliberately not a token of the format: transient
+    // verdicts are unrepresentable, not merely filtered.
+    SatResult V;
+    if (VerdictTok == "sat")
+      V = SatResult::Sat;
+    else if (VerdictTok == "unsat")
+      V = SatResult::Unsat;
+    else
+      return false;
+    S.Sat.push_back({ById[Id], V});
+  }
+  for (std::size_t I = 0; I < NQe; ++I) {
+    if (!std::getline(In, Line))
+      return false;
+    std::istringstream Ts(Line);
+    std::string Tag;
+    std::size_t InId, OutId;
+    if (!(Ts >> Tag) || Tag != "Q" ||
+        !parseNodeRef(Ts, ById.size(), InId) ||
+        !parseNodeRef(Ts, ById.size(), OutId) || !atEnd(Ts))
+      return false;
+    S.Qe.push_back({ById[InId], ById[OutId]});
+  }
+  for (std::size_t I = 0; I < NCores; ++I) {
+    if (!std::getline(In, Line))
+      return false;
+    std::istringstream Ts(Line);
+    std::string Tag;
+    std::size_t N = 0;
+    if (!(Ts >> Tag) || Tag != "C" || !parseSize(Ts, N, 1u << 10) ||
+        N == 0)
+      return false;
+    std::vector<ExprRef> Core;
+    for (std::size_t C = 0; C < N; ++C) {
+      std::size_t Id;
+      if (!parseNodeRef(Ts, ById.size(), Id))
+        return false;
+      Core.push_back(ById[Id]);
+    }
+    if (!atEnd(Ts))
+      return false;
+    S.Cores.push_back(std::move(Core));
+  }
+  if (std::getline(In, Line))
+    return false; // trailing garbage
+
+  Out = std::move(S);
+  return true;
+}

@@ -1,0 +1,76 @@
+//===- smt/CacheFormat.h - Shared cache serialisation grammar -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one text grammar both durable cache layers speak: the legacy
+/// per-program files (smt/DiskCache, now only read for migration)
+/// and the sharded slab store (smt/CacheStore) serialise snapshots
+/// through these helpers, so a record written by either is parseable
+/// by the strict body parser of the other.
+///
+/// A body is:
+///
+///   E <nodes> S <sat> Q <qe> C <cores>     (counts line)
+///   <node definition lines>                (children before parents)
+///   <record lines>                         (S/Q/C over node ids)
+///
+/// Node definitions assign dense ids in deterministic DFS order, so
+/// the serialisation of an expression is a pure function of its
+/// structure — independent of the ExprContext that interned it and
+/// of pointer values. That is what makes fnv1a(exprText(E)) a
+/// stable, cross-process, cross-program structural key: the slab
+/// store shards and dedupes on it.
+///
+/// Parsing is strict everywhere: any malformed line, dangling node
+/// reference, unknown token or trailing garbage fails the whole
+/// body. "unknown" is not a token of the grammar — transient
+/// verdicts are unrepresentable, not merely filtered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_CACHEFORMAT_H
+#define CHUTE_SMT_CACHEFORMAT_H
+
+#include "smt/QueryCache.h"
+
+#include <cstdint>
+#include <string>
+
+namespace chute {
+
+class ExprContext;
+
+namespace cachefmt {
+
+/// FNV-1a, 64-bit — the hash both the record framing checksum and
+/// the structural sharding key use.
+std::uint64_t fnv1a(const std::string &S);
+
+/// "major.minor.build.rev" of the linked Z3. Baked into every header
+/// so a solver upgrade invalidates persisted verdicts wholesale.
+std::string z3VersionString();
+
+/// Canonical serialisation of one expression: its node-definition
+/// lines in DFS order (the expression itself is the last id).
+/// Returns the empty string when \p E cannot be serialised (a
+/// variable whose name would not survive the line format).
+std::string exprText(ExprRef E);
+
+/// Serialises a snapshot body (counts line + nodes + records).
+/// Unknown verdicts, null expressions and unserialisable names are
+/// structurally absent from the output.
+std::string serializeBody(const CacheSnapshot &S);
+
+/// Parses a body into \p Out, rebuilding expressions in \p Ctx
+/// through its normalising constructors. Strict: returns false on
+/// any malformation, including trailing garbage.
+bool parseBody(const std::string &Text, ExprContext &Ctx,
+               CacheSnapshot &Out);
+
+} // namespace cachefmt
+} // namespace chute
+
+#endif // CHUTE_SMT_CACHEFORMAT_H

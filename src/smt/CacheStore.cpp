@@ -1,0 +1,895 @@
+//===- smt/CacheStore.cpp - Sharded slab store for durable verdicts --------===//
+
+#include "smt/CacheStore.h"
+
+#include "expr/Expr.h"
+#include "obs/Trace.h"
+#include "smt/CacheFormat.h"
+#include "support/Debug.h"
+#include "support/FileUtil.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace chute;
+
+namespace {
+
+/// Bumped whenever the slab layout or record framing changes; a
+/// mismatch rejects the slab wholesale (no migration — it is only a
+/// cache).
+constexpr unsigned SlabSchemaVersion = 1;
+
+/// Records larger than this are rejected as framing garbage long
+/// before any allocation happens.
+constexpr std::uint64_t MaxPayloadBytes = 1u << 24;
+
+/// A frame line never legitimately exceeds this (fixed tokens plus
+/// two 16-digit hashes and a length).
+constexpr std::size_t MaxFrameLine = 160;
+
+std::string lockPath(const std::string &Dir, unsigned Shard) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%02u", Shard);
+  return Dir + "/slab-" + Buf + ".lock";
+}
+
+std::uint64_t fileSize(const std::string &Path, bool &Exists) {
+  struct stat Sb;
+  if (::stat(Path.c_str(), &Sb) != 0 || !S_ISREG(Sb.st_mode)) {
+    Exists = false;
+    return 0;
+  }
+  Exists = true;
+  return static_cast<std::uint64_t>(Sb.st_size);
+}
+
+struct Frame {
+  char Kind = 'S';
+  std::uint64_t KeyHash = 0;
+  std::uint64_t Len = 0;
+  std::uint64_t PayloadHash = 0;
+  std::size_t LineLen = 0; ///< frame line bytes, newline included
+};
+
+/// Parses the frame line starting at \p Pos. Strict: any deviation
+/// fails (the caller then decides torn-tail vs corrupt-record).
+bool parseFrame(const std::string &Text, std::size_t Pos, Frame &Out) {
+  std::size_t Window = std::min(Text.size(), Pos + MaxFrameLine);
+  std::size_t Nl = Text.find('\n', Pos);
+  if (Nl == std::string::npos || Nl >= Window)
+    return false;
+  std::istringstream Ts(Text.substr(Pos, Nl - Pos));
+  std::string Tag, KindTok;
+  std::uint64_t Len = 0;
+  if (!(Ts >> Tag) || Tag != "R" || !(Ts >> KindTok) ||
+      KindTok.size() != 1 ||
+      (KindTok[0] != 'S' && KindTok[0] != 'Q' && KindTok[0] != 'C'))
+    return false;
+  if (!(Ts >> std::hex >> Out.KeyHash >> std::dec >> Len >> std::hex >>
+        Out.PayloadHash))
+    return false;
+  std::string Rest;
+  if (Ts >> Rest)
+    return false;
+  if (Len == 0 || Len > MaxPayloadBytes)
+    return false;
+  Out.Kind = KindTok[0];
+  Out.Len = Len;
+  Out.LineLen = Nl - Pos + 1;
+  return true;
+}
+
+std::string frameLine(char Kind, std::uint64_t KeyHash,
+                      std::uint64_t Len, std::uint64_t PayloadHash) {
+  std::ostringstream Os;
+  Os << "R " << Kind << ' ' << std::hex << KeyHash << std::dec << ' '
+     << Len << ' ' << std::hex << PayloadHash << '\n';
+  return Os.str();
+}
+
+/// Whole-file write at an explicit offset (the caller holds the slab
+/// lock and has already healed the tail).
+bool pwriteAll(int Fd, const std::string &Buf, std::uint64_t Offset) {
+  const char *P = Buf.data();
+  std::size_t Left = Buf.size();
+  while (Left > 0) {
+    ssize_t N = ::pwrite(Fd, P, Left, static_cast<off_t>(Offset));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Offset += static_cast<std::uint64_t>(N);
+    Left -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+/// Process-wide registry: one store instance per directory, so the
+/// daemon's program registry and any number of concurrent sessions
+/// share a single index (and a single compactor).
+std::mutex RegistryMu;
+std::unordered_map<std::string, std::weak_ptr<CacheStore>> &registry() {
+  static auto *R =
+      new std::unordered_map<std::string, std::weak_ptr<CacheStore>>();
+  return *R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Construction / registry
+//===----------------------------------------------------------------------===//
+
+std::string CacheStore::slabPath(const std::string &Dir, unsigned Shard) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%02u", Shard);
+  return Dir + "/slab-" + Buf + ".chute";
+}
+
+std::shared_ptr<CacheStore> CacheStore::open(const std::string &Dir,
+                                             const Options &O) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  auto &Slot = registry()[Dir];
+  if (auto Existing = Slot.lock())
+    return Existing;
+  std::shared_ptr<CacheStore> S(new CacheStore(Dir, O));
+  Slot = S;
+  return S;
+}
+
+CacheStore::CacheStore(std::string Dir, const Options &O)
+    : Directory(std::move(Dir)), Opts(O) {
+  Slabs.resize(Opts.Shards);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    refreshLocked();
+    migrateLegacyLocked();
+  }
+  if (Opts.BackgroundCompaction)
+    Compactor = std::thread([this] {
+      std::unique_lock<std::mutex> Lock(Mu);
+      while (!ShuttingDown) {
+        CompactCv.wait(Lock, [this] {
+          return ShuttingDown || !CompactQueue.empty();
+        });
+        while (!CompactQueue.empty() && !ShuttingDown) {
+          unsigned Shard = CompactQueue.back();
+          CompactQueue.pop_back();
+          compactSlabLocked(Shard);
+        }
+      }
+    });
+}
+
+CacheStore::~CacheStore() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  CompactCv.notify_all();
+  if (Compactor.joinable())
+    Compactor.join();
+}
+
+CacheStoreStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+std::uint64_t CacheStore::liveRecords() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Index.size();
+}
+
+std::uint64_t CacheStore::indexKey(char Kind,
+                                   std::uint64_t KeyHash) const {
+  unsigned K = Kind == 'S' ? 1 : Kind == 'Q' ? 2 : 3;
+  return KeyHash ^ (0x9e3779b97f4a7c15ULL * K);
+}
+
+std::string CacheStore::headerLine(unsigned Shard,
+                                   std::uint64_t Gen) const {
+  std::ostringstream Os;
+  Os << "CHUTE-SLAB " << SlabSchemaVersion << ' '
+     << cachefmt::z3VersionString() << ' ' << Shard << ' '
+     << Opts.Shards << ' ' << Gen << '\n';
+  return Os.str();
+}
+
+bool CacheStore::parseHeader(const std::string &Line, unsigned Shard,
+                             std::uint64_t &Gen) const {
+  std::istringstream Ts(Line);
+  std::string Magic, Z3;
+  unsigned Schema = 0, HdrShard = 0, HdrShards = 0;
+  if (!(Ts >> Magic >> Schema >> Z3 >> HdrShard >> HdrShards >> Gen))
+    return false;
+  std::string Rest;
+  if (Ts >> Rest)
+    return false;
+  return Magic == "CHUTE-SLAB" && Schema == SlabSchemaVersion &&
+         Z3 == cachefmt::z3VersionString() && HdrShard == Shard &&
+         HdrShards == Opts.Shards;
+}
+
+//===----------------------------------------------------------------------===//
+// Index rebuild (scan)
+//===----------------------------------------------------------------------===//
+
+void CacheStore::dropSlabFromIndex(unsigned Shard) {
+  for (auto It = Index.begin(); It != Index.end();) {
+    if (It->second.Shard == Shard)
+      It = Index.erase(It);
+    else
+      ++It;
+  }
+  Slabs[Shard].DeadBytes = 0;
+}
+
+void CacheStore::scanSlabLocked(unsigned Shard) {
+  const std::string Path = slabPath(Directory, Shard);
+  SlabState &S = Slabs[Shard];
+
+  bool Exists = false;
+  std::uint64_t Size = fileSize(Path, Exists);
+  if (!Exists) {
+    if (S.KnownSize != 0 || S.ScannedOffset != 0)
+      dropSlabFromIndex(Shard);
+    S = SlabState{};
+    return;
+  }
+  // Fast path: nothing changed since the last scan. (A compaction by
+  // another process that lands on the exact same size is caught by
+  // the payload checksums at read time, which force a rescan.)
+  if (Size == S.KnownSize && !S.Invalid && Size != 0)
+    return;
+  if (S.Invalid && Size == S.KnownSize)
+    return; // still the same damaged file
+
+  auto Text = readFile(Path);
+  if (!Text) {
+    dropSlabFromIndex(Shard);
+    S = SlabState{};
+    return;
+  }
+
+  // Header.
+  std::size_t HdrNl = Text->find('\n');
+  std::uint64_t Gen = 0;
+  if (HdrNl == std::string::npos ||
+      !parseHeader(Text->substr(0, HdrNl), Shard, Gen)) {
+    if (!S.Invalid) {
+      ++St.SlabsRejected;
+      obs::bump(obs::Counter::SmtDiskRejects);
+      CHUTE_DEBUG(debugLine("CacheStore: rejecting slab " + Path +
+                            " (bad header)"));
+    }
+    dropSlabFromIndex(Shard);
+    S = SlabState{};
+    S.Invalid = true;
+    S.KnownSize = Size;
+    return;
+  }
+
+  std::size_t Start;
+  if (S.Invalid || Gen != S.Generation || Size < S.ScannedOffset ||
+      S.ScannedOffset <= HdrNl) {
+    // Full rescan: the file was rewritten (compaction bumps the
+    // generation), healed, or never scanned.
+    dropSlabFromIndex(Shard);
+    Start = HdrNl + 1;
+  } else {
+    Start = static_cast<std::size_t>(S.ScannedOffset);
+  }
+
+  std::size_t Pos = Start;
+  std::size_t GoodEnd = Start;
+  bool Torn = false;
+  while (Pos < Text->size()) {
+    Frame F;
+    if (!parseFrame(*Text, Pos, F)) {
+      Torn = true;
+      break;
+    }
+    std::size_t PayloadStart = Pos + F.LineLen;
+    std::size_t PayloadEnd = PayloadStart + F.Len;
+    if (PayloadEnd > Text->size()) {
+      Torn = true;
+      break;
+    }
+    std::string Payload = Text->substr(PayloadStart, F.Len);
+    std::uint32_t Total = static_cast<std::uint32_t>(F.LineLen + F.Len);
+    if (cachefmt::fnv1a(Payload) != F.PayloadHash) {
+      // A checksum failure that reaches the end of the file is a torn
+      // tail (crash mid-append). Mid-slab, with an intact successor
+      // frame, it is isolated bit rot: skip just this record.
+      Frame Next;
+      if (PayloadEnd == Text->size() ||
+          !parseFrame(*Text, PayloadEnd, Next)) {
+        Torn = true;
+        break;
+      }
+      ++St.CorruptRecordsSkipped;
+      obs::bump(obs::Counter::SmtDiskRejects);
+      S.DeadBytes += Total;
+      Pos = PayloadEnd;
+      GoodEnd = Pos;
+      continue;
+    }
+    std::uint64_t Key = indexKey(F.Kind, F.KeyHash);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      // Superseded (or duplicated) on disk: the older bytes are
+      // garbage for compaction to reclaim.
+      Slabs[It->second.Shard].DeadBytes += It->second.Total;
+      It->second = IndexEntry{F.KeyHash,
+                              F.PayloadHash,
+                              PayloadStart,
+                              static_cast<std::uint32_t>(F.Len),
+                              Total,
+                              static_cast<std::uint16_t>(Shard),
+                              F.Kind};
+    } else {
+      Index.emplace(Key, IndexEntry{F.KeyHash, F.PayloadHash,
+                                    PayloadStart,
+                                    static_cast<std::uint32_t>(F.Len),
+                                    Total,
+                                    static_cast<std::uint16_t>(Shard),
+                                    F.Kind});
+    }
+    ++St.RecordsIndexed;
+    obs::bump(obs::Counter::SmtDiskIndexed);
+    Pos = PayloadEnd;
+    GoodEnd = Pos;
+  }
+
+  if (Torn && GoodEnd < Text->size()) {
+    ++St.TornTailsTruncated;
+    obs::bump(obs::Counter::SmtDiskTorn);
+    CHUTE_DEBUG(debugLine(
+        "CacheStore: torn tail in " + Path + " at offset " +
+        std::to_string(GoodEnd) + " (" +
+        std::to_string(Text->size() - GoodEnd) + " bytes dropped)"));
+  }
+  S.ScannedOffset = GoodEnd;
+  S.KnownSize = Size;
+  S.Generation = Gen;
+  S.Invalid = false;
+  ++St.SlabsScanned;
+}
+
+void CacheStore::refreshLocked() {
+  struct stat Sb;
+  if (::stat(Directory.c_str(), &Sb) != 0 || !S_ISDIR(Sb.st_mode)) {
+    // Cold directory: nothing to scan, and no lock files to create.
+    for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard) {
+      if (Slabs[Shard].KnownSize != 0 || Slabs[Shard].ScannedOffset != 0)
+        dropSlabFromIndex(Shard);
+      Slabs[Shard] = SlabState{};
+    }
+    return;
+  }
+  for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard) {
+    FileLock Lock(lockPath(Directory, Shard), FileLock::Mode::Shared);
+    if (!Lock.held())
+      ++St.LockFailures;
+    scanSlabLocked(Shard);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Append
+//===----------------------------------------------------------------------===//
+
+bool CacheStore::appendToShard(unsigned Shard, std::vector<Pending> &Batch,
+                               AppendResult &Out) {
+  const std::string Path = slabPath(Directory, Shard);
+  FileLock Lock(lockPath(Directory, Shard), FileLock::Mode::Exclusive);
+  if (!Lock.held())
+    ++St.LockFailures;
+
+  // Re-scan under the exclusive lock: another process may have
+  // appended (or compacted) since our refresh, and its entries must
+  // both survive and participate in dedup.
+  scanSlabLocked(Shard);
+  SlabState &S = Slabs[Shard];
+
+  // Re-dedup the batch against the refreshed index.
+  std::vector<Pending> Fresh;
+  Fresh.reserve(Batch.size());
+  for (auto &P : Batch) {
+    auto It = Index.find(indexKey(P.Kind, P.KeyHash));
+    if (It != Index.end() && It->second.PayloadHash == P.PayloadHash) {
+      ++Out.Duplicates;
+      ++St.DuplicatesSkipped;
+      continue;
+    }
+    Fresh.push_back(std::move(P));
+  }
+  if (Fresh.empty())
+    return true;
+
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (Fd < 0)
+    return false;
+
+  // Heal before appending: a torn tail is physically truncated, an
+  // invalid or fresh slab gets a new header (generation bumped so
+  // other processes drop their stale view and rescan).
+  std::uint64_t Base;
+  std::string Buf;
+  bool FreshFile = false;
+  if (S.Invalid || S.KnownSize == 0) {
+    std::uint64_t Gen = S.Generation + 1;
+    if (::ftruncate(Fd, 0) != 0) {
+      ::close(Fd);
+      return false;
+    }
+    Buf = headerLine(Shard, Gen);
+    Base = 0;
+    dropSlabFromIndex(Shard);
+    S = SlabState{};
+    S.Generation = Gen;
+    S.ScannedOffset = Buf.size(); // set properly below
+    FreshFile = true;
+  } else {
+    if (S.ScannedOffset < S.KnownSize &&
+        ::ftruncate(Fd, static_cast<off_t>(S.ScannedOffset)) != 0) {
+      ::close(Fd);
+      return false;
+    }
+    Base = S.ScannedOffset;
+  }
+
+  struct PlacedRec {
+    std::uint64_t Key;
+    IndexEntry E;
+    char Kind;
+  };
+  std::vector<PlacedRec> PlacedRecs;
+  PlacedRecs.reserve(Fresh.size());
+  for (auto &P : Fresh) {
+    std::string Line =
+        frameLine(P.Kind, P.KeyHash, P.Payload.size(), P.PayloadHash);
+    std::uint64_t PayloadOff = Base + Buf.size() + Line.size();
+    PlacedRecs.push_back(
+        {indexKey(P.Kind, P.KeyHash),
+         IndexEntry{P.KeyHash, P.PayloadHash, PayloadOff,
+                    static_cast<std::uint32_t>(P.Payload.size()),
+                    static_cast<std::uint32_t>(Line.size() +
+                                               P.Payload.size()),
+                    static_cast<std::uint16_t>(Shard), P.Kind},
+         P.Kind});
+    Buf += Line;
+    Buf += P.Payload;
+  }
+
+  bool Ok = pwriteAll(Fd, Buf, Base) && ::fsync(Fd) == 0;
+  ::close(Fd);
+  if (FreshFile)
+    fsyncDir(Directory);
+  if (!Ok) {
+    // The write may have partially landed; rescan so the index only
+    // reflects what is actually durable (the torn tail logic drops
+    // the rest).
+    S.KnownSize = 0; // force the rescan past the fast path
+    scanSlabLocked(Shard);
+    return false;
+  }
+
+  for (auto &P : PlacedRecs) {
+    auto It = Index.find(P.Key);
+    if (It != Index.end()) {
+      Slabs[It->second.Shard].DeadBytes += It->second.Total;
+      It->second = P.E;
+    } else {
+      Index.emplace(P.Key, P.E);
+    }
+    ++St.RecordsAppended;
+    obs::bump(obs::Counter::SmtDiskAppended);
+    switch (P.Kind) {
+    case 'S':
+      ++Out.Sat;
+      break;
+    case 'Q':
+      ++Out.Qe;
+      break;
+    default:
+      ++Out.Cores;
+      break;
+    }
+  }
+  S.ScannedOffset = Base + Buf.size();
+  S.KnownSize = S.ScannedOffset;
+  maybeScheduleCompaction(Shard);
+  return true;
+}
+
+std::size_t CacheStore::stageSnapshotLocked(
+    const CacheSnapshot &S, std::vector<std::vector<Pending>> &ByShard,
+    AppendResult &Out) {
+  std::vector<Pending> Staged;
+
+  // Stage every entry as a self-contained one-record body keyed by
+  // the structural hash of its subject expression(s).
+  for (const auto &Rec : S.Sat) {
+    if (!Rec.E || Rec.R == SatResult::Unknown)
+      continue;
+    std::string Key = cachefmt::exprText(Rec.E);
+    if (Key.empty())
+      continue;
+    CacheSnapshot One;
+    One.Sat.push_back(Rec);
+    std::string Payload = cachefmt::serializeBody(One);
+    Staged.push_back({'S', cachefmt::fnv1a(Key), cachefmt::fnv1a(Payload),
+                      std::move(Payload)});
+  }
+  for (const auto &Rec : S.Qe) {
+    if (!Rec.In || !Rec.Out)
+      continue;
+    std::string Key = cachefmt::exprText(Rec.In);
+    if (Key.empty() || cachefmt::exprText(Rec.Out).empty())
+      continue;
+    CacheSnapshot One;
+    One.Qe.push_back(Rec);
+    std::string Payload = cachefmt::serializeBody(One);
+    Staged.push_back({'Q', cachefmt::fnv1a(Key), cachefmt::fnv1a(Payload),
+                      std::move(Payload)});
+  }
+  for (const auto &Core : S.Cores) {
+    if (Core.empty())
+      continue;
+    // Canonical core identity: conjuncts sorted by their structural
+    // text, so the same core discovered by two processes dedupes.
+    std::vector<std::pair<std::string, ExprRef>> Parts;
+    bool Serialisable = true;
+    for (const auto &E : Core) {
+      std::string T = E ? cachefmt::exprText(E) : std::string();
+      if (T.empty()) {
+        Serialisable = false;
+        break;
+      }
+      Parts.emplace_back(std::move(T), E);
+    }
+    if (!Serialisable)
+      continue;
+    std::sort(Parts.begin(), Parts.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    std::string Key;
+    std::vector<ExprRef> Sorted;
+    Sorted.reserve(Parts.size());
+    for (auto &P : Parts) {
+      Key += P.first;
+      Key += '\x1f';
+      Sorted.push_back(P.second);
+    }
+    CacheSnapshot One;
+    One.Cores.push_back(std::move(Sorted));
+    std::string Payload = cachefmt::serializeBody(One);
+    Staged.push_back({'C', cachefmt::fnv1a(Key), cachefmt::fnv1a(Payload),
+                      std::move(Payload)});
+  }
+
+  // Dedup against the current index (cheap, no slab locks);
+  // appendToShard re-checks under the exclusive lock.
+  std::size_t NPlaced = 0;
+  for (auto &P : Staged) {
+    auto It = Index.find(indexKey(P.Kind, P.KeyHash));
+    if (It != Index.end() && It->second.PayloadHash == P.PayloadHash) {
+      ++Out.Duplicates;
+      ++St.DuplicatesSkipped;
+      continue;
+    }
+    ByShard[P.KeyHash % Opts.Shards].push_back(std::move(P));
+    ++NPlaced;
+  }
+  return NPlaced;
+}
+
+CacheStore::AppendResult CacheStore::append(const CacheSnapshot &S) {
+  AppendResult Out;
+  std::lock_guard<std::mutex> Lock(Mu);
+  refreshLocked();
+  std::vector<std::vector<Pending>> ByShard(Opts.Shards);
+  if (stageSnapshotLocked(S, ByShard, Out) == 0) {
+    Out.Ok = true; // nothing new to write is not a failure
+    return Out;
+  }
+  if (!ensureDir(Directory))
+    return Out;
+
+  bool AllOk = true;
+  bool Wrote = false;
+  for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard) {
+    if (ByShard[Shard].empty())
+      continue;
+    if (!appendToShard(Shard, ByShard[Shard], Out))
+      AllOk = false;
+    else
+      Wrote = true;
+  }
+  if (Wrote && (Out.Sat + Out.Qe + Out.Cores) > 0)
+    ++St.AppendBatches;
+  Out.Ok = AllOk;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Warm start
+//===----------------------------------------------------------------------===//
+
+CacheStore::WarmResult CacheStore::warmStart(ExprContext &Ctx,
+                                             QueryCache &Cache) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  WarmResult R;
+  refreshLocked();
+  if (Index.empty())
+    return R;
+
+  CacheSnapshot All;
+  for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard) {
+    // Collect this shard's live entries before touching the file so
+    // erasures during validation do not invalidate iteration.
+    std::vector<std::pair<std::uint64_t, IndexEntry>> Entries;
+    for (const auto &KV : Index)
+      if (KV.second.Shard == Shard)
+        Entries.push_back(KV);
+    if (Entries.empty())
+      continue;
+
+    const std::string Path = slabPath(Directory, Shard);
+    FileLock SlabLock(lockPath(Directory, Shard), FileLock::Mode::Shared);
+    if (!SlabLock.held())
+      ++St.LockFailures;
+    auto Text = readFile(Path);
+
+    auto extract = [&](const IndexEntry &E, CacheSnapshot &Rec) {
+      if (!Text || E.Offset + E.Len > Text->size())
+        return false;
+      std::string Payload = Text->substr(E.Offset, E.Len);
+      if (cachefmt::fnv1a(Payload) != E.PayloadHash)
+        return false;
+      return cachefmt::parseBody(Payload, Ctx, Rec);
+    };
+
+    bool Retried = false;
+    for (std::size_t I = 0; I < Entries.size(); ++I) {
+      CacheSnapshot Rec;
+      if (!extract(Entries[I].second, Rec)) {
+        if (!Retried) {
+          // The slab may have been compacted by another process
+          // since our scan: rescan once and retry every entry of
+          // this shard against the fresh layout.
+          Retried = true;
+          Slabs[Shard].KnownSize = 0; // defeat the fast path
+          scanSlabLocked(Shard);
+          Text = readFile(Path);
+          Entries.clear();
+          for (const auto &KV : Index)
+            if (KV.second.Shard == Shard)
+              Entries.push_back(KV);
+          I = static_cast<std::size_t>(-1);
+          continue;
+        }
+        // Persistent failure: the record is unusable. Drop it from
+        // the index (dead bytes for compaction) — a corrupt record
+        // costs time, never a verdict.
+        ++R.Rejects;
+        ++St.CorruptRecordsSkipped;
+        obs::bump(obs::Counter::SmtDiskRejects);
+        Slabs[Shard].DeadBytes += Entries[I].second.Total;
+        Index.erase(Entries[I].first);
+        continue;
+      }
+      for (auto &SatRec : Rec.Sat)
+        All.Sat.push_back(SatRec);
+      for (auto &QeRec : Rec.Qe)
+        All.Qe.push_back(QeRec);
+      for (auto &Core : Rec.Cores)
+        All.Cores.push_back(std::move(Core));
+    }
+    maybeScheduleCompaction(Shard);
+  }
+
+  R.Sat = All.Sat.size();
+  R.Qe = All.Qe.size();
+  R.Cores = All.Cores.size();
+  if (R.total() > 0)
+    Cache.importWarm(All);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Compaction
+//===----------------------------------------------------------------------===//
+
+void CacheStore::maybeScheduleCompaction(unsigned Shard) {
+  const SlabState &S = Slabs[Shard];
+  if (S.KnownSize < Opts.CompactMinBytes)
+    return;
+  // Torn-tail bytes beyond the validated prefix are garbage too: a
+  // compaction rewrite drops them just like superseded records.
+  std::uint64_t Garbage =
+      S.DeadBytes + (S.KnownSize > S.ScannedOffset
+                         ? S.KnownSize - S.ScannedOffset
+                         : 0);
+  if (static_cast<double>(Garbage) <
+      Opts.CompactDeadRatio * static_cast<double>(S.KnownSize))
+    return;
+  if (!Opts.BackgroundCompaction)
+    return; // the owner drives compactNow() explicitly
+  if (std::find(CompactQueue.begin(), CompactQueue.end(), Shard) ==
+      CompactQueue.end()) {
+    CompactQueue.push_back(Shard);
+    CompactCv.notify_one();
+  }
+}
+
+void CacheStore::compactSlabLocked(unsigned Shard) {
+  const std::string Path = slabPath(Directory, Shard);
+  FileLock Lock(lockPath(Directory, Shard), FileLock::Mode::Exclusive);
+  if (!Lock.held())
+    ++St.LockFailures;
+  scanSlabLocked(Shard);
+  SlabState &S = Slabs[Shard];
+
+  bool Exists = false;
+  std::uint64_t OldSize = fileSize(Path, Exists);
+  if (!Exists)
+    return;
+
+  std::vector<std::pair<std::uint64_t, IndexEntry>> Entries;
+  for (const auto &KV : Index)
+    if (KV.second.Shard == Shard)
+      Entries.push_back(KV);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const auto &A, const auto &B) {
+              return A.second.Offset < B.second.Offset;
+            });
+
+  auto Text = readFile(Path);
+  std::uint64_t Gen = S.Generation + 1;
+  std::string Buf = headerLine(Shard, Gen);
+  struct Moved {
+    std::uint64_t Key;
+    IndexEntry E;
+  };
+  std::vector<Moved> Live;
+  Live.reserve(Entries.size());
+  for (auto &KV : Entries) {
+    IndexEntry E = KV.second;
+    if (!Text || E.Offset + E.Len > Text->size())
+      continue;
+    std::string Payload = Text->substr(E.Offset, E.Len);
+    if (cachefmt::fnv1a(Payload) != E.PayloadHash)
+      continue; // stale index entry; silently drop
+    std::string Line = frameLine(E.Kind, E.KeyHash, E.Len, E.PayloadHash);
+    E.Offset = Buf.size() + Line.size();
+    Buf += Line;
+    Buf += Payload;
+    Live.push_back({KV.first, E});
+  }
+
+  if (!atomicWriteFile(Path, Buf))
+    return;
+
+  // Entries that failed re-validation disappear with the rewrite.
+  for (auto &KV : Entries)
+    Index.erase(KV.first);
+  for (auto &M : Live)
+    Index.emplace(M.Key, M.E);
+  S.ScannedOffset = Buf.size();
+  S.KnownSize = Buf.size();
+  S.Generation = Gen;
+  S.DeadBytes = 0;
+  S.Invalid = false;
+  ++St.Compactions;
+  if (OldSize > Buf.size())
+    St.CompactedBytes += OldSize - Buf.size();
+  obs::bump(obs::Counter::SmtDiskCompactions);
+  CHUTE_DEBUG(debugLine("CacheStore: compacted " + Path + " " +
+                        std::to_string(OldSize) + " -> " +
+                        std::to_string(Buf.size()) + " bytes, gen " +
+                        std::to_string(Gen)));
+}
+
+void CacheStore::compactNow(bool Force) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  refreshLocked();
+  for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard) {
+    const SlabState &S = Slabs[Shard];
+    std::uint64_t Garbage =
+        S.DeadBytes + (S.KnownSize > S.ScannedOffset
+                           ? S.KnownSize - S.ScannedOffset
+                           : 0);
+    bool Due = Force ? (Garbage > 0 || S.Invalid)
+                     : (S.KnownSize >= Opts.CompactMinBytes &&
+                        static_cast<double>(Garbage) >=
+                            Opts.CompactDeadRatio *
+                                static_cast<double>(S.KnownSize));
+    if (Due)
+      compactSlabLocked(Shard);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy migration
+//===----------------------------------------------------------------------===//
+
+void CacheStore::migrateLegacyLocked() {
+  DIR *D = ::opendir(Directory.c_str());
+  if (D == nullptr)
+    return;
+  std::vector<std::string> Files, Locks;
+  while (struct dirent *Ent = ::readdir(D)) {
+    std::string Name = Ent->d_name;
+    if (Name.rfind("qc-", 0) != 0)
+      continue;
+    if (Name.size() > 6 && Name.compare(Name.size() - 6, 6, ".chute") == 0)
+      Files.push_back(Name);
+    else if (Name.size() > 5 && Name.compare(Name.size() - 5, 5, ".lock") == 0)
+      Locks.push_back(Name);
+  }
+  ::closedir(D);
+  if (Files.empty() && Locks.empty())
+    return;
+
+  std::sort(Files.begin(), Files.end());
+  for (const auto &Name : Files) {
+    const std::string Path = Directory + "/" + Name;
+    auto Text = readFile(Path);
+    bool Imported = false;
+    if (Text) {
+      // Legacy header: CHUTE-QC <schema> <z3-version>\n<body>
+      std::size_t Nl = Text->find('\n');
+      if (Nl != std::string::npos) {
+        std::istringstream Hs(Text->substr(0, Nl));
+        std::string Magic, Z3;
+        unsigned Schema = 0;
+        std::string Rest;
+        if ((Hs >> Magic >> Schema >> Z3) && !(Hs >> Rest) &&
+            Magic == "CHUTE-QC" && Schema == 1 &&
+            Z3 == cachefmt::z3VersionString()) {
+          ExprContext Ctx;
+          CacheSnapshot Snap;
+          if (cachefmt::parseBody(Text->substr(Nl + 1), Ctx, Snap)) {
+            // Stage through the normal append machinery so entries
+            // migrated from sibling files dedup against each other.
+            AppendResult AR;
+            std::vector<std::vector<Pending>> ByShard(Opts.Shards);
+            stageSnapshotLocked(Snap, ByShard, AR);
+            bool Ok = true;
+            for (unsigned Shard = 0; Shard < Opts.Shards; ++Shard)
+              if (!ByShard[Shard].empty() &&
+                  !appendToShard(Shard, ByShard[Shard], AR))
+                Ok = false;
+            if (Ok) {
+              Imported = true;
+              ++St.LegacyImported;
+              CHUTE_DEBUG(debugLine("CacheStore: migrated legacy " + Path));
+            }
+          }
+        }
+      }
+    }
+    if (!Imported) {
+      ++St.LegacyInvalidated;
+      obs::bump(obs::Counter::SmtDiskRejects);
+      CHUTE_DEBUG(debugLine("CacheStore: invalidated legacy " + Path));
+    }
+    ::unlink(Path.c_str());
+  }
+  for (const auto &Name : Locks)
+    ::unlink((Directory + "/" + Name).c_str());
+  fsyncDir(Directory);
+}

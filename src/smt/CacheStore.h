@@ -1,0 +1,250 @@
+//===- smt/CacheStore.h - Sharded slab store for durable verdicts -*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable half of the query cache, rebuilt the way KVell builds
+/// its KV store: entries (definite Sat/Unsat verdicts, QE pairs,
+/// unsat cores) are sharded by structural key hash across N
+/// append-only slab files with a versioned, checksummed record
+/// framing; an in-memory offset index is rebuilt by scanning the
+/// slabs on open; sessions and the daemon append new entries
+/// incrementally at close/checkpoint instead of rewriting a file
+/// wholesale; and superseded or corrupt records are reclaimed by a
+/// background compaction pass. Keys are structural — the FNV-1a hash
+/// of an expression's canonical serialisation (cachefmt::exprText) —
+/// so a QE pair or unsat core discharged while verifying one program
+/// warm starts every other program that meets the same formula.
+///
+/// On-disk layout inside the cache directory:
+///
+///   slab-<NN>.chute        shard NN's records, append-only
+///   slab-<NN>.lock         advisory lock serialising writers of NN
+///
+/// Each slab starts with a header line
+///
+///   CHUTE-SLAB <schema> <z3-version> <shard> <nshards> <generation>
+///
+/// followed by records, each a frame line plus payload:
+///
+///   R <kind> <keyhash> <payload-bytes> <payload-fnv1a>
+///   <payload: one-record cachefmt body>
+///
+/// Concurrency: writers take the slab's advisory lock exclusively
+/// and append the whole batch as one write; readers scan under a
+/// shared lock, so they only ever see complete records. Two
+/// processes appending to one directory therefore union their
+/// entries — last-writer-wins whole-file clobbering is structurally
+/// impossible. Within a process, one CacheStore instance per
+/// directory is shared through open()'s registry and is fully
+/// thread-safe.
+///
+/// Recovery: the index rebuild trusts nothing. A record whose frame
+/// is unparseable, runs past EOF, or fails its checksum at the tail
+/// is a torn tail — everything from its first byte on is discarded
+/// (and physically truncated by the next writer before it appends).
+/// A checksum failure mid-slab (bit rot under an intact successor
+/// frame) skips just that record. A slab whose header is damaged or
+/// names another schema/Z3 version is rejected wholesale and
+/// rewritten by the next append. In every case a corrupt record
+/// costs time, never a verdict: nothing unvalidated reaches the
+/// in-memory cache.
+///
+/// Compaction: superseded records (a newer append for the same
+/// structural key), skipped corrupt records and rejected-slab bytes
+/// accumulate as garbage. When a slab's dead ratio crosses the
+/// threshold it is rewritten — live records only, generation bumped
+/// so other processes rescan — either by the store's background
+/// thread or synchronously via compactNow().
+///
+/// Legacy per-program `qc-<key>.chute` files from the pre-slab
+/// format are migrated on open: parseable ones are imported into the
+/// slabs, unparseable ones (corrupt, or written by another Z3)
+/// invalidated; both are then deleted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_CACHESTORE_H
+#define CHUTE_SMT_CACHESTORE_H
+
+#include "smt/QueryCache.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace chute {
+
+class ExprContext;
+
+/// Slab/index/compaction activity of one store (monotone; shared by
+/// every DiskCache shim on the same directory).
+struct CacheStoreStats {
+  std::uint64_t SlabsScanned = 0;     ///< slab scan passes completed
+  std::uint64_t RecordsIndexed = 0;   ///< records accepted into the index
+  std::uint64_t TornTailsTruncated = 0; ///< torn/partial tails discarded
+  std::uint64_t CorruptRecordsSkipped = 0; ///< mid-slab checksum/parse skips
+  std::uint64_t SlabsRejected = 0;    ///< slabs rejected wholesale (header)
+  std::uint64_t RecordsAppended = 0;  ///< new records written
+  std::uint64_t DuplicatesSkipped = 0; ///< appends dropped by the index
+  std::uint64_t AppendBatches = 0;    ///< append() calls that wrote bytes
+  std::uint64_t Compactions = 0;      ///< slab rewrites completed
+  std::uint64_t CompactedBytes = 0;   ///< garbage bytes reclaimed
+  std::uint64_t LegacyImported = 0;   ///< qc-* files migrated into slabs
+  std::uint64_t LegacyInvalidated = 0; ///< qc-* files rejected and removed
+  std::uint64_t LockFailures = 0;     ///< advisory locks not acquired
+};
+
+/// One cache directory's sharded slab store. Obtain through open();
+/// all members are thread-safe.
+class CacheStore {
+public:
+  struct Options {
+    /// Slab count. Fixed at directory creation in effect: slabs with
+    /// a different nshards in their header are rejected wholesale.
+    unsigned Shards = 8;
+    /// A slab is compacted when DeadBytes > Ratio * size and size
+    /// exceeds MinBytes.
+    double CompactDeadRatio = 0.35;
+    std::uint64_t CompactMinBytes = 16 * 1024;
+    /// Run compaction on a background thread (tests disable this and
+    /// drive compactNow() deterministically).
+    bool BackgroundCompaction = true;
+  };
+
+  /// The store for \p Dir — one instance per directory per process
+  /// (a registry hands the same instance to every caller, so the
+  /// daemon's registry and concurrent sessions share one index).
+  /// Opening scans the slabs, rebuilds the index, and migrates any
+  /// legacy qc-* files. \p O only takes effect for the first opener.
+  static std::shared_ptr<CacheStore> open(const std::string &Dir,
+                                          const Options &O);
+  static std::shared_ptr<CacheStore> open(const std::string &Dir) {
+    return open(Dir, Options{});
+  }
+
+  ~CacheStore();
+
+  CacheStore(const CacheStore &) = delete;
+  CacheStore &operator=(const CacheStore &) = delete;
+
+  const std::string &dir() const { return Directory; }
+  unsigned shards() const { return Opts.Shards; }
+
+  struct WarmResult {
+    std::uint64_t Sat = 0;     ///< Sat/Unsat records imported
+    std::uint64_t Qe = 0;      ///< QE pairs imported
+    std::uint64_t Cores = 0;   ///< unsat cores imported
+    std::uint64_t Rejects = 0; ///< records/slabs rejected during the load
+    std::uint64_t total() const { return Sat + Qe + Cores; }
+  };
+
+  /// Imports every live entry into \p Cache, rebuilding expressions
+  /// in \p Ctx. Entries keyed structurally transfer across programs,
+  /// so this is a superset of what the legacy per-program load saw.
+  /// Refreshes the index first (picking up other processes'
+  /// appends). Never throws, never crashes on garbage input.
+  WarmResult warmStart(ExprContext &Ctx, QueryCache &Cache);
+
+  struct AppendResult {
+    bool Ok = false;            ///< no I/O error (even if all dups)
+    std::uint64_t Sat = 0;      ///< new Sat/Unsat records appended
+    std::uint64_t Qe = 0;       ///< new QE records appended
+    std::uint64_t Cores = 0;    ///< new core records appended
+    std::uint64_t Duplicates = 0; ///< entries the index already held
+  };
+
+  /// Appends \p S's entries to their shards, skipping entries the
+  /// index already holds (so a warm session's close writes only what
+  /// it newly discharged). Torn tails and invalid slabs are healed
+  /// (truncated / rewritten) before the batch lands. Each shard's
+  /// batch is one write under the slab lock, fsynced.
+  AppendResult append(const CacheSnapshot &S);
+
+  /// Synchronous compaction of every slab past the dead threshold
+  /// (\p Force compacts any slab with any garbage at all). Tests and
+  /// checkpoint paths use this; the background thread does the same
+  /// work opportunistically.
+  void compactNow(bool Force = false);
+
+  CacheStoreStats stats() const;
+
+  /// Live (indexed, unsuperseded) record count — a gauge, for tests.
+  std::uint64_t liveRecords() const;
+
+  /// Shard NN's slab file inside \p Dir.
+  static std::string slabPath(const std::string &Dir, unsigned Shard);
+
+private:
+  explicit CacheStore(std::string Dir, const Options &O);
+
+  struct IndexEntry {
+    std::uint64_t KeyHash = 0;
+    std::uint64_t PayloadHash = 0;
+    std::uint64_t Offset = 0; ///< payload start within the slab
+    std::uint32_t Len = 0;    ///< payload bytes
+    std::uint32_t Total = 0;  ///< frame line + payload bytes
+    std::uint16_t Shard = 0;
+    char Kind = 'S';
+  };
+
+  struct SlabState {
+    std::uint64_t ScannedOffset = 0; ///< bytes validated so far
+    std::uint64_t KnownSize = 0;     ///< file size at last scan
+    std::uint64_t Generation = 0;    ///< header generation seen
+    std::uint64_t DeadBytes = 0;     ///< superseded/corrupt bytes
+    bool Invalid = false; ///< bad header: rewritten on next append
+  };
+
+  /// A decoded entry staged for append.
+  struct Pending {
+    char Kind;
+    std::uint64_t KeyHash;
+    std::uint64_t PayloadHash;
+    std::string Payload;
+  };
+
+  // All of the below require Mu (file I/O included — appends and
+  // scans are rare and batch-sized, so one store-wide mutex keeps
+  // the invariants simple; cross-process safety comes from the
+  // per-slab advisory locks).
+  void scanSlabLocked(unsigned Shard);
+  void refreshLocked();
+  std::size_t stageSnapshotLocked(const CacheSnapshot &S,
+                                  std::vector<std::vector<Pending>> &ByShard,
+                                  AppendResult &Out);
+  void dropSlabFromIndex(unsigned Shard);
+  bool appendToShard(unsigned Shard, std::vector<Pending> &Batch,
+                     AppendResult &Out);
+  void compactSlabLocked(unsigned Shard);
+  void maybeScheduleCompaction(unsigned Shard);
+  void migrateLegacyLocked();
+  std::uint64_t indexKey(char Kind, std::uint64_t KeyHash) const;
+  std::string headerLine(unsigned Shard, std::uint64_t Gen) const;
+  bool parseHeader(const std::string &Line, unsigned Shard,
+                   std::uint64_t &Gen) const;
+
+  const std::string Directory;
+  const Options Opts;
+
+  mutable std::mutex Mu;
+  std::unordered_map<std::uint64_t, IndexEntry> Index;
+  std::vector<SlabState> Slabs;
+  CacheStoreStats St;
+
+  // Background compaction.
+  std::condition_variable CompactCv;
+  std::vector<unsigned> CompactQueue;
+  bool ShuttingDown = false;
+  std::thread Compactor;
+};
+
+} // namespace chute
+
+#endif // CHUTE_SMT_CACHESTORE_H

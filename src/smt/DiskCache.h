@@ -23,18 +23,19 @@
 /// query, or rebuilds to an equivalent formula — in both cases the
 /// transferred verdict is true of the node it is keyed on.
 ///
-/// On-disk format: one text file per program key under the cache
-/// directory, `qc-<key>.chute`. A versioned header carries the cache
-/// schema tag and the Z3 version that produced the verdicts (a Z3
-/// upgrade invalidates the file wholesale — cheap insurance against
-/// solver-bug asymmetries). The body is a deduplicated expression
-/// DAG (children precede parents) followed by the verdict/QE/core
-/// records over node ids. Writers replace the file atomically
-/// (temporary + fsync + rename) under an advisory lock; readers
-/// validate everything — header, counts, node references, verdict
-/// tokens — and reject the whole file on the first inconsistency,
-/// falling back to a cold cache and bumping a reject counter. A
-/// corrupt cache can cost time; it can never change a verdict.
+/// Storage is the sharded slab store (smt/CacheStore): entries are
+/// keyed by the structural hash of their formula — not by program —
+/// so load() warm starts from every entry any program ever
+/// discharged into the directory, and save() appends only what this
+/// run newly learned. Writers append under per-slab advisory locks,
+/// so concurrent sessions and a daemon sharing one directory union
+/// their entries instead of clobbering each other. The legacy
+/// per-program `qc-<key>.chute` files this class used to write are
+/// migrated (parseable → imported, anything else → invalidated) the
+/// first time the directory is opened. This class remains the
+/// session-facing API: per-instance load/save accounting plus a view
+/// of the shared store's slab/index/compaction counters. A corrupt
+/// record on disk can cost time; it can never change a verdict.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,23 +45,40 @@
 #include "smt/QueryCache.h"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace chute {
 
+class CacheStore;
 class ExprContext;
 
-/// Load/save activity of one DiskCache (monotone).
+/// Load/save activity of one DiskCache (monotone). The File/Sat/Qe/
+/// Core counters are per-instance; the slab-store block below them
+/// reflects the directory's shared store (every DiskCache on the
+/// same directory sees the same values).
 struct DiskCacheStats {
-  std::uint64_t FilesLoaded = 0; ///< files accepted by load()
-  std::uint64_t FilesSaved = 0;  ///< files written by save()
-  std::uint64_t LoadRejects = 0; ///< files rejected (corrupt/mismatch)
+  std::uint64_t FilesLoaded = 0; ///< load() calls that imported entries
+  std::uint64_t FilesSaved = 0;  ///< save() calls that persisted a snapshot
+  std::uint64_t LoadRejects = 0; ///< records/slabs/legacy files rejected
   std::uint64_t SatLoaded = 0;   ///< Sat/Unsat records imported
   std::uint64_t QeLoaded = 0;    ///< QE records imported
   std::uint64_t CoresLoaded = 0; ///< unsat cores imported
   std::uint64_t SatSaved = 0;
   std::uint64_t QeSaved = 0;
   std::uint64_t CoresSaved = 0;
+
+  // Shared slab-store activity (see CacheStoreStats for semantics).
+  std::uint64_t RecordsAppended = 0;
+  std::uint64_t RecordsIndexed = 0;
+  std::uint64_t DuplicatesSkipped = 0;
+  std::uint64_t TornTailsTruncated = 0;
+  std::uint64_t Compactions = 0;
+  std::uint64_t CompactedBytes = 0;
+  std::uint64_t LegacyImported = 0;
+  std::uint64_t LegacyInvalidated = 0;
+  std::uint64_t LockFailures = 0; ///< advisory locks not acquired
 
   DiskCacheStats &operator+=(const DiskCacheStats &O) {
     FilesLoaded += O.FilesLoaded;
@@ -72,57 +90,82 @@ struct DiskCacheStats {
     SatSaved += O.SatSaved;
     QeSaved += O.QeSaved;
     CoresSaved += O.CoresSaved;
+    RecordsAppended += O.RecordsAppended;
+    RecordsIndexed += O.RecordsIndexed;
+    DuplicatesSkipped += O.DuplicatesSkipped;
+    TornTailsTruncated += O.TornTailsTruncated;
+    Compactions += O.Compactions;
+    CompactedBytes += O.CompactedBytes;
+    LegacyImported += O.LegacyImported;
+    LegacyInvalidated += O.LegacyInvalidated;
+    LockFailures += O.LockFailures;
     return *this;
   }
 };
 
-/// One cache directory. Stateless between calls apart from stats;
-/// safe to share a directory between processes (per-file advisory
-/// locks serialise load/save cycles).
+/// One cache directory, backed by its (process-shared) CacheStore.
+/// Thread-safe; safe to share a directory between processes (the
+/// store's per-slab advisory locks serialise writers).
 class DiskCache {
 public:
-  /// \p Dir is created (single level) on first save if missing.
+  /// Opens (or attaches to) \p Dir's slab store. The directory is
+  /// created on first save if missing; legacy qc-* files found in an
+  /// existing directory are migrated immediately.
   explicit DiskCache(std::string Dir);
+  ~DiskCache();
 
   const std::string &dir() const { return Directory; }
 
-  /// Warm starts \p Cache from the file for \p ProgramKey, rebuilding
-  /// expressions in \p Ctx. Returns false (leaving \p Cache cold and
-  /// counting a reject where a file existed) when there is no file,
-  /// the header does not match this binary's schema/Z3 version, or
-  /// the contents fail validation. Never throws, never crashes on
-  /// garbage input.
+  /// Warm starts \p Cache from every live entry in the store,
+  /// rebuilding expressions in \p Ctx. \p ProgramKey is accepted for
+  /// API compatibility but no longer selects a file — entries are
+  /// keyed structurally and transfer across programs. Returns false
+  /// (leaving \p Cache cold) when the store holds nothing usable;
+  /// rejected records count into stats().LoadRejects. Never throws,
+  /// never crashes on garbage input.
   bool load(const std::string &ProgramKey, ExprContext &Ctx,
             QueryCache &Cache);
 
-  /// Serialises \p Cache's durable contents over the file for
-  /// \p ProgramKey (atomic replace). Timed-out/budget-denied
-  /// Unknowns are structurally absent from the snapshot.
+  /// Appends \p Cache's durable contents to the store. Entries the
+  /// store already holds are skipped, so a warm session persists
+  /// only what it newly discharged; two concurrent savers union
+  /// their entries. Returns false only on I/O failure or when the
+  /// snapshot is empty.
   bool save(const std::string &ProgramKey, QueryCache &Cache);
 
-  DiskCacheStats stats() const { return St; }
+  DiskCacheStats stats() const;
+
+  /// The shared store (testing/checkpoint hook: compactNow()).
+  CacheStore &store() { return *Store; }
 
   /// Stable content key for a program: FNV-1a (64-bit, hex) of its
-  /// printed form.
+  /// printed form. Still used by the daemon to identify program
+  /// registry entries; no longer a storage address.
   static std::string programKey(const std::string &ProgramText);
 
-  /// The file load/save use for \p ProgramKey inside \p Dir.
+  /// The legacy per-program file for \p ProgramKey inside \p Dir.
+  /// Nothing writes these anymore; tests use the path to stage
+  /// migration inputs.
   static std::string filePath(const std::string &Dir,
                               const std::string &ProgramKey);
 
   //===-- Testing hooks ----------------------------------------------===//
-  // The serialised text format, exposed so tests can corrupt it in
-  // controlled ways without knowing the framing.
+  // The legacy serialised text format (header + body), exposed so
+  // tests can stage and corrupt migration inputs without knowing the
+  // framing.
 
   static std::string serialize(const CacheSnapshot &S);
 
-  /// Parses \p Text into \p Out (expressions built in \p Ctx).
+  /// Parses legacy \p Text into \p Out (expressions built in \p Ctx).
   /// Strict: returns false on any malformation.
   static bool deserialize(const std::string &Text, ExprContext &Ctx,
                           CacheSnapshot &Out);
 
 private:
   std::string Directory;
+  std::shared_ptr<CacheStore> Store;
+
+  mutable std::mutex Mu; ///< guards the per-instance counters
   DiskCacheStats St;
 };
 

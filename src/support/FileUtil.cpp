@@ -2,8 +2,12 @@
 
 #include "support/FileUtil.h"
 
+#include "support/Debug.h"
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -31,11 +35,46 @@ std::optional<std::string> chute::readFile(const std::string &Path) {
   return Out;
 }
 
+namespace {
+/// Distinguishes temporaries of concurrent writers within one
+/// process; the pid distinguishes processes. Monotone for the
+/// process lifetime so a name can never be reissued.
+std::atomic<std::uint64_t> TempCounter{0};
+
+std::string dirOf(const std::string &Path) {
+  std::size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? std::string(".")
+                                    : Path.substr(0, Slash);
+}
+} // namespace
+
+std::string chute::detail::nextTempPath(const std::string &Path) {
+  return Path + ".tmp." + std::to_string(static_cast<long>(getpid())) +
+         "." + std::to_string(TempCounter.fetch_add(1));
+}
+
+bool chute::fsyncDir(const std::string &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  int Rc = ::fsync(Fd);
+  ::close(Fd);
+  return Rc == 0;
+}
+
 bool chute::atomicWriteFile(const std::string &Path,
                             const std::string &Contents) {
-  std::string Tmp =
-      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
-  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // O_EXCL: if a dead process with a recycled pid left a temporary
+  // behind, fail onto a fresh counter value instead of appending to
+  // (or truncating under) someone else's bytes.
+  std::string Tmp;
+  int Fd = -1;
+  for (int Attempt = 0; Attempt < 16 && Fd < 0; ++Attempt) {
+    Tmp = detail::nextTempPath(Path);
+    Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (Fd < 0 && errno != EEXIST)
+      return false;
+  }
   if (Fd < 0)
     return false;
   const char *P = Contents.data();
@@ -53,13 +92,15 @@ bool chute::atomicWriteFile(const std::string &Path,
     Left -= static_cast<std::size_t>(N);
   }
   // Data must be durable before the rename publishes it, or a crash
-  // could leave the published name pointing at truncated content.
+  // could leave the published name pointing at truncated content;
+  // and the directory must be synced after it, or the publish itself
+  // (the rename) can be lost even though the data survived.
   if (::fsync(Fd) != 0 || ::close(Fd) != 0 ||
       ::rename(Tmp.c_str(), Path.c_str()) != 0) {
     ::unlink(Tmp.c_str());
     return false;
   }
-  return true;
+  return fsyncDir(dirOf(Path));
 }
 
 bool chute::ensureDir(const std::string &Path) {
@@ -72,12 +113,20 @@ bool chute::ensureDir(const std::string &Path) {
   return false;
 }
 
-FileLock::FileLock(const std::string &Path) {
+FileLock::FileLock(const std::string &Path, Mode M) {
   Fd = ::open(Path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (Fd < 0)
+  if (Fd < 0) {
+    CHUTE_DEBUG(debugLine("FileLock: open(" + Path +
+                          ") failed: " + std::strerror(errno) +
+                          " — proceeding unlocked"));
     return;
-  while (::flock(Fd, LOCK_EX) != 0) {
+  }
+  int Op = M == Mode::Exclusive ? LOCK_EX : LOCK_SH;
+  while (::flock(Fd, Op) != 0) {
     if (errno != EINTR) {
+      CHUTE_DEBUG(debugLine("FileLock: flock(" + Path +
+                            ") failed: " + std::strerror(errno) +
+                            " — proceeding unlocked"));
       ::close(Fd);
       Fd = -1;
       return;

@@ -7,10 +7,10 @@
 /// \file
 /// Small file helpers for the disk-backed caches: whole-file
 /// read/write, crash-safe atomic replacement (write to a
-/// pid-distinct temporary, fsync, rename), directory creation, and
-/// an advisory inter-process lock so two chute processes sharing one
-/// CHUTE_CACHE_DIR serialise their load-merge-save cycles instead of
-/// interleaving them.
+/// collision-proof temporary, fsync file and directory, rename),
+/// directory creation, and an advisory inter-process lock so chute
+/// processes sharing one CHUTE_CACHE_DIR serialise their slab
+/// appends and compactions instead of interleaving them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,22 +28,41 @@ std::optional<std::string> readFile(const std::string &Path);
 
 /// Replaces \p Path with \p Contents atomically: the data lands in a
 /// temporary in the same directory first, is fsynced, then renamed
-/// over \p Path, so readers see either the old or the new file and
-/// never a torn write. Returns false when any step fails (the
-/// temporary is cleaned up).
+/// over \p Path, and the parent directory is fsynced so the rename
+/// itself survives a crash. Readers see either the old or the new
+/// file and never a torn write. The temporary's name carries the pid
+/// plus a process-wide counter and is opened with O_EXCL, so
+/// concurrent writers (threads of one process, or a stale temp left
+/// by a dead process with a recycled pid) can never share or
+/// interleave on one temporary. Returns false when any step fails
+/// (the temporary is cleaned up).
 bool atomicWriteFile(const std::string &Path, const std::string &Contents);
+
+/// Flushes directory metadata at \p Dir (the durability of a rename
+/// or file creation inside it). Returns false when the directory
+/// cannot be opened or fsynced.
+bool fsyncDir(const std::string &Dir);
 
 /// Creates \p Path as a directory if it does not exist (single
 /// level, parents must exist — cache dirs are user-supplied).
 /// Returns true when the directory exists afterwards.
 bool ensureDir(const std::string &Path);
 
-/// Advisory exclusive lock on \p Path (the file is created when
-/// missing and never deleted). Blocks until acquired. Moveable, not
-/// copyable; the destructor releases.
+namespace detail {
+/// The temporary name the next atomicWriteFile on this thread would
+/// use. Exposed for the collision regression test only: successive
+/// calls must never repeat, even within one pid.
+std::string nextTempPath(const std::string &Path);
+} // namespace detail
+
+/// Advisory lock on \p Path (the file is created when missing and
+/// never deleted). Blocks until acquired. Not copyable; the
+/// destructor releases.
 class FileLock {
 public:
-  explicit FileLock(const std::string &Path);
+  enum class Mode { Exclusive, Shared };
+
+  explicit FileLock(const std::string &Path, Mode M = Mode::Exclusive);
   ~FileLock();
 
   FileLock(const FileLock &) = delete;
@@ -51,7 +70,10 @@ public:
 
   /// True when the lock was actually acquired; false means the lock
   /// file could not be opened and the caller proceeds unlocked (a
-  /// degraded but safe mode — writes are still atomic renames).
+  /// degraded but safe mode — appends are still single writes and
+  /// rewrites still atomic renames). Callers are expected to make
+  /// the degradation observable (DiskCacheStats::LockFailures); a
+  /// CHUTE_DEBUG line is emitted here.
   bool held() const { return Fd >= 0; }
 
 private:

@@ -4,12 +4,16 @@
 // The contract under attack: a warm start must transfer verdicts
 // exactly (rebuilt in a fresh ExprContext they re-attach to the
 // hash-consed nodes a new run queries), Unknowns must be
-// unrepresentable on disk, and a damaged file must mean a cold cache
-// plus a bumped reject counter — never a crash, never a verdict.
+// unrepresentable on disk, and damaged input — whether a corrupt
+// legacy qc-* file met during migration or a damaged slab — must
+// mean a cold cache plus a bumped reject counter, never a crash,
+// never a verdict.
 //
 //===----------------------------------------------------------------------===//
 
 #include "smt/DiskCache.h"
+
+#include "smt/CacheStore.h"
 
 #include "expr/ExprParser.h"
 #include "support/FileUtil.h"
@@ -141,10 +145,23 @@ TEST_F(DiskCacheTest, UnknownIsUnrepresentableOnDisk) {
 
   DiskCache Disk(Dir);
   ASSERT_TRUE(Disk.save("prog", Cache));
-  std::optional<std::string> Text =
-      readFile(DiskCache::filePath(Dir, "prog"));
-  ASSERT_TRUE(Text.has_value());
-  EXPECT_EQ(Text->find("unknown"), std::string::npos);
+  // Nothing in any slab of the directory may spell a transient
+  // verdict.
+  bool SawSlab = false;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name == "." || Name == "..")
+        continue;
+      std::optional<std::string> Text = readFile(Dir + "/" + Name);
+      ASSERT_TRUE(Text.has_value()) << Name;
+      EXPECT_EQ(Text->find("unknown"), std::string::npos) << Name;
+      if (!Text->empty())
+        SawSlab = true;
+    }
+    closedir(D);
+  }
+  EXPECT_TRUE(SawSlab);
 }
 
 TEST_F(DiskCacheTest, EmptyCacheSavesNothing) {
@@ -166,34 +183,58 @@ TEST_F(DiskCacheTest, MissingFileIsColdNotReject) {
 
 class DiskCacheCorruption : public DiskCacheTest {
 protected:
-  /// Saves a populated cache and returns its file's contents.
+  /// The legacy per-program serialisation of a populated cache —
+  /// what an old binary would have left in the directory.
   std::string savedText() {
     ExprContext Ctx;
     QueryCache Cache;
     populate(Ctx, Cache);
-    DiskCache Disk(Dir);
-    EXPECT_TRUE(Disk.save("prog", Cache));
-    std::optional<std::string> Text =
-        readFile(DiskCache::filePath(Dir, "prog"));
-    EXPECT_TRUE(Text.has_value());
-    return Text.value_or("");
+    return DiskCache::serialize(Cache.exportAll());
   }
 
-  /// Writes \p Text as the cache file and expects load to reject it
-  /// into a still-cold cache.
+  /// Stages \p Text as a legacy qc-* file and expects opening the
+  /// directory to invalidate it: a cold cache, a bumped reject
+  /// counter, and the file gone.
   void expectReject(const std::string &Text) {
-    ASSERT_TRUE(
-        atomicWriteFile(DiskCache::filePath(Dir, "prog"), Text));
+    const std::string Legacy = DiskCache::filePath(Dir, "prog");
+    ASSERT_TRUE(atomicWriteFile(Legacy, Text));
     ExprContext Ctx;
     QueryCache Cache;
     DiskCache Disk(Dir);
     EXPECT_FALSE(Disk.load("prog", Ctx, Cache));
     EXPECT_EQ(Disk.stats().LoadRejects, 1u);
+    EXPECT_EQ(Disk.stats().LegacyInvalidated, 1u);
+    EXPECT_EQ(Disk.stats().LegacyImported, 0u);
     EXPECT_EQ(Disk.stats().FilesLoaded, 0u);
     EXPECT_EQ(Cache.size(), 0u);
     EXPECT_EQ(Cache.stats().WarmLoaded, 0u);
+    // Migration consumed the file either way: corrupt bytes are not
+    // left around to be rejected again on every open.
+    EXPECT_FALSE(readFile(Legacy).has_value());
   }
 };
+
+TEST_F(DiskCacheCorruption, ParseableLegacyFileIsImported) {
+  // The migration's happy path: a file the old format wrote warm
+  // starts the store once, then disappears.
+  ASSERT_TRUE(
+      atomicWriteFile(DiskCache::filePath(Dir, "prog"), savedText()));
+  ExprContext Ctx;
+  QueryCache Cache;
+  DiskCache Disk(Dir);
+  EXPECT_TRUE(Disk.load("prog", Ctx, Cache));
+  EXPECT_EQ(Disk.stats().LegacyImported, 1u);
+  EXPECT_EQ(Disk.stats().LegacyInvalidated, 0u);
+  EXPECT_EQ(Disk.stats().LoadRejects, 0u);
+  EXPECT_FALSE(readFile(DiskCache::filePath(Dir, "prog")).has_value());
+
+  auto Sat = Cache.lookupSat(formula(Ctx, "x > 0"));
+  ASSERT_TRUE(Sat.has_value());
+  EXPECT_EQ(*Sat, SatResult::Sat);
+  EXPECT_TRUE(Cache.subsumedUnsat({formula(Ctx, "x > 2"),
+                                   formula(Ctx, "x < 1"),
+                                   formula(Ctx, "x == 5")}));
+}
 
 TEST_F(DiskCacheCorruption, TruncatedFileIsRejected) {
   std::string Text = savedText();

@@ -156,19 +156,30 @@ TEST_F(SessionTest, CorruptCacheFileFallsBackCold) {
   Opts.CacheDir = Dir;
 
   Verdict First;
-  std::string Key;
   {
     VerificationSession S(*P, Opts);
     First = S.verify("AF(p == 1)", Err).V;
     S.close();
-    Key = S.programKey();
   }
-  ASSERT_TRUE(
-      atomicWriteFile(DiskCache::filePath(Dir, Key), "garbage\n"));
+  // Overwrite every slab with garbage: the store must reject them
+  // wholesale instead of trusting a damaged header.
+  unsigned Corrupted = 0;
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 6 &&
+          Name.compare(Name.size() - 6, 6, ".chute") == 0) {
+        ASSERT_TRUE(atomicWriteFile(Dir + "/" + Name, "garbage\n"));
+        ++Corrupted;
+      }
+    }
+    closedir(D);
+  }
+  ASSERT_GT(Corrupted, 0u);
 
   VerificationSession S(*P, Opts);
   VerificationSessionStats St = S.stats();
-  EXPECT_EQ(St.Disk.LoadRejects, 1u);
+  EXPECT_GE(St.Disk.LoadRejects, 1u);
   EXPECT_EQ(St.Cache.WarmLoaded, 0u);
   VerifyResult R = S.verify("AF(p == 1)", Err);
   ASSERT_TRUE(Err.empty()) << Err;

@@ -7,6 +7,12 @@
 # warm run must also report nonzero warm hits, else the gate silently
 # degenerates into comparing two cold runs.
 #
+# A final leg exercises the sharded slab store's concurrency story:
+# two bench processes and one chuted daemon write the same fresh
+# cache directory at the same time, then a warm read-back must agree
+# with the cold baseline row for row — concurrent writers may race,
+# but they must never lose entries or flip verdicts.
+#
 #   tools/cache_gate.sh [build-dir]
 #
 # Knobs (environment):
@@ -23,12 +29,23 @@ JOBS=${CHUTE_GATE_JOBS:-2}
 TABLE="Figure 6: small benchmarks (operator combinations)"
 
 BENCH="$BUILD"/bench/bench_fig6_small
-[ -x "$BENCH" ] || { echo "cache_gate: $BENCH not built" >&2; exit 2; }
+CHUTED="$BUILD"/src/chuted
+CLI="$BUILD"/tools/chute-cli/chute-cli
+for BIN in "$BENCH" "$CHUTED" "$CLI"; do
+  [ -x "$BIN" ] || { echo "cache_gate: $BIN not built" >&2; exit 2; }
+done
 
 OUT=$(mktemp)
 CACHE=$(mktemp -d)
-trap 'rm -f "$OUT.cold" "$OUT.warm" "$OUT.cold.v" "$OUT.warm.v" "$OUT";
-      rm -rf "$CACHE"' EXIT
+CCACHE=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "$OUT".* "$OUT"
+  rm -rf "$CACHE" "$CCACHE"
+}
+trap cleanup EXIT
 
 # The bench binary exits nonzero on paper-expectation mismatches; the
 # gate's criterion is cold-vs-warm agreement, so run for the JSON.
@@ -101,5 +118,59 @@ if [ "$FIRST" != "$CORRUPT_FIRST" ]; then
   exit 1
 fi
 
+# Concurrent multi-process writers: two bench processes and a chuted
+# daemon share one fresh cache directory. The slab store's per-shard
+# appends and advisory locks must union their entries — a warm
+# read-back afterwards has to agree with the cold baseline and
+# actually hit the cache, or a writer's records were lost.
+CSOCK="unix:$CCACHE/gate.sock"
+"$CHUTED" --socket "$CSOCK" --cache-dir "$CCACHE" \
+  2> "$CCACHE/chuted.log" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  "$CLI" --ping --socket "$CSOCK" --quiet 2>/dev/null && break
+  sleep 0.1
+done
+"$CLI" --ping --socket "$CSOCK" --quiet 2>/dev/null \
+  || { echo "cache_gate: chuted never answered a ping" >&2; exit 1; }
+
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --cache-dir "$CCACHE" --json "$OUT.w1" > /dev/null 2>&1 &
+W1=$!
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --cache-dir "$CCACHE" --json "$OUT.w2" > /dev/null 2>&1 &
+W2=$!
+cat > "$CCACHE/counter.chute" <<'EOF'
+init(x >= 1);
+while (x >= 1) {
+  x = x + 1;
+}
+EOF
+for PROP in "AG(x >= 1)" "EF(x <= 0)"; do
+  "$CLI" "$CCACHE/counter.chute" "$PROP" --socket "$CSOCK" --quiet \
+    > /dev/null 2>&1 || true
+done
+wait "$W1" || true
+wait "$W2" || true
+kill -TERM "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+"$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
+  --cache-dir "$CCACHE" --json "$OUT.conc" || true
+extract "$OUT.conc" > "$OUT.conc.v"
+if ! diff -u "$OUT.cold.v" "$OUT.conc.v" > "$OUT"; then
+  echo "cache_gate: verdicts differ after concurrent writers" \
+       "(-: cold baseline, +: post-concurrency warm)" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+if ! grep -Eq '"disk_warm_hits":[1-9]' "$OUT.conc"; then
+  echo "cache_gate: concurrently written cache produced no warm hits" \
+       "(entries lost?)" >&2
+  exit 1
+fi
+
 echo "cache_gate: $N_WARM rows agree between cold and warm runs," \
-     "warm hits observed, corrupt cache fell back cold"
+     "warm hits observed, corrupt cache fell back cold," \
+     "concurrent writers lost nothing"

@@ -9,8 +9,9 @@
 # (default build-tsan) and runs only the concurrency-sensitive suites
 # (thread pool, SMT facade, query cache, governor, parallel engine,
 # tracer, daemon + wire protocol + admission control, contended file
-# I/O): a data race in the proof scheduler or the daemon fails the
-# gate even when the plain build happens to pass.
+# I/O, the sharded slab cache store): a data race in the proof
+# scheduler, the daemon, or the cache store fails the gate even when
+# the plain build happens to pass.
 #
 # Knobs (environment):
 #   CI_TEST_TIMEOUT   per-test timeout in seconds (default 300)
@@ -53,7 +54,7 @@ if [ "$TSAN" = 1 ]; then
   timeout --signal=TERM --kill-after=30 "$TOTAL_TIMEOUT" \
     ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS" \
           --timeout "$TEST_TIMEOUT" \
-          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget|Trace|Daemon|Wire|FileUtil|Admission"
+          -R "TaskPool|QueryCache|ParallelEngine|Smt|Governor|Budget|Trace|Daemon|Wire|FileUtil|Admission|CacheStore|DiskCache"
   echo "ci: tsan build and concurrency tests passed"
   exit 0
 fi
