@@ -295,7 +295,8 @@ unsigned chute::bench::runTable(const char *Title,
                                 unsigned TimeoutSec,
                                 const char *JsonPath, unsigned Jobs,
                                 const char *TraceOut,
-                                const char *CacheDir) {
+                                const char *CacheDir,
+                                unsigned *Contradictions) {
   // The env knob applies per child; resolve it here so multi-row
   // tables get distinct per-row files instead of the last child
   // overwriting the path.
@@ -331,8 +332,16 @@ unsigned chute::bench::runTable(const char *Title,
                                            : TracePath.c_str(),
                          CacheDir);
     bool Ok = R.matches(Row.ExpectHolds);
-    if (!Ok)
+    if (!Ok) {
       ++Mismatches;
+      // A definite verdict on the wrong side is a contradiction;
+      // unknown/timeout/crash rows are weaker failures (the caller
+      // may tolerate them as incompleteness).
+      if (Contradictions != nullptr &&
+          (R.St == RowResult::Status::Proved ||
+           R.St == RowResult::Status::Disproved))
+        ++*Contradictions;
+    }
     std::printf("%4u  %-18s %4u  %-34s %-4s %-5s %8.2f %7u %5u %5u "
                 "%4.0f%% %4u  %s%s\n",
                 Row.Id, Row.Example.c_str(), Row.Loc,

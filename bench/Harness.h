@@ -95,13 +95,19 @@ RowResult runRow(const corpus::BenchRow &Row, unsigned TimeoutSec,
 /// every row through the disk-backed cache; the JSON rows then carry
 /// disk_loaded / disk_warm_hits / disk_saved / disk_rejects plus the
 /// slab-store disk_indexed / disk_torn / disk_compactions fields.
+/// \p Contradictions, when non-null, receives the subset of the
+/// mismatches where a *definite* verdict (proved/disproved) opposed
+/// the expectation — for ground-truth tables that is the
+/// soundness-bug count, while unknown/timeout rows are only
+/// completeness gaps.
 unsigned runTable(const char *Title,
                   const std::vector<corpus::BenchRow> &Rows,
                   unsigned TimeoutSec,
                   const char *JsonPath = nullptr,
                   unsigned Jobs = 0,
                   const char *TraceOut = nullptr,
-                  const char *CacheDir = nullptr);
+                  const char *CacheDir = nullptr,
+                  unsigned *Contradictions = nullptr);
 
 /// Reads the row timeout from argv ("--timeout N") or returns
 /// \p Default.

@@ -1,0 +1,82 @@
+//===- bench/bench_generated.cpp - Generated-workload benchmark --------------===//
+//
+// The standing scale benchmark over the ground-truth workload
+// generator (ROADMAP item 5): a fixed-seed suite of generated
+// programs run through the standard harness, with per-row JSON for
+// trend tracking (CI commits BENCH_generated.json). Unlike the
+// figure reproductions, expectations here are ground truth by
+// construction, so any *definite* wrong verdict is an engine bug,
+// not a corpus transcription issue; unknowns are completeness gaps
+// tracked in the trend JSON. Usage:
+//
+//   bench_generated [--seed S] [--count N] [--timeout SECONDS]
+//                   [--rows A-B] [--json PATH] [--jobs N]
+//                   [--trace-out PATH] [--cache-dir DIR]
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "gen/Generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+using namespace chute;
+
+namespace {
+
+std::uint64_t seedFromArgs(int Argc, char **Argv, std::uint64_t Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--seed") == 0)
+      return std::strtoull(Argv[I + 1], nullptr, 0);
+  return Default;
+}
+
+unsigned countFromArgs(int Argc, char **Argv, unsigned Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--count") == 0)
+      return static_cast<unsigned>(std::strtoul(Argv[I + 1], nullptr, 0));
+  return Default;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Timeout = bench::timeoutFromArgs(Argc, Argv, 30);
+  std::uint64_t Seed = seedFromArgs(Argc, Argv, 0xc407e0001ull);
+  unsigned Count = countFromArgs(Argc, Argv, 40);
+
+  std::vector<corpus::BenchRow> All;
+  for (const gen::GeneratedCase &C : gen::generateSuite(Seed, Count)) {
+    corpus::BenchRow Row;
+    Row.Id = C.Index + 1;
+    Row.Example = C.Family;
+    Row.Program = C.Source;
+    Row.Property = C.Property;
+    Row.ExpectHolds = C.ExpectHolds;
+    Row.Loc = static_cast<unsigned>(
+        std::count(C.Source.begin(), C.Source.end(), '\n'));
+    All.push_back(std::move(Row));
+  }
+
+  auto [Lo, Hi] =
+      bench::rowRangeFromArgs(Argc, Argv, static_cast<unsigned>(All.size()));
+  std::vector<corpus::BenchRow> Rows;
+  for (const auto &R : All)
+    if (R.Id >= Lo && R.Id <= Hi)
+      Rows.push_back(R);
+
+  // Expectations are ground truth by construction, so a *definite*
+  // verdict on the wrong side is always an engine bug and fails the
+  // run. Unknown/timeout rows are completeness gaps, reported in the
+  // table (and as match:false in the JSON trend) but tolerated.
+  unsigned Contradictions = 0;
+  bench::runTable("Generated workload (ground truth by construction)",
+                  Rows, Timeout, bench::jsonPathFromArgs(Argc, Argv),
+                  bench::jobsFromArgs(Argc, Argv),
+                  bench::traceOutFromArgs(Argc, Argv),
+                  bench::cacheDirFromArgs(Argc, Argv), &Contradictions);
+  return Contradictions == 0 ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+//===- gen/Ast.cpp - Statement AST for generated programs ------------------===//
+
+#include "gen/Ast.h"
+
+#include <cassert>
+
+using namespace chute::gen;
+
+Stmt Stmt::assign(std::string Var, std::string Rhs) {
+  Stmt S;
+  S.K = Kind::Assign;
+  S.Var = std::move(Var);
+  S.Expr = std::move(Rhs);
+  return S;
+}
+
+Stmt Stmt::havoc(std::string Var) {
+  Stmt S;
+  S.K = Kind::Havoc;
+  S.Var = std::move(Var);
+  return S;
+}
+
+Stmt Stmt::skip() { return Stmt(); }
+
+Stmt Stmt::mkIf(std::string Cond, std::vector<Stmt> Then,
+                std::vector<Stmt> Else) {
+  Stmt S;
+  S.K = Kind::If;
+  S.Expr = std::move(Cond);
+  S.Then = std::move(Then);
+  S.Else = std::move(Else);
+  return S;
+}
+
+Stmt Stmt::mkWhile(std::string Cond, std::vector<Stmt> Body) {
+  Stmt S;
+  S.K = Kind::While;
+  S.Expr = std::move(Cond);
+  S.Then = std::move(Body);
+  return S;
+}
+
+namespace {
+
+void renderStmt(const Stmt &S, std::string &Out, unsigned Depth) {
+  std::string Pad(2 * Depth, ' ');
+  auto renderBlock = [&](const std::vector<Stmt> &Body) {
+    if (Body.empty()) {
+      Out += " }";
+      return;
+    }
+    Out += "\n";
+    for (const Stmt &C : Body)
+      renderStmt(C, Out, Depth + 1);
+    Out += Pad + "}";
+  };
+
+  switch (S.K) {
+  case Stmt::Kind::Assign:
+    Out += Pad + S.Var + " = " + S.Expr + ";\n";
+    return;
+  case Stmt::Kind::Havoc:
+    Out += Pad + S.Var + " = *;\n";
+    return;
+  case Stmt::Kind::Skip:
+    Out += Pad + "skip;\n";
+    return;
+  case Stmt::Kind::If:
+    Out += Pad + "if (" + S.Expr + ") {";
+    renderBlock(S.Then);
+    if (!S.Else.empty()) {
+      Out += " else {";
+      renderBlock(S.Else);
+    }
+    Out += "\n";
+    return;
+  case Stmt::Kind::While:
+    Out += Pad + "while (" + S.Expr + ") {";
+    renderBlock(S.Then);
+    Out += "\n";
+    return;
+  }
+}
+
+std::size_t sizeOf(const std::vector<Stmt> &Body) {
+  std::size_t N = 0;
+  for (const Stmt &S : Body)
+    N += 1 + sizeOf(S.Then) + sizeOf(S.Else);
+  return N;
+}
+
+/// Appends the edits available at and below \p S (whose own address
+/// is \p Path / \p InElse) to \p Out.
+void collectEdits(const Stmt &S, std::vector<unsigned> &Path,
+                  std::vector<bool> &InElse, std::vector<ShrinkEdit> &Out) {
+  ShrinkEdit Del;
+  Del.K = ShrinkEdit::Kind::DeleteStmt;
+  Del.Path = Path;
+  Del.InElse = InElse;
+  Out.push_back(Del);
+
+  if (S.K == Stmt::Kind::If || S.K == Stmt::Kind::While) {
+    if (!S.Then.empty()) {
+      ShrinkEdit E = Del;
+      E.K = ShrinkEdit::Kind::SpliceThen;
+      Out.push_back(E);
+    }
+    if (!S.Else.empty()) {
+      ShrinkEdit E = Del;
+      E.K = ShrinkEdit::Kind::SpliceElse;
+      Out.push_back(E);
+      E.K = ShrinkEdit::Kind::DropElse;
+      Out.push_back(E);
+    }
+    for (unsigned I = 0; I < S.Then.size(); ++I) {
+      Path.push_back(I);
+      InElse.push_back(false);
+      collectEdits(S.Then[I], Path, InElse, Out);
+      Path.pop_back();
+      InElse.pop_back();
+    }
+    for (unsigned I = 0; I < S.Else.size(); ++I) {
+      Path.push_back(I);
+      InElse.push_back(true);
+      collectEdits(S.Else[I], Path, InElse, Out);
+      Path.pop_back();
+      InElse.pop_back();
+    }
+  }
+}
+
+} // namespace
+
+std::string GenProgram::render() const {
+  std::string Out;
+  if (!Init.empty())
+    Out += "init(" + Init + ");\n";
+  for (const Stmt &S : Body)
+    renderStmt(S, Out, 0);
+  return Out;
+}
+
+std::size_t GenProgram::size() const { return sizeOf(Body); }
+
+std::vector<ShrinkEdit> chute::gen::enumerateEdits(const GenProgram &P) {
+  std::vector<ShrinkEdit> Out;
+  if (!P.Init.empty()) {
+    ShrinkEdit E;
+    E.K = ShrinkEdit::Kind::DropInit;
+    Out.push_back(E);
+  }
+  std::vector<unsigned> Path;
+  std::vector<bool> InElse;
+  for (unsigned I = 0; I < P.Body.size(); ++I) {
+    Path.push_back(I);
+    InElse.push_back(false);
+    collectEdits(P.Body[I], Path, InElse, Out);
+    Path.pop_back();
+    InElse.pop_back();
+  }
+  return Out;
+}
+
+GenProgram chute::gen::applyEdit(const GenProgram &P, const ShrinkEdit &E) {
+  GenProgram Copy = P;
+  if (E.K == ShrinkEdit::Kind::DropInit) {
+    Copy.Init.clear();
+    return Copy;
+  }
+
+  assert(!E.Path.empty() && "statement edit without a path");
+  std::vector<Stmt> *List = &Copy.Body;
+  for (std::size_t I = 0; I + 1 < E.Path.size(); ++I) {
+    Stmt &S = (*List)[E.Path[I]];
+    List = E.InElse[I + 1] ? &S.Else : &S.Then;
+  }
+  auto It = List->begin() + E.Path.back();
+  switch (E.K) {
+  case ShrinkEdit::Kind::DeleteStmt:
+    List->erase(It);
+    break;
+  case ShrinkEdit::Kind::SpliceThen: {
+    std::vector<Stmt> Inner = std::move(It->Then);
+    It = List->erase(It);
+    List->insert(It, std::make_move_iterator(Inner.begin()),
+                 std::make_move_iterator(Inner.end()));
+    break;
+  }
+  case ShrinkEdit::Kind::SpliceElse: {
+    std::vector<Stmt> Inner = std::move(It->Else);
+    It = List->erase(It);
+    List->insert(It, std::make_move_iterator(Inner.begin()),
+                 std::make_move_iterator(Inner.end()));
+    break;
+  }
+  case ShrinkEdit::Kind::DropElse:
+    It->Else.clear();
+    break;
+  case ShrinkEdit::Kind::DropInit:
+    break;
+  }
+  return Copy;
+}

@@ -1,0 +1,94 @@
+//===- gen/Ast.h - Statement AST for generated programs -------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value-type statement tree mirroring the toy language grammar
+/// (program/Parser.h). The workload generator composes programs at
+/// this level — where "delete a statement" and "unwrap a loop" are
+/// structural operations — renders them to source for the verifier,
+/// and hands the tree to the shrinker when a fuzz run fails.
+///
+/// Conditions and right-hand sides are stored as source fragments:
+/// the generator only ever emits linear expressions the expression
+/// parser accepts, and keeping them textual makes rendering
+/// deterministic byte-for-byte (the determinism pin in
+/// GeneratorTest relies on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_GEN_AST_H
+#define CHUTE_GEN_AST_H
+
+#include <string>
+#include <vector>
+
+namespace chute::gen {
+
+/// One statement of the toy language.
+struct Stmt {
+  enum class Kind {
+    Assign, ///< Var = Expr;
+    Havoc,  ///< Var = *;
+    Skip,   ///< skip;
+    If,     ///< if (Cond) { Then } else { Else }   ("*" = nondet)
+    While,  ///< while (Cond) { Then }              ("*" = nondet)
+  };
+
+  Kind K = Kind::Skip;
+  std::string Var;          ///< Assign/Havoc target
+  std::string Expr;         ///< Assign rhs, or If/While condition
+  std::vector<Stmt> Then;   ///< If then-arm / While body
+  std::vector<Stmt> Else;   ///< If else-arm (empty = no else block)
+
+  static Stmt assign(std::string Var, std::string Rhs);
+  static Stmt havoc(std::string Var);
+  static Stmt skip();
+  static Stmt mkIf(std::string Cond, std::vector<Stmt> Then,
+                   std::vector<Stmt> Else = {});
+  static Stmt mkWhile(std::string Cond, std::vector<Stmt> Body);
+};
+
+/// A whole generated program: an init formula plus a statement list.
+struct GenProgram {
+  std::string Init; ///< init(...) formula text; empty = no clause
+  std::vector<Stmt> Body;
+
+  /// Renders to toy-language source, deterministically (two-space
+  /// indentation, one statement per line).
+  std::string render() const;
+
+  /// Statements in the whole tree (shrink progress metric).
+  std::size_t size() const;
+};
+
+/// One reversible shrink edit: delete a statement, splice a compound
+/// statement's body into its place, or keep only one arm of an if.
+struct ShrinkEdit {
+  enum class Kind {
+    DeleteStmt,  ///< remove the statement entirely
+    SpliceThen,  ///< replace an if/while by its then/body statements
+    SpliceElse,  ///< replace an if by its else statements
+    DropElse,    ///< keep the if but empty its else arm
+    DropInit,    ///< clear the init clause
+  };
+  Kind K = Kind::DeleteStmt;
+  /// Child indices from the program body down to the target
+  /// statement; at each level the index selects within the parent's
+  /// Then list unless the corresponding InElse bit is set.
+  std::vector<unsigned> Path;
+  std::vector<bool> InElse;
+};
+
+/// Enumerates every applicable edit of \p P, outermost first (the
+/// shrinker tries big deletions before small ones).
+std::vector<ShrinkEdit> enumerateEdits(const GenProgram &P);
+
+/// Applies \p E to a copy of \p P.
+GenProgram applyEdit(const GenProgram &P, const ShrinkEdit &E);
+
+} // namespace chute::gen
+
+#endif // CHUTE_GEN_AST_H

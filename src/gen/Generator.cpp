@@ -1,0 +1,432 @@
+//===- gen/Generator.cpp - Ground-truth workload generator -----------------===//
+//
+// Every family builder documents its ground-truth argument inline;
+// the junk emitter's obligations (never write an observable, loops
+// terminate unless the family tolerates divergence) are what keep
+// those arguments valid under padding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+
+#include "gen/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chute::gen;
+
+namespace {
+
+/// Junk-variable pool; disjoint from every observable ("p", "x",
+/// "y", "done"), so junk can never change a verdict.
+const std::vector<std::string> JunkVars = {"j0", "j1", "j2"};
+
+/// What the surrounding family allows junk to do.
+struct JunkPolicy {
+  /// Forbid exitable-but-unbounded `while (*)` junk. Required by
+  /// families whose ground truth needs every path to make progress
+  /// (af-reach, eg-term, loop bodies of the pulse family).
+  bool MustTerminate = true;
+  /// Remaining nesting depth for compound junk.
+  unsigned Depth = 2;
+};
+
+class Builder {
+public:
+  explicit Builder(Rng R) : R(R) {}
+
+  //===-- Junk ------------------------------------------------------===//
+
+  /// Junk variables not in \p Exclude (the termination arguments of
+  /// enclosing junk loops forbid writes to their counters).
+  std::vector<std::string>
+  writable(const std::vector<std::string> &Exclude) {
+    std::vector<std::string> Ws;
+    for (const std::string &V : JunkVars)
+      if (std::find(Exclude.begin(), Exclude.end(), V) == Exclude.end())
+        Ws.push_back(V);
+    return Ws;
+  }
+
+  /// A linear junk term (reads may mention any junk variable).
+  std::string junkTerm() {
+    const std::string &A = R.pick(JunkVars);
+    switch (R.below(5)) {
+    case 0:
+      return std::to_string(R.between(-4, 9));
+    case 1:
+      return A + " + " + std::to_string(R.between(1, 9));
+    case 2:
+      return A + " - " + std::to_string(R.between(1, 9));
+    case 3:
+      return A + " + " + R.pick(JunkVars);
+    default:
+      return A + " + " + R.pick(JunkVars) + " - " +
+             std::to_string(R.between(1, 5));
+    }
+  }
+
+  /// One junk statement under \p Policy, or skip when nothing else
+  /// is available.
+  Stmt junkStmt(JunkPolicy Policy, std::vector<std::string> Exclude) {
+    std::vector<std::string> Ws = writable(Exclude);
+    for (unsigned Attempt = 0; Attempt < 2; ++Attempt) {
+      switch (R.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        if (!Ws.empty())
+          return Stmt::assign(R.pick(Ws), junkTerm());
+        break;
+      case 4:
+        if (!Ws.empty())
+          return Stmt::havoc(R.pick(Ws));
+        break;
+      case 5: // nondet branch over junk
+        if (Policy.Depth > 0)
+          return Stmt::mkIf("*", junkBlock(nested(Policy), Exclude, 1),
+                            junkBlock(nested(Policy), Exclude, 1));
+        break;
+      case 6: // deterministic branch over a junk guard
+        if (Policy.Depth > 0) {
+          std::string G = R.pick(JunkVars) +
+                          (R.chance(50) ? " <= " : " >= ") +
+                          std::to_string(R.between(-3, 6));
+          return Stmt::mkIf(G, junkBlock(nested(Policy), Exclude, 1),
+                            junkBlock(nested(Policy), Exclude, 1));
+        }
+        break;
+      case 7: // terminating junk loop: counter strictly decreases
+              // and nothing below may write it.
+        if (Policy.Depth > 0 && !Ws.empty()) {
+          std::string C = R.pick(Ws);
+          std::vector<std::string> Inner = Exclude;
+          Inner.push_back(C);
+          std::vector<Stmt> Body = junkBlock(nested(Policy), Inner, 1);
+          Body.push_back(Stmt::assign(
+              C, C + " - " + std::to_string(R.between(1, 2))));
+          return Stmt::mkWhile(C + " > 0", std::move(Body));
+        }
+        break;
+      case 8: // exitable nondeterministic loop
+        if (Policy.Depth > 0 && !Policy.MustTerminate)
+          return Stmt::mkWhile("*", junkBlock(nested(Policy), Exclude, 1));
+        break;
+      default:
+        return Stmt::skip();
+      }
+    }
+    return Stmt::skip();
+  }
+
+  /// Up to \p MaxStmts junk statements.
+  std::vector<Stmt> junkBlock(JunkPolicy Policy,
+                              std::vector<std::string> Exclude,
+                              unsigned MaxStmts) {
+    std::vector<Stmt> Out;
+    unsigned N = static_cast<unsigned>(R.below(MaxStmts + 1));
+    for (unsigned I = 0; I < N; ++I)
+      Out.push_back(junkStmt(Policy, Exclude));
+    return Out;
+  }
+
+  /// Splices junk around a sequence of skeleton statements.
+  void pad(std::vector<Stmt> &Out, JunkPolicy Policy, unsigned MaxStmts) {
+    for (Stmt &S : junkBlock(Policy, {}, MaxStmts))
+      Out.push_back(std::move(S));
+  }
+
+  //===-- Shared skeleton pieces --------------------------------------===//
+
+  /// The trailing idle loop every program ends with (final states
+  /// self-loop, the paper's totality convention made explicit).
+  Stmt idleLoop() {
+    std::vector<Stmt> Body;
+    if (R.chance(30) && !writable({}).empty())
+      Body.push_back(Stmt::assign(R.pick(JunkVars), junkTerm()));
+    else
+      Body.push_back(Stmt::skip());
+    return Stmt::mkWhile("true", std::move(Body));
+  }
+
+  /// Optional extra init conjuncts over junk variables.
+  std::string initExtras() {
+    std::string S;
+    if (R.chance(40))
+      S += " && " + R.pick(JunkVars) +
+           (R.chance(50) ? " >= " : " <= ") + std::to_string(R.between(-3, 6));
+    return S;
+  }
+
+  //===-- Families ----------------------------------------------------===//
+
+  // AF(p == T), holds. Every loop on every path terminates (the main
+  // counter strictly increases toward a constant bound, junk is
+  // must-terminate), after which p is set to the target for good.
+  GeneratedCase afReach(bool Escape) {
+    JunkPolicy MT; // must terminate
+    std::int64_t T = R.between(1, 4);
+    std::int64_t X0 = R.between(-3, 3);
+    std::int64_t N = X0 + R.between(1, 10);
+    std::int64_t Step = R.between(1, 3);
+
+    GenProgram P;
+    P.Init = "p == 0 && x == " + std::to_string(X0) + initExtras();
+    pad(P.Body, MT, 2);
+    std::vector<Stmt> LoopBody = junkBlock(MT, {"x"}, 1);
+    LoopBody.push_back(Stmt::assign("x", "x + " + std::to_string(Step)));
+    P.Body.push_back(
+        Stmt::mkWhile("x < " + std::to_string(N), std::move(LoopBody)));
+    pad(P.Body, MT, 1);
+    if (Escape) {
+      // One nondeterministic branch diverges before the flag is
+      // raised: AF fails, and {that loop} is a recurrent set
+      // witnessing the EG(p != T) disproof.
+      std::vector<Stmt> Stuck;
+      Stuck.push_back(Stmt::mkWhile("true", {Stmt::skip()}));
+      P.Body.push_back(Stmt::mkIf("*", std::move(Stuck)));
+    }
+    P.Body.push_back(Stmt::assign("p", std::to_string(T)));
+    P.Body.push_back(idleLoop());
+
+    GeneratedCase C;
+    C.Family = Escape ? "af-escape" : "af-reach";
+    C.Prog = std::move(P);
+    C.Property = "AF(p == " + std::to_string(T) + ")";
+    C.ExpectHolds = !Escape;
+    return C;
+  }
+
+  // AG over p, holds. p is only ever assigned values satisfying the
+  // invariant; junk may diverge (AG does not care), but never
+  // touches p.
+  GeneratedCase agSafe(bool Violate) {
+    JunkPolicy Any;
+    Any.MustTerminate = false;
+    std::int64_t V = R.between(0, 3);
+    bool Exact = R.chance(60); // AG(p == V) vs AG(p >= V)
+
+    GenProgram P;
+    P.Init = "p == " + std::to_string(V) + initExtras();
+    pad(P.Body, Any, 2);
+    if (R.chance(50)) {
+      // A benign reassignment that keeps the invariant.
+      std::int64_t W = Exact ? V : V + R.between(0, 3);
+      P.Body.push_back(Stmt::mkIf(
+          "*", {Stmt::assign("p", std::to_string(W))}, {Stmt::skip()}));
+    }
+    pad(P.Body, Any, 1);
+    if (Violate) {
+      std::int64_t Bad = Exact ? V + R.between(1, 3) : V - R.between(1, 3);
+      P.Body.push_back(Stmt::mkIf(
+          "*", {Stmt::assign("p", std::to_string(Bad))}, {Stmt::skip()}));
+    }
+    P.Body.push_back(idleLoop());
+
+    GeneratedCase C;
+    C.Family = Violate ? "ag-violate" : "ag-safe";
+    C.Prog = std::move(P);
+    C.Property = std::string("AG(p ") + (Exact ? "==" : ">=") + " " +
+                 std::to_string(V) + ")";
+    C.ExpectHolds = !Violate;
+    return C;
+  }
+
+  // EF(p == T). Positive: a reachable nondeterministic branch sets
+  // the target (all junk ahead of it is passable — deterministic
+  // junk loops terminate, nondet junk loops are exitable). Negative:
+  // p is never assigned anything but its initial value, so the
+  // invariant p == 0 refutes EF outright.
+  GeneratedCase efReach(bool Unreach) {
+    JunkPolicy Any;
+    Any.MustTerminate = false;
+    std::int64_t T = R.between(1, 4);
+
+    GenProgram P;
+    P.Init = "p == 0" + initExtras();
+    pad(P.Body, Any, 2);
+    if (Unreach) {
+      if (R.chance(50))
+        P.Body.push_back(Stmt::mkIf(
+            "*", {Stmt::assign("p", "0")}, {Stmt::skip()}));
+    } else {
+      P.Body.push_back(Stmt::mkIf(
+          "*", {Stmt::assign("p", std::to_string(T))}, {Stmt::skip()}));
+    }
+    pad(P.Body, Any, 1);
+    P.Body.push_back(idleLoop());
+
+    GeneratedCase C;
+    C.Family = Unreach ? "ef-unreach" : "ef-reach";
+    C.Prog = std::move(P);
+    C.Property = "EF(p == " + std::to_string(T) + ")";
+    C.ExpectHolds = !Unreach;
+    return C;
+  }
+
+  // EG(done == 0) — the non-termination pair. Positive: the loop
+  // carries a recurrent set by construction (x >= Bound is initially
+  // true and every update is a non-decreasing step, or an invariant
+  // sum x + y stays put), so no run ever reaches `done = 1`.
+  // Negative: the counter strictly decreases below the guard on
+  // every iteration and all junk terminates, so every path raises
+  // the flag — AF(done == 1) is the verifier's disproof.
+  GeneratedCase egLoop(bool Terminating) {
+    JunkPolicy MT;
+    GenProgram P;
+    std::string Prop = "EG(done == 0)";
+
+    if (Terminating) {
+      std::int64_t Step = R.between(1, 3);
+      P.Init = "done == 0 && x <= " + std::to_string(R.between(3, 12)) +
+               initExtras();
+      pad(P.Body, MT, 2);
+      std::vector<Stmt> Body = junkBlock(MT, {"x", "done"}, 1);
+      Body.push_back(Stmt::assign("x", "x - " + std::to_string(Step)));
+      P.Body.push_back(Stmt::mkWhile("x >= 1", std::move(Body)));
+      pad(P.Body, MT, 1);
+    } else if (R.chance(60)) {
+      // Recurrent set {x >= B}: x starts at or above B and only
+      // ever grows.
+      std::int64_t B = R.between(0, 3);
+      std::int64_t K = B + R.between(0, 4);
+      P.Init = "done == 0 && x >= " + std::to_string(K) + initExtras();
+      pad(P.Body, MT, 2);
+      std::vector<Stmt> Body = junkBlock(MT, {"x", "done"}, 1);
+      if (R.chance(40))
+        Body.push_back(Stmt::mkIf(
+            "*", {Stmt::assign("x", "x + " + std::to_string(R.between(1, 3)))},
+            {Stmt::assign("x", "x + " + std::to_string(R.between(1, 3)))}));
+      else
+        Body.push_back(
+            Stmt::assign("x", "x + " + std::to_string(R.between(1, 3))));
+      P.Body.push_back(
+          Stmt::mkWhile("x >= " + std::to_string(B), std::move(Body)));
+    } else {
+      // Recurrent set {x + y >= 0}: the transfer keeps the sum.
+      std::int64_t M = R.between(1, 3);
+      P.Init = "done == 0 && x >= 0 && y >= 0" + initExtras();
+      pad(P.Body, MT, 2);
+      std::vector<Stmt> Body;
+      Body.push_back(Stmt::assign("x", "x + " + std::to_string(M)));
+      Body.push_back(Stmt::assign("y", "y - " + std::to_string(M)));
+      P.Body.push_back(Stmt::mkWhile("x + y >= 0", std::move(Body)));
+    }
+    P.Body.push_back(Stmt::assign("done", "1"));
+    P.Body.push_back(idleLoop());
+
+    GeneratedCase C;
+    C.Family = Terminating ? "eg-term" : "eg-nonterm";
+    C.Prog = std::move(P);
+    C.Property = Prop;
+    C.ExpectHolds = !Terminating;
+    return C;
+  }
+
+  // AG(AF(p == T)). Positive: an infinite pulse loop whose body
+  // (junk included) terminates each iteration and re-raises the flag
+  // every time around. Negative: an oscillator whose else-branch can
+  // be chosen forever.
+  GeneratedCase agafPulse(bool Stuck) {
+    JunkPolicy MT;
+    std::int64_t T = R.between(1, 3);
+
+    GenProgram P;
+    P.Init = "p == 0" + initExtras();
+    pad(P.Body, MT, 1);
+    std::vector<Stmt> Body;
+    if (Stuck) {
+      Body.push_back(Stmt::mkIf(
+          "*", {Stmt::assign("p", std::to_string(T))},
+          {Stmt::assign("p", "0")}));
+      for (Stmt &S : junkBlock(MT, {"p"}, 1))
+        Body.push_back(std::move(S));
+    } else {
+      for (Stmt &S : junkBlock(MT, {"p"}, 1))
+        Body.push_back(std::move(S));
+      Body.push_back(Stmt::assign("p", std::to_string(T)));
+      for (Stmt &S : junkBlock(MT, {"p"}, 1))
+        Body.push_back(std::move(S));
+      Body.push_back(Stmt::assign("p", "0"));
+    }
+    P.Body.push_back(Stmt::mkWhile("true", std::move(Body)));
+
+    GeneratedCase C;
+    C.Family = Stuck ? "agaf-stuck" : "agaf-pulse";
+    C.Prog = std::move(P);
+    C.Property = "AG(AF(p == " + std::to_string(T) + "))";
+    C.ExpectHolds = !Stuck;
+    return C;
+  }
+
+  GeneratedCase build(const std::string &Family) {
+    if (Family == "af-reach")
+      return afReach(false);
+    if (Family == "af-escape")
+      return afReach(true);
+    if (Family == "ag-safe")
+      return agSafe(false);
+    if (Family == "ag-violate")
+      return agSafe(true);
+    if (Family == "ef-reach")
+      return efReach(false);
+    if (Family == "ef-unreach")
+      return efReach(true);
+    if (Family == "eg-nonterm")
+      return egLoop(false);
+    if (Family == "eg-term")
+      return egLoop(true);
+    if (Family == "agaf-pulse")
+      return agafPulse(false);
+    assert(Family == "agaf-stuck" && "unknown family");
+    return agafPulse(true);
+  }
+
+private:
+  JunkPolicy nested(JunkPolicy P) {
+    --P.Depth;
+    return P;
+  }
+
+  Rng R;
+};
+
+} // namespace
+
+const std::vector<std::string> &chute::gen::familyNames() {
+  static const std::vector<std::string> Names = {
+      "af-reach",   "af-escape", "ag-safe",    "ag-violate", "ef-reach",
+      "ef-unreach", "eg-nonterm", "eg-term",   "agaf-pulse", "agaf-stuck",
+  };
+  return Names;
+}
+
+GeneratedCase chute::gen::generateCase(std::uint64_t CaseSeed) {
+  Rng R(CaseSeed);
+  const std::vector<std::string> &Names = familyNames();
+  std::string Family = Names[R.below(Names.size())];
+  Builder B(R.fork());
+  GeneratedCase C = B.build(Family);
+  C.Seed = CaseSeed;
+  C.Source = C.Prog.render();
+  return C;
+}
+
+std::vector<GeneratedCase>
+chute::gen::generateSuite(std::uint64_t BaseSeed, unsigned Count,
+                          const std::vector<std::string> &Families) {
+  std::vector<GeneratedCase> Out;
+  Out.reserve(Count);
+  for (std::uint64_t Index = 0; Out.size() < Count; ++Index) {
+    GeneratedCase C = generateCase(caseSeed(BaseSeed, Index));
+    if (!Families.empty() &&
+        std::find(Families.begin(), Families.end(), C.Family) ==
+            Families.end())
+      continue;
+    C.Index = static_cast<unsigned>(Out.size());
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}

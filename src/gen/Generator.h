@@ -1,0 +1,85 @@
+//===- gen/Generator.h - Ground-truth workload generator ------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic generation of nondeterministic arithmetic
+/// programs together with CTL properties whose expected verdict is
+/// known **by construction** — the scale workload ROADMAP item 5
+/// calls for, and the oracle the differential fuzz gate compares
+/// every engine configuration against.
+///
+/// Programs are composed from family skeletons with proven outcomes,
+/// then padded with verdict-neutral "junk": statements over a
+/// dedicated junk-variable pool that never touch the observable
+/// variables and whose loops carry an explicit termination argument
+/// (a strictly decreasing counter with no other writers), or — where
+/// a family tolerates nontermination — exitable nondeterministic
+/// loops. Ten families form five positive/negative pairs:
+///
+///   af-reach / af-escape     AF(p == T): every path reaches the
+///     flag through terminating loops, vs. a nondet branch into a
+///     stuck loop that never sets it.
+///   ag-safe / ag-violate     AG-invariant on p, vs. a reachable
+///     nondet branch that breaks it.
+///   ef-reach / ef-unreach    EF(p == T): a reachable nondet branch
+///     sets the target, vs. a program that never assigns it.
+///   eg-nonterm / eg-term     EG(done == 0), the non-termination
+///     family: a loop with a recurrent set by construction (a
+///     counter that never decreases below its guard, or an invariant
+///     sum) keeps the exit flag clear forever, vs. a provably
+///     terminating loop (strict decrease, bounded guard) after which
+///     every path raises the flag. This is the loop-suite shape of
+///     the program-reversal non-termination literature (PAPERS.md).
+///   agaf-pulse / agaf-stuck  AG(AF(p == T)): a pulse loop that
+///     re-raises the flag every iteration, vs. an oscillator that
+///     can stay low forever.
+///
+/// Determinism contract (pinned by GeneratorTest): the same case
+/// seed yields byte-identical source and property on every platform
+/// and in every process; case K of a suite depends only on the base
+/// seed and K, not on the suite size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_GEN_GENERATOR_H
+#define CHUTE_GEN_GENERATOR_H
+
+#include "gen/Ast.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chute::gen {
+
+/// One generated program/property pair with its ground truth.
+struct GeneratedCase {
+  std::uint64_t Seed = 0;   ///< per-case seed (replays this case)
+  unsigned Index = 0;       ///< position in the generating suite
+  std::string Family;       ///< family name, e.g. "eg-nonterm"
+  GenProgram Prog;          ///< statement tree (shrinker substrate)
+  std::string Source;       ///< rendered toy-language source
+  std::string Property;     ///< CTL property text
+  bool ExpectHolds = true;  ///< ground truth, by construction
+};
+
+/// All family names, in generation order.
+const std::vector<std::string> &familyNames();
+
+/// Generates the case for \p CaseSeed; the family is drawn from the
+/// seed itself, so a seed fully identifies a case.
+GeneratedCase generateCase(std::uint64_t CaseSeed);
+
+/// Generates \p Count cases from \p BaseSeed (case K's seed is
+/// caseSeed(BaseSeed, K)). When \p Families is non-empty, only
+/// matching families are kept (seeds are advanced until one fits, so
+/// filtering stays deterministic).
+std::vector<GeneratedCase>
+generateSuite(std::uint64_t BaseSeed, unsigned Count,
+              const std::vector<std::string> &Families = {});
+
+} // namespace chute::gen
+
+#endif // CHUTE_GEN_GENERATOR_H

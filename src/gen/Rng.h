@@ -1,0 +1,82 @@
+//===- gen/Rng.h - Deterministic generator randomness ---------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64 stream with the derivation helpers the workload
+/// generator needs. The standard library's engines are portable but
+/// its distributions are not (libstdc++ and libc++ draw differently),
+/// and the fuzz gate's whole premise is that a seed printed on one
+/// machine replays byte-identically on another — so the generator
+/// rolls its own draws on top of a fixed-algorithm stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_GEN_RNG_H
+#define CHUTE_GEN_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace chute::gen {
+
+/// Deterministic random stream (splitmix64).
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw from [0, N). N must be nonzero. The modulo bias is
+  /// irrelevant at fuzzing sample sizes and keeps the draw portable.
+  std::uint64_t below(std::uint64_t N) {
+    assert(N > 0 && "empty range");
+    return next() % N;
+  }
+
+  /// Uniform draw from [Lo, Hi] inclusive.
+  std::int64_t between(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+  /// Uniform pick from a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &Xs) {
+    assert(!Xs.empty() && "pick from empty vector");
+    return Xs[static_cast<std::size_t>(below(Xs.size()))];
+  }
+
+  /// Derives an independent child stream; mixing the parent draw
+  /// through splitmix keeps siblings decorrelated.
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+private:
+  std::uint64_t State;
+};
+
+/// Mixes a base seed with a case index into a per-case seed, so a
+/// suite's case K is the same program whether the suite was generated
+/// with --count K+1 or --count 10000 (nightly runs rotate the base
+/// seed, replay pins the case seed).
+inline std::uint64_t caseSeed(std::uint64_t Base, std::uint64_t Index) {
+  Rng R(Base ^ (0x9e3779b97f4a7c15ull * (Index + 1)));
+  return R.next();
+}
+
+} // namespace chute::gen
+
+#endif // CHUTE_GEN_RNG_H

@@ -1,0 +1,39 @@
+//===- gen/Shrink.cpp - Greedy reproducer minimisation --------------------===//
+
+#include "gen/Shrink.h"
+
+using namespace chute::gen;
+
+GenProgram chute::gen::shrink(
+    const GenProgram &P,
+    const std::function<bool(const GenProgram &)> &StillFails,
+    std::size_t MaxAttempts, ShrinkStats *Stats) {
+  ShrinkStats Local;
+  Local.InitialStmts = P.size();
+  GenProgram Cur = P;
+  // Fixpoint over greedy passes: each pass re-enumerates edits on the
+  // current program (edit paths are invalidated by any accepted edit)
+  // and restarts after the first acceptance. enumerateEdits orders
+  // outermost-first, so whole loops and branches vanish before we
+  // bother nibbling at their bodies.
+  bool Progress = true;
+  while (Progress && Local.Attempts < MaxAttempts) {
+    Progress = false;
+    for (const ShrinkEdit &E : enumerateEdits(Cur)) {
+      if (Local.Attempts >= MaxAttempts)
+        break;
+      GenProgram Candidate = applyEdit(Cur, E);
+      ++Local.Attempts;
+      if (StillFails(Candidate)) {
+        Cur = std::move(Candidate);
+        ++Local.Accepted;
+        Progress = true;
+        break;
+      }
+    }
+  }
+  Local.FinalStmts = Cur.size();
+  if (Stats)
+    *Stats = Local;
+  return Cur;
+}

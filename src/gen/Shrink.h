@@ -1,0 +1,52 @@
+//===- gen/Shrink.h - Greedy reproducer minimisation ----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural shrinking for failing fuzz cases: repeatedly
+/// try every edit (delete a statement, splice a loop/branch body
+/// into its place, drop an arm or the init clause) and keep any
+/// edit after which the caller's predicate still observes the
+/// failure, until no edit survives. The result is a local minimum —
+/// removing any single remaining statement makes the mismatch
+/// disappear — which is what a human wants to open first.
+///
+/// The predicate decides what "still fails" means (same wrong
+/// verdict, same cross-config disagreement, ...); the shrinker only
+/// guarantees it re-validates after every accepted edit and never
+/// returns a program the predicate rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_GEN_SHRINK_H
+#define CHUTE_GEN_SHRINK_H
+
+#include "gen/Ast.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace chute::gen {
+
+struct ShrinkStats {
+  std::size_t Attempts = 0; ///< predicate evaluations
+  std::size_t Accepted = 0; ///< edits that kept the failure
+  std::size_t InitialStmts = 0;
+  std::size_t FinalStmts = 0;
+};
+
+/// Minimises \p P under \p StillFails (which must be true for \p P
+/// itself; the shrinker asserts nothing and simply returns \p P when
+/// it is not). \p MaxAttempts bounds predicate evaluations — each
+/// one typically re-runs the verifier — so pathological cases cannot
+/// wedge the gate.
+GenProgram shrink(const GenProgram &P,
+                  const std::function<bool(const GenProgram &)> &StillFails,
+                  std::size_t MaxAttempts = 400,
+                  ShrinkStats *Stats = nullptr);
+
+} // namespace chute::gen
+
+#endif // CHUTE_GEN_SHRINK_H

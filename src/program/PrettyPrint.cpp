@@ -4,7 +4,241 @@
 
 #include "support/StringExtras.h"
 
+#include <set>
+
 using namespace chute;
+
+namespace {
+
+/// Reconstructs structured source from a parser-image CFG. The
+/// parser's output obeys three structural invariants this walk
+/// relies on: location ids increase in syntactic order, a branch's
+/// then/body edge is registered before its else/exit edge, and every
+/// nondeterministic choice is a Havoc of a "$nd."-prefixed variable
+/// followed by its guard pair. Src > Dst edges are loop back edges
+/// with one exception: the guard pair out of a choice's Mid location
+/// points backwards, because the parser allocates Mid after the
+/// branch-target locations.
+class SourceBuilder {
+public:
+  explicit SourceBuilder(const Program &P) : P(P) {
+    for (const Edge &E : P.edges())
+      if (isChoiceVar(E.Cmd))
+        Mids.insert(E.Dst);
+    for (const Edge &E : P.edges())
+      if (E.Src > E.Dst && !Mids.count(E.Src))
+        LoopHeads.insert(E.Dst);
+  }
+
+  std::optional<std::string> run() {
+    if (!P.init()->isTrue())
+      Out += "init(" + P.init()->toString() + ");\n";
+    emitSeq(P.entry(), std::nullopt, 0);
+    if (Failed)
+      return std::nullopt;
+    return Out;
+  }
+
+private:
+  static bool isChoiceVar(const Command &Cmd) {
+    return Cmd.isHavoc() && Cmd.var()->varName().rfind("$nd.", 0) == 0;
+  }
+
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+  /// Locations reachable from \p From without taking back edges or
+  /// self-loops; in structured code every statement's exit is
+  /// forward-reachable from its entry, so this is enough to find
+  /// joins without being confused by enclosing loops. Guard edges
+  /// out of a Mid location count as forward even though Mid's id is
+  /// larger than its targets'.
+  std::set<Loc> forwardReach(Loc From) const {
+    std::set<Loc> Seen{From};
+    std::vector<Loc> Work{From};
+    while (!Work.empty()) {
+      Loc L = Work.back();
+      Work.pop_back();
+      for (unsigned Id : P.outgoing(L)) {
+        const Edge &E = P.edge(Id);
+        bool Forward = E.Dst > E.Src || (Mids.count(E.Src) && E.Dst != E.Src);
+        if (Forward && Seen.insert(E.Dst).second)
+          Work.push_back(E.Dst);
+      }
+    }
+    return Seen;
+  }
+
+  /// The join of a branch at \p BranchPoint with arms entered at
+  /// \p Then / \p Else: the syntactically earliest location past the
+  /// branch point that both arms flow into.
+  std::optional<Loc> joinOf(Loc BranchPoint, Loc Then, Loc Else) const {
+    std::set<Loc> A = forwardReach(Then);
+    std::set<Loc> B = forwardReach(Else);
+    for (Loc L : A)
+      if (L > BranchPoint && B.count(L))
+        return L;
+    return std::nullopt;
+  }
+
+  void indent(unsigned Depth) { Out.append(2 * Depth, ' '); }
+
+  /// Emits one branch ("if" at a non-loop location, "while" at a
+  /// loop head). \p First/\p Second are the guard edges in
+  /// registration order; \p Cond is the printed condition.
+  void emitIf(const std::string &Cond, Loc BranchPoint, Loc Then, Loc Else,
+              unsigned Depth) {
+    std::optional<Loc> Join = joinOf(BranchPoint, Then, Else);
+    if (!Join) {
+      fail();
+      return;
+    }
+    indent(Depth);
+    Out += "if (" + Cond + ") {\n";
+    emitSeq(Then, *Join, Depth + 1);
+    indent(Depth);
+    Out += "} else {\n";
+    emitSeq(Else, *Join, Depth + 1);
+    indent(Depth);
+    Out += "}\n";
+    Cursor = *Join;
+  }
+
+  void emitWhile(const std::string &Cond, Loc Head, Loc Body, Loc Exit,
+                 unsigned Depth) {
+    indent(Depth);
+    Out += "while (" + Cond + ") {\n";
+    emitSeq(Body, Head, Depth + 1);
+    indent(Depth);
+    Out += "}\n";
+    Cursor = Exit;
+  }
+
+  /// Resolves the two-guard fan-out at \p L, which is either the
+  /// branch location itself (deterministic condition) or the Mid
+  /// location after a "$nd." havoc (printed as '*').
+  bool guardPair(Loc L, const Edge *&FirstE, const Edge *&SecondE) {
+    const std::vector<unsigned> &Ids = P.outgoing(L);
+    if (Ids.size() != 2)
+      return fail();
+    FirstE = &P.edge(Ids[0]);
+    SecondE = &P.edge(Ids[1]);
+    if (!FirstE->Cmd.isAssume() || !SecondE->Cmd.isAssume())
+      return fail();
+    return true;
+  }
+
+  /// Emits statements from \p From until \p Stop (exclusive); no
+  /// Stop means "until the totality self-loop".
+  void emitSeq(Loc From, std::optional<Loc> Stop, unsigned Depth) {
+    Cursor = From;
+    // Each iteration either consumes at least one edge or stops, so
+    // edges() bounds the walk; the guard catches malformed graphs.
+    for (std::size_t Steps = 0; Steps <= 2 * P.edges().size() + 2; ++Steps) {
+      if (Failed || (Stop && Cursor == *Stop))
+        return;
+      Loc L = Cursor;
+      const std::vector<unsigned> &Ids = P.outgoing(L);
+      if (Ids.empty()) {
+        // Only possible before ensureTotal; treat as program end.
+        return;
+      }
+
+      if (LoopHeads.count(L)) {
+        const Edge *First, *Second;
+        if (Ids.size() == 1 && isChoiceVar(P.edge(Ids[0]).Cmd)) {
+          Loc Mid = P.edge(Ids[0]).Dst;
+          if (!guardPair(Mid, First, Second))
+            return;
+          emitWhile("*", L, First->Dst, Second->Dst, Depth);
+        } else {
+          if (!guardPair(L, First, Second))
+            return;
+          emitWhile(First->Cmd.cond()->toString(), L, First->Dst,
+                    Second->Dst, Depth);
+        }
+        continue;
+      }
+
+      if (Ids.size() == 2) {
+        const Edge *First, *Second;
+        if (!guardPair(L, First, Second))
+          return;
+        emitIf(First->Cmd.cond()->toString(), L, First->Dst, Second->Dst,
+               Depth);
+        continue;
+      }
+
+      if (Ids.size() != 1) {
+        fail();
+        return;
+      }
+      const Edge &E = P.edge(Ids[0]);
+
+      if (isChoiceVar(E.Cmd)) {
+        const Edge *First, *Second;
+        if (!guardPair(E.Dst, First, Second))
+          return;
+        emitIf("*", E.Dst, First->Dst, Second->Dst, Depth);
+        continue;
+      }
+
+      if (E.Dst == E.Src) {
+        // Totality self-loop: the program (or an unreachable loop
+        // exit) ends here. Inside a block this shape never occurs.
+        if (E.Cmd.isAssume() && E.Cmd.cond()->isTrue() && !Stop)
+          return;
+        fail();
+        return;
+      }
+
+      if (Stop && E.Dst == *Stop && E.Cmd.isAssume() &&
+          E.Cmd.cond()->isTrue()) {
+        // Join edge or loop back edge: structural connector, not a
+        // skip (a source-level skip always introduces an extra
+        // location before the connector).
+        Cursor = E.Dst;
+        continue;
+      }
+
+      switch (E.Cmd.kind()) {
+      case Command::Kind::Assign:
+        indent(Depth);
+        Out += E.Cmd.var()->varName() + " = " + E.Cmd.rhs()->toString() +
+               ";\n";
+        break;
+      case Command::Kind::Havoc:
+        indent(Depth);
+        Out += E.Cmd.var()->varName() + " = *;\n";
+        break;
+      case Command::Kind::Assume:
+        indent(Depth);
+        if (E.Cmd.cond()->isTrue())
+          Out += "skip;\n";
+        else
+          Out += "assume(" + E.Cmd.cond()->toString() + ");\n";
+        break;
+      }
+      Cursor = E.Dst;
+    }
+    fail();
+  }
+
+  const Program &P;
+  std::set<Loc> Mids;
+  std::set<Loc> LoopHeads;
+  std::string Out;
+  Loc Cursor = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<std::string> chute::toSource(const Program &P) {
+  return SourceBuilder(P).run();
+}
 
 std::string chute::toDot(const Program &P) {
   std::string S = "digraph program {\n";

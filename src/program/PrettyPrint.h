@@ -15,10 +15,25 @@
 
 #include "program/Cfg.h"
 
+#include <optional>
+#include <string>
+
 namespace chute {
 
 /// Renders \p P as a Graphviz dot digraph.
 std::string toDot(const Program &P);
+
+/// Reconstructs toy-language source for a CFG in the image of
+/// program/Parser — the structured while/if/statement shapes the
+/// parser emits, including the `$nd.K` havoc-plus-guard encoding of
+/// nondeterministic branches and the assume(true) connector edges of
+/// joins, back edges and totality self-loops. parseProgram() on the
+/// result yields a structurally identical CFG (same location count,
+/// same edges up to location names) when parsed in the same
+/// ExprContext; GeneratorTest pins that round trip over the whole
+/// benchmark corpus and the fuzz generator's output. Returns nullopt
+/// for CFGs built by hand in shapes the parser never produces.
+std::optional<std::string> toSource(const Program &P);
 
 /// Renders a sequence of edge ids of \p P as "loc --cmd--> loc" lines.
 std::string renderPath(const Program &P, const std::vector<unsigned> &Path);

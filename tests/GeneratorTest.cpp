@@ -1,0 +1,264 @@
+//===- tests/GeneratorTest.cpp - Workload generator tests -------------------===//
+//
+// Pins for the fuzz pipeline: generation must be deterministic (a CI
+// failure's seed must replay byte-identically anywhere), generated
+// source must round-trip through PrettyPrint/Parser without changing
+// the CFG (so reproducer artifacts are faithful), and the shrinker
+// must reach a local minimum under a pure predicate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+#include "gen/Rng.h"
+#include "gen/Shrink.h"
+
+#include "core/Verifier.h"
+#include "corpus/Corpus.h"
+#include "ctl/CtlParser.h"
+#include "program/Parser.h"
+#include "program/PrettyPrint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace chute;
+using namespace chute::gen;
+
+namespace {
+
+// Fixed base seed for every deterministic pin in this file; the CI
+// fuzz gate uses its own (also fixed) seed.
+constexpr std::uint64_t PinSeed = 0x5eed0001u;
+
+std::unique_ptr<Program> parseOrDie(ExprContext &Ctx,
+                                    const std::string &Src) {
+  std::string Err;
+  auto P = parseProgram(Ctx, Src, Err);
+  EXPECT_TRUE(P) << "parse failed: " << Err << "\n" << Src;
+  return P;
+}
+
+/// Structural CFG identity within one ExprContext: same shape, same
+/// commands (hash-consing makes ExprRef comparison structural).
+void expectSameCfg(const Program &A, const Program &B,
+                   const std::string &Tag) {
+  ASSERT_EQ(A.numLocations(), B.numLocations()) << Tag;
+  EXPECT_EQ(A.entry(), B.entry()) << Tag;
+  EXPECT_EQ(A.init(), B.init()) << Tag;
+  ASSERT_EQ(A.edges().size(), B.edges().size()) << Tag;
+  for (std::size_t I = 0; I < A.edges().size(); ++I) {
+    const Edge &EA = A.edges()[I];
+    const Edge &EB = B.edges()[I];
+    EXPECT_EQ(EA.Src, EB.Src) << Tag << " edge " << I;
+    EXPECT_EQ(EA.Dst, EB.Dst) << Tag << " edge " << I;
+    EXPECT_TRUE(EA.Cmd == EB.Cmd)
+        << Tag << " edge " << I << ": " << EA.Cmd.toString() << " vs "
+        << EB.Cmd.toString();
+  }
+  EXPECT_EQ(A.variables(), B.variables()) << Tag;
+}
+
+/// Parses a case's source, reconstructs source from the CFG, reparses
+/// and checks both CFGs are structurally identical.
+void expectRoundTrip(const std::string &Src, const std::string &Tag) {
+  ExprContext Ctx;
+  auto P1 = parseOrDie(Ctx, Src);
+  ASSERT_TRUE(P1) << Tag;
+  std::optional<std::string> Re = toSource(*P1);
+  ASSERT_TRUE(Re) << Tag << ": toSource failed for\n" << Src;
+  auto P2 = parseOrDie(Ctx, *Re);
+  ASSERT_TRUE(P2) << Tag << ": reconstructed source does not parse:\n"
+                  << *Re;
+  expectSameCfg(*P1, *P2, Tag);
+  // And the reconstruction is a fixpoint: printing the reparsed CFG
+  // yields the same text.
+  std::optional<std::string> Re2 = toSource(*P2);
+  ASSERT_TRUE(Re2) << Tag;
+  EXPECT_EQ(*Re, *Re2) << Tag;
+}
+
+TEST(GeneratorRngTest, SplitmixIsPinned) {
+  // Reference values for splitmix64 from seed 0 — pins the exact
+  // stream so suites replay across platforms and compilers.
+  Rng R(0);
+  EXPECT_EQ(R.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(R.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(R.next(), 0x06c45d188009454full);
+}
+
+TEST(GeneratorRngTest, CaseSeedIndependentOfSuiteSize) {
+  EXPECT_NE(caseSeed(PinSeed, 0), caseSeed(PinSeed, 1));
+  EXPECT_NE(caseSeed(PinSeed, 0), caseSeed(PinSeed + 1, 0));
+  // caseSeed is a pure function of (base, index).
+  EXPECT_EQ(caseSeed(PinSeed, 7), caseSeed(PinSeed, 7));
+}
+
+TEST(GeneratorTest, SameSeedIsByteIdentical) {
+  for (unsigned I = 0; I < 32; ++I) {
+    std::uint64_t S = caseSeed(PinSeed, I);
+    GeneratedCase A = generateCase(S);
+    GeneratedCase B = generateCase(S);
+    EXPECT_EQ(A.Family, B.Family);
+    EXPECT_EQ(A.Source, B.Source);
+    EXPECT_EQ(A.Property, B.Property);
+    EXPECT_EQ(A.ExpectHolds, B.ExpectHolds);
+    EXPECT_EQ(A.Source, A.Prog.render());
+  }
+}
+
+TEST(GeneratorTest, SuiteIsDeterministicAndPrefixStable) {
+  std::vector<GeneratedCase> Long = generateSuite(PinSeed, 24);
+  std::vector<GeneratedCase> Again = generateSuite(PinSeed, 24);
+  std::vector<GeneratedCase> Short = generateSuite(PinSeed, 9);
+  ASSERT_EQ(Long.size(), 24u);
+  ASSERT_EQ(Short.size(), 9u);
+  for (unsigned I = 0; I < Long.size(); ++I) {
+    EXPECT_EQ(Long[I].Source, Again[I].Source) << I;
+    EXPECT_EQ(Long[I].Property, Again[I].Property) << I;
+  }
+  // Case K depends only on (base seed, K), never on the suite size.
+  for (unsigned I = 0; I < Short.size(); ++I) {
+    EXPECT_EQ(Long[I].Seed, Short[I].Seed) << I;
+    EXPECT_EQ(Long[I].Source, Short[I].Source) << I;
+  }
+}
+
+TEST(GeneratorTest, FamilyFilterRestrictsAndStaysDeterministic) {
+  std::vector<std::string> Want = {"eg-nonterm", "eg-term"};
+  std::vector<GeneratedCase> Suite = generateSuite(PinSeed, 12, Want);
+  ASSERT_EQ(Suite.size(), 12u);
+  for (const GeneratedCase &C : Suite)
+    EXPECT_TRUE(C.Family == Want[0] || C.Family == Want[1]) << C.Family;
+  std::vector<GeneratedCase> Again = generateSuite(PinSeed, 12, Want);
+  for (unsigned I = 0; I < Suite.size(); ++I)
+    EXPECT_EQ(Suite[I].Source, Again[I].Source) << I;
+}
+
+TEST(GeneratorTest, EveryFamilyAppears) {
+  std::set<std::string> Seen;
+  for (const GeneratedCase &C : generateSuite(PinSeed, 200))
+    Seen.insert(C.Family);
+  for (const std::string &F : familyNames())
+    EXPECT_TRUE(Seen.count(F)) << "family never generated: " << F;
+}
+
+TEST(GeneratorTest, GeneratedSourceParsesAndPropertyIsWellFormed) {
+  for (const GeneratedCase &C : generateSuite(PinSeed, 64)) {
+    ExprContext Ctx;
+    std::string Err;
+    auto P = parseProgram(Ctx, C.Source, Err);
+    ASSERT_TRUE(P) << C.Family << " seed " << C.Seed << ": " << Err
+                   << "\n" << C.Source;
+    CtlManager M(Ctx);
+    CtlRef F = parseCtlString(M, C.Property, Err);
+    ASSERT_TRUE(F) << C.Family << ": bad property " << C.Property
+                   << ": " << Err;
+  }
+}
+
+TEST(GeneratorTest, RoundTripGeneratedPrograms) {
+  for (const GeneratedCase &C : generateSuite(PinSeed, 64))
+    expectRoundTrip(C.Source,
+                    C.Family + "/" + std::to_string(C.Seed));
+}
+
+TEST(GeneratorTest, RoundTripBenchmarkCorpus) {
+  std::vector<corpus::BenchRow> Rows = corpus::fig6Rows();
+  std::vector<corpus::BenchRow> Fig7 = corpus::fig7Rows();
+  Rows.insert(Rows.end(), Fig7.begin(), Fig7.end());
+  ASSERT_FALSE(Rows.empty());
+  for (const corpus::BenchRow &R : Rows)
+    expectRoundTrip(R.Program, "row " + std::to_string(R.Id));
+}
+
+TEST(ShrinkTest, ReachesLocalMinimumUnderPurePredicate) {
+  // A program with one load-bearing statement buried in junk: the
+  // shrinker must strip everything else under the pure predicate
+  // "renders to text containing the marker assignment".
+  GenProgram P;
+  P.Init = "x == 0";
+  P.Body.push_back(Stmt::assign("j0", "1"));
+  P.Body.push_back(Stmt::mkWhile(
+      "x < 3", {Stmt::assign("j1", "j0 + 2"), Stmt::assign("x", "x + 1")}));
+  P.Body.push_back(Stmt::mkIf(
+      "*",
+      {Stmt::skip(),
+       Stmt::mkIf("j0 > 0", {Stmt::assign("marker", "7")},
+                  {Stmt::havoc("j2")})},
+      {Stmt::assign("j2", "5")}));
+  P.Body.push_back(Stmt::skip());
+
+  auto StillFails = [](const GenProgram &Q) {
+    return Q.render().find("marker = 7;") != std::string::npos;
+  };
+  ASSERT_TRUE(StillFails(P));
+
+  ShrinkStats Stats;
+  GenProgram Min = shrink(P, StillFails, 400, &Stats);
+  EXPECT_TRUE(StillFails(Min));
+  EXPECT_EQ(Min.render(), "marker = 7;\n");
+  EXPECT_TRUE(Min.Init.empty());
+  EXPECT_EQ(Stats.FinalStmts, 1u);
+  EXPECT_GT(Stats.Accepted, 0u);
+  EXPECT_LE(Stats.FinalStmts, Stats.InitialStmts);
+}
+
+TEST(ShrinkTest, ReturnsInputWhenNothingCanGo) {
+  GenProgram P;
+  P.Body.push_back(Stmt::assign("marker", "7"));
+  auto StillFails = [](const GenProgram &Q) {
+    return Q.render().find("marker = 7;") != std::string::npos;
+  };
+  GenProgram Min = shrink(P, StillFails);
+  EXPECT_EQ(Min.render(), P.render());
+}
+
+TEST(ShrinkTest, ShrunkProgramsStillParse) {
+  // Every intermediate candidate the shrinker accepts must stay a
+  // valid program; spot-check by shrinking generated cases under a
+  // parse-validity predicate combined with a textual marker.
+  for (const GeneratedCase &C : generateSuite(PinSeed + 17, 8)) {
+    auto StillFails = [](const GenProgram &Q) {
+      ExprContext Ctx;
+      std::string Err;
+      return parseProgram(Ctx, Q.render(), Err) != nullptr;
+    };
+    GenProgram Min = shrink(C.Prog, StillFails, 200);
+    ExprContext Ctx;
+    std::string Err;
+    EXPECT_TRUE(parseProgram(Ctx, Min.render(), Err))
+        << C.Family << ": " << Err << "\n" << Min.render();
+  }
+}
+
+TEST(GeneratorTest, GroundTruthSmoke) {
+  // A budgeted end-to-end sanity pass: definite verdicts must agree
+  // with the constructed ground truth (Unknown is tolerated — the
+  // budget is tight). The CI fuzz gate runs the full version of this
+  // across configurations; this pin keeps the generator honest in
+  // plain ctest runs.
+  unsigned Definite = 0;
+  for (const GeneratedCase &C : generateSuite(PinSeed + 42, 10)) {
+    ExprContext Ctx;
+    auto P = parseOrDie(Ctx, C.Source);
+    ASSERT_TRUE(P);
+    VerifierOptions Opts;
+    Opts.BudgetMs = 5000;
+    Verifier V(*P, Opts);
+    std::string Err;
+    VerifyResult R = V.verify(C.Property, Err);
+    if (R.V == Verdict::Unknown)
+      continue;
+    ++Definite;
+    EXPECT_EQ(R.V == Verdict::Proved, C.ExpectHolds)
+        << C.Family << " seed " << C.Seed << " property " << C.Property
+        << "\n" << C.Source;
+  }
+  // The budget is generous for these sizes; if everything degrades
+  // to Unknown the generator (or the prover) has regressed.
+  EXPECT_GT(Definite, 0u);
+}
+
+} // namespace

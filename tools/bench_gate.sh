@@ -14,6 +14,8 @@
 #   CHUTE_GATE_JOBS      worker threads per row (default 2)
 #   CHUTE_BENCH_BASELINE baseline JSON-lines file
 #                        (default BENCH_parallel.json)
+#   CHUTE_GATE_ARTIFACTS directory to keep the run's JSON and Chrome
+#                        traces in when the gate fails (CI uploads it)
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -29,13 +31,31 @@ BENCH="$BUILD"/bench/bench_fig6_small
 [ -r "$BASELINE" ] || { echo "bench_gate: no baseline $BASELINE" >&2; exit 2; }
 
 OUT=$(mktemp)
-trap 'rm -f "$OUT" "$OUT.new" "$OUT.base"' EXIT
+ART=${CHUTE_GATE_ARTIFACTS:-}
+cleanup() {
+  RC=$?
+  if [ "$RC" -ne 0 ] && [ -n "$ART" ]; then
+    mkdir -p "$ART/bench_gate"
+    cp "$OUT" "$ART/bench_gate/run.json" 2>/dev/null || true
+    for T in "$OUT.trace"*; do
+      [ -f "$T" ] &&
+        cp "$T" "$ART/bench_gate/trace${T#"$OUT.trace"}.json" || true
+    done
+  fi
+  rm -f "$OUT" "$OUT.new" "$OUT.base" "$OUT.trace"*
+}
+trap cleanup EXIT
+
+# When CI wants failure artifacts, also record per-row Chrome traces
+# (the harness appends ".row<id>" per row).
+TRACE_ARGS=()
+[ -n "$ART" ] && TRACE_ARGS=(--trace-out "$OUT.trace")
 
 # The bench binary exits nonzero on paper-expectation mismatches;
 # the gate's own criterion is drift against the baseline, so run it
 # for its JSON and judge below.
 "$BENCH" --rows "$ROWS" --timeout "$TIMEOUT" --jobs "$JOBS" \
-  --json "$OUT" || true
+  --json "$OUT" ${TRACE_ARGS[@]+"${TRACE_ARGS[@]}"} || true
 
 # "id status" pairs for the Figure 6 table, sorted by id. Each field
 # is located independently so the extraction does not depend on the

@@ -19,6 +19,8 @@
 #   CHUTE_GATE_ROWS      row range to run (default 1-12)
 #   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
 #   CHUTE_GATE_JOBS      worker threads per row (default 2)
+#   CHUTE_GATE_ARTIFACTS directory to keep the runs' JSON and daemon
+#                        logs in when the gate fails (CI uploads it)
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -38,10 +40,20 @@ done
 OUT=$(mktemp)
 CACHE=$(mktemp -d)
 CCACHE=$(mktemp -d)
+ART=${CHUTE_GATE_ARTIFACTS:-}
 DAEMON_PID=""
 cleanup() {
+  RC=$?
   [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
   wait 2>/dev/null || true
+  if [ "$RC" -ne 0 ] && [ -n "$ART" ]; then
+    mkdir -p "$ART/cache_gate"
+    for F in "$OUT.cold" "$OUT.warm" "$OUT.conc"; do
+      [ -f "$F" ] && cp "$F" "$ART/cache_gate/$(basename "${F##*.}").json" \
+        2>/dev/null || true
+    done
+    cp "$CCACHE/chuted.log" "$ART/cache_gate/" 2>/dev/null || true
+  fi
   rm -f "$OUT".* "$OUT"
   rm -rf "$CACHE" "$CCACHE"
 }

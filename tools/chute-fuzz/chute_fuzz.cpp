@@ -1,0 +1,564 @@
+//===- tools/chute-fuzz/chute_fuzz.cpp - Differential fuzz driver ------------===//
+//
+// Generates ground-truth workloads (src/gen) and runs every case
+// through a matrix of engine configurations, failing on any definite
+// verdict that contradicts the constructed ground truth and on any
+// disagreement between configurations. Failures are shrunk to a
+// minimal reproducer (greedy statement deletion while the failure
+// signature persists) and written to an artifacts directory, so a CI
+// failure arrives as a few-line program instead of a seed.
+//
+// Usage:
+//   chute-fuzz [--seed S] [--count N] [--families a,b,...]
+//              [--configs seq,par,...] [--timeout SEC] [--jobs N]
+//              [--daemon ENDPOINT] [--artifacts DIR] [--json PATH]
+//              [--replay CASESEED] [--strict-unknown]
+//              [--inject-fault CONFIG=N] [--shrink-attempts N]
+//              [--list-families]
+//
+// Configurations (default "seq,par,noinc,cold,warm"; "daemon" joins
+// when --daemon is given):
+//   seq    jobs=1, incremental sessions on (the baseline oracle)
+//   par    jobs=N (--jobs, default 4)
+//   noinc  jobs=1 with CHUTE_INCREMENTAL=0
+//   cold   jobs=1 through a fresh disk cache
+//   warm   jobs=1 re-using the cold run's disk cache
+//   daemon the live chuted at --daemon ENDPOINT
+//
+// A mismatch (definite verdict vs. ground truth), a cross-config
+// disagreement (two definite verdicts that differ), or a crash fails
+// the run with exit code 4. --strict-unknown additionally treats
+// definite-vs-Unknown as a disagreement — combined with
+// --inject-fault CONFIG=N (which sets CHUTE_SMT_FAULT_EVERY for that
+// configuration's children only) it gives CI a deterministic way to
+// watch the shrinker produce a reproducer artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "daemon/Client.h"
+#include "gen/Generator.h"
+#include "gen/Shrink.h"
+#include "support/FileUtil.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace chute;
+
+namespace {
+
+// ---------------------------------------------------------------- options --
+
+struct FuzzOptions {
+  std::uint64_t Seed = 0xc407e0001ull; ///< "chute" leet-ish; CI pins it
+  unsigned Count = 200;
+  std::vector<std::string> Families;
+  std::vector<std::string> Configs = {"seq", "par", "noinc", "cold", "warm"};
+  unsigned TimeoutSec = 20;
+  unsigned Jobs = 4;
+  std::string DaemonEndpoint;          ///< empty = no daemon config
+  std::string ArtifactsDir = "fuzz-artifacts";
+  std::string JsonPath;                ///< empty = no JSON report
+  std::optional<std::uint64_t> Replay; ///< single-case replay seed
+  bool StrictUnknown = false;
+  std::string FaultConfig;             ///< --inject-fault CONFIG=N
+  unsigned FaultEvery = 0;
+  unsigned ShrinkAttempts = 120;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed S] [--count N] [--families a,b] "
+               "[--configs c1,c2] [--timeout SEC] [--jobs N] "
+               "[--daemon ENDPOINT] [--artifacts DIR] [--json PATH] "
+               "[--replay CASESEED] [--strict-unknown] "
+               "[--inject-fault CONFIG=N] [--shrink-attempts N] "
+               "[--list-families]\n",
+               Argv0);
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+// ---------------------------------------------------------------- configs --
+
+/// One configuration's answer for a case; a flattened RowResult that
+/// the daemon path can produce too.
+enum class Answer { Proved, Disproved, Unknown, Timeout, Crashed, Error };
+
+bool definite(Answer A) {
+  return A == Answer::Proved || A == Answer::Disproved;
+}
+
+const char *toString(Answer A) {
+  switch (A) {
+  case Answer::Proved:
+    return "proved";
+  case Answer::Disproved:
+    return "disproved";
+  case Answer::Unknown:
+    return "unknown";
+  case Answer::Timeout:
+    return "timeout";
+  case Answer::Crashed:
+    return "crashed";
+  case Answer::Error:
+    return "error";
+  }
+  return "?";
+}
+
+Answer fromStatus(bench::RowResult::Status St) {
+  switch (St) {
+  case bench::RowResult::Status::Proved:
+    return Answer::Proved;
+  case bench::RowResult::Status::Disproved:
+    return Answer::Disproved;
+  case bench::RowResult::Status::Unknown:
+    return Answer::Unknown;
+  case bench::RowResult::Status::Timeout:
+    return Answer::Timeout;
+  case bench::RowResult::Status::Crashed:
+    return Answer::Crashed;
+  }
+  return Answer::Error;
+}
+
+/// Temporarily sets (or clears, for empty Value) an environment
+/// variable; runRow children inherit the parent environment, so this
+/// is how per-config engine knobs reach them.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
+    if (const char *Old = getenv(Name))
+      Saved = Old;
+    if (Value.empty())
+      unsetenv(Name);
+    else
+      setenv(Name, Value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (Saved)
+      setenv(Name, Saved->c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+/// Runs one (program, property) pair under the named configuration.
+/// \p CacheDir backs the cold/warm pair; \p TracePath requests a
+/// Chrome trace from the child (offline configs only).
+Answer runConfig(const FuzzOptions &Opts, const std::string &Config,
+                 const std::string &Source, const std::string &Property,
+                 const std::string &CacheDir,
+                 const char *TracePath = nullptr) {
+  std::optional<ScopedEnv> Fault;
+  if (Opts.FaultEvery && Config == Opts.FaultConfig)
+    Fault.emplace("CHUTE_SMT_FAULT_EVERY",
+                  std::to_string(Opts.FaultEvery));
+
+  if (Config == "daemon") {
+    daemon::ClientOptions CO;
+    CO.Endpoint = Opts.DaemonEndpoint;
+    CO.OverloadRetries = 3;
+    daemon::Client C(CO);
+    daemon::ClientResult R =
+        C.request(Source, {Property}, Opts.TimeoutSec * 1000);
+    if (R.Outcome != daemon::ClientOutcome::Done || R.Verdicts.size() != 1)
+      return Answer::Error;
+    switch (R.Verdicts[0].St) {
+    case daemon::WireStatus::Proved:
+      return Answer::Proved;
+    case daemon::WireStatus::Disproved:
+      return Answer::Disproved;
+    case daemon::WireStatus::Unknown:
+      return Answer::Unknown;
+    case daemon::WireStatus::Timeout:
+      return Answer::Timeout;
+    }
+    return Answer::Error;
+  }
+
+  corpus::BenchRow Row;
+  Row.Id = 0;
+  Row.Example = Config;
+  Row.Program = Source;
+  Row.Property = Property;
+
+  unsigned Jobs = 1;
+  const char *Cache = nullptr;
+  std::optional<ScopedEnv> NoInc;
+  if (Config == "par") {
+    Jobs = Opts.Jobs;
+  } else if (Config == "noinc") {
+    NoInc.emplace("CHUTE_INCREMENTAL", "0");
+  } else if (Config == "cold" || Config == "warm") {
+    Cache = CacheDir.c_str();
+  }
+  // "seq" and unknown names run the plain sequential baseline.
+  bench::RowResult R = bench::runRow(Row, Opts.TimeoutSec, Jobs, TracePath,
+                                     Cache);
+  return fromStatus(R.St);
+}
+
+// ---------------------------------------------------------------- failures --
+
+struct CaseFailure {
+  std::string Kind;    ///< "mismatch" | "disagreement" | "crash"
+  std::string ConfigA; ///< config exhibiting the failure
+  Answer A = Answer::Unknown;
+  std::string ConfigB; ///< reference config ("" for crash/solo)
+  Answer B = Answer::Unknown;
+};
+
+/// Inspects one case's per-config answers. Order of severity: crash,
+/// ground-truth mismatch, cross-config disagreement, then (strict
+/// mode only) definite-vs-indefinite.
+std::optional<CaseFailure>
+classify(const FuzzOptions &Opts,
+         const std::vector<std::pair<std::string, Answer>> &Results,
+         bool ExpectHolds) {
+  for (const auto &[Config, A] : Results)
+    if (A == Answer::Crashed || A == Answer::Error)
+      return CaseFailure{"crash", Config, A, "", Answer::Unknown};
+  for (const auto &[Config, A] : Results)
+    if (definite(A) && (A == Answer::Proved) != ExpectHolds) {
+      // Prefer a correct definite config as the reference; the
+      // shrinker then preserves the disagreement, which stays
+      // meaningful after ground truth is edited away.
+      for (const auto &[Other, B] : Results)
+        if (definite(B) && B != A)
+          return CaseFailure{"mismatch", Config, A, Other, B};
+      return CaseFailure{"mismatch", Config, A, "", Answer::Unknown};
+    }
+  for (std::size_t I = 0; I < Results.size(); ++I)
+    for (std::size_t J = I + 1; J < Results.size(); ++J) {
+      Answer A = Results[I].second, B = Results[J].second;
+      if (definite(A) && definite(B) && A != B)
+        return CaseFailure{"disagreement", Results[I].first, A,
+                           Results[J].first, B};
+    }
+  if (Opts.StrictUnknown) {
+    for (std::size_t I = 0; I < Results.size(); ++I)
+      for (std::size_t J = 0; J < Results.size(); ++J) {
+        Answer A = Results[I].second, B = Results[J].second;
+        if (definite(A) && (B == Answer::Unknown || B == Answer::Timeout))
+          return CaseFailure{"disagreement", Results[J].first, B,
+                             Results[I].first, A};
+      }
+  }
+  return std::nullopt;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+// ---------------------------------------------------------------- shrinking --
+
+/// Signature equivalence for shrinking: definite verdicts and
+/// crashes must match exactly; Unknown and Timeout are one
+/// indefinite class (a candidate that turns a timeout into a clean
+/// Unknown is still the same engine failure, just smaller).
+bool sameAnswer(Answer X, Answer Y) {
+  auto Indefinite = [](Answer A) {
+    return A == Answer::Unknown || A == Answer::Timeout;
+  };
+  return X == Y || (Indefinite(X) && Indefinite(Y));
+}
+
+/// Re-runs the two configs named by \p F on \p Candidate and reports
+/// whether the same failure signature persists. Ground truth is
+/// meaningless once statements have been deleted, so the signature
+/// is the verdict pair itself (or the solo verdict / crash when
+/// there was no reference config).
+bool signaturePersists(const FuzzOptions &Opts, const CaseFailure &F,
+                       const gen::GenProgram &Candidate,
+                       const std::string &Property,
+                       const std::string &ScratchCache) {
+  std::string Src = Candidate.render();
+  if (F.ConfigA == "cold" || F.ConfigA == "warm" || F.ConfigB == "cold" ||
+      F.ConfigB == "warm") {
+    // The warm config only means something after a cold pass on the
+    // same program; re-prime a scratch cache for each candidate.
+    (void)std::remove((ScratchCache + "/prime").c_str());
+  }
+  Answer A = runConfig(Opts, F.ConfigA, Src, Property, ScratchCache);
+  if (F.Kind == "crash")
+    return A == F.A;
+  if (!sameAnswer(A, F.A))
+    return false;
+  if (F.ConfigB.empty())
+    return true;
+  Answer B = runConfig(Opts, F.ConfigB, Src, Property, ScratchCache);
+  return sameAnswer(B, F.B);
+}
+
+// ---------------------------------------------------------------- reporting --
+
+struct Totals {
+  unsigned Cases = 0;
+  unsigned Failures = 0;
+  unsigned Definite = 0;
+  unsigned Indefinite = 0;
+};
+
+void writeArtifacts(const FuzzOptions &Opts, const gen::GeneratedCase &C,
+                    const CaseFailure &F,
+                    const std::vector<std::pair<std::string, Answer>> &Results,
+                    const gen::GenProgram &Reproducer,
+                    const gen::ShrinkStats &Stats) {
+  std::string Dir = Opts.ArtifactsDir + "/case-" + std::to_string(C.Seed);
+  if (!ensureDir(Opts.ArtifactsDir) || !ensureDir(Dir)) {
+    std::fprintf(stderr, "chute-fuzz: cannot create artifacts dir %s\n",
+                 Dir.c_str());
+    return;
+  }
+  atomicWriteFile(Dir + "/program.chute", C.Source);
+  atomicWriteFile(Dir + "/property.ctl", C.Property + "\n");
+  atomicWriteFile(Dir + "/reproducer.chute", Reproducer.render());
+
+  std::string R = "{\n";
+  R += "  \"seed\": " + std::to_string(C.Seed) + ",\n";
+  R += "  \"family\": \"" + C.Family + "\",\n";
+  R += "  \"property\": \"" + jsonEscape(C.Property) + "\",\n";
+  R += "  \"expect_holds\": " + std::string(C.ExpectHolds ? "true" : "false") +
+       ",\n";
+  R += "  \"kind\": \"" + F.Kind + "\",\n";
+  R += "  \"config_a\": \"" + F.ConfigA + "\",\n";
+  R += "  \"verdict_a\": \"" + std::string(toString(F.A)) + "\",\n";
+  R += "  \"config_b\": \"" + F.ConfigB + "\",\n";
+  R += "  \"verdict_b\": \"" + std::string(toString(F.B)) + "\",\n";
+  R += "  \"verdicts\": {";
+  for (std::size_t I = 0; I < Results.size(); ++I) {
+    if (I)
+      R += ", ";
+    R += "\"" + Results[I].first + "\": \"" +
+         toString(Results[I].second) + "\"";
+  }
+  R += "},\n";
+  R += "  \"shrink_attempts\": " + std::to_string(Stats.Attempts) + ",\n";
+  R += "  \"shrink_accepted\": " + std::to_string(Stats.Accepted) + ",\n";
+  R += "  \"stmts_before\": " + std::to_string(Stats.InitialStmts) + ",\n";
+  R += "  \"stmts_after\": " + std::to_string(Stats.FinalStmts) + ",\n";
+  R += "  \"replay\": \"chute-fuzz --replay " + std::to_string(C.Seed) +
+       "\"\n";
+  R += "}\n";
+  atomicWriteFile(Dir + "/report.json", R);
+
+  // A Chrome trace of the failing configuration on the reproducer
+  // (offline configs only — the daemon's trace lives server-side).
+  if (F.ConfigA != "daemon") {
+    std::string Scratch = Dir + "/trace-cache";
+    ensureDir(Scratch);
+    std::string TracePath = Dir + "/trace.json";
+    runConfig(Opts, F.ConfigA, Reproducer.render(), C.Property, Scratch,
+              TracePath.c_str());
+  }
+  std::fprintf(stderr, "chute-fuzz: artifacts written to %s\n", Dir.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Val = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "chute-fuzz: %s needs a value\n", Flag);
+        exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--seed")
+      Opts.Seed = std::strtoull(Val("--seed"), nullptr, 0);
+    else if (A == "--count")
+      Opts.Count = static_cast<unsigned>(std::strtoul(Val("--count"), nullptr, 0));
+    else if (A == "--families")
+      Opts.Families = splitList(Val("--families"));
+    else if (A == "--configs")
+      Opts.Configs = splitList(Val("--configs"));
+    else if (A == "--timeout")
+      Opts.TimeoutSec = static_cast<unsigned>(std::strtoul(Val("--timeout"), nullptr, 0));
+    else if (A == "--jobs")
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(Val("--jobs"), nullptr, 0));
+    else if (A == "--daemon")
+      Opts.DaemonEndpoint = Val("--daemon");
+    else if (A == "--artifacts")
+      Opts.ArtifactsDir = Val("--artifacts");
+    else if (A == "--json")
+      Opts.JsonPath = Val("--json");
+    else if (A == "--replay")
+      Opts.Replay = std::strtoull(Val("--replay"), nullptr, 0);
+    else if (A == "--strict-unknown")
+      Opts.StrictUnknown = true;
+    else if (A == "--shrink-attempts")
+      Opts.ShrinkAttempts = static_cast<unsigned>(
+          std::strtoul(Val("--shrink-attempts"), nullptr, 0));
+    else if (A == "--inject-fault") {
+      std::string Spec = Val("--inject-fault");
+      std::size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "chute-fuzz: --inject-fault wants CONFIG=N\n");
+        return 2;
+      }
+      Opts.FaultConfig = Spec.substr(0, Eq);
+      Opts.FaultEvery = static_cast<unsigned>(
+          std::strtoul(Spec.c_str() + Eq + 1, nullptr, 0));
+    } else if (A == "--list-families") {
+      for (const std::string &F : gen::familyNames())
+        std::printf("%s\n", F.c_str());
+      return 0;
+    } else if (A == "--help" || A == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "chute-fuzz: unknown flag %s\n", A.c_str());
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (!Opts.DaemonEndpoint.empty() &&
+      std::find(Opts.Configs.begin(), Opts.Configs.end(), "daemon") ==
+          Opts.Configs.end())
+    Opts.Configs.push_back("daemon");
+  // Warm only means something after cold on the same cache; enforce
+  // the pairing instead of silently producing a cold run labelled
+  // warm.
+  bool HasWarm = std::find(Opts.Configs.begin(), Opts.Configs.end(),
+                           "warm") != Opts.Configs.end();
+  bool HasCold = std::find(Opts.Configs.begin(), Opts.Configs.end(),
+                           "cold") != Opts.Configs.end();
+  if (HasWarm && !HasCold) {
+    std::fprintf(stderr, "chute-fuzz: config 'warm' requires 'cold'\n");
+    return 2;
+  }
+
+  std::vector<gen::GeneratedCase> Suite;
+  if (Opts.Replay) {
+    Suite.push_back(gen::generateCase(*Opts.Replay));
+    std::fprintf(stderr, "chute-fuzz: replaying case %llu (%s)\n",
+                 static_cast<unsigned long long>(*Opts.Replay),
+                 Suite[0].Family.c_str());
+  } else {
+    Suite = gen::generateSuite(Opts.Seed, Opts.Count, Opts.Families);
+  }
+
+  std::FILE *Json = nullptr;
+  if (!Opts.JsonPath.empty()) {
+    Json = std::fopen(Opts.JsonPath.c_str(), "w");
+    if (!Json) {
+      std::fprintf(stderr, "chute-fuzz: cannot open %s\n",
+                   Opts.JsonPath.c_str());
+      return 2;
+    }
+  }
+
+  // Scratch cache directory backing the cold/warm pair; a fresh
+  // subdirectory per case keeps runs independent.
+  char CacheTemplate[] = "/tmp/chute-fuzz-cache-XXXXXX";
+  std::string CacheRoot = mkdtemp(CacheTemplate) ? CacheTemplate : "";
+
+  Totals T;
+  for (const gen::GeneratedCase &C : Suite) {
+    ++T.Cases;
+    std::string CaseCache =
+        CacheRoot.empty() ? "" : CacheRoot + "/" + std::to_string(C.Seed);
+    if (!CaseCache.empty())
+      ensureDir(CaseCache);
+
+    std::vector<std::pair<std::string, Answer>> Results;
+    for (const std::string &Config : Opts.Configs) {
+      Answer A = runConfig(Opts, Config, C.Source, C.Property, CaseCache);
+      Results.emplace_back(Config, A);
+      definite(A) ? ++T.Definite : ++T.Indefinite;
+    }
+
+    if (Json) {
+      std::string Line = "{\"seed\": " + std::to_string(C.Seed) +
+                         ", \"family\": \"" + C.Family +
+                         "\", \"expect_holds\": " +
+                         (C.ExpectHolds ? "true" : "false");
+      for (const auto &[Config, A] : Results)
+        Line += std::string(", \"") + Config + "\": \"" + toString(A) + "\"";
+      Line += "}\n";
+      std::fputs(Line.c_str(), Json);
+      std::fflush(Json);
+    }
+
+    std::optional<CaseFailure> F = classify(Opts, Results, C.ExpectHolds);
+    if (!F) {
+      std::fprintf(stderr, "  ok   %-12s seed=%llu\n", C.Family.c_str(),
+                   static_cast<unsigned long long>(C.Seed));
+      continue;
+    }
+    ++T.Failures;
+    std::fprintf(stderr,
+                 "  FAIL %-12s seed=%llu %s: %s=%s vs %s=%s "
+                 "(expect %s)\n",
+                 C.Family.c_str(),
+                 static_cast<unsigned long long>(C.Seed), F->Kind.c_str(),
+                 F->ConfigA.c_str(), toString(F->A), F->ConfigB.c_str(),
+                 toString(F->B), C.ExpectHolds ? "holds" : "fails");
+
+    // Shrink while the failure signature persists, then write the
+    // artifacts bundle.
+    std::string ShrinkCache = CaseCache.empty() ? "" : CaseCache + "-shrink";
+    if (!ShrinkCache.empty())
+      ensureDir(ShrinkCache);
+    gen::ShrinkStats Stats;
+    gen::GenProgram Reproducer = gen::shrink(
+        C.Prog,
+        [&](const gen::GenProgram &Candidate) {
+          return signaturePersists(Opts, *F, Candidate, C.Property,
+                                   ShrinkCache);
+        },
+        Opts.ShrinkAttempts, &Stats);
+    writeArtifacts(Opts, C, *F, Results, Reproducer, Stats);
+  }
+
+  if (Json)
+    std::fclose(Json);
+
+  std::fprintf(stderr,
+               "chute-fuzz: %u cases, %u definite / %u indefinite "
+               "verdicts, %u failures\n",
+               T.Cases, T.Definite, T.Indefinite, T.Failures);
+  return T.Failures == 0 ? 0 : 4;
+}

@@ -4,6 +4,7 @@
 #
 #   tools/ci.sh [build-dir]
 #   tools/ci.sh --tsan [build-dir]
+#   tools/ci.sh --fuzz [build-dir]
 #
 # --tsan builds with ThreadSanitizer into a separate build tree
 # (default build-tsan) and runs only the concurrency-sensitive suites
@@ -12,6 +13,13 @@
 # I/O, the sharded slab cache store): a data race in the proof
 # scheduler, the daemon, or the cache store fails the gate even when
 # the plain build happens to pass.
+#
+# --fuzz builds the differential fuzz driver (Release) and runs
+# tools/fuzz_gate.sh: generated ground-truth workloads through the
+# engine configuration matrix plus a live daemon, with an injected
+# fault proving the shrinker's reproducer path. Scale knobs
+# (CHUTE_FUZZ_SEED/COUNT/TIMEOUT) pass through to the gate; the
+# nightly workflow uses them for the long rotating-seed run.
 #
 # Knobs (environment):
 #   CI_TEST_TIMEOUT   per-test timeout in seconds (default 300)
@@ -31,9 +39,22 @@ TEST_TIMEOUT=${CI_TEST_TIMEOUT:-300}
 TOTAL_TIMEOUT=${CI_TOTAL_TIMEOUT:-3600}
 
 TSAN=0
+FUZZ=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
+elif [ "${1:-}" = "--fuzz" ]; then
+  FUZZ=1
+  shift
+fi
+
+if [ "$FUZZ" = 1 ]; then
+  BUILD=${1:-"$ROOT"/build}
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" -j"$JOBS" --target chute-fuzz chuted
+  "$ROOT"/tools/fuzz_gate.sh "$BUILD"
+  echo "ci: differential fuzz gate passed"
+  exit 0
 fi
 
 if [ "$TSAN" = 1 ]; then

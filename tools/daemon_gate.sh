@@ -22,6 +22,8 @@
 #   CHUTE_GATE_ROWS     soak corpus rows (default 12)
 #   CHUTE_GATE_FAULT    CHUTE_SMT_FAULT_EVERY for the phases that
 #                       inject faults (default 7)
+#   CHUTE_GATE_ARTIFACTS directory to keep daemon logs and stats in
+#                       when the gate fails (CI uploads it)
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -42,13 +44,20 @@ done
 DIR=$(mktemp -d)
 SOCK="unix:$DIR/gate.sock"
 STATS="$DIR/stats.json"
+ART=${CHUTE_GATE_ARTIFACTS:-}
 DAEMON_PID=""
 OVERLOAD_PID=""
 
 cleanup() {
+  RC=$?
   [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
   [ -n "$OVERLOAD_PID" ] && kill -KILL "$OVERLOAD_PID" 2>/dev/null || true
   wait 2>/dev/null || true
+  if [ "$RC" -ne 0 ] && [ -n "$ART" ]; then
+    mkdir -p "$ART/daemon_gate"
+    cp "$DIR"/*.log "$STATS" "$DIR"/counter.chute \
+      "$ART/daemon_gate/" 2>/dev/null || true
+  fi
   rm -rf "$DIR"
 }
 trap cleanup EXIT

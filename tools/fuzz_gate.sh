@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Differential fuzz gate: generated ground-truth workloads through a
+# matrix of engine configurations. Three legs:
+#
+#   1. offline matrix - a fixed-seed suite through seq/par/noinc and
+#                       the cold/warm disk-cache pair; any definite
+#                       verdict contradicting the constructed ground
+#                       truth, any cross-config disagreement, or any
+#                       crash fails the gate.
+#   2. daemon         - a smaller slice of the same suite against a
+#                       live chuted, diffing wire verdicts against
+#                       the offline baseline.
+#   3. shrinker demo  - one case with CHUTE_SMT_FAULT_EVERY injected
+#                       into a single configuration; the driver must
+#                       notice the induced disagreement, shrink it,
+#                       and write a reproducer artifact. This proves
+#                       the failure path end to end on every CI run,
+#                       so a real failure's artifacts can be trusted.
+#
+#   tools/fuzz_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_FUZZ_SEED       base seed (default the driver's pinned seed;
+#                         the nightly workflow rotates it daily)
+#   CHUTE_FUZZ_COUNT      programs in leg 1 (default 200)
+#   CHUTE_FUZZ_TIMEOUT    per-(case,config) timeout seconds (default 20)
+#   CHUTE_FUZZ_JOBS       worker threads for the "par" config (default 4)
+#   CHUTE_FUZZ_DAEMON_COUNT  programs in leg 2 (default 12)
+#   CHUTE_GATE_ARTIFACTS  directory to keep failure artifacts in (CI
+#                         uploads it); default: a temp dir, removed on
+#                         success
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+SEED=${CHUTE_FUZZ_SEED:-0xc407e0001}
+COUNT=${CHUTE_FUZZ_COUNT:-200}
+TIMEOUT=${CHUTE_FUZZ_TIMEOUT:-20}
+JOBS=${CHUTE_FUZZ_JOBS:-4}
+DAEMON_COUNT=${CHUTE_FUZZ_DAEMON_COUNT:-12}
+
+FUZZ="$BUILD"/tools/chute-fuzz/chute-fuzz
+CHUTED="$BUILD"/src/chuted
+for BIN in "$FUZZ" "$CHUTED"; do
+  [ -x "$BIN" ] || { echo "fuzz_gate: $BIN not built" >&2; exit 2; }
+done
+
+SCRATCH=$(mktemp -d)
+ART=${CHUTE_GATE_ARTIFACTS:-"$SCRATCH/artifacts"}
+mkdir -p "$ART"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+# --- leg 1: offline configuration matrix ---------------------------
+echo "fuzz_gate: leg 1 - $COUNT programs, seed $SEED," \
+     "configs seq,par,noinc,cold,warm"
+set +e
+"$FUZZ" --seed "$SEED" --count "$COUNT" --timeout "$TIMEOUT" \
+  --jobs "$JOBS" --configs seq,par,noinc,cold,warm \
+  --artifacts "$ART/offline" --json "$SCRATCH/fuzz.json" \
+  2> "$SCRATCH/fuzz.log"
+RC=$?
+set -e
+tail -n 3 "$SCRATCH/fuzz.log"
+if [ "$RC" -ne 0 ]; then
+  echo "fuzz_gate: offline matrix failed (rc=$RC); artifacts in $ART" >&2
+  grep "FAIL" "$SCRATCH/fuzz.log" >&2 || true
+  cp "$SCRATCH/fuzz.json" "$SCRATCH/fuzz.log" "$ART"/ 2>/dev/null || true
+  exit 1
+fi
+LINES=$(wc -l < "$SCRATCH/fuzz.json")
+if [ "$LINES" -ne "$COUNT" ]; then
+  echo "fuzz_gate: expected $COUNT JSON rows, got $LINES" >&2
+  cp "$SCRATCH/fuzz.json" "$ART"/ 2>/dev/null || true
+  exit 1
+fi
+
+# --- leg 2: live daemon vs offline baseline ------------------------
+SOCK="unix:$SCRATCH/fuzz.sock"
+"$CHUTED" --socket "$SOCK" 2> "$SCRATCH/chuted.log" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SCRATCH/fuzz.sock" ] && break
+  sleep 0.1
+done
+echo "fuzz_gate: leg 2 - $DAEMON_COUNT programs against live chuted"
+set +e
+"$FUZZ" --seed "$SEED" --count "$DAEMON_COUNT" --timeout "$TIMEOUT" \
+  --configs seq,daemon --daemon "$SOCK" \
+  --artifacts "$ART/daemon" 2> "$SCRATCH/fuzz-daemon.log"
+RC=$?
+set -e
+tail -n 1 "$SCRATCH/fuzz-daemon.log"
+kill -TERM "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+if [ "$RC" -ne 0 ]; then
+  echo "fuzz_gate: daemon leg failed (rc=$RC); artifacts in $ART" >&2
+  grep "FAIL" "$SCRATCH/fuzz-daemon.log" >&2 || true
+  cp "$SCRATCH"/fuzz-daemon.log "$SCRATCH"/chuted.log "$ART"/ \
+    2>/dev/null || true
+  exit 1
+fi
+
+# --- leg 3: injected fault must produce a reproducer ---------------
+# The demo's artifacts land in the scratch dir, not $ART: the induced
+# failure is expected, and stale reproducer uploads would mask a
+# clean run.
+echo "fuzz_gate: leg 3 - shrinker demo under CHUTE_SMT_FAULT_EVERY"
+set +e
+"$FUZZ" --seed "$SEED" --count 1 --timeout 8 --configs seq,noinc \
+  --strict-unknown --inject-fault noinc=1 --shrink-attempts 40 \
+  --artifacts "$SCRATCH/demo" 2> "$SCRATCH/fuzz-demo.log"
+RC=$?
+set -e
+if [ "$RC" -ne 4 ]; then
+  echo "fuzz_gate: fault injection should fail the run with 4," \
+       "got $RC" >&2
+  cat "$SCRATCH/fuzz-demo.log" >&2
+  exit 1
+fi
+REPRO=$(find "$SCRATCH/demo" -name reproducer.chute | head -n 1)
+REPORT=$(find "$SCRATCH/demo" -name report.json | head -n 1)
+if [ -z "$REPRO" ] || [ -z "$REPORT" ]; then
+  echo "fuzz_gate: shrinker demo left no reproducer artifacts" >&2
+  find "$SCRATCH/demo" >&2 || true
+  exit 1
+fi
+if ! grep -q '"kind"' "$REPORT"; then
+  echo "fuzz_gate: demo report.json is malformed:" >&2
+  cat "$REPORT" >&2
+  exit 1
+fi
+# The reproducer must be no bigger than the original program.
+ORIG=$(dirname "$REPRO")/program.chute
+if [ "$(wc -l < "$REPRO")" -gt "$(wc -l < "$ORIG")" ]; then
+  echo "fuzz_gate: reproducer is larger than the original program" >&2
+  exit 1
+fi
+echo "fuzz_gate: shrinker demo produced $(wc -l < "$REPRO")-line" \
+     "reproducer from $(wc -l < "$ORIG")-line program"
+
+echo "fuzz_gate: $COUNT offline + $DAEMON_COUNT daemon cases agree" \
+     "with ground truth; shrinker demo passed"

@@ -12,6 +12,8 @@
 #   CHUTE_GATE_ROWS      row range to run (default 1-12)
 #   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
 #   CHUTE_GATE_JOBS      worker threads per row (default 2)
+#   CHUTE_GATE_ARTIFACTS directory to keep both runs' JSON in when the
+#                        gate fails (CI uploads it)
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -25,7 +27,19 @@ BENCH="$BUILD"/bench/bench_fig6_small
 [ -x "$BENCH" ] || { echo "incremental_gate: $BENCH not built" >&2; exit 2; }
 
 OUT=$(mktemp)
-trap 'rm -f "$OUT.inc" "$OUT.oneshot" "$OUT.inc.v" "$OUT.oneshot.v" "$OUT"' EXIT
+ART=${CHUTE_GATE_ARTIFACTS:-}
+cleanup() {
+  RC=$?
+  if [ "$RC" -ne 0 ] && [ -n "$ART" ]; then
+    mkdir -p "$ART/incremental_gate"
+    cp "$OUT.oneshot" "$ART/incremental_gate/oneshot.json" \
+      2>/dev/null || true
+    cp "$OUT.inc" "$ART/incremental_gate/incremental.json" \
+      2>/dev/null || true
+  fi
+  rm -f "$OUT.inc" "$OUT.oneshot" "$OUT.inc.v" "$OUT.oneshot.v" "$OUT"
+}
+trap cleanup EXIT
 
 # The bench binary exits nonzero on paper-expectation mismatches; the
 # gate's criterion is inc-vs-oneshot agreement, so run for the JSON.
