@@ -81,6 +81,9 @@ struct ChildStats {
   unsigned DiskIndexed = 0;
   unsigned DiskTorn = 0;
   unsigned DiskCompactions = 0;
+  unsigned SpecLaunched = 0;
+  unsigned SpecWon = 0;
+  unsigned SpecCancelled = 0;
   obs::TraceSummary Trace;
 };
 
@@ -211,6 +214,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Stats.IncCorePruned =
         static_cast<unsigned>(R.CacheStats.CoreHits);
     Stats.IncResets = static_cast<unsigned>(R.SessionStats.Resets);
+    Stats.SpecLaunched = R.SpecLaunched;
+    Stats.SpecWon = R.SpecWon;
+    Stats.SpecCancelled = R.SpecCancelled;
     Stats.Trace = R.Trace;
     // sendAll retries short writes/EINTR and reports a vanished
     // reader as a status instead of a signal; the verdict still
@@ -267,6 +273,9 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.DiskIndexed = Stats.DiskIndexed;
     Result.DiskTorn = Stats.DiskTorn;
     Result.DiskCompactions = Stats.DiskCompactions;
+    Result.SpecLaunched = Stats.SpecLaunched;
+    Result.SpecWon = Stats.SpecWon;
+    Result.SpecCancelled = Stats.SpecCancelled;
     Result.Trace = Stats.Trace;
   }
 
@@ -366,7 +375,9 @@ unsigned chute::bench::runTable(const char *Title,
           "\"inc_resets\":%u,\"disk_loaded\":%u,"
           "\"disk_warm_hits\":%u,\"disk_saved\":%u,"
           "\"disk_rejects\":%u,\"disk_indexed\":%u,"
-          "\"disk_torn\":%u,\"disk_compactions\":%u,%s}\n",
+          "\"disk_torn\":%u,\"disk_compactions\":%u,"
+          "\"spec_launched\":%u,\"spec_won\":%u,"
+          "\"spec_cancelled\":%u,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
@@ -377,6 +388,7 @@ unsigned chute::bench::runTable(const char *Title,
           R.IncLitsReused, R.IncCores, R.IncCorePruned, R.IncResets,
           R.DiskLoaded, R.DiskWarmHits, R.DiskSaved, R.DiskRejects,
           R.DiskIndexed, R.DiskTorn, R.DiskCompactions,
+          R.SpecLaunched, R.SpecWon, R.SpecCancelled,
           R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }

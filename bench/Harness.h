@@ -53,6 +53,11 @@ struct RowResult {
   unsigned DiskIndexed = 0;  ///< records accepted into the slab index
   unsigned DiskTorn = 0;     ///< torn slab tails truncated on recovery
   unsigned DiskCompactions = 0; ///< slab compaction rewrites
+  /// Speculative-refinement activity (zero unless CHUTE_SPECULATION
+  /// or Refiner.Speculation raised the lane count past 1).
+  unsigned SpecLaunched = 0;  ///< speculative lanes fanned out
+  unsigned SpecWon = 0;       ///< rounds decided by a winning lane
+  unsigned SpecCancelled = 0; ///< lanes shot or skipped by a winner
   /// Phase breakdown of the child's run (each child traces at Stats
   /// level, so JSON rows always carry per-stage time/span counts).
   obs::TraceSummary Trace;

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
+#include <unordered_set>
 
 using namespace chute;
 
@@ -28,6 +30,10 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
       Pending.push_back(Node);
   std::atomic<bool> AllOk{true};
   TaskPool::global().parallelFor(Pending.size(), [&](std::size_t I) {
+    // A sibling already failed: the round is lost no matter what
+    // this obligation says, so don't burn SMT budget on it.
+    if (!AllOk.load(std::memory_order_relaxed))
+      return;
     DerivationNode *Node = Pending[I];
     Region F = Node->Frontier ? *Node->Frontier : Region::bottom(P);
     const Region &C = Chutes.at(Node->Pi);
@@ -48,6 +54,7 @@ bool ChuteRefiner::rcrCheck(DerivationTree &Proof,
 
 RefineOutcome ChuteRefiner::prove(CtlRef F) {
   RefineOutcome Out;
+  const unsigned SpecLanes = std::max(1u, Opts.Speculation);
 
   // Snapshot of partial progress for degradation reports.
   auto progressDetail = [&Out]() {
@@ -66,9 +73,13 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
   };
 
   // Applied strengthenings, in order, and the banned set used for
-  // backtracking.
+  // backtracking. Closed is the union of both as a hashed set: an
+  // applied candidate that is undone always moves to Banned, so
+  // membership only ever grows and the per-round filter is O(1) per
+  // candidate instead of two linear scans.
   std::vector<ChuteCandidate> Applied;
   std::vector<ChuteCandidate> Banned;
+  std::unordered_set<ChuteCandidate, ChuteCandidateHash> Closed;
   // Alternatives proposed alongside each applied candidate (next
   // choices when backtracking).
   std::vector<std::vector<ChuteCandidate>> Alternatives;
@@ -81,9 +92,13 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
   };
 
   auto isBannedOrApplied = [&](const ChuteCandidate &C) {
-    return std::find(Banned.begin(), Banned.end(), C) != Banned.end() ||
-           std::find(Applied.begin(), Applied.end(), C) !=
-               Applied.end();
+    return Closed.count(C) != 0;
+  };
+  auto apply = [&](const ChuteCandidate &C,
+                   std::vector<ChuteCandidate> Alts) {
+    Applied.push_back(C);
+    Closed.insert(C);
+    Alternatives.push_back(std::move(Alts));
   };
 
   // Undoes the most recent strengthening and installs the next
@@ -95,24 +110,29 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       Applied.pop_back();
       std::vector<ChuteCandidate> Alts = Alternatives.back();
       Alternatives.pop_back();
-      Banned.push_back(Last);
+      Banned.push_back(Last); // stays in Closed: banned now
       ++Out.Backtracks;
       for (const ChuteCandidate &Alt : Alts) {
         if (isBannedOrApplied(Alt))
           continue;
-        Applied.push_back(Alt);
         // Remaining alternatives stay available for this slot.
         std::vector<ChuteCandidate> Rest;
         for (const ChuteCandidate &A : Alts)
           if (!(A == Alt))
             Rest.push_back(A);
-        Alternatives.push_back(Rest);
+        apply(Alt, std::move(Rest));
         return true;
       }
       // No alternative for this slot: pop further.
     }
     return false;
   };
+
+  // A completed proof attempt carried over from a failed speculative
+  // round: lane 0 ran Applied + Candidates.front() — exactly the
+  // attempt the next sequential round would run — so the next round
+  // reuses its outcome instead of repeating the work.
+  std::optional<UniversalProver::Outcome> Carried;
 
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     // Degrade before starting a round the budget cannot pay for.
@@ -129,8 +149,14 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
                         std::to_string(Applied.size()) +
                         " strengthenings");
     ChuteMap Chutes = buildChutes();
-    UniversalProver Prover(Ts, S, Qe, Chutes, Opts.Prover);
-    UniversalProver::Outcome Attempt = Prover.attempt(F);
+    UniversalProver::Outcome Attempt;
+    if (Carried) {
+      Attempt = std::move(*Carried);
+      Carried.reset();
+    } else {
+      UniversalProver Prover(Ts, S, Qe, Chutes, Opts.Prover);
+      Attempt = Prover.attempt(F);
+    }
 
     if (Attempt.Proved) {
       if (rcrCheck(Attempt.Proof, Chutes)) {
@@ -180,7 +206,6 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       return Out;
     }
 
-    Out.Trace = Attempt.Trace;
     CHUTE_DEBUG(debugLine("refiner: primary trace\n" +
                           Attempt.Trace.toString(Ts.program())));
     CHUTE_DEBUG(debugLine("refiner: secondary trace\n" +
@@ -192,12 +217,14 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       Candidates = Synth.synthesize(Attempt.Trace, Chutes);
       if (Attempt.Secondary.realizable()) {
         // The inner subformula's failing trace can blame choices the
-        // primary lasso cannot (different scopes).
+        // primary lasso cannot (different scopes). Dedup against the
+        // primary candidates by hashed identity.
+        std::unordered_set<ChuteCandidate, ChuteCandidateHash> Seen(
+            Candidates.begin(), Candidates.end());
         std::vector<ChuteCandidate> More =
             Synth.synthesize(Attempt.Secondary, Chutes);
         for (ChuteCandidate &C : More)
-          if (std::find(Candidates.begin(), Candidates.end(), C) ==
-              Candidates.end())
+          if (Seen.insert(C).second)
             Candidates.push_back(std::move(C));
       }
     }
@@ -216,11 +243,114 @@ RefineOutcome ChuteRefiner::prove(CtlRef F) {
       if (backtrack())
         continue;
       Out.St = Verdict::NotProved;
+      Out.Trace = std::move(Attempt.Trace);
       Out.Refinements = static_cast<unsigned>(Applied.size());
       return Out;
     }
-    Applied.push_back(Candidates.front());
-    Alternatives.push_back({Candidates.begin() + 1, Candidates.end()});
+
+    // --- Speculative portfolio over this round's candidates. Each
+    // lane attempts Applied + Candidates[I] under its own child
+    // cancel domain; the first lane that proves *and* passes
+    // RCRCHECK claims the round and shoots its siblings. All of a
+    // lane's work stays on one thread (its inner parallel sections
+    // run inline), so the per-lane Smt::BudgetScope override is
+    // sound.
+    const unsigned Lanes = static_cast<unsigned>(
+        std::min<std::size_t>(SpecLanes, Candidates.size()));
+    if (Lanes >= 2) {
+      obs::Span SpecSp(obs::Category::Refine, "speculate");
+      if (SpecSp.detailed())
+        SpecSp.setDetail(std::to_string(Lanes) + " lanes of " +
+                         std::to_string(Candidates.size()) +
+                         " candidates");
+      const Budget Root = S.budget();
+      std::vector<Budget> LaneBudgets;
+      std::vector<ChuteMap> LaneMaps;
+      LaneBudgets.reserve(Lanes);
+      LaneMaps.reserve(Lanes);
+      for (unsigned I = 0; I < Lanes; ++I) {
+        LaneBudgets.push_back(Root.childDomain());
+        ChuteMap M = Chutes;
+        const ChuteCandidate &C = Candidates[I];
+        M.strengthen(C.Pi, C.AtLoc, C.Predicate);
+        LaneMaps.push_back(std::move(M));
+      }
+      std::vector<UniversalProver::Outcome> LaneAtts(Lanes);
+      std::vector<char> LaneRan(Lanes, 0);
+      std::atomic<int> Winner{-1};
+      Out.SpecLaunched += Lanes;
+      TaskPool::global().fanOut(Lanes, [&](std::size_t I) {
+        obs::Span LaneSp(obs::Category::Refine, "spec-lane");
+        obs::bump(obs::Counter::SpecLaunched);
+        if (LaneSp.detailed())
+          LaneSp.setDetail("lane " + std::to_string(I) + ": " +
+                           Candidates[I].toString(Ts.program()));
+        if (Winner.load(std::memory_order_acquire) != -1) {
+          LaneSp.setOutcome("skipped");
+          return; // a sibling already claimed the round
+        }
+        Smt::BudgetScope Scope(S, LaneBudgets[I]);
+        UniversalProver Prover(Ts, S, Qe, LaneMaps[I], Opts.Prover);
+        UniversalProver::Outcome A = Prover.attempt(F);
+        bool RcrOk = A.Proved && !LaneBudgets[I].cancelled() &&
+                     rcrCheck(A.Proof, LaneMaps[I]);
+        LaneAtts[I] = std::move(A);
+        LaneRan[I] = 1;
+        if (RcrOk && !LaneBudgets[I].cancelled()) {
+          int Expected = -1;
+          if (Winner.compare_exchange_strong(
+                  Expected, static_cast<int>(I),
+                  std::memory_order_acq_rel)) {
+            obs::bump(obs::Counter::SpecWon);
+            LaneSp.setOutcome("won");
+            for (unsigned J = 0; J < Lanes; ++J)
+              if (J != I)
+                LaneBudgets[J].cancel();
+            return;
+          }
+        }
+        LaneSp.setOutcome(LaneBudgets[I].cancelled() ? "cancelled"
+                                                     : "lost");
+      });
+
+      const int W = Winner.load(std::memory_order_acquire);
+      for (unsigned I = 0; I < Lanes; ++I)
+        if (static_cast<int>(I) != W &&
+            (LaneBudgets[I].cancelled() || !LaneRan[I])) {
+          ++Out.SpecCancelled;
+          obs::bump(obs::Counter::SpecCancelled);
+        }
+      if (W >= 0) {
+        ++Out.SpecWon;
+        SpecSp.setOutcome("won");
+        // The winner becomes this round's applied strengthening; the
+        // other candidates stay available as backtracking
+        // alternatives, exactly as if the winner had been first.
+        std::vector<ChuteCandidate> Rest;
+        for (std::size_t I = 0; I < Candidates.size(); ++I)
+          if (static_cast<int>(I) != W)
+            Rest.push_back(Candidates[I]);
+        apply(Candidates[W], std::move(Rest));
+        Out.St = Verdict::Proved;
+        Out.Proof = std::move(LaneAtts[W].Proof);
+        Out.Refinements = static_cast<unsigned>(Applied.size());
+        return Out;
+      }
+      SpecSp.setOutcome("no-winner");
+      // Every lane failed: fall back to the sequential path — apply
+      // the first candidate and loop, carrying lane 0's completed
+      // outcome as the next round's attempt (same chute map, and its
+      // budget was never cancelled, so any Budget failure it reports
+      // is the root's).
+      apply(Candidates.front(),
+            {Candidates.begin() + 1, Candidates.end()});
+      if (LaneRan[0] && !LaneBudgets[0].cancelled())
+        Carried = std::move(LaneAtts[0]);
+      continue;
+    }
+
+    apply(Candidates.front(),
+          {Candidates.begin() + 1, Candidates.end()});
   }
 
   Out.St = Verdict::Unknown;

@@ -14,6 +14,15 @@
 /// candidate leads nowhere, the refiner bans it and retries with the
 /// next one.
 ///
+/// With RefinerOptions::Speculation > 1 the loop races the top
+/// candidates of each round as parallel proof lanes (a portfolio in
+/// the Beyene–Brockschmidt–Rybalchenko sense): the first lane whose
+/// attempt proves and passes RCRCHECK wins the round, the others are
+/// cancelled through per-lane Budget child domains, and when every
+/// lane fails the loop falls back to the sequential backtracking
+/// path — reusing lane 0's completed attempt, which is exactly the
+/// attempt the next sequential round would have run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHUTE_CORE_CHUTEREFINER_H
@@ -39,10 +48,14 @@ struct RefineOutcome {
 
   Verdict St = Verdict::Unknown;
   DerivationTree Proof;  ///< when Proved
-  CexTrace Trace;        ///< best counterexample seen (NotProved)
-  unsigned Rounds = 0;   ///< attempt() invocations
+  CexTrace Trace;        ///< counterexample, only when NotProved
+  unsigned Rounds = 0;   ///< refinement rounds driven
   unsigned Refinements = 0; ///< chute strengthenings applied
   unsigned Backtracks = 0;  ///< candidates undone
+  /// Speculative-lane accounting (zero at Speculation <= 1).
+  unsigned SpecLaunched = 0;  ///< lanes fanned out
+  unsigned SpecWon = 0;       ///< rounds decided by a lane
+  unsigned SpecCancelled = 0; ///< lanes shot or skipped by a winner
   /// When Unknown: which phase degraded and which resource ran out.
   FailureInfo Failure;
 
@@ -52,6 +65,14 @@ struct RefineOutcome {
 /// Limits for the refinement loop.
 struct RefinerOptions {
   unsigned MaxRounds = 48;
+  /// Speculative proof lanes per refinement round: when a round
+  /// synthesises K candidate chutes, up to this many are attempted
+  /// as a portfolio over the TaskPool, first prover+RCRCHECK success
+  /// wins and the losers are cancelled through per-lane child cancel
+  /// domains. 0 means "unset" (CHUTE_SPECULATION applies through
+  /// resolveEnvOverrides, else 1); at 1 the loop is the classic
+  /// sequential apply-front/backtrack path, bit for bit.
+  unsigned Speculation = 0;
   ProverOptions Prover;
 };
 

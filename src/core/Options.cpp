@@ -11,6 +11,10 @@ VerifierOptions chute::resolveEnvOverrides(VerifierOptions Options) {
     if (std::optional<unsigned> Ms = envUnsigned("CHUTE_BUDGET_MS"))
       Options.BudgetMs = *Ms;
 
+  if (Options.Refiner.Speculation == 0)
+    Options.Refiner.Speculation =
+        envUnsigned("CHUTE_SPECULATION").value_or(1);
+
   if (!Options.Incremental)
     Options.Incremental = envFlag("CHUTE_INCREMENTAL");
 

@@ -18,6 +18,8 @@
 /// Environment knobs resolved here:
 ///
 ///   CHUTE_BUDGET_MS    wall-clock budget per verify() call (ms)
+///   CHUTE_SPECULATION  speculative proof lanes per refinement round
+///                      (Refiner.Speculation; 1 = sequential)
 ///   CHUTE_INCREMENTAL  0/false disables the persistent SMT sessions
 ///   CHUTE_CACHE_DIR    directory for the disk-backed query cache
 ///                      (used by VerificationSession)

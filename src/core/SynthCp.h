@@ -48,6 +48,21 @@ struct ChuteCandidate {
   std::string toString(const Program &P) const;
 };
 
+/// Hash consistent with ChuteCandidate::operator==. Predicates are
+/// hash-consed (pointer equality == structural equality within one
+/// ExprContext), so the node's structural hash is identity-stable.
+struct ChuteCandidateHash {
+  std::size_t operator()(const ChuteCandidate &C) const {
+    auto Mix = [](std::size_t H, std::size_t V) {
+      return H ^ (V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2));
+    };
+    std::size_t H = C.Pi.hashValue();
+    H = Mix(H, static_cast<std::size_t>(C.AtLoc));
+    H = Mix(H, C.Predicate ? C.Predicate->hash() : 0);
+    return H;
+  }
+};
+
 /// The SYNTHcp procedure.
 class SynthCp {
 public:

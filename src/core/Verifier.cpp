@@ -128,6 +128,9 @@ VerifyResult Verifier::verify(CtlRef F) {
     Result.Rounds += Out.Rounds;
     Result.Refinements += Out.Refinements;
     Result.Backtracks += Out.Backtracks;
+    Result.SpecLaunched += Out.SpecLaunched;
+    Result.SpecWon += Out.SpecWon;
+    Result.SpecCancelled += Out.SpecCancelled;
     if (Out.proved()) {
       Result.V = Verdict::Proved;
       Result.Proof = std::move(Out.Proof);
@@ -150,6 +153,9 @@ VerifyResult Verifier::verify(CtlRef F) {
       Result.Rounds += Out.Rounds;
       Result.Refinements += Out.Refinements;
       Result.Backtracks += Out.Backtracks;
+      Result.SpecLaunched += Out.SpecLaunched;
+      Result.SpecWon += Out.SpecWon;
+      Result.SpecCancelled += Out.SpecCancelled;
       if (Out.proved()) {
         Result.V = Verdict::Disproved;
         Result.Proof = std::move(Out.Proof);

@@ -46,6 +46,12 @@ struct VerifyResult {
   unsigned Refinements = 0; ///< chute strengthenings applied
   unsigned Backtracks = 0;
 
+  /// Speculative-lane activity across both directions (all zero when
+  /// Refiner.Speculation <= 1).
+  unsigned SpecLaunched = 0;  ///< lanes fanned out
+  unsigned SpecWon = 0;       ///< rounds decided by a winning lane
+  unsigned SpecCancelled = 0; ///< lanes shot or skipped by a winner
+
   /// When Unknown: the phase/resource that degraded the run (valid()
   /// is false for plain incompleteness with nothing to report).
   FailureInfo Failure;

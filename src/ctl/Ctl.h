@@ -24,6 +24,7 @@
 
 #include "expr/Expr.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -153,6 +154,11 @@ public:
 
   bool operator==(const SubformulaPath &O) const {
     return Steps == O.Steps;
+  }
+
+  /// Hash consistent with operator== (for hashed candidate sets).
+  std::size_t hashValue() const {
+    return std::hash<std::string>{}(Steps);
   }
   bool operator<(const SubformulaPath &O) const {
     return Steps < O.Steps;

@@ -84,6 +84,12 @@ const char *chute::obs::toString(Counter C) {
     return "smt_disk_torn";
   case Counter::SmtDiskCompactions:
     return "smt_disk_compactions";
+  case Counter::SpecLaunched:
+    return "spec_launched";
+  case Counter::SpecWon:
+    return "spec_won";
+  case Counter::SpecCancelled:
+    return "spec_cancelled";
   }
   return "?";
 }

@@ -73,8 +73,11 @@ enum class Counter : std::uint8_t {
   SmtDiskIndexed,   ///< records accepted into the slab index
   SmtDiskTorn,      ///< torn slab tails truncated during recovery
   SmtDiskCompactions, ///< slab compaction rewrites completed
+  SpecLaunched,     ///< speculative proof lanes fanned out
+  SpecWon,          ///< refinement rounds decided by a lane
+  SpecCancelled,    ///< lanes shot or skipped by a winning sibling
 };
-inline constexpr unsigned NumCounters = 28;
+inline constexpr unsigned NumCounters = 31;
 
 const char *toString(Counter C);
 

@@ -12,6 +12,9 @@
 
 using namespace chute;
 
+thread_local const Smt *Smt::LaneOwner = nullptr;
+thread_local const Budget *Smt::LaneBudget = nullptr;
+
 // Bare-facade default; Verifier/VerificationSession override this
 // from the resolved VerifierOptions (see core/Options.h).
 static bool incrementalDefault() {
@@ -79,9 +82,9 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   RetryStats Delta;
   ++Delta.Queries;
   auto Commit = [&](SatResult R) {
-    Sp.setBudgetRemainingMs(Governor.isUnlimited()
+    Sp.setBudgetRemainingMs(budget().isUnlimited()
                                 ? -1
-                                : Governor.remainingMs());
+                                : budget().remainingMs());
     switch (R) {
     case SatResult::Sat:
       obs::bump(obs::Counter::SmtSat);
@@ -101,8 +104,8 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   // Budget before cache: an expired governor refuses even queries
   // the cache could answer, so the degradation path (BudgetDenied
   // counters, FailureInfo) is identical with and without caching.
-  if (Governor.expired() ||
-      Governor.remainingMs() < Budget::MinQueryMs) {
+  if (budget().expired() ||
+      budget().remainingMs() < Budget::MinQueryMs) {
     ++Delta.BudgetDenied;
     Sp.setOutcome("budget-denied");
     obs::bump(obs::Counter::SmtBudgetDenied);
@@ -122,7 +125,7 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
   }
   obs::bump(obs::Counter::SmtCacheMisses);
 
-  unsigned T = Governor.queryTimeoutMs(TimeoutMs);
+  unsigned T = budget().queryTimeoutMs(TimeoutMs);
   unsigned Attempt = 0;
   if (incrementalEnabled() && !WantModel) {
     // Attempt 0 runs on this thread's persistent session (or is
@@ -146,14 +149,14 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
     }
     ++Delta.Unknowns;
     obs::bump(obs::Counter::SmtIncFallbacks);
-    if (Policy.MaxRetries == 0 || Governor.expired()) {
+    if (Policy.MaxRetries == 0 || budget().expired()) {
       ++Delta.Exhausted;
       Sp.setOutcome("unknown");
       return Commit(SatResult::Unknown);
     }
     ++Delta.Retries;
     obs::bump(obs::Counter::SmtRetries);
-    T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
+    T = budget().queryTimeoutMs(static_cast<unsigned>(std::min(
         static_cast<double>(T) * Policy.Backoff, 3600000.0)));
     Attempt = 1;
   }
@@ -176,7 +179,7 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
       return Commit(R);
     }
     ++Delta.Unknowns;
-    if (Attempt >= Policy.MaxRetries || Governor.expired()) {
+    if (Attempt >= Policy.MaxRetries || budget().expired()) {
       ++Delta.Exhausted;
       Sp.setOutcome("unknown");
       return Commit(SatResult::Unknown);
@@ -184,7 +187,7 @@ SatResult Smt::runQuery(ExprRef E, bool WantModel,
     ++Delta.Retries;
     obs::bump(obs::Counter::SmtRetries);
     // Escalate, but never past the remaining budget.
-    T = Governor.queryTimeoutMs(static_cast<unsigned>(std::min(
+    T = budget().queryTimeoutMs(static_cast<unsigned>(std::min(
         static_cast<double>(T) * Policy.Backoff, 3600000.0)));
     CHUTE_DEBUG(debugLine("smt: retrying Unknown with timeout " +
                           std::to_string(T) + "ms"));
@@ -283,7 +286,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   if (Sp.detailed())
     Sp.setDetail(E->toString());
 
-  if (Governor.expired()) {
+  if (budget().expired()) {
     Sp.setOutcome("budget-denied");
     obs::bump(obs::Counter::SmtBudgetDenied);
     std::lock_guard<std::mutex> Lock(StatsMu);
@@ -323,7 +326,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   // whole run. Tactics reject a "timeout" parameter, so the bound is
   // a try-for wrapper: on expiry the application fails and we return
   // nullopt (the caller falls back or degrades).
-  unsigned T = Governor.queryTimeoutMs(TimeoutMs);
+  unsigned T = budget().queryTimeoutMs(TimeoutMs);
   Z3_tactic Bounded = Z3_tactic_try_for(C, Pipeline, T);
   Z3_tactic_inc_ref(C, Bounded);
 
@@ -361,7 +364,7 @@ std::optional<ExprRef> Smt::eliminateQuantifiers(ExprRef E) {
   if (Result)
     Cache->storeQe(E, *Result);
   Sp.setOutcome(Result ? "ok" : "fail");
-  Sp.setBudgetRemainingMs(Governor.isUnlimited() ? -1
-                                                 : Governor.remainingMs());
+  Sp.setBudgetRemainingMs(budget().isUnlimited() ? -1
+                                                 : budget().remainingMs());
   return Result;
 }

@@ -112,7 +112,41 @@ public:
   /// its remaining time (capped by the construction-time TimeoutMs)
   /// and queries are refused once it expires.
   void setBudget(const Budget &B) { Governor = B; }
-  const Budget &budget() const { return Governor; }
+
+  /// The budget governing queries issued by the *calling thread*:
+  /// the thread-local override installed by a live BudgetScope on
+  /// this thread (for this facade), else the facade-wide governor.
+  const Budget &budget() const {
+    if (LaneOwner == this && LaneBudget != nullptr)
+      return *LaneBudget;
+    return Governor;
+  }
+
+  /// RAII thread-local budget override. A speculative proof lane
+  /// installs its per-lane budget (a child cancel domain) so the
+  /// queries *it* issues can be cancelled without touching sibling
+  /// lanes that share the facade. Valid because a lane's nested
+  /// parallel sections run inline: all of its queries stay on the
+  /// installing thread. \p B must outlive the scope.
+  class BudgetScope {
+  public:
+    BudgetScope(Smt &S, const Budget &B)
+        : PrevOwner(LaneOwner), PrevBudget(LaneBudget) {
+      LaneOwner = &S;
+      LaneBudget = &B;
+    }
+    ~BudgetScope() {
+      LaneOwner = PrevOwner;
+      LaneBudget = PrevBudget;
+    }
+
+    BudgetScope(const BudgetScope &) = delete;
+    BudgetScope &operator=(const BudgetScope &) = delete;
+
+  private:
+    const Smt *PrevOwner;
+    const Budget *PrevBudget;
+  };
 
   void setRetryPolicy(RetryPolicy P) { Policy = P; }
   const RetryPolicy &retryPolicy() const { return Policy; }
@@ -224,6 +258,11 @@ private:
   /// This thread's persistent session (lazily created over the
   /// thread's Z3Context).
   SmtSession &threadSession();
+
+  /// Thread-local budget override (see BudgetScope). Owner-tagged so
+  /// the override only applies to the facade it was installed for.
+  static thread_local const Smt *LaneOwner;
+  static thread_local const Budget *LaneBudget;
 
   ExprContext &Ctx;
   unsigned TimeoutMs;

@@ -7,8 +7,7 @@
 
 using namespace chute;
 
-Budget::Budget()
-    : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+Budget::Budget() : Node(std::make_shared<CancelNode>()) {}
 
 Budget Budget::unlimited() { return Budget(); }
 
@@ -21,7 +20,7 @@ Budget Budget::forMillis(std::uint64_t Ms) {
 
 Budget Budget::subMillis(std::uint64_t Ms) const {
   Budget B;
-  B.Flag = Flag; // one cancellation domain per run
+  B.Node = Node; // one cancellation domain per run
   B.Unlimited = false;
   std::uint64_t Slice =
       Unlimited ? Ms
@@ -35,11 +34,18 @@ Budget Budget::subFraction(double Fraction) const {
   Fraction = std::clamp(Fraction, 0.0, 1.0);
   if (Unlimited) {
     Budget B;
-    B.Flag = Flag;
+    B.Node = Node;
     return B; // a fraction of forever is forever
   }
   return subMillis(static_cast<std::uint64_t>(
       static_cast<double>(remainingMs()) * Fraction));
+}
+
+Budget Budget::childDomain() const {
+  Budget B = *this;
+  B.Node = std::make_shared<CancelNode>();
+  B.Node->Parent = Node;
+  return B;
 }
 
 std::int64_t Budget::remainingMs() const {

@@ -13,6 +13,12 @@
 /// expired() at its head, and the SMT layer derives per-query
 /// timeouts from the remaining time instead of fixed constants.
 ///
+/// Child cancel domains (childDomain()) nest a fresh cancellation
+/// flag under the current one: cancelling the parent still reaches
+/// the child (cancelled() walks the ancestor chain), but cancelling
+/// the child stays local. Speculative proof lanes run under child
+/// domains so shooting a losing lane cannot kill the whole run.
+///
 /// FailureInfo is the structured record a budget-exhausted (or
 /// otherwise degraded) verification carries back to the caller:
 /// which phase gave up, on which obligation, and which resource ran
@@ -56,6 +62,12 @@ public:
   /// remaining time. Of an unlimited budget, returns unlimited.
   Budget subFraction(double Fraction) const;
 
+  /// A budget with the same deadline but its own cancellation flag
+  /// nested under this one: cancelling *this* (or any ancestor)
+  /// expires the child, while cancelling the child does not reach
+  /// this budget or any sibling domain.
+  Budget childDomain() const;
+
   bool isUnlimited() const { return Unlimited; }
 
   /// Milliseconds until the deadline (never negative). Unlimited
@@ -66,11 +78,16 @@ public:
   bool expired() const;
 
   /// Requests cooperative cancellation of every budget sharing this
-  /// flag (the whole run).
-  void cancel() { Flag->store(true, std::memory_order_relaxed); }
+  /// cancel domain, and of every child domain nested under it.
+  void cancel() { Node->Flag.store(true, std::memory_order_relaxed); }
 
+  /// True when this domain or any ancestor domain was cancelled.
   bool cancelled() const {
-    return Flag->load(std::memory_order_relaxed);
+    for (const CancelNode *N = Node.get(); N != nullptr;
+         N = N->Parent.get())
+      if (N->Flag.load(std::memory_order_relaxed))
+        return true;
+    return false;
   }
 
   /// Derives a per-SMT-query timeout from the remaining time:
@@ -87,9 +104,17 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
 
+  /// One node per cancel domain. Sub-budgets share the node (one
+  /// domain per run); child domains get a fresh node whose Parent
+  /// link lets cancelled() see ancestor cancellations.
+  struct CancelNode {
+    std::atomic<bool> Flag{false};
+    std::shared_ptr<const CancelNode> Parent;
+  };
+
   bool Unlimited = true;
   Clock::time_point Deadline{};
-  std::shared_ptr<std::atomic<bool>> Flag;
+  std::shared_ptr<CancelNode> Node;
 };
 
 /// Pipeline phase in which a degradation happened (also used to key

@@ -49,31 +49,61 @@ struct ForJob {
 } // namespace
 
 struct TaskPool::Impl {
-  /// Serialises external parallelFor callers: the pool runs one
-  /// parallel section at a time (nested calls run inline and never
-  /// take this lock).
+  /// Serialises external parallelFor callers: top-level parallel
+  /// sections run one at a time (nested calls run inline and fanOut
+  /// jobs never take this lock — they ride alongside whatever
+  /// section currently holds it).
   std::mutex CallerMu;
   std::mutex Mu;
   std::condition_variable WorkAvailable;
-  std::shared_ptr<ForJob> Current; ///< job workers should join, if any
-  std::uint64_t Generation = 0;    ///< bumped per posted job
+  /// Jobs that may still have unclaimed indices. parallelFor posts
+  /// at most one (CallerMu), fanOut posts additional jobs from
+  /// inside running tasks; workers join whichever is frontmost.
+  std::vector<std::shared_ptr<ForJob>> Active;
   bool ShuttingDown = false;
   std::vector<std::thread> Threads;
 
+  /// Returns the first job with unclaimed indices, pruning fully
+  /// claimed ones. Caller must hold Mu.
+  std::shared_ptr<ForJob> claimable() {
+    while (!Active.empty()) {
+      if (Active.front()->Next.load(std::memory_order_relaxed) >=
+          Active.front()->N) {
+        Active.erase(Active.begin());
+        continue;
+      }
+      return Active.front();
+    }
+    return nullptr;
+  }
+
+  void post(std::shared_ptr<ForJob> Job) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Active.push_back(std::move(Job));
+    }
+    WorkAvailable.notify_all();
+  }
+
+  void retire(const std::shared_ptr<ForJob> &Job) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (std::size_t I = 0; I < Active.size(); ++I)
+      if (Active[I] == Job) {
+        Active.erase(Active.begin() + I);
+        return;
+      }
+  }
+
   void workerLoop() {
     InsidePoolTask = true;
-    std::uint64_t SeenGeneration = 0;
     for (;;) {
       std::shared_ptr<ForJob> Job;
       {
         std::unique_lock<std::mutex> Lock(Mu);
-        WorkAvailable.wait(Lock, [&] {
-          return ShuttingDown || (Current && Generation != SeenGeneration);
-        });
+        WorkAvailable.wait(
+            Lock, [&] { return ShuttingDown || (Job = claimable()); });
         if (ShuttingDown)
           return;
-        SeenGeneration = Generation;
-        Job = Current;
       }
       Job->drain();
     }
@@ -122,35 +152,49 @@ void TaskPool::parallelFor(std::size_t N,
   }
 
   std::lock_guard<std::mutex> CallerLock(State->CallerMu);
+  runFanOut(N, Fn);
+}
+
+void TaskPool::fanOut(std::size_t N,
+                      const std::function<void(std::size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (!parallel() || N == 1) {
+    for (std::size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  // No CallerMu here: fanOut is the nested entry point and must ride
+  // alongside the parallel section that is (possibly) already running
+  // on this very thread.
+  runFanOut(N, Fn);
+}
+
+void TaskPool::runFanOut(std::size_t N,
+                         const std::function<void(std::size_t)> &Fn) {
   auto Job = std::make_shared<ForJob>();
   Job->N = N;
   Job->Fn = &Fn;
-  {
-    std::lock_guard<std::mutex> Lock(State->Mu);
-    State->Current = Job;
-    ++State->Generation;
-  }
-  State->WorkAvailable.notify_all();
+  State->post(Job);
 
   // The caller participates; by the time drain() returns every index
   // has been claimed, but workers may still be finishing theirs.
   // While draining, the caller thread is executing pool work: mark it
   // so a nested parallelFor inside Fn runs inline instead of trying
-  // to re-acquire CallerMu (self-deadlock).
+  // to re-acquire CallerMu (self-deadlock), and restore the previous
+  // value so a fanOut submitted from inside a pool task does not
+  // clear its worker's flag.
+  bool WasInside = InsidePoolTask;
   InsidePoolTask = true;
   Job->drain();
-  InsidePoolTask = false;
+  InsidePoolTask = WasInside;
   {
     std::unique_lock<std::mutex> Lock(Job->Mu);
     Job->AllDone.wait(Lock, [&] {
       return Job->Done.load(std::memory_order_acquire) == Job->N;
     });
   }
-  {
-    std::lock_guard<std::mutex> Lock(State->Mu);
-    if (State->Current == Job)
-      State->Current = nullptr;
-  }
+  State->retire(Job);
 }
 
 namespace {

@@ -15,6 +15,12 @@
 ///    obligation-level parallelism (e.g. RCRCHECK across derivation
 ///    nodes) composes with query-level batches without deadlock or
 ///    oversubscription.
+///  - fanOut() is the one entry point that *does* fan out from inside
+///    a pool task: it posts a second concurrently-active job that
+///    idle workers may join while the submitter drains it, so
+///    speculative proof lanes can run in parallel even when the pool
+///    is already occupied by Session::verifyAll. The submitter always
+///    drains its own job, so progress never depends on a free worker.
 ///  - Tasks carry whatever state their closure captures; the Budget
 ///    cancellation flag is a shared_ptr-backed value type, so a task
 ///    capturing a Budget observes cancellation/expiry exactly like
@@ -61,6 +67,17 @@ public:
   void parallelFor(std::size_t N,
                    const std::function<void(std::size_t)> &Fn);
 
+  /// Like parallelFor, but usable from inside a pool task: the job is
+  /// posted alongside any already-running parallel section and idle
+  /// workers join it opportunistically while the calling thread
+  /// drains it. Iterations Fn never observes a free worker guarantee —
+  /// with none available the call degrades to inline execution on the
+  /// caller. Inner parallelFor calls made by Fn still run inline
+  /// (each iteration stays on one thread). Runs inline when the pool
+  /// is sequential or N <= 1.
+  void fanOut(std::size_t N,
+              const std::function<void(std::size_t)> &Fn);
+
   /// The process-global pool (lazily created; see configureGlobal).
   static TaskPool &global();
 
@@ -76,6 +93,8 @@ public:
 private:
   struct Impl;
   void startWorkers();
+  void runFanOut(std::size_t N,
+                 const std::function<void(std::size_t)> &Fn);
 
   unsigned NumWorkers;
   Impl *State = nullptr;

@@ -79,6 +79,64 @@ TEST(BudgetTest, CancellationSharedWithSubBudgets) {
   EXPECT_TRUE(P2.cancelled());
 }
 
+TEST(BudgetTest, ChildDomainRootCancelReachesChildren) {
+  // Cancellation propagates root -> child: cancelling the root
+  // domain shoots every speculative lane carved from it.
+  Budget Root = Budget::forMillis(60000);
+  Budget Lane0 = Root.childDomain();
+  Budget Lane1 = Root.childDomain();
+  EXPECT_FALSE(Lane0.cancelled());
+  EXPECT_FALSE(Lane1.cancelled());
+  Root.cancel();
+  EXPECT_TRUE(Lane0.cancelled());
+  EXPECT_TRUE(Lane1.cancelled());
+  EXPECT_TRUE(Lane0.expired());
+}
+
+TEST(BudgetTest, ChildDomainCancelStaysInChild) {
+  // ...but not child -> root, and not across siblings: cancelling a
+  // losing lane must leave the root run and the other lanes alive.
+  Budget Root = Budget::forMillis(60000);
+  Budget Lane0 = Root.childDomain();
+  Budget Lane1 = Root.childDomain();
+  Lane0.cancel();
+  EXPECT_TRUE(Lane0.cancelled());
+  EXPECT_FALSE(Root.cancelled());
+  EXPECT_FALSE(Lane1.cancelled());
+  EXPECT_FALSE(Root.expired());
+  EXPECT_FALSE(Lane1.expired());
+}
+
+TEST(BudgetTest, ChildDomainInheritsDeadline) {
+  // A child domain is a cancellation boundary, not a time slice: it
+  // keeps the parent's deadline.
+  Budget Root = Budget::forMillis(40);
+  Budget Lane = Root.childDomain();
+  EXPECT_FALSE(Lane.isUnlimited());
+  EXPECT_LE(Lane.remainingMs(), Root.remainingMs() + 1);
+  sleepMs(60);
+  EXPECT_TRUE(Lane.expired());
+  // And of an unlimited parent, the child is unlimited too.
+  EXPECT_TRUE(Budget::unlimited().childDomain().isUnlimited());
+}
+
+TEST(BudgetTest, SubBudgetOfChildStaysInChildDomain) {
+  // Sub-budgets carved inside a lane share the lane's cancel node
+  // (the pinned bidirectional contract), so cancelling one unwinds
+  // the lane but still not the root.
+  Budget Root = Budget::forMillis(60000);
+  Budget Lane = Root.childDomain();
+  Budget Sub = Lane.subMillis(1000);
+  Sub.cancel();
+  EXPECT_TRUE(Lane.cancelled());
+  EXPECT_FALSE(Root.cancelled());
+  // Root cancellation still reaches the sub-budget through the lane.
+  Budget Root2 = Budget::forMillis(60000);
+  Budget Sub2 = Root2.childDomain().subFraction(0.5);
+  Root2.cancel();
+  EXPECT_TRUE(Sub2.cancelled());
+}
+
 TEST(BudgetTest, CancelledUnlimitedBudgetExpires) {
   Budget B = Budget::unlimited();
   EXPECT_FALSE(B.expired());

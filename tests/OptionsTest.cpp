@@ -122,6 +122,26 @@ TEST(OptionsTest, EmptyEnvValueCountsAsUnset) {
   EXPECT_FALSE(O.CacheDir.has_value());
 }
 
+TEST(OptionsTest, SpeculationEnvFillsUnsetDefault) {
+  ScopedEnv Spec("CHUTE_SPECULATION", "4");
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_EQ(O.Refiner.Speculation, 4u);
+}
+
+TEST(OptionsTest, SpeculationExplicitBeatsEnv) {
+  ScopedEnv Spec("CHUTE_SPECULATION", "4");
+  VerifierOptions In;
+  In.Refiner.Speculation = 2;
+  VerifierOptions O = resolveEnvOverrides(std::move(In));
+  EXPECT_EQ(O.Refiner.Speculation, 2u);
+}
+
+TEST(OptionsTest, SpeculationDefaultsToSequential) {
+  ScopedEnv Spec("CHUTE_SPECULATION", nullptr);
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_EQ(O.Refiner.Speculation, 1u);
+}
+
 TEST(OptionsTest, ResolutionIsIdempotent) {
   ScopedEnv Budget("CHUTE_BUDGET_MS", "900");
   VerifierOptions Once = resolveEnvOverrides(VerifierOptions());

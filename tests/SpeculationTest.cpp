@@ -1,0 +1,215 @@
+//===- tests/SpeculationTest.cpp - Speculative refinement tests ----------------===//
+//
+// Refiner-level pins for the speculative portfolio (ChuteRefiner
+// with Speculation > 1) and the reporting bugfixes that rode along:
+//
+//  - a Proved outcome never carries a stale counterexample trace,
+//    even when the loop backtracked past one on the way;
+//  - alternative-exhaustion backtracking (first candidate is a dead
+//    end, an alternative proves) produces identical verdicts and
+//    counts at Jobs=1/N and Speculation on/off;
+//  - a winning lane decides a round with the same verdict the
+//    sequential path reaches, and the Spec* counters account for it;
+//  - the hashed candidate identity used for the banned/applied set
+//    agrees with ChuteCandidate::operator==.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ChuteRefiner.h"
+#include "ctl/CtlParser.h"
+#include "expr/ExprParser.h"
+#include "program/Parser.h"
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace chute;
+
+namespace {
+
+/// Restores the global pool to sequential when a test returns.
+struct PoolGuard {
+  ~PoolGuard() { TaskPool::configureGlobal(1); }
+};
+
+/// Scalar extract of a RefineOutcome (no references into the
+/// ExprContext, which dies with the run).
+struct RefineSummary {
+  Verdict St = Verdict::Unknown;
+  unsigned Rounds = 0;
+  unsigned Refinements = 0;
+  unsigned Backtracks = 0;
+  unsigned SpecLaunched = 0;
+  unsigned SpecWon = 0;
+  unsigned SpecCancelled = 0;
+  bool TraceRealizable = false;
+};
+
+RefineSummary runRefiner(const char *Program, const char *Property,
+                         unsigned Speculation) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P0 = parseProgram(Ctx, Program, Err);
+  EXPECT_TRUE(P0) << Err;
+  CtlManager M(Ctx);
+  CtlRef F = parseCtlString(M, Property, Err);
+  EXPECT_NE(F, nullptr) << Err;
+  auto LP = liftNondeterminism(*P0);
+  Smt Solver(Ctx, 3000);
+  QeEngine Qe(Solver);
+  TransitionSystem Ts(*LP.Prog, Solver, Qe);
+  RefinerOptions RO;
+  RO.Speculation = Speculation;
+  ChuteRefiner Refiner(LP, Ts, Solver, Qe, RO);
+  RefineOutcome Out = Refiner.prove(F);
+  return {Out.St,          Out.Rounds,  Out.Refinements,
+          Out.Backtracks,  Out.SpecLaunched, Out.SpecWon,
+          Out.SpecCancelled, Out.Trace.realizable()};
+}
+
+/// Staying safe needs x > 0 *and* y <= x, but the pure sign
+/// candidate on x ranks first and is a dead end: the refiner has to
+/// backtrack past a counterexample round and apply the entangled
+/// alternative before the proof goes through.
+const char *CoupledChoices =
+    "init(p == 1);"
+    "while (true) {"
+    "  x = *;"
+    "  y = *;"
+    "  if (x > 0) { skip; } else { p = 0; }"
+    "  if (y > x) { p = 0; } else { skip; }"
+    "}";
+
+/// The first-ranked candidate blames the decoy havoc z (the trace
+/// happens to constrain it), but only the branch choice matters: the
+/// second candidate proves in one step. Under speculation that
+/// second lane wins the very first round.
+const char *DecoyThenBranch =
+    "init(p == 1);"
+    "while (true) {"
+    "  if (*) { p = 1; } else { p = 0; }"
+    "  z = *;"
+    "  if (z > 0) { skip; } else { skip; }"
+    "}";
+
+/// No nondeterministic choice to blame: EG(p == 1) is just false,
+/// and the outcome carries the genuine counterexample.
+const char *DrainsToZero =
+    "init(p == 1 && n >= 1);"
+    "while (n > 0) { n = n - 1; }"
+    "p = 0; while (true) { skip; }";
+
+TEST(SpeculationTest, ProvedAfterBacktrackingLeavesNoTrace) {
+  // Regression: the refiner used to stash each round's
+  // counterexample in Out.Trace as it went, so a run that saw a
+  // counterexample, backtracked, and then proved returned Proved
+  // with a stale (realizable) trace attached.
+  RefineSummary R = runRefiner(CoupledChoices, "EG(p == 1)", 1);
+  ASSERT_EQ(R.St, Verdict::Proved);
+  ASSERT_GE(R.Backtracks, 1u);
+  EXPECT_FALSE(R.TraceRealizable);
+}
+
+TEST(SpeculationTest, NotProvedCarriesRealizableTrace) {
+  // The counterpart pin: the one exit that reports a counterexample
+  // still delivers it.
+  RefineSummary R = runRefiner(DrainsToZero, "EG(p == 1)", 1);
+  ASSERT_EQ(R.St, Verdict::NotProved);
+  EXPECT_TRUE(R.TraceRealizable);
+  EXPECT_EQ(R.SpecLaunched, 0u);
+}
+
+TEST(SpeculationTest, AlternativeExhaustionIdenticalAcrossConfigs) {
+  // The first candidate chain dead-ends and the refiner backtracks
+  // to an alternative that proves. Jobs and Speculation are
+  // performance knobs: every configuration must report the same
+  // verdict, and the sequential counts must be bit-identical at
+  // Speculation=1 regardless of Jobs.
+  PoolGuard Guard;
+  RefineSummary Seq = runRefiner(CoupledChoices, "EG(p == 1)", 1);
+  ASSERT_EQ(Seq.St, Verdict::Proved);
+  EXPECT_GE(Seq.Backtracks, 1u);
+  EXPECT_EQ(Seq.SpecLaunched, 0u);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    TaskPool::configureGlobal(Jobs);
+    for (unsigned Spec : {1u, 3u}) {
+      RefineSummary R =
+          runRefiner(CoupledChoices, "EG(p == 1)", Spec);
+      EXPECT_EQ(R.St, Seq.St) << "jobs=" << Jobs << " spec=" << Spec;
+      EXPECT_FALSE(R.TraceRealizable);
+      if (Spec == 1) {
+        EXPECT_EQ(R.Rounds, Seq.Rounds) << "jobs=" << Jobs;
+        EXPECT_EQ(R.Refinements, Seq.Refinements) << "jobs=" << Jobs;
+        EXPECT_EQ(R.Backtracks, Seq.Backtracks) << "jobs=" << Jobs;
+        EXPECT_EQ(R.SpecLaunched, 0u);
+      }
+    }
+  }
+}
+
+TEST(SpeculationTest, WinningLaneDecidesRoundWithSameVerdict) {
+  // Sequentially the decoy candidate costs a wasted round; with
+  // speculation the correct lane wins round one outright and the
+  // losers are accounted as cancelled.
+  PoolGuard Guard;
+  RefineSummary Seq = runRefiner(DecoyThenBranch, "EG(p == 1)", 1);
+  ASSERT_EQ(Seq.St, Verdict::Proved);
+  EXPECT_EQ(Seq.SpecWon, 0u);
+  EXPECT_GE(Seq.Rounds, 2u);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    TaskPool::configureGlobal(Jobs);
+    RefineSummary R = runRefiner(DecoyThenBranch, "EG(p == 1)", 3);
+    EXPECT_EQ(R.St, Verdict::Proved) << "jobs=" << Jobs;
+    EXPECT_FALSE(R.TraceRealizable);
+    EXPECT_GE(R.SpecLaunched, 2u) << "jobs=" << Jobs;
+    EXPECT_EQ(R.SpecWon, 1u) << "jobs=" << Jobs;
+    EXPECT_GE(R.SpecCancelled, 1u) << "jobs=" << Jobs;
+    EXPECT_LT(R.Rounds, Seq.Rounds) << "jobs=" << Jobs;
+  }
+}
+
+TEST(SpeculationTest, CandidateHashAgreesWithEquality) {
+  // The banned/applied set is hashed on candidate identity; this
+  // pins that identity to ChuteCandidate::operator== (path, loc,
+  // hash-consed predicate) so banning semantics cannot drift.
+  ExprContext Ctx;
+  std::string Err;
+  ExprRef P1 = *parseFormulaString(Ctx, "rho1 <= 0", Err);
+  ExprRef P1b = *parseFormulaString(Ctx, "rho1 <= 0", Err);
+  ExprRef P2 = *parseFormulaString(Ctx, "rho1 > 0", Err);
+  // Hash-consing: structurally equal predicates are one node.
+  ASSERT_EQ(P1, P1b);
+
+  SubformulaPath Root;
+  ChuteCandidate A{Root, 3, P1};
+  ChuteCandidate SameAsA{Root, 3, P1b};
+  ChuteCandidate OtherLoc{Root, 4, P1};
+  ChuteCandidate OtherPred{Root, 3, P2};
+  ChuteCandidate OtherPath{Root.leftChild(), 3, P1};
+
+  EXPECT_TRUE(A == SameAsA);
+  EXPECT_FALSE(A == OtherLoc);
+  EXPECT_FALSE(A == OtherPred);
+  EXPECT_FALSE(A == OtherPath);
+
+  ChuteCandidateHash H;
+  EXPECT_EQ(H(A), H(SameAsA));
+
+  std::unordered_set<ChuteCandidate, ChuteCandidateHash> Closed;
+  Closed.insert(A);
+  EXPECT_EQ(Closed.count(SameAsA), 1u); // banning A bans its copy
+  EXPECT_EQ(Closed.count(OtherLoc), 0u);
+  EXPECT_EQ(Closed.count(OtherPred), 0u);
+  EXPECT_EQ(Closed.count(OtherPath), 0u);
+  Closed.insert(OtherLoc);
+  Closed.insert(OtherPred);
+  Closed.insert(OtherPath);
+  EXPECT_EQ(Closed.size(), 4u);
+  EXPECT_FALSE(Closed.insert(SameAsA).second);
+}
+
+} // namespace

@@ -155,6 +155,95 @@ TEST(TaskPoolTest, ExceptionsDoNotEscapeSequentialPath) {
       std::runtime_error);
 }
 
+TEST(TaskPoolTest, FanOutCoversEveryIndexExactlyOnce) {
+  TaskPool Pool(4);
+  constexpr std::size_t N = 500;
+  std::vector<std::atomic<unsigned>> Counts(N);
+  Pool.fanOut(N, [&](std::size_t I) {
+    Counts[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1u) << "index " << I;
+}
+
+TEST(TaskPoolTest, FanOutInlineOnSequentialPool) {
+  TaskPool Pool(1);
+  std::vector<std::size_t> Order;
+  Pool.fanOut(4, [&](std::size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(TaskPoolTest, FanOutFromInsidePoolTaskCompletes) {
+  // The whole point of fanOut: a task body (here, one parallelFor
+  // iteration — standing in for a refinement round inside a
+  // Session::verifyAll worker) can launch a second parallel section
+  // without self-deadlocking on the caller lock and without waiting
+  // for the outer section to finish.
+  TaskPool Pool(4);
+  std::atomic<unsigned> Total{0};
+  Pool.parallelFor(4, [&](std::size_t) {
+    Pool.fanOut(8, [&](std::size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), 4u * 8u);
+}
+
+TEST(TaskPoolTest, FanOutCanUseMultipleThreads) {
+  TaskPool Pool(4);
+  std::mutex Mu;
+  std::set<std::thread::id> Tids;
+  Pool.fanOut(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> Lock(Mu);
+    Tids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(Tids.size(), 2u);
+}
+
+TEST(TaskPoolTest, NestedParallelForInsideFanOutRunsInline) {
+  // A fanOut lane's inner parallelFor must stay on the lane's
+  // thread — that is what makes per-lane thread_local budget
+  // overrides sound in the speculative refiner.
+  TaskPool Pool(4);
+  std::atomic<unsigned> Mismatches{0};
+  std::atomic<unsigned> Total{0};
+  Pool.fanOut(8, [&](std::size_t) {
+    std::thread::id Lane = std::this_thread::get_id();
+    Pool.parallelFor(16, [&](std::size_t) {
+      if (std::this_thread::get_id() != Lane)
+        Mismatches.fetch_add(1, std::memory_order_relaxed);
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), 8u * 16u);
+  EXPECT_EQ(Mismatches.load(), 0u);
+}
+
+TEST(TaskPoolTest, FanOutLanesObserveBudgetCancellation) {
+  // Speculative lanes each poll their own child cancel domain; a
+  // winner cancelling its siblings must be visible to every other
+  // lane while the root domain stays live.
+  TaskPool Pool(4);
+  Budget Root = Budget::forMillis(60000);
+  constexpr std::size_t Lanes = 6;
+  std::vector<Budget> LaneBudgets;
+  for (std::size_t I = 0; I < Lanes; ++I)
+    LaneBudgets.push_back(Root.childDomain());
+  std::atomic<unsigned> Cancelled{0};
+  Pool.fanOut(Lanes, [&](std::size_t I) {
+    if (I == 0)
+      for (std::size_t J = 1; J < Lanes; ++J)
+        LaneBudgets[J].cancel();
+  });
+  for (std::size_t J = 1; J < Lanes; ++J)
+    if (LaneBudgets[J].cancelled())
+      Cancelled.fetch_add(1, std::memory_order_relaxed);
+  EXPECT_EQ(Cancelled.load(), Lanes - 1);
+  EXPECT_FALSE(Root.cancelled());
+  EXPECT_FALSE(LaneBudgets[0].cancelled());
+}
+
 TEST(TaskPoolTest, ConfigureGlobalZeroKeepsCurrentSize) {
   unsigned Before = TaskPool::configureGlobal(0);
   EXPECT_EQ(TaskPool::configureGlobal(0), Before);

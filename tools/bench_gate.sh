@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# Bench smoke gate: runs a small subset of the Figure 6 rows and
-# fails when any row's *verdict* (proved/disproved/unknown/...)
-# differs from the checked-in baseline BENCH_parallel.json. Timings
-# are deliberately ignored — CI machines are noisy — so this catches
-# soundness/strength regressions, not slowdowns.
+# Bench smoke gate: runs a slice of a result table and fails when
+# any row's *verdict* (proved/disproved/unknown/...) differs from the
+# checked-in baseline. Timings are deliberately ignored — CI machines
+# are noisy — so this catches soundness/strength regressions, not
+# slowdowns.
 #
 #   tools/bench_gate.sh [build-dir]
 #
+# The default configuration gates the Figure 6 slice against
+# BENCH_parallel.json; CI's speculation leg re-runs it with
+#   CHUTE_GATE_BENCH=bench_fig7_industrial
+#   CHUTE_GATE_TABLE="Figure 7: industrial code models"
+#   CHUTE_BENCH_BASELINE=BENCH_speculative.json
+#   CHUTE_SPECULATION=3
+# to pin the speculative configuration's fig7 verdicts.
+#
 # Knobs (environment):
+#   CHUTE_GATE_BENCH     bench binary under build/bench
+#                        (default bench_fig6_small)
+#   CHUTE_GATE_TABLE     table title to extract from the JSON rows
+#                        (default the Figure 6 title)
 #   CHUTE_GATE_ROWS      row range to run (default 1-12: a fast,
 #                        deterministic slice covering both verdicts)
 #   CHUTE_GATE_TIMEOUT   per-row timeout in seconds (default 90)
@@ -16,6 +28,9 @@
 #                        (default BENCH_parallel.json)
 #   CHUTE_GATE_ARTIFACTS directory to keep the run's JSON and Chrome
 #                        traces in when the gate fails (CI uploads it)
+#
+# Engine knobs (CHUTE_SPECULATION, CHUTE_INCREMENTAL, ...) pass
+# through to the bench children untouched.
 set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -24,9 +39,9 @@ ROWS=${CHUTE_GATE_ROWS:-1-12}
 TIMEOUT=${CHUTE_GATE_TIMEOUT:-90}
 JOBS=${CHUTE_GATE_JOBS:-2}
 BASELINE=${CHUTE_BENCH_BASELINE:-"$ROOT"/BENCH_parallel.json}
-TABLE="Figure 6: small benchmarks (operator combinations)"
+TABLE=${CHUTE_GATE_TABLE:-"Figure 6: small benchmarks (operator combinations)"}
 
-BENCH="$BUILD"/bench/bench_fig6_small
+BENCH="$BUILD"/bench/${CHUTE_GATE_BENCH:-bench_fig6_small}
 [ -x "$BENCH" ] || { echo "bench_gate: $BENCH not built" >&2; exit 2; }
 [ -r "$BASELINE" ] || { echo "bench_gate: no baseline $BASELINE" >&2; exit 2; }
 

@@ -16,13 +16,15 @@
 //              [--inject-fault CONFIG=N] [--shrink-attempts N]
 //              [--list-families]
 //
-// Configurations (default "seq,par,noinc,cold,warm"; "daemon" joins
-// when --daemon is given):
+// Configurations (default "seq,par,noinc,cold,warm,spec"; "daemon"
+// joins when --daemon is given):
 //   seq    jobs=1, incremental sessions on (the baseline oracle)
 //   par    jobs=N (--jobs, default 4)
 //   noinc  jobs=1 with CHUTE_INCREMENTAL=0
 //   cold   jobs=1 through a fresh disk cache
 //   warm   jobs=1 re-using the cold run's disk cache
+//   spec   jobs=N with CHUTE_SPECULATION=3 (speculative refinement
+//          lanes; verdicts must match the sequential oracle)
 //   daemon the live chuted at --daemon ENDPOINT
 //
 // A mismatch (definite verdict vs. ground truth), a cross-config
@@ -60,7 +62,8 @@ struct FuzzOptions {
   std::uint64_t Seed = 0xc407e0001ull; ///< "chute" leet-ish; CI pins it
   unsigned Count = 200;
   std::vector<std::string> Families;
-  std::vector<std::string> Configs = {"seq", "par", "noinc", "cold", "warm"};
+  std::vector<std::string> Configs = {"seq",  "par",  "noinc",
+                                      "cold", "warm", "spec"};
   unsigned TimeoutSec = 20;
   unsigned Jobs = 4;
   std::string DaemonEndpoint;          ///< empty = no daemon config
@@ -213,12 +216,16 @@ Answer runConfig(const FuzzOptions &Opts, const std::string &Config,
   unsigned Jobs = 1;
   const char *Cache = nullptr;
   std::optional<ScopedEnv> NoInc;
+  std::optional<ScopedEnv> Spec;
   if (Config == "par") {
     Jobs = Opts.Jobs;
   } else if (Config == "noinc") {
     NoInc.emplace("CHUTE_INCREMENTAL", "0");
   } else if (Config == "cold" || Config == "warm") {
     Cache = CacheDir.c_str();
+  } else if (Config == "spec") {
+    Jobs = Opts.Jobs;
+    Spec.emplace("CHUTE_SPECULATION", "3");
   }
   // "seq" and unknown names run the plain sequential baseline.
   bench::RowResult R = bench::runRow(Row, Opts.TimeoutSec, Jobs, TracePath,

@@ -2,8 +2,9 @@
 # Differential fuzz gate: generated ground-truth workloads through a
 # matrix of engine configurations. Three legs:
 #
-#   1. offline matrix - a fixed-seed suite through seq/par/noinc and
-#                       the cold/warm disk-cache pair; any definite
+#   1. offline matrix - a fixed-seed suite through seq/par/noinc,
+#                       the cold/warm disk-cache pair, and spec
+#                       (speculative refinement lanes); any definite
 #                       verdict contradicting the constructed ground
 #                       truth, any cross-config disagreement, or any
 #                       crash fails the gate.
@@ -58,10 +59,10 @@ trap cleanup EXIT
 
 # --- leg 1: offline configuration matrix ---------------------------
 echo "fuzz_gate: leg 1 - $COUNT programs, seed $SEED," \
-     "configs seq,par,noinc,cold,warm"
+     "configs seq,par,noinc,cold,warm,spec"
 set +e
 "$FUZZ" --seed "$SEED" --count "$COUNT" --timeout "$TIMEOUT" \
-  --jobs "$JOBS" --configs seq,par,noinc,cold,warm \
+  --jobs "$JOBS" --configs seq,par,noinc,cold,warm,spec \
   --artifacts "$ART/offline" --json "$SCRATCH/fuzz.json" \
   2> "$SCRATCH/fuzz.log"
 RC=$?
