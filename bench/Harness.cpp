@@ -84,6 +84,15 @@ struct ChildStats {
   unsigned SpecLaunched = 0;
   unsigned SpecWon = 0;
   unsigned SpecCancelled = 0;
+  unsigned Backend = 0;
+  unsigned ChcQueries = 0;
+  unsigned ChcRules = 0;
+  unsigned PfRaces = 0;
+  unsigned PfChuteWins = 0;
+  unsigned PfChcWins = 0;
+  unsigned PfCancelled = 0;
+  std::uint64_t ChuteLaneUs = 0;
+  std::uint64_t ChcLaneUs = 0;
   obs::TraceSummary Trace;
 };
 
@@ -217,6 +226,15 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Stats.SpecLaunched = R.SpecLaunched;
     Stats.SpecWon = R.SpecWon;
     Stats.SpecCancelled = R.SpecCancelled;
+    Stats.Backend = static_cast<unsigned>(R.Backend);
+    Stats.ChcQueries = R.BackendActivity.ChcQueries;
+    Stats.ChcRules = R.BackendActivity.ChcRules;
+    Stats.PfRaces = R.BackendActivity.Races;
+    Stats.PfChuteWins = R.BackendActivity.ChuteWins;
+    Stats.PfChcWins = R.BackendActivity.ChcWins;
+    Stats.PfCancelled = R.BackendActivity.LanesCancelled;
+    Stats.ChuteLaneUs = R.BackendActivity.ChuteLaneUs;
+    Stats.ChcLaneUs = R.BackendActivity.ChcLaneUs;
     Stats.Trace = R.Trace;
     // sendAll retries short writes/EINTR and reports a vanished
     // reader as a status instead of a signal; the verdict still
@@ -276,6 +294,15 @@ RowResult chute::bench::runRow(const corpus::BenchRow &Row,
     Result.SpecLaunched = Stats.SpecLaunched;
     Result.SpecWon = Stats.SpecWon;
     Result.SpecCancelled = Stats.SpecCancelled;
+    Result.Backend = Stats.Backend;
+    Result.ChcQueries = Stats.ChcQueries;
+    Result.ChcRules = Stats.ChcRules;
+    Result.PfRaces = Stats.PfRaces;
+    Result.PfChuteWins = Stats.PfChuteWins;
+    Result.PfChcWins = Stats.PfChcWins;
+    Result.PfCancelled = Stats.PfCancelled;
+    Result.ChuteLaneUs = Stats.ChuteLaneUs;
+    Result.ChcLaneUs = Stats.ChcLaneUs;
     Result.Trace = Stats.Trace;
   }
 
@@ -377,7 +404,11 @@ unsigned chute::bench::runTable(const char *Title,
           "\"disk_rejects\":%u,\"disk_indexed\":%u,"
           "\"disk_torn\":%u,\"disk_compactions\":%u,"
           "\"spec_launched\":%u,\"spec_won\":%u,"
-          "\"spec_cancelled\":%u,%s}\n",
+          "\"spec_cancelled\":%u,\"backend\":\"%s\","
+          "\"chc_queries\":%u,\"chc_rules\":%u,\"pf_races\":%u,"
+          "\"pf_chute_wins\":%u,\"pf_chc_wins\":%u,"
+          "\"pf_cancelled\":%u,\"chute_lane_us\":%llu,"
+          "\"chc_lane_us\":%llu,%s}\n",
           jsonEscape(Title).c_str(), Row.Id,
           jsonEscape(Row.Example).c_str(),
           jsonEscape(Row.Property).c_str(),
@@ -389,6 +420,11 @@ unsigned chute::bench::runTable(const char *Title,
           R.DiskLoaded, R.DiskWarmHits, R.DiskSaved, R.DiskRejects,
           R.DiskIndexed, R.DiskTorn, R.DiskCompactions,
           R.SpecLaunched, R.SpecWon, R.SpecCancelled,
+          toString(static_cast<BackendKind>(R.Backend)), R.ChcQueries,
+          R.ChcRules, R.PfRaces, R.PfChuteWins, R.PfChcWins,
+          R.PfCancelled,
+          static_cast<unsigned long long>(R.ChuteLaneUs),
+          static_cast<unsigned long long>(R.ChcLaneUs),
           R.Trace.toJsonFields().c_str());
       std::fflush(Json);
     }

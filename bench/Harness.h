@@ -58,6 +58,17 @@ struct RowResult {
   unsigned SpecLaunched = 0;  ///< speculative lanes fanned out
   unsigned SpecWon = 0;       ///< rounds decided by a winning lane
   unsigned SpecCancelled = 0; ///< lanes shot or skipped by a winner
+  /// Proof-backend activity (see core/ProofBackend.h; all zero under
+  /// the default chute backend).
+  unsigned Backend = 0;      ///< chute::BackendKind the child ran with
+  unsigned ChcQueries = 0;   ///< Spacer queries run
+  unsigned ChcRules = 0;     ///< Horn rules added
+  unsigned PfRaces = 0;      ///< portfolio races run
+  unsigned PfChuteWins = 0;  ///< races decided by the chute lane
+  unsigned PfChcWins = 0;    ///< races decided by the chc lane
+  unsigned PfCancelled = 0;  ///< loser lanes shot before finishing
+  std::uint64_t ChuteLaneUs = 0; ///< wall-clock in chute lanes
+  std::uint64_t ChcLaneUs = 0;   ///< wall-clock in chc lanes
   /// Phase breakdown of the child's run (each child traces at Stats
   /// level, so JSON rows always carry per-stage time/span counts).
   obs::TraceSummary Trace;

@@ -7,10 +7,14 @@
 //                                           [--show-program]
 //                                           [--no-negation]
 //                                           [--budget-ms N]
+//                                           [--backend NAME]
 //
 // --budget-ms runs the verification under the resource governor: a
 // wall-clock deadline that derives per-query SMT timeouts and
 // degrades cleanly to "unknown" (with a reason) when it expires.
+//
+// --backend chute|chc|portfolio picks the proof engine (default:
+// CHUTE_BACKEND, else chute).
 //
 // Exit codes: 0 proved, 1 disproved, 2 unknown, 3 usage/parse error.
 //
@@ -31,7 +35,7 @@ static void usage() {
       stderr,
       "usage: chuteverify PROGRAM-FILE \"CTL-PROPERTY\" "
       "[--show-proof] [--show-program] [--no-negation] "
-      "[--budget-ms N]\n");
+      "[--budget-ms N] [--backend chute|chc|portfolio]\n");
 }
 
 int main(int Argc, char **Argv) {
@@ -41,6 +45,7 @@ int main(int Argc, char **Argv) {
   }
   bool ShowProof = false, ShowProgram = false, TryNegation = true;
   unsigned BudgetMs = 0;
+  std::optional<BackendKind> Backend;
   for (int I = 3; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--show-proof") == 0)
       ShowProof = true;
@@ -50,7 +55,13 @@ int main(int Argc, char **Argv) {
       TryNegation = false;
     else if (std::strcmp(Argv[I], "--budget-ms") == 0 && I + 1 < Argc)
       BudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else {
+    else if (std::strcmp(Argv[I], "--backend") == 0 && I + 1 < Argc) {
+      Backend = parseBackendKind(Argv[++I]);
+      if (!Backend) {
+        std::fprintf(stderr, "error: unknown backend '%s'\n", Argv[I]);
+        return 3;
+      }
+    } else {
       usage();
       return 3;
     }
@@ -75,6 +86,7 @@ int main(int Argc, char **Argv) {
   VerifierOptions Options;
   Options.TryNegation = TryNegation;
   Options.BudgetMs = BudgetMs;
+  Options.Backend = Backend;
   Verifier V(*Prog, Options);
   if (ShowProgram)
     std::printf("%s\n", V.lifted().toString().c_str());
@@ -95,6 +107,16 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.SmtStats.Retries),
                 static_cast<unsigned long long>(R.SmtStats.Recovered),
                 static_cast<unsigned long long>(R.SmtStats.Exhausted));
+  if (R.BackendActivity.Races != 0)
+    std::printf("portfolio: %u races, %u chute wins, %u chc wins, "
+                "%u lanes cancelled\n",
+                R.BackendActivity.Races, R.BackendActivity.ChuteWins,
+                R.BackendActivity.ChcWins,
+                R.BackendActivity.LanesCancelled);
+  if (R.Backend == BackendKind::Chc && R.BackendActivity.ChcQueries != 0)
+    std::printf("chc: %u obligations, %u rules, %u queries\n",
+                R.BackendActivity.ChcObligations,
+                R.BackendActivity.ChcRules, R.BackendActivity.ChcQueries);
   if (ShowProof && R.Proof.valid()) {
     if (R.ProofIsOfNegation)
       std::printf("proof of the negated property:\n");

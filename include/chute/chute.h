@@ -28,7 +28,10 @@
 /// and expression parsers, the CTL surface syntax, Verifier /
 /// VerificationSession with their consolidated VerifierOptions (see
 /// core/Options.h for the CHUTE_* environment overrides), the
-/// unified Verdict enum, derivation trees and pretty-printing.
+/// ProofBackend engine seam (chute refinement, the Horn-clause
+/// engine, or a portfolio of both — VerifierOptions::Backend /
+/// CHUTE_BACKEND), the unified Verdict enum, derivation trees and
+/// pretty-printing.
 /// Internal layers (smt/, qe/, analysis/, ts/) are reachable through
 /// their own headers but carry no stability promise.
 ///
@@ -47,10 +50,11 @@
 #include "ctl/Ctl.h"
 #include "ctl/CtlParser.h"
 
-// Verification: options, verdicts, single-property and batch entry
-// points, proofs.
+// Verification: options, verdicts, proof backends, single-property
+// and batch entry points, proofs.
 #include "core/DerivationTree.h"
 #include "core/Options.h"
+#include "core/ProofBackend.h"
 #include "core/Session.h"
 #include "core/Verdict.h"
 #include "core/Verifier.h"

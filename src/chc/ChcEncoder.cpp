@@ -1,0 +1,199 @@
+//===- chc/ChcEncoder.cpp - CTL obligations as Horn clauses -----------------===//
+
+#include "chc/ChcEncoder.h"
+
+#include "expr/ExprBuilder.h"
+
+#include <algorithm>
+
+using namespace chute;
+
+const char *chute::toString(ChcVerdict V) {
+  switch (V) {
+  case ChcVerdict::Holds:
+    return "holds";
+  case ChcVerdict::Violated:
+    return "violated";
+  case ChcVerdict::Unknown:
+    return "unknown";
+  case ChcVerdict::Unsupported:
+    return "unsupported";
+  }
+  return "?";
+}
+
+bool ChcEncoder::isPropositional(CtlRef F) {
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return true;
+  case CtlKind::And:
+  case CtlKind::Or:
+    return isPropositional(F->left()) && isPropositional(F->right());
+  default:
+    return false;
+  }
+}
+
+bool ChcEncoder::collectObligations(CtlRef F, std::vector<CtlRef> &Out) {
+  if (isPropositional(F)) {
+    Out.push_back(F);
+    return true;
+  }
+  switch (F->kind()) {
+  case CtlKind::And:
+    // A conjunction holds from every initial state iff both conjuncts
+    // do, so non-propositional conjunctions split into independent
+    // CHC systems. Disjunctions do not split this way and fall
+    // through to unsupported unless propositional.
+    return collectObligations(F->left(), Out) &&
+           collectObligations(F->right(), Out);
+  case CtlKind::AW:
+    if (isPropositional(F->left()) && isPropositional(F->right())) {
+      Out.push_back(F);
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+bool ChcEncoder::supports(CtlRef F) {
+  std::vector<CtlRef> Obligations;
+  return collectObligations(F, Obligations);
+}
+
+ExprRef ChcEncoder::propFormula(CtlRef F) const {
+  ExprContext &Ctx = Prog.exprContext();
+  switch (F->kind()) {
+  case CtlKind::Atom:
+    return F->atom();
+  case CtlKind::And:
+    return Ctx.mkAnd(propFormula(F->left()), propFormula(F->right()));
+  case CtlKind::Or:
+    return Ctx.mkOr(propFormula(F->left()), propFormula(F->right()));
+  default:
+    assert(false && "not propositional");
+    return Ctx.mkTrue();
+  }
+}
+
+ChcVerdict ChcEncoder::finishQuery(FixedpointSolver &Fp,
+                                   const FixedpointSolver::App &Query,
+                                   const Budget &B,
+                                   unsigned SmtTimeoutCapMs) {
+  FixedpointSolver::Result R = Fp.query(Query, B, SmtTimeoutCapMs);
+  St.Relations += Fp.stats().Relations;
+  St.Rules += Fp.stats().Rules;
+  St.Queries += Fp.stats().Queries;
+  St.Interrupts += Fp.stats().Interrupts;
+  Script += Fp.script();
+  switch (R) {
+  case FixedpointSolver::Result::Unreachable:
+    return ChcVerdict::Holds;
+  case FixedpointSolver::Result::Reachable:
+    return ChcVerdict::Violated;
+  case FixedpointSolver::Result::Unknown:
+    return ChcVerdict::Unknown;
+  }
+  return ChcVerdict::Unknown;
+}
+
+ChcVerdict ChcEncoder::provePropositional(ExprRef Pi, const Budget &B,
+                                          unsigned SmtTimeoutCapMs) {
+  ExprContext &Ctx = Prog.exprContext();
+  ExprRef Init = Prog.init() != nullptr ? Prog.init() : Ctx.mkTrue();
+
+  FixedpointSolver Fp;
+  FixedpointSolver::RelId Bad = Fp.declareRelation("Bad", 0);
+  // I(x) && !pi(x) => Bad: the obligation fails iff some initial
+  // state refutes pi. No transition rules — "pi holds initially" is
+  // not AG pi.
+  Fp.addRule({Bad, {}}, {}, Ctx.mkAnd(Init, Ctx.mkNot(Pi)));
+  return finishQuery(Fp, {Bad, {}}, B, SmtTimeoutCapMs);
+}
+
+ChcVerdict ChcEncoder::proveUnless(ExprRef P1, ExprRef P2, const Budget &B,
+                                   unsigned SmtTimeoutCapMs) {
+  ExprContext &Ctx = Prog.exprContext();
+  ExprRef Init = Prog.init() != nullptr ? Prog.init() : Ctx.mkTrue();
+
+  // The relation state: every registered program variable, plus any
+  // variable the init condition or the property mentions that no
+  // command ever touches. Those extras are rigid — the program
+  // registers exactly the variables its commands mention, so an
+  // unregistered one is never assigned — but the edge relations know
+  // nothing about them, so they get an explicit frame conjunct
+  // (x' == x) on every edge. Dropping them instead would leave them
+  // unconstrained in each rule and make Bad spuriously reachable.
+  std::vector<ExprRef> Vars = Prog.variables();
+  std::vector<ExprRef> Rigid;
+  auto AddRigid = [&](ExprRef E) {
+    for (ExprRef V : freeVars(E))
+      if (std::find(Vars.begin(), Vars.end(), V) == Vars.end()) {
+        Vars.push_back(V);
+        Rigid.push_back(V);
+      }
+  };
+  AddRigid(Init);
+  AddRigid(P1);
+  AddRigid(P2);
+  ExprRef Frame = Ctx.mkTrue();
+  for (ExprRef V : Rigid)
+    Frame = Ctx.mkAnd(Frame, Ctx.mkEq(primed(Ctx, V), V));
+
+  std::vector<ExprRef> Primed;
+  Primed.reserve(Vars.size());
+  for (ExprRef V : Vars)
+    Primed.push_back(primed(Ctx, V));
+
+  FixedpointSolver Fp;
+  std::vector<FixedpointSolver::RelId> Rel;
+  Rel.reserve(Prog.numLocations());
+  for (Loc L = 0; L != Prog.numLocations(); ++L)
+    Rel.push_back(Fp.declareRelation("R_l" + std::to_string(L),
+                                     static_cast<unsigned>(Vars.size())));
+  FixedpointSolver::RelId Bad = Fp.declareRelation("Bad", 0);
+
+  ExprRef Keep = Ctx.mkAnd(P1, Ctx.mkNot(P2)); // prefix may continue
+  ExprRef Fail = Ctx.mkAnd(Ctx.mkNot(P1), Ctx.mkNot(P2)); // violation
+
+  // I(x) => R_entry(x).
+  Fp.addRule({Rel[Prog.entry()], Vars}, {}, Init);
+  // R_l(x) && p1(x) && !p2(x) && rel_e(x, x') => R_l'(x').
+  for (const Edge &E : Prog.edges())
+    Fp.addRule({Rel[E.Dst], Primed}, {{Rel[E.Src], Vars}},
+               Ctx.mkAnd(Keep, Ctx.mkAnd(Ts.edgeRelation(E.Id), Frame)));
+  // R_l(x) && !p1(x) && !p2(x) => Bad.
+  for (Loc L = 0; L != Prog.numLocations(); ++L)
+    Fp.addRule({Bad, {}}, {{Rel[L], Vars}}, Fail);
+
+  return finishQuery(Fp, {Bad, {}}, B, SmtTimeoutCapMs);
+}
+
+ChcVerdict ChcEncoder::prove(CtlRef F, const Budget &B,
+                             unsigned SmtTimeoutCapMs) {
+  Script.clear();
+  std::vector<CtlRef> Obligations;
+  if (!collectObligations(F, Obligations))
+    return ChcVerdict::Unsupported;
+
+  // Any violated conjunct refutes the conjunction outright, so a
+  // definite Violated beats an Unknown from a sibling conjunct.
+  bool SawUnknown = false;
+  for (CtlRef Ob : Obligations) {
+    ++St.Obligations;
+    if (!Script.empty())
+      Script += "; --- next obligation ---\n";
+    ChcVerdict V;
+    if (isPropositional(Ob))
+      V = provePropositional(propFormula(Ob), B, SmtTimeoutCapMs);
+    else
+      V = proveUnless(propFormula(Ob->left()), propFormula(Ob->right()),
+                      B, SmtTimeoutCapMs);
+    if (V == ChcVerdict::Violated)
+      return ChcVerdict::Violated;
+    SawUnknown = SawUnknown || V != ChcVerdict::Holds;
+  }
+  return SawUnknown ? ChcVerdict::Unknown : ChcVerdict::Holds;
+}

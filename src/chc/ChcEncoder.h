@@ -1,0 +1,127 @@
+//===- chc/ChcEncoder.h - CTL obligations as Horn clauses -----*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes CTL obligations over a CFG program as constrained Horn
+/// clauses and discharges them with smt/FixedpointSolver (Z3's
+/// Spacer), following the Horn-clause view of CTL verification of
+/// Beyene–Popeea–Rybalchenko. This is the second proof engine behind
+/// the ProofBackend API; the refinement loop of the paper stays the
+/// default.
+///
+/// Supported fragment (the *safety* slice of the paper's syntax —
+/// exactly the obligations whose violation is a finite reachability
+/// witness, so plain CHC solving is sound and complete for both
+/// answers):
+///
+///   - propositional formulas (atoms closed under && / ||): "holds
+///     in every initial state";
+///   - A[p1 W p2] with propositional operands, including the AG p
+///     sugar: violated iff a state satisfying !p1 && !p2 is
+///     reachable through states satisfying p1 && !p2;
+///   - conjunctions of supported formulas (each conjunct is a
+///     separate CHC system).
+///
+/// Eventualities (AF/EF), existential path quantifiers (EW/EG) and
+/// nested temporal operators need well-foundedness or
+/// forall-exists alternation on top of reachability; they are
+/// reported Unsupported here and stay with the chute engine (the
+/// existential-Horn encodings of Beyene et al. / Carelli–Grumberg
+/// are the ROADMAP road past this).
+///
+/// Encoding of A[p1 W p2] over M = (Loc x Z^n, R, I), one predicate
+/// R_l(x) per location ("reached along a prefix whose earlier states
+/// all satisfied p1 && !p2"):
+///
+///   I(x)                                   => R_entry(x)
+///   R_l(x) && p1(x) && !p2(x) && rel_e(x,x') => R_l'(x')   (e: l->l')
+///   R_l(x) && !p1(x) && !p2(x)             => Bad          (every l)
+///
+/// and the obligation holds from every initial state iff Bad is
+/// unreachable. Propositional p degenerates to I(x) && !p(x) => Bad.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CHC_CHCENCODER_H
+#define CHUTE_CHC_CHCENCODER_H
+
+#include "ctl/Ctl.h"
+#include "smt/FixedpointSolver.h"
+#include "ts/TransitionSystem.h"
+
+namespace chute {
+
+/// Answer of the CHC engine for one whole CTL obligation, always
+/// about "F holds from every initial state".
+enum class ChcVerdict {
+  Holds,       ///< Bad unreachable: proved
+  Violated,    ///< concrete derivation of Bad: definitely refuted
+  Unknown,     ///< budget/engine gave out
+  Unsupported, ///< outside the encodable fragment
+};
+
+const char *toString(ChcVerdict V);
+
+/// Aggregate activity of one encoder (sums over all obligations).
+struct ChcStats {
+  unsigned Obligations = 0; ///< conjuncts attempted
+  unsigned Relations = 0;   ///< predicates declared
+  unsigned Rules = 0;       ///< Horn rules added
+  unsigned Queries = 0;     ///< Spacer queries run
+  unsigned Interrupts = 0;  ///< queries cut short by cancellation
+};
+
+/// Encodes and discharges obligations for one program. Cheap to
+/// construct; each prove() call builds fresh fixedpoint systems.
+class ChcEncoder {
+public:
+  ChcEncoder(const Program &P, TransitionSystem &Ts)
+      : Prog(P), Ts(Ts) {}
+
+  /// True when prove() can attempt \p F (see file comment). A
+  /// PortfolioBackend skips the CHC lane entirely for unsupported
+  /// properties instead of burning a thread on it.
+  static bool supports(CtlRef F);
+
+  /// Attempts to decide "\p F holds from every initial state" under
+  /// \p B; \p SmtTimeoutCapMs caps each Spacer query like the SMT
+  /// facade's per-query timeout.
+  ChcVerdict prove(CtlRef F, const Budget &B, unsigned SmtTimeoutCapMs);
+
+  const ChcStats &stats() const { return St; }
+
+  /// SMT-LIB fixedpoint scripts of the systems the last prove()
+  /// built, for artifacts/debugging.
+  const std::string &lastScript() const { return Script; }
+
+private:
+  /// Atoms closed under && / ||, encodable as one Expr.
+  static bool isPropositional(CtlRef F);
+  /// Splits top-level conjunctions into independently encodable
+  /// obligations; false when any leaf is unsupported.
+  static bool collectObligations(CtlRef F, std::vector<CtlRef> &Out);
+  /// The Expr of a propositional formula.
+  ExprRef propFormula(CtlRef F) const;
+
+  ChcVerdict provePropositional(ExprRef Pi, const Budget &B,
+                                unsigned SmtTimeoutCapMs);
+  ChcVerdict proveUnless(ExprRef P1, ExprRef P2, const Budget &B,
+                         unsigned SmtTimeoutCapMs);
+
+  /// Runs \p Query on \p Fp and folds the solver's stats into St.
+  ChcVerdict finishQuery(FixedpointSolver &Fp,
+                         const FixedpointSolver::App &Query,
+                         const Budget &B, unsigned SmtTimeoutCapMs);
+
+  const Program &Prog;
+  TransitionSystem &Ts;
+  ChcStats St;
+  std::string Script;
+};
+
+} // namespace chute
+
+#endif // CHUTE_CHC_CHCENCODER_H

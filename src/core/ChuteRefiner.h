@@ -41,11 +41,6 @@ namespace chute {
 /// never produces Disproved — disproof is the verifier's job, by
 /// proving the CTL negation.
 struct RefineOutcome {
-  /// Deprecated alias for chute::Verdict, kept one release so
-  /// downstream switches over RefineOutcome::Status::... migrate
-  /// mechanically.
-  using Status = Verdict;
-
   Verdict St = Verdict::Unknown;
   DerivationTree Proof;  ///< when Proved
   CexTrace Trace;        ///< counterexample, only when NotProved

@@ -6,7 +6,36 @@
 
 using namespace chute;
 
+const char *chute::toString(BackendKind K) {
+  switch (K) {
+  case BackendKind::Chute:
+    return "chute";
+  case BackendKind::Chc:
+    return "chc";
+  case BackendKind::Portfolio:
+    return "portfolio";
+  }
+  return "chute";
+}
+
+std::optional<BackendKind> chute::parseBackendKind(std::string_view Name) {
+  if (Name == "chute")
+    return BackendKind::Chute;
+  if (Name == "chc")
+    return BackendKind::Chc;
+  if (Name == "portfolio")
+    return BackendKind::Portfolio;
+  return std::nullopt;
+}
+
 VerifierOptions chute::resolveEnvOverrides(VerifierOptions Options) {
+  if (!Options.Backend) {
+    Options.Backend = BackendKind::Chute;
+    if (std::optional<std::string> Name = envString("CHUTE_BACKEND"))
+      if (std::optional<BackendKind> K = parseBackendKind(*Name))
+        Options.Backend = *K;
+  }
+
   if (Options.BudgetMs == 0)
     if (std::optional<unsigned> Ms = envUnsigned("CHUTE_BUDGET_MS"))
       Options.BudgetMs = *Ms;
@@ -15,8 +44,12 @@ VerifierOptions chute::resolveEnvOverrides(VerifierOptions Options) {
     Options.Refiner.Speculation =
         envUnsigned("CHUTE_SPECULATION").value_or(1);
 
+  // Resolved definitively (not only when the variable is present):
+  // post-resolution VerifierOptions fully determines the session
+  // layer, and the bare Smt facade no longer consults the
+  // environment itself.
   if (!Options.Incremental)
-    Options.Incremental = envFlag("CHUTE_INCREMENTAL");
+    Options.Incremental = envFlag("CHUTE_INCREMENTAL").value_or(true);
 
   if (!Options.CacheDir)
     Options.CacheDir = envString("CHUTE_CACHE_DIR");

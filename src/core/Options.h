@@ -17,10 +17,15 @@
 ///
 /// Environment knobs resolved here:
 ///
+///   CHUTE_BACKEND      proof engine: chute | chc | portfolio
 ///   CHUTE_BUDGET_MS    wall-clock budget per verify() call (ms)
 ///   CHUTE_SPECULATION  speculative proof lanes per refinement round
 ///                      (Refiner.Speculation; 1 = sequential)
 ///   CHUTE_INCREMENTAL  0/false disables the persistent SMT sessions
+///                      (resolved definitively here: after
+///                      resolveEnvOverrides the field always holds a
+///                      value, and a bare Smt facade no longer reads
+///                      the variable itself)
 ///   CHUTE_CACHE_DIR    directory for the disk-backed query cache
 ///                      (used by VerificationSession)
 ///   CHUTE_TRACE        =<path>: Full tracing + Chrome export path
@@ -32,12 +37,12 @@
 ///
 /// Residual direct readers (debug/fault-injection knobs CHUTE_DEBUG,
 /// CHUTE_SMT_FAULT_*) sit outside the options surface on purpose:
-/// they configure cross-cutting diagnostics, not verification.
-/// Components usable without a Verifier keep an env-derived default
-/// with identical semantics, read through the same support/Env
-/// helpers: TaskPool::defaultJobs (CHUTE_JOBS), a bare Smt facade's
-/// incremental default (CHUTE_INCREMENTAL), and the tracer's
-/// self-configuration (CHUTE_TRACE*).
+/// they configure cross-cutting diagnostics, not verification. The
+/// only components that still read a CHUTE_* knob directly are the
+/// two that must work before any VerifierOptions exists, through the
+/// same support/Env helpers: TaskPool::defaultJobs (CHUTE_JOBS, lazy
+/// global-pool sizing) and the tracer's self-configuration
+/// (CHUTE_TRACE*, for tools that trace without a Verifier).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,16 +56,38 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace chute {
 
 class QueryCache;
+
+/// Which proof engine discharges CTL obligations (ROADMAP item 3).
+/// The vocabulary is shared by VerifierOptions::Backend, the
+/// CHUTE_BACKEND environment knob, the --backend CLI flags and the
+/// chuted wire request's backend byte.
+enum class BackendKind : std::uint8_t {
+  Chute,     ///< the paper's chute-refinement loop (default)
+  Chc,       ///< Horn-clause encoding discharged by Z3's Spacer
+  Portfolio, ///< race chute and chc; first definite verdict wins
+};
+
+/// Renders a backend kind: "chute", "chc", "portfolio".
+const char *toString(BackendKind K);
+/// Parses a backend name (the toString vocabulary, case-sensitive);
+/// nullopt for anything else.
+std::optional<BackendKind> parseBackendKind(std::string_view Name);
 
 /// Options for the whole pipeline.
 struct VerifierOptions {
   RefinerOptions Refiner;
   unsigned SmtTimeoutMs = 3000;
   bool TryNegation = true; ///< attempt to disprove via the dual
+
+  /// Proof engine for verify(): the chute-refinement loop, the CHC
+  /// (Horn-clause / Spacer) encoding, or a portfolio racing both.
+  /// Unset defers to CHUTE_BACKEND, default Chute.
+  std::optional<BackendKind> Backend;
 
   /// Wall-clock budget for one verify() call in milliseconds; 0
   /// means "unset" (CHUTE_BUDGET_MS applies, else unlimited). With a
@@ -81,7 +108,8 @@ struct VerifierOptions {
   unsigned Jobs = 0;
 
   /// Persistent per-thread SMT sessions (PR 4). Unset defers to
-  /// CHUTE_INCREMENTAL, default on.
+  /// CHUTE_INCREMENTAL, default on; resolveEnvOverrides always fills
+  /// the field, so post-resolution it is never unset.
   std::optional<bool> Incremental;
   /// Directory for the disk-backed, content-addressed query cache.
   /// Unset defers to CHUTE_CACHE_DIR; empty disables. Consumed by

@@ -1,0 +1,242 @@
+//===- core/ProofBackend.cpp - Pluggable proof engines ----------------------===//
+
+#include "core/ProofBackend.h"
+
+#include "obs/Trace.h"
+#include "support/Stopwatch.h"
+#include "support/TaskPool.h"
+
+#include <atomic>
+
+using namespace chute;
+
+ProofBackend::~ProofBackend() = default;
+
+void BackendStats::add(const BackendStats &O) {
+  ChcObligations += O.ChcObligations;
+  ChcRules += O.ChcRules;
+  ChcQueries += O.ChcQueries;
+  ChcInterrupts += O.ChcInterrupts;
+  Races += O.Races;
+  ChuteWins += O.ChuteWins;
+  ChcWins += O.ChcWins;
+  LanesCancelled += O.LanesCancelled;
+  Disagreements += O.Disagreements;
+  ChuteLaneUs += O.ChuteLaneUs;
+  ChcLaneUs += O.ChcLaneUs;
+}
+
+RefineOutcome ChuteBackend::prove(CtlRef F) {
+  ChuteRefiner Refiner(Ctx.LP, Ctx.Ts, Ctx.S, Ctx.Qe, Ctx.Opts.Refiner);
+  return Refiner.prove(F);
+}
+
+RefineOutcome ChcBackend::prove(CtlRef F) {
+  obs::Span Sp(obs::Category::Chc, "chc-prove");
+  if (Sp.detailed())
+    Sp.setDetail(F->toString());
+
+  RefineOutcome Out;
+  if (!ChcEncoder::supports(F)) {
+    Sp.setOutcome("unsupported");
+    Out.Failure = {FailPhase::ChcEncoding, FailResource::Incomplete,
+                   F->toString(),
+                   "outside the Horn-encodable safety fragment"};
+    return Out;
+  }
+
+  // The facade's budget() is thread-aware: the facade-wide governor
+  // standalone, the lane budget under a portfolio BudgetScope.
+  Budget B = Ctx.S.budget();
+  ChcEncoder Enc(*Ctx.LP.Prog, Ctx.Ts);
+  ChcVerdict V = Enc.prove(F, B, Ctx.Opts.SmtTimeoutMs);
+
+  const ChcStats &Cs = Enc.stats();
+  St.ChcObligations += Cs.Obligations;
+  St.ChcRules += Cs.Rules;
+  St.ChcQueries += Cs.Queries;
+  St.ChcInterrupts += Cs.Interrupts;
+  obs::bump(obs::Counter::ChcRules, Cs.Rules);
+  obs::bump(obs::Counter::ChcQueries, Cs.Queries);
+  obs::bump(obs::Counter::ChcInterrupts, Cs.Interrupts);
+
+  Sp.setOutcome(toString(V));
+  Sp.setBudgetRemainingMs(B.isUnlimited() ? -1 : B.remainingMs());
+  switch (V) {
+  case ChcVerdict::Holds:
+    // Proved, certificate-free: the inductive invariant lives inside
+    // Spacer (see the header note on checkProof/witness).
+    Out.St = Verdict::Proved;
+    break;
+  case ChcVerdict::Violated:
+    // Spacer derived Bad: a concrete refutation of "F from every
+    // initial state". Disproof of F stays the verifier's job (it
+    // needs the negation proved), so this is NotProved, like a
+    // refinement counterexample.
+    Out.St = Verdict::NotProved;
+    break;
+  case ChcVerdict::Unknown:
+    Out.St = Verdict::Unknown;
+    Out.Failure = {FailPhase::ChcEncoding,
+                   B.cancelled()  ? FailResource::Cancelled
+                   : B.expired()  ? FailResource::WallClock
+                                  : FailResource::SolverUnknown,
+                   F->toString(), "Spacer gave out"};
+    break;
+  case ChcVerdict::Unsupported:
+    Out.St = Verdict::Unknown;
+    Out.Failure = {FailPhase::ChcEncoding, FailResource::Incomplete,
+                   F->toString(),
+                   "outside the Horn-encodable safety fragment"};
+    break;
+  }
+  return Out;
+}
+
+namespace {
+
+/// Race-winning verdicts. Cancellation can only produce Unknown, so a
+/// definite answer from a shot lane is still trustworthy — and two
+/// opposing definite answers are a genuine engine bug, never a
+/// cancellation artifact.
+bool definite(Verdict V) {
+  return V == Verdict::Proved || V == Verdict::NotProved;
+}
+
+/// Folds the loser/sibling lane's search effort into the winning
+/// outcome so VerifyResult accounting covers both lanes.
+void mergeEffort(RefineOutcome &Out, const RefineOutcome &Other) {
+  Out.Rounds += Other.Rounds;
+  Out.Refinements += Other.Refinements;
+  Out.Backtracks += Other.Backtracks;
+  Out.SpecLaunched += Other.SpecLaunched;
+  Out.SpecWon += Other.SpecWon;
+  Out.SpecCancelled += Other.SpecCancelled;
+}
+
+} // namespace
+
+RefineOutcome PortfolioBackend::prove(CtlRef F) {
+  // No CHC lane for unsupported properties: racing a guaranteed
+  // Unknown would only steal a pool worker from the refiner's own
+  // speculation.
+  if (!Chc->supports(F)) {
+    RefineOutcome Out = Chute->prove(F);
+    St.add(Chute->takeStats());
+    return Out;
+  }
+
+  obs::Span Sp(obs::Category::Verify, "portfolio-race");
+  if (Sp.detailed())
+    Sp.setDetail(F->toString());
+  ++St.Races;
+  obs::bump(obs::Counter::PortfolioRaces);
+
+  // Two lanes under child cancel domains of the caller's budget:
+  // shooting the loser stays local, while cancelling the enclosing
+  // run still tears both down.
+  const Budget Parent = Ctx.S.budget();
+  Budget Lanes[2] = {Parent.childDomain(), Parent.childDomain()};
+  ProofBackend *Engines[2] = {Chute.get(), Chc.get()};
+  RefineOutcome Outs[2];
+  std::uint64_t LaneUs[2] = {0, 0};
+  std::atomic<int> Winner{-1};
+
+  TaskPool::global().fanOut(2, [&](std::size_t I) {
+    obs::Span LaneSp(obs::Category::Verify,
+                     I == 0 ? "portfolio-lane-chute" : "portfolio-lane-chc");
+    Stopwatch Timer;
+    // Thread-local override: every facade query this lane issues —
+    // including from the refiner's own nested speculation, which
+    // reads S.budget() on this thread before fanning out — is
+    // governed by the lane budget.
+    Smt::BudgetScope Scope(Ctx.S, Lanes[I]);
+    Outs[I] = Engines[I]->prove(F);
+    LaneUs[I] =
+        static_cast<std::uint64_t>(Timer.seconds() * 1e6);
+    if (definite(Outs[I].St)) {
+      int Expected = -1;
+      if (Winner.compare_exchange_strong(Expected, static_cast<int>(I))) {
+        Lanes[1 - I].cancel();
+        LaneSp.setOutcome("won");
+      } else {
+        LaneSp.setOutcome("lost");
+      }
+    } else {
+      LaneSp.setOutcome(toString(Outs[I].St));
+    }
+  });
+
+  St.ChuteLaneUs += LaneUs[0];
+  St.ChcLaneUs += LaneUs[1];
+  St.add(Chute->takeStats());
+  St.add(Chc->takeStats());
+
+  // Opposing definite verdicts are an engine soundness bug, not a
+  // tie to break: surface a hard error instead of picking the lane
+  // that happened to CAS first.
+  if (definite(Outs[0].St) && definite(Outs[1].St) &&
+      Outs[0].St != Outs[1].St) {
+    ++St.Disagreements;
+    obs::bump(obs::Counter::PortfolioDisagreed);
+    Sp.setOutcome("disagreed");
+    RefineOutcome Out;
+    mergeEffort(Out, Outs[0]);
+    mergeEffort(Out, Outs[1]);
+    Out.St = Verdict::Unknown;
+    Out.Failure = {FailPhase::Portfolio, FailResource::Disagreement,
+                   F->toString(),
+                   std::string("chute lane says ") + toString(Outs[0].St) +
+                       ", chc lane says " + toString(Outs[1].St)};
+    return Out;
+  }
+
+  int W = Winner.load(std::memory_order_acquire);
+  if (W >= 0) {
+    if (W == 0) {
+      ++St.ChuteWins;
+      obs::bump(obs::Counter::PortfolioChuteWins);
+    } else {
+      ++St.ChcWins;
+      obs::bump(obs::Counter::PortfolioChcWins);
+    }
+    if (!definite(Outs[1 - W].St)) {
+      ++St.LanesCancelled;
+      obs::bump(obs::Counter::PortfolioCancelled);
+    }
+    Sp.setOutcome(W == 0 ? "chute-won" : "chc-won");
+    RefineOutcome Out = std::move(Outs[W]);
+    // A chc Proved carries no derivation; when the chute lane also
+    // finished with a proof, backfill it so checkProof/witness work.
+    if (W == 1 && Out.St == Verdict::Proved &&
+        Outs[0].St == Verdict::Proved)
+      Out.Proof = std::move(Outs[0].Proof);
+    mergeEffort(Out, Outs[1 - W]);
+    return Out;
+  }
+
+  // Neither lane was definite: report through the chute lane's
+  // outcome (it has the richer failure taxonomy), keeping the chc
+  // lane's failure when only it has one.
+  Sp.setOutcome("no-winner");
+  RefineOutcome Out = std::move(Outs[0]);
+  mergeEffort(Out, Outs[1]);
+  if (!Out.Failure.valid())
+    Out.Failure = std::move(Outs[1].Failure);
+  return Out;
+}
+
+std::unique_ptr<ProofBackend>
+chute::makeProofBackend(BackendKind Kind, const BackendContext &Ctx) {
+  switch (Kind) {
+  case BackendKind::Chute:
+    return std::make_unique<ChuteBackend>(Ctx);
+  case BackendKind::Chc:
+    return std::make_unique<ChcBackend>(Ctx);
+  case BackendKind::Portfolio:
+    return std::make_unique<PortfolioBackend>(
+        Ctx, std::make_unique<ChuteBackend>(Ctx),
+        std::make_unique<ChcBackend>(Ctx));
+  }
+  return std::make_unique<ChuteBackend>(Ctx);
+}

@@ -1,0 +1,165 @@
+//===- core/ProofBackend.h - Pluggable proof engines ----------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The proof-engine seam of the verifier (ROADMAP item 3). A
+/// ProofBackend attempts one direction of a verification — "F holds
+/// from every initial state" — and reports a RefineOutcome; the
+/// Verifier drives the primary/negation attempts, budget slicing and
+/// result stamping above this interface, so engines are
+/// interchangeable:
+///
+///   - ChuteBackend: the paper's chute-refinement loop (default),
+///   - ChcBackend: the Horn-clause encoding discharged by Z3's
+///     Spacer (chc/ChcEncoder), definite on the safety fragment,
+///   - PortfolioBackend: races the two as Budget::childDomain lanes
+///     over the global TaskPool (the PR 9 speculation pattern one
+///     level up): first definite verdict wins and cancels the
+///     loser, opposing definite verdicts are a hard error
+///     (FailResource::Disagreement) surfaced through VerifyResult.
+///
+/// Backends read their budget from the Smt facade (S.budget() is
+/// thread-aware), so the same engine works standalone — under the
+/// facade-wide governor the Verifier installs — and as a portfolio
+/// lane under a thread-local Smt::BudgetScope.
+///
+/// A ChcBackend Proved outcome carries no DerivationTree (the
+/// certificate lives inside Spacer); checkProof/witness require a
+/// chute-produced proof. The portfolio backfills the tree from the
+/// chute lane whenever both lanes proved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_CORE_PROOFBACKEND_H
+#define CHUTE_CORE_PROOFBACKEND_H
+
+#include "chc/ChcEncoder.h"
+#include "core/ChuteRefiner.h"
+#include "core/Options.h"
+#include "program/NondetLifting.h"
+
+#include <memory>
+
+namespace chute {
+
+/// Per-backend activity accumulated over prove() calls (reported per
+/// verify() as VerifyResult::BackendActivity, and as trace counters
+/// / bench JSON fields).
+struct BackendStats {
+  /// CHC-engine activity (zero unless the chc engine ran).
+  unsigned ChcObligations = 0; ///< conjuncts encoded
+  unsigned ChcRules = 0;       ///< Horn rules added
+  unsigned ChcQueries = 0;     ///< Spacer queries run
+  unsigned ChcInterrupts = 0;  ///< queries cut short by cancellation
+  /// Portfolio-race accounting (zero unless a race actually ran).
+  unsigned Races = 0;         ///< prove() calls raced in two lanes
+  unsigned ChuteWins = 0;     ///< races decided by the chute lane
+  unsigned ChcWins = 0;       ///< races decided by the chc lane
+  unsigned LanesCancelled = 0; ///< loser lanes shot before finishing
+  unsigned Disagreements = 0; ///< opposing definite verdicts (bug!)
+  std::uint64_t ChuteLaneUs = 0; ///< wall-clock spent in chute lanes
+  std::uint64_t ChcLaneUs = 0;   ///< wall-clock spent in chc lanes
+
+  void add(const BackendStats &O);
+};
+
+/// Everything a backend needs from its owning Verifier. References
+/// outlive the backend (the Verifier owns both).
+struct BackendContext {
+  const LiftedProgram &LP;
+  TransitionSystem &Ts;
+  Smt &S;
+  QeEngine &Qe;
+  const VerifierOptions &Opts;
+};
+
+/// One proof engine. prove() attempts "F holds from every initial
+/// state" under the calling thread's budget (Smt::budget()).
+class ProofBackend {
+public:
+  virtual ~ProofBackend();
+
+  virtual const char *name() const = 0;
+
+  /// True when prove() can attempt \p F at all. Backends that cannot
+  /// must still answer prove() gracefully (Unknown + FailureInfo).
+  virtual bool supports(CtlRef F) const = 0;
+
+  /// One proof attempt; never throws, degrades to Unknown.
+  virtual RefineOutcome prove(CtlRef F) = 0;
+
+  /// Returns the stats accumulated since the last take and resets
+  /// them (the Verifier folds one delta per attempt into the
+  /// VerifyResult).
+  BackendStats takeStats() {
+    BackendStats Out = St;
+    St = BackendStats();
+    return Out;
+  }
+
+protected:
+  BackendStats St;
+};
+
+/// The paper's refinement loop behind the backend interface: one
+/// ChuteRefiner per attempt, exactly the pre-backend behaviour.
+class ChuteBackend final : public ProofBackend {
+public:
+  explicit ChuteBackend(const BackendContext &Ctx) : Ctx(Ctx) {}
+
+  const char *name() const override { return "chute"; }
+  bool supports(CtlRef) const override { return true; }
+  RefineOutcome prove(CtlRef F) override;
+
+private:
+  BackendContext Ctx;
+};
+
+/// The Horn-clause engine: encodes the obligation over the lifted
+/// program's transition system and asks Spacer (see chc/ChcEncoder
+/// for the supported fragment and soundness argument).
+class ChcBackend final : public ProofBackend {
+public:
+  explicit ChcBackend(const BackendContext &Ctx) : Ctx(Ctx) {}
+
+  const char *name() const override { return "chc"; }
+  bool supports(CtlRef F) const override {
+    return ChcEncoder::supports(F);
+  }
+  RefineOutcome prove(CtlRef F) override;
+
+private:
+  BackendContext Ctx;
+};
+
+/// Races two backends under child cancel domains; first definite
+/// verdict wins. The lanes are constructor parameters so tests can
+/// race fault-injected stand-ins against real engines.
+class PortfolioBackend final : public ProofBackend {
+public:
+  PortfolioBackend(const BackendContext &Ctx,
+                   std::unique_ptr<ProofBackend> ChuteLane,
+                   std::unique_ptr<ProofBackend> ChcLane)
+      : Ctx(Ctx), Chute(std::move(ChuteLane)), Chc(std::move(ChcLane)) {}
+
+  const char *name() const override { return "portfolio"; }
+  bool supports(CtlRef) const override { return true; }
+  RefineOutcome prove(CtlRef F) override;
+
+private:
+  BackendContext Ctx;
+  std::unique_ptr<ProofBackend> Chute;
+  std::unique_ptr<ProofBackend> Chc;
+};
+
+/// Builds the backend for \p Kind (Portfolio wires a ChuteBackend
+/// and a ChcBackend as its lanes).
+std::unique_ptr<ProofBackend> makeProofBackend(BackendKind Kind,
+                                               const BackendContext &Ctx);
+
+} // namespace chute
+
+#endif // CHUTE_CORE_PROOFBACKEND_H

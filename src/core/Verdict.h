@@ -16,9 +16,6 @@
 ///    means a genuine-looking counterexample was found for THIS
 ///    direction — the verifier may still disprove via the dual).
 ///
-/// `RefineOutcome::Status` remains as a deprecated alias for one
-/// release so downstream code migrates mechanically.
-///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHUTE_CORE_VERDICT_H

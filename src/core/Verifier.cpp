@@ -37,6 +37,10 @@ Verifier::Verifier(const Program &Source, VerifierOptions Options)
     CancelRoot = *Opts.CancelDomain;
   if (Opts.Incremental)
     Solver.setIncremental(*Opts.Incremental);
+  // resolveEnvOverrides resolved Backend definitively; all members
+  // the context references are constructed by now and outlive Engine.
+  Engine = makeProofBackend(Opts.Backend.value_or(BackendKind::Chute),
+                            BackendContext{LP, Ts, Solver, Qe, Opts});
   if (Opts.Trace) {
     obs::Tracer &T = obs::Tracer::global();
     if (*Opts.Trace == obs::TraceLevel::Off)
@@ -118,13 +122,15 @@ VerifyResult Verifier::verify(CtlRef F) {
   QueryCacheStats CacheBefore = Solver.cacheStats();
   SmtSessionStats SessionBefore = Solver.sessionStats();
 
+  Result.Backend = Opts.Backend.value_or(BackendKind::Chute);
+
   {
     obs::Span AttemptSp(obs::Category::Verify, "prove-primary");
     Solver.setBudget(Opts.TryNegation
                          ? Root.subFraction(Opts.PrimaryShare)
                          : Root);
-    ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
-    RefineOutcome Out = Refiner.prove(F);
+    RefineOutcome Out = Engine->prove(F);
+    Result.BackendActivity.add(Engine->takeStats());
     Result.Rounds += Out.Rounds;
     Result.Refinements += Out.Refinements;
     Result.Backtracks += Out.Backtracks;
@@ -148,8 +154,8 @@ VerifyResult Verifier::verify(CtlRef F) {
     if (auto NegF = Ctl.negate(F)) {
       obs::Span AttemptSp(obs::Category::Verify, "prove-negation");
       Solver.setBudget(Root);
-      ChuteRefiner Refiner(LP, Ts, Solver, Qe, Opts.Refiner);
-      RefineOutcome Out = Refiner.prove(*NegF);
+      RefineOutcome Out = Engine->prove(*NegF);
+      Result.BackendActivity.add(Engine->takeStats());
       Result.Rounds += Out.Rounds;
       Result.Refinements += Out.Refinements;
       Result.Backtracks += Out.Backtracks;

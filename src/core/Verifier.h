@@ -6,11 +6,16 @@
 ///
 /// \file
 /// The public entry point: verify a CTL property of a program. A
-/// property is *proved* when the chute-refinement loop finds a
-/// derivation, and *disproved* when the loop proves the property's
-/// CTL negation (exactly how the paper constructs benchmarks 28-54 of
-/// Figure 6). Everything else is Unknown — a failed proof attempt is
-/// never reported as a disproof.
+/// property is *proved* when a proof engine establishes it from every
+/// initial state, and *disproved* when the engine proves the
+/// property's CTL negation (exactly how the paper constructs
+/// benchmarks 28-54 of Figure 6). Everything else is Unknown — a
+/// failed proof attempt is never reported as a disproof.
+///
+/// The engine behind each attempt is pluggable (core/ProofBackend.h):
+/// the chute-refinement loop by default, the Horn-clause (CHC)
+/// encoding, or a portfolio racing the two — selected through
+/// VerifierOptions::Backend / CHUTE_BACKEND.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +24,7 @@
 
 #include "core/ChuteRefiner.h"
 #include "core/Options.h"
+#include "core/ProofBackend.h"
 #include "core/ProofChecker.h"
 #include "core/Verdict.h"
 #include "obs/TraceSummary.h"
@@ -51,6 +57,14 @@ struct VerifyResult {
   unsigned SpecLaunched = 0;  ///< lanes fanned out
   unsigned SpecWon = 0;       ///< rounds decided by a winning lane
   unsigned SpecCancelled = 0; ///< lanes shot or skipped by a winner
+
+  /// The proof engine that ran (VerifierOptions::Backend resolved
+  /// through CHUTE_BACKEND).
+  BackendKind Backend = BackendKind::Chute;
+  /// Backend-specific activity across both directions: CHC engine
+  /// work and portfolio-race accounting (all zero under the plain
+  /// chute backend).
+  BackendStats BackendActivity;
 
   /// When Unknown: the phase/resource that degraded the run (valid()
   /// is false for plain incompleteness with nothing to report).
@@ -131,6 +145,9 @@ private:
   QeEngine Qe;
   TransitionSystem Ts;
   CtlManager Ctl;
+  /// The proof engine verify() drives (built from Opts.Backend; see
+  /// core/ProofBackend.h). Both attempt directions go through it.
+  std::unique_ptr<ProofBackend> Engine;
   /// Cancellation domain every verify() budget is carved from, so
   /// cancel() reaches in-flight runs.
   Budget CancelRoot;

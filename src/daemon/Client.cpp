@@ -204,6 +204,7 @@ ClientResult Client::request(const std::string &Program,
   Req.DeadlineMs = DeadlineMs;
   Req.Program = Program;
   Req.Properties = Properties;
+  Req.Backend = Opts.Backend;
 
   int ReplyTimeoutMs = Opts.ReplyTimeoutMs;
   if (DeadlineMs != 0) {

@@ -60,6 +60,10 @@ struct ClientOptions {
   /// Seed for request ids and backoff jitter; 0 draws one from the
   /// system entropy source.
   std::uint64_t Seed = 0;
+  /// Proof backend stamped on every request: 0 = daemon default (the
+  /// request carries no backend byte and stays readable by v1
+  /// daemons), else 1 + chute::BackendKind.
+  std::uint8_t Backend = 0;
 };
 
 /// How a request() call ended.

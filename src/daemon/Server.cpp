@@ -580,6 +580,10 @@ WireVerdict Server::verifyOne(ProgramEntry &Entry, const WireRequest &Req,
   VerifierOptions PO = Opts.Verify;
   PO.SharedCache = Entry.Cache;
   PO.CancelDomain = Root; // deadline + hangup/stop cancellation
+  // A request-selected backend overrides the daemon's configured
+  // default (0 keeps it; decode validated the range).
+  if (Req.Backend != 0)
+    PO.Backend = static_cast<BackendKind>(Req.Backend - 1);
   // Workers: 0 defers to the shared global pool (sized once by
   // chuted at startup); per-request resizing would thrash it.
   PO.Jobs = 0;

@@ -153,6 +153,10 @@ std::string chute::daemon::encodeRequest(const WireRequest &R) {
   putU32(B, static_cast<std::uint32_t>(R.Properties.size()));
   for (const std::string &P : R.Properties)
     putStr(B, P);
+  // v2: backend byte, omitted at the default so the frame stays
+  // byte-identical to v1 (old daemons reject trailing bytes).
+  if (R.Backend != 0)
+    putU8(B, R.Backend);
   return B;
 }
 
@@ -247,6 +251,15 @@ bool chute::daemon::decodeRequest(const std::string &Payload,
       return false;
     }
     Out.Properties.push_back(std::move(P));
+  }
+  // v1 frames end here (backend: daemon default); v2 frames may
+  // carry one more byte. Anything further is still garbage.
+  Out.Backend = 0;
+  if (!R.done()) {
+    if (!R.u8(Out.Backend) || Out.Backend > 3) {
+      Err = "malformed request backend";
+      return false;
+    }
   }
   if (!R.done()) {
     Err = "trailing bytes after request";

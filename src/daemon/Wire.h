@@ -53,6 +53,14 @@ namespace chute::daemon {
 /// corrupt). Configurable per server/client.
 inline constexpr std::uint32_t DefaultMaxFrameBytes = 4u << 20;
 
+/// Protocol revision, for logs and handshake-free compat reasoning.
+/// v1: the original frame set. v2: Request grows an optional
+/// trailing backend byte — encoders omit it at the default value, so
+/// a v2 client talking to a v1 daemon stays wire-identical unless a
+/// non-default backend is actually requested, and a v2 daemon reads
+/// v1 requests as "backend: daemon default".
+inline constexpr std::uint8_t WireVersion = 2;
+
 enum class MsgType : std::uint8_t {
   // client -> daemon
   Request = 1,
@@ -84,6 +92,10 @@ struct WireRequest {
   std::uint32_t DeadlineMs = 0; ///< 0 = no client deadline
   std::string Program;
   std::vector<std::string> Properties;
+  /// Requested proof engine: 0 = daemon default (the frame carries
+  /// no backend byte), else 1 + chute::BackendKind (1 chute, 2 chc,
+  /// 3 portfolio). See WireVersion for the compat rules.
+  std::uint8_t Backend = 0;
 };
 
 /// One property's verdict (streamed as soon as it is known).

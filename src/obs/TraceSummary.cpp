@@ -22,6 +22,8 @@ const char *chute::obs::toString(Category C) {
     return "smt";
   case Category::Synth:
     return "synth";
+  case Category::Chc:
+    return "chc";
   }
   return "?";
 }
@@ -90,6 +92,22 @@ const char *chute::obs::toString(Counter C) {
     return "spec_won";
   case Counter::SpecCancelled:
     return "spec_cancelled";
+  case Counter::ChcQueries:
+    return "chc_queries";
+  case Counter::ChcRules:
+    return "chc_rules";
+  case Counter::ChcInterrupts:
+    return "chc_interrupts";
+  case Counter::PortfolioRaces:
+    return "pf_races";
+  case Counter::PortfolioChuteWins:
+    return "pf_chute_wins";
+  case Counter::PortfolioChcWins:
+    return "pf_chc_wins";
+  case Counter::PortfolioCancelled:
+    return "pf_cancelled";
+  case Counter::PortfolioDisagreed:
+    return "pf_disagreed";
   }
   return "?";
 }

@@ -38,8 +38,9 @@ enum class Category : std::uint8_t {
   Qe,         ///< quantifier-elimination projections
   Smt,        ///< individual solver queries and qe tactic calls
   Synth,      ///< SYNTHcp chute-candidate synthesis
+  Chc,        ///< Horn-clause encoding / Spacer discharge
 };
-inline constexpr unsigned NumCategories = 8;
+inline constexpr unsigned NumCategories = 9;
 
 const char *toString(Category C);
 
@@ -76,8 +77,16 @@ enum class Counter : std::uint8_t {
   SpecLaunched,     ///< speculative proof lanes fanned out
   SpecWon,          ///< refinement rounds decided by a lane
   SpecCancelled,    ///< lanes shot or skipped by a winning sibling
+  ChcQueries,       ///< Spacer fixedpoint queries run
+  ChcRules,         ///< Horn rules added across CHC systems
+  ChcInterrupts,    ///< Spacer queries cut short by cancellation
+  PortfolioRaces,      ///< prove() calls raced across two lanes
+  PortfolioChuteWins,  ///< races decided by the chute lane
+  PortfolioChcWins,    ///< races decided by the chc lane
+  PortfolioCancelled,  ///< loser lanes shot before finishing
+  PortfolioDisagreed,  ///< opposing definite verdicts (hard error)
 };
-inline constexpr unsigned NumCounters = 31;
+inline constexpr unsigned NumCounters = 39;
 
 const char *toString(Counter C);
 

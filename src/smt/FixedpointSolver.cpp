@@ -1,0 +1,238 @@
+//===- smt/FixedpointSolver.cpp - Z3 Spacer (CHC) wrapper -------------------===//
+
+#include "smt/FixedpointSolver.h"
+
+#include "smt/FaultInjection.h"
+#include "smt/SmtLibExport.h"
+#include "smt/Z3Translate.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace chute;
+
+const char *chute::toString(FixedpointSolver::Result R) {
+  switch (R) {
+  case FixedpointSolver::Result::Unreachable:
+    return "unreachable";
+  case FixedpointSolver::Result::Reachable:
+    return "reachable";
+  case FixedpointSolver::Result::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+FixedpointSolver::FixedpointSolver() {
+  Z3_context C = Z3.raw();
+  Fp = Z3_mk_fixedpoint(C);
+  Z3_fixedpoint_inc_ref(C, Fp);
+  // Spacer is the CHC engine for arithmetic clauses; the default
+  // auto-selection can fall back to the finite-domain Datalog engine
+  // and reject integer rules.
+  Z3_params Params = Z3_mk_params(C);
+  Z3_params_inc_ref(C, Params);
+  Z3_params_set_symbol(C, Params, Z3_mk_string_symbol(C, "engine"),
+                       Z3_mk_string_symbol(C, "spacer"));
+  Z3_fixedpoint_set_params(C, Fp, Params);
+  Z3_params_dec_ref(C, Params);
+  if (Z3.hasError()) {
+    Z3.clearError();
+    Poisoned = true;
+  }
+}
+
+FixedpointSolver::~FixedpointSolver() {
+  if (Fp != nullptr)
+    Z3_fixedpoint_dec_ref(Z3.raw(), Fp);
+}
+
+FixedpointSolver::RelId FixedpointSolver::declareRelation(std::string Name,
+                                                          unsigned Arity) {
+  Z3_context C = Z3.raw();
+  std::vector<Z3_sort> Domain(Arity, Z3_mk_int_sort(C));
+  Z3_func_decl Decl = Z3_mk_func_decl(
+      C, Z3_mk_string_symbol(C, Name.c_str()), Arity,
+      Arity == 0 ? nullptr : Domain.data(), Z3_mk_bool_sort(C));
+  Z3_fixedpoint_register_relation(C, Fp, Decl);
+  if (Z3.hasError()) {
+    Z3.clearError();
+    Poisoned = true;
+  }
+  Script += toSmtLibChcRelation(Name, Arity) + "\n";
+  Relations.push_back({std::move(Name), Arity, Decl});
+  ++St.Relations;
+  return static_cast<RelId>(Relations.size() - 1);
+}
+
+Z3_ast FixedpointSolver::translateApp(const App &A) {
+  assert(A.Rel < Relations.size() && "unknown relation");
+  const Relation &R = Relations[A.Rel];
+  assert(A.Args.size() == R.Arity && "arity mismatch");
+  std::vector<Z3_ast> Args;
+  Args.reserve(A.Args.size());
+  for (ExprRef E : A.Args)
+    Args.push_back(toZ3(Z3, E));
+  return Z3_mk_app(Z3.raw(), R.Decl, static_cast<unsigned>(Args.size()),
+                   Args.empty() ? nullptr : Args.data());
+}
+
+void FixedpointSolver::collectVars(ExprRef E, std::vector<ExprRef> &Vars) {
+  for (ExprRef V : freeVars(E)) {
+    bool Seen = false;
+    for (ExprRef Have : Vars)
+      Seen = Seen || Have == V;
+    if (!Seen)
+      Vars.push_back(V);
+  }
+}
+
+bool FixedpointSolver::addRule(const App &Head, const std::vector<App> &Body,
+                               ExprRef Constraint) {
+  if (Poisoned)
+    return false;
+  Z3_context C = Z3.raw();
+
+  // The rule's universally quantified variables: every free variable
+  // of the head, the body applications, and the side constraint.
+  std::vector<ExprRef> Vars;
+  for (ExprRef E : Head.Args)
+    collectVars(E, Vars);
+  for (const App &B : Body)
+    for (ExprRef E : B.Args)
+      collectVars(E, Vars);
+  if (Constraint != nullptr)
+    collectVars(Constraint, Vars);
+
+  std::vector<Z3_ast> Parts;
+  Parts.reserve(Body.size() + 1);
+  for (const App &B : Body)
+    Parts.push_back(translateApp(B));
+  if (Constraint != nullptr)
+    Parts.push_back(toZ3(Z3, Constraint));
+
+  Z3_ast HeadAst = translateApp(Head);
+  Z3_ast RuleAst = HeadAst;
+  if (!Parts.empty()) {
+    Z3_ast BodyAst = Parts.size() == 1
+                         ? Parts[0]
+                         : Z3_mk_and(C, static_cast<unsigned>(Parts.size()),
+                                     Parts.data());
+    RuleAst = Z3_mk_implies(C, BodyAst, HeadAst);
+  }
+  if (!Vars.empty()) {
+    std::vector<Z3_app> Bound;
+    Bound.reserve(Vars.size());
+    for (ExprRef V : Vars)
+      Bound.push_back(Z3_to_app(C, toZ3(Z3, V)));
+    RuleAst = Z3_mk_forall_const(C, 0, static_cast<unsigned>(Bound.size()),
+                                 Bound.data(), 0, nullptr, RuleAst);
+  }
+
+  std::string RuleName = "r" + std::to_string(St.Rules);
+  Z3_fixedpoint_add_rule(C, Fp, RuleAst,
+                         Z3_mk_string_symbol(C, RuleName.c_str()));
+  if (Z3.hasError()) {
+    Z3.clearError();
+    Poisoned = true;
+    return false;
+  }
+
+  // Mirror the rule into the replayable script.
+  for (ExprRef V : Vars)
+    Script += toSmtLibChcVar(V) + "\n";
+  std::vector<std::string> BodyText;
+  BodyText.reserve(Body.size());
+  for (const App &B : Body)
+    BodyText.push_back(toSmtLibChcApp(Relations[B.Rel].Name, B.Args));
+  Script += toSmtLibChcRule(toSmtLibChcApp(Relations[Head.Rel].Name,
+                                           Head.Args),
+                            BodyText, Constraint) +
+            "\n";
+  ++St.Rules;
+  return true;
+}
+
+FixedpointSolver::Result FixedpointSolver::query(const App &Query,
+                                                 const Budget &B,
+                                                 unsigned TimeoutCapMs) {
+  ++St.Queries;
+  Script += "(query " + toSmtLibSymbol(Relations[Query.Rel].Name) + ")\n";
+  if (Poisoned)
+    return Result::Unknown;
+  if (B.cancelled() || B.expired())
+    return Result::Unknown;
+  if (!B.isUnlimited() && B.remainingMs() < Budget::MinQueryMs)
+    return Result::Unknown;
+  if (smtFaultShouldInjectUnknown())
+    return Result::Unknown;
+
+  Z3_context C = Z3.raw();
+  unsigned TimeoutMs = B.queryTimeoutMs(TimeoutCapMs);
+  if (TimeoutMs != 0) {
+    Z3_params Params = Z3_mk_params(C);
+    Z3_params_inc_ref(C, Params);
+    Z3_params_set_uint(C, Params, Z3_mk_string_symbol(C, "timeout"),
+                       TimeoutMs);
+    Z3_fixedpoint_set_params(C, Fp, Params);
+    Z3_params_dec_ref(C, Params);
+  }
+
+  // Existentially close the query over its argument variables (a
+  // nullary query — the encoder's Bad relation — needs no closure).
+  std::vector<ExprRef> Vars;
+  for (ExprRef E : Query.Args)
+    collectVars(E, Vars);
+  Z3_ast QueryAst = translateApp(Query);
+  if (!Vars.empty()) {
+    std::vector<Z3_app> Bound;
+    Bound.reserve(Vars.size());
+    for (ExprRef V : Vars)
+      Bound.push_back(Z3_to_app(C, toZ3(Z3, V)));
+    QueryAst = Z3_mk_exists_const(C, 0, static_cast<unsigned>(Bound.size()),
+                                  Bound.data(), 0, nullptr, QueryAst);
+  }
+
+  // Watchdog: Spacer honours the timeout parameter on its own, but
+  // cooperative cancellation (a portfolio sibling won, the daemon
+  // dropped the connection) must reach a solve already in flight.
+  std::atomic<bool> Done{false};
+  std::atomic<bool> Interrupted{false};
+  std::thread Watchdog([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      if (B.cancelled() || B.expired()) {
+        Interrupted.store(true, std::memory_order_release);
+        Z3_interrupt(C);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  Z3.clearError();
+  Z3_lbool Answer = Z3_fixedpoint_query(C, Fp, QueryAst);
+  Done.store(true, std::memory_order_release);
+  Watchdog.join();
+
+  if (Interrupted.load(std::memory_order_acquire))
+    ++St.Interrupts;
+  if (Z3.hasError()) {
+    // An interrupt surfaces as a "canceled" error; anything else
+    // (malformed rules, engine misuse) poisons the system so later
+    // queries stay conservative.
+    if (!Interrupted.load(std::memory_order_acquire))
+      Poisoned = true;
+    Z3.clearError();
+    return Result::Unknown;
+  }
+
+  switch (Answer) {
+  case Z3_L_TRUE:
+    return Result::Reachable;
+  case Z3_L_FALSE:
+    return Result::Unreachable;
+  default:
+    return Result::Unknown;
+  }
+}

@@ -1,0 +1,128 @@
+//===- smt/FixedpointSolver.h - Z3 Spacer (CHC) wrapper -------*- C++ -*-===//
+//
+// Part of the chute project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A budget-aware wrapper over Z3's fixedpoint engine (Spacer),
+/// solving systems of constrained Horn clauses built from chute
+/// expressions. The ChcBackend encodes CTL safety obligations as
+/// reachability queries here; answers map back to verdicts as:
+///
+///   Unreachable  the query relation is not derivable under any
+///                unfolding of the rules — the encoded property holds
+///   Reachable    a derivation of the query exists — the property is
+///                definitely violated (Spacer found a concrete
+///                counterexample derivation)
+///   Unknown      timeout / interrupt / engine incompleteness
+///
+/// The solver owns a private Z3Context (Z3 contexts are not
+/// thread-safe and Spacer state is heavy, so backends create one
+/// FixedpointSolver per obligation). Budget hookup mirrors the rest
+/// of the SMT layer: each query derives its Z3 timeout from the
+/// budget's remaining time, and a watchdog thread polls the budget's
+/// cancellation flag, interrupting Z3 mid-solve so a losing
+/// portfolio lane dies promptly instead of at its next timeout.
+///
+/// Alongside the native rules the solver accumulates an SMT-LIB
+/// fixedpoint script (declare-rel / rule / query, rendered through
+/// smt/SmtLibExport) so any CHC system can be dumped for external
+/// replay or gate artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHUTE_SMT_FIXEDPOINTSOLVER_H
+#define CHUTE_SMT_FIXEDPOINTSOLVER_H
+
+#include "expr/Expr.h"
+#include "smt/Z3Context.h"
+#include "support/Budget.h"
+
+#include <string>
+#include <vector>
+
+namespace chute {
+
+/// Wraps one Z3 fixedpoint (Spacer) instance over a private context.
+class FixedpointSolver {
+public:
+  /// Opaque handle to a declared relation.
+  using RelId = unsigned;
+
+  /// An application R(args...) used in rule heads and bodies. Args
+  /// are integer-typed chute expressions (usually plain variables).
+  struct App {
+    RelId Rel = 0;
+    std::vector<ExprRef> Args;
+  };
+
+  /// Answer of a reachability query (see file comment).
+  enum class Result { Unreachable, Reachable, Unknown };
+
+  struct Stats {
+    unsigned Relations = 0; ///< declared predicates
+    unsigned Rules = 0;     ///< Horn rules added
+    unsigned Queries = 0;   ///< reachability queries run
+    unsigned Interrupts = 0; ///< queries cut short by cancellation
+  };
+
+  FixedpointSolver();
+  ~FixedpointSolver();
+
+  FixedpointSolver(const FixedpointSolver &) = delete;
+  FixedpointSolver &operator=(const FixedpointSolver &) = delete;
+
+  /// Declares a fresh relation over Int^Arity. Names are uniqued by
+  /// the caller (the encoder derives them from CFG locations).
+  RelId declareRelation(std::string Name, unsigned Arity);
+
+  /// Adds the Horn rule
+  ///   forall vars. (Body[0] && ... && Body[n-1] && Constraint) => Head
+  /// where vars are the free variables of every part. \p Constraint
+  /// may be null (no side condition); an empty \p Body makes a fact
+  /// rule (init states). Returns false when translation failed (the
+  /// solver is then poisoned and every query answers Unknown).
+  bool addRule(const App &Head, const std::vector<App> &Body,
+               ExprRef Constraint);
+
+  /// Asks whether \p Query is derivable. Honours \p B: expired or
+  /// cancelled budgets answer Unknown without calling Z3, the Z3
+  /// timeout is derived from the remaining time (capped by
+  /// \p TimeoutCapMs, the per-query SMT cap), and cancellation mid-
+  /// solve interrupts the engine. Also subject to the global SMT
+  /// fault plan, so portfolio fault tests can starve this engine.
+  Result query(const App &Query, const Budget &B, unsigned TimeoutCapMs);
+
+  const Stats &stats() const { return St; }
+
+  /// The accumulated SMT-LIB fixedpoint script (rules added so far,
+  /// plus one query line per query run).
+  const std::string &script() const { return Script; }
+
+  /// True once any Z3 error or failed translation poisoned this
+  /// system; queries then answer Unknown.
+  bool poisoned() const { return Poisoned; }
+
+private:
+  Z3_ast translateApp(const App &A);
+  void collectVars(ExprRef E, std::vector<ExprRef> &Vars);
+
+  Z3Context Z3;
+  Z3_fixedpoint Fp = nullptr;
+  struct Relation {
+    std::string Name;
+    unsigned Arity = 0;
+    Z3_func_decl Decl = nullptr;
+  };
+  std::vector<Relation> Relations;
+  Stats St;
+  std::string Script;
+  bool Poisoned = false;
+};
+
+const char *toString(FixedpointSolver::Result R);
+
+} // namespace chute
+
+#endif // CHUTE_SMT_FIXEDPOINTSOLVER_H

@@ -106,3 +106,48 @@ std::string chute::toSmtLibQuery(ExprRef E) {
   S += "(check-sat)\n";
   return S;
 }
+
+std::string chute::toSmtLibSymbol(const std::string &Name) {
+  return symbol(Name);
+}
+
+std::string chute::toSmtLibChcRelation(const std::string &Name,
+                                       unsigned Arity) {
+  std::string S = "(declare-rel " + symbol(Name) + " (";
+  for (unsigned I = 0; I != Arity; ++I)
+    S += I == 0 ? "Int" : " Int";
+  return S + "))";
+}
+
+std::string chute::toSmtLibChcVar(ExprRef Var) {
+  return "(declare-var " + symbol(Var->varName()) + " Int)";
+}
+
+std::string chute::toSmtLibChcApp(const std::string &Name,
+                                  const std::vector<ExprRef> &Args) {
+  if (Args.empty())
+    return symbol(Name);
+  std::string S = "(" + symbol(Name);
+  for (ExprRef A : Args)
+    S += " " + render(A);
+  return S + ")";
+}
+
+std::string chute::toSmtLibChcRule(const std::string &Head,
+                                   const std::vector<std::string> &BodyApps,
+                                   ExprRef Constraint) {
+  std::string Body;
+  unsigned Parts = static_cast<unsigned>(BodyApps.size()) +
+                   (Constraint != nullptr ? 1 : 0);
+  if (Parts == 0)
+    return "(rule " + Head + ")";
+  if (Parts > 1)
+    Body = "(and";
+  for (const std::string &B : BodyApps)
+    Body += Parts > 1 ? " " + B : B;
+  if (Constraint != nullptr)
+    Body += Parts > 1 ? " " + render(Constraint) : render(Constraint);
+  if (Parts > 1)
+    Body += ")";
+  return "(rule (=> " + Body + " " + Head + "))";
+}

@@ -27,6 +27,35 @@ std::string toSmtLib(ExprRef E);
 /// variable, one assert, and (check-sat).
 std::string toSmtLibQuery(ExprRef E);
 
+//===-- CHC (fixedpoint) emission ------------------------------------===//
+// Building blocks for Z3's extended SMT-LIB fixedpoint syntax
+// (declare-rel / declare-var / rule / query), used by
+// smt/FixedpointSolver to keep a replayable script next to the
+// native rules. Relations are not chute expressions, so applications
+// are rendered from a name plus argument expressions.
+
+/// Renders \p Name as an SMT-LIB symbol, |quoting| it when it strays
+/// outside the simple-symbol alphabet.
+std::string toSmtLibSymbol(const std::string &Name);
+
+/// "(declare-rel R (Int Int))" — a relation over Int^Arity.
+std::string toSmtLibChcRelation(const std::string &Name, unsigned Arity);
+
+/// "(declare-var x Int)" — a rule-scoped variable declaration.
+std::string toSmtLibChcVar(ExprRef Var);
+
+/// "(R x y)", or just "R" for a nullary relation.
+std::string toSmtLibChcApp(const std::string &Name,
+                           const std::vector<ExprRef> &Args);
+
+/// "(rule (=> (and <body...> <constraint>) <head>))"; body atoms are
+/// pre-rendered applications, \p Constraint may be null. With an
+/// empty body and no constraint the rule degenerates to a fact:
+/// "(rule <head>)".
+std::string toSmtLibChcRule(const std::string &Head,
+                            const std::vector<std::string> &BodyApps,
+                            ExprRef Constraint);
+
 } // namespace chute
 
 #endif // CHUTE_SMT_SMTLIBEXPORT_H

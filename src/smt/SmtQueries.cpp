@@ -15,16 +15,12 @@ using namespace chute;
 thread_local const Smt *Smt::LaneOwner = nullptr;
 thread_local const Budget *Smt::LaneBudget = nullptr;
 
-// Bare-facade default; Verifier/VerificationSession override this
-// from the resolved VerifierOptions (see core/Options.h).
-static bool incrementalDefault() {
-  return envFlag("CHUTE_INCREMENTAL").value_or(true);
-}
-
+// A bare facade defaults to incremental on; CHUTE_INCREMENTAL is
+// resolved only by resolveEnvOverrides (core/Options.h), which is
+// how Verifier/VerificationSession configure this toggle.
 Smt::Smt(ExprContext &Ctx, unsigned TimeoutMs,
          std::shared_ptr<QueryCache> Shared)
-    : Ctx(Ctx), TimeoutMs(TimeoutMs),
-      Incremental(incrementalDefault()),
+    : Ctx(Ctx), TimeoutMs(TimeoutMs), Incremental(true),
       Cache(Shared ? std::move(Shared)
                    : std::make_shared<QueryCache>()) {}
 

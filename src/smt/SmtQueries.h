@@ -216,8 +216,9 @@ public:
   // Z3Context; queries run there first (assumption literals keep the
   // solver warm across the refinement rounds) and fall back to the
   // classic fresh-solver retry schedule on Unknown. On by default;
-  // CHUTE_INCREMENTAL=0 in the environment disables the layer, and
-  // tests can toggle it directly.
+  // CHUTE_INCREMENTAL=0 disables the layer through
+  // resolveEnvOverrides (the facade itself never reads the
+  // environment), and tests can toggle it directly.
 
   /// Whether queries use the persistent per-thread sessions.
   bool incrementalEnabled() const {

@@ -43,8 +43,8 @@
 /// thread-safe); the Smt facade keeps one per worker thread next to
 /// the thread's Z3Context. Unknown answers fall back to the facade's
 /// classic fresh-solver retry schedule, so incremental mode can only
-/// add verdicts, never lose them. `CHUTE_INCREMENTAL=0` disables the
-/// layer entirely.
+/// add verdicts, never lose them. `CHUTE_INCREMENTAL=0` (resolved
+/// through core/Options.h) disables the layer entirely.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -90,6 +90,10 @@ const char *chute::toString(FailPhase P) {
     return "path-search";
   case FailPhase::Refinement:
     return "refinement";
+  case FailPhase::ChcEncoding:
+    return "chc-encoding";
+  case FailPhase::Portfolio:
+    return "portfolio";
   }
   return "?";
 }
@@ -108,6 +112,8 @@ const char *chute::toString(FailResource R) {
     return "solver-unknown";
   case FailResource::Incomplete:
     return "incompleteness";
+  case FailResource::Disagreement:
+    return "backend-disagreement";
   }
   return "?";
 }

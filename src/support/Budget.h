@@ -128,6 +128,8 @@ enum class FailPhase {
   QuantElim,      ///< quantifier elimination
   PathSearch,     ///< counterexample path/lasso search
   Refinement,     ///< the Figure 4 loop itself
+  ChcEncoding,    ///< Horn-clause encoding / Spacer discharge
+  Portfolio,      ///< the backend race itself
 };
 
 /// Which resource ran out (or failed).
@@ -138,6 +140,7 @@ enum class FailResource {
   Rounds,        ///< MaxRounds exhausted
   SolverUnknown, ///< SMT gave Unknown after all retries
   Incomplete,    ///< method incompleteness (no resource ran out)
+  Disagreement,  ///< portfolio lanes returned opposing definite verdicts
 };
 
 const char *toString(FailPhase P);

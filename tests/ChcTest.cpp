@@ -1,0 +1,203 @@
+//===- tests/ChcTest.cpp - CHC engine tests --------------------------------===//
+//
+// Pins for the Horn-clause proof engine: the FixedpointSolver
+// wrapper over Z3's Spacer (reachable/unreachable answers, budget
+// degradation, script accumulation) and the ChcEncoder above it
+// (supported fragment, fig6-shaped verdicts, obligation splitting).
+//
+// The rigid-variable case is a regression test: a variable mentioned
+// only by init() and the property (never assigned by any edge) is
+// not in Program::variables(), and an encoding that drops it from
+// the relation state leaves it unconstrained across transitions —
+// Bad becomes spuriously reachable and AG(p == 1) on the paper's
+// Constant1 program flips from Holds to Violated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/ChcEncoder.h"
+#include "ctl/CtlParser.h"
+#include "expr/ExprBuilder.h"
+#include "program/NondetLifting.h"
+#include "program/Parser.h"
+#include "smt/FixedpointSolver.h"
+#include "smt/SmtQueries.h"
+#include "ts/TransitionSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace chute;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FixedpointSolver
+//===----------------------------------------------------------------------===//
+
+// A bounded counter: x starts at 0 and increments while x < 5, so
+// x == 5 is reachable and x > 5 is not.
+struct CounterSystem {
+  ExprContext Ctx;
+  FixedpointSolver Fp;
+  FixedpointSolver::RelId R, Bad, Safe;
+
+  CounterSystem() {
+    ExprRef X = Ctx.mkVar("x");
+    ExprRef Xp = primed(Ctx, X);
+    R = Fp.declareRelation("R", 1);
+    Bad = Fp.declareRelation("Bad", 0);
+    Safe = Fp.declareRelation("OverBad", 0);
+    EXPECT_TRUE(Fp.addRule({R, {X}}, {}, Ctx.mkEq(X, Ctx.mkInt(0))));
+    EXPECT_TRUE(Fp.addRule(
+        {R, {Xp}}, {{R, {X}}},
+        Ctx.mkAnd(Ctx.mkLt(X, Ctx.mkInt(5)),
+                  Ctx.mkEq(Xp, Ctx.mkAdd(X, Ctx.mkInt(1))))));
+    EXPECT_TRUE(
+        Fp.addRule({Bad, {}}, {{R, {X}}}, Ctx.mkEq(X, Ctx.mkInt(5))));
+    EXPECT_TRUE(
+        Fp.addRule({Safe, {}}, {{R, {X}}}, Ctx.mkGt(X, Ctx.mkInt(5))));
+  }
+};
+
+TEST(FixedpointSolverTest, ReachableAndUnreachableQueries) {
+  CounterSystem S;
+  Budget B = Budget::unlimited();
+  EXPECT_EQ(S.Fp.query({S.Bad, {}}, B, 5000),
+            FixedpointSolver::Result::Reachable);
+  EXPECT_EQ(S.Fp.query({S.Safe, {}}, B, 5000),
+            FixedpointSolver::Result::Unreachable);
+  EXPECT_FALSE(S.Fp.poisoned());
+  EXPECT_EQ(S.Fp.stats().Relations, 3u);
+  EXPECT_EQ(S.Fp.stats().Rules, 4u);
+  EXPECT_EQ(S.Fp.stats().Queries, 2u);
+}
+
+TEST(FixedpointSolverTest, ExpiredBudgetAnswersUnknownWithoutSolving) {
+  CounterSystem S;
+  EXPECT_EQ(S.Fp.query({S.Bad, {}}, Budget::forMillis(0), 5000),
+            FixedpointSolver::Result::Unknown);
+}
+
+TEST(FixedpointSolverTest, CancelledBudgetAnswersUnknown) {
+  CounterSystem S;
+  Budget B = Budget::unlimited().childDomain();
+  B.cancel();
+  EXPECT_EQ(S.Fp.query({S.Bad, {}}, B, 5000),
+            FixedpointSolver::Result::Unknown);
+}
+
+TEST(FixedpointSolverTest, AccumulatesAnSmtLibScript) {
+  CounterSystem S;
+  S.Fp.query({S.Bad, {}}, Budget::unlimited(), 5000);
+  const std::string &Script = S.Fp.script();
+  EXPECT_NE(Script.find("declare-rel"), std::string::npos);
+  EXPECT_NE(Script.find("rule"), std::string::npos);
+  EXPECT_NE(Script.find("query"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ChcEncoder
+//===----------------------------------------------------------------------===//
+
+bool chcSupports(const char *Property) {
+  ExprContext Ctx;
+  CtlManager M(Ctx);
+  std::string Err;
+  CtlRef F = parseCtlString(M, Property, Err);
+  EXPECT_NE(F, nullptr) << Property << ": " << Err;
+  return F != nullptr && ChcEncoder::supports(F);
+}
+
+TEST(ChcEncoderTest, SupportsTheSafetyFragment) {
+  EXPECT_TRUE(chcSupports("p == 1"));
+  EXPECT_TRUE(chcSupports("p == 1 || x > 0"));
+  EXPECT_TRUE(chcSupports("AG(p == 1)"));
+  EXPECT_TRUE(chcSupports("A[x > 0 W x < 0]"));
+  EXPECT_TRUE(chcSupports("p == 1 && AG(p == 1)"));
+}
+
+TEST(ChcEncoderTest, RejectsEventualitiesAndExistentials) {
+  EXPECT_FALSE(chcSupports("AF(p == 1)"));
+  EXPECT_FALSE(chcSupports("EF(p == 1)"));
+  EXPECT_FALSE(chcSupports("E[x > 0 W x < 0]"));
+  EXPECT_FALSE(chcSupports("AG(AF(p == 1))"));
+  EXPECT_FALSE(chcSupports("A[AF(x == 0) W x < 0]"));
+  EXPECT_FALSE(chcSupports("p == 1 && AF(p == 1)"));
+}
+
+// The paper's Constant1: p is rigid (only init and the property
+// mention it), n counts down. See the file comment.
+const char *PConstantOne =
+    "init(p == 1 && n >= 0);"
+    "while (n > 0) { n = n - 1; }"
+    "while (true) { skip; }";
+
+// SpoilableP: one nondeterministic branch may zero p.
+const char *PSpoilable =
+    "init(p == 1);"
+    "x = *;"
+    "if (x > 5) { p = 0; } else { skip; }"
+    "while (true) { skip; }";
+
+/// Encodes and discharges \p Property over \p Program, returning the
+/// verdict (and the encoder's obligation count through \p Obligations
+/// when non-null).
+ChcVerdict proveChc(const char *Program, const char *Property,
+                    Budget B = Budget::unlimited(),
+                    unsigned *Obligations = nullptr) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P0 = parseProgram(Ctx, Program, Err);
+  EXPECT_TRUE(P0) << Err;
+  CtlManager M(Ctx);
+  CtlRef F = parseCtlString(M, Property, Err);
+  EXPECT_NE(F, nullptr) << Err;
+  auto LP = liftNondeterminism(*P0);
+  Smt Solver(Ctx, 5000);
+  QeEngine Qe(Solver);
+  TransitionSystem Ts(*LP.Prog, Solver, Qe);
+  ChcEncoder Enc(*LP.Prog, Ts);
+  ChcVerdict V = Enc.prove(F, B, 5000);
+  if (Obligations)
+    *Obligations = Enc.stats().Obligations;
+  return V;
+}
+
+TEST(ChcEncoderTest, ProvesInvarianceOnConstantOne) {
+  EXPECT_EQ(proveChc(PConstantOne, "AG(p == 1)"), ChcVerdict::Holds);
+}
+
+// Regression: p is exactly the rigid-variable case — if the encoding
+// drops it from the relation state this answers Violated.
+TEST(ChcEncoderTest, RigidVariablesAreFramedAcrossEdges) {
+  EXPECT_EQ(proveChc(PConstantOne, "AG(p == 1)"), ChcVerdict::Holds);
+  EXPECT_EQ(proveChc(PConstantOne, "AG(n >= 0)"), ChcVerdict::Holds);
+}
+
+TEST(ChcEncoderTest, RefutesSpoilableInvariance) {
+  EXPECT_EQ(proveChc(PSpoilable, "AG(p == 1)"), ChcVerdict::Violated);
+}
+
+TEST(ChcEncoderTest, DecidesPropositionalObligations) {
+  EXPECT_EQ(proveChc(PConstantOne, "p == 1"), ChcVerdict::Holds);
+  EXPECT_EQ(proveChc(PConstantOne, "p == 0"), ChcVerdict::Violated);
+}
+
+TEST(ChcEncoderTest, SplitsConjunctionsIntoObligations) {
+  unsigned Obligations = 0;
+  EXPECT_EQ(proveChc(PConstantOne, "p == 1 && AG(p == 1)",
+                     Budget::unlimited(), &Obligations),
+            ChcVerdict::Holds);
+  EXPECT_EQ(Obligations, 2u);
+}
+
+TEST(ChcEncoderTest, ReportsUnsupportedOutsideTheFragment) {
+  EXPECT_EQ(proveChc(PConstantOne, "AF(n <= 0)"),
+            ChcVerdict::Unsupported);
+}
+
+TEST(ChcEncoderTest, ExpiredBudgetDegradesToUnknown) {
+  EXPECT_EQ(proveChc(PConstantOne, "AG(p == 1)", Budget::forMillis(0)),
+            ChcVerdict::Unknown);
+}
+
+} // namespace

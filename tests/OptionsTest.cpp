@@ -78,9 +78,45 @@ TEST(OptionsTest, UnsetKnobsLeaveDefaults) {
 
   VerifierOptions O = resolveEnvOverrides(VerifierOptions());
   EXPECT_EQ(O.BudgetMs, 0u);
-  EXPECT_FALSE(O.Incremental.has_value());
+  // Incremental and Backend resolve definitively: with no knob set
+  // they land on their documented defaults instead of staying unset.
+  ASSERT_TRUE(O.Incremental.has_value());
+  EXPECT_TRUE(*O.Incremental);
+  ASSERT_TRUE(O.Backend.has_value());
+  EXPECT_EQ(*O.Backend, BackendKind::Chute);
   EXPECT_FALSE(O.CacheDir.has_value());
   EXPECT_FALSE(O.Trace.has_value());
+}
+
+TEST(OptionsTest, BackendEnvFillsUnsetDefault) {
+  ScopedEnv Backend("CHUTE_BACKEND", "portfolio");
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  ASSERT_TRUE(O.Backend.has_value());
+  EXPECT_EQ(*O.Backend, BackendKind::Portfolio);
+}
+
+TEST(OptionsTest, BackendExplicitBeatsEnv) {
+  ScopedEnv Backend("CHUTE_BACKEND", "portfolio");
+  VerifierOptions In;
+  In.Backend = BackendKind::Chc;
+  VerifierOptions O = resolveEnvOverrides(std::move(In));
+  EXPECT_EQ(*O.Backend, BackendKind::Chc);
+}
+
+TEST(OptionsTest, BackendUnknownNameFallsBackToChute) {
+  ScopedEnv Backend("CHUTE_BACKEND", "warp-drive");
+  VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+  EXPECT_EQ(*O.Backend, BackendKind::Chute);
+}
+
+TEST(OptionsTest, BackendNamesRoundTrip) {
+  for (BackendKind K : {BackendKind::Chute, BackendKind::Chc,
+                        BackendKind::Portfolio}) {
+    std::optional<BackendKind> Back = parseBackendKind(toString(K));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, K);
+  }
+  EXPECT_FALSE(parseBackendKind("").has_value());
 }
 
 TEST(OptionsTest, TraceEnvSelectsFullWithPath) {

@@ -1,0 +1,260 @@
+//===- tests/PortfolioTest.cpp - Portfolio backend tests -------------------===//
+//
+// Pins for the ProofBackend API and the portfolio race:
+//
+//  - verdict identity across Backend = chute/chc/portfolio on the
+//    CHC-supported fig6-style rows (an indefinite chc answer is
+//    allowed, an opposing definite one never is);
+//  - cancelling the loser lane stays inside its child cancel domain:
+//    the enclosing CancelDomain budget is untouched after a race;
+//  - a fault-injected lane (always answers Unknown) loses the race
+//    without poisoning the verdict;
+//  - opposing definite lane verdicts are a hard error, surfaced as
+//    FailPhase::Portfolio / FailResource::Disagreement;
+//  - properties outside the CHC fragment skip the race entirely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chute/chute.h"
+#include "ctl/CtlParser.h"
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace chute;
+
+namespace {
+
+/// Restores the global pool to sequential when a test returns.
+struct PoolGuard {
+  PoolGuard() { TaskPool::configureGlobal(2); }
+  ~PoolGuard() { TaskPool::configureGlobal(1); }
+};
+
+// The paper's Constant1 (row 3 shape: AG(p == 1) holds; p is rigid).
+const char *PConstantOne =
+    "init(p == 1 && n >= 0);"
+    "while (n > 0) { n = n - 1; }"
+    "while (true) { skip; }";
+
+// NeverP (row 6 shape: EF(p == 1) is false).
+const char *PNeverP = "init(p == 0); while (true) { p = 0; }";
+
+// SpoilableP (row 4 shape: AG(p == 1) is false).
+const char *PSpoilable =
+    "init(p == 1);"
+    "x = *;"
+    "if (x > 5) { p = 0; } else { skip; }"
+    "while (true) { skip; }";
+
+VerifyResult runBackend(const char *Program, const char *Property,
+                        BackendKind K,
+                        std::optional<Budget> CancelDomain = {}) {
+  ExprContext Ctx;
+  std::string Err;
+  auto P0 = parseProgram(Ctx, Program, Err);
+  EXPECT_TRUE(P0) << Err;
+  VerifierOptions O;
+  O.Backend = K;
+  O.CancelDomain = std::move(CancelDomain);
+  Verifier V(*P0, O);
+  VerifyResult R = V.verify(Property, Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict identity across backends
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, BackendsAgreeOnChcSupportedRows) {
+  PoolGuard G;
+  struct Row {
+    const char *Name;
+    const char *Program;
+    const char *Property;
+    bool Holds;
+  };
+  const Row Rows[] = {
+      {"constant1", PConstantOne, "AG(p == 1)", true},
+      {"neverp", PNeverP, "EF(p == 1)", false},
+      {"spoilable", PSpoilable, "AG(p == 1)", false},
+  };
+  for (const Row &R : Rows) {
+    Verdict Truth = R.Holds ? Verdict::Proved : Verdict::Disproved;
+    Verdict Lie = R.Holds ? Verdict::Disproved : Verdict::Proved;
+    for (BackendKind K : {BackendKind::Chute, BackendKind::Chc,
+                          BackendKind::Portfolio}) {
+      VerifyResult Out = runBackend(R.Program, R.Property, K);
+      EXPECT_EQ(Out.Backend, K) << R.Name;
+      // The chc engine may come up short (e.g. when disproof needs
+      // an eventuality outside its fragment) but must never produce
+      // the opposite definite verdict; chute and the portfolio must
+      // decide these rows outright.
+      EXPECT_NE(Out.V, Lie) << R.Name << " under " << toString(K);
+      if (K != BackendKind::Chc) {
+        EXPECT_EQ(Out.V, Truth) << R.Name << " under " << toString(K);
+      }
+    }
+  }
+}
+
+TEST(PortfolioTest, ChcBackendDecidesSafetyRowsDefinitely) {
+  VerifyResult Holds =
+      runBackend(PConstantOne, "AG(p == 1)", BackendKind::Chc);
+  EXPECT_EQ(Holds.V, Verdict::Proved);
+  EXPECT_GE(Holds.BackendActivity.ChcQueries, 1u);
+  EXPECT_GE(Holds.BackendActivity.ChcRules, 1u);
+
+  // EF(p == 1) is refuted by proving the negation AG(p != 1), which
+  // is back inside the fragment.
+  VerifyResult Refuted =
+      runBackend(PNeverP, "EF(p == 1)", BackendKind::Chc);
+  EXPECT_EQ(Refuted.V, Verdict::Disproved);
+}
+
+//===----------------------------------------------------------------------===//
+// Race mechanics through the Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, LoserCancellationLeavesEnclosingBudgetUntouched) {
+  PoolGuard G;
+  Budget External; // the caller's cancel domain (e.g. chuted's root)
+  VerifyResult R = runBackend(PConstantOne, "AG(p == 1)",
+                              BackendKind::Portfolio, External);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_EQ(R.BackendActivity.Races, 1u);
+  EXPECT_EQ(R.BackendActivity.ChuteWins + R.BackendActivity.ChcWins, 1u);
+  EXPECT_EQ(R.BackendActivity.Disagreements, 0u);
+  // Shooting the loser lane cancelled its childDomain only: the
+  // budget the caller handed in must still be live.
+  EXPECT_FALSE(External.cancelled());
+  EXPECT_FALSE(External.expired());
+}
+
+TEST(PortfolioTest, UnsupportedPropertySkipsTheRace) {
+  PoolGuard G;
+  // AF is outside the CHC fragment in both directions, so the
+  // portfolio runs the chute lane alone.
+  VerifyResult R = runBackend(PConstantOne, "AF(n <= 0)",
+                              BackendKind::Portfolio);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_EQ(R.BackendActivity.Races, 0u);
+  EXPECT_EQ(R.BackendActivity.ChcQueries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Race mechanics with injected lanes
+//===----------------------------------------------------------------------===//
+
+/// Everything a PortfolioBackend needs, built from a program text.
+struct Env {
+  ExprContext Ctx;
+  CtlManager M{Ctx};
+  std::unique_ptr<Program> P0;
+  LiftedProgram LP;
+  Smt Solver{Ctx, 5000};
+  QeEngine Qe{Solver};
+  std::unique_ptr<TransitionSystem> Ts;
+  VerifierOptions Opts;
+
+  explicit Env(const char *Program) {
+    std::string Err;
+    P0 = parseProgram(Ctx, Program, Err);
+    EXPECT_TRUE(P0) << Err;
+    LP = liftNondeterminism(*P0);
+    Ts = std::make_unique<TransitionSystem>(*LP.Prog, Solver, Qe);
+  }
+
+  BackendContext backendContext() {
+    return BackendContext{LP, *Ts, Solver, Qe, Opts};
+  }
+
+  CtlRef parse(const char *Property) {
+    std::string Err;
+    CtlRef F = parseCtlString(M, Property, Err);
+    EXPECT_NE(F, nullptr) << Err;
+    return F;
+  }
+};
+
+/// A lane that always answers the scripted verdict (after an
+/// optional delay), standing in for a faulty or slow engine.
+class ScriptedBackend final : public ProofBackend {
+public:
+  ScriptedBackend(Verdict V, unsigned DelayMs = 0)
+      : V(V), DelayMs(DelayMs) {}
+
+  const char *name() const override { return "scripted"; }
+  bool supports(CtlRef) const override { return true; }
+  RefineOutcome prove(CtlRef) override {
+    if (DelayMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    RefineOutcome Out;
+    Out.St = V;
+    if (V == Verdict::Unknown) {
+      Out.Failure.Phase = FailPhase::Refinement;
+      Out.Failure.Resource = FailResource::SolverUnknown;
+    }
+    return Out;
+  }
+
+private:
+  Verdict V;
+  unsigned DelayMs;
+};
+
+TEST(PortfolioTest, FaultyLaneLosesWithoutPoisoningTheVerdict) {
+  PoolGuard G;
+  Env E(PConstantOne);
+  BackendContext Ctx = E.backendContext();
+  // Real chute engine vs a chc stand-in that has given out: the race
+  // must settle on the chute lane's proof, not the fault.
+  PortfolioBackend PB(Ctx, std::make_unique<ChuteBackend>(Ctx),
+                      std::make_unique<ScriptedBackend>(Verdict::Unknown));
+  RefineOutcome Out = PB.prove(E.parse("AG(p == 1)"));
+  EXPECT_EQ(Out.St, Verdict::Proved);
+  EXPECT_TRUE(Out.Proof.valid());
+  BackendStats S = PB.takeStats();
+  EXPECT_EQ(S.Races, 1u);
+  EXPECT_EQ(S.ChuteWins, 1u);
+  EXPECT_EQ(S.ChcWins, 0u);
+  EXPECT_EQ(S.Disagreements, 0u);
+  EXPECT_EQ(S.LanesCancelled, 1u);
+}
+
+TEST(PortfolioTest, FirstDefiniteVerdictWinsAndCancelsTheLoser) {
+  PoolGuard G;
+  Env E(PConstantOne);
+  BackendContext Ctx = E.backendContext();
+  // The "chc" lane answers instantly; the slow lane agrees later.
+  PortfolioBackend PB(
+      Ctx, std::make_unique<ScriptedBackend>(Verdict::Proved, 200),
+      std::make_unique<ScriptedBackend>(Verdict::Proved, 0));
+  RefineOutcome Out = PB.prove(E.parse("AG(p == 1)"));
+  EXPECT_EQ(Out.St, Verdict::Proved);
+  BackendStats S = PB.takeStats();
+  EXPECT_EQ(S.Races, 1u);
+  EXPECT_EQ(S.ChuteWins + S.ChcWins, 1u);
+  EXPECT_EQ(S.Disagreements, 0u);
+}
+
+TEST(PortfolioTest, OpposingDefiniteVerdictsAreAHardError) {
+  PoolGuard G;
+  Env E(PConstantOne);
+  BackendContext Ctx = E.backendContext();
+  PortfolioBackend PB(
+      Ctx, std::make_unique<ScriptedBackend>(Verdict::Proved),
+      std::make_unique<ScriptedBackend>(Verdict::NotProved));
+  RefineOutcome Out = PB.prove(E.parse("AG(p == 1)"));
+  EXPECT_EQ(Out.St, Verdict::Unknown);
+  ASSERT_TRUE(Out.Failure.valid());
+  EXPECT_EQ(Out.Failure.Phase, FailPhase::Portfolio);
+  EXPECT_EQ(Out.Failure.Resource, FailResource::Disagreement);
+  EXPECT_EQ(PB.takeStats().Disagreements, 1u);
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include "smt/SmtSession.h"
 
+#include "core/Options.h"
 #include "expr/ExprParser.h"
 #include "smt/SmtQueries.h"
 
@@ -155,13 +156,17 @@ TEST_F(SmtSessionTest, FacadeIncrementalMatchesOneShot) {
   EXPECT_EQ(OneShot.sessionStats().Checks, 0u);
 }
 
-TEST_F(SmtSessionTest, EnvVarZeroDisablesIncremental) {
+TEST_F(SmtSessionTest, EnvVarResolvesThroughOptionsNotTheFacade) {
+  // CHUTE_INCREMENTAL flows exclusively through resolveEnvOverrides:
+  // a bare facade ignores the environment and defaults to on, while
+  // the resolved VerifierOptions carry the disable.
   ASSERT_EQ(setenv("CHUTE_INCREMENTAL", "0", /*overwrite=*/1), 0);
   {
     Smt Solver(Ctx);
-    EXPECT_FALSE(Solver.incrementalEnabled());
-    EXPECT_TRUE(Solver.isSat(formula("x > 0")));
-    EXPECT_EQ(Solver.sessionStats().Checks, 0u);
+    EXPECT_TRUE(Solver.incrementalEnabled());
+    VerifierOptions O = resolveEnvOverrides(VerifierOptions());
+    ASSERT_TRUE(O.Incremental.has_value());
+    EXPECT_FALSE(*O.Incremental);
   }
   ASSERT_EQ(unsetenv("CHUTE_INCREMENTAL"), 0);
   Smt Solver(Ctx);

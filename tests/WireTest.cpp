@@ -49,6 +49,66 @@ TEST(WireCodec, RequestRoundTrip) {
   EXPECT_EQ(Out.Properties[2], "");
 }
 
+TEST(WireCodec, RequestBackendRoundTrip) {
+  WireRequest In = sampleRequest();
+  In.Backend = 3; // portfolio
+  std::string B = encodeRequest(In);
+  WireRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(B, Out, Err)) << Err;
+  EXPECT_EQ(Out.Backend, 3);
+  EXPECT_EQ(Out.Program, In.Program);
+}
+
+// The v2 compatibility contract: a request at the default backend is
+// byte-identical to a v1 frame (so new clients keep working against
+// old daemons), and a v1 frame — no backend byte at all — decodes
+// with Backend = 0.
+TEST(WireCodec, DefaultBackendKeepsTheV1Encoding) {
+  WireRequest Explicit = sampleRequest();
+  Explicit.Backend = 1;
+  std::string V1 = encodeRequest(sampleRequest());
+  EXPECT_EQ(encodeRequest(Explicit).size(), V1.size() + 1);
+
+  WireRequest Out;
+  Out.Backend = 7; // decode must overwrite, not leak
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(V1, Out, Err)) << Err;
+  EXPECT_EQ(Out.Backend, 0);
+}
+
+TEST(WireCodec, OutOfRangeBackendByteIsRejected) {
+  std::string B = encodeRequest(sampleRequest());
+  WireRequest Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(B + std::string(1, '\x04'), Out, Err));
+  // A second trailing byte after a valid backend byte is garbage.
+  WireRequest In = sampleRequest();
+  In.Backend = 2;
+  EXPECT_FALSE(
+      decodeRequest(encodeRequest(In) + std::string(1, '\x01'), Out, Err));
+}
+
+TEST(WireCodec, EveryTruncationOfABackendRequestIsRejected) {
+  WireRequest In = sampleRequest();
+  In.Backend = 2;
+  std::string B = encodeRequest(In);
+  // The one prefix that still decodes is the full v1 frame (backend
+  // byte dropped): it must come back as the default backend, never a
+  // half-read value.
+  for (std::size_t Len = 0; Len < B.size(); ++Len) {
+    WireRequest Out;
+    std::string Err;
+    bool Ok = decodeRequest(B.substr(0, Len), Out, Err);
+    if (Len == B.size() - 1) {
+      EXPECT_TRUE(Ok) << Err;
+      EXPECT_EQ(Out.Backend, 0);
+    } else {
+      EXPECT_FALSE(Ok) << "accepted a " << Len << "-byte prefix";
+    }
+  }
+}
+
 TEST(WireCodec, VerdictRoundTrip) {
   WireVerdict V;
   V.Id = 42;

@@ -7,8 +7,12 @@
 //
 //   chute-cli PROGRAM-FILE "CTL-PROPERTY" ["CTL-PROPERTY"...]
 //             [--socket SPEC] [--deadline-ms N] [--attempts N]
-//             [--overload-retries N] [--quiet]
+//             [--overload-retries N] [--backend NAME] [--quiet]
 //   chute-cli --ping [--socket SPEC]
+//
+// --backend chute|chc|portfolio selects the daemon-side proof engine
+// for this request; without it the daemon's configured default runs
+// (and the request stays readable by pre-backend daemons).
 //
 // One line per property: `<property>: <status>  (...)`, the same
 // leading shape chuteverify prints, so the two can be diffed.
@@ -36,11 +40,12 @@ static void usage() {
       stderr,
       "usage: chute-cli PROGRAM-FILE \"CTL-PROPERTY\"... "
       "[--socket SPEC] [--deadline-ms N] [--attempts N] "
-      "[--overload-retries N] [--quiet]\n"
+      "[--overload-retries N] [--backend NAME] [--quiet]\n"
       "       chute-cli --ping [--socket SPEC]\n"
       "\n"
       "SPEC is unix:/path, tcp:host:port, or a bare socket path\n"
-      "(default unix:/tmp/chuted.sock, env CHUTE_DAEMON_SOCKET).\n");
+      "(default unix:/tmp/chuted.sock, env CHUTE_DAEMON_SOCKET).\n"
+      "NAME is chute, chc, or portfolio (default: the daemon's own).\n");
 }
 
 int main(int Argc, char **Argv) {
@@ -76,6 +81,19 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--overload-retries") {
       Opts.OverloadRetries =
           static_cast<unsigned>(std::atoi(Next("--overload-retries")));
+    } else if (Arg == "--backend") {
+      std::string Name = Next("--backend");
+      if (Name == "chute")
+        Opts.Backend = 1;
+      else if (Name == "chc")
+        Opts.Backend = 2;
+      else if (Name == "portfolio")
+        Opts.Backend = 3;
+      else {
+        std::fprintf(stderr, "chute-cli: unknown backend '%s'\n",
+                     Name.c_str());
+        return 3;
+      }
     } else if (Arg == "--ping") {
       Ping = true;
     } else if (Arg == "--quiet") {

@@ -16,8 +16,8 @@
 //              [--inject-fault CONFIG=N] [--shrink-attempts N]
 //              [--list-families]
 //
-// Configurations (default "seq,par,noinc,cold,warm,spec"; "daemon"
-// joins when --daemon is given):
+// Configurations (default "seq,par,noinc,cold,warm,spec,chc";
+// "daemon" joins when --daemon is given):
 //   seq    jobs=1, incremental sessions on (the baseline oracle)
 //   par    jobs=N (--jobs, default 4)
 //   noinc  jobs=1 with CHUTE_INCREMENTAL=0
@@ -25,6 +25,10 @@
 //   warm   jobs=1 re-using the cold run's disk cache
 //   spec   jobs=N with CHUTE_SPECULATION=3 (speculative refinement
 //          lanes; verdicts must match the sequential oracle)
+//   chc    jobs=1 with CHUTE_BACKEND=chc (the Horn-clause engine;
+//          indefinite outside its fragment, but any definite answer
+//          must agree with the chute oracle and the ground truth)
+//   portfolio jobs=N with CHUTE_BACKEND=portfolio (chute/chc race)
 //   daemon the live chuted at --daemon ENDPOINT
 //
 // A mismatch (definite verdict vs. ground truth), a cross-config
@@ -62,8 +66,8 @@ struct FuzzOptions {
   std::uint64_t Seed = 0xc407e0001ull; ///< "chute" leet-ish; CI pins it
   unsigned Count = 200;
   std::vector<std::string> Families;
-  std::vector<std::string> Configs = {"seq",  "par",  "noinc",
-                                      "cold", "warm", "spec"};
+  std::vector<std::string> Configs = {"seq",  "par",  "noinc", "cold",
+                                      "warm", "spec", "chc"};
   unsigned TimeoutSec = 20;
   unsigned Jobs = 4;
   std::string DaemonEndpoint;          ///< empty = no daemon config
@@ -217,6 +221,7 @@ Answer runConfig(const FuzzOptions &Opts, const std::string &Config,
   const char *Cache = nullptr;
   std::optional<ScopedEnv> NoInc;
   std::optional<ScopedEnv> Spec;
+  std::optional<ScopedEnv> Backend;
   if (Config == "par") {
     Jobs = Opts.Jobs;
   } else if (Config == "noinc") {
@@ -226,6 +231,11 @@ Answer runConfig(const FuzzOptions &Opts, const std::string &Config,
   } else if (Config == "spec") {
     Jobs = Opts.Jobs;
     Spec.emplace("CHUTE_SPECULATION", "3");
+  } else if (Config == "chc") {
+    Backend.emplace("CHUTE_BACKEND", "chc");
+  } else if (Config == "portfolio") {
+    Jobs = Opts.Jobs;
+    Backend.emplace("CHUTE_BACKEND", "portfolio");
   }
   // "seq" and unknown names run the plain sequential baseline.
   bench::RowResult R = bench::runRow(Row, Opts.TimeoutSec, Jobs, TracePath,

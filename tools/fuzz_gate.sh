@@ -3,11 +3,12 @@
 # matrix of engine configurations. Three legs:
 #
 #   1. offline matrix - a fixed-seed suite through seq/par/noinc,
-#                       the cold/warm disk-cache pair, and spec
-#                       (speculative refinement lanes); any definite
-#                       verdict contradicting the constructed ground
-#                       truth, any cross-config disagreement, or any
-#                       crash fails the gate.
+#                       the cold/warm disk-cache pair, spec
+#                       (speculative refinement lanes) and chc (the
+#                       Horn-clause backend); any definite verdict
+#                       contradicting the constructed ground truth,
+#                       any cross-config disagreement, or any crash
+#                       fails the gate.
 #   2. daemon         - a smaller slice of the same suite against a
 #                       live chuted, diffing wire verdicts against
 #                       the offline baseline.
@@ -59,10 +60,10 @@ trap cleanup EXIT
 
 # --- leg 1: offline configuration matrix ---------------------------
 echo "fuzz_gate: leg 1 - $COUNT programs, seed $SEED," \
-     "configs seq,par,noinc,cold,warm,spec"
+     "configs seq,par,noinc,cold,warm,spec,chc"
 set +e
 "$FUZZ" --seed "$SEED" --count "$COUNT" --timeout "$TIMEOUT" \
-  --jobs "$JOBS" --configs seq,par,noinc,cold,warm,spec \
+  --jobs "$JOBS" --configs seq,par,noinc,cold,warm,spec,chc \
   --artifacts "$ART/offline" --json "$SCRATCH/fuzz.json" \
   2> "$SCRATCH/fuzz.log"
 RC=$?

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Portfolio verdict gate: runs the paper tables and a generated
+# workload with CHUTE_BACKEND=portfolio (the chute-refinement engine
+# racing the Horn-clause/Spacer engine per obligation) and fails on
+# any verdict that differs from ground truth, on any lane
+# disagreement, and when the race never pays off. Three legs:
+#
+#   1. fig6  - the full small-benchmark table under the portfolio
+#              backend with a parallel pool. Every verdict must match
+#              the paper's expectation, no row may report a lane
+#              disagreement (ctr_pf_disagreed), at least one race
+#              must run, and at least one race must be decided by
+#              the chc lane (the reason the portfolio exists: Spacer
+#              beats the refinement loop on AG-shaped rows).
+#   2. fig7  - an industrial-table slice the same way. These
+#              properties are eventuality-shaped, so typically no
+#              race applies; the leg pins that the portfolio backend
+#              degrades to exactly the chute verdicts.
+#   3. fuzz  - ~200 generated ground-truth programs through the
+#              seq/chc/portfolio differential matrix (chute-fuzz):
+#              any definite verdict contradicting the constructed
+#              ground truth or another configuration fails.
+#
+#   tools/portfolio_gate.sh [build-dir]
+#
+# Knobs (environment):
+#   CHUTE_PF_TIMEOUT     per-row timeout in seconds (default 150:
+#                        fig7 row 6 needs ~80s at two jobs)
+#   CHUTE_PF_JOBS        worker threads per child; must be >= 2 or
+#                        the chute lane always finishes first
+#                        (default 2)
+#   CHUTE_PF_FIG7_ROWS   fig7 slice (default 1-8: the rows that are
+#                        decided well inside the timeout)
+#   CHUTE_PF_FUZZ_COUNT  programs in leg 3 (default 200)
+#   CHUTE_PF_FUZZ_SEED   base seed for leg 3 (default the driver's)
+#   CHUTE_GATE_ARTIFACTS directory to keep failing JSON/logs in (CI
+#                        uploads it); default: temp, removed on
+#                        success
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT"/build}
+TIMEOUT=${CHUTE_PF_TIMEOUT:-150}
+JOBS=${CHUTE_PF_JOBS:-2}
+FIG7_ROWS=${CHUTE_PF_FIG7_ROWS:-1-8}
+FUZZ_COUNT=${CHUTE_PF_FUZZ_COUNT:-200}
+FUZZ_SEED=${CHUTE_PF_FUZZ_SEED:-0xc407e0001}
+
+FIG6="$BUILD"/bench/bench_fig6_small
+FIG7="$BUILD"/bench/bench_fig7_industrial
+FUZZ="$BUILD"/tools/chute-fuzz/chute-fuzz
+for BIN in "$FIG6" "$FIG7" "$FUZZ"; do
+  [ -x "$BIN" ] || { echo "portfolio_gate: $BIN not built" >&2; exit 2; }
+done
+
+SCRATCH=$(mktemp -d)
+ART=${CHUTE_GATE_ARTIFACTS:-"$SCRATCH/artifacts"}
+mkdir -p "$ART"
+cleanup() {
+  RC=$?
+  if [ "$RC" -ne 0 ]; then
+    cp "$SCRATCH"/*.json "$SCRATCH"/*.log "$ART"/ 2>/dev/null || true
+    echo "portfolio_gate: artifacts in $ART" >&2
+  fi
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+# Sums the portfolio counters out of a bench JSON-lines file and
+# enforces the gate's invariants for that leg.
+check_rows() { # FILE NEED_CHC_WIN
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+path, need_chc_win = sys.argv[1], sys.argv[2] == "1"
+races = chute = chc = disagreed = rows = 0
+for line in open(path):
+    r = json.loads(line)
+    rows += 1
+    races += r.get("pf_races", 0)
+    chute += r.get("pf_chute_wins", 0)
+    chc += r.get("pf_chc_wins", 0)
+    disagreed += r.get("ctr_pf_disagreed", 0)
+    if r.get("backend") != "portfolio":
+        sys.exit(f"{path}: row {r.get('id')} ran backend "
+                 f"{r.get('backend')!r}, not the portfolio")
+print(f"portfolio_gate: {rows} rows, {races} races, "
+      f"{chute} chute wins, {chc} chc wins, {disagreed} disagreements")
+if disagreed:
+    sys.exit(f"{path}: {disagreed} lane disagreements (soundness bug)")
+if need_chc_win and races == 0:
+    sys.exit(f"{path}: no portfolio race ran")
+if need_chc_win and chc == 0:
+    sys.exit(f"{path}: the chc lane never won a race")
+EOF
+}
+
+# --- leg 1: Figure 6 under the portfolio backend -------------------
+echo "portfolio_gate: leg 1 - fig6 full table," \
+     "backend=portfolio jobs=$JOBS timeout=${TIMEOUT}s"
+if ! CHUTE_BACKEND=portfolio "$FIG6" --timeout "$TIMEOUT" \
+    --jobs "$JOBS" --json "$SCRATCH/fig6.json" \
+    > "$SCRATCH/fig6.log" 2>&1; then
+  echo "portfolio_gate: fig6 verdicts disagree with the paper" >&2
+  grep -Ev "^\s*$" "$SCRATCH/fig6.log" | tail -n 20 >&2
+  exit 1
+fi
+check_rows "$SCRATCH/fig6.json" 1
+
+# --- leg 2: Figure 7 slice -----------------------------------------
+echo "portfolio_gate: leg 2 - fig7 rows $FIG7_ROWS"
+if ! CHUTE_BACKEND=portfolio "$FIG7" --timeout "$TIMEOUT" \
+    --jobs "$JOBS" --rows "$FIG7_ROWS" --json "$SCRATCH/fig7.json" \
+    > "$SCRATCH/fig7.log" 2>&1; then
+  echo "portfolio_gate: fig7 verdicts disagree with the paper" >&2
+  grep -Ev "^\s*$" "$SCRATCH/fig7.log" | tail -n 20 >&2
+  exit 1
+fi
+check_rows "$SCRATCH/fig7.json" 0
+
+# --- leg 3: differential fuzz with the portfolio in the matrix -----
+echo "portfolio_gate: leg 3 - $FUZZ_COUNT generated programs," \
+     "configs seq,chc,portfolio"
+if ! "$FUZZ" --seed "$FUZZ_SEED" --count "$FUZZ_COUNT" \
+    --timeout 20 --jobs "$JOBS" --configs seq,chc,portfolio \
+    --artifacts "$ART/fuzz" 2> "$SCRATCH/fuzz.log"; then
+  echo "portfolio_gate: fuzz matrix failed" >&2
+  grep "FAIL" "$SCRATCH/fuzz.log" >&2 || tail -n 5 "$SCRATCH/fuzz.log" >&2
+  exit 1
+fi
+tail -n 1 "$SCRATCH/fuzz.log"
+
+echo "portfolio_gate: fig6 + fig7 + $FUZZ_COUNT fuzz cases agree;" \
+     "chc lane won at least one race"
